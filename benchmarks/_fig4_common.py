@@ -1,0 +1,49 @@
+"""Shared machinery for the four Figure 4 panels (E2a-E2d)."""
+
+from repro.evalx import evaluate, figure4_table, validity_summary
+from repro.qls import paper_tools
+from repro.qubikos import build_suite, evaluation_spec
+
+from conftest import print_banner
+
+#: Paper swap counts are {5, 10, 15, 20}; the laptop default trims the top
+#: end so each panel stays in benchmark-friendly time.
+DEFAULT_SWAP_COUNTS = (5, 10)
+
+
+def run_panel(arch, bench_scale, swap_counts=DEFAULT_SWAP_COUNTS):
+    """Generate the panel's suite, run all four tools, return the run."""
+    spec = evaluation_spec(
+        circuits_per_point=bench_scale["per_point"],
+        architectures=[arch],
+        gate_scale=bench_scale["gate_scale"],
+        seed=bench_scale["seed"],
+    )
+    spec = type(spec)(
+        architectures=spec.architectures,
+        swap_counts=tuple(swap_counts),
+        circuits_per_point=spec.circuits_per_point,
+        gate_counts=spec.gate_counts,
+        seed=spec.seed,
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(
+        seed=bench_scale["seed"], sabre_trials=bench_scale["sabre_trials"]
+    )
+    return evaluate(tools, instances), instances
+
+
+def report_panel(figure_name, arch, run):
+    print_banner(f"{figure_name} — optimality gaps on {arch} "
+                 "(paper Figure 4; shape, not absolute numbers)")
+    print(figure4_table(run, arch))
+    print()
+    print(validity_summary(run))
+
+
+def assert_panel_sane(run, instances):
+    assert run.invalid_records() == [], [
+        (r.tool, r.error) for r in run.invalid_records()
+    ]
+    for record in run.records:
+        assert record.swap_ratio >= 1.0

@@ -1,0 +1,40 @@
+"""E2b — Figure 4(b): QLS optimality gaps on sycamore54.
+
+Paper setup: 10 circuits per optimal SWAP count in {5, 10, 15, 20};
+the gate count and per-point circuit count are scaled down by default
+(see benchmarks/conftest.py) and reach paper scale via environment
+variables.  The reported quantity is the mean SWAP ratio per tool.
+"""
+
+import pytest
+
+from _fig4_common import assert_panel_sane, report_panel, run_panel
+
+ARCH = "sycamore54"
+
+
+@pytest.fixture(scope="module")
+def panel(bench_scale):
+    return run_panel(ARCH, bench_scale)
+
+
+def test_report(panel, benchmark):
+    run, instances = panel
+    benchmark.pedantic(lambda: panel, rounds=1, iterations=1)
+    report_panel("E2b", ARCH, run)
+    assert_panel_sane(run, instances)
+
+
+def test_benchmark_lightsabre_on_one_instance(benchmark, panel, bench_scale):
+    """Timed unit: one LightSABRE run on one panel instance."""
+    from repro.qls import LightSabre
+
+    _, instances = panel
+    instance = instances[0]
+    device = instance.coupling()
+    tool = LightSabre(trials=2, seed=1)
+
+    result = benchmark.pedantic(
+        lambda: tool.run(instance.circuit, device), rounds=1, iterations=1,
+    )
+    assert result.swap_count >= instance.optimal_swaps

@@ -1,0 +1,104 @@
+"""E3 — the abstract's headline numbers.
+
+Paper: average optimality gaps of 63x (LightSABRE), 117x (ML-QLS),
+250x (QMAP), 330x (t|ket>), gaps growing 1x -> 234x with architecture
+size, and Rochester ~6-7x worse than Sycamore for the best tool.
+
+Here: the same aggregates over a scaled-down grid.  The assertions check
+*shape* — ordering of tools, growth with size, sparse-vs-dense contrast —
+not absolute magnitudes (those depend on trial counts and gate volume).
+"""
+
+import math
+
+import pytest
+
+from repro.evalx import (
+    architecture_gap,
+    architecture_growth_table,
+    evaluate,
+    headline_gaps,
+    headline_table,
+    sparse_dense_contrast,
+)
+from repro.qls import paper_tools
+from repro.qubikos import SuiteSpec, build_suite
+
+from conftest import print_banner
+
+ARCH_ORDER = ("aspen4", "sycamore54", "rochester53", "eagle127")
+
+
+@pytest.fixture(scope="module")
+def headline_run(bench_scale):
+    paper_gates = {"aspen4": 300, "sycamore54": 1500,
+                   "rochester53": 1500, "eagle127": 3000}
+    spec = SuiteSpec(
+        architectures=ARCH_ORDER,
+        swap_counts=(5, 10),
+        circuits_per_point=bench_scale["per_point"],
+        gate_counts={
+            a: max(30, int(paper_gates[a] * bench_scale["gate_scale"]))
+            for a in ARCH_ORDER
+        },
+        seed=bench_scale["seed"],
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(
+        seed=bench_scale["seed"], sabre_trials=bench_scale["sabre_trials"]
+    )
+    return evaluate(tools, instances)
+
+
+def test_report(headline_run, benchmark):
+    from repro.evalx import runtime_quality_table
+
+    benchmark.pedantic(lambda: headline_run, rounds=1, iterations=1)
+    print_banner("E3 — headline optimality gaps (paper abstract / Sec IV-B)")
+    print(headline_table(headline_run))
+    print()
+    print(architecture_growth_table(headline_run, list(ARCH_ORDER)))
+    print()
+    print(runtime_quality_table(headline_run))
+
+
+def test_all_valid(headline_run):
+    assert headline_run.invalid_records() == []
+
+
+def test_tool_ordering_shape(headline_run):
+    """LightSABRE leads; the A* (QMAP-like) and slice (tket-like) tools
+    trail it substantially — the paper's headline ordering."""
+    gaps = headline_gaps(headline_run)
+    assert gaps["lightsabre"] < gaps["astar"]
+    assert gaps["lightsabre"] < gaps["tketlike"]
+
+
+def test_gap_grows_with_architecture_size(headline_run):
+    """Paper: best-tool gap grows 1x -> 234x from Aspen-4 to Eagle."""
+    small = architecture_gap(headline_run, "lightsabre", "aspen4")
+    large = architecture_gap(headline_run, "lightsabre", "eagle127")
+    assert large > small
+
+
+def test_sparse_worse_than_dense(headline_run):
+    """Paper: Rochester's heavy-hex sparsity costs ~6-7x vs Sycamore."""
+    contrast = sparse_dense_contrast(headline_run, "lightsabre")
+    assert contrast is not None
+    assert contrast > 1.0
+
+
+def test_benchmark_full_aspen_point(benchmark, bench_scale):
+    """Timed unit: the four tools on one Aspen-4 instance."""
+    from repro.qubikos import generate
+    from repro.arch import get_architecture
+
+    device = get_architecture("aspen4")
+    instance = generate(device, num_swaps=5, num_two_qubit_gates=60, seed=3)
+    tools = paper_tools(seed=0, sabre_trials=2)
+
+    def unit():
+        return [t.run(instance.circuit, device).swap_count for t in tools]
+
+    counts = benchmark.pedantic(unit, rounds=1, iterations=1)
+    assert all(c >= instance.optimal_swaps for c in counts)

@@ -1,0 +1,68 @@
+"""E4 — Section IV-C / Figure 5: the LightSABRE suboptimal-routing exhibit.
+
+Paper: on an Aspen-4 instance SABRE finds the optimal initial mapping but
+routes suboptimally; the basic and decay costs of the optimal and chosen
+SWAPs tie, and the uniform-weight lookahead (extended set 20, weight 0.5)
+prefers the wrong one (0.65 vs 0.70 in the paper's numbers).
+
+Here: the search scans generated instances for the same failure mode
+(router-only SABRE from the optimal mapping, a diverging SWAP decision
+where basic/decay tie and lookahead misleads) and prints the cost table.
+"""
+
+import pytest
+
+from repro.analysis import explain, find_suboptimal_case, trace_routing
+from repro.qls.sabre import SabreParameters
+
+from conftest import print_banner
+
+SEARCH = dict(architecture="sycamore54", num_swaps=6, gate_count=220,
+              seeds=range(10, 20))
+
+
+@pytest.fixture(scope="module")
+def case():
+    found = find_suboptimal_case(require_lookahead_cause=True, **SEARCH)
+    assert found is not None, "no diverging SABRE case found in scan window"
+    return found
+
+
+def test_report(case, benchmark):
+    benchmark.pedantic(lambda: case, rounds=1, iterations=1)
+    print_banner("E4 — LightSABRE case study (paper Figure 5)")
+    print(explain(case))
+
+
+def test_failure_mode_matches_paper(case):
+    """The exhibit must show excess SWAPs with a scored divergence."""
+    assert case.excess_swaps > 0
+    chosen = case.divergence.score_of(case.divergence.chosen)
+    assert chosen is not None
+    if case.divergence.witness_swap is not None:
+        witness = case.divergence.score_of(case.divergence.witness_swap)
+        if witness is not None:
+            # SABRE picked a candidate at most as costly as the optimal one
+            # (otherwise it would have chosen the optimal SWAP).
+            assert chosen.total <= witness.total + 1e-9
+
+
+def test_remedy_repairs_or_matches(case):
+    """The paper's remedy: decayed lookahead should not route worse."""
+    stock = case.trace.total_swaps
+    repaired = trace_routing(
+        case.instance,
+        params=SabreParameters(lookahead_decay=0.6),
+        seed=case.instance.seed or 0,
+    )
+    # The decayed cost cannot be guaranteed strictly better on every
+    # instance, but it must stay in the same ballpark on the exhibit.
+    assert repaired.total_swaps <= stock + case.instance.optimal_swaps
+
+
+def test_benchmark_trace(benchmark, case):
+    """Timed unit: one instrumented routing trace."""
+    result = benchmark.pedantic(
+        lambda: trace_routing(case.instance, seed=0), rounds=1, iterations=1,
+    )
+    assert result.total_swaps >= case.instance.optimal_swaps

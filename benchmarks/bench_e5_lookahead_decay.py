@@ -1,0 +1,67 @@
+"""E5 — ablation of the paper's proposed remedy (lookahead decay).
+
+Section IV-C argues that decaying extended-set weights with distance from
+the execution layer would fix Figure-5-style misroutes.  This bench sweeps
+the decay factor over QUBIKOS circuits in router-only mode and prints the
+mean SWAP ratio per setting.
+"""
+
+import pytest
+
+from repro.analysis import render_sweep, sweep_lookahead_decay
+from repro.arch import get_architecture
+from repro.qubikos import generate
+
+from conftest import print_banner
+
+DECAYS = (None, 0.9, 0.7, 0.5)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_scale):
+    # Full-layout mode: with the initial-mapping search in the loop the
+    # stock gap is large (~13x on these instances) and the decayed
+    # lookahead has room to act.  In router-only mode SABRE is already
+    # optimal on these sizes, so every setting ties at 1.0 — itself a
+    # reproduction-relevant finding recorded in EXPERIMENTS.md.
+    device = get_architecture("aspen4")
+    instances = [
+        generate(device, num_swaps=5, num_two_qubit_gates=150, seed=50 + k)
+        for k in range(max(3, bench_scale["per_point"]))
+    ]
+    return sweep_lookahead_decay(
+        instances, decays=DECAYS, trials=2, router_only=False,
+    )
+
+
+def test_report(sweep, benchmark):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    print_banner("E5 — lookahead-decay ablation (paper Section IV-C remedy)")
+    print(render_sweep(sweep))
+
+
+def test_sweep_complete_and_sane(sweep):
+    assert [p.decay for p in sweep] == list(DECAYS)
+    for point in sweep:
+        assert point.mean_ratio >= 1.0
+        assert point.samples > 0
+
+
+def test_some_decay_setting_not_worse_than_stock(sweep):
+    """The remedy must help (or at least not hurt) at some setting."""
+    stock = sweep[0].mean_ratio
+    assert any(p.mean_ratio <= stock + 1e-9 for p in sweep[1:])
+
+
+def test_benchmark_one_decay_point(benchmark):
+    device = get_architecture("grid3x3")
+    instances = [generate(device, num_swaps=2, num_two_qubit_gates=30,
+                          seed=33)]
+
+    def unit():
+        return sweep_lookahead_decay(
+            instances, decays=(0.7,), trials=1, router_only=True
+        )
+
+    points = benchmark.pedantic(unit, rounds=1, iterations=1)
+    assert points[0].samples == 1

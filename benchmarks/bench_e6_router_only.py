@@ -1,0 +1,83 @@
+"""E6 — Section IV-C router evaluation: QUBIKOS as a router benchmark.
+
+The paper notes QUBIKOS can evaluate standalone routers because each
+instance carries its optimal initial mapping: residual SWAP excess is
+attributable to routing alone.  This bench runs all four tools in
+router-only mode and contrasts the ratios with full-layout mode.
+"""
+
+import pytest
+
+from repro.evalx import evaluate, figure4_table, headline_gaps
+from repro.qls import paper_tools
+from repro.qubikos import SuiteSpec, build_suite
+
+from conftest import print_banner
+
+ARCH = "sycamore54"
+
+
+@pytest.fixture(scope="module")
+def both_modes(bench_scale):
+    spec = SuiteSpec(
+        architectures=(ARCH,),
+        swap_counts=(4, 8),
+        circuits_per_point=bench_scale["per_point"],
+        gate_counts={ARCH: 220},
+        seed=bench_scale["seed"],
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(
+        seed=bench_scale["seed"], sabre_trials=bench_scale["sabre_trials"]
+    )
+    routed = evaluate(tools, instances, router_only=True)
+    full = evaluate(tools, instances, router_only=False)
+    return routed, full
+
+
+def test_report(both_modes, benchmark):
+    routed, full = both_modes
+    benchmark.pedantic(lambda: both_modes, rounds=1, iterations=1)
+    print_banner("E6 — router-only vs full layout (paper Section IV-C)")
+    print("router-only (optimal initial mapping supplied):")
+    print(figure4_table(routed, ARCH))
+    print()
+    print("full layout (tool searches its own mapping):")
+    print(figure4_table(full, ARCH))
+
+
+def test_all_valid(both_modes):
+    routed, full = both_modes
+    assert routed.invalid_records() == []
+    assert full.invalid_records() == []
+
+
+def test_optimal_mapping_helps_every_tool(both_modes):
+    """Knowing the optimal placement should not hurt any tool on average."""
+    routed, full = both_modes
+    routed_gaps = headline_gaps(routed)
+    full_gaps = headline_gaps(full)
+    for tool in routed_gaps:
+        assert routed_gaps[tool] <= full_gaps[tool] * 1.5  # generous slack
+
+
+def test_router_excess_is_attributable(both_modes):
+    """Router-only ratios stay >= 1: no tool can beat the optimum."""
+    routed, _ = both_modes
+    for record in routed.records:
+        assert record.swap_ratio >= 1.0
+
+
+def test_benchmark_router_only_sabre(benchmark, bench_scale):
+    from repro.arch import get_architecture
+    from repro.qls import SabreLayout, route_with_optimal_layout
+    from repro.qubikos import generate
+
+    device = get_architecture(ARCH)
+    instance = generate(device, num_swaps=4, num_two_qubit_gates=150, seed=5)
+
+    def unit():
+        return route_with_optimal_layout(SabreLayout(seed=1), instance)
+
+    result = benchmark.pedantic(unit, rounds=1, iterations=1)
+    assert result.swap_count >= instance.optimal_swaps

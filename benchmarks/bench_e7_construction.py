@@ -1,0 +1,118 @@
+"""E7 — Figures 1-3 mechanics + generator ablations.
+
+The paper's Figures 1-3 are explanatory (transpilation anatomy, section
+construction, the serialized dependency DAG).  This bench regenerates the
+structural facts behind them and times the generator's building blocks,
+including the DESIGN.md ablations: paper vs pruned ordering, and filler
+sensitivity.
+"""
+
+import pytest
+
+from repro.arch import get_architecture, line
+from repro.circuit import DependencyDag
+from repro.qls import ExactSolver
+from repro.qubikos import generate, verify_certificate
+
+from conftest import print_banner
+
+
+def test_report_figure1_line_example(benchmark):
+    """Figure 1(e): the triangle circuit on a 4-qubit line costs one SWAP."""
+    from repro.circuit import circuit_from_pairs
+
+    device = line(4)
+    triangle = circuit_from_pairs(4, [(0, 1), (1, 2), (0, 2)])
+    outcome = benchmark.pedantic(
+        lambda: ExactSolver(max_swaps=2).solve(triangle, device),
+        rounds=1, iterations=1,
+    )
+    print_banner("E7 — Figure 1 worked example")
+    print(f"triangle circuit on line-4: optimal SWAPs = {outcome.optimal_swaps}")
+    assert outcome.optimal_swaps == 1
+
+
+def test_report_figure3_serialization(benchmark):
+    """Figure 3: the 2-SWAP backbone's DAG serializes its sections."""
+    device = get_architecture("grid3x3")
+    instance = benchmark.pedantic(
+        lambda: generate(device, num_swaps=2, seed=9), rounds=1, iterations=1,
+    )
+    dag = DependencyDag.from_circuit(instance.circuit)
+    s0, s1 = instance.special_gate_positions
+    chain = s0 in dag.prev_set(s1)
+    print_banner("E7 — Figure 3 dependency structure")
+    print(f"special gates at {s0} and {s1}; special-0 precedes special-1: {chain}")
+    assert chain
+
+
+@pytest.mark.parametrize("mode", ["paper", "pruned"])
+def test_report_ordering_ablation(mode, benchmark):
+    """DESIGN.md ablation 4: both orderings certify; pruned is smaller."""
+    device = get_architecture("aspen4")
+    instance = benchmark.pedantic(
+        lambda: generate(device, num_swaps=4, seed=77, ordering_mode=mode),
+        rounds=1, iterations=1,
+    )
+    assert verify_certificate(instance).valid
+    print(f"ordering={mode}: backbone size = "
+          f"{instance.metadata['backbone_two_qubit_gates']} two-qubit gates")
+
+
+def test_filler_volume_does_not_change_optimum(benchmark):
+    """DESIGN.md ablation 3: filler budget leaves the optimum fixed."""
+    device = get_architecture("grid3x3")
+
+    def unit():
+        for gates in (None, 40, 120):
+            instance = generate(device, num_swaps=2,
+                                num_two_qubit_gates=gates, seed=55)
+            assert verify_certificate(instance).valid
+            assert instance.optimal_swaps == 2
+
+    benchmark.pedantic(unit, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("arch,swaps,gates", [
+    ("aspen4", 5, 300),
+    ("sycamore54", 5, 225),
+])
+def test_benchmark_generation(benchmark, arch, swaps, gates):
+    """Timed unit: generating one evaluation-scale instance."""
+    device = get_architecture(arch)
+
+    def unit():
+        return generate(device, num_swaps=swaps, num_two_qubit_gates=gates,
+                        seed=21)
+
+    instance = benchmark(unit)
+    assert instance.optimal_swaps == swaps
+
+
+def test_benchmark_certificate(benchmark):
+    """Timed unit: verifying one certificate (VF2 + DAG checks)."""
+    device = get_architecture("aspen4")
+    instance = generate(device, num_swaps=5, num_two_qubit_gates=300, seed=21)
+
+    report = benchmark(lambda: verify_certificate(instance))
+    assert report.valid
+
+
+def test_report_section_statistics(benchmark):
+    """Sec IV-B claim: larger architectures need more gates per section."""
+    from repro.analysis import collect_stats, stats_table
+
+    def unit():
+        instances = []
+        for arch in ("aspen4", "sycamore54", "eagle127"):
+            device = get_architecture(arch)
+            instances += [generate(device, num_swaps=5, seed=s)
+                          for s in range(2)]
+        return collect_stats(instances)
+
+    stats = benchmark.pedantic(unit, rounds=1, iterations=1)
+    print_banner("E7 — backbone-section statistics (Sec IV-B gate budgets)")
+    print(stats_table(stats))
+    by_arch = {s.architecture: s for s in stats}
+    assert (by_arch["eagle127"].mean_section_gates
+            > by_arch["aspen4"].mean_section_gates)

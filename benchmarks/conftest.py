@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as experiment regenerators: each file covers one table or
+figure of the paper (see DESIGN.md's experiment index), times a
+representative unit of work with pytest-benchmark, and prints the
+paper-style rows once per session.  Scale knobs live in environment
+variables so paper-scale runs do not require code edits:
+
+* ``QUBIKOS_BENCH_PER_POINT``  — circuits per (arch, swap-count) point
+* ``QUBIKOS_BENCH_GATE_SCALE`` — fraction of the paper's gate counts
+* ``QUBIKOS_BENCH_TRIALS``     — LightSABRE trial count
+"""
+
+import os
+
+import pytest
+
+
+def env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def env_float(name, default):
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Laptop-scale defaults; override via environment for paper scale."""
+    return {
+        "per_point": env_int("QUBIKOS_BENCH_PER_POINT", 2),
+        "gate_scale": env_float("QUBIKOS_BENCH_GATE_SCALE", 0.15),
+        "sabre_trials": env_int("QUBIKOS_BENCH_TRIALS", 4),
+        "seed": env_int("QUBIKOS_BENCH_SEED", 2025),
+    }
+
+
+def print_banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Mini Figure 4: evaluate the four QLS tools on QUBIKOS circuits.
+
+A laptop-sized rendition of the paper's Section IV-B evaluation — one panel
+(Aspen-4 by default) with reduced circuit counts.  The full per-figure
+benchmarks live in benchmarks/ and the CLI
+(`python -m repro.evalx.experiments fig4a ... fig4d`).
+
+Run:  python examples/evaluate_tools.py [architecture]
+"""
+
+import sys
+
+from repro.evalx import evaluate, figure4_table, validity_summary
+from repro.qls import paper_tools
+from repro.qubikos import SuiteSpec, build_suite
+
+
+def main(architecture: str = "aspen4") -> None:
+    spec = SuiteSpec(
+        architectures=(architecture,),
+        swap_counts=(2, 4, 6),
+        circuits_per_point=3,
+        gate_counts={architecture: 120},
+        seed=2025,
+    )
+    print(f"generating {spec.total_instances()} instances on {architecture}...")
+    instances = build_suite(spec)
+    for instance in instances[:3]:
+        print(f"  {instance.name}: {instance.num_two_qubit_gates()} gates")
+
+    tools = paper_tools(seed=5, sabre_trials=4)
+    print(f"running {len(tools)} tools x {len(instances)} instances...")
+    run = evaluate(tools, instances)
+
+    print()
+    print(figure4_table(run, architecture))
+    print()
+    print(validity_summary(run))
+    print()
+    print("(paper-scale runs: python -m repro.evalx.experiments fig4a "
+          "--per-point 10 --gate-scale 1.0 --sabre-trials 1000)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "aspen4")

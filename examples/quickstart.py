@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: generate a QUBIKOS benchmark, certify its optimal SWAP
+count, run a layout-synthesis tool on it, and measure the optimality gap.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import get_architecture
+from repro.qls import LightSabre, validate_transpiled
+from repro.qubikos import generate, verify_certificate
+
+
+def main() -> None:
+    # 1. Pick a device and generate a benchmark with a known optimum.
+    device = get_architecture("aspen4")
+    instance = generate(
+        device,
+        num_swaps=3,              # provably optimal SWAP count
+        num_two_qubit_gates=100,  # total circuit size (backbone + fillers)
+        seed=42,
+    )
+    print(f"instance : {instance.name}")
+    print(f"device   : {device.name} ({device.num_qubits} qubits, "
+          f"{device.num_edges()} couplers)")
+    print(f"circuit  : {instance.num_two_qubit_gates()} two-qubit gates, "
+          f"optimal SWAP count = {instance.optimal_swaps}")
+
+    # 2. Certify the optimum (Lemma 1 + Lemma 2 + witness replay).
+    certificate = verify_certificate(instance)
+    print(f"certificate valid: {certificate.valid} "
+          f"(witness uses {certificate.witness_swaps} SWAPs)")
+
+    # 3. Run LightSABRE (best-of-8 trials) and validate its output.
+    tool = LightSabre(trials=8, seed=7)
+    result = tool.timed_run(instance.circuit, device)
+    report = validate_transpiled(
+        instance.circuit, result.circuit, device, result.initial_mapping
+    )
+    assert report.valid, report.error
+
+    # 4. The paper's metric: observed / optimal SWAPs.
+    ratio = instance.swap_ratio(result.swap_count)
+    print(f"{tool.name}: {result.swap_count} SWAPs in "
+          f"{result.runtime_seconds:.2f}s -> optimality gap {ratio:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

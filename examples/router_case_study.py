@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Router-only evaluation + the LightSABRE case study (Section IV-C).
+
+Because every QUBIKOS instance ships with its optimal initial mapping, a
+router can be tested in isolation: any excess SWAP is the router's fault.
+This example (1) scores all four tools in router-only mode, and (2) finds
+an instance where SABRE — even from the optimal placement — routes
+suboptimally, and prints the cost table explaining why (Figure 5).
+
+Run:  python examples/router_case_study.py
+"""
+
+from repro.analysis import explain, find_suboptimal_case
+from repro.evalx import evaluate, figure4_table
+from repro.qls import paper_tools
+from repro.qubikos import SuiteSpec, build_suite
+
+
+def router_only_panel() -> None:
+    spec = SuiteSpec(
+        architectures=("sycamore54",),
+        swap_counts=(4, 8),
+        circuits_per_point=3,
+        gate_counts={"sycamore54": 250},
+        seed=77,
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(seed=3, sabre_trials=4)
+    run = evaluate(tools, instances, router_only=True)
+    print("== router-only mode: tools start from the optimal mapping ==")
+    print(figure4_table(run, "sycamore54"))
+    print()
+
+
+def case_study() -> None:
+    print("== LightSABRE suboptimal-routing case study ==")
+    case = find_suboptimal_case(require_lookahead_cause=True)
+    if case is None:
+        print("no diverging case found in the default scan")
+        return
+    print(explain(case))
+
+
+if __name__ == "__main__":
+    router_only_panel()
+    case_study()

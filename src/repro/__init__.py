@@ -1,0 +1,33 @@
+"""QUBIKOS reproduction: quantum layout-synthesis benchmarks with known
+optimal SWAP counts, plus the full tool ecosystem needed to evaluate them
+(circuit IR, device library, VF2, a CDCL SAT solver, four heuristic QLS
+tools, an exact solver, and the paper's evaluation harness).
+
+Quickstart::
+
+    from repro.arch import get_architecture
+    from repro.qubikos import generate, verify_certificate
+    from repro.qls import LightSabre
+
+    device = get_architecture("aspen4")
+    inst = generate(device, num_swaps=3, num_two_qubit_gates=100, seed=1)
+    assert verify_certificate(inst).valid
+    result = LightSabre(trials=8, seed=1).run(inst.circuit, device)
+    print(result.swap_count / inst.optimal_swaps)  # the optimality gap
+"""
+
+__version__ = "1.0.0"
+
+from . import arch, circuit, graphs, qubikos, qls, sat, evalx, analysis
+
+__all__ = [
+    "arch",
+    "circuit",
+    "graphs",
+    "qubikos",
+    "qls",
+    "sat",
+    "evalx",
+    "analysis",
+    "__version__",
+]

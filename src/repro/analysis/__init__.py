@@ -1,0 +1,28 @@
+"""Case-study and ablation analyses (Section IV-C of the paper)."""
+
+from .sabre_costs import (
+    RoutingTrace,
+    SwapDecision,
+    cost_breakdown_table,
+    trace_routing,
+)
+from .case_study import CaseStudy, explain, find_suboptimal_case
+from .lookahead_decay import DecaySweepPoint, render_sweep, sweep_lookahead_decay
+from .section_stats import SectionStats, collect_stats, section_sizes, stats_table
+
+__all__ = [
+    "RoutingTrace",
+    "SwapDecision",
+    "cost_breakdown_table",
+    "trace_routing",
+    "CaseStudy",
+    "explain",
+    "find_suboptimal_case",
+    "DecaySweepPoint",
+    "render_sweep",
+    "sweep_lookahead_decay",
+    "SectionStats",
+    "collect_stats",
+    "section_sizes",
+    "stats_table",
+]

@@ -1,0 +1,139 @@
+"""Section IV-C case study: find and explain a suboptimal SABRE routing.
+
+The paper exhibits an Aspen-4 instance where SABRE, *given the optimal
+initial mapping*, still routes suboptimally because the uniform-weight
+lookahead cost prefers a SWAP that helps far-away gates over the one the
+optimal routing needs.  ``find_suboptimal_case`` searches generated
+instances for exactly this situation and packages the first diverging
+decision with its cost table; ``explain`` renders the narrative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..arch.library import get_architecture
+from ..qls.sabre import SabreParameters
+from ..qubikos.generator import generate
+from ..qubikos.instance import QubikosInstance
+from .sabre_costs import RoutingTrace, SwapDecision, cost_breakdown_table, trace_routing
+
+
+@dataclass
+class CaseStudy:
+    """A reproducible suboptimal-routing exhibit."""
+
+    instance: QubikosInstance
+    trace: RoutingTrace
+    divergence: SwapDecision
+    params: SabreParameters
+
+    @property
+    def excess_swaps(self) -> int:
+        return self.trace.total_swaps - self.instance.optimal_swaps
+
+    def lookahead_caused(self) -> Optional[bool]:
+        """True when the witness SWAP lost *only* on the lookahead term."""
+        chosen = self.divergence.score_of(self.divergence.chosen)
+        witness = (
+            self.divergence.score_of(self.divergence.witness_swap)
+            if self.divergence.witness_swap else None
+        )
+        if chosen is None or witness is None:
+            return None
+        same_basic = abs(chosen.basic - witness.basic) < 1e-9
+        same_decay = abs(chosen.decay - witness.decay) < 1e-9
+        return same_basic and same_decay and chosen.lookahead < witness.lookahead - 1e-9
+
+    def tie_broken(self) -> bool:
+        """True when chosen and witness SWAPs had identical total cost."""
+        chosen = self.divergence.score_of(self.divergence.chosen)
+        witness = (
+            self.divergence.score_of(self.divergence.witness_swap)
+            if self.divergence.witness_swap else None
+        )
+        if chosen is None or witness is None:
+            return False
+        return abs(chosen.total - witness.total) < 1e-9
+
+
+def find_suboptimal_case(architecture: str = "sycamore54",
+                         params: Optional[SabreParameters] = None,
+                         num_swaps: int = 6,
+                         gate_count: int = 220,
+                         seeds: Iterable[int] = range(32),
+                         require_lookahead_cause: bool = False
+                         ) -> Optional[CaseStudy]:
+    """Scan instances for a SABRE divergence from the optimal routing."""
+    params = params or SabreParameters()
+    coupling = get_architecture(architecture)
+    fallback: Optional[CaseStudy] = None
+    for seed in seeds:
+        instance = generate(
+            coupling, num_swaps=num_swaps, num_two_qubit_gates=gate_count,
+            seed=seed,
+        )
+        trace = trace_routing(instance, params=params, seed=seed)
+        if trace.total_swaps <= instance.optimal_swaps:
+            continue  # SABRE was optimal here
+        divergence = trace.best_exhibit()
+        if divergence is None:
+            continue
+        case = CaseStudy(
+            instance=instance, trace=trace, divergence=divergence, params=params
+        )
+        if not require_lookahead_cause:
+            return case
+        if case.lookahead_caused():
+            return case
+        if fallback is None:
+            fallback = case
+    return fallback
+
+
+def explain(case: CaseStudy) -> str:
+    """Human-readable narrative mirroring the paper's Figure 5 discussion."""
+    lines = [
+        f"Case study on {case.instance.architecture}: instance "
+        f"{case.instance.name}",
+        f"  optimal SWAP count: {case.instance.optimal_swaps}",
+        f"  SABRE routing from the optimal initial mapping used "
+        f"{case.trace.total_swaps} SWAPs ({case.excess_swaps} excess)",
+        "",
+        cost_breakdown_table(case.divergence, case.params),
+        "",
+    ]
+    cause = case.lookahead_caused()
+    if cause:
+        lines.append(
+            "Diagnosis: the chosen SWAP and the optimal SWAP tie on the basic "
+            "and decay components; the uniform-weight lookahead over the "
+            "extended set preferred the wrong SWAP — the paper's Figure 5 "
+            "failure mode. A distance-decayed lookahead (SabreParameters."
+            "lookahead_decay) shifts weight toward the execution layer and "
+            "can repair this choice."
+        )
+    elif cause is None:
+        lines.append(
+            "Diagnosis: the optimal SWAP was not among the scored candidates "
+            "at the divergence point (it touches no front-layer qubit), so "
+            "SABRE could not have chosen it at this step."
+        )
+    elif case.tie_broken():
+        lines.append(
+            "Diagnosis: the chosen and optimal SWAPs tie on every cost "
+            "component — the uniform-weight lookahead cannot distinguish the "
+            "move that enables the optimal continuation from one that does "
+            "not, and the random tie-break picked wrong. The same remedy "
+            "applies: a distance-decayed lookahead sharpens the cost enough "
+            "to separate such candidates."
+        )
+    else:
+        lines.append(
+            "Diagnosis: the divergence involves the basic/decay components, "
+            "not only the lookahead term."
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Lookahead-decay ablation (the paper's proposed SABRE remedy).
+
+Section IV-C suggests weighting extended-set gates by their distance from
+the execution layer.  This module sweeps the geometric decay factor over a
+QUBIKOS suite and reports the mean SWAP ratio per setting, in both
+full-layout and router-only modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..qls.lightsabre import LightSabre
+from ..qls.sabre import SabreParameters
+from ..qubikos.instance import QubikosInstance
+from ..evalx.harness import EvaluationRun, evaluate
+from ..evalx.stats import mean
+
+
+@dataclass(frozen=True)
+class DecaySweepPoint:
+    """Aggregate for one decay setting."""
+
+    decay: Optional[float]  # None = stock uniform weighting
+    mean_ratio: float
+    samples: int
+
+
+def sweep_lookahead_decay(instances: Sequence[QubikosInstance],
+                          decays: Iterable[Optional[float]] = (None, 0.9, 0.8, 0.6, 0.4),
+                          trials: int = 4,
+                          seed: int = 11,
+                          router_only: bool = True) -> List[DecaySweepPoint]:
+    """Evaluate SABRE at each decay factor; smaller ratio is better."""
+    points: List[DecaySweepPoint] = []
+    for decay in decays:
+        params = SabreParameters(lookahead_decay=decay)
+        tool = LightSabre(trials=trials, params=params, seed=seed)
+        tool.name = f"sabre(decay={decay})"
+        run = evaluate([tool], instances, router_only=router_only)
+        ratios = [r.swap_ratio for r in run.records if r.valid]
+        points.append(DecaySweepPoint(
+            decay=decay, mean_ratio=mean(ratios), samples=len(ratios),
+        ))
+    return points
+
+
+def render_sweep(points: Sequence[DecaySweepPoint]) -> str:
+    """Plain-text ablation table."""
+    lines = [
+        "Lookahead-decay ablation (mean SWAP ratio; lower is better)",
+        "-" * 58,
+        f"{'decay':>8s} {'mean ratio':>12s} {'samples':>8s}",
+    ]
+    for point in points:
+        label = "stock" if point.decay is None else f"{point.decay:.2f}"
+        lines.append(
+            f"{label:>8s} {point.mean_ratio:12.3f} {point.samples:8d}"
+        )
+    return "\n".join(lines)

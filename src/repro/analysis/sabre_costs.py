@@ -1,0 +1,218 @@
+"""Instrumented SABRE routing for the paper's Section IV-C case study.
+
+Replays a SABRE routing pass while recording, at every SWAP decision, the
+full candidate cost table (basic / lookahead / decay components) and the
+SWAP the optimality witness would have taken.  The first point where the
+two diverge is exactly the situation Figure 5 of the paper dissects:
+both candidates tie on basic+decay cost and the *lookahead* term —
+computed over the extended set with uniform weights — tips the choice the
+wrong way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag, ExecutionFrontier
+from ..qubikos.instance import QubikosInstance
+from ..qubikos.mapping import Mapping
+from ..qls.sabre import SabreCostModel, SabreParameters, SwapScore
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class SwapDecision:
+    """One SWAP decision during instrumented routing."""
+
+    step: int
+    front_gates: Tuple[Edge, ...]  # program pairs waiting
+    scores: List[SwapScore]
+    chosen: Edge
+    witness_swap: Optional[Edge]  # next un-fired witness SWAP, if any
+    diverged: bool
+
+    def score_of(self, swap: Edge) -> Optional[SwapScore]:
+        key = tuple(sorted(swap))
+        for score in self.scores:
+            if tuple(sorted(score.swap)) == key:
+                return score
+        return None
+
+
+@dataclass
+class RoutingTrace:
+    """Full instrumented routing transcript."""
+
+    instance_name: str
+    total_swaps: int
+    optimal_swaps: int
+    decisions: List[SwapDecision] = field(default_factory=list)
+    completed: bool = True
+
+    @property
+    def swap_ratio(self) -> float:
+        return self.total_swaps / max(self.optimal_swaps, 1)
+
+    def first_divergence(self) -> Optional[SwapDecision]:
+        for decision in self.decisions:
+            if decision.diverged:
+                return decision
+        return None
+
+    def divergences(self) -> List[SwapDecision]:
+        return [d for d in self.decisions if d.diverged]
+
+    def best_exhibit(self) -> Optional[SwapDecision]:
+        """The most instructive diverging decision.
+
+        Preference order: (1) the witness SWAP was scored and lost purely on
+        the lookahead term; (2) the witness SWAP was scored and lost on cost;
+        (3) any divergence (tie-break or unscored witness).
+        """
+        scored: List[Tuple[int, SwapDecision]] = []
+        for decision in self.divergences():
+            witness = (decision.score_of(decision.witness_swap)
+                       if decision.witness_swap else None)
+            chosen = decision.score_of(decision.chosen)
+            if witness is None or chosen is None:
+                rank = 2
+            elif (abs(chosen.basic - witness.basic) < 1e-9
+                  and abs(chosen.decay - witness.decay) < 1e-9
+                  and chosen.lookahead < witness.lookahead - 1e-9):
+                rank = 0
+            elif chosen.total < witness.total - 1e-9:
+                rank = 1
+            else:
+                rank = 2
+            scored.append((rank, decision))
+        if not scored:
+            return None
+        best_rank = min(rank for rank, _ in scored)
+        for rank, decision in scored:
+            if rank == best_rank:
+                return decision
+        return None
+
+
+def trace_routing(instance: QubikosInstance,
+                  params: Optional[SabreParameters] = None,
+                  seed: int = 0,
+                  max_swaps: Optional[int] = None) -> RoutingTrace:
+    """Route from the instance's optimal initial mapping, recording decisions."""
+    params = params or SabreParameters()
+    coupling = instance.coupling()
+    rng = random.Random(seed)
+    skeleton = instance.circuit.without_single_qubit_gates()
+    dag = DependencyDag.from_circuit(skeleton)
+    frontier = ExecutionFrontier(dag)
+    mapping = instance.mapping()
+    model = SabreCostModel(coupling, params)
+    witness_swaps: List[Edge] = [rec.swap_edge for rec in instance.sections]
+    witness_index = 0
+    decay: Dict[int, float] = {}
+    decisions: List[SwapDecision] = []
+    swap_count = 0
+    swaps_since_reset = 0
+    budget = max_swaps if max_swaps is not None else 50 * max(instance.optimal_swaps, 1) + 200
+
+    while not frontier.done():
+        executed = True
+        while executed:
+            executed = False
+            for node in sorted(frontier.front):
+                g = dag.gates[node]
+                if coupling.has_edge(mapping.phys(g[0]), mapping.phys(g[1])):
+                    frontier.execute(node)
+                    executed = True
+                    decay.clear()
+                    swaps_since_reset = 0
+                    # Witness bookkeeping: the special gate only becomes
+                    # executable after its section's SWAP, so no adjustment
+                    # is needed here.
+        if frontier.done():
+            break
+        if swap_count >= budget:
+            return RoutingTrace(
+                instance_name=instance.name, total_swaps=swap_count,
+                optimal_swaps=instance.optimal_swaps, decisions=decisions,
+                completed=False,
+            )
+        front = sorted(frontier.front)
+        extended = frontier.following_gates(params.extended_set_size)
+        scores = [
+            model.score(dag, mapping, swap, front, extended, decay)
+            for swap in model.candidate_swaps(dag, frontier, mapping)
+        ]
+        best_total = min(s.total for s in scores)
+        ties = [s for s in scores if s.total <= best_total + 1e-12]
+        choice = rng.choice(ties).swap
+        witness_swap = (
+            witness_swaps[witness_index] if witness_index < len(witness_swaps)
+            else None
+        )
+        diverged = (
+            witness_swap is not None
+            and tuple(sorted(choice)) != tuple(sorted(witness_swap))
+        )
+        decisions.append(SwapDecision(
+            step=swap_count,
+            front_gates=tuple(dag.gates[n].qubit_pair() for n in front),
+            scores=scores,
+            chosen=choice,
+            witness_swap=witness_swap,
+            diverged=diverged,
+        ))
+        if witness_swap is not None and not diverged:
+            witness_index += 1
+        mapping.swap_physical(*choice)
+        swap_count += 1
+        swaps_since_reset += 1
+        for p in choice:
+            if mapping.has_prog_at(p):
+                q = mapping.prog(p)
+                decay[q] = decay.get(q, 1.0) + params.decay_increment
+        if swaps_since_reset >= params.decay_reset_interval:
+            decay.clear()
+            swaps_since_reset = 0
+
+    return RoutingTrace(
+        instance_name=instance.name, total_swaps=swap_count,
+        optimal_swaps=instance.optimal_swaps, decisions=decisions,
+    )
+
+
+def cost_breakdown_table(decision: SwapDecision,
+                         params: Optional[SabreParameters] = None) -> str:
+    """Render the Figure-5-style cost comparison for one decision."""
+    params = params or SabreParameters()
+    lines = [
+        f"SWAP decision at step {decision.step}; front gates: "
+        f"{list(decision.front_gates)}",
+        f"{'swap':>10s} {'basic':>8s} {'lookahead':>10s} {'decay':>7s} "
+        f"{'total':>8s}  note",
+    ]
+    chosen_key = tuple(sorted(decision.chosen))
+    witness_key = (
+        tuple(sorted(decision.witness_swap)) if decision.witness_swap else None
+    )
+    for score in sorted(decision.scores, key=lambda s: s.total):
+        key = tuple(sorted(score.swap))
+        notes = []
+        if key == chosen_key:
+            notes.append("<- SABRE's choice")
+        if witness_key is not None and key == witness_key:
+            notes.append("<- optimal (witness)")
+        lines.append(
+            f"{str(score.swap):>10s} {score.basic:8.3f} {score.lookahead:10.3f} "
+            f"{score.decay:7.3f} {score.total:8.3f}  {' '.join(notes)}"
+        )
+    lines.append(
+        f"(lookahead weight = {params.extended_set_weight}, extended set size = "
+        f"{params.extended_set_size}, lookahead decay = {params.lookahead_decay})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Structural statistics of QUBIKOS instances.
+
+Section IV-B of the paper explains its per-architecture gate budgets with:
+"a larger architecture requires more gates on average to construct a
+section of the backbone circuit as the interaction graph requir[es] more
+connections on average to be non-isomorphic."  This module measures that
+claim: per-section backbone sizes, connector counts, and anchor degrees,
+aggregated per architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..qubikos.instance import QubikosInstance
+
+
+@dataclass(frozen=True)
+class SectionStats:
+    """Aggregate backbone-construction statistics for a set of instances."""
+
+    architecture: str
+    instances: int
+    sections: int
+    mean_section_gates: float
+    max_section_gates: int
+    mean_connectors: float
+    mean_anchor_degree: float
+    mean_filler_fraction: float
+
+
+def section_sizes(instance: QubikosInstance) -> List[int]:
+    """Backbone two-qubit gates per section (special gate included)."""
+    counts = [0] * len(instance.sections)
+    for section, filler in zip(instance.gate_sections, instance.gate_fillers):
+        if filler or section >= len(instance.sections):
+            continue
+        counts[section] += 1
+    return counts
+
+
+def collect_stats(instances: Iterable[QubikosInstance]) -> List[SectionStats]:
+    """One :class:`SectionStats` per architecture present in ``instances``."""
+    by_arch: Dict[str, List[QubikosInstance]] = {}
+    for instance in instances:
+        by_arch.setdefault(instance.architecture, []).append(instance)
+    result = []
+    for arch in sorted(by_arch):
+        group = by_arch[arch]
+        sizes: List[int] = []
+        connectors: List[int] = []
+        anchors: List[int] = []
+        filler_fractions: List[float] = []
+        for instance in group:
+            sizes.extend(section_sizes(instance))
+            connectors.extend(r.connector_count for r in instance.sections)
+            anchors.extend(r.anchor_degree for r in instance.sections)
+            total = instance.num_two_qubit_gates()
+            fillers = sum(instance.gate_fillers)
+            filler_fractions.append(fillers / total if total else 0.0)
+        result.append(SectionStats(
+            architecture=arch,
+            instances=len(group),
+            sections=len(sizes),
+            mean_section_gates=sum(sizes) / max(len(sizes), 1),
+            max_section_gates=max(sizes, default=0),
+            mean_connectors=sum(connectors) / max(len(connectors), 1),
+            mean_anchor_degree=sum(anchors) / max(len(anchors), 1),
+            mean_filler_fraction=(
+                sum(filler_fractions) / max(len(filler_fractions), 1)
+            ),
+        ))
+    return result
+
+
+def stats_table(stats: Sequence[SectionStats]) -> str:
+    """Text table of per-architecture construction statistics."""
+    lines = [
+        "Backbone-section statistics (paper Sec IV-B: bigger devices need "
+        "bigger sections)",
+        "-" * 76,
+        f"{'arch':<12s} {'inst':>5s} {'sections':>9s} {'gates/sec':>10s} "
+        f"{'max':>5s} {'connectors':>11s} {'anchor deg':>11s}",
+    ]
+    for s in stats:
+        lines.append(
+            f"{s.architecture:<12s} {s.instances:>5d} {s.sections:>9d} "
+            f"{s.mean_section_gates:>10.1f} {s.max_section_gates:>5d} "
+            f"{s.mean_connectors:>11.2f} {s.mean_anchor_degree:>11.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,314 @@
+"""Architecture library: the four devices evaluated in the paper plus
+generic families (line, ring, grid, heavy-hex) used by tests and examples.
+
+Exact public coupling maps are unavailable offline, so two devices are
+reconstructed rather than transcribed (documented in DESIGN.md):
+
+* ``sycamore54`` — Google Sycamore's 54 qubits form a rotated square lattice
+  (each interior qubit couples to four diagonal neighbours).  We build that
+  lattice directly as 6 rows x 9 columns with inter-row diagonal couplers,
+  which is graph-isomorphic to the rotated-grid abstraction and preserves
+  the dense, highly symmetric structure the paper credits for Sycamore's
+  small optimality gap.
+* ``rochester53`` — IBM Rochester is a sparse hexagonal ("heavy-hex
+  precursor") lattice of 53 qubits.  We build a 53-qubit heavy-hex-style
+  lattice (5 rows of 9 qubits, 4 connector rows of 2) matching its qubit
+  count, degree profile (max degree 3) and sparse hexagonal cells.
+
+``eagle127`` follows IBM's published heavy-hex layout for the 127-qubit
+Eagle processors (rows of 14/15 qubits with 4-qubit connector rows), and
+``aspen4`` is Rigetti's two-octagon 16-qubit lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .coupling import CouplingGraph, Edge
+
+
+# ---------------------------------------------------------------------------
+# Generic families
+# ---------------------------------------------------------------------------
+
+def line(n: int) -> CouplingGraph:
+    """Path graph on ``n`` qubits (Figure 1(d) of the paper for n=4)."""
+    return CouplingGraph(n, [(i, i + 1) for i in range(n - 1)], name=f"line{n}")
+
+
+def ring(n: int) -> CouplingGraph:
+    """Cycle graph on ``n`` qubits."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 qubits")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return CouplingGraph(n, edges, name=f"ring{n}")
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """Rectangular grid, row-major numbering."""
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return CouplingGraph(rows * cols, edges, name=f"grid{rows}x{cols}")
+
+
+def star(n: int) -> CouplingGraph:
+    """Star graph: qubit 0 coupled to all others."""
+    return CouplingGraph(n, [(0, i) for i in range(1, n)], name=f"star{n}")
+
+
+def complete(n: int) -> CouplingGraph:
+    """Complete graph (no QUBIKOS circuit exists on these)."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return CouplingGraph(n, edges, name=f"complete{n}")
+
+
+def t_shape() -> CouplingGraph:
+    """A 9-qubit T-shaped device in the spirit of the paper's Figure 2.
+
+    A horizontal arm 0-1-2-3-4 with a stem 5-6-7-8 hanging from qubit 2;
+    its mixed degrees (1, 2, and 3) exercise the saturation logic.
+    """
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 6), (6, 7), (7, 8)]
+    return CouplingGraph(9, edges, name="tshape9")
+
+
+def heavy_hex(row_lengths: Sequence[int], connector_columns: Sequence[Sequence[int]],
+              name: str = "heavyhex") -> CouplingGraph:
+    """Generic heavy-hex-style lattice.
+
+    ``row_lengths[i]`` qubits form horizontal row ``i`` (a path).  Between
+    rows ``i`` and ``i+1``, one connector qubit is placed at every column in
+    ``connector_columns[i]``; it couples to the qubit at that column in both
+    rows.  Columns are absolute, so rows can be offset by padding
+    ``row_offsets`` — here rows all start at column 0 except when a row is
+    shorter, in which case ``row_starts`` shifts it.
+    """
+    return _heavy_hex_with_offsets(
+        row_lengths, [0] * len(row_lengths), connector_columns, name
+    )
+
+
+def _heavy_hex_with_offsets(row_lengths: Sequence[int], row_starts: Sequence[int],
+                            connector_columns: Sequence[Sequence[int]],
+                            name: str) -> CouplingGraph:
+    if len(connector_columns) != len(row_lengths) - 1:
+        raise ValueError("need one connector row between each pair of rows")
+    index = 0
+    row_nodes: List[Dict[int, int]] = []
+    edges: List[Edge] = []
+    connector_nodes: List[Dict[int, int]] = []
+    for i, (length, start) in enumerate(zip(row_lengths, row_starts)):
+        columns = list(range(start, start + length))
+        nodes = {c: index + k for k, c in enumerate(columns)}
+        index += length
+        row_nodes.append(nodes)
+        cols_sorted = sorted(nodes)
+        for a, b in zip(cols_sorted, cols_sorted[1:]):
+            if b == a + 1:
+                edges.append((nodes[a], nodes[b]))
+        if i < len(connector_columns):
+            conn = {}
+            for c in connector_columns[i]:
+                conn[c] = index
+                index += 1
+            connector_nodes.append(conn)
+    for i, conn in enumerate(connector_nodes):
+        for c, node in conn.items():
+            if c not in row_nodes[i] or c not in row_nodes[i + 1]:
+                raise ValueError(f"connector column {c} missing in rows {i}/{i + 1}")
+            edges.append((row_nodes[i][c], node))
+            edges.append((node, row_nodes[i + 1][c]))
+    return CouplingGraph(index, edges, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Paper architectures
+# ---------------------------------------------------------------------------
+
+def aspen4() -> CouplingGraph:
+    """Rigetti Aspen-4 (16 qubits): two octagon rings joined by two couplers."""
+    edges: List[Edge] = []
+    edges += [(i, (i + 1) % 8) for i in range(8)]
+    edges += [(8 + i, 8 + (i + 1) % 8) for i in range(8)]
+    edges += [(1, 14), (2, 13)]
+    return CouplingGraph(16, edges, name="aspen4")
+
+
+def sycamore54(rows: int = 6, cols: int = 9) -> CouplingGraph:
+    """Google Sycamore (54 qubits): rotated square lattice.
+
+    Qubit ``(r, c)`` couples downward to ``(r+1, c)`` and to ``(r+1, c+1)``
+    on even rows / ``(r+1, c-1)`` on odd rows, giving interior degree 4.
+    """
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Edge] = []
+    for r in range(rows - 1):
+        for c in range(cols):
+            edges.append((node(r, c), node(r + 1, c)))
+            partner = c + 1 if r % 2 == 0 else c - 1
+            if 0 <= partner < cols:
+                edges.append((node(r, c), node(r + 1, partner)))
+    return CouplingGraph(rows * cols, edges, name="sycamore54")
+
+
+def rochester53() -> CouplingGraph:
+    """IBM Rochester (53 qubits), reconstructed heavy-hex-style lattice.
+
+    5 rows of 9 qubits, 4 connector rows of 2 qubits; connector columns
+    alternate {2, 6} / {4, 8} so cells tile hexagonally.  Matches Rochester's
+    qubit count, max degree 3 and sparse connectivity (see module docstring).
+    """
+    graph = heavy_hex(
+        row_lengths=[9, 9, 9, 9, 9],
+        connector_columns=[[2, 6], [4, 8], [2, 6], [4, 8]],
+        name="rochester53",
+    )
+    return graph
+
+
+def eagle127() -> CouplingGraph:
+    """IBM Eagle (127 qubits) heavy-hex lattice (ibm_washington layout).
+
+    Seven qubit rows (14, 15, 15, 15, 15, 15, 14 qubits) with six connector
+    rows of four qubits; connector columns alternate {0,4,8,12}/{2,6,10,14}.
+    """
+    return _heavy_hex_with_offsets(
+        row_lengths=[14, 15, 15, 15, 15, 15, 14],
+        row_starts=[0, 0, 0, 0, 0, 0, 1],
+        connector_columns=[
+            [0, 4, 8, 12],
+            [2, 6, 10, 14],
+            [0, 4, 8, 12],
+            [2, 6, 10, 14],
+            [0, 4, 8, 12],
+            [2, 6, 10, 14],
+        ],
+        name="eagle127",
+    )
+
+
+def tokyo20() -> CouplingGraph:
+    """IBM Q20 Tokyo: 4x5 grid with diagonal couplers (dense, degree <= 6).
+
+    A historically popular QLS evaluation target (Li et al., ASPLOS'19);
+    included for cross-paper comparisons.
+    """
+    rows, cols = 4, 5
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    # Diagonal couplers in alternating 2x2 cells (Tokyo's X-pattern).
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if (r + c) % 2 == 0:
+                edges.append((node(r, c), node(r + 1, c + 1)))
+                edges.append((node(r, c + 1), node(r + 1, c)))
+    return CouplingGraph(rows * cols, edges, name="tokyo20")
+
+
+def falcon27() -> CouplingGraph:
+    """IBM Falcon (27 qubits) heavy-hex lattice.
+
+    Three rows of 7 qubits joined by four connector qubits at alternating
+    columns, plus the two pendant qubits Falcon hangs off the top and
+    bottom rows (structural reconstruction; see module docstring).
+    """
+    rows = [[1, 2, 3, 4, 5, 6, 7], [10, 11, 12, 13, 14, 15, 16],
+            [19, 20, 21, 22, 23, 24, 25]]
+    edges: List[Edge] = []
+    for row in rows:
+        edges += [(a, b) for a, b in zip(row, row[1:])]
+    # Connectors: columns (1, 5) between rows 0-1, (3, 6) between rows 1-2.
+    edges += [(rows[0][1], 8), (8, rows[1][1])]
+    edges += [(rows[0][5], 9), (9, rows[1][5])]
+    edges += [(rows[1][3], 17), (17, rows[2][3])]
+    edges += [(rows[1][6], 18), (18, rows[2][6])]
+    # Pendant qubits on the outer rows.
+    edges += [(0, rows[0][3]), (26, rows[2][1])]
+    return CouplingGraph(27, edges, name="falcon27")
+
+
+def guadalupe16() -> CouplingGraph:
+    """IBM Guadalupe (16 qubits): a heavy-hex ring with four tails.
+
+    Two rows of 5 joined by two connectors (a 12-qubit hexagonal ring)
+    plus four pendant qubits (structural reconstruction).
+    """
+    top = [0, 1, 2, 3, 4]
+    bottom = [7, 8, 9, 10, 11]
+    edges: List[Edge] = []
+    edges += [(a, b) for a, b in zip(top, top[1:])]
+    edges += [(a, b) for a, b in zip(bottom, bottom[1:])]
+    edges += [(top[0], 5), (5, bottom[0])]
+    edges += [(top[4], 6), (6, bottom[4])]
+    edges += [(12, top[2]), (13, bottom[2]), (14, top[1]), (15, bottom[3])]
+    return CouplingGraph(16, edges, name="guadalupe16")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[], CouplingGraph]] = {
+    "aspen4": aspen4,
+    "sycamore54": sycamore54,
+    "rochester53": rochester53,
+    "eagle127": eagle127,
+    "tokyo20": tokyo20,
+    "falcon27": falcon27,
+    "guadalupe16": guadalupe16,
+    "grid3x3": lambda: grid(3, 3),
+    "grid4x4": lambda: grid(4, 4),
+    "grid5x5": lambda: grid(5, 5),
+    "line4": lambda: line(4),
+    "line8": lambda: line(8),
+    "ring8": lambda: ring(8),
+    "tshape9": t_shape,
+}
+
+#: Architectures used in the paper's evaluation (Figure 4), in paper order.
+PAPER_ARCHITECTURES: Tuple[str, ...] = (
+    "aspen4", "sycamore54", "rochester53", "eagle127"
+)
+
+#: Architectures used in the paper's optimality study (Section IV-A).
+OPTIMALITY_STUDY_ARCHITECTURES: Tuple[str, ...] = ("aspen4", "grid3x3")
+
+
+def available_architectures() -> List[str]:
+    """Names accepted by :func:`get_architecture`."""
+    return sorted(_REGISTRY)
+
+
+def get_architecture(name: str) -> CouplingGraph:
+    """Build the named architecture.
+
+    Also accepts parametric names ``lineN``, ``ringN`` and ``gridRxC``.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]()
+    if name.startswith("line") and name[4:].isdigit():
+        return line(int(name[4:]))
+    if name.startswith("ring") and name[4:].isdigit():
+        return ring(int(name[4:]))
+    if name.startswith("grid") and "x" in name[4:]:
+        rows_text, _, cols_text = name[4:].partition("x")
+        if rows_text.isdigit() and cols_text.isdigit():
+            return grid(int(rows_text), int(cols_text))
+    raise KeyError(f"unknown architecture {name!r}; known: {available_architectures()}")

@@ -1,0 +1,152 @@
+"""Interaction graphs — the paper's ``GI(Q, EQ)``.
+
+The interaction graph of a circuit has a node per program qubit and an edge
+``(q, q')`` whenever some two-qubit gate acts on that pair.  QUBIKOS hinges
+on constructing interaction graphs that are *not* isomorphic to any subgraph
+of the device coupling graph, so this module also exposes the degree-counting
+helpers used in the Lemma 1 argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(a: int, b: int) -> Edge:
+    """Canonical (sorted) form of an undirected edge."""
+    if a == b:
+        raise ValueError(f"self-loop edge ({a}, {b})")
+    return (a, b) if a < b else (b, a)
+
+
+class InteractionGraph:
+    """Undirected simple graph over program qubits."""
+
+    def __init__(self, edges: Iterable[Edge] = ()) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "InteractionGraph":
+        """Interaction graph of all two-qubit gates in ``circuit``."""
+        return cls(g.qubit_pair() for g in circuit.gates if g.is_two_qubit)
+
+    @classmethod
+    def from_gates(cls, gates: Iterable[Gate]) -> "InteractionGraph":
+        """Interaction graph of an explicit gate collection."""
+        return cls(g.qubit_pair() for g in gates if g.is_two_qubit)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Insert the undirected edge (a, b); idempotent."""
+        a, b = normalize_edge(a, b)
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    def add_node(self, a: int) -> None:
+        """Ensure node ``a`` exists even if isolated."""
+        self._adj.setdefault(a, set())
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._adj)
+
+    @property
+    def edges(self) -> List[Edge]:
+        return sorted(
+            (a, b) for a, nbrs in self._adj.items() for b in nbrs if a < b
+        )
+
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adj.get(a, ())
+
+    def neighbors(self, a: int) -> FrozenSet[int]:
+        """The paper's ``Neighbor(q, GI)``."""
+        return frozenset(self._adj.get(a, ()))
+
+    def degree(self, a: int) -> int:
+        return len(self._adj.get(a, ()))
+
+    def degree_sequence(self) -> List[int]:
+        """Node degrees, descending — the VF2 pruning key."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def nodes_with_degree_at_least(self, k: int) -> List[int]:
+        """Nodes of degree >= k — the Lemma 1 counting sets S1/S2."""
+        return sorted(a for a, nbrs in self._adj.items() if len(nbrs) >= k)
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components as node sets."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            while stack:
+                cur = stack.pop()
+                for nxt in self._adj[cur]:
+                    if nxt not in component:
+                        component.add(nxt)
+                        stack.append(nxt)
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def copy(self) -> "InteractionGraph":
+        return InteractionGraph(self.edges)
+
+    def subgraph(self, nodes: Sequence[int]) -> "InteractionGraph":
+        """Induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        graph = InteractionGraph(
+            (a, b) for a, b in self.edges if a in keep and b in keep
+        )
+        for node in keep & set(self._adj):
+            graph.add_node(node)
+        return graph
+
+    def relabeled(self, mapping: Dict[int, int]) -> "InteractionGraph":
+        """Graph with every node ``v`` renamed to ``mapping[v]``."""
+        graph = InteractionGraph(
+            (mapping[a], mapping[b]) for a, b in self.edges
+        )
+        for node in self._adj:
+            graph.add_node(mapping[node])
+        return graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InteractionGraph):
+            return NotImplemented
+        return dict(self._adj) == dict(other._adj)
+
+    def __repr__(self) -> str:
+        return (f"InteractionGraph(nodes={self.num_nodes()}, "
+                f"edges={self.num_edges()})")
+
+
+def interaction_edges(pairs: Iterable[Edge]) -> List[Edge]:
+    """Deduplicated, canonical edge list from raw qubit pairs."""
+    return sorted({normalize_edge(a, b) for a, b in pairs})

@@ -1,0 +1,103 @@
+"""Circuit cost metrics beyond SWAP count.
+
+The paper's motivation: inserted SWAPs "increase circuit size and depth,
+reducing overall fidelity".  This module quantifies that chain — gate
+counts, depth overhead of a transpilation, and a standard multiplicative
+fidelity estimate under a simple depolarizing error model — so evaluations
+can report the *consequences* of the SWAP-count gaps, not just the gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Per-gate error rates (defaults are typical published device specs)."""
+
+    one_qubit_error: float = 1e-4
+    two_qubit_error: float = 1e-2
+    swap_as_three_cx: bool = True  # a SWAP compiles to three CX gates
+
+    def gate_success(self, num_qubits: int, is_swap: bool) -> float:
+        if num_qubits == 1:
+            return 1.0 - self.one_qubit_error
+        per_cx = 1.0 - self.two_qubit_error
+        if is_swap and self.swap_as_three_cx:
+            return per_cx ** 3
+        return per_cx
+
+
+@dataclass(frozen=True)
+class TranspilationMetrics:
+    """Cost summary of one transpiled circuit versus its source."""
+
+    two_qubit_gates: int
+    swap_gates: int
+    total_cx_equivalent: int  # 2q gates with SWAP = 3 CX
+    depth: int
+    depth_overhead: float  # transpiled depth / original depth
+    gate_overhead: float  # CX-equivalents / original 2q gates
+    estimated_fidelity: float
+    log_fidelity: float
+
+
+def estimated_fidelity(circuit: QuantumCircuit,
+                       model: Optional[ErrorModel] = None) -> float:
+    """Multiplicative success-probability estimate of a circuit."""
+    model = model or ErrorModel()
+    log_total = 0.0
+    for gate in circuit.gates:
+        success = model.gate_success(gate.num_qubits, gate.is_swap)
+        log_total += math.log(success)
+    return math.exp(log_total)
+
+
+def cx_equivalent_count(circuit: QuantumCircuit,
+                        swap_as_three_cx: bool = True) -> int:
+    """Two-qubit gate count with SWAPs expanded to three CX gates."""
+    total = 0
+    for gate in circuit.gates:
+        if not gate.is_two_qubit:
+            continue
+        total += 3 if (gate.is_swap and swap_as_three_cx) else 1
+    return total
+
+
+def transpilation_metrics(original: QuantumCircuit,
+                          transpiled: QuantumCircuit,
+                          model: Optional[ErrorModel] = None
+                          ) -> TranspilationMetrics:
+    """Compare a transpiled circuit against its source circuit."""
+    model = model or ErrorModel()
+    fidelity = estimated_fidelity(transpiled, model)
+    original_depth = max(original.depth(), 1)
+    original_two_qubit = max(original.num_two_qubit_gates(), 1)
+    cx_equiv = cx_equivalent_count(transpiled, model.swap_as_three_cx)
+    return TranspilationMetrics(
+        two_qubit_gates=transpiled.num_two_qubit_gates(),
+        swap_gates=transpiled.swap_count(),
+        total_cx_equivalent=cx_equiv,
+        depth=transpiled.depth(),
+        depth_overhead=transpiled.depth() / original_depth,
+        gate_overhead=cx_equiv / original_two_qubit,
+        estimated_fidelity=fidelity,
+        log_fidelity=math.log(fidelity) if fidelity > 0 else float("-inf"),
+    )
+
+
+def fidelity_gap(optimal_swaps: int, observed_swaps: int,
+                 model: Optional[ErrorModel] = None) -> float:
+    """Fidelity ratio lost purely to excess SWAPs.
+
+    Returns ``F_observed / F_optimal`` considering only the SWAP overhead
+    difference — the physical price of the paper's optimality gap.
+    """
+    model = model or ErrorModel()
+    per_swap = model.gate_success(2, is_swap=True)
+    return per_swap ** max(0, observed_swaps - optimal_swaps)

@@ -1,0 +1,119 @@
+"""OpenQASM 2.0 serialization.
+
+QUBIKOS suites are distributed as QASM files in the original work (the format
+every QLS tool consumes), so the reproduction ships a small, dependency-free
+reader/writer covering the gate set in :mod:`repro.circuit.gates`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Tuple
+
+from .circuit import CircuitError, QuantumCircuit
+from .gates import GATE_PARAM_COUNTS, ONE_QUBIT_GATES, TWO_QUBIT_GATES, Gate
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+_GATE_LINE = re.compile(
+    r"^\s*(?P<name>[a-z][a-z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]+);\s*$"
+)
+_QREG_LINE = re.compile(r"^\s*qreg\s+(?P<name>[a-z][a-z0-9_]*)\s*\[(?P<size>\d+)\]\s*;\s*$")
+_ARG = re.compile(r"^(?P<reg>[a-z][a-z0-9_]*)\s*\[(?P<idx>\d+)\]$")
+
+
+class QasmError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /)."""
+    text = text.strip()
+    if not re.fullmatch(r"[0-9pi+\-*/. ()e]*", text):
+        raise QasmError(f"unsupported parameter expression: {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, {"pi": math.pi}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate parameter {text!r}") from exc
+
+
+def dumps(circuit: QuantumCircuit, register: str = "q") -> str:
+    """Serialize ``circuit`` to an OpenQASM 2.0 string."""
+    lines = [_HEADER.rstrip("\n"), f"qreg {register}[{circuit.num_qubits}];"]
+    for gate in circuit.gates:
+        if gate.name not in ONE_QUBIT_GATES and gate.name not in TWO_QUBIT_GATES:
+            raise QasmError(f"gate {gate.name!r} has no QASM form")
+        args = ", ".join(f"{register}[{q}]" for q in gate.qubits)
+        if gate.params:
+            params = ", ".join(repr(p) for p in gate.params)
+            lines.append(f"{gate.name}({params}) {args};")
+        else:
+            lines.append(f"{gate.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string into a :class:`QuantumCircuit`.
+
+    Supports a single quantum register and the qelib1 gate subset used by
+    this project.  ``barrier``/``measure``/``creg`` lines are ignored.
+    """
+    num_qubits = None
+    register = None
+    gates: List[Gate] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include", "creg", "barrier", "measure")):
+            continue
+        qreg = _QREG_LINE.match(line)
+        if qreg:
+            if num_qubits is not None:
+                raise QasmError("multiple qreg declarations are not supported")
+            register = qreg.group("name")
+            num_qubits = int(qreg.group("size"))
+            continue
+        match = _GATE_LINE.match(line)
+        if not match:
+            raise QasmError(f"cannot parse line: {raw_line!r}")
+        name = match.group("name")
+        if name not in ONE_QUBIT_GATES and name not in TWO_QUBIT_GATES:
+            raise QasmError(f"unknown gate {name!r}")
+        params: Tuple[float, ...] = ()
+        if match.group("params") is not None:
+            params = tuple(
+                _eval_param(p) for p in match.group("params").split(",") if p.strip()
+            )
+        expected = GATE_PARAM_COUNTS.get(name, 0)
+        if len(params) != expected:
+            raise QasmError(f"gate {name!r} expects {expected} params, got {len(params)}")
+        qubits = []
+        for arg in match.group("args").split(","):
+            arg_match = _ARG.match(arg.strip())
+            if not arg_match:
+                raise QasmError(f"cannot parse operand {arg.strip()!r}")
+            if register is not None and arg_match.group("reg") != register:
+                raise QasmError(f"unknown register {arg_match.group('reg')!r}")
+            qubits.append(int(arg_match.group("idx")))
+        gates.append(Gate(name, tuple(qubits), params))
+    if num_qubits is None:
+        raise QasmError("missing qreg declaration")
+    try:
+        return QuantumCircuit(num_qubits, gates)
+    except CircuitError as exc:
+        raise QasmError(str(exc)) from exc
+
+
+def dump(circuit: QuantumCircuit, path, register: str = "q") -> None:
+    """Write ``circuit`` to ``path`` as OpenQASM 2.0."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit, register))
+
+
+def load(path) -> QuantumCircuit:
+    """Read an OpenQASM 2.0 file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,55 @@
+"""Evaluation harness, statistics, and paper-style reporting."""
+
+from .harness import EvaluationRun, RunRecord, evaluate
+from .stats import (
+    RatioPoint,
+    architecture_gap,
+    best_tool_by_architecture,
+    geometric_mean,
+    headline_gaps,
+    mean,
+    ratio_points,
+    size_growth,
+    sparse_dense_contrast,
+)
+from .plots import bootstrap_mean_ci, ratio_table_with_ci, series_plot
+from .runtime import (
+    RuntimeQualityPoint,
+    pareto_front,
+    runtime_quality_points,
+    runtime_quality_table,
+)
+from .report import (
+    architecture_growth_table,
+    figure4_table,
+    full_report,
+    headline_table,
+    validity_summary,
+)
+
+__all__ = [
+    "EvaluationRun",
+    "RunRecord",
+    "evaluate",
+    "RatioPoint",
+    "architecture_gap",
+    "best_tool_by_architecture",
+    "geometric_mean",
+    "headline_gaps",
+    "mean",
+    "ratio_points",
+    "size_growth",
+    "sparse_dense_contrast",
+    "architecture_growth_table",
+    "figure4_table",
+    "full_report",
+    "headline_table",
+    "validity_summary",
+    "bootstrap_mean_ci",
+    "ratio_table_with_ci",
+    "series_plot",
+    "RuntimeQualityPoint",
+    "pareto_front",
+    "runtime_quality_points",
+    "runtime_quality_table",
+]

@@ -1,0 +1,196 @@
+"""Command-line driver regenerating every table and figure of the paper.
+
+Usage::
+
+    python -m repro.evalx.experiments e1         # optimality study (IV-A)
+    python -m repro.evalx.experiments fig4a      # Figure 4(a) Aspen-4
+    python -m repro.evalx.experiments fig4b      # Figure 4(b) Sycamore
+    python -m repro.evalx.experiments fig4c      # Figure 4(c) Rochester
+    python -m repro.evalx.experiments fig4d      # Figure 4(d) Eagle
+    python -m repro.evalx.experiments headline   # abstract's per-tool gaps
+    python -m repro.evalx.experiments case-study # Section IV-C / Figure 5
+    python -m repro.evalx.experiments decay-ablation
+    python -m repro.evalx.experiments router     # router-only evaluation
+
+Defaults are laptop-scale; ``--per-point`` / ``--gate-scale`` /
+``--sabre-trials`` reach toward paper scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..arch.library import PAPER_ARCHITECTURES, get_architecture
+from ..qls import ExactSolver, paper_tools
+from ..qubikos.generator import generate
+from ..qubikos.suite import SuiteSpec, build_suite, evaluation_spec
+from ..qubikos.verify import verify_certificate
+from ..analysis.case_study import explain, find_suboptimal_case
+from ..analysis.lookahead_decay import render_sweep, sweep_lookahead_decay
+from .harness import evaluate
+from .report import figure4_table, full_report, headline_table, validity_summary
+
+_FIG4_ARCH = {
+    "fig4a": "aspen4",
+    "fig4b": "sycamore54",
+    "fig4c": "rochester53",
+    "fig4d": "eagle127",
+}
+
+
+def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True) -> dict:
+    """Optimality study: certify every instance; SAT-verify a subset."""
+    spec = SuiteSpec(
+        architectures=("aspen4", "grid3x3"),
+        swap_counts=(1, 2, 3, 4),
+        circuits_per_point=per_point,
+        gate_counts={"aspen4": 30, "grid3x3": 30},
+        ordering_mode="pruned",  # keeps instances near the paper's 30-gate cap
+    )
+    instances = build_suite(spec)
+    certified = sum(1 for inst in instances if verify_certificate(inst).valid)
+    sat_checked = 0
+    sat_agreed = 0
+    deadline = time.monotonic() + exact_budget_seconds
+    for instance in instances:
+        if time.monotonic() > deadline:
+            break
+        solver = ExactSolver(
+            max_swaps=instance.optimal_swaps,
+            time_limit=max(5.0, exact_budget_seconds / max(len(instances), 1)),
+        )
+        outcome = solver.solve(instance.circuit, instance.coupling())
+        if outcome.optimal_swaps is None:
+            continue
+        sat_checked += 1
+        if outcome.optimal_swaps == instance.optimal_swaps:
+            sat_agreed += 1
+    summary = {
+        "instances": len(instances),
+        "certificate_valid": certified,
+        "sat_checked": sat_checked,
+        "sat_agreed": sat_agreed,
+    }
+    if verbose:
+        print("Optimality study (Section IV-A)")
+        print(f"  instances generated:        {summary['instances']}")
+        print(f"  certificates valid:         {summary['certificate_valid']}")
+        print(f"  SAT-verified (subset):      {summary['sat_checked']}")
+        print(f"  SAT agreed with designed n: {summary['sat_agreed']}")
+        print("  (paper: all 400+400 circuits verified optimal by OLSQ2)")
+    return summary
+
+
+def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
+             seed: int, verbose: bool = True):
+    """One Figure 4 panel."""
+    spec = evaluation_spec(
+        circuits_per_point=per_point, architectures=[arch],
+        gate_scale=gate_scale, seed=seed,
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    run = evaluate(tools, instances)
+    if verbose:
+        print(figure4_table(run, arch, swap_counts=spec.swap_counts))
+        print()
+        print(validity_summary(run))
+    return run
+
+
+def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
+                 seed: int, architectures: Optional[Sequence[str]] = None,
+                 verbose: bool = True):
+    """All four panels + the abstract's aggregate table."""
+    archs = list(architectures or PAPER_ARCHITECTURES)
+    spec = evaluation_spec(
+        circuits_per_point=per_point, architectures=archs,
+        gate_scale=gate_scale, seed=seed,
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    run = evaluate(tools, instances)
+    if verbose:
+        print(full_report(run, archs))
+    return run
+
+
+def run_case_study(verbose: bool = True):
+    """Find and explain a suboptimal LightSABRE routing (Figure 5)."""
+    case = find_suboptimal_case(require_lookahead_cause=True)
+    if case is None:
+        print("no diverging case found in the scanned seeds")
+        return None
+    if verbose:
+        print(explain(case))
+    return case
+
+
+def run_decay_ablation(per_point: int, verbose: bool = True):
+    """Sweep the lookahead decay factor on Aspen-4 instances."""
+    coupling = get_architecture("aspen4")
+    instances = [
+        generate(coupling, num_swaps=n, num_two_qubit_gates=120, seed=300 + 10 * n + k)
+        for n in (2, 4) for k in range(per_point)
+    ]
+    points = sweep_lookahead_decay(instances, router_only=False)
+    if verbose:
+        print(render_sweep(points))
+    return points
+
+
+def run_router(per_point: int, gate_scale: float, sabre_trials: int,
+               seed: int, verbose: bool = True):
+    """Router-only evaluation from the known-optimal initial mapping."""
+    spec = evaluation_spec(
+        circuits_per_point=per_point, architectures=["aspen4", "sycamore54"],
+        gate_scale=gate_scale, seed=seed,
+    )
+    instances = build_suite(spec)
+    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    run = evaluate(tools, instances, router_only=True)
+    if verbose:
+        print("Router-only mode (optimal initial mapping supplied)")
+        print(full_report(run, ["aspen4", "sycamore54"]))
+    return run
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiment", choices=[
+        "e1", "fig4a", "fig4b", "fig4c", "fig4d", "headline",
+        "case-study", "decay-ablation", "router",
+    ])
+    parser.add_argument("--per-point", type=int, default=3,
+                        help="circuits per (arch, swap-count) point "
+                             "(paper: 100 for e1, 10 for fig4)")
+    parser.add_argument("--gate-scale", type=float, default=0.25,
+                        help="fraction of the paper's gate counts (paper: 1.0)")
+    parser.add_argument("--sabre-trials", type=int, default=8,
+                        help="LightSABRE trial count (paper: 1000)")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--exact-budget", type=float, default=120.0,
+                        help="e1: total seconds for SAT cross-checks")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "e1":
+        run_e1(args.per_point, args.exact_budget)
+    elif args.experiment in _FIG4_ARCH:
+        run_fig4(_FIG4_ARCH[args.experiment], args.per_point, args.gate_scale,
+                 args.sabre_trials, args.seed)
+    elif args.experiment == "headline":
+        run_headline(args.per_point, args.gate_scale, args.sabre_trials, args.seed)
+    elif args.experiment == "case-study":
+        run_case_study()
+    elif args.experiment == "decay-ablation":
+        run_decay_ablation(args.per_point)
+    elif args.experiment == "router":
+        run_router(args.per_point, args.gate_scale, args.sabre_trials, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Evaluation harness: run QLS tools over QUBIKOS suites and collect the
+paper's metric (SWAP ratio = average SWAPs / optimal SWAPs)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arch.library import get_architecture
+from ..qls.base import QLSResult, QLSTool
+from ..qls.validate import validate_transpiled
+from ..qubikos.instance import QubikosInstance
+
+
+@dataclass
+class RunRecord:
+    """One (tool, instance) measurement."""
+
+    tool: str
+    instance: str
+    architecture: str
+    optimal_swaps: int
+    observed_swaps: int
+    swap_ratio: float
+    runtime_seconds: float
+    valid: bool
+    router_only: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class EvaluationRun:
+    """All measurements from one harness invocation."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def for_tool(self, tool: str) -> List[RunRecord]:
+        return [r for r in self.records if r.tool == tool]
+
+    def tools(self) -> List[str]:
+        return sorted({r.tool for r in self.records})
+
+    def architectures(self) -> List[str]:
+        return sorted({r.architecture for r in self.records})
+
+    def filter(self, tool: Optional[str] = None, architecture: Optional[str] = None,
+               optimal_swaps: Optional[int] = None) -> List[RunRecord]:
+        out = self.records
+        if tool is not None:
+            out = [r for r in out if r.tool == tool]
+        if architecture is not None:
+            out = [r for r in out if r.architecture == architecture]
+        if optimal_swaps is not None:
+            out = [r for r in out if r.optimal_swaps == optimal_swaps]
+        return list(out)
+
+    def invalid_records(self) -> List[RunRecord]:
+        return [r for r in self.records if not r.valid]
+
+
+def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
+             router_only: bool = False,
+             validate: bool = True,
+             progress: Optional[Callable[[RunRecord], None]] = None
+             ) -> EvaluationRun:
+    """Run every tool on every instance.
+
+    ``router_only`` pins each tool to the instance's known-optimal initial
+    mapping (Section IV-C mode).  Results failing validation are recorded
+    with ``valid=False`` and excluded from ratio statistics downstream.
+    """
+    run = EvaluationRun()
+    instances = list(instances)
+    couplings = {
+        name: get_architecture(name)
+        for name in {inst.architecture for inst in instances}
+    }
+    for instance in instances:
+        coupling = couplings[instance.architecture]
+        pinned = instance.mapping() if router_only else None
+        for tool in tools:
+            start = time.perf_counter()
+            error = None
+            try:
+                result = tool.run(instance.circuit, coupling, initial_mapping=pinned)
+                observed = result.swap_count
+                ok = True
+                if validate:
+                    report = validate_transpiled(
+                        instance.circuit, result.circuit, coupling,
+                        result.initial_mapping,
+                    )
+                    ok = report.valid
+                    if ok and report.swap_count != observed:
+                        ok = False
+                        error = (
+                            f"tool reported {observed} swaps; replay counted "
+                            f"{report.swap_count}"
+                        )
+                    elif not ok:
+                        error = report.error
+            except Exception as exc:  # noqa: BLE001 - harness isolates tools
+                observed = -1
+                ok = False
+                error = f"{type(exc).__name__}: {exc}"
+            elapsed = time.perf_counter() - start
+            record = RunRecord(
+                tool=tool.name,
+                instance=instance.name,
+                architecture=instance.architecture,
+                optimal_swaps=instance.optimal_swaps,
+                observed_swaps=observed,
+                swap_ratio=(observed / instance.optimal_swaps) if ok else float("nan"),
+                runtime_seconds=elapsed,
+                valid=ok,
+                router_only=router_only,
+                error=error,
+            )
+            run.records.append(record)
+            if progress is not None:
+                progress(record)
+    return run

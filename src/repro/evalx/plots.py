@@ -1,0 +1,136 @@
+"""Text-mode plotting of Figure 4 series.
+
+The paper's Figure 4 shows SWAP ratio versus optimal SWAP count, one line
+per tool, on a log-ish scale.  ``series_plot`` renders the same shape as an
+ASCII chart so the reproduction is legible in any terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import EvaluationRun
+from .stats import ratio_points
+
+_MARKERS = "ox+*#@%&"
+
+
+def series_plot(run: EvaluationRun, architecture: str,
+                width: int = 60, height: int = 16,
+                log_scale: bool = True) -> str:
+    """ASCII rendition of one Figure 4 panel (ratio vs optimal SWAPs)."""
+    points = [p for p in ratio_points(run) if p.architecture == architecture]
+    if not points:
+        return f"(no data for {architecture})"
+    tools = sorted({p.tool for p in points})
+    xs = sorted({p.optimal_swaps for p in points})
+    series: Dict[str, List[Tuple[int, float]]] = {
+        tool: sorted(
+            (p.optimal_swaps, p.mean_ratio)
+            for p in points if p.tool == tool
+        )
+        for tool in tools
+    }
+    values = [v for pts in series.values() for _, v in pts if v > 0]
+    if not values:
+        return f"(no valid ratios for {architecture})"
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_scale else v
+
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_of = {x: int(round(i * (width - 1) / max(len(xs) - 1, 1)))
+            for i, x in enumerate(xs)}
+
+    def y_of(v: float) -> int:
+        frac = (transform(v) - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for t_index, tool in enumerate(tools):
+        marker = _MARKERS[t_index % len(_MARKERS)]
+        for x, v in series[tool]:
+            if v <= 0 or math.isnan(v):
+                continue
+            row, col = y_of(v), x_of[x]
+            grid[row][col] = marker if grid[row][col] == " " else "!"
+
+    unit = "log10(ratio)" if log_scale else "ratio"
+    lines = [f"SWAP-ratio series on {architecture} ({unit} axis)"]
+    for r, row in enumerate(grid):
+        axis_value = hi - (hi - lo) * r / (height - 1)
+        label = f"{10 ** axis_value:8.1f}" if log_scale else f"{axis_value:8.1f}"
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    tick_row = [" "] * width
+    for x in xs:
+        col = x_of[x]
+        for i, ch in enumerate(str(x)):
+            if col + i < width:
+                tick_row[col + i] = ch
+    lines.append(" " * 10 + "".join(tick_row) + "   (optimal SWAPs)")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={tool}" for i, tool in enumerate(tools)
+    )
+    lines.append(f"legend: {legend}  (!=overlap)")
+    return "\n".join(lines)
+
+
+def bootstrap_mean_ci(values: Sequence[float], confidence: float = 0.95,
+                      resamples: int = 2000,
+                      seed: int = 0) -> Tuple[float, float, float]:
+    """(mean, lower, upper) bootstrap confidence interval for the mean.
+
+    The paper reports bare means over 10 circuits/point; confidence
+    intervals make the laptop-scale reproduction's uncertainty explicit.
+    """
+    import random
+
+    clean = [v for v in values if not math.isnan(v)]
+    if not clean:
+        return float("nan"), float("nan"), float("nan")
+    mean = sum(clean) / len(clean)
+    if len(clean) == 1:
+        return mean, mean, mean
+    rng = random.Random(seed)
+    resampled = []
+    for _ in range(resamples):
+        sample = [clean[rng.randrange(len(clean))] for _ in clean]
+        resampled.append(sum(sample) / len(sample))
+    resampled.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lower = resampled[int(alpha * resamples)]
+    upper = resampled[min(int((1.0 - alpha) * resamples), resamples - 1)]
+    return mean, lower, upper
+
+
+def ratio_table_with_ci(run: EvaluationRun, architecture: str) -> str:
+    """Figure 4 panel as a table with bootstrap CIs per cell."""
+    records = [
+        r for r in run.records
+        if r.architecture == architecture and r.valid
+    ]
+    if not records:
+        return f"(no data for {architecture})"
+    tools = sorted({r.tool for r in records})
+    swap_counts = sorted({r.optimal_swaps for r in records})
+    lines = [f"SWAP ratios on {architecture} with 95% bootstrap CIs"]
+    for tool in tools:
+        for n in swap_counts:
+            ratios = [
+                r.swap_ratio for r in records
+                if r.tool == tool and r.optimal_swaps == n
+            ]
+            if not ratios:
+                continue
+            mean, lo, hi = bootstrap_mean_ci(ratios)
+            lines.append(
+                f"  {tool:<12s} n={n:<3d} {mean:8.2f}x  [{lo:8.2f}, {hi:8.2f}]"
+                f"  ({len(ratios)} circuits)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Plain-text rendering of evaluation results in the paper's shapes:
+Figure 4 series (ratio vs optimal SWAP count, per architecture) and the
+headline gap table."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .harness import EvaluationRun
+from .stats import (
+    RatioPoint,
+    architecture_gap,
+    best_tool_by_architecture,
+    headline_gaps,
+    ratio_points,
+    sparse_dense_contrast,
+)
+
+
+def _format_ratio(value: float) -> str:
+    if math.isnan(value):
+        return "   n/a"
+    return f"{value:6.2f}"
+
+
+def figure4_table(run: EvaluationRun, architecture: str,
+                  swap_counts: Optional[Sequence[int]] = None) -> str:
+    """One panel of Figure 4: rows = tools, columns = optimal SWAP counts."""
+    points = [p for p in ratio_points(run) if p.architecture == architecture]
+    if not points:
+        return f"(no data for {architecture})"
+    counts = sorted(swap_counts or {p.optimal_swaps for p in points})
+    tools = sorted({p.tool for p in points})
+    lookup: Dict[tuple, RatioPoint] = {
+        (p.tool, p.optimal_swaps): p for p in points
+    }
+    header = f"SWAP ratio on {architecture} (mean over circuits; 1.00 = optimal)"
+    lines = [header, "-" * len(header)]
+    lines.append("tool        " + "".join(f"  n={n:<5d}" for n in counts))
+    for tool in tools:
+        row = f"{tool:<12s}"
+        for n in counts:
+            point = lookup.get((tool, n))
+            row += "  " + (_format_ratio(point.mean_ratio) if point else "   n/a")
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def headline_table(run: EvaluationRun) -> str:
+    """The abstract's per-tool average optimality gaps."""
+    gaps = headline_gaps(run)
+    lines = ["Average optimality gap per tool (paper: LightSABRE 63x, "
+             "ML-QLS 117x, QMAP 250x, t|ket> 330x at paper scale)",
+             "-" * 60]
+    for tool, gap in sorted(gaps.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {tool:<12s} {_format_ratio(gap)}x")
+    return "\n".join(lines)
+
+
+def architecture_growth_table(run: EvaluationRun,
+                              order: Sequence[str]) -> str:
+    """Gap growth with architecture size for each tool."""
+    lines = ["Optimality gap by architecture (size-ordered)", "-" * 46]
+    header = "tool        " + "".join(f"  {arch[:10]:>10s}" for arch in order)
+    lines.append(header)
+    for tool in run.tools():
+        row = f"{tool:<12s}"
+        for arch in order:
+            row += "  " + f"{_format_ratio(architecture_gap(run, tool, arch)):>10s}"
+        lines.append(row)
+    winners = best_tool_by_architecture(run)
+    lines.append("")
+    for arch in order:
+        if arch in winners:
+            lines.append(f"  best on {arch}: {winners[arch]}")
+    contrast_tool = min(
+        headline_gaps(run), key=lambda t: headline_gaps(run)[t], default=None
+    )
+    if contrast_tool:
+        contrast = sparse_dense_contrast(run, contrast_tool)
+        if contrast is not None:
+            lines.append(
+                f"  rochester/sycamore gap ratio for {contrast_tool}: "
+                f"{contrast:.2f}x (paper: ~6-7x)"
+            )
+    return "\n".join(lines)
+
+
+def validity_summary(run: EvaluationRun) -> str:
+    """Sanity line: every result must replay-validate."""
+    bad = run.invalid_records()
+    total = len(run.records)
+    if not bad:
+        return f"all {total} tool results replay-validated"
+    lines = [f"{len(bad)}/{total} results FAILED validation:"]
+    for record in bad[:10]:
+        lines.append(f"  {record.tool} on {record.instance}: {record.error}")
+    return "\n".join(lines)
+
+
+def full_report(run: EvaluationRun, architecture_order: Sequence[str]) -> str:
+    """Everything: per-architecture panels + headline + growth tables."""
+    parts: List[str] = []
+    for arch in architecture_order:
+        if arch in run.architectures():
+            parts.append(figure4_table(run, arch))
+    parts.append(headline_table(run))
+    parts.append(architecture_growth_table(
+        run, [a for a in architecture_order if a in run.architectures()]
+    ))
+    parts.append(validity_summary(run))
+    return "\n\n".join(parts)

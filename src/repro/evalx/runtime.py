@@ -1,0 +1,81 @@
+"""Runtime-versus-quality reporting.
+
+Section I of the paper: "While there is a clear runtime advantage of
+heuristic algorithms over exact methods, the trade-off in solution quality
+remains uncertain due to the lack of benchmarks with known optimal SWAP
+counts."  QUBIKOS supplies the quality axis; the harness already records
+wall-clock per run, so this module renders the two together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .harness import EvaluationRun
+from .stats import mean
+
+
+@dataclass(frozen=True)
+class RuntimeQualityPoint:
+    """One tool's aggregate position in the runtime/quality plane."""
+
+    tool: str
+    mean_ratio: float
+    mean_runtime_seconds: float
+    total_runtime_seconds: float
+    runs: int
+
+
+def runtime_quality_points(run: EvaluationRun) -> List[RuntimeQualityPoint]:
+    """Aggregate (quality, runtime) per tool over valid records."""
+    points = []
+    for tool in run.tools():
+        records = [r for r in run.for_tool(tool) if r.valid]
+        if not records:
+            continue
+        runtimes = [r.runtime_seconds for r in records]
+        points.append(RuntimeQualityPoint(
+            tool=tool,
+            mean_ratio=mean([r.swap_ratio for r in records]),
+            mean_runtime_seconds=sum(runtimes) / len(runtimes),
+            total_runtime_seconds=sum(runtimes),
+            runs=len(records),
+        ))
+    return sorted(points, key=lambda p: p.mean_ratio)
+
+
+def runtime_quality_table(run: EvaluationRun) -> str:
+    """Text table: SWAP ratio vs seconds per run, per tool."""
+    points = runtime_quality_points(run)
+    if not points:
+        return "(no valid records)"
+    lines = [
+        "Runtime vs quality (the Section I trade-off, measured)",
+        "-" * 58,
+        f"{'tool':<14s} {'mean ratio':>11s} {'s/run':>9s} {'runs':>6s}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.tool:<14s} {p.mean_ratio:10.2f}x {p.mean_runtime_seconds:9.3f}"
+            f" {p.runs:6d}"
+        )
+    return "\n".join(lines)
+
+
+def pareto_front(points: Sequence[RuntimeQualityPoint]
+                 ) -> List[RuntimeQualityPoint]:
+    """Tools not dominated in both quality and speed."""
+    front = []
+    for p in points:
+        dominated = any(
+            (q.mean_ratio <= p.mean_ratio
+             and q.mean_runtime_seconds <= p.mean_runtime_seconds
+             and (q.mean_ratio < p.mean_ratio
+                  or q.mean_runtime_seconds < p.mean_runtime_seconds))
+            for q in points
+        )
+        if not dominated and not math.isnan(p.mean_ratio):
+            front.append(p)
+    return sorted(front, key=lambda p: p.mean_ratio)

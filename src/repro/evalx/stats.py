@@ -1,0 +1,109 @@
+"""Aggregation of harness records into the paper's reported quantities."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import EvaluationRun, RunRecord
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """Mean SWAP ratio at one (tool, architecture, optimal-swaps) point."""
+
+    tool: str
+    architecture: str
+    optimal_swaps: int
+    mean_ratio: float
+    min_ratio: float
+    max_ratio: float
+    samples: int
+
+
+def mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if not math.isnan(v)]
+    return sum(vals) / len(vals) if vals else float("nan")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if not math.isnan(v) and v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ratio_points(run: EvaluationRun) -> List[RatioPoint]:
+    """One aggregate per (tool, architecture, optimal_swaps) — Figure 4 data."""
+    buckets: Dict[Tuple[str, str, int], List[float]] = {}
+    for record in run.records:
+        if not record.valid:
+            continue
+        key = (record.tool, record.architecture, record.optimal_swaps)
+        buckets.setdefault(key, []).append(record.swap_ratio)
+    points = []
+    for (tool, arch, swaps), ratios in sorted(buckets.items()):
+        points.append(RatioPoint(
+            tool=tool, architecture=arch, optimal_swaps=swaps,
+            mean_ratio=mean(ratios), min_ratio=min(ratios),
+            max_ratio=max(ratios), samples=len(ratios),
+        ))
+    return points
+
+
+def architecture_gap(run: EvaluationRun, tool: str,
+                     architecture: str) -> float:
+    """Mean SWAP ratio of a tool on one architecture (across swap counts)."""
+    ratios = [
+        r.swap_ratio for r in run.filter(tool=tool, architecture=architecture)
+        if r.valid
+    ]
+    return mean(ratios)
+
+
+def headline_gaps(run: EvaluationRun) -> Dict[str, float]:
+    """The abstract's per-tool average optimality gaps (across everything)."""
+    out = {}
+    for tool in run.tools():
+        ratios = [r.swap_ratio for r in run.for_tool(tool) if r.valid]
+        out[tool] = mean(ratios)
+    return out
+
+
+def best_tool_by_architecture(run: EvaluationRun) -> Dict[str, str]:
+    """Which tool wins on each architecture (paper: ML-QLS on Aspen-4 and
+    Rochester, LightSABRE elsewhere — exact winners vary by reimplementation)."""
+    winners = {}
+    for arch in run.architectures():
+        best: Optional[Tuple[float, str]] = None
+        for tool in run.tools():
+            gap = architecture_gap(run, tool, arch)
+            if math.isnan(gap):
+                continue
+            if best is None or gap < best[0]:
+                best = (gap, tool)
+        if best is not None:
+            winners[arch] = best[1]
+    return winners
+
+
+def size_growth(run: EvaluationRun, tool: str,
+                architecture_order: Sequence[str]) -> List[Tuple[str, float]]:
+    """Gap per architecture in increasing-size order (paper: 1x -> 234x)."""
+    return [
+        (arch, architecture_gap(run, tool, arch))
+        for arch in architecture_order
+        if not math.isnan(architecture_gap(run, tool, arch))
+    ]
+
+
+def sparse_dense_contrast(run: EvaluationRun, tool: str,
+                          sparse: str = "rochester53",
+                          dense: str = "sycamore54") -> Optional[float]:
+    """Rochester-vs-Sycamore gap ratio (paper reports ~6-7x)."""
+    sparse_gap = architecture_gap(run, tool, sparse)
+    dense_gap = architecture_gap(run, tool, dense)
+    if math.isnan(sparse_gap) or math.isnan(dense_gap) or dense_gap == 0:
+        return None
+    return sparse_gap / dense_gap

@@ -1,0 +1,40 @@
+"""Graph algorithms: VF2 subgraph isomorphism, BFS orders, symmetry."""
+
+from .vf2 import (
+    SubgraphMatcher,
+    degree_sequence_embeddable,
+    is_subgraph_embeddable,
+    subgraph_monomorphism,
+)
+from .search import (
+    bfs_edge_order,
+    connected_components,
+    connecting_edges,
+    is_connected,
+)
+from .automorphism import count_automorphisms, orbit_count, refine_colors, symmetry_score
+from .token_swap import (
+    TokenSwapError,
+    apply_swaps,
+    routing_via_token_swapping,
+    token_swap_sequence,
+)
+
+__all__ = [
+    "SubgraphMatcher",
+    "degree_sequence_embeddable",
+    "is_subgraph_embeddable",
+    "subgraph_monomorphism",
+    "bfs_edge_order",
+    "connected_components",
+    "connecting_edges",
+    "is_connected",
+    "count_automorphisms",
+    "orbit_count",
+    "refine_colors",
+    "symmetry_score",
+    "TokenSwapError",
+    "apply_swaps",
+    "routing_via_token_swapping",
+    "token_swap_sequence",
+]

@@ -1,0 +1,161 @@
+"""Graph traversal helpers used by the QUBIKOS backbone construction.
+
+Algorithm 2 of the paper orders a section's gates by the *edge visit order*
+of a BFS over the section's interaction graph, and requires that graph to be
+connected (adding coupling-edge gates to connect components when it is not).
+Both primitives live here, expressed over plain edge lists so the circuit and
+physical layers can share them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def _adjacency(edges: Iterable[Edge]) -> Dict[int, Set[int]]:
+    adj: Dict[int, Set[int]] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    return adj
+
+
+def bfs_edge_order(edges: Sequence[Edge], sources: Sequence[int],
+                   skip: Optional[Set[Edge]] = None,
+                   tree_only: bool = False) -> List[Edge]:
+    """Edges of the graph in BFS discovery order from ``sources``.
+
+    Every edge is emitted exactly once (canonical tuple form).  The defining
+    property (used by Lemma 2): when edge ``(u, v)`` is emitted, at least one
+    endpoint already appeared in an earlier emitted edge or is a source, so
+    consecutive emissions chain through shared nodes.
+
+    ``skip`` drops specific edges (the paper ignores the special gate's edge
+    while ordering the rest of the section).  ``tree_only`` restricts the
+    output to BFS tree edges — those discovering a new vertex — which still
+    touch every reachable vertex.
+    """
+    skip = skip or set()
+    normalized_skip = {tuple(sorted(e)) for e in skip}
+    adj = _adjacency(edges)
+    order: List[Edge] = []
+    emitted: Set[Tuple[int, int]] = set()
+    visited: Set[int] = set()
+    queue = deque()
+    for source in sources:
+        if source not in visited:
+            visited.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        for nxt in sorted(adj.get(node, ())):
+            key = tuple(sorted((node, nxt)))
+            if key in normalized_skip or key in emitted:
+                continue
+            discovers = nxt not in visited
+            if tree_only and not discovers:
+                continue
+            emitted.add(key)
+            order.append((key[0], key[1]))
+            if discovers:
+                visited.add(nxt)
+                queue.append(nxt)
+    # Edges in components unreachable from the sources are NOT emitted; the
+    # caller is responsible for connecting the graph first.
+    return order
+
+
+def connected_components(edges: Iterable[Edge],
+                         nodes: Optional[Iterable[int]] = None) -> List[Set[int]]:
+    """Connected components over ``edges`` (plus isolated ``nodes``)."""
+    adj = _adjacency(edges)
+    if nodes is not None:
+        for node in nodes:
+            adj.setdefault(node, set())
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in sorted(adj):
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nxt in adj[cur]:
+                if nxt not in component:
+                    component.add(nxt)
+                    stack.append(nxt)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(edges: Iterable[Edge],
+                 nodes: Optional[Iterable[int]] = None) -> bool:
+    """True when the graph over ``edges`` (+ isolated nodes) is connected."""
+    return len(connected_components(edges, nodes)) <= 1
+
+
+def connecting_edges(components: List[Set[int]], host_adjacency,
+                     host_distance) -> List[Edge]:
+    """Edges of the host graph stitching ``components`` into one component.
+
+    ``host_adjacency(v)`` returns the host neighbors of ``v``;
+    ``host_distance(a, b)`` the host shortest-path hop count.  Components are
+    merged greedily: repeatedly join the two closest components along a host
+    shortest path, emitting the path's edges.  All returned edges are host
+    edges, so the QUBIKOS generator can realize them as executable gates.
+    """
+    if len(components) <= 1:
+        return []
+    groups = [set(c) for c in components]
+    added: List[Edge] = []
+    while len(groups) > 1:
+        base = groups[0]
+        # Closest other component by host distance.
+        best = None
+        for gi in range(1, len(groups)):
+            for a in base:
+                for b in groups[gi]:
+                    d = host_distance(a, b)
+                    if best is None or d < best[0]:
+                        best = (d, a, b, gi)
+        assert best is not None
+        _, a, b, gi = best
+        path = _host_shortest_path(a, b, host_adjacency)
+        for u, v in zip(path, path[1:]):
+            added.append((u, v) if u < v else (v, u))
+        base |= groups[gi]
+        base.update(path)
+        del groups[gi]
+    # Deduplicate while keeping order.
+    seen: Set[Edge] = set()
+    unique = []
+    for edge in added:
+        if edge not in seen:
+            seen.add(edge)
+            unique.append(edge)
+    return unique
+
+
+def _host_shortest_path(a: int, b: int, host_adjacency) -> List[int]:
+    if a == b:
+        return [a]
+    parent = {a: a}
+    queue = deque([a])
+    while queue:
+        cur = queue.popleft()
+        for nxt in host_adjacency(cur):
+            if nxt in parent:
+                continue
+            parent[nxt] = cur
+            if nxt == b:
+                path = [b]
+                while path[-1] != a:
+                    path.append(parent[path[-1]])
+                return path[::-1]
+            queue.append(nxt)
+    raise ValueError(f"no host path between {a} and {b}")

@@ -1,0 +1,195 @@
+"""Approximate token swapping on graphs.
+
+Token swapping: every vertex of a graph holds a token; a SWAP exchanges the
+tokens on adjacent vertices; reach a target token placement with few SWAPs.
+It is the routing substrate of the "qubit allocation = subgraph isomorphism
++ token swapping" school (Siraichi et al., OOPSLA 2019 — the paper's
+reference [15]) and of layout-permutation passes in production compilers.
+
+The implementation combines two phases:
+
+1. **Happy-swap greedy** (from Miltzow et al., ESA 2016): while some swap
+   moves *both* participating tokens strictly closer to their targets (a
+   free slot counts as willing), perform it.  Each happy swap decreases the
+   total distance potential by >= 1, so this phase terminates on its own.
+2. **Spanning-tree leaf elimination** (the classic token-sorting-on-trees
+   routine): build a BFS spanning tree, repeatedly take a leaf, route the
+   token destined for it along the unique tree path, then delete the leaf.
+   Every leaf is finalized exactly once, giving unconditional termination
+   and an O(n * diameter) swap bound.
+
+The greedy phase supplies most of the quality (it solves the easy bulk
+near-optimally); the tree phase guarantees completion on the residue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class TokenSwapError(RuntimeError):
+    """Raised when token swapping cannot complete (disconnected targets)."""
+
+
+def token_swap_sequence(targets: Dict[int, int],
+                        neighbors: Callable[[int], Sequence[int]],
+                        distance: Callable[[int, int], int],
+                        max_iterations: Optional[int] = None) -> List[Edge]:
+    """SWAP sequence sending the token on vertex ``v`` to ``targets[v]``.
+
+    ``targets`` maps vertices to the destination of the token they
+    currently hold; destinations must be pairwise distinct.  Vertices not
+    mentioned hold "don't care" tokens that may be displaced freely.
+    """
+    token_at: Dict[int, Optional[int]] = dict(targets)
+    if len(set(token_at.values())) != len(token_at):
+        raise TokenSwapError("two tokens share a target vertex")
+
+    swaps: List[Edge] = []
+
+    def apply(a: int, b: int) -> None:
+        ta, tb = token_at.get(a), token_at.get(b)
+        if tb is None:
+            token_at.pop(a, None)
+        else:
+            token_at[a] = tb
+        if ta is None:
+            token_at.pop(b, None)
+        else:
+            token_at[b] = ta
+        swaps.append((a, b) if a < b else (b, a))
+
+    def misplaced() -> List[int]:
+        return [v for v, t in token_at.items() if t is not None and t != v]
+
+    # ---- phase 1: happy-swap greedy (strict potential decrease) ----------
+    total = sum(distance(v, t) for v, t in token_at.items() if t is not None)
+    budget = 2 * total + 8
+    while budget > 0:
+        budget -= 1
+        happy = None
+        for v in sorted(misplaced()):
+            tv = token_at[v]
+            for u in sorted(neighbors(v)):
+                if distance(u, tv) >= distance(v, tv):
+                    continue
+                tu = token_at.get(u)
+                if tu is None or distance(v, tu) < distance(u, tu):
+                    happy = (v, u)
+                    break
+            if happy:
+                break
+        if happy is None:
+            break
+        apply(*happy)
+
+    remaining = misplaced()
+    if not remaining:
+        return swaps
+
+    # ---- phase 2: spanning-tree leaf elimination --------------------------
+    vertices, parent = _bfs_spanning_tree(remaining[0], neighbors)
+    needed = set(remaining) | {token_at[v] for v in remaining}
+    if not needed <= vertices:
+        raise TokenSwapError("targets span a disconnected region")
+    adjacency: Dict[int, Set[int]] = {v: set() for v in vertices}
+    for child, par in parent.items():
+        adjacency[child].add(par)
+        adjacency[par].add(child)
+
+    alive = set(vertices)
+
+    def tree_path(a: int, b: int) -> List[int]:
+        """Unique path between a and b in the (alive) spanning tree."""
+        seen = {a: a}
+        queue = deque([a])
+        while queue:
+            cur = queue.popleft()
+            if cur == b:
+                path = [b]
+                while path[-1] != a:
+                    path.append(seen[path[-1]])
+                return path[::-1]
+            for nxt in adjacency[cur]:
+                if nxt in alive and nxt not in seen:
+                    seen[nxt] = cur
+                    queue.append(nxt)
+        raise TokenSwapError(f"no tree path between {a} and {b}")
+
+    while len(alive) > 1:
+        leaf = next(
+            v for v in sorted(alive)
+            if sum(1 for u in adjacency[v] if u in alive) <= 1
+        )
+        # Which token must end at this leaf?
+        holder = None
+        for v, t in token_at.items():
+            if t == leaf and v in alive:
+                holder = v
+                break
+        if holder is not None and holder != leaf:
+            path = tree_path(holder, leaf)
+            for a, b in zip(path, path[1:]):
+                apply(a, b)
+        elif token_at.get(leaf) is not None and token_at[leaf] != leaf:
+            # A token is stranded on the leaf: push it one step inward so it
+            # stays in the shrinking tree.
+            inward = next(u for u in sorted(adjacency[leaf]) if u in alive)
+            apply(leaf, inward)
+        alive.remove(leaf)
+
+    if misplaced():
+        raise TokenSwapError("leaf elimination left misplaced tokens; "
+                             "targets outside the connected component?")
+    return swaps
+
+
+def _bfs_spanning_tree(root: int, neighbors: Callable[[int], Sequence[int]]
+                       ) -> Tuple[Set[int], Dict[int, int]]:
+    """All vertices reachable from ``root`` plus BFS-tree parent pointers."""
+    parent: Dict[int, int] = {}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        cur = queue.popleft()
+        for nxt in neighbors(cur):
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = cur
+                queue.append(nxt)
+    return seen, parent
+
+
+def apply_swaps(placement: Dict[int, int], swaps: Sequence[Edge]) -> Dict[int, int]:
+    """Replay ``swaps`` over a vertex->token placement (for verification)."""
+    state = dict(placement)
+    for a, b in swaps:
+        ta, tb = state.get(a), state.get(b)
+        if tb is None:
+            state.pop(a, None)
+        else:
+            state[a] = tb
+        if ta is None:
+            state.pop(b, None)
+        else:
+            state[b] = ta
+    return state
+
+
+def routing_via_token_swapping(current: Dict[int, int], desired: Dict[int, int],
+                               neighbors: Callable[[int], Sequence[int]],
+                               distance: Callable[[int, int], int]) -> List[Edge]:
+    """SWAPs transforming mapping ``current`` into ``desired``.
+
+    Both arguments map program qubits to physical vertices; the returned
+    SWAPs act on physical vertices.
+    """
+    targets = {}
+    for q, p in current.items():
+        if q not in desired:
+            continue
+        targets[p] = desired[q]
+    return token_swap_sequence(targets, neighbors, distance)

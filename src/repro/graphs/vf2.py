@@ -1,0 +1,175 @@
+"""VF2-style subgraph monomorphism (Cordella et al., TPAMI 2004).
+
+QUBIKOS needs one question answered, many times: *is the interaction graph
+GI isomorphic to a subgraph of the coupling graph GC?*  Formally, does an
+injective map ``m: V(GI) -> V(GC)`` exist with every GI edge landing on a GC
+edge (a monomorphism — extra GC edges between mapped nodes are allowed,
+matching "isomorphic to a subgraph", not "induced subgraph")?
+
+The implementation is a depth-first state-space search with the classic VF2
+feasibility cuts adapted to monomorphism, plus a degree-sequence pre-filter
+that resolves most QUBIKOS queries without search at all — the generator's
+Lemma 1 construction is *designed* to fail the degree count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+class _Graph:
+    """Tiny adjacency-set view over arbitrary hashable nodes."""
+
+    def __init__(self, nodes: Iterable, edges: Iterable[Edge]) -> None:
+        self.adj: Dict = {node: set() for node in nodes}
+        for a, b in edges:
+            if a == b:
+                continue
+            self.adj.setdefault(a, set()).add(b)
+            self.adj.setdefault(b, set()).add(a)
+
+    def degree(self, node) -> int:
+        return len(self.adj[node])
+
+
+def degree_sequence_embeddable(pattern_degrees: Sequence[int],
+                               host_degrees: Sequence[int]) -> bool:
+    """Necessary condition for a monomorphism: match sorted degree sequences.
+
+    Every pattern node of degree ``d`` must map to a *distinct* host node of
+    degree >= ``d``.  Greedily matching the descending pattern sequence
+    against the descending host sequence decides this exactly (Hall's
+    condition for this interval structure).
+    """
+    pattern = sorted(pattern_degrees, reverse=True)
+    host = sorted(host_degrees, reverse=True)
+    if len(pattern) > len(host):
+        return False
+    return all(p <= h for p, h in zip(pattern, host))
+
+
+class SubgraphMatcher:
+    """Searches for a monomorphism from ``pattern`` into ``host``."""
+
+    def __init__(self, pattern_nodes: Iterable, pattern_edges: Iterable[Edge],
+                 host_nodes: Iterable, host_edges: Iterable[Edge]) -> None:
+        self.pattern = _Graph(pattern_nodes, pattern_edges)
+        self.host = _Graph(host_nodes, host_edges)
+        # Order pattern nodes by connectivity to already-ordered nodes, then
+        # by degree (descending): classic VF2 variable ordering, keeps the
+        # partial mapping connected so the edge-consistency cut bites early.
+        self._order = self._variable_order()
+
+    def _variable_order(self) -> List:
+        remaining = set(self.pattern.adj)
+        order: List = []
+        in_order: Set = set()
+        while remaining:
+            best = max(
+                remaining,
+                key=lambda v: (
+                    sum(1 for u in self.pattern.adj[v] if u in in_order),
+                    self.pattern.degree(v),
+                ),
+            )
+            order.append(best)
+            in_order.add(best)
+            remaining.remove(best)
+        return order
+
+    def find(self) -> Optional[Dict]:
+        """Return one monomorphism as ``{pattern_node: host_node}`` or None."""
+        if len(self.pattern.adj) > len(self.host.adj):
+            return None
+        if not degree_sequence_embeddable(
+            [self.pattern.degree(v) for v in self.pattern.adj],
+            [self.host.degree(v) for v in self.host.adj],
+        ):
+            return None
+        mapping: Dict = {}
+        used: Set = set()
+        if self._search(0, mapping, used):
+            return dict(mapping)
+        return None
+
+    def exists(self) -> bool:
+        """True when some monomorphism exists."""
+        return self.find() is not None
+
+    def count(self, limit: int = 0) -> int:
+        """Count monomorphisms (stop early at ``limit`` when > 0)."""
+        if len(self.pattern.adj) > len(self.host.adj):
+            return 0
+        state = {"count": 0}
+
+        def recurse(depth: int, mapping: Dict, used: Set) -> bool:
+            if depth == len(self._order):
+                state["count"] += 1
+                return bool(limit) and state["count"] >= limit
+            node = self._order[depth]
+            for candidate in self._candidates(node, mapping, used):
+                mapping[node] = candidate
+                used.add(candidate)
+                if recurse(depth + 1, mapping, used):
+                    return True
+                del mapping[node]
+                used.discard(candidate)
+            return False
+
+        recurse(0, {}, set())
+        return state["count"]
+
+    # -- internals ------------------------------------------------------------
+
+    def _candidates(self, node, mapping: Dict, used: Set) -> List:
+        mapped_neighbors = [mapping[u] for u in self.pattern.adj[node] if u in mapping]
+        if mapped_neighbors:
+            # Must be a common host-neighbor of all mapped pattern-neighbors.
+            pool = set(self.host.adj[mapped_neighbors[0]])
+            for h in mapped_neighbors[1:]:
+                pool &= self.host.adj[h]
+        else:
+            pool = set(self.host.adj)
+        degree = self.pattern.degree(node)
+        return [c for c in pool if c not in used and self.host.degree(c) >= degree]
+
+    def _search(self, depth: int, mapping: Dict, used: Set) -> bool:
+        if depth == len(self._order):
+            return True
+        node = self._order[depth]
+        for candidate in self._candidates(node, mapping, used):
+            mapping[node] = candidate
+            used.add(candidate)
+            if self._search(depth + 1, mapping, used):
+                return True
+            del mapping[node]
+            used.discard(candidate)
+        return False
+
+
+def subgraph_monomorphism(pattern_edges: Iterable[Edge], host_edges: Iterable[Edge],
+                          pattern_nodes: Optional[Iterable] = None,
+                          host_nodes: Optional[Iterable] = None) -> Optional[Dict]:
+    """Convenience wrapper: one monomorphism or ``None``.
+
+    Node sets default to the endpoints appearing in the edge lists; pass them
+    explicitly when isolated nodes matter.
+    """
+    pattern_edges = list(pattern_edges)
+    host_edges = list(host_edges)
+    if pattern_nodes is None:
+        pattern_nodes = {v for e in pattern_edges for v in e}
+    if host_nodes is None:
+        host_nodes = {v for e in host_edges for v in e}
+    return SubgraphMatcher(pattern_nodes, pattern_edges, host_nodes, host_edges).find()
+
+
+def is_subgraph_embeddable(pattern_edges: Iterable[Edge], host_edges: Iterable[Edge],
+                           pattern_nodes: Optional[Iterable] = None,
+                           host_nodes: Optional[Iterable] = None) -> bool:
+    """True when the pattern embeds into the host (monomorphism exists)."""
+    return subgraph_monomorphism(
+        pattern_edges, host_edges, pattern_nodes, host_nodes
+    ) is not None

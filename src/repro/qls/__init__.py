@@ -1,0 +1,69 @@
+"""Layout-synthesis tools: SABRE/LightSABRE, slice router, A*, multilevel,
+and the exact SAT-based solver, plus validation utilities."""
+
+from .base import QLSError, QLSResult, QLSTool
+from .validate import ValidationReport, count_swaps, strip_swaps_and_unmap, validate_transpiled
+from .initial import greedy_degree_mapping, random_mapping, trivial_mapping, vf2_mapping
+from .sabre import (
+    RoutingOutcome,
+    SabreCostModel,
+    SabreLayout,
+    SabreParameters,
+    SwapScore,
+    route,
+)
+from .lightsabre import LightSabre
+from .tketlike import TketLikeRouter, TketParameters
+from .astar import AStarMapper, AStarParameters
+from .mlqls import MlQls, MlqlsParameters
+from .bmt import BmtMapper, BmtParameters
+from .exact import ExactOutcome, ExactSolver, SatEncoder, brute_force_optimal
+from .router import FixedLayoutRouter, route_with_optimal_layout
+
+#: The paper's four heuristic tools, in Figure 4 legend order, built with
+#: laptop-scale defaults.
+def paper_tools(seed: int = 7, sabre_trials: int = 8):
+    """Instantiate the four evaluated tools with default parameters."""
+    return [
+        LightSabre(trials=sabre_trials, seed=seed),
+        MlQls(seed=seed),
+        AStarMapper(seed=seed),
+        TketLikeRouter(seed=seed),
+    ]
+
+
+__all__ = [
+    "QLSError",
+    "QLSResult",
+    "QLSTool",
+    "ValidationReport",
+    "count_swaps",
+    "strip_swaps_and_unmap",
+    "validate_transpiled",
+    "greedy_degree_mapping",
+    "random_mapping",
+    "trivial_mapping",
+    "vf2_mapping",
+    "RoutingOutcome",
+    "SabreCostModel",
+    "SabreLayout",
+    "SabreParameters",
+    "SwapScore",
+    "route",
+    "LightSabre",
+    "TketLikeRouter",
+    "TketParameters",
+    "AStarMapper",
+    "AStarParameters",
+    "MlQls",
+    "MlqlsParameters",
+    "BmtMapper",
+    "BmtParameters",
+    "ExactOutcome",
+    "ExactSolver",
+    "SatEncoder",
+    "brute_force_optimal",
+    "FixedLayoutRouter",
+    "route_with_optimal_layout",
+    "paper_tools",
+]

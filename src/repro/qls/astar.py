@@ -1,0 +1,197 @@
+"""Layer-partitioned A* mapper (after Zulehner, Paler, Wille — TCAD 2019),
+the algorithm family behind MQT QMAP's heuristic mapper.
+
+The circuit's two-qubit skeleton is cut into ASAP layers (dependency-
+independent gate groups).  For each layer, an A* search over SWAP sequences
+transforms the current mapping into one where *every* gate of the layer is
+executable, minimizing SWAPs-so-far plus a distance-sum heuristic.  The
+search is locally optimal per layer but globally greedy — the structural
+reason the paper measures large optimality gaps for this tool class on
+QUBIKOS circuits, whose optimal routing requires global foresight.
+
+A node-expansion budget keeps worst-case runtime bounded; on exhaustion the
+layer falls back to shortest-path greedy routing (counted in metadata).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag
+from ..circuit.gates import Gate
+from ..qubikos.mapping import Mapping
+from .base import QLSError, QLSResult, QLSTool
+from .initial import greedy_degree_mapping
+from .reinsert import split_one_qubit_gates, weave_transpiled
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AStarParameters:
+    """Search tunables.
+
+    The heuristic weight > 1 makes the search weighted-A* (greedier but
+    much faster on 100+-qubit devices); per-layer optimality is already
+    only a heuristic globally, so the trade is cheap — and matches QMAP's
+    own lookahead-weighted cost.
+    """
+
+    expansion_budget: int = 2000  # A* node expansions per layer
+    heuristic_weight: float = 2.0  # >1 trades per-layer optimality for speed
+
+
+class AStarMapper(QLSTool):
+    """Per-layer A* qubit mapper (QMAP-heuristic stand-in)."""
+
+    name = "astar"
+
+    def __init__(self, params: Optional[AStarParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or AStarParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError("circuit larger than device")
+        rng = random.Random(self.seed)
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        skeleton = QuantumCircuit(circuit.num_qubits, two_qubit)
+        if initial_mapping is None:
+            mapping = greedy_degree_mapping(skeleton, coupling, rng)
+        else:
+            mapping = initial_mapping.copy()
+        start_mapping = mapping.copy()
+
+        dag = DependencyDag.from_circuit(skeleton)
+        layers = dag.layers()
+        routed: List[Tuple[int, Gate]] = []
+        mapping_at: Dict[int, Mapping] = {}
+        swap_count = 0
+        fallbacks = 0
+        for layer in layers:
+            gates = [dag.gates[node] for node in layer]
+            swaps = self._solve_layer(coupling, mapping, gates)
+            if swaps is None:
+                # Budget exhausted: route and emit the layer's gates one by
+                # one (they are qubit-disjoint, so per-gate greedy is safe).
+                fallbacks += 1
+                swap_count += self._greedy_emit_layer(
+                    coupling, mapping, dag, layer, routed, mapping_at
+                )
+                continue
+            for p1, p2 in swaps:
+                mapping.swap_physical(p1, p2)
+                routed.append((-1, Gate("swap", (p1, p2))))
+                swap_count += 1
+            for node in layer:
+                g = dag.gates[node]
+                p1, p2 = mapping.phys(g[0]), mapping.phys(g[1])
+                if not coupling.has_edge(p1, p2):
+                    raise QLSError("layer solve left a gate unexecutable")
+                routed.append((node, g.remap({g[0]: p1, g[1]: p2})))
+                mapping_at[node] = mapping.copy()
+
+        transpiled = weave_transpiled(
+            coupling.num_qubits, routed, bundles, tail,
+            mapping_at=mapping_at, final_mapping=mapping,
+            name=f"{circuit.name}_{self.name}",
+        )
+        return QLSResult(
+            tool=self.name, circuit=transpiled,
+            initial_mapping=start_mapping, swap_count=swap_count,
+            metadata={"layer_fallbacks": fallbacks, "layers": len(layers)},
+        )
+
+    # -- per-layer search -----------------------------------------------------
+
+    def _solve_layer(self, coupling: CouplingGraph, mapping: Mapping,
+                     gates: Sequence[Gate]) -> Optional[List[Edge]]:
+        """A* for the SWAP sequence making every layer gate executable.
+
+        Returns the SWAP list, or None when the expansion budget runs out.
+        """
+        dist = coupling.distance_matrix.tolist()
+        relevant = sorted({q for g in gates for q in g.qubits})
+        pairs = [(g[0], g[1]) for g in gates]
+
+        def positions_key(m: Dict[int, int]) -> Tuple[int, ...]:
+            return tuple(m[q] for q in relevant)
+
+        def heuristic(m: Dict[int, int]) -> float:
+            return self.params.heuristic_weight * sum(
+                max(0, dist[m[a]][m[b]] - 1) for a, b in pairs
+            )
+
+        def satisfied(m: Dict[int, int]) -> bool:
+            return all(coupling.has_edge(m[a], m[b]) for a, b in pairs)
+
+        start = {q: mapping.phys(q) for q in relevant}
+        if satisfied(start):
+            return []
+
+        counter = itertools.count()
+        open_heap: List[Tuple[float, int, Dict[int, int], List[Edge]]] = []
+        heapq.heappush(open_heap, (heuristic(start), next(counter), start, []))
+        best_cost: Dict[Tuple[int, ...], int] = {positions_key(start): 0}
+        expansions = 0
+        while open_heap and expansions < self.params.expansion_budget:
+            _, _, state, path = heapq.heappop(open_heap)
+            if satisfied(state):
+                return path
+            expansions += 1
+            occupied = {p: q for q, p in state.items()}
+            # Swaps on edges touching at least one relevant qubit.
+            for q in relevant:
+                p = state[q]
+                for nbr in coupling.neighbors(p):
+                    edge = (p, nbr) if p < nbr else (nbr, p)
+                    successor = dict(state)
+                    successor[q] = nbr
+                    other = occupied.get(nbr)
+                    if other is not None and other in successor:
+                        successor[other] = p
+                    key = positions_key(successor)
+                    cost = len(path) + 1
+                    if best_cost.get(key, 1 << 30) <= cost:
+                        continue
+                    best_cost[key] = cost
+                    heapq.heappush(open_heap, (
+                        cost + heuristic(successor), next(counter),
+                        successor, path + [edge],
+                    ))
+        # Budget exhausted: signal the caller to use per-gate greedy routing.
+        return None
+
+    @staticmethod
+    def _greedy_emit_layer(coupling: CouplingGraph, mapping: Mapping,
+                           dag: DependencyDag, layer: Sequence[int],
+                           routed: List[Tuple[int, Gate]],
+                           mapping_at: Dict[int, Mapping]) -> int:
+        """Route and emit each layer gate in turn (fallback path).
+
+        Emitting gates one at a time keeps the transpilation valid even
+        though later walks may separate earlier pairs again.
+        """
+        swap_count = 0
+        for node in layer:
+            g = dag.gates[node]
+            while not coupling.has_edge(mapping.phys(g[0]), mapping.phys(g[1])):
+                path = coupling.shortest_path(
+                    mapping.phys(g[0]), mapping.phys(g[1])
+                )
+                mapping.swap_physical(path[0], path[1])
+                routed.append((-1, Gate("swap", (path[0], path[1]))))
+                swap_count += 1
+            routed.append((node, g.remap({
+                g[0]: mapping.phys(g[0]), g[1]: mapping.phys(g[1])
+            })))
+            mapping_at[node] = mapping.copy()
+        return swap_count

@@ -1,0 +1,64 @@
+"""Common interfaces for layout-synthesis tools.
+
+Every tool consumes a logical circuit plus a coupling graph and produces a
+:class:`QLSResult`: an initial mapping and a transpiled circuit whose gates
+act on *physical* qubits, with explicit ``swap`` gates.  The contract is the
+paper's: strip the SWAPs and un-map the gates and you recover a circuit
+equivalent (up to dependency-preserving reordering) to the input.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qubikos.mapping import Mapping
+
+
+@dataclass
+class QLSResult:
+    """Output of one layout-synthesis run."""
+
+    tool: str
+    circuit: QuantumCircuit  # physical qubits, explicit swap gates
+    initial_mapping: Mapping
+    swap_count: int
+    runtime_seconds: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (f"QLSResult(tool={self.tool!r}, swaps={self.swap_count}, "
+                f"gates={len(self.circuit)}, t={self.runtime_seconds:.3f}s)")
+
+
+class QLSTool(abc.ABC):
+    """Base class for layout-synthesis tools."""
+
+    #: Short identifier used in reports (override in subclasses).
+    name: str = "qls"
+
+    @abc.abstractmethod
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        """Map and route ``circuit`` onto ``coupling``.
+
+        ``initial_mapping`` pins the starting placement (router-only mode,
+        Section IV-C of the paper); tools that also search for placements
+        must honour it when given.
+        """
+
+    def timed_run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+                  initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        """Run and stamp wall-clock runtime on the result."""
+        start = time.perf_counter()
+        result = self.run(circuit, coupling, initial_mapping)
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+
+
+class QLSError(RuntimeError):
+    """Raised when a tool cannot produce a valid result."""

@@ -1,0 +1,215 @@
+"""BMT-style mapper: bounded subgraph embedding + token swapping
+(after Siraichi et al., "Qubit allocation as a combination of subgraph
+isomorphism and token swapping", OOPSLA 2019 — the paper's reference [15]).
+
+The circuit is cut greedily into maximal *embeddable prefixes*: keep adding
+two-qubit gates (in dependency order) while the accumulated interaction
+graph still embeds into the coupling graph (VF2).  Each segment gets a
+concrete embedding; consecutive embeddings are stitched with a token-
+swapping sequence.  QUEKO circuits collapse to a single segment (zero
+SWAPs); QUBIKOS circuits force a new segment per section — by design no
+embedding covers a whole section plus its special gate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag
+from ..circuit.gates import Gate
+from ..graphs.token_swap import routing_via_token_swapping
+from ..graphs.vf2 import SubgraphMatcher
+from ..qubikos.mapping import Mapping
+from .base import QLSError, QLSResult, QLSTool
+from .reinsert import split_one_qubit_gates, weave_transpiled
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BmtParameters:
+    """Segmentation tunables."""
+
+    max_segment_gates: int = 200  # cap per segment (VF2 cost control)
+    embed_seed_bias: bool = True  # seed each embedding near the previous one
+
+
+class BmtMapper(QLSTool):
+    """Subgraph-embedding segments stitched by token swapping."""
+
+    name = "bmt"
+
+    def __init__(self, params: Optional[BmtParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or BmtParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError("circuit larger than device")
+        rng = random.Random(self.seed)
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        skeleton = QuantumCircuit(circuit.num_qubits, two_qubit)
+        dag = DependencyDag.from_circuit(skeleton)
+        order = dag.topological_order()
+
+        segments = self._segment(dag, order, coupling)
+        mapping = self._initial_mapping(
+            circuit.num_qubits, coupling, segments[0] if segments else [],
+            dag, initial_mapping, rng,
+        )
+        start_mapping = mapping.copy()
+
+        routed: List[Tuple[int, Gate]] = []
+        mapping_at: Dict[int, Mapping] = {}
+        swap_count = 0
+        for index, segment in enumerate(segments):
+            if index > 0 or initial_mapping is None:
+                desired = self._embed_segment(
+                    segment, dag, coupling, mapping, rng
+                )
+            else:
+                desired = None  # honour the pinned mapping for segment 0
+            if desired is not None:
+                swaps = routing_via_token_swapping(
+                    current={q: mapping.phys(q)
+                             for q in range(skeleton.num_qubits)},
+                    desired=desired,
+                    neighbors=coupling.neighbors,
+                    distance=coupling.distance,
+                )
+                for a, b in swaps:
+                    mapping.swap_physical(a, b)
+                    routed.append((-1, Gate("swap", (a, b))))
+                    swap_count += 1
+            swap_count += self._emit_segment(
+                segment, dag, coupling, mapping, routed, mapping_at
+            )
+
+        transpiled = weave_transpiled(
+            coupling.num_qubits, routed, bundles, tail,
+            mapping_at=mapping_at, final_mapping=mapping,
+            name=f"{circuit.name}_{self.name}",
+        )
+        return QLSResult(
+            tool=self.name, circuit=transpiled,
+            initial_mapping=start_mapping, swap_count=swap_count,
+            metadata={"segments": len(segments)},
+        )
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def _segment(self, dag: DependencyDag, order: List[int],
+                 coupling: CouplingGraph) -> List[List[int]]:
+        """Greedy maximal embeddable prefixes over the topological order."""
+        segments: List[List[int]] = []
+        current: List[int] = []
+        edges: Set[Edge] = set()
+        for node in order:
+            pair = dag.gates[node].qubit_pair()
+            tentative = edges | {pair}
+            if (current
+                    and (len(current) >= self.params.max_segment_gates
+                         or not self._embeddable(tentative, coupling))):
+                segments.append(current)
+                current = []
+                edges = set()
+                tentative = {pair}
+            if not self._embeddable(tentative, coupling):
+                # A single gate always embeds on a connected device with
+                # at least one edge; guard anyway.
+                raise QLSError("single gate does not embed; device too small")
+            current.append(node)
+            edges = tentative
+        if current:
+            segments.append(current)
+        return segments
+
+    @staticmethod
+    def _embeddable(edges: Set[Edge], coupling: CouplingGraph) -> bool:
+        matcher = SubgraphMatcher(
+            {v for e in edges for v in e}, edges,
+            range(coupling.num_qubits), coupling.edges,
+        )
+        return matcher.exists()
+
+    def _embed_segment(self, segment: List[int], dag: DependencyDag,
+                       coupling: CouplingGraph, mapping: Mapping,
+                       rng: random.Random) -> Optional[Dict[int, int]]:
+        """Concrete embedding for a segment; None keeps the current mapping."""
+        edges = {dag.gates[n].qubit_pair() for n in segment}
+        nodes = {v for e in edges for v in e}
+        matcher = SubgraphMatcher(
+            nodes, edges, range(coupling.num_qubits), coupling.edges,
+        )
+        embedding = matcher.find()
+        if embedding is None:
+            raise QLSError("segment lost its embedding; segmentation bug")
+        # Keep untouched program qubits where they are when possible.
+        desired: Dict[int, int] = {}
+        used = set(embedding.values())
+        for q, p in embedding.items():
+            desired[q] = p
+        for q in range(len(mapping)):
+            if q in desired:
+                continue
+            p = mapping.phys(q)
+            if p not in used:
+                desired[q] = p
+                used.add(p)
+        free = [p for p in range(coupling.num_qubits) if p not in used]
+        rng.shuffle(free)
+        for q in sorted(set(range(len(mapping))) - set(desired)):
+            desired[q] = free.pop()
+        return desired
+
+    def _initial_mapping(self, num_qubits: int, coupling: CouplingGraph,
+                         first_segment: List[int], dag: DependencyDag,
+                         pinned: Optional[Mapping],
+                         rng: random.Random) -> Mapping:
+        if pinned is not None:
+            return pinned.copy()
+        # Seed with a complete random mapping; the first segment embedding
+        # immediately replaces the relevant part (token swaps are free at
+        # time zero only conceptually, so embed *before* emitting instead).
+        physical = list(range(coupling.num_qubits))
+        rng.shuffle(physical)
+        mapping = Mapping({q: physical[q] for q in range(num_qubits)})
+        if first_segment:
+            desired = self._embed_segment(
+                first_segment, dag, coupling, mapping, rng
+            )
+            if desired is not None:
+                mapping = Mapping({q: desired[q] for q in range(num_qubits)})
+        return mapping
+
+    @staticmethod
+    def _emit_segment(segment: List[int], dag: DependencyDag,
+                      coupling: CouplingGraph, mapping: Mapping,
+                      routed: List[Tuple[int, Gate]],
+                      mapping_at: Dict[int, Mapping]) -> int:
+        """Emit segment gates; walk operands together if an edge is missing.
+
+        With a correct embedding no extra SWAPs are needed; the walk is a
+        safety net (counted in the SWAP total).
+        """
+        extra = 0
+        for node in segment:
+            g = dag.gates[node]
+            while not coupling.has_edge(mapping.phys(g[0]), mapping.phys(g[1])):
+                path = coupling.shortest_path(
+                    mapping.phys(g[0]), mapping.phys(g[1])
+                )
+                mapping.swap_physical(path[0], path[1])
+                routed.append((-1, Gate("swap", (path[0], path[1]))))
+                extra += 1
+            routed.append((node, g.remap({
+                g[0]: mapping.phys(g[0]), g[1]: mapping.phys(g[1])
+            })))
+            mapping_at[node] = mapping.copy()
+        return extra

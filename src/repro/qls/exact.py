@@ -1,0 +1,313 @@
+"""Exact SWAP-optimal layout synthesis via SAT (OLSQ2-style transition
+encoding, solved by the project's own CDCL solver).
+
+The encoding follows OLSQ2's transition model specialized to SWAP-count
+optimality: ``k`` *transitions* separate ``k+1`` mapping *blocks*; at most
+one SWAP fires per transition; every two-qubit gate is assigned to a block
+in dependency order and must sit on a coupling edge under that block's
+mapping.  ``optimal <= k`` iff the formula is satisfiable, so incrementing
+``k`` from 0 until SAT yields the exact optimum (each UNSAT answer is a
+machine-checked lower-bound proof).
+
+Variables (all allocated through :class:`repro.sat.CnfBuilder`):
+
+* ``("x", q, p, t)``    — program qubit ``q`` on physical ``p`` in block ``t``;
+* ``("y", g, t)``       — gate ``g`` executes in block ``t``;
+* ``("z", g, t)``       — gate ``g`` executes in some block ``<= t``;
+* ``("s", e, t)``       — transition ``t`` swaps coupling edge ``e``;
+* ``("moved", p, t)``   — some transition-``t`` SWAP touches ``p``.
+
+Pure-Python CDCL limits practical sizes to roughly 16 physical qubits /
+30 two-qubit gates / k <= 5 — the same scalability wall the paper reports
+for OLSQ2, just at a smaller constant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag
+from ..circuit.gates import Gate
+from ..qubikos.mapping import Mapping
+from ..sat.cnf import CnfBuilder
+from ..sat.solver import CdclSolver
+from ..sat.types import Model, SolverResult
+from .base import QLSError, QLSResult, QLSTool
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class ExactOutcome:
+    """Result of an exact optimality search."""
+
+    optimal_swaps: Optional[int]  # None if the budget ran out
+    proven_lower_bound: int  # largest k with a verified UNSAT proof, plus one
+    result: Optional[QLSResult]
+    solver_stats: List[Dict[str, int]]
+    timed_out: bool = False
+
+
+class SatEncoder:
+    """Builds the CNF for 'routable with at most k SWAPs'."""
+
+    def __init__(self, skeleton: QuantumCircuit, coupling: CouplingGraph, k: int,
+                 initial_mapping: Optional[Mapping] = None) -> None:
+        self.coupling = coupling
+        self.k = k
+        self.dag = DependencyDag.from_circuit(skeleton)
+        self.num_program = skeleton.num_qubits
+        self.num_physical = coupling.num_qubits
+        if self.num_program > self.num_physical:
+            raise QLSError("circuit larger than device")
+        self.builder = CnfBuilder()
+        self.initial_mapping = initial_mapping
+        self._encode()
+
+    # -- encoding -------------------------------------------------------------
+
+    def _x(self, q: int, p: int, t: int) -> int:
+        return self.builder.var(("x", q, p, t))
+
+    def _y(self, g: int, t: int) -> int:
+        return self.builder.var(("y", g, t))
+
+    def _z(self, g: int, t: int) -> int:
+        return self.builder.var(("z", g, t))
+
+    def _s(self, e: Edge, t: int) -> int:
+        return self.builder.var(("s", e, t))
+
+    def _encode(self) -> None:
+        b = self.builder
+        blocks = self.k + 1
+        physical = range(self.num_physical)
+        # Mapping well-formedness per block.
+        for t in range(blocks):
+            for q in range(self.num_program):
+                b.exactly_one([self._x(q, p, t) for p in physical])
+            for p in physical:
+                b.at_most_one([self._x(q, p, t) for q in range(self.num_program)])
+        # Optional pinned initial mapping (router-only verification).
+        if self.initial_mapping is not None:
+            for q in range(self.num_program):
+                b.add_unit(self._x(q, self.initial_mapping.phys(q), 0))
+        # Gate-to-block assignment and dependency order.
+        for g in range(len(self.dag)):
+            b.exactly_one([self._y(g, t) for t in range(blocks)])
+            for t in range(blocks):
+                if t == 0:
+                    b.iff(self._z(g, 0), self._y(g, 0))
+                else:
+                    b.iff_or(self._z(g, t), [self._z(g, t - 1), self._y(g, t)])
+        for earlier, later in self.dag.edges():
+            for t in range(blocks):
+                b.implies(self._y(later, t), self._z(earlier, t))
+        # Executability: a gate in block t sits on a coupling edge.
+        for g in range(len(self.dag)):
+            q1, q2 = self.dag.gates[g].qubits
+            for t in range(blocks):
+                for p in physical:
+                    neighbors = [
+                        self._x(q2, p2, t) for p2 in self.coupling.neighbors(p)
+                    ]
+                    b.add([-self._y(g, t), -self._x(q1, p, t)] + neighbors)
+        # Transitions: at most one SWAP each; mapping evolves accordingly.
+        for t in range(self.k):
+            swaps = [self._s(e, t) for e in self.coupling.edges]
+            b.at_most_one(swaps)
+            moved = {
+                p: b.var(("moved", p, t)) for p in physical
+            }
+            for p in physical:
+                incident = [
+                    self._s(e, t) for e in self.coupling.edges if p in e
+                ]
+                b.iff_or(moved[p], incident)
+            for q in range(self.num_program):
+                for p in physical:
+                    # Unmoved qubits stay put.
+                    b.add([moved[p], -self._x(q, p, t), self._x(q, p, t + 1)])
+                    b.add([moved[p], self._x(q, p, t), -self._x(q, p, t + 1)])
+            for e in self.coupling.edges:
+                a, c = e
+                s_var = self._s(e, t)
+                for q in range(self.num_program):
+                    # Swapped endpoints exchange occupants.
+                    b.add([-s_var, -self._x(q, a, t), self._x(q, c, t + 1)])
+                    b.add([-s_var, -self._x(q, c, t), self._x(q, a, t + 1)])
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, model: Model) -> Tuple[Mapping, List[Tuple[Optional[Edge], List[int]]]]:
+        """Extract (initial mapping, [(swap_before_block, gate_list)] )."""
+        b = self.builder
+        blocks = self.k + 1
+        mappings: List[Mapping] = []
+        for t in range(blocks):
+            assignment = {}
+            for q in range(self.num_program):
+                for p in range(self.num_physical):
+                    if b.value(model, ("x", q, p, t)):
+                        assignment[q] = p
+                        break
+            mappings.append(Mapping(assignment))
+        schedule: List[Tuple[Optional[Edge], List[int]]] = []
+        for t in range(blocks):
+            swap: Optional[Edge] = None
+            if t > 0:
+                for e in self.coupling.edges:
+                    if b.value(model, ("s", e, t - 1)):
+                        swap = e
+                        break
+            gates = [
+                g for g in range(len(self.dag))
+                if b.value(model, ("y", g, t))
+            ]
+            schedule.append((swap, gates))
+        return mappings[0], schedule
+
+
+class ExactSolver(QLSTool):
+    """Incremental-k exact SWAP-count solver."""
+
+    name = "exact"
+
+    def __init__(self, max_swaps: int = 8,
+                 conflict_limit: Optional[int] = None,
+                 time_limit: Optional[float] = None) -> None:
+        self.max_swaps = max_swaps
+        self.conflict_limit = conflict_limit
+        self.time_limit = time_limit
+
+    def solve(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+              initial_mapping: Optional[Mapping] = None,
+              start_k: int = 0) -> ExactOutcome:
+        """Find the exact optimum by incrementing the SWAP bound."""
+        skeleton = circuit.without_single_qubit_gates()
+        stats: List[Dict[str, int]] = []
+        deadline = time.monotonic() + self.time_limit if self.time_limit else None
+        for k in range(start_k, self.max_swaps + 1):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return ExactOutcome(None, k, None, stats, timed_out=True)
+            encoder = SatEncoder(skeleton, coupling, k, initial_mapping)
+            solver = CdclSolver()
+            solver.add_clauses(encoder.builder.clauses)
+            outcome = solver.solve(
+                conflict_limit=self.conflict_limit, time_limit=remaining
+            )
+            stats.append({"k": k, **solver.stats})
+            if outcome is SolverResult.UNKNOWN:
+                return ExactOutcome(None, k, None, stats, timed_out=True)
+            if outcome is SolverResult.SAT:
+                result = self._build_result(
+                    skeleton, coupling, encoder, solver.model(), k
+                )
+                return ExactOutcome(k, k, result, stats)
+        return ExactOutcome(None, self.max_swaps + 1, None, stats, timed_out=True)
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        outcome = self.solve(circuit, coupling, initial_mapping)
+        if outcome.result is None:
+            raise QLSError(
+                f"exact solver exhausted its budget (k <= {self.max_swaps})"
+            )
+        return outcome.result
+
+    def _build_result(self, skeleton: QuantumCircuit, coupling: CouplingGraph,
+                      encoder: SatEncoder, model: Model, k: int) -> QLSResult:
+        initial, schedule = encoder.decode(model)
+        mapping = initial.copy()
+        transpiled = QuantumCircuit(coupling.num_qubits, name=f"{skeleton.name}_exact")
+        swap_count = 0
+        dag = encoder.dag
+        for swap, gate_ids in schedule:
+            if swap is not None:
+                transpiled.append(Gate("swap", swap))
+                mapping.swap_physical(*swap)
+                swap_count += 1
+            # Emit the block's gates in dependency (original) order.
+            for g in sorted(gate_ids):
+                gate = dag.gates[g]
+                transpiled.append(gate.remap({
+                    gate[0]: mapping.phys(gate[0]),
+                    gate[1]: mapping.phys(gate[1]),
+                }))
+        return QLSResult(
+            tool=self.name, circuit=transpiled, initial_mapping=initial,
+            swap_count=swap_count, metadata={"k": k},
+        )
+
+
+def brute_force_optimal(circuit: QuantumCircuit, coupling: CouplingGraph,
+                        max_swaps: int = 4) -> Optional[int]:
+    """Exhaustive cross-check for tiny devices (<= ~6 physical qubits).
+
+    Searches all initial mappings and all SWAP schedules up to ``max_swaps``
+    via breadth-first iterative deepening on (mapping, executed-set) states.
+    Returns the optimum, or None if above ``max_swaps``.
+    """
+    import itertools
+
+    skeleton = circuit.without_single_qubit_gates()
+    dag = DependencyDag.from_circuit(skeleton)
+    n_p = coupling.num_qubits
+    n_q = skeleton.num_qubits
+    if n_p > 8:
+        raise QLSError("brute force is for tiny devices only")
+    pair_of = [dag.gates[g].qubit_pair() for g in range(len(dag))]
+    preds = [dag.predecessors(g) for g in range(len(dag))]
+
+    def closure(mapping: Tuple[int, ...], done: int) -> int:
+        changed = True
+        while changed:
+            changed = False
+            for g in range(len(dag)):
+                if done & (1 << g):
+                    continue
+                if any(not (done & (1 << p)) for p in preds[g]):
+                    continue
+                a, b = pair_of[g]
+                if coupling.has_edge(mapping[a], mapping[b]):
+                    done |= 1 << g
+                    changed = True
+        return done
+
+    from collections import deque
+
+    full = (1 << len(dag)) - 1
+    queue = deque()
+    seen = set()
+    for perm in itertools.permutations(range(n_p), n_q):
+        done = closure(perm, 0)
+        if done == full:
+            return 0
+        state = (perm, done)
+        if state not in seen:
+            seen.add(state)
+            queue.append((perm, done, 0))
+    # Breadth-first over SWAP count: the first completed state is optimal.
+    while queue:
+        mapping, done, used = queue.popleft()
+        if used >= max_swaps:
+            continue
+        for a, b in coupling.edges:
+            new_mapping = tuple(
+                b if p == a else a if p == b else p for p in mapping
+            )
+            new_done = closure(new_mapping, done)
+            if new_done == full:
+                return used + 1
+            state = (new_mapping, new_done)
+            if state not in seen:
+                seen.add(state)
+                queue.append((new_mapping, new_done, used + 1))
+    return None

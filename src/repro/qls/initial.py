@@ -1,0 +1,88 @@
+"""Initial-mapping strategies shared by the non-SABRE tools.
+
+* ``trivial`` — identity placement.
+* ``random`` — uniform placement.
+* ``greedy_degree`` — BFS expansion placing high-interaction-degree program
+  qubits on high-degree physical qubits near the device centre (the classic
+  Zulehner/tket-style seed).
+* ``vf2`` — exact subgraph embedding when one exists (QUEKO-style circuits;
+  QUBIKOS circuits never embed, by construction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.interaction import InteractionGraph
+from ..graphs.vf2 import SubgraphMatcher
+from ..qubikos.mapping import Mapping
+
+
+def trivial_mapping(circuit: QuantumCircuit, coupling: CouplingGraph) -> Mapping:
+    """Program qubit q on physical qubit q."""
+    return Mapping({q: q for q in range(circuit.num_qubits)})
+
+
+def random_mapping(circuit: QuantumCircuit, coupling: CouplingGraph,
+                   rng: random.Random) -> Mapping:
+    physical = list(range(coupling.num_qubits))
+    rng.shuffle(physical)
+    return Mapping({q: physical[q] for q in range(circuit.num_qubits)})
+
+
+def vf2_mapping(circuit: QuantumCircuit,
+                coupling: CouplingGraph) -> Optional[Mapping]:
+    """Exact embedding of the interaction graph, if one exists."""
+    graph = InteractionGraph.from_circuit(circuit)
+    matcher = SubgraphMatcher(
+        graph.nodes, graph.edges, range(coupling.num_qubits), coupling.edges
+    )
+    embedding = matcher.find()
+    if embedding is None:
+        return None
+    used = set(embedding.values())
+    free = [p for p in range(coupling.num_qubits) if p not in used]
+    mapping: Dict[int, int] = dict(embedding)
+    for q in range(circuit.num_qubits):
+        if q not in mapping:
+            mapping[q] = free.pop()
+    return Mapping(mapping)
+
+
+def greedy_degree_mapping(circuit: QuantumCircuit, coupling: CouplingGraph,
+                          rng: Optional[random.Random] = None) -> Mapping:
+    """Expand outward from the device centre, matching degree profiles.
+
+    Program qubits are placed in descending interaction-degree order; each
+    goes on the free physical qubit adjacent to the most already-placed
+    interaction partners (ties: higher degree, closer to centre).
+    """
+    rng = rng or random.Random(0)
+    graph = InteractionGraph.from_circuit(circuit)
+    for q in range(circuit.num_qubits):
+        graph.add_node(q)
+    dist = coupling.distance_matrix
+    eccentricity = dist.max(axis=1)
+    center = int(eccentricity.argmin())
+
+    order = sorted(graph.nodes, key=lambda q: -graph.degree(q))
+    placement: Dict[int, int] = {}
+    used: set = set()
+    for q in order:
+        placed_neighbors = [placement[u] for u in graph.neighbors(q) if u in placement]
+        candidates = [p for p in range(coupling.num_qubits) if p not in used]
+        if not candidates:
+            raise ValueError("device too small for the circuit")
+
+        def preference(p: int) -> tuple:
+            adjacency = sum(1 for n in placed_neighbors if coupling.has_edge(p, n))
+            total_distance = sum(int(dist[p, n]) for n in placed_neighbors)
+            return (-adjacency, total_distance, -coupling.degree(p), int(dist[p, center]))
+
+        best = min(candidates, key=preference)
+        placement[q] = best
+        used.add(best)
+    return Mapping(placement)

@@ -1,0 +1,238 @@
+"""Multilevel layout synthesis (after Lin & Cong, ML-QLS, arXiv:2405.18371).
+
+The multilevel scheme from the paper, at reduced engineering depth:
+
+1. **Coarsening** — heavy-edge matching repeatedly contracts the circuit's
+   weighted interaction graph (edge weight = number of gates on that pair)
+   until it is small.
+2. **Coarse placement** — clusters are placed greedily on the device,
+   heaviest-connected first, near the device centre.
+3. **Uncoarsening + refinement** — each level expands clusters onto free
+   physical qubits adjacent to their parent's location, then a local-search
+   pass swaps placements while the weighted distance objective improves.
+4. **Routing** — a SABRE routing pass from the refined placement (the
+   original tool couples refinement with its own router; the SABRE pass is
+   the documented stand-in).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qubikos.mapping import Mapping
+from .base import QLSError, QLSResult, QLSTool
+from .reinsert import split_one_qubit_gates, weave_transpiled
+from .sabre import SabreParameters, route
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MlqlsParameters:
+    """Multilevel tunables."""
+
+    coarsest_size: int = 10
+    refinement_passes: int = 3
+    routing: SabreParameters = SabreParameters()
+
+
+class _Level:
+    """One coarsening level: weighted graph + parent pointers."""
+
+    def __init__(self, weights: Dict[Edge, int], nodes: List[int]) -> None:
+        self.weights = weights
+        self.nodes = nodes
+
+
+class MlQls(QLSTool):
+    """Multilevel placement + SABRE routing (ML-QLS stand-in)."""
+
+    name = "mlqls"
+
+    def __init__(self, params: Optional[MlqlsParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or MlqlsParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError("circuit larger than device")
+        rng = random.Random(self.seed)
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        skeleton = QuantumCircuit(circuit.num_qubits, two_qubit)
+        if initial_mapping is None:
+            mapping = self._multilevel_placement(skeleton, coupling, rng)
+        else:
+            mapping = initial_mapping.copy()
+        start_mapping = mapping.copy()
+        outcome = route(skeleton, coupling, mapping, self.params.routing, rng,
+                        record_mappings=True)
+        transpiled = weave_transpiled(
+            coupling.num_qubits, outcome.routed, bundles, tail,
+            mapping_at=outcome.mapping_at, final_mapping=outcome.final_mapping,
+            name=f"{circuit.name}_{self.name}",
+        )
+        return QLSResult(
+            tool=self.name, circuit=transpiled,
+            initial_mapping=start_mapping, swap_count=outcome.swap_count,
+            metadata={"fallback_swaps": outcome.fallback_swaps},
+        )
+
+    # -- placement pipeline --------------------------------------------------
+
+    def _multilevel_placement(self, skeleton: QuantumCircuit,
+                              coupling: CouplingGraph,
+                              rng: random.Random) -> Mapping:
+        weights: Dict[Edge, int] = defaultdict(int)
+        for pair in skeleton.interaction_pairs():
+            weights[pair] += 1
+        nodes = list(range(skeleton.num_qubits))
+        levels: List[Tuple[_Level, Dict[int, int]]] = []
+        current = _Level(dict(weights), nodes)
+        while len(current.nodes) > self.params.coarsest_size:
+            coarser, parent = _heavy_edge_coarsen(current, rng)
+            if len(coarser.nodes) == len(current.nodes):
+                break  # no contractable edges left
+            levels.append((current, parent))
+            current = coarser
+        placement = _place_coarse(current, coupling)
+        placement = _refine(current, coupling, placement,
+                            self.params.refinement_passes)
+        # Uncoarsen: children inherit, then spread onto free neighbours.
+        for finer, parent in reversed(levels):
+            placement = _expand_level(finer, parent, placement, coupling)
+            placement = _refine(finer, coupling, placement,
+                                self.params.refinement_passes)
+        return Mapping(placement)
+
+
+def _heavy_edge_coarsen(level: _Level, rng: random.Random
+                        ) -> Tuple[_Level, Dict[int, int]]:
+    """One round of heavy-edge matching; returns (coarser level, parent map)."""
+    order = sorted(level.weights.items(), key=lambda kv: -kv[1])
+    matched: Set[int] = set()
+    parent: Dict[int, int] = {}
+    next_id = 0
+    for (a, b), _w in order:
+        if a in matched or b in matched:
+            continue
+        parent[a] = next_id
+        parent[b] = next_id
+        matched.add(a)
+        matched.add(b)
+        next_id += 1
+    for node in level.nodes:
+        if node not in parent:
+            parent[node] = next_id
+            next_id += 1
+    coarse_weights: Dict[Edge, int] = defaultdict(int)
+    for (a, b), w in level.weights.items():
+        ca, cb = parent[a], parent[b]
+        if ca != cb:
+            key = (ca, cb) if ca < cb else (cb, ca)
+            coarse_weights[key] += w
+    return _Level(dict(coarse_weights), list(range(next_id))), parent
+
+
+def _place_coarse(level: _Level, coupling: CouplingGraph) -> Dict[int, int]:
+    """Greedy placement of the coarsest clusters near the device centre."""
+    dist = coupling.distance_matrix
+    center = int(dist.max(axis=1).argmin())
+    strength: Dict[int, int] = defaultdict(int)
+    for (a, b), w in level.weights.items():
+        strength[a] += w
+        strength[b] += w
+    order = sorted(level.nodes, key=lambda n: -strength[n])
+    placement: Dict[int, int] = {}
+    used: Set[int] = set()
+    for node in order:
+        neighbors = [
+            placement[other]
+            for (a, b) in level.weights
+            for other in ((b,) if a == node else (a,) if b == node else ())
+            if other in placement
+        ]
+        candidates = [p for p in range(coupling.num_qubits) if p not in used]
+
+        def preference(p: int) -> tuple:
+            total = sum(int(dist[p, n]) for n in neighbors)
+            return (total, int(dist[p, center]), -coupling.degree(p))
+
+        best = min(candidates, key=preference)
+        placement[node] = best
+        used.add(best)
+    return placement
+
+
+def _expand_level(finer: _Level, parent: Dict[int, int],
+                  coarse_placement: Dict[int, int],
+                  coupling: CouplingGraph) -> Dict[int, int]:
+    """Give each fine node a physical qubit near its cluster's location."""
+    dist = coupling.distance_matrix
+    children: Dict[int, List[int]] = defaultdict(list)
+    for node, cluster in parent.items():
+        children[cluster].append(node)
+    placement: Dict[int, int] = {}
+    used: Set[int] = set()
+    # Heaviest clusters claim their neighbourhoods first.
+    for cluster in sorted(children, key=lambda c: -len(children[c])):
+        anchor = coarse_placement[cluster]
+        for node in sorted(children[cluster]):
+            candidates = [p for p in range(coupling.num_qubits) if p not in used]
+            best = min(candidates, key=lambda p: (int(dist[p, anchor]), p))
+            placement[node] = best
+            used.add(best)
+    return placement
+
+
+def _refine(level: _Level, coupling: CouplingGraph,
+            placement: Dict[int, int], passes: int) -> Dict[int, int]:
+    """Pairwise-exchange local search on the weighted distance objective."""
+    dist = coupling.distance_matrix
+    incident: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    for (a, b), w in level.weights.items():
+        incident[a].append((b, w))
+        incident[b].append((a, w))
+
+    def node_cost(node: int, at: int) -> int:
+        return sum(
+            w * int(dist[at, placement[other]])
+            for other, w in incident[node] if other != node
+        )
+
+    nodes = [n for n in level.nodes if incident[n]]
+    occupant = {p: n for n, p in placement.items()}
+    for _ in range(passes):
+        improved = False
+        for node in nodes:
+            p_now = placement[node]
+            base = node_cost(node, p_now)
+            for p_new in range(coupling.num_qubits):
+                if p_new == p_now:
+                    continue
+                other = occupant.get(p_new)
+                if other is not None:
+                    gain = (base - node_cost(node, p_new)
+                            + node_cost(other, p_new) - node_cost(other, p_now))
+                    # Exclude double-counted shared edge distortion.
+                else:
+                    gain = base - node_cost(node, p_new)
+                if gain > 0:
+                    placement[node] = p_new
+                    occupant[p_new] = node
+                    if other is not None:
+                        placement[other] = p_now
+                        occupant[p_now] = other
+                    else:
+                        del occupant[p_now]
+                    improved = True
+                    break
+        if not improved:
+            break
+    return placement

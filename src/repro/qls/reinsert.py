@@ -1,0 +1,70 @@
+"""Re-insertion of single-qubit gates after routing.
+
+Routing operates on the two-qubit skeleton (single-qubit gates impose no
+connectivity constraint).  To emit a complete transpiled circuit, each
+single-qubit gate is replayed immediately before the next two-qubit gate on
+its qubit (or at the end), mapped under the mapping current at that point —
+which is always legal because the gate's dependency neighbourhood on its
+qubit is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from ..qubikos.mapping import Mapping
+
+
+def split_one_qubit_gates(circuit: QuantumCircuit
+                          ) -> Tuple[List[Gate], Dict[int, List[Gate]], List[Gate]]:
+    """Partition gates into (two-qubit list, pre-gate 1q bundles, tail).
+
+    ``bundles[k]`` holds the single-qubit gates that must execute after
+    two-qubit gate ``k-1`` and before two-qubit gate ``k`` *on the same
+    qubit*; the tail holds gates after the last two-qubit gate on their
+    qubit.
+    """
+    two_qubit: List[Gate] = []
+    bundles: Dict[int, List[Gate]] = {}
+    pending: Dict[int, List[Gate]] = {}
+    for gate in circuit.gates:
+        if gate.is_two_qubit:
+            index = len(two_qubit)
+            for q in gate.qubits:
+                if pending.get(q):
+                    bundles.setdefault(index, []).extend(pending.pop(q))
+            two_qubit.append(gate)
+        else:
+            pending.setdefault(gate.qubits[0], []).append(gate)
+    tail: List[Gate] = []
+    for q in sorted(pending):
+        tail.extend(pending[q])
+    return two_qubit, bundles, tail
+
+
+def weave_transpiled(num_qubits: int,
+                     routed: Sequence[Tuple[int, Gate]],
+                     bundles: Dict[int, List[Gate]],
+                     tail: Sequence[Gate],
+                     mapping_at: Sequence[Mapping],
+                     final_mapping: Mapping,
+                     name: str = "transpiled") -> QuantumCircuit:
+    """Assemble the full transpiled circuit.
+
+    ``routed`` is the routing output: (original 2q index or -1 for SWAPs,
+    physical gate).  ``mapping_at[k]`` is the mapping in force when original
+    gate ``k`` executed.
+    """
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for original_index, gate in routed:
+        if original_index >= 0:
+            for one_qubit in bundles.get(original_index, ()):
+                q = one_qubit.qubits[0]
+                circuit.append(one_qubit.remap({q: mapping_at[original_index].phys(q)}))
+        circuit.append(gate)
+    for one_qubit in tail:
+        q = one_qubit.qubits[0]
+        circuit.append(one_qubit.remap({q: final_mapping.phys(q)}))
+    return circuit

@@ -1,0 +1,45 @@
+"""Router-only evaluation (Section IV-C of the paper).
+
+QUBIKOS instances carry their optimal initial mapping, so standalone
+routers can be judged in isolation: feed every tool the known-optimal
+placement and attribute any excess SWAPs to routing alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qubikos.instance import QubikosInstance
+from ..qubikos.mapping import Mapping
+from .base import QLSResult, QLSTool
+
+
+class FixedLayoutRouter(QLSTool):
+    """Wraps a tool, pinning the initial mapping (route-only mode)."""
+
+    def __init__(self, inner: QLSTool, mapping: Mapping) -> None:
+        self.inner = inner
+        self.mapping = mapping
+        self.name = f"{inner.name}+fixed"
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        pinned = initial_mapping if initial_mapping is not None else self.mapping
+        result = self.inner.run(circuit, coupling, initial_mapping=pinned)
+        result.tool = self.name
+        result.metadata["router_only"] = True
+        return result
+
+
+def route_with_optimal_layout(tool: QLSTool,
+                              instance: QubikosInstance) -> QLSResult:
+    """Run ``tool`` on ``instance`` from its known-optimal initial mapping."""
+    coupling = instance.coupling()
+    result = tool.run(
+        instance.circuit, coupling, initial_mapping=instance.mapping()
+    )
+    result.metadata["router_only"] = True
+    result.metadata["optimal_swaps"] = instance.optimal_swaps
+    return result

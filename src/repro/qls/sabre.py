@@ -1,0 +1,310 @@
+"""SABRE routing and layout (Li, Ding, Xie — ASPLOS 2019), with the
+LightSABRE cost model the paper's case study dissects.
+
+The router repeatedly executes every front-layer gate whose operands are
+adjacent, then scores candidate SWAPs (edges touching a front-layer qubit)
+with the three-component cost the paper describes in Section IV-C:
+
+* **basic** — mean distance of front-layer gate operands after the SWAP;
+* **lookahead** — mean distance over the *extended set* (the next
+  ``extended_set_size`` gates past the front layer), weighted by
+  ``extended_set_weight`` (Qiskit defaults: 20 gates, weight 0.5);
+* **decay** — a multiplicative penalty on recently swapped qubits that
+  breaks oscillations.
+
+The paper's proposed remedy — decaying the extended-set contribution with
+distance from the execution layer — is implemented as ``lookahead_decay``
+(per-rank geometric weight); ``None`` reproduces stock behaviour.
+
+Initial mappings use SABRE's forward–backward refinement; the LightSABRE
+evaluation mode (multiple randomized trials, best by SWAP count) lives in
+:mod:`repro.qls.lightsabre`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag, ExecutionFrontier
+from ..circuit.gates import Gate
+from ..qubikos.mapping import Mapping
+from .base import QLSError, QLSResult, QLSTool
+from .reinsert import split_one_qubit_gates, weave_transpiled
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SabreParameters:
+    """Tunables of the SABRE heuristic (Qiskit-compatible defaults)."""
+
+    extended_set_size: int = 20
+    extended_set_weight: float = 0.5
+    decay_increment: float = 0.001
+    decay_reset_interval: int = 5
+    lookahead_decay: Optional[float] = None  # paper's Section IV-C remedy
+    layout_passes: int = 3  # forward/backward rounds for the initial mapping
+
+
+@dataclass(frozen=True)
+class SwapScore:
+    """Cost breakdown for one candidate SWAP (used by the case study)."""
+
+    swap: Edge
+    basic: float
+    lookahead: float
+    decay: float
+    total: float
+
+
+class SabreCostModel:
+    """Scores candidate SWAPs; shared by the router and the case study."""
+
+    def __init__(self, coupling: CouplingGraph, params: SabreParameters) -> None:
+        self.coupling = coupling
+        self.params = params
+        # Plain nested lists: scalar indexing is several times faster than
+        # numpy element access, and scoring is the routing hot path.
+        self._dist = coupling.distance_matrix.tolist()
+
+    def candidate_swaps(self, dag: DependencyDag, frontier: ExecutionFrontier,
+                        mapping: Mapping) -> List[Edge]:
+        """Coupling edges touching a physical qubit hosting a front operand."""
+        candidates = set()
+        for node in frontier.front:
+            for q in dag.gates[node].qubits:
+                p = mapping.phys(q)
+                for nbr in self.coupling.neighbors(p):
+                    candidates.add((p, nbr) if p < nbr else (nbr, p))
+        return sorted(candidates)
+
+    def score(self, dag: DependencyDag, mapping: Mapping, swap: Edge,
+              front: Sequence[int], extended: Sequence[int],
+              decay: Dict[int, float]) -> SwapScore:
+        """The LightSABRE cost of applying ``swap`` to ``mapping``."""
+        p1, p2 = swap
+
+        def position(q: int) -> int:
+            p = mapping.phys(q)
+            if p == p1:
+                return p2
+            if p == p2:
+                return p1
+            return p
+
+        dist = self._dist
+        basic = 0.0
+        for node in front:
+            g = dag.gates[node]
+            basic += dist[position(g[0])][position(g[1])]
+        basic /= max(len(front), 1)
+
+        lookahead = 0.0
+        if extended:
+            weight_sum = 0.0
+            rank_weight = 1.0
+            for node in extended:
+                g = dag.gates[node]
+                lookahead += rank_weight * dist[position(g[0])][position(g[1])]
+                weight_sum += rank_weight
+                if self.params.lookahead_decay is not None:
+                    rank_weight *= self.params.lookahead_decay
+            lookahead /= weight_sum
+        decay_factor = max(
+            decay.get(mapping.prog(p1), 1.0) if mapping.has_prog_at(p1) else 1.0,
+            decay.get(mapping.prog(p2), 1.0) if mapping.has_prog_at(p2) else 1.0,
+        )
+        total = decay_factor * (basic + self.params.extended_set_weight * lookahead)
+        return SwapScore(swap=swap, basic=basic, lookahead=lookahead,
+                         decay=decay_factor, total=total)
+
+    def score_all(self, dag: DependencyDag, frontier: ExecutionFrontier,
+                  mapping: Mapping, decay: Optional[Dict[int, float]] = None
+                  ) -> List[SwapScore]:
+        """Scores for every candidate SWAP at the current routing state."""
+        decay = decay if decay is not None else {}
+        front = sorted(frontier.front)
+        extended = frontier.following_gates(self.params.extended_set_size)
+        return [
+            self.score(dag, mapping, swap, front, extended, decay)
+            for swap in self.candidate_swaps(dag, frontier, mapping)
+        ]
+
+
+@dataclass
+class RoutingOutcome:
+    """Raw result of one forward routing pass."""
+
+    routed: List[Tuple[int, Gate]]  # (original 2q index, physical gate); -1 = SWAP
+    swap_count: int
+    final_mapping: Mapping
+    mapping_at: Dict[int, Mapping]
+    fallback_swaps: int = 0
+
+
+def route(circuit: QuantumCircuit, coupling: CouplingGraph, mapping: Mapping,
+          params: SabreParameters, rng: random.Random,
+          record_mappings: bool = False) -> RoutingOutcome:
+    """One SABRE forward routing pass; ``mapping`` is consumed (mutated)."""
+    dag = DependencyDag.from_circuit(circuit)
+    frontier = ExecutionFrontier(dag)
+    model = SabreCostModel(coupling, params)
+    decay: Dict[int, float] = {}
+    routed: List[Tuple[int, Gate]] = []
+    mapping_at: Dict[int, Mapping] = {}
+    swap_count = 0
+    fallback_swaps = 0
+    swaps_since_progress = 0
+    swaps_since_reset = 0
+    # Livelock bound: generous multiple of how far anything could need to move.
+    stall_limit = max(16, 6 * coupling.diameter())
+
+    def execute_ready() -> bool:
+        progressed = False
+        again = True
+        while again:
+            again = False
+            for node in sorted(frontier.front):
+                g = dag.gates[node]
+                p1, p2 = mapping.phys(g[0]), mapping.phys(g[1])
+                if coupling.has_edge(p1, p2):
+                    frontier.execute(node)
+                    routed.append((node, g.remap({g[0]: p1, g[1]: p2})))
+                    if record_mappings:
+                        mapping_at[node] = mapping.copy()
+                    again = True
+                    progressed = True
+        return progressed
+
+    while not frontier.done():
+        if execute_ready():
+            swaps_since_progress = 0
+            decay.clear()
+            swaps_since_reset = 0
+            continue
+        if frontier.done():
+            break
+        if swaps_since_progress >= stall_limit:
+            # Escape hatch: greedily walk one front gate's operands together.
+            swaps_done = _force_route_one(dag, frontier, coupling, mapping, routed)
+            swap_count += swaps_done
+            fallback_swaps += swaps_done
+            swaps_since_progress = 0
+            continue
+        front = sorted(frontier.front)
+        extended = frontier.following_gates(params.extended_set_size)
+        scores = [
+            model.score(dag, mapping, swap, front, extended, decay)
+            for swap in model.candidate_swaps(dag, frontier, mapping)
+        ]
+        if not scores:
+            raise QLSError("no candidate swaps; disconnected coupling graph?")
+        best_total = min(s.total for s in scores)
+        best = [s for s in scores if s.total <= best_total + 1e-12]
+        choice = rng.choice(best)
+        p1, p2 = choice.swap
+        mapping.swap_physical(p1, p2)
+        routed.append((-1, Gate("swap", (p1, p2))))
+        swap_count += 1
+        swaps_since_progress += 1
+        swaps_since_reset += 1
+        for p in (p1, p2):
+            if mapping.has_prog_at(p):
+                q = mapping.prog(p)
+                decay[q] = decay.get(q, 1.0) + params.decay_increment
+        if swaps_since_reset >= params.decay_reset_interval:
+            decay.clear()
+            swaps_since_reset = 0
+    return RoutingOutcome(
+        routed=routed, swap_count=swap_count, final_mapping=mapping,
+        mapping_at=mapping_at, fallback_swaps=fallback_swaps,
+    )
+
+
+def _force_route_one(dag: DependencyDag, frontier: ExecutionFrontier,
+                     coupling: CouplingGraph, mapping: Mapping,
+                     routed: List[Tuple[int, Gate]]) -> int:
+    """Livelock escape: route the closest front gate along a shortest path."""
+    best_node = min(
+        frontier.front,
+        key=lambda n: coupling.distance(
+            mapping.phys(dag.gates[n][0]), mapping.phys(dag.gates[n][1])
+        ),
+    )
+    g = dag.gates[best_node]
+    path = coupling.shortest_path(mapping.phys(g[0]), mapping.phys(g[1]))
+    swaps = 0
+    # Walk the first operand toward the second until adjacent.
+    for a, b in zip(path, path[1:-1]):
+        mapping.swap_physical(a, b)
+        routed.append((-1, Gate("swap", (a, b))))
+        swaps += 1
+    return swaps
+
+
+class SabreLayout(QLSTool):
+    """Full SABRE: forward–backward initial-mapping search plus routing."""
+
+    name = "sabre"
+
+    def __init__(self, params: Optional[SabreParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or SabreParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        rng = random.Random(self.seed)
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError(
+                f"circuit needs {circuit.num_qubits} qubits; device has "
+                f"{coupling.num_qubits}"
+            )
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        skeleton = QuantumCircuit(circuit.num_qubits, two_qubit)
+        if initial_mapping is None:
+            mapping = self._search_initial_mapping(skeleton, coupling, rng)
+        else:
+            mapping = initial_mapping.copy()
+        start_mapping = mapping.copy()
+        outcome = route(skeleton, coupling, mapping, self.params, rng,
+                        record_mappings=True)
+        transpiled = weave_transpiled(
+            coupling.num_qubits, outcome.routed, bundles, tail,
+            mapping_at=outcome.mapping_at, final_mapping=outcome.final_mapping,
+            name=f"{circuit.name}_{self.name}",
+        )
+        return QLSResult(
+            tool=self.name,
+            circuit=transpiled,
+            initial_mapping=start_mapping,
+            swap_count=outcome.swap_count,
+            metadata={"fallback_swaps": outcome.fallback_swaps},
+        )
+
+    def _search_initial_mapping(self, skeleton: QuantumCircuit,
+                                coupling: CouplingGraph,
+                                rng: random.Random) -> Mapping:
+        """Forward–backward passes: each pass's final mapping seeds the next."""
+        mapping = _random_initial_mapping(skeleton.num_qubits, coupling, rng)
+        reversed_skeleton = QuantumCircuit(
+            skeleton.num_qubits, list(reversed(skeleton.gates))
+        )
+        for _ in range(self.params.layout_passes):
+            outcome = route(skeleton, coupling, mapping.copy(), self.params, rng)
+            mapping = outcome.final_mapping
+            outcome = route(reversed_skeleton, coupling, mapping.copy(),
+                            self.params, rng)
+            mapping = outcome.final_mapping
+        return mapping
+
+
+def _random_initial_mapping(num_program: int, coupling: CouplingGraph,
+                            rng: random.Random) -> Mapping:
+    physical = list(range(coupling.num_qubits))
+    rng.shuffle(physical)
+    return Mapping({q: physical[q] for q in range(num_program)})

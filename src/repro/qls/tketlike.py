@@ -1,0 +1,178 @@
+"""t|ket⟩-style slice router (after Cowtan et al., arXiv:1902.08091).
+
+The real t|ket⟩ routing pass is unavailable offline; this reimplementation
+follows the published algorithm's shape: gates are grouped into
+*timeslices* (maximal sets of dependency-independent gates), the router
+greedily executes the current slice, and when blocked it picks the SWAP
+that minimizes a distance cost summed over the next few slices with
+geometrically decaying weights.  Distinguishing features versus SABRE:
+slice-based lookahead (not a gate-count extended set), no decay penalty on
+recently moved qubits, and deterministic tie-breaking — the combination
+that historically trails SABRE on SWAP count, as the paper observes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag, ExecutionFrontier
+from ..circuit.gates import Gate
+from ..qubikos.mapping import Mapping
+from .base import QLSError, QLSResult, QLSTool
+from .initial import greedy_degree_mapping
+from .reinsert import split_one_qubit_gates, weave_transpiled
+from .sabre import _force_route_one
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TketParameters:
+    """Router tunables (defaults follow the published description)."""
+
+    lookahead_slices: int = 4
+    slice_decay: float = 0.6
+
+
+class TketLikeRouter(QLSTool):
+    """Slice-frontier router with decayed multi-slice lookahead."""
+
+    name = "tketlike"
+
+    def __init__(self, params: Optional[TketParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or TketParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> QLSResult:
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError("circuit larger than device")
+        rng = random.Random(self.seed)
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        skeleton = QuantumCircuit(circuit.num_qubits, two_qubit)
+        if initial_mapping is None:
+            mapping = greedy_degree_mapping(skeleton, coupling, rng)
+        else:
+            mapping = initial_mapping.copy()
+        start_mapping = mapping.copy()
+
+        dag = DependencyDag.from_circuit(skeleton)
+        frontier = ExecutionFrontier(dag)
+        layer_of = self._static_layers(dag)
+        dist = coupling.distance_matrix.tolist()
+        routed: List[Tuple[int, Gate]] = []
+        mapping_at: Dict[int, Mapping] = {}
+        swap_count = 0
+        stall = 0
+        stall_limit = max(16, 6 * coupling.diameter())
+
+        while not frontier.done():
+            if self._execute_ready(dag, frontier, coupling, mapping,
+                                   routed, mapping_at):
+                stall = 0
+                continue
+            if frontier.done():
+                break
+            if stall >= stall_limit:
+                forced = _force_route_one(dag, frontier, coupling, mapping, routed)
+                swap_count += forced
+                stall = 0
+                continue
+            swap = self._best_swap(dag, frontier, layer_of, coupling, mapping, dist)
+            mapping.swap_physical(*swap)
+            routed.append((-1, Gate("swap", swap)))
+            swap_count += 1
+            stall += 1
+
+        transpiled = weave_transpiled(
+            coupling.num_qubits, routed, bundles, tail,
+            mapping_at=mapping_at, final_mapping=mapping,
+            name=f"{circuit.name}_{self.name}",
+        )
+        return QLSResult(
+            tool=self.name, circuit=transpiled,
+            initial_mapping=start_mapping, swap_count=swap_count,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _static_layers(dag: DependencyDag) -> List[int]:
+        """ASAP layer index per gate (the slice structure)."""
+        layer_of = [0] * len(dag)
+        for node in dag.topological_order():
+            for nxt in dag.successors(node):
+                layer_of[nxt] = max(layer_of[nxt], layer_of[node] + 1)
+        return layer_of
+
+    @staticmethod
+    def _execute_ready(dag: DependencyDag, frontier: ExecutionFrontier,
+                       coupling: CouplingGraph, mapping: Mapping,
+                       routed: List[Tuple[int, Gate]],
+                       mapping_at: Dict[int, Mapping]) -> bool:
+        progressed = False
+        again = True
+        while again:
+            again = False
+            for node in sorted(frontier.front):
+                g = dag.gates[node]
+                p1, p2 = mapping.phys(g[0]), mapping.phys(g[1])
+                if coupling.has_edge(p1, p2):
+                    frontier.execute(node)
+                    routed.append((node, g.remap({g[0]: p1, g[1]: p2})))
+                    mapping_at[node] = mapping.copy()
+                    again = True
+                    progressed = True
+        return progressed
+
+    def _best_swap(self, dag: DependencyDag, frontier: ExecutionFrontier,
+                   layer_of: List[int], coupling: CouplingGraph,
+                   mapping: Mapping, dist) -> Edge:
+        """Candidate SWAP minimizing the decayed multi-slice distance cost."""
+        # Group the unexecuted gates of the next few slices.
+        pending: Dict[int, List[int]] = {}
+        executed = frontier.executed
+        base_layer = min(layer_of[n] for n in frontier.front)
+        horizon = base_layer + self.params.lookahead_slices
+        for node in range(len(dag)):
+            if node in executed:
+                continue
+            layer = layer_of[node]
+            if base_layer <= layer < horizon:
+                pending.setdefault(layer - base_layer, []).append(node)
+
+        candidates = set()
+        for node in frontier.front:
+            for q in dag.gates[node].qubits:
+                p = mapping.phys(q)
+                for nbr in coupling.neighbors(p):
+                    candidates.add((p, nbr) if p < nbr else (nbr, p))
+        if not candidates:
+            raise QLSError("no candidate swaps available")
+
+        def cost(swap: Edge) -> float:
+            p1, p2 = swap
+
+            def position(q: int) -> int:
+                p = mapping.phys(q)
+                if p == p1:
+                    return p2
+                if p == p2:
+                    return p1
+                return p
+
+            total = 0.0
+            weight = 1.0
+            for slice_index in range(self.params.lookahead_slices):
+                for node in pending.get(slice_index, ()):
+                    g = dag.gates[node]
+                    total += weight * dist[position(g[0])][position(g[1])]
+                weight *= self.params.slice_decay
+            return total
+
+        return min(sorted(candidates), key=cost)

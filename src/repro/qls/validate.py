@@ -1,0 +1,122 @@
+"""Transpiled-circuit validation.
+
+Replays a transpiled circuit against the original circuit's dependency DAG:
+every two-qubit gate must sit on a coupling edge, SWAP gates permute the
+tracked mapping, and each non-SWAP gate must correspond to a front-layer
+gate of the original circuit under the current mapping.  This is the
+ground-truth acceptance test for every QLS tool *and* for QUBIKOS witness
+circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.dag import DependencyDag, ExecutionFrontier
+from ..qubikos.mapping import Mapping
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one transpiled circuit."""
+
+    valid: bool
+    swap_count: int
+    executed_gates: int
+    total_gates: int
+    error: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def validate_transpiled(original: QuantumCircuit, transpiled: QuantumCircuit,
+                        coupling: CouplingGraph,
+                        initial_mapping: Mapping) -> ValidationReport:
+    """Check that ``transpiled`` faithfully implements ``original``.
+
+    ``transpiled`` has gates on physical qubits and explicit ``swap`` gates;
+    ``initial_mapping`` gives the starting program->physical placement.
+    """
+    dag = DependencyDag.from_circuit(original)
+    frontier = ExecutionFrontier(dag)
+    mapping = initial_mapping.copy()
+    swap_count = 0
+    executed = 0
+
+    def fail(message: str) -> ValidationReport:
+        return ValidationReport(
+            valid=False, swap_count=swap_count,
+            executed_gates=executed, total_gates=len(dag), error=message,
+        )
+
+    for position, gate in enumerate(transpiled.gates):
+        if not gate.is_two_qubit:
+            continue
+        p1, p2 = gate.qubits
+        if not coupling.has_edge(p1, p2):
+            return fail(
+                f"gate {position} ({gate}) acts on non-adjacent physical "
+                f"qubits ({p1}, {p2})"
+            )
+        if gate.is_swap:
+            swap_count += 1
+            mapping.swap_physical(p1, p2)
+            continue
+        if not (mapping.has_prog_at(p1) and mapping.has_prog_at(p2)):
+            return fail(
+                f"gate {position} ({gate}) touches a physical qubit with no "
+                "program qubit mapped to it"
+            )
+        pair = tuple(sorted((mapping.prog(p1), mapping.prog(p2))))
+        matched = None
+        for node in frontier.front:
+            if dag.gates[node].qubit_pair() == pair:
+                matched = node
+                break
+        if matched is None:
+            return fail(
+                f"gate {position} ({gate}) = program pair {pair} is not in "
+                f"the front layer {sorted(frontier.front)}"
+            )
+        frontier.execute(matched)
+        executed += 1
+
+    if not frontier.done():
+        remaining = len(dag) - executed
+        return fail(f"{remaining} original gate(s) never executed")
+    return ValidationReport(
+        valid=True, swap_count=swap_count,
+        executed_gates=executed, total_gates=len(dag), error=None,
+    )
+
+
+def count_swaps(transpiled: QuantumCircuit) -> int:
+    """SWAP gates in a transpiled circuit (the paper's cost metric)."""
+    return transpiled.swap_count()
+
+
+def strip_swaps_and_unmap(transpiled: QuantumCircuit, coupling: CouplingGraph,
+                          initial_mapping: Mapping) -> QuantumCircuit:
+    """Recover the logical gate sequence implemented by ``transpiled``.
+
+    Useful for equivalence debugging: the result should be a dependency-
+    preserving reordering of the original circuit.
+    """
+    mapping = initial_mapping.copy()
+    logical = QuantumCircuit(transpiled.num_qubits, name=transpiled.name + "_logical")
+    for gate in transpiled.gates:
+        if gate.is_swap:
+            mapping.swap_physical(*gate.qubits)
+            continue
+        if gate.is_two_qubit:
+            p1, p2 = gate.qubits
+            logical.append(gate.remap({p1: mapping.prog(p1), p2: mapping.prog(p2)}))
+        else:
+            (p,) = gate.qubits
+            if mapping.has_prog_at(p):
+                logical.append(gate.remap({p: mapping.prog(p)}))
+    return logical

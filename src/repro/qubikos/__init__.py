@@ -1,0 +1,55 @@
+"""QUBIKOS: benchmark circuits with provably optimal SWAP counts."""
+
+from .mapping import Mapping, MappingError
+from .swapseq import SwapChoice, SwapSelectionError, essential_swap_choices, select_swap
+from .nonisomorphic import (
+    SectionGraph,
+    build_section_graph,
+    degree_count_certificate,
+    interaction_edges_prog,
+    saturated_edge_set,
+)
+from .backbone import ORDERING_MODES, OrderedSection, connect_section, order_section
+from .generator import GenerationError, generate
+from .instance import QubikosInstance, SectionRecord
+from .verify import CertificateReport, verify_certificate
+from .suite import (
+    SuiteSpec,
+    build_suite,
+    evaluation_spec,
+    load_suite,
+    optimality_study_spec,
+    save_suite,
+)
+from .queko import QuekoInstance, check_zero_swap_solution, generate_queko
+from .quekno import QueknoInstance, generate_quekno, reference_is_loose
+
+__all__ = [
+    "Mapping",
+    "MappingError",
+    "SwapChoice",
+    "SwapSelectionError",
+    "essential_swap_choices",
+    "select_swap",
+    "SectionGraph",
+    "build_section_graph",
+    "degree_count_certificate",
+    "interaction_edges_prog",
+    "saturated_edge_set",
+    "ORDERING_MODES",
+    "OrderedSection",
+    "connect_section",
+    "order_section",
+    "GenerationError",
+    "generate",
+    "QubikosInstance",
+    "SectionRecord",
+    "CertificateReport",
+    "verify_certificate",
+    "SuiteSpec",
+    "build_suite",
+    "evaluation_spec",
+    "load_suite",
+    "optimality_study_spec",
+    "save_suite",
+]

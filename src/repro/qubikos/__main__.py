@@ -1,0 +1,74 @@
+"""Command-line QUBIKOS suite generator.
+
+Usage::
+
+    python -m repro.qubikos --arch aspen4 --swaps 5 --gates 300 \
+        --count 10 --seed 1 --out suites/aspen5
+
+Writes one JSON file per instance (circuit + witness + certificate inputs)
+plus an ``index.json``, verifying every certificate before saving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..arch.library import available_architectures, get_architecture
+from .generator import generate
+from .suite import save_suite
+from .verify import verify_certificate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qubikos",
+        description="Generate QUBIKOS benchmark suites with certificates.",
+    )
+    parser.add_argument("--arch", required=True,
+                        help=f"one of {available_architectures()} or "
+                             "lineN/ringN/gridRxC")
+    parser.add_argument("--swaps", type=int, required=True,
+                        help="optimal SWAP count per circuit")
+    parser.add_argument("--gates", type=int, default=None,
+                        help="total two-qubit gates (default: backbone only)")
+    parser.add_argument("--count", type=int, default=10,
+                        help="number of circuits to generate")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--ordering", choices=["paper", "pruned"],
+                        default="paper")
+    parser.add_argument("--one-qubit-fraction", type=float, default=0.0)
+    parser.add_argument("--out", required=True, help="output directory")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip certificate verification (faster)")
+    args = parser.parse_args(argv)
+
+    device = get_architecture(args.arch)
+    instances = []
+    for k in range(args.count):
+        instance = generate(
+            device,
+            num_swaps=args.swaps,
+            num_two_qubit_gates=args.gates,
+            seed=args.seed + k,
+            ordering_mode=args.ordering,
+            one_qubit_gate_fraction=args.one_qubit_fraction,
+        )
+        if not args.skip_verify:
+            report = verify_certificate(instance, device)
+            if not report.valid:
+                print(f"certificate FAILED for seed {args.seed + k}: "
+                      f"{report.failures}", file=sys.stderr)
+                return 1
+        instances.append(instance)
+        print(f"  {instance.name}: "
+              f"{instance.num_two_qubit_gates()} two-qubit gates, "
+              f"optimal SWAPs = {instance.optimal_swaps}")
+    save_suite(instances, args.out)
+    print(f"wrote {len(instances)} instances to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""QUBIKOS circuit generation (Algorithm 3 of the paper).
+
+``generate`` assembles a full benchmark instance:
+
+1. draw a random complete initial mapping;
+2. for each of the ``n`` requested SWAPs, pick an essential SWAP
+   (:mod:`swapseq`), build the saturated non-isomorphic gate set
+   (:mod:`nonisomorphic`), and serialize it between special gates
+   (:mod:`backbone`);
+3. pad the backbone with *redundant* gates — coupling edges under the
+   section's mapping, inserted inside the section's span — until the target
+   two-qubit gate count is reached (they never change the optimum:
+   the witness still executes them in place, and the lower bound comes from
+   the backbone sub-circuit alone);
+4. optionally dress with single-qubit gates;
+5. emit both the benchmark circuit ``C`` (program qubits) and the witness
+   transpiled circuit ``Cans`` (physical qubits + SWAPs) realizing exactly
+   ``n`` SWAPs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate, random_single_qubit_gate
+from .backbone import ORDERING_MODES, OrderedSection, order_section
+from .instance import QubikosInstance, SectionRecord
+from .mapping import Mapping
+from .nonisomorphic import build_section_graph
+from .swapseq import SwapChoice, select_swap
+
+Edge = Tuple[int, int]
+
+
+class GenerationError(RuntimeError):
+    """Raised when an instance cannot be generated as requested."""
+
+
+@dataclass
+class _Tagged:
+    """A gate placed in a specific section span."""
+
+    gate: Gate
+    section: int  # 0..n (n == the tail span after the last SWAP)
+    filler: bool
+
+
+def generate(coupling: CouplingGraph, num_swaps: int,
+             num_two_qubit_gates: Optional[int] = None,
+             seed: Optional[int] = None,
+             rng: Optional[random.Random] = None,
+             ordering_mode: str = "paper",
+             one_qubit_gate_fraction: float = 0.0,
+             name: Optional[str] = None) -> QubikosInstance:
+    """Generate a QUBIKOS instance with exactly ``num_swaps`` optimal SWAPs.
+
+    Parameters
+    ----------
+    coupling:
+        Target device.  Must not be a complete graph.
+    num_swaps:
+        The provably optimal SWAP count ``n`` (>= 1).
+    num_two_qubit_gates:
+        Target total two-qubit gate count ``N``.  When smaller than the
+        backbone, the backbone size wins (recorded in metadata).  ``None``
+        means backbone only.
+    seed / rng:
+        Reproducibility controls; ``rng`` wins when both are given.
+    ordering_mode:
+        ``"paper"`` (two full BFS passes) or ``"pruned"`` (tree forward
+        pass); see :mod:`repro.qubikos.backbone`.
+    one_qubit_gate_fraction:
+        Ratio of single-qubit dressing gates to two-qubit gates.
+    """
+    if num_swaps < 1:
+        raise GenerationError("QUBIKOS instances need at least one SWAP")
+    if ordering_mode not in ORDERING_MODES:
+        raise GenerationError(f"unknown ordering mode {ordering_mode!r}")
+    if rng is None:
+        rng = random.Random(seed)
+
+    initial_mapping = Mapping.random_complete(coupling.num_qubits, rng)
+    mapping = initial_mapping.copy()
+
+    sections: List[OrderedSection] = []
+    records: List[SectionRecord] = []
+    spans: List[List[_Tagged]] = []
+    prev_special: Tuple[int, int] = ()
+    prev_edge: Optional[Edge] = None
+    for _ in range(num_swaps):
+        swap = select_swap(coupling, rng, avoid_edge=prev_edge)
+        section_graph = build_section_graph(coupling, mapping, swap)
+        ordered = order_section(
+            coupling, mapping, section_graph,
+            prev_special_prog=prev_special, mode=ordering_mode,
+        )
+        sections.append(ordered)
+        records.append(SectionRecord(
+            swap_edge=swap.edge,
+            special_prog=ordered.special_prog,
+            special_phys_after=section_graph.special_phys_after_swap,
+            mapping_before=tuple(mapping.to_list(coupling.num_qubits)),
+            anchor_degree=section_graph.anchor_degree,
+            connector_count=len(ordered.connector_phys_edges),
+        ))
+        spans.append([
+            _Tagged(Gate("cx", pair), len(spans), filler=False)
+            for pair in ordered.prog_gates
+        ])
+        prev_special = ordered.special_prog
+        prev_edge = swap.edge
+        mapping.swap_physical(*swap.edge)
+    spans.append([])  # tail span: executes under the final mapping
+    final_mapping = mapping
+
+    backbone_two_qubit = sum(len(s) for s in spans) + num_swaps  # + specials
+    target = num_two_qubit_gates if num_two_qubit_gates is not None else backbone_two_qubit
+    fillers_added = _insert_fillers(
+        coupling, records, final_mapping, spans, rng,
+        max(0, target - backbone_two_qubit),
+    )
+    one_qubit_count = int(round(one_qubit_gate_fraction * (backbone_two_qubit + fillers_added)))
+    _insert_one_qubit_gates(coupling.num_qubits, spans, rng, one_qubit_count)
+
+    circuit, witness, special_positions, gate_sections, gate_fillers = _assemble(
+        coupling, records, initial_mapping, final_mapping, spans
+    )
+    instance_name = name or (
+        f"qubikos_{coupling.name}_s{num_swaps}_g{circuit.num_two_qubit_gates()}"
+        + (f"_seed{seed}" if seed is not None else "")
+    )
+    return QubikosInstance(
+        architecture=coupling.name,
+        circuit=circuit,
+        witness=witness,
+        initial_mapping=tuple(initial_mapping.to_list(coupling.num_qubits)),
+        optimal_swaps=num_swaps,
+        sections=tuple(records),
+        special_gate_positions=tuple(special_positions),
+        gate_sections=tuple(gate_sections),
+        gate_fillers=tuple(gate_fillers),
+        seed=seed,
+        ordering_mode=ordering_mode,
+        name=instance_name,
+        metadata={
+            "backbone_two_qubit_gates": backbone_two_qubit,
+            "filler_two_qubit_gates": fillers_added,
+            "requested_two_qubit_gates": num_two_qubit_gates,
+            "one_qubit_gates": one_qubit_count,
+        },
+    )
+
+
+def _section_mapping(records: Sequence[SectionRecord], final_mapping: Mapping,
+                     span: int) -> Mapping:
+    """Mapping in force inside span ``span`` (0..n)."""
+    if span < len(records):
+        return records[span].mapping()
+    return final_mapping
+
+
+def _insert_fillers(coupling: CouplingGraph, records: Sequence[SectionRecord],
+                    final_mapping: Mapping, spans: List[List[_Tagged]],
+                    rng: random.Random, count: int) -> int:
+    """Insert ``count`` redundant two-qubit gates across section spans."""
+    edges = list(coupling.edges)
+    for _ in range(count):
+        span = rng.randrange(len(spans))
+        mapping = _section_mapping(records, final_mapping, span)
+        a, b = rng.choice(edges)
+        pair = (mapping.prog(a), mapping.prog(b))
+        if rng.random() < 0.5:
+            pair = (pair[1], pair[0])
+        position = rng.randint(0, len(spans[span]))
+        spans[span].insert(position, _Tagged(Gate("cx", pair), span, filler=True))
+    return count
+
+
+def _insert_one_qubit_gates(num_qubits: int, spans: List[List[_Tagged]],
+                            rng: random.Random, count: int) -> None:
+    for _ in range(count):
+        span = rng.randrange(len(spans))
+        qubit = rng.randrange(num_qubits)
+        gate = random_single_qubit_gate(rng, qubit)
+        position = rng.randint(0, len(spans[span]))
+        spans[span].insert(position, _Tagged(gate, span, filler=True))
+
+
+def _assemble(coupling: CouplingGraph, records: Sequence[SectionRecord],
+              initial_mapping: Mapping, final_mapping: Mapping,
+              spans: Sequence[Sequence[_Tagged]]
+              ) -> Tuple[QuantumCircuit, QuantumCircuit, List[int], List[int], List[bool]]:
+    """Build C (program qubits) and Cans (physical qubits + SWAPs)."""
+    n = coupling.num_qubits
+    circuit = QuantumCircuit(n, name="qubikos")
+    witness = QuantumCircuit(n, name="qubikos_witness")
+    special_positions: List[int] = []
+    gate_sections: List[int] = []
+    gate_fillers: List[bool] = []
+    two_qubit_seen = 0
+    for span_index, span in enumerate(spans):
+        mapping = _section_mapping(records, final_mapping, span_index)
+        for tagged in span:
+            circuit.append(tagged.gate)
+            witness.append(tagged.gate.remap({
+                q: mapping.phys(q) for q in tagged.gate.qubits
+            }))
+            if tagged.gate.is_two_qubit:
+                gate_sections.append(span_index)
+                gate_fillers.append(tagged.filler)
+                two_qubit_seen += 1
+        if span_index < len(records):
+            record = records[span_index]
+            # The SWAP fires, then the special gate executes post-SWAP.
+            witness.append(Gate("swap", record.swap_edge))
+            after = _section_mapping(records, final_mapping, span_index + 1)
+            sa, sb = record.special_prog
+            circuit.append(Gate("cx", (sa, sb)))
+            witness.append(Gate("cx", (after.phys(sa), after.phys(sb))))
+            special_positions.append(two_qubit_seen)
+            gate_sections.append(span_index)
+            gate_fillers.append(False)
+            two_qubit_seen += 1
+    return circuit, witness, special_positions, gate_sections, gate_fillers

@@ -1,0 +1,169 @@
+"""QUBIKOS instance container and serialization.
+
+A :class:`QubikosInstance` bundles everything the paper's experiments need:
+the benchmark circuit ``C``, the witness transpiled circuit ``Cans`` (which
+realizes the optimal SWAP count), the initial mapping, the per-section
+record (SWAP edge, special gate, mapping before the SWAP), and provenance
+metadata.  Instances serialize to JSON (+ embedded QASM) so suites can be
+saved, shipped, and reloaded byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit import qasm
+from ..arch.coupling import CouplingGraph
+from ..arch.library import get_architecture
+from .mapping import Mapping
+
+Edge = Tuple[int, int]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SectionRecord:
+    """Provenance of one backbone section.
+
+    ``mapping_before`` is the complete program->physical mapping in force
+    while the section's non-special gates execute; the SWAP on ``swap_edge``
+    then enables the special gate.
+    """
+
+    swap_edge: Edge
+    special_prog: Tuple[int, int]
+    special_phys_after: Edge
+    mapping_before: Tuple[int, ...]  # prog_to_phys, dense
+    anchor_degree: int
+    connector_count: int
+
+    def mapping(self) -> Mapping:
+        return Mapping.from_list(list(self.mapping_before))
+
+
+@dataclass
+class QubikosInstance:
+    """One QUBIKOS benchmark circuit with its optimality witness."""
+
+    architecture: str
+    circuit: QuantumCircuit
+    witness: QuantumCircuit  # gates on PHYSICAL qubits, SWAPs included
+    initial_mapping: Tuple[int, ...]  # prog_to_phys, dense
+    optimal_swaps: int
+    sections: Tuple[SectionRecord, ...]
+    special_gate_positions: Tuple[int, ...]  # indices into circuit 2q-gate order
+    gate_sections: Tuple[int, ...] = ()  # span index per 2q gate (0..n)
+    gate_fillers: Tuple[bool, ...] = ()  # True for redundant (filler) 2q gates
+    seed: Optional[int] = None
+    ordering_mode: str = "paper"
+    name: str = "qubikos"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- convenience -----------------------------------------------------------
+
+    def coupling(self) -> CouplingGraph:
+        """The device this instance was generated for."""
+        return get_architecture(self.architecture)
+
+    def mapping(self) -> Mapping:
+        return Mapping.from_list(list(self.initial_mapping))
+
+    def final_mapping(self) -> Mapping:
+        """Mapping after all witness SWAPs."""
+        mapping = self.mapping()
+        for record in self.sections:
+            mapping.swap_physical(*record.swap_edge)
+        return mapping
+
+    def num_two_qubit_gates(self) -> int:
+        return self.circuit.num_two_qubit_gates()
+
+    def swap_ratio(self, observed_swaps: float) -> float:
+        """Observed / optimal — the paper's optimality-gap unit."""
+        if self.optimal_swaps <= 0:
+            raise ValueError("swap ratio undefined for zero-SWAP instances")
+        return observed_swaps / self.optimal_swaps
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "architecture": self.architecture,
+            "optimal_swaps": self.optimal_swaps,
+            "initial_mapping": list(self.initial_mapping),
+            "seed": self.seed,
+            "ordering_mode": self.ordering_mode,
+            "special_gate_positions": list(self.special_gate_positions),
+            "gate_sections": list(self.gate_sections),
+            "gate_fillers": [int(f) for f in self.gate_fillers],
+            "circuit_qasm": qasm.dumps(self.circuit),
+            "witness_qasm": qasm.dumps(self.witness),
+            "sections": [
+                {
+                    "swap_edge": list(rec.swap_edge),
+                    "special_prog": list(rec.special_prog),
+                    "special_phys_after": list(rec.special_phys_after),
+                    "mapping_before": list(rec.mapping_before),
+                    "anchor_degree": rec.anchor_degree,
+                    "connector_count": rec.connector_count,
+                }
+                for rec in self.sections
+            ],
+            "metadata": self.metadata,
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QubikosInstance":
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported instance format version {version!r}")
+        sections = tuple(
+            SectionRecord(
+                swap_edge=tuple(rec["swap_edge"]),
+                special_prog=tuple(rec["special_prog"]),
+                special_phys_after=tuple(rec["special_phys_after"]),
+                mapping_before=tuple(rec["mapping_before"]),
+                anchor_degree=rec["anchor_degree"],
+                connector_count=rec["connector_count"],
+            )
+            for rec in payload["sections"]
+        )
+        return cls(
+            architecture=payload["architecture"],
+            circuit=qasm.loads(payload["circuit_qasm"]),
+            witness=qasm.loads(payload["witness_qasm"]),
+            initial_mapping=tuple(payload["initial_mapping"]),
+            optimal_swaps=payload["optimal_swaps"],
+            sections=sections,
+            special_gate_positions=tuple(payload["special_gate_positions"]),
+            gate_sections=tuple(payload.get("gate_sections", ())),
+            gate_fillers=tuple(bool(f) for f in payload.get("gate_fillers", ())),
+            seed=payload.get("seed"),
+            ordering_mode=payload.get("ordering_mode", "paper"),
+            name=payload.get("name", "qubikos"),
+            metadata=payload.get("metadata", {}),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "QubikosInstance":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:
+        return (
+            f"QubikosInstance(name={self.name!r}, arch={self.architecture!r}, "
+            f"opt_swaps={self.optimal_swaps}, "
+            f"gates2q={self.circuit.num_two_qubit_gates()})"
+        )

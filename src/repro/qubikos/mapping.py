@@ -1,0 +1,129 @@
+"""Qubit mappings ``f : Q -> P`` and their evolution under SWAPs.
+
+QUBIKOS instances use complete bijections (one program qubit per physical
+qubit); layout-synthesis results may place fewer program qubits.  The class
+keeps both directions in sync and supports the two operations the generator
+and validators need: lookup and physical-pair swap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class MappingError(ValueError):
+    """Raised for inconsistent mapping operations."""
+
+
+class Mapping:
+    """Injective map from program qubits to physical qubits."""
+
+    def __init__(self, prog_to_phys: Dict[int, int]) -> None:
+        self._p2q: Dict[int, int] = {}
+        self._q2p: Dict[int, int] = dict(prog_to_phys)
+        for q, p in self._q2p.items():
+            if p in self._p2q:
+                raise MappingError(f"physical qubit {p} assigned twice")
+            self._p2q[p] = q
+
+    @classmethod
+    def identity(cls, n: int) -> "Mapping":
+        """q -> q for q in 0..n-1."""
+        return cls({q: q for q in range(n)})
+
+    @classmethod
+    def random_complete(cls, num_physical: int, rng: random.Random) -> "Mapping":
+        """Uniformly random bijection over ``num_physical`` qubits."""
+        targets = list(range(num_physical))
+        rng.shuffle(targets)
+        return cls({q: p for q, p in enumerate(targets)})
+
+    @classmethod
+    def from_list(cls, prog_to_phys: Sequence[int]) -> "Mapping":
+        """Build from a list where index = program qubit."""
+        return cls({q: p for q, p in enumerate(prog_to_phys)})
+
+    # -- lookup ---------------------------------------------------------------
+
+    def phys(self, q: int) -> int:
+        """Physical location of program qubit ``q`` (the paper's ``f(q)``)."""
+        return self._q2p[q]
+
+    def prog(self, p: int) -> int:
+        """Program qubit at physical qubit ``p`` (``f^-1(p)``)."""
+        return self._p2q[p]
+
+    def has_prog_at(self, p: int) -> bool:
+        return p in self._p2q
+
+    def __contains__(self, q: int) -> bool:
+        return q in self._q2p
+
+    def __len__(self) -> int:
+        return len(self._q2p)
+
+    def program_qubits(self) -> List[int]:
+        return sorted(self._q2p)
+
+    def physical_qubits(self) -> List[int]:
+        return sorted(self._p2q)
+
+    def is_complete_on(self, num_physical: int) -> bool:
+        """True when every physical qubit 0..n-1 holds a program qubit."""
+        return len(self._q2p) == num_physical and set(self._p2q) == set(range(num_physical))
+
+    # -- evolution ------------------------------------------------------------
+
+    def swap_physical(self, p1: int, p2: int) -> None:
+        """Exchange the program qubits on physical qubits ``p1`` and ``p2``."""
+        q1 = self._p2q.get(p1)
+        q2 = self._p2q.get(p2)
+        if q1 is None and q2 is None:
+            return
+        if q1 is not None:
+            self._q2p[q1] = p2
+        if q2 is not None:
+            self._q2p[q2] = p1
+        if q1 is not None:
+            self._p2q[p2] = q1
+        else:
+            del self._p2q[p2]
+        if q2 is not None:
+            self._p2q[p1] = q2
+        else:
+            del self._p2q[p1]
+
+    def swapped_physical(self, p1: int, p2: int) -> "Mapping":
+        """Copy with the physical-pair swap applied."""
+        clone = self.copy()
+        clone.swap_physical(p1, p2)
+        return clone
+
+    def copy(self) -> "Mapping":
+        return Mapping(dict(self._q2p))
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[int, int]:
+        return dict(self._q2p)
+
+    def to_list(self, num_program: Optional[int] = None) -> List[int]:
+        """prog_to_phys as a dense list (requires contiguous program qubits)."""
+        n = num_program if num_program is not None else (max(self._q2p) + 1 if self._q2p else 0)
+        result = []
+        for q in range(n):
+            if q not in self._q2p:
+                raise MappingError(f"program qubit {q} unmapped; cannot densify")
+            result.append(self._q2p[q])
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._q2p == other._q2p
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{q}->{p}" for q, p in sorted(self._q2p.items())[:8])
+        suffix = "" if len(self._q2p) <= 8 else ", ..."
+        return f"Mapping({items}{suffix})"

@@ -1,0 +1,126 @@
+"""Non-isomorphic interaction-graph generation (Algorithm 1 of the paper).
+
+Given the current mapping ``f`` and an essential SWAP choice
+``(p_a, p_b, p'')``, build a gate set ``S`` (executable under ``f``) and a
+*special gate* ``g`` (executable only after the SWAP) such that the
+interaction graph of ``S + {g}`` is not isomorphic to any subgraph of the
+coupling graph.
+
+The construction is the paper's degree-saturation argument (Lemma 1):
+
+* every coupling edge incident to ``p_a`` becomes a gate, so the special
+  qubit ``q = f^-1(p_a)`` reaches interaction degree ``deg(p_a) + 1`` once
+  the special gate ``g = (q, f^-1(p''))`` is added;
+* every coupling edge incident to a physical qubit of degree > ``deg(p_a)``
+  becomes a gate, so all ``|H|`` higher-degree physical vertices carry
+  occupants of interaction degree >= ``deg(p_a) + 1``.
+
+The interaction graph then has at least ``|H| + 1`` vertices of degree
+``>= deg(p_a) + 1`` while the coupling graph has only ``|H|`` — no injective
+edge-preserving map can exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..arch.coupling import CouplingGraph
+from .mapping import Mapping
+from .swapseq import SwapChoice
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SectionGraph:
+    """Output of Algorithm 1 for one section.
+
+    ``phys_edges`` are coupling edges (executable before the SWAP);
+    ``special_prog`` is the special gate as a program-qubit pair, and
+    ``anchor_degree`` is ``deg(p_a)``, the threshold used for saturation.
+    """
+
+    swap: SwapChoice
+    phys_edges: Tuple[Edge, ...]
+    special_prog: Tuple[int, int]
+    anchor_degree: int
+
+    @property
+    def special_phys_after_swap(self) -> Edge:
+        """Physical edge realizing the special gate once the SWAP fired."""
+        a, b = self.swap.p_b, self.swap.p_new
+        return (a, b) if a < b else (b, a)
+
+
+def saturated_edge_set(coupling: CouplingGraph, p_a: int) -> List[Edge]:
+    """Coupling edges incident to ``p_a`` or to any vertex of higher degree."""
+    threshold = coupling.degree(p_a)
+    high_degree: Set[int] = set(coupling.qubits_with_degree_above(threshold))
+    edges: List[Edge] = []
+    for a, b in coupling.edges:
+        if p_a in (a, b) or a in high_degree or b in high_degree:
+            edges.append((a, b))
+    return edges
+
+
+def build_section_graph(coupling: CouplingGraph, mapping: Mapping,
+                        swap: SwapChoice) -> SectionGraph:
+    """Algorithm 1: the section's gate set and special gate."""
+    if not coupling.has_edge(swap.p_a, swap.p_b):
+        raise ValueError(f"SWAP pair ({swap.p_a}, {swap.p_b}) is not a coupling edge")
+    if swap.p_new in coupling.neighbors(swap.p_a) or swap.p_new == swap.p_a:
+        raise ValueError(
+            f"p''={swap.p_new} is already reachable from p_a={swap.p_a}; "
+            "the SWAP would be redundant"
+        )
+    if swap.p_new not in coupling.neighbors(swap.p_b):
+        raise ValueError(f"p''={swap.p_new} is not adjacent to p_b={swap.p_b}")
+    phys_edges = tuple(saturated_edge_set(coupling, swap.p_a))
+    special_prog = (mapping.prog(swap.p_a), mapping.prog(swap.p_new))
+    return SectionGraph(
+        swap=swap,
+        phys_edges=phys_edges,
+        special_prog=special_prog,
+        anchor_degree=coupling.degree(swap.p_a),
+    )
+
+
+def interaction_edges_prog(section: SectionGraph, mapping: Mapping) -> List[Edge]:
+    """Program-qubit interaction edges of ``S + {g}`` for this section."""
+    edges = set()
+    for a, b in section.phys_edges:
+        qa, qb = mapping.prog(a), mapping.prog(b)
+        edges.add((qa, qb) if qa < qb else (qb, qa))
+    sa, sb = section.special_prog
+    edges.add((sa, sb) if sa < sb else (sb, sa))
+    return sorted(edges)
+
+
+def degree_count_certificate(coupling: CouplingGraph, section: SectionGraph,
+                             extra_phys_edges: Tuple[Edge, ...] = ()) -> bool:
+    """Re-check the Lemma 1 counting argument for a built section.
+
+    Returns True when the interaction graph of the section (including any
+    connector edges added later) provably cannot embed, by counting vertices
+    of degree >= ``anchor_degree + 1`` on both sides.  This is a *sufficient*
+    certificate; the full VF2 check in :mod:`repro.qubikos.verify` is the
+    authoritative test.
+    """
+    threshold = section.anchor_degree + 1
+    host_count = sum(
+        1 for p in range(coupling.num_qubits) if coupling.degree(p) >= threshold
+    )
+    # Interaction degrees over physical labels (mapping is a bijection, so
+    # program relabeling preserves degrees).
+    from collections import defaultdict
+
+    degree = defaultdict(set)
+    for a, b in section.phys_edges + tuple(extra_phys_edges):
+        degree[a].add(b)
+        degree[b].add(a)
+    sa, sb = section.swap.p_a, section.swap.p_new
+    degree[sa].add(sb)
+    degree[sb].add(sa)
+    pattern_count = sum(1 for nbrs in degree.values() if len(nbrs) >= threshold)
+    return pattern_count > host_count

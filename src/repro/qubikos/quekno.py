@@ -1,0 +1,108 @@
+"""QUEKNO-style benchmarks (Li, Zhou, Feng — arXiv:2301.08932).
+
+The paper's related-work foil: QUEKNO circuits are built by *choosing* a
+sequence of mappings connected by SWAPs and emitting gates executable under
+each mapping — so a transformation with the chosen SWAP cost is known, but
+it is only **near-optimal**: nothing prevents a cheaper routing, which is
+exactly the deficiency QUBIKOS fixes (its Section II critique).
+
+Implementing QUEKNO alongside QUBIKOS lets the repository demonstrate that
+critique quantitatively: ``examples``/tests show QLS tools and the exact
+solver *beating* the QUEKNO reference cost on small instances, while the
+QUBIKOS optimum is never beaten.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate
+from .mapping import Mapping
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class QueknoInstance:
+    """A benchmark with a known (upper-bound) transformation cost."""
+
+    architecture: str
+    circuit: QuantumCircuit
+    reference_transpiled: QuantumCircuit  # physical qubits + swaps
+    initial_mapping: Mapping
+    reference_swaps: int  # known cost — an upper bound, NOT proven optimal
+    seed: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def generate_quekno(coupling: CouplingGraph, num_swaps: int,
+                    gates_per_phase: int = 8,
+                    seed: Optional[int] = None,
+                    rng: Optional[random.Random] = None) -> QueknoInstance:
+    """Generate a QUEKNO-style circuit with a known ``num_swaps``-SWAP
+    transformation.
+
+    Construction (following the published recipe's shape): start from a
+    random mapping; alternate *gate phases* (random gates on coupling edges
+    under the current mapping) with single random SWAPs.  The recorded
+    transpilation costs exactly ``num_swaps``; the true optimum may be
+    lower because nothing forces any SWAP to be essential.
+    """
+    if num_swaps < 0:
+        raise ValueError("num_swaps must be non-negative")
+    if gates_per_phase < 1:
+        raise ValueError("gates_per_phase must be positive")
+    if rng is None:
+        rng = random.Random(seed)
+    mapping = Mapping.random_complete(coupling.num_qubits, rng)
+    initial = mapping.copy()
+
+    circuit = QuantumCircuit(coupling.num_qubits, name="quekno")
+    reference = QuantumCircuit(coupling.num_qubits, name="quekno_reference")
+    edges = list(coupling.edges)
+    for phase in range(num_swaps + 1):
+        for _ in range(gates_per_phase):
+            a, b = rng.choice(edges)
+            qa, qb = mapping.prog(a), mapping.prog(b)
+            if rng.random() < 0.5:
+                qa, qb = qb, qa
+            circuit.append(Gate("cx", (qa, qb)))
+            reference.append(Gate("cx", (mapping.phys(qa), mapping.phys(qb))))
+        if phase < num_swaps:
+            a, b = rng.choice(edges)
+            reference.append(Gate("swap", (a, b)))
+            mapping.swap_physical(a, b)
+
+    return QueknoInstance(
+        architecture=coupling.name,
+        circuit=circuit,
+        reference_transpiled=reference,
+        initial_mapping=initial,
+        reference_swaps=num_swaps,
+        seed=seed,
+        metadata={"gates_per_phase": gates_per_phase},
+    )
+
+
+def reference_is_loose(instance: QueknoInstance, coupling: CouplingGraph,
+                       exact_budget_swaps: Optional[int] = None) -> Optional[bool]:
+    """Check whether the QUEKNO reference cost is beatable (small cases).
+
+    Returns True when the exact solver finds a strictly cheaper routing,
+    False when the reference cost is actually optimal, None when the exact
+    search budget was exhausted.  This operationalizes the paper's critique
+    of QUEKNO: "circuits do not have known optimal SWAP counts".
+    """
+    from ..qls.exact import ExactSolver
+
+    budget = (exact_budget_swaps if exact_budget_swaps is not None
+              else instance.reference_swaps)
+    solver = ExactSolver(max_swaps=budget)
+    outcome = solver.solve(instance.circuit, coupling)
+    if outcome.optimal_swaps is None:
+        return None
+    return outcome.optimal_swaps < instance.reference_swaps

@@ -1,0 +1,122 @@
+"""QUEKO-style zero-SWAP benchmarks (Tan & Cong, TC 2021).
+
+The paper positions QUBIKOS against QUEKO: circuits *known to need zero
+SWAPs* (their interaction graph embeds in the coupling graph by
+construction) with known-optimal depth.  They are the control group for
+QLS evaluation — a perfect tool scores zero SWAPs — and the paper notes
+they can be solved outright by subgraph-isomorphism placement, which
+QUBIKOS deliberately defeats.
+
+This module reproduces the QUEKO "BIGD"-style construction: fix a hidden
+mapping, then fill ``depth`` timesteps with gates whose operands are
+adjacent under it (two-qubit gates on coupling edges, single-qubit gates
+elsewhere), according to a target gate density.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.gates import Gate, random_single_qubit_gate
+from .mapping import Mapping
+
+
+@dataclass
+class QuekoInstance:
+    """A zero-SWAP benchmark with its hidden embedding and optimal depth."""
+
+    architecture: str
+    circuit: QuantumCircuit
+    hidden_mapping: Mapping
+    optimal_depth: int
+    seed: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def optimal_swaps(self) -> int:
+        """Zero by construction — the defining QUEKO property."""
+        return 0
+
+
+def generate_queko(coupling: CouplingGraph, depth: int,
+                   two_qubit_density: float = 0.3,
+                   one_qubit_density: float = 0.2,
+                   seed: Optional[int] = None,
+                   rng: Optional[random.Random] = None) -> QuekoInstance:
+    """Generate a QUEKO-style circuit of exactly ``depth`` layers.
+
+    Each layer packs vertex-disjoint coupling edges (as CX gates, relabeled
+    through the hidden mapping) up to ``two_qubit_density`` of the device's
+    qubits, plus single-qubit gates on idle qubits up to
+    ``one_qubit_density``.  Every layer contains at least one gate touching
+    a longest-chain qubit so the circuit depth equals ``depth`` exactly.
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    if not 0.0 <= two_qubit_density <= 1.0 or not 0.0 <= one_qubit_density <= 1.0:
+        raise ValueError("densities must lie in [0, 1]")
+    if rng is None:
+        rng = random.Random(seed)
+    hidden = Mapping.random_complete(coupling.num_qubits, rng)
+    phys_to_prog = {hidden.phys(q): q for q in range(coupling.num_qubits)}
+
+    circuit = QuantumCircuit(coupling.num_qubits, name="queko")
+    # The chain qubit guarantees the depth lower bound: one gate per layer.
+    chain_phys = rng.randrange(coupling.num_qubits)
+    for _ in range(depth):
+        used: set = set()
+        layer_gates: List[Gate] = []
+        # Guaranteed chain gate first.
+        chain_edges = [e for e in coupling.edges if chain_phys in e]
+        a, b = rng.choice(chain_edges)
+        layer_gates.append(Gate("cx", (phys_to_prog[a], phys_to_prog[b])))
+        used.update((a, b))
+        # Pack more disjoint edges up to the density target.
+        budget = max(0, int(two_qubit_density * coupling.num_qubits) // 2 - 1)
+        edges = list(coupling.edges)
+        rng.shuffle(edges)
+        for a, b in edges:
+            if budget <= 0:
+                break
+            if a in used or b in used:
+                continue
+            layer_gates.append(Gate("cx", (phys_to_prog[a], phys_to_prog[b])))
+            used.update((a, b))
+            budget -= 1
+        # Single-qubit gates on idle qubits.
+        idle = [p for p in range(coupling.num_qubits) if p not in used]
+        rng.shuffle(idle)
+        for p in idle[: int(one_qubit_density * coupling.num_qubits)]:
+            layer_gates.append(random_single_qubit_gate(rng, phys_to_prog[p]))
+        rng.shuffle(layer_gates)
+        circuit.extend(layer_gates)
+
+    return QuekoInstance(
+        architecture=coupling.name,
+        circuit=circuit,
+        hidden_mapping=hidden,
+        optimal_depth=depth,
+        seed=seed,
+        metadata={
+            "two_qubit_gates": circuit.num_two_qubit_gates(),
+            "two_qubit_density": two_qubit_density,
+            "one_qubit_density": one_qubit_density,
+        },
+    )
+
+
+def check_zero_swap_solution(instance: QuekoInstance,
+                             coupling: CouplingGraph) -> bool:
+    """Replay the hidden mapping: every 2q gate must sit on a coupling edge."""
+    mapping = instance.hidden_mapping
+    for gate in instance.circuit.gates:
+        if not gate.is_two_qubit:
+            continue
+        a, b = gate.qubits
+        if not coupling.has_edge(mapping.phys(a), mapping.phys(b)):
+            return False
+    return True

@@ -1,0 +1,137 @@
+"""Benchmark suite construction, persistence, and paper presets.
+
+A *suite* is a list of QUBIKOS instances generated over a grid of
+(architecture, optimal-SWAP-count) points.  The two presets mirror the
+paper's Section IV setups, with a ``scale`` knob because the reference
+counts (400 circuits per architecture for the optimality study, 1000-trial
+LightSABRE runs, and so on) assume a cluster, not a laptop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arch.library import get_architecture
+from .generator import generate
+from .instance import QubikosInstance
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A generation grid: architectures x swap counts x circuits/point."""
+
+    architectures: Tuple[str, ...]
+    swap_counts: Tuple[int, ...]
+    circuits_per_point: int
+    gate_counts: Dict[str, int] = field(default_factory=dict)  # arch -> N
+    seed: int = 2025
+    ordering_mode: str = "paper"
+
+    def total_instances(self) -> int:
+        return (len(self.architectures) * len(self.swap_counts)
+                * self.circuits_per_point)
+
+
+#: Section IV-A: 400 circuits/arch (100 per SWAP count 1..4), <= 30 2q gates.
+def optimality_study_spec(circuits_per_point: int = 100,
+                          seed: int = 2025) -> SuiteSpec:
+    """Paper's optimality-study grid (scale via ``circuits_per_point``)."""
+    return SuiteSpec(
+        architectures=("aspen4", "grid3x3"),
+        swap_counts=(1, 2, 3, 4),
+        circuits_per_point=circuits_per_point,
+        gate_counts={"aspen4": 30, "grid3x3": 30},
+        seed=seed,
+    )
+
+
+#: Section IV-B: 10 circuits per SWAP count in {5,10,15,20} per architecture;
+#: 300 gates on Aspen-4, 1500 on Sycamore/Rochester, 3000 on Eagle.
+def evaluation_spec(circuits_per_point: int = 10,
+                    seed: int = 2025,
+                    architectures: Optional[Sequence[str]] = None,
+                    gate_scale: float = 1.0) -> SuiteSpec:
+    """Paper's QLS-evaluation grid (Figure 4)."""
+    archs = tuple(architectures or ("aspen4", "sycamore54", "rochester53", "eagle127"))
+    paper_gates = {
+        "aspen4": 300, "sycamore54": 1500, "rochester53": 1500, "eagle127": 3000,
+    }
+    gate_counts = {
+        arch: max(1, int(paper_gates.get(arch, 300) * gate_scale))
+        for arch in archs
+    }
+    return SuiteSpec(
+        architectures=archs,
+        swap_counts=(5, 10, 15, 20),
+        circuits_per_point=circuits_per_point,
+        gate_counts=gate_counts,
+        seed=seed,
+    )
+
+
+def build_suite(spec: SuiteSpec, progress=None) -> List[QubikosInstance]:
+    """Generate every instance in the grid, deterministically from the seed."""
+    instances: List[QubikosInstance] = []
+    for arch_name in spec.architectures:
+        coupling = get_architecture(arch_name)
+        gate_count = spec.gate_counts.get(arch_name)
+        for swaps in spec.swap_counts:
+            for k in range(spec.circuits_per_point):
+                seed = _instance_seed(spec.seed, arch_name, swaps, k)
+                instance = generate(
+                    coupling,
+                    num_swaps=swaps,
+                    num_two_qubit_gates=gate_count,
+                    seed=seed,
+                    ordering_mode=spec.ordering_mode,
+                )
+                instances.append(instance)
+                if progress is not None:
+                    progress(instance)
+    return instances
+
+
+def _instance_seed(base: int, arch: str, swaps: int, index: int) -> int:
+    """Stable per-instance seed derived from the grid coordinates."""
+    text = f"{base}:{arch}:{swaps}:{index}"
+    value = 2166136261
+    for ch in text.encode():
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Persistence: one JSON file per instance plus an index.
+# ---------------------------------------------------------------------------
+
+def save_suite(instances: Iterable[QubikosInstance], directory) -> None:
+    """Write instances (and an index.json) under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    index = []
+    for i, instance in enumerate(instances):
+        filename = f"{i:04d}_{instance.name}.json"
+        instance.save(os.path.join(directory, filename))
+        index.append({
+            "file": filename,
+            "name": instance.name,
+            "architecture": instance.architecture,
+            "optimal_swaps": instance.optimal_swaps,
+            "two_qubit_gates": instance.num_two_qubit_gates(),
+        })
+    with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=1)
+
+
+def load_suite(directory) -> List[QubikosInstance]:
+    """Load a suite saved by :func:`save_suite`."""
+    index_path = os.path.join(directory, "index.json")
+    with open(index_path, "r", encoding="utf-8") as handle:
+        index = json.load(handle)
+    return [
+        QubikosInstance.load(os.path.join(directory, entry["file"]))
+        for entry in index
+    ]

@@ -1,0 +1,94 @@
+"""SWAP-edge selection (first step of each QUBIKOS section).
+
+Each section of a QUBIKOS circuit is anchored on one *essential* SWAP: a
+coupling edge ``(p_a, p_b)`` such that, after swapping, the program qubit
+that moves from ``p_a`` to ``p_b`` gains at least one new neighbour
+``p''``.  Formally ``p'' in Neighbor(p_b) \\ (Neighbor(p_a) + {p_a})``.
+Such an edge exists in every non-complete connected coupling graph (the
+paper's observation); on a complete graph QUBIKOS is undefined because no
+circuit ever needs a SWAP.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+
+
+class SwapSelectionError(RuntimeError):
+    """Raised when no essential SWAP exists (complete coupling graph)."""
+
+
+@dataclass(frozen=True)
+class SwapChoice:
+    """One essential SWAP and the new-neighbour witness that makes it so.
+
+    Attributes
+    ----------
+    p_a:
+        Physical qubit whose occupant anchors the interaction graph (the
+        paper's ``p``); its occupant ``q = f^-1(p_a)`` is the special qubit.
+    p_b:
+        The other end of the SWAP edge; the occupant of ``p_a`` moves here.
+    p_new:
+        Physical qubit (the paper's ``p''``) adjacent to ``p_b`` but neither
+        adjacent to nor equal to ``p_a`` — its occupant becomes the special
+        gate's second operand.
+    """
+
+    p_a: int
+    p_b: int
+    p_new: int
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        """The SWAP edge, canonically ordered."""
+        return (self.p_a, self.p_b) if self.p_a < self.p_b else (self.p_b, self.p_a)
+
+
+def new_neighbor_candidates(coupling: CouplingGraph, p_a: int, p_b: int) -> List[int]:
+    """Qubits adjacent to ``p_b`` that the occupant of ``p_a`` cannot reach."""
+    blocked = coupling.neighbors(p_a) | {p_a}
+    return sorted(coupling.neighbors(p_b) - blocked)
+
+
+def essential_swap_choices(coupling: CouplingGraph) -> List[SwapChoice]:
+    """All (p_a, p_b, p_new) triples defining an essential SWAP."""
+    choices: List[SwapChoice] = []
+    for a, b in coupling.edges:
+        for p_a, p_b in ((a, b), (b, a)):
+            for p_new in new_neighbor_candidates(coupling, p_a, p_b):
+                choices.append(SwapChoice(p_a, p_b, p_new))
+    return choices
+
+
+def select_swap(coupling: CouplingGraph, rng: random.Random,
+                avoid_edge: Optional[Tuple[int, int]] = None) -> SwapChoice:
+    """Randomly pick an essential SWAP.
+
+    ``avoid_edge`` steers consecutive sections away from undoing each other
+    (swapping the same edge twice in a row is legal but produces a weaker
+    instance); it is a soft preference, not a hard constraint.
+    """
+    if coupling.is_fully_connected():
+        raise SwapSelectionError(
+            f"coupling graph {coupling.name!r} is complete; no SWAP is ever needed"
+        )
+    edges = list(coupling.edges)
+    rng.shuffle(edges)
+    if avoid_edge is not None:
+        normalized = tuple(sorted(avoid_edge))
+        edges.sort(key=lambda e: e == normalized)  # stable: avoided edge last
+    for a, b in edges:
+        orientations = [(a, b), (b, a)]
+        rng.shuffle(orientations)
+        for p_a, p_b in orientations:
+            candidates = new_neighbor_candidates(coupling, p_a, p_b)
+            if candidates:
+                return SwapChoice(p_a, p_b, rng.choice(candidates))
+    raise SwapSelectionError(
+        f"no essential SWAP found on {coupling.name!r}; graph must be complete"
+    )

@@ -1,0 +1,19 @@
+"""Pure-Python CDCL SAT solver and CNF tooling (Z3/PySAT stand-in)."""
+
+from .types import Model, SolverResult
+from .solver import CdclSolver, solve_clauses
+from .cnf import CnfBuilder
+from .cardinality import at_least_k, at_most_k, exactly_k
+from . import dimacs
+
+__all__ = [
+    "Model",
+    "SolverResult",
+    "CdclSolver",
+    "solve_clauses",
+    "CnfBuilder",
+    "at_least_k",
+    "at_most_k",
+    "exactly_k",
+    "dimacs",
+]

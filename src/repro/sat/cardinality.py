@@ -1,0 +1,70 @@
+"""Cardinality constraint encodings.
+
+The exact QLS encoding bounds the number of SWAPs with an at-most-k
+constraint over the swap indicator variables.  We use Sinz's sequential
+counter (2005): auxiliary registers ``r[i][j]`` meaning "at least j+1 of the
+first i+1 literals are true", giving O(n*k) clauses and arc consistency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .cnf import CnfBuilder
+
+
+def at_most_k(builder: CnfBuilder, literals: Sequence[int], k: int,
+              tag: str = "seqcnt") -> None:
+    """Encode sum(literals) <= k with a sequential counter."""
+    lits = list(literals)
+    n = len(lits)
+    if k < 0:
+        builder.add([])  # unsatisfiable
+        return
+    if k == 0:
+        for lit in lits:
+            builder.add([-lit])
+        return
+    if n <= k:
+        return  # vacuous
+    if k == 1 and n <= 6:
+        builder.at_most_one(lits)
+        return
+    # r[i][j]: among lits[0..i], at least j+1 are true (j in 0..k-1).
+    reg: List[List[int]] = [
+        [builder.fresh(f"{tag}_r_{i}_{j}") for j in range(k)] for i in range(n)
+    ]
+    # Base: r[0][0] <-> lits[0]; r[0][j>0] false.
+    builder.add([-lits[0], reg[0][0]])
+    for j in range(1, k):
+        builder.add([-reg[0][j]])
+    for i in range(1, n):
+        # Carry: r[i][j] gets set if r[i-1][j] or (lits[i] and r[i-1][j-1]).
+        builder.add([-lits[i], reg[i][0]])
+        builder.add([-reg[i - 1][0], reg[i][0]])
+        for j in range(1, k):
+            builder.add([-reg[i - 1][j], reg[i][j]])
+            builder.add([-lits[i], -reg[i - 1][j - 1], reg[i][j]])
+        # Overflow: forbid lits[i] when the first i literals already hit k.
+        builder.add([-lits[i], -reg[i - 1][k - 1]])
+    # No constraint needed on reg truthward — at-most-k only needs one
+    # direction (monotone encoding).
+
+
+def at_least_k(builder: CnfBuilder, literals: Sequence[int], k: int,
+               tag: str = "alk") -> None:
+    """sum(literals) >= k, via at-most on the negations."""
+    lits = list(literals)
+    if k <= 0:
+        return
+    if k > len(lits):
+        builder.add([])
+        return
+    at_most_k(builder, [-l for l in lits], len(lits) - k, tag=tag)
+
+
+def exactly_k(builder: CnfBuilder, literals: Sequence[int], k: int,
+              tag: str = "eqk") -> None:
+    """sum(literals) == k."""
+    at_most_k(builder, literals, k, tag=f"{tag}_ub")
+    at_least_k(builder, literals, k, tag=f"{tag}_lb")

@@ -1,0 +1,62 @@
+"""DIMACS CNF reading and writing — interoperability and test fixtures."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def dumps(num_vars: int, clauses: List[List[int]], comment: str = "") -> str:
+    """Serialize to DIMACS CNF text."""
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p cnf {num_vars} {len(clauses)}")
+    for clause in clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into (num_vars, clauses)."""
+    num_vars = 0
+    declared_clauses = None
+    clauses: List[List[int]] = []
+    pending: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"bad problem line: {raw!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(pending)
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(pending)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerated (many generators get the count wrong) but normalized.
+        pass
+    for clause in clauses:
+        for literal in clause:
+            num_vars = max(num_vars, abs(literal))
+    return num_vars, clauses
+
+
+def dump(num_vars: int, clauses: List[List[int]], path, comment: str = "") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(num_vars, clauses, comment))
+
+
+def load(path) -> Tuple[int, List[List[int]]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,457 @@
+"""A CDCL SAT solver in pure Python.
+
+This is the exact-solver substrate standing in for Z3/PySAT (unavailable
+offline).  It implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* exponential VSIDS activity with phase saving,
+* Luby-sequence restarts,
+* learned-clause deletion by activity (simple geometric reduce schedule).
+
+It is intentionally conventional — the value is having a correct, auditable
+exact engine for the QUBIKOS optimality study, not novelty.  Performance is
+adequate for the transition-based QLS encodings used in this project
+(thousands of variables, tens of thousands of clauses).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .types import (
+    Model,
+    SolverResult,
+    check_clause,
+    clause_is_tautology,
+    internal_to_lit,
+    lit_to_internal,
+    negate_internal,
+)
+
+_UNASSIGNED = -1
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning solver over DIMACS-style clauses."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Clause database: list of literal arrays (packed form).
+        self._clauses: List[List[int]] = []
+        self._learned_flags: List[bool] = []
+        self._clause_activity: List[float] = []
+        # Watches: packed literal -> clause indices watching it.
+        self._watches: List[List[int]] = [[], []]
+        # Assignment trail.
+        self._assign: List[int] = [_UNASSIGNED, _UNASSIGNED]  # per packed pos lit? no: per var
+        self._level: List[int] = [0, 0]
+        self._reason: List[int] = [-1, -1]
+        self._trail: List[int] = []  # packed literals in assignment order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        # VSIDS.
+        self._activity: List[float] = [0.0, 0.0]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._phase: List[bool] = [False, False]
+        # Clause activity.
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._empty_clause = False
+        # Stats.
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+        }
+
+    # -- problem construction ---------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        return self.num_vars
+
+    def _ensure_vars(self, max_var: int) -> None:
+        while self.num_vars < max_var:
+            self.new_var()
+
+    def add_clause(self, clause: Sequence[int]) -> None:
+        """Add a DIMACS clause; empty clause marks the instance UNSAT."""
+        clause = check_clause(clause)
+        if clause_is_tautology(clause):
+            return
+        if not clause:
+            self._empty_clause = True
+            return
+        self._ensure_vars(max(abs(l) for l in clause))
+        packed = [lit_to_internal(l) for l in clause]
+        if len(packed) == 1:
+            # Queue as a root-level implication at solve time.
+            self._clauses.append(packed)
+            self._learned_flags.append(False)
+            self._clause_activity.append(0.0)
+            return
+        index = len(self._clauses)
+        self._clauses.append(packed)
+        self._learned_flags.append(False)
+        self._clause_activity.append(0.0)
+        self._watches[packed[0]].append(index)
+        self._watches[packed[1]].append(index)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- assignment helpers -----------------------------------------------
+
+    def _var_value(self, var: int) -> int:
+        return self._assign[var]
+
+    def _lit_value(self, packed: int) -> int:
+        """0=false, 1=true, -1=unassigned for a packed literal."""
+        v = self._assign[packed >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (packed & 1)
+
+    def _enqueue(self, packed: int, reason: int) -> None:
+        var = packed >> 1
+        self._assign[var] = 1 - (packed & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = (packed & 1) == 0
+        self._trail.append(packed)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    # -- propagation ---------------------------------------------------------
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1."""
+        while self._qhead < len(self._trail):
+            packed = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = negate_internal(packed)
+            watch_list = self._watches[false_lit]
+            new_list: List[int] = []
+            conflict = -1
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = self._clauses[ci]
+                # Normalize: false literal at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    new_list.append(ci)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(ci)
+                if self._lit_value(first) == 0:
+                    # Conflict: copy the remaining watches back and stop.
+                    while i < n:
+                        new_list.append(watch_list[i])
+                        i += 1
+                    conflict = ci
+                else:
+                    self.stats["propagations"] += 1
+                    self._enqueue(first, ci)
+            self._watches[false_lit] = new_list
+            if conflict >= 0:
+                return conflict
+        return -1
+
+    # -- conflict analysis -----------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, ci: int) -> None:
+        self._clause_activity[ci] += self._cla_inc
+        if self._clause_activity[ci] > 1e20:
+            for j in range(len(self._clause_activity)):
+                self._clause_activity[j] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        """First-UIP learning: returns (learned packed clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        packed = -1
+        index = len(self._trail) - 1
+        reason = conflict
+        cur_level = self._decision_level()
+        while True:
+            clause = self._clauses[reason]
+            if self._learned_flags[reason]:
+                self._bump_clause(reason)
+            start = 0 if packed == -1 else 1
+            for lit in clause[start:]:
+                var = lit >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] >= cur_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Walk the trail back to the next marked literal.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            packed = self._trail[index]
+            index -= 1
+            var = packed >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learned[0] = negate_internal(packed)
+        # Clause minimization: drop literals implied by the rest.
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self._level[l >> 1] for l in learned[1:]), reverse=True)
+        back = levels[0]
+        # Put a literal of the backjump level in position 1 for watching.
+        for k in range(1, len(learned)):
+            if self._level[learned[k] >> 1] == back:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        """Cheap recursive minimization (self-subsumption by reasons)."""
+        marked = set(l >> 1 for l in learned)
+        result = [learned[0]]
+        for lit in learned[1:]:
+            var = lit >> 1
+            reason = self._reason[var]
+            if reason < 0:
+                result.append(lit)
+                continue
+            clause = self._clauses[reason]
+            if all((other >> 1) in marked or self._level[other >> 1] == 0
+                   for other in clause if (other >> 1) != var):
+                continue  # implied; drop
+            result.append(lit)
+        del seen
+        return result
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for packed in reversed(self._trail[limit:]):
+            var = packed >> 1
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = -1
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _record_learned(self, learned: List[int]) -> None:
+        self.stats["learned"] += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], -1)
+            return
+        index = len(self._clauses)
+        self._clauses.append(learned)
+        self._learned_flags.append(True)
+        self._clause_activity.append(self._cla_inc)
+        self._watches[learned[0]].append(index)
+        self._watches[learned[1]].append(index)
+        self._enqueue(learned[0], index)
+
+    # -- decisions ------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        best = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        return best
+
+    # -- learned clause management -----------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the less-active half of long learned clauses."""
+        learned = [
+            i for i, is_learned in enumerate(self._learned_flags)
+            if is_learned and len(self._clauses[i]) > 2
+        ]
+        if len(learned) < 100:
+            return
+        locked = {self._reason[packed >> 1] for packed in self._trail}
+        learned.sort(key=lambda i: self._clause_activity[i])
+        to_delete = set(learned[: len(learned) // 2]) - locked
+        if not to_delete:
+            return
+        self.stats["deleted"] += len(to_delete)
+        keep_mask = [i not in to_delete for i in range(len(self._clauses))]
+        remap: Dict[int, int] = {}
+        new_clauses: List[List[int]] = []
+        new_flags: List[bool] = []
+        new_act: List[float] = []
+        for i, keep in enumerate(keep_mask):
+            if keep:
+                remap[i] = len(new_clauses)
+                new_clauses.append(self._clauses[i])
+                new_flags.append(self._learned_flags[i])
+                new_act.append(self._clause_activity[i])
+        self._clauses = new_clauses
+        self._learned_flags = new_flags
+        self._clause_activity = new_act
+        for lit in range(len(self._watches)):
+            self._watches[lit] = [
+                remap[ci] for ci in self._watches[lit] if ci in remap
+            ]
+        for var in range(1, self.num_vars + 1):
+            r = self._reason[var]
+            self._reason[var] = remap.get(r, -1) if r >= 0 else -1
+
+    # -- main loop ------------------------------------------------------------
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """Luby restart sequence, 1-based: 1,1,2,1,1,2,4,1,1,2,..."""
+        if i < 1:
+            i = 1
+        while True:
+            k = i.bit_length()
+            if (1 << k) - 1 == i:
+                return 1 << (k - 1)
+            i -= (1 << (k - 1)) - 1
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_limit: Optional[int] = None,
+              time_limit: Optional[float] = None) -> SolverResult:
+        """Decide satisfiability under optional assumptions and budgets."""
+        if self._empty_clause:
+            return SolverResult.UNSAT
+        self._backtrack(0)
+        # Root-level units from unit input clauses.
+        for ci, clause in enumerate(self._clauses):
+            if len(clause) == 1 and not self._learned_flags[ci]:
+                value = self._lit_value(clause[0])
+                if value == 0:
+                    return SolverResult.UNSAT
+                if value == _UNASSIGNED:
+                    self._enqueue(clause[0], -1)
+        if self._propagate() >= 0:
+            return SolverResult.UNSAT
+        assumption_packed = [lit_to_internal(l) for l in assumptions]
+        for l in assumptions:
+            self._ensure_vars(abs(l))
+
+        deadline = time.monotonic() + time_limit if time_limit else None
+        restart_count = 1
+        budget = 100 * self._luby(restart_count)
+        conflicts_here = 0
+        reduce_at = 2000
+
+        while True:
+            conflict = self._propagate()
+            if conflict >= 0:
+                self.stats["conflicts"] += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    return SolverResult.UNSAT
+                learned, back = self._analyze(conflict)
+                self._backtrack(back)
+                self._record_learned(learned)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                if conflict_limit is not None and self.stats["conflicts"] >= conflict_limit:
+                    return SolverResult.UNKNOWN
+                if self.stats["learned"] >= reduce_at:
+                    self._reduce_db()
+                    reduce_at += 1000
+                continue
+            if deadline is not None and time.monotonic() > deadline:
+                return SolverResult.UNKNOWN
+            if conflicts_here >= budget:
+                self.stats["restarts"] += 1
+                restart_count += 1
+                budget = 100 * self._luby(restart_count)
+                conflicts_here = 0
+                self._backtrack(0)
+                continue
+            # Apply pending assumptions as pseudo-decisions.
+            packed = self._next_assumption(assumption_packed)
+            if packed == -2:
+                return SolverResult.UNSAT
+            if packed == -1:
+                var = self._pick_branch_var()
+                if var == 0:
+                    return SolverResult.SAT
+                self.stats["decisions"] += 1
+                packed = 2 * var + (0 if self._phase[var] else 1)
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(packed, -1)
+
+    def _next_assumption(self, assumption_packed: List[int]) -> int:
+        """Next unassigned assumption literal, -1 if none, -2 on conflict."""
+        for packed in assumption_packed:
+            value = self._lit_value(packed)
+            if value == 0:
+                return -2
+            if value == _UNASSIGNED:
+                return packed
+        return -1
+
+    def model(self) -> Model:
+        """Extract the satisfying assignment after a SAT answer."""
+        values = {}
+        for var in range(1, self.num_vars + 1):
+            values[var] = self._assign[var] == 1
+        return Model(values)
+
+
+def solve_clauses(clauses: Iterable[Sequence[int]],
+                  assumptions: Sequence[int] = (),
+                  conflict_limit: Optional[int] = None,
+                  time_limit: Optional[float] = None
+                  ) -> Tuple[SolverResult, Optional[Model]]:
+    """One-shot convenience: solve a clause list, return (result, model)."""
+    solver = CdclSolver()
+    solver.add_clauses(clauses)
+    result = solver.solve(assumptions, conflict_limit, time_limit)
+    model = solver.model() if result is SolverResult.SAT else None
+    return result, model

@@ -1,0 +1,81 @@
+"""Shared SAT types and literal conventions.
+
+Variables are positive integers ``1..n``; a literal is ``+v`` (variable true)
+or ``-v`` (variable false), DIMACS style.  Internally the solver packs a
+literal as ``2*v`` (positive) / ``2*v + 1`` (negative) for array indexing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+
+class SolverResult(Enum):
+    """Outcome of a SAT solve call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # resource limit hit
+
+
+class Model:
+    """A satisfying assignment, queryable by DIMACS literal."""
+
+    def __init__(self, values: Dict[int, bool]) -> None:
+        self._values = dict(values)
+
+    def __getitem__(self, variable: int) -> bool:
+        return self._values[variable]
+
+    def value(self, literal: int) -> bool:
+        """Truth value of a (possibly negative) literal."""
+        v = self._values[abs(literal)]
+        return v if literal > 0 else not v
+
+    def true_variables(self) -> List[int]:
+        return sorted(v for v, val in self._values.items() if val)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, variable: int) -> bool:
+        return variable in self._values
+
+
+def lit_to_internal(literal: int) -> int:
+    """DIMACS literal -> packed index."""
+    v = abs(literal)
+    return 2 * v if literal > 0 else 2 * v + 1
+
+
+def internal_to_lit(index: int) -> int:
+    """Packed index -> DIMACS literal."""
+    v = index >> 1
+    return v if (index & 1) == 0 else -v
+
+
+def negate_internal(index: int) -> int:
+    """Negation in packed form."""
+    return index ^ 1
+
+
+def check_clause(clause: Sequence[int]) -> List[int]:
+    """Validate and normalize a DIMACS clause (dedupe, reject 0)."""
+    seen = set()
+    out: List[int] = []
+    for literal in clause:
+        literal = int(literal)
+        if literal == 0:
+            raise ValueError("literal 0 is reserved in DIMACS clauses")
+        if literal in seen:
+            continue
+        seen.add(literal)
+        out.append(literal)
+    return out
+
+
+def clause_is_tautology(clause: Sequence[int]) -> bool:
+    """True when the clause contains both polarities of a variable."""
+    lits = set(clause)
+    return any(-l in lits for l in lits)

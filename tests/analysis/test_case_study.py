@@ -1,0 +1,50 @@
+"""Case-study search tests (scaled down for CI speed)."""
+
+import pytest
+
+from repro.analysis import CaseStudy, explain, find_suboptimal_case
+
+
+@pytest.fixture(scope="module")
+def found_case():
+    # The known-good region from the default scan, trimmed for speed.
+    return find_suboptimal_case(
+        architecture="sycamore54", num_swaps=6, gate_count=220,
+        seeds=range(10, 16), require_lookahead_cause=False,
+    )
+
+
+class TestFindSuboptimalCase:
+    def test_finds_a_case(self, found_case):
+        assert found_case is not None
+
+    def test_case_structure(self, found_case):
+        assert found_case.excess_swaps > 0
+        assert found_case.trace.total_swaps > found_case.instance.optimal_swaps
+        assert found_case.divergence.diverged
+
+    def test_divergence_scored(self, found_case):
+        decision = found_case.divergence
+        assert decision.score_of(decision.chosen) is not None
+
+    def test_no_case_on_easy_settings(self):
+        # Tiny instances with the optimal mapping route optimally; the
+        # search returns None rather than a bogus case.
+        case = find_suboptimal_case(
+            architecture="grid3x3", num_swaps=1, gate_count=15,
+            seeds=range(3),
+        )
+        assert case is None or case.excess_swaps > 0
+
+
+class TestExplain:
+    def test_narrative_contains_costs(self, found_case):
+        text = explain(found_case)
+        assert "optimal SWAP count" in text
+        assert "basic" in text
+        assert "Diagnosis" in text
+
+    def test_classification_methods(self, found_case):
+        # They must be computable (not raise), whatever they return.
+        found_case.lookahead_caused()
+        found_case.tie_broken()

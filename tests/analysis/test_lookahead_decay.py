@@ -1,0 +1,34 @@
+"""Lookahead-decay ablation harness tests."""
+
+import pytest
+
+from repro.analysis import render_sweep, sweep_lookahead_decay
+from repro.arch import get_architecture
+from repro.qubikos import generate
+
+
+@pytest.fixture(scope="module")
+def instances():
+    device = get_architecture("grid3x3")
+    return [
+        generate(device, num_swaps=2, num_two_qubit_gates=30, seed=700 + k)
+        for k in range(2)
+    ]
+
+
+class TestSweep:
+    def test_one_point_per_decay(self, instances):
+        points = sweep_lookahead_decay(
+            instances, decays=(None, 0.5), trials=2, router_only=True
+        )
+        assert [p.decay for p in points] == [None, 0.5]
+        assert all(p.samples == len(instances) for p in points)
+        assert all(p.mean_ratio >= 1.0 for p in points)
+
+    def test_render(self, instances):
+        points = sweep_lookahead_decay(
+            instances, decays=(None, 0.5), trials=1, router_only=True
+        )
+        text = render_sweep(points)
+        assert "stock" in text
+        assert "0.50" in text

@@ -1,0 +1,71 @@
+"""Instrumented routing trace tests."""
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.analysis import cost_breakdown_table, trace_routing
+from repro.qls.sabre import SabreParameters
+from repro.qubikos import generate
+
+
+@pytest.fixture(scope="module")
+def traced():
+    device = get_architecture("grid3x3")
+    instance = generate(device, num_swaps=2, num_two_qubit_gates=40, seed=3)
+    return instance, trace_routing(instance, seed=0)
+
+
+class TestTraceRouting:
+    def test_completes(self, traced):
+        _, trace = traced
+        assert trace.completed
+        assert trace.total_swaps >= 2
+
+    def test_one_decision_per_swap(self, traced):
+        _, trace = traced
+        assert len(trace.decisions) == trace.total_swaps
+
+    def test_scores_cover_chosen_swap(self, traced):
+        _, trace = traced
+        for decision in trace.decisions:
+            assert decision.score_of(decision.chosen) is not None
+
+    def test_swap_ratio(self, traced):
+        instance, trace = traced
+        assert trace.swap_ratio == trace.total_swaps / instance.optimal_swaps
+
+    def test_divergence_flags_consistent(self, traced):
+        _, trace = traced
+        for decision in trace.decisions:
+            if decision.witness_swap is None:
+                assert not decision.diverged
+            else:
+                expected = (tuple(sorted(decision.chosen))
+                            != tuple(sorted(decision.witness_swap)))
+                assert decision.diverged == expected
+
+    def test_budget_cap_marks_incomplete(self):
+        device = get_architecture("grid3x3")
+        instance = generate(device, num_swaps=2, num_two_qubit_gates=40, seed=3)
+        trace = trace_routing(instance, seed=0, max_swaps=1)
+        # Either routing finished within one swap (impossible: optimum 2)
+        # or the trace is marked incomplete.
+        assert not trace.completed or trace.total_swaps <= 1
+
+    def test_lookahead_decay_parameter_respected(self):
+        device = get_architecture("grid3x3")
+        instance = generate(device, num_swaps=2, num_two_qubit_gates=40, seed=3)
+        params = SabreParameters(lookahead_decay=0.5)
+        trace = trace_routing(instance, params=params, seed=0)
+        assert trace.completed
+
+
+class TestCostBreakdownTable:
+    def test_renders_components(self, traced):
+        _, trace = traced
+        if not trace.decisions:
+            pytest.skip("routing needed no swaps")
+        table = cost_breakdown_table(trace.decisions[0])
+        assert "basic" in table
+        assert "lookahead" in table
+        assert "SABRE's choice" in table

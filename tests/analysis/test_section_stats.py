@@ -1,0 +1,53 @@
+"""Section-statistics tests, including the paper's size claim."""
+
+import pytest
+
+from repro.analysis import collect_stats, section_sizes, stats_table
+from repro.arch import get_architecture
+from repro.qubikos import generate
+
+
+@pytest.fixture(scope="module")
+def mixed_instances():
+    out = []
+    for arch in ("aspen4", "sycamore54"):
+        device = get_architecture(arch)
+        out += [generate(device, num_swaps=3, seed=s) for s in range(2)]
+    return out
+
+
+class TestSectionSizes:
+    def test_counts_backbone_only(self, small_instance):
+        sizes = section_sizes(small_instance)
+        assert len(sizes) == len(small_instance.sections)
+        backbone = sum(1 for f in small_instance.gate_fillers if not f)
+        # Tail-span backbone gates (none exist) + per-section = backbone.
+        assert sum(sizes) == backbone
+
+    def test_all_sections_nonempty(self, small_instance):
+        assert all(size >= 2 for size in section_sizes(small_instance))
+
+
+class TestCollectStats:
+    def test_one_row_per_architecture(self, mixed_instances):
+        stats = collect_stats(mixed_instances)
+        assert [s.architecture for s in stats] == ["aspen4", "sycamore54"]
+        assert all(s.instances == 2 for s in stats)
+        assert all(s.sections == 6 for s in stats)
+
+    def test_paper_claim_bigger_device_bigger_sections(self, mixed_instances):
+        """Sec IV-B: larger architectures need more gates per section."""
+        stats = {s.architecture: s for s in collect_stats(mixed_instances)}
+        assert (stats["sycamore54"].mean_section_gates
+                > stats["aspen4"].mean_section_gates)
+
+    def test_filler_fraction_bounds(self, mixed_instances):
+        for s in collect_stats(mixed_instances):
+            assert 0.0 <= s.mean_filler_fraction < 1.0
+
+
+class TestTable:
+    def test_renders(self, mixed_instances):
+        text = stats_table(collect_stats(mixed_instances))
+        assert "aspen4" in text
+        assert "gates/sec" in text

@@ -1,0 +1,116 @@
+"""Unit tests for coupling graphs."""
+
+import numpy as np
+import pytest
+
+from repro.arch import CouplingError, CouplingGraph, line, ring
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = CouplingGraph(3, [(0, 1), (1, 2)])
+        assert g.num_qubits == 3
+        assert g.num_edges() == 2
+
+    def test_edges_canonicalized_and_deduped(self):
+        g = CouplingGraph(3, [(1, 0), (0, 1), (1, 2)])
+        assert g.edges == ((0, 1), (1, 2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingGraph(2, [(0, 5)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingGraph(4, [(0, 1), (2, 3)])
+
+    def test_single_qubit_allowed(self):
+        g = CouplingGraph(1, [])
+        assert g.num_qubits == 1
+
+
+class TestAdjacency:
+    def test_neighbors(self, line4):
+        assert line4.neighbors(0) == {1}
+        assert line4.neighbors(1) == {0, 2}
+
+    def test_degree_profile(self, line4):
+        assert line4.degree(0) == 1
+        assert line4.degree(1) == 2
+        assert line4.max_degree() == 2
+        assert line4.min_degree() == 1
+        assert line4.degree_sequence() == [2, 2, 1, 1]
+
+    def test_has_edge(self, line4):
+        assert line4.has_edge(0, 1)
+        assert line4.has_edge(1, 0)
+        assert not line4.has_edge(0, 2)
+
+    def test_average_degree(self, ring8):
+        assert ring8.average_degree() == pytest.approx(2.0)
+
+    def test_qubits_with_degree_above(self, line4):
+        assert line4.qubits_with_degree_above(1) == [1, 2]
+        assert line4.qubits_with_degree_above(2) == []
+
+    def test_fully_connected(self):
+        from repro.arch import complete
+        assert complete(4).is_fully_connected()
+        assert not line(4).is_fully_connected()
+
+
+class TestDistances:
+    def test_distance_matrix_symmetric(self, ring8):
+        d = ring8.distance_matrix
+        assert np.array_equal(d, d.T)
+        assert (np.diag(d) == 0).all()
+
+    def test_line_distance(self, line4):
+        assert line4.distance(0, 3) == 3
+        assert line4.distance(1, 2) == 1
+
+    def test_ring_wraps(self, ring8):
+        assert ring8.distance(0, 7) == 1
+        assert ring8.distance(0, 4) == 4
+
+    def test_diameter(self, line4, ring8):
+        assert line4.diameter() == 3
+        assert ring8.diameter() == 4
+
+    def test_shortest_path_endpoints(self, ring8):
+        path = ring8.shortest_path(0, 3)
+        assert path[0] == 0
+        assert path[-1] == 3
+        assert len(path) == ring8.distance(0, 3) + 1
+        for a, b in zip(path, path[1:]):
+            assert ring8.has_edge(a, b)
+
+    def test_shortest_path_trivial(self, ring8):
+        assert ring8.shortest_path(2, 2) == [2]
+
+
+class TestMisc:
+    def test_edge_index_stable(self, line4):
+        idx = line4.edge_index()
+        assert idx[(0, 1)] == 0
+        assert len(idx) == line4.num_edges()
+
+    def test_subgraph_on(self, ring8):
+        sub = ring8.subgraph_on([0, 1, 2])
+        assert sub == [(0, 1), (1, 2)]
+
+    def test_to_networkx(self, line4):
+        nx_graph = line4.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3
+
+    def test_equality(self):
+        assert line(4) == line(4)
+        assert line(4) != line(5)
+
+    def test_repr(self, line4):
+        assert "line4" in repr(line4)

@@ -1,0 +1,167 @@
+"""Tests for the device library: sizes, degree profiles, and structure of
+every architecture used in the paper."""
+
+import pytest
+
+from repro.arch import (
+    OPTIMALITY_STUDY_ARCHITECTURES,
+    PAPER_ARCHITECTURES,
+    aspen4,
+    available_architectures,
+    complete,
+    eagle127,
+    get_architecture,
+    grid,
+    heavy_hex,
+    line,
+    ring,
+    rochester53,
+    star,
+    sycamore54,
+    t_shape,
+)
+
+
+class TestGenericFamilies:
+    def test_line(self):
+        g = line(5)
+        assert g.num_qubits == 5
+        assert g.num_edges() == 4
+
+    def test_ring(self):
+        g = ring(6)
+        assert g.num_edges() == 6
+        assert all(g.degree(p) == 2 for p in range(6))
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.num_qubits == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree() == 4
+
+    def test_grid_corner_degree(self):
+        g = grid(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # centre
+
+    def test_star(self):
+        g = star(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(p) == 1 for p in range(1, 5))
+
+    def test_complete(self):
+        g = complete(5)
+        assert g.num_edges() == 10
+        assert g.is_fully_connected()
+
+    def test_t_shape(self):
+        g = t_shape()
+        assert g.num_qubits == 9
+        assert g.max_degree() == 3
+
+    def test_heavy_hex_validation(self):
+        with pytest.raises(ValueError):
+            heavy_hex([3, 3], [[0], [0]])  # too many connector rows
+        with pytest.raises(ValueError):
+            heavy_hex([3, 3], [[9]])  # connector column outside rows
+
+
+class TestPaperArchitectures:
+    def test_aspen4_shape(self):
+        g = aspen4()
+        assert g.num_qubits == 16
+        assert g.num_edges() == 18  # two octagons (16) + two bridges
+        degrees = g.degree_sequence()
+        assert degrees.count(3) == 4  # the four bridge endpoints
+        assert degrees.count(2) == 12
+
+    def test_sycamore54_shape(self):
+        g = sycamore54()
+        assert g.num_qubits == 54
+        assert g.max_degree() == 4
+        # Rotated square lattice: interior nodes have degree 4.
+        assert g.degree_sequence().count(4) > 20
+
+    def test_rochester53_shape(self):
+        g = rochester53()
+        assert g.num_qubits == 53
+        assert g.max_degree() == 3  # heavy-hex style sparsity
+        assert g.average_degree() < 2.5
+
+    def test_eagle127_shape(self):
+        g = eagle127()
+        assert g.num_qubits == 127
+        assert g.max_degree() == 3
+        # 24 connector qubits of degree 2 between rows.
+        assert g.num_edges() == 144
+
+    def test_density_ordering_matches_paper(self):
+        # The paper attributes gaps to sparsity: Sycamore is densest.
+        syc = sycamore54().average_degree()
+        roc = rochester53().average_degree()
+        eag = eagle127().average_degree()
+        assert syc > roc
+        assert syc > eag
+
+    def test_paper_lists(self):
+        assert set(PAPER_ARCHITECTURES) == {
+            "aspen4", "sycamore54", "rochester53", "eagle127"
+        }
+        assert set(OPTIMALITY_STUDY_ARCHITECTURES) == {"aspen4", "grid3x3"}
+
+
+class TestRegistry:
+    def test_all_registered_build(self):
+        for name in available_architectures():
+            g = get_architecture(name)
+            assert g.num_qubits >= 1
+
+    def test_parametric_names(self):
+        assert get_architecture("line7").num_qubits == 7
+        assert get_architecture("ring5").num_qubits == 5
+        assert get_architecture("grid2x5").num_qubits == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_architecture("nonexistent99")
+
+    def test_names_match_graph_names(self):
+        for name in PAPER_ARCHITECTURES:
+            assert get_architecture(name).name == name
+
+
+class TestExtendedArchitectures:
+    def test_tokyo20(self):
+        from repro.arch import tokyo20
+        g = tokyo20()
+        assert g.num_qubits == 20
+        assert g.max_degree() == 6  # grid + diagonal couplers
+        assert g.average_degree() > 4.0  # densest device in the library
+
+    def test_falcon27(self):
+        from repro.arch import falcon27
+        g = falcon27()
+        assert g.num_qubits == 27
+        assert g.max_degree() == 3  # heavy-hex sparsity
+        assert g.degree_sequence().count(1) >= 2  # pendant qubits exist
+        assert g.average_degree() < 2.5
+
+    def test_guadalupe16(self):
+        from repro.arch import guadalupe16
+        g = guadalupe16()
+        assert g.num_qubits == 16
+        assert g.max_degree() == 3
+        assert g.degree_sequence().count(1) == 4  # four tails
+
+    def test_qubikos_works_on_extended_devices(self):
+        from repro.arch import get_architecture
+        from repro.qubikos import generate, verify_certificate
+        for name in ("tokyo20", "falcon27", "guadalupe16"):
+            device = get_architecture(name)
+            inst = generate(device, num_swaps=2, num_two_qubit_gates=60,
+                            seed=77)
+            assert verify_certificate(inst).valid, name

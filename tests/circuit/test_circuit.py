@@ -1,0 +1,127 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitError,
+    QuantumCircuit,
+    circuit_from_pairs,
+    cx,
+    h,
+    swap,
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        c = QuantumCircuit(3)
+        assert len(c) == 0
+        assert c.num_qubits == 3
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_from_gates(self):
+        c = QuantumCircuit(2, [h(0), cx(0, 1)])
+        assert len(c) == 2
+
+    def test_out_of_range_gate_rejected(self):
+        c = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            c.append(cx(0, 5))
+
+    def test_from_pairs(self):
+        c = circuit_from_pairs(4, [(0, 1), (2, 3)])
+        assert c.num_two_qubit_gates() == 2
+        assert c[0].name == "cx"
+
+
+class TestMutation:
+    def test_append_chains(self):
+        c = QuantumCircuit(2).append(h(0)).append(cx(0, 1))
+        assert len(c) == 2
+
+    def test_insert(self):
+        c = QuantumCircuit(2, [cx(0, 1), cx(0, 1)])
+        c.insert(1, h(0))
+        assert c[1].name == "h"
+
+    def test_insert_bad_position(self):
+        c = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            c.insert(5, h(0))
+
+    def test_compose(self):
+        a = QuantumCircuit(3, [cx(0, 1)])
+        b = QuantumCircuit(3, [cx(1, 2)])
+        combined = a.compose(b)
+        assert [g.qubits for g in combined] == [(0, 1), (1, 2)]
+        assert len(a) == 1  # original untouched
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2, [cx(0, 1)])
+        b = a.copy()
+        b.append(h(0))
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_remap_qubits(self):
+        c = QuantumCircuit(3, [cx(0, 1), h(2)])
+        r = c.remap_qubits({0: 2, 1: 0, 2: 1})
+        assert r[0].qubits == (2, 0)
+        assert r[1].qubits == (1,)
+
+
+class TestQueries:
+    def test_two_qubit_filtering(self, paper_figure1_circuit):
+        assert paper_figure1_circuit.num_two_qubit_gates() == 3
+        assert len(paper_figure1_circuit.two_qubit_gates()) == 3
+        assert paper_figure1_circuit.two_qubit_indices() == [2, 3, 4]
+
+    def test_count_ops(self, paper_figure1_circuit):
+        ops = paper_figure1_circuit.count_ops()
+        assert ops["h"] == 2
+        assert ops["cx"] == 3
+
+    def test_swap_count(self):
+        c = QuantumCircuit(3, [swap(0, 1), cx(1, 2), swap(1, 2)])
+        assert c.swap_count() == 2
+
+    def test_depth(self):
+        c = QuantumCircuit(3, [cx(0, 1), cx(1, 2), cx(0, 1)])
+        assert c.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        c = QuantumCircuit(4, [cx(0, 1), cx(2, 3)])
+        assert c.depth() == 1
+
+    def test_depth_two_qubit_only(self):
+        c = QuantumCircuit(2, [h(0), h(0), h(0), cx(0, 1)])
+        assert c.depth() == 4
+        assert c.depth(two_qubit_only=True) == 1
+
+    def test_used_qubits(self):
+        c = QuantumCircuit(5, [cx(0, 3)])
+        assert c.used_qubits() == [0, 3]
+
+    def test_interaction_pairs_sorted(self):
+        c = QuantumCircuit(3, [cx(2, 0), cx(1, 2)])
+        assert c.interaction_pairs() == [(0, 2), (1, 2)]
+
+    def test_without_single_qubit_gates(self, paper_figure1_circuit):
+        skeleton = paper_figure1_circuit.without_single_qubit_gates()
+        assert len(skeleton) == 3
+        assert all(g.is_two_qubit for g in skeleton)
+
+    def test_equality(self):
+        a = QuantumCircuit(2, [cx(0, 1)])
+        b = QuantumCircuit(2, [cx(0, 1)])
+        assert a == b
+        b.append(h(0))
+        assert a != b
+
+    def test_repr_and_str_do_not_crash(self):
+        c = QuantumCircuit(2, [cx(0, 1)] * 50)
+        assert "50" in repr(c)
+        assert "more" in str(c)

@@ -1,0 +1,95 @@
+"""Unit tests for the gate primitives."""
+
+import math
+
+import pytest
+
+from repro.circuit import Gate, GateError, cx, h, rz, swap
+from repro.circuit.gates import random_single_qubit_gate
+import random
+
+
+class TestGateConstruction:
+    def test_simple_gate(self):
+        g = Gate("cx", (0, 1))
+        assert g.num_qubits == 2
+        assert g.is_two_qubit
+        assert not g.is_swap
+
+    def test_swap_flag(self):
+        assert swap(0, 1).is_swap
+        assert not cx(0, 1).is_swap
+
+    def test_parametric_gate(self):
+        g = rz(math.pi / 2, 3)
+        assert g.params == (math.pi / 2,)
+        assert g.qubits == (3,)
+
+    def test_repeated_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("cx", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(GateError):
+            Gate("h", (-1,))
+
+    def test_empty_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate("h", ())
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(GateError):
+            Gate("rz", (0,))  # rz needs exactly one angle
+
+    def test_gates_are_hashable_and_equal(self):
+        assert cx(0, 1) == cx(0, 1)
+        assert cx(0, 1) != cx(1, 0)
+        assert len({cx(0, 1), cx(0, 1), cx(1, 2)}) == 2
+
+
+class TestGateAccessors:
+    def test_paper_index_notation(self):
+        g = cx(4, 7)
+        assert g[0] == 4
+        assert g[1] == 7
+
+    def test_qubit_pair_sorted(self):
+        assert cx(7, 4).qubit_pair() == (4, 7)
+        assert cx(4, 7).qubit_pair() == (4, 7)
+
+    def test_qubit_pair_rejects_single_qubit(self):
+        with pytest.raises(GateError):
+            h(0).qubit_pair()
+
+    def test_remap(self):
+        g = cx(0, 1).remap({0: 5, 1: 3})
+        assert g.qubits == (5, 3)
+        assert g.name == "cx"
+
+    def test_remap_preserves_params(self):
+        g = rz(1.5, 0).remap({0: 9})
+        assert g.params == (1.5,)
+        assert g.qubits == (9,)
+
+    def test_str_forms(self):
+        assert str(cx(0, 1)) == "cx 0, 1"
+        assert "rz(" in str(rz(0.5, 2))
+
+
+class TestRandomSingleQubitGate:
+    def test_produces_valid_single_qubit_gates(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            g = random_single_qubit_gate(rng, 3)
+            assert g.num_qubits == 1
+            assert g.qubits == (3,)
+
+    def test_parametric_draws_have_angles(self):
+        rng = random.Random(1)
+        seen_param = False
+        for _ in range(50):
+            g = random_single_qubit_gate(rng, 0)
+            if g.params:
+                seen_param = True
+                assert 0.0 <= g.params[0] <= 2 * math.pi + 1e-9
+        assert seen_param

@@ -1,0 +1,88 @@
+"""Unit tests for interaction graphs."""
+
+import pytest
+
+from repro.circuit import (
+    InteractionGraph,
+    QuantumCircuit,
+    cx,
+    h,
+    interaction_edges,
+    normalize_edge,
+)
+
+
+class TestNormalizeEdge:
+    def test_sorts(self):
+        assert normalize_edge(3, 1) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(2, 2)
+
+
+class TestInteractionGraph:
+    def test_from_circuit_deduplicates(self):
+        c = QuantumCircuit(3, [cx(0, 1), cx(1, 0), h(2), cx(1, 2)])
+        g = InteractionGraph.from_circuit(c)
+        assert g.num_edges() == 2
+        assert g.edges == [(0, 1), (1, 2)]
+
+    def test_figure1b(self, paper_figure1_circuit):
+        g = InteractionGraph.from_circuit(paper_figure1_circuit)
+        # Triangle on q0, q1, q2.
+        assert g.num_nodes() == 3
+        assert g.num_edges() == 3
+        assert all(g.degree(q) == 2 for q in g.nodes)
+
+    def test_neighbors(self):
+        g = InteractionGraph([(0, 1), (0, 2)])
+        assert g.neighbors(0) == {1, 2}
+        assert g.neighbors(3) == frozenset()
+
+    def test_degree_sequence(self):
+        g = InteractionGraph([(0, 1), (0, 2), (0, 3)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_nodes_with_degree_at_least(self):
+        g = InteractionGraph([(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert g.nodes_with_degree_at_least(2) == [0, 1, 2]
+
+    def test_isolated_node(self):
+        g = InteractionGraph([(0, 1)])
+        g.add_node(5)
+        assert 5 in g.nodes
+        assert g.degree(5) == 0
+
+    def test_connected_components(self):
+        g = InteractionGraph([(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+        assert not g.is_connected()
+
+    def test_subgraph(self):
+        g = InteractionGraph([(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.edges == [(1, 2), (2, 3)]
+        assert 0 not in sub.nodes
+
+    def test_relabeled(self):
+        g = InteractionGraph([(0, 1)])
+        r = g.relabeled({0: 10, 1: 20})
+        assert r.edges == [(10, 20)]
+
+    def test_copy_independent(self):
+        g = InteractionGraph([(0, 1)])
+        c = g.copy()
+        c.add_edge(1, 2)
+        assert g.num_edges() == 1
+        assert c.num_edges() == 2
+
+    def test_equality(self):
+        assert InteractionGraph([(0, 1)]) == InteractionGraph([(1, 0)])
+        assert InteractionGraph([(0, 1)]) != InteractionGraph([(0, 2)])
+
+
+def test_interaction_edges_dedupe_and_sort():
+    assert interaction_edges([(3, 1), (1, 3), (0, 2)]) == [(0, 2), (1, 3)]

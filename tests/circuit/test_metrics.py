@@ -1,0 +1,97 @@
+"""Fidelity/depth metric tests."""
+
+import math
+
+import pytest
+
+from repro.circuit import (
+    ErrorModel,
+    QuantumCircuit,
+    cx,
+    cx_equivalent_count,
+    estimated_fidelity,
+    fidelity_gap,
+    h,
+    swap,
+    transpilation_metrics,
+)
+
+
+class TestErrorModel:
+    def test_defaults(self):
+        model = ErrorModel()
+        assert model.gate_success(1, False) == pytest.approx(0.9999)
+        assert model.gate_success(2, False) == pytest.approx(0.99)
+        assert model.gate_success(2, True) == pytest.approx(0.99 ** 3)
+
+    def test_swap_without_decomposition(self):
+        model = ErrorModel(swap_as_three_cx=False)
+        assert model.gate_success(2, True) == pytest.approx(0.99)
+
+
+class TestEstimatedFidelity:
+    def test_empty_circuit(self):
+        assert estimated_fidelity(QuantumCircuit(2)) == pytest.approx(1.0)
+
+    def test_multiplies(self):
+        circuit = QuantumCircuit(2, [cx(0, 1), cx(0, 1)])
+        assert estimated_fidelity(circuit) == pytest.approx(0.99 ** 2)
+
+    def test_swap_counts_triple(self):
+        circuit = QuantumCircuit(2, [swap(0, 1)])
+        assert estimated_fidelity(circuit) == pytest.approx(0.99 ** 3)
+
+    def test_one_qubit_gates_cheap(self):
+        circuit = QuantumCircuit(1, [h(0)] * 10)
+        assert estimated_fidelity(circuit) == pytest.approx(0.9999 ** 10)
+
+
+class TestCxEquivalents:
+    def test_mixed_circuit(self):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 1), swap(1, 2), cx(1, 2)])
+        assert cx_equivalent_count(circuit) == 1 + 3 + 1
+        assert cx_equivalent_count(circuit, swap_as_three_cx=False) == 3
+
+
+class TestTranspilationMetrics:
+    def test_identity_transpilation(self):
+        original = QuantumCircuit(2, [cx(0, 1)])
+        metrics = transpilation_metrics(original, original)
+        assert metrics.swap_gates == 0
+        assert metrics.depth_overhead == pytest.approx(1.0)
+        assert metrics.gate_overhead == pytest.approx(1.0)
+
+    def test_swap_overhead_visible(self):
+        original = QuantumCircuit(3, [cx(0, 2)])
+        transpiled = QuantumCircuit(3, [swap(0, 1), cx(1, 2)])
+        metrics = transpilation_metrics(original, transpiled)
+        assert metrics.swap_gates == 1
+        assert metrics.total_cx_equivalent == 4
+        assert metrics.gate_overhead == pytest.approx(4.0)
+        assert metrics.estimated_fidelity < 1.0
+        assert metrics.log_fidelity == pytest.approx(
+            math.log(metrics.estimated_fidelity)
+        )
+
+    def test_on_qubikos_witness(self, small_instance):
+        metrics = transpilation_metrics(
+            small_instance.circuit, small_instance.witness
+        )
+        assert metrics.swap_gates == small_instance.optimal_swaps
+        assert 0.0 < metrics.estimated_fidelity < 1.0
+
+
+class TestFidelityGap:
+    def test_no_excess(self):
+        assert fidelity_gap(5, 5) == pytest.approx(1.0)
+
+    def test_excess_decays_exponentially(self):
+        one = fidelity_gap(5, 6)
+        ten = fidelity_gap(5, 15)
+        assert one == pytest.approx(0.99 ** 3)
+        assert ten == pytest.approx(one ** 10)
+
+    def test_paper_scale_gap_is_catastrophic(self):
+        """A 63x gap at n=5 (the paper's best tool) wipes out fidelity —
+        the physical argument for better QLS tools."""
+        assert fidelity_gap(5, 5 * 63) < 1e-3

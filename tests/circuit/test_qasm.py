@@ -1,0 +1,113 @@
+"""OpenQASM 2.0 round-trip and parser tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Gate, QuantumCircuit, cx, h, rz, swap
+from repro.circuit.qasm import QasmError, dump, dumps, load, loads
+
+
+class TestDumps:
+    def test_header(self):
+        text = dumps(QuantumCircuit(2))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+
+    def test_gate_lines(self):
+        c = QuantumCircuit(3, [h(0), cx(0, 1), swap(1, 2), rz(0.5, 2)])
+        text = dumps(c)
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+        assert "swap q[1], q[2];" in text
+        assert "rz(0.5) q[2];" in text
+
+    def test_custom_register_name(self):
+        text = dumps(QuantumCircuit(1, [h(0)]), register="phys")
+        assert "qreg phys[1];" in text
+        assert "h phys[0];" in text
+
+    def test_unknown_gate_rejected(self):
+        c = QuantumCircuit(1)
+        c._gates.append(Gate("mystery", (0,)))
+        with pytest.raises(QasmError):
+            dumps(c)
+
+
+class TestLoads:
+    def test_roundtrip(self, paper_figure1_circuit):
+        assert loads(dumps(paper_figure1_circuit)) == paper_figure1_circuit
+
+    def test_pi_expressions(self):
+        c = loads('OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\n')
+        assert abs(c[0].params[0] - math.pi / 2) < 1e-12
+
+    def test_comments_and_barriers_ignored(self):
+        text = (
+            "OPENQASM 2.0;\n// a comment\nqreg q[2];\nbarrier q[0];\n"
+            "cx q[0], q[1]; // inline comment\n"
+        )
+        c = loads(text)
+        assert len(c) == 1
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nh q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];")
+
+    def test_wrong_register(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[1];\nh r[0];")
+
+    def test_double_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[1];\nqreg r[1];")
+
+    def test_malicious_param_rejected(self):
+        with pytest.raises(QasmError):
+            loads('OPENQASM 2.0;\nqreg q[1];\nrz(__import__("os")) q[0];')
+
+    def test_out_of_range_operand(self):
+        with pytest.raises(QasmError):
+            loads("OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[5];")
+
+
+class TestFileIo:
+    def test_dump_load(self, tmp_path, paper_figure1_circuit):
+        path = tmp_path / "circuit.qasm"
+        dump(paper_figure1_circuit, path)
+        assert load(path) == paper_figure1_circuit
+
+
+@st.composite
+def random_circuits(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    gates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        kind = draw(st.sampled_from(["h", "cx", "swap", "rz"]))
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        if kind in ("cx", "swap"):
+            b = draw(st.integers(min_value=0, max_value=n - 1))
+            if b == a:
+                b = (a + 1) % n
+            gates.append(Gate(kind, (a, b)))
+        elif kind == "rz":
+            angle = draw(st.floats(min_value=-10, max_value=10,
+                                   allow_nan=False, allow_infinity=False))
+            gates.append(Gate("rz", (a,), (angle,)))
+        else:
+            gates.append(Gate("h", (a,)))
+    return QuantumCircuit(n, gates)
+
+
+class TestRoundTripProperty:
+    @given(random_circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_identity(self, circuit):
+        assert loads(dumps(circuit)) == circuit

@@ -1,0 +1,58 @@
+"""Shared fixtures: devices, small circuits, and cached QUBIKOS instances."""
+
+import random
+
+import pytest
+
+from repro.arch import aspen4, get_architecture, grid, line, ring
+from repro.circuit import QuantumCircuit, cx, h
+from repro.qubikos import generate
+
+
+@pytest.fixture(scope="session")
+def aspen():
+    return aspen4()
+
+
+@pytest.fixture(scope="session")
+def grid33():
+    return grid(3, 3)
+
+
+@pytest.fixture(scope="session")
+def line4():
+    return line(4)
+
+
+@pytest.fixture(scope="session")
+def ring8():
+    return ring(8)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def paper_figure1_circuit():
+    """The circuit of Figure 1(a): H gates plus CNOTs on a triangle."""
+    circuit = QuantumCircuit(3)
+    circuit.append(h(0))
+    circuit.append(h(1))
+    circuit.append(cx(0, 1))
+    circuit.append(cx(1, 2))
+    circuit.append(cx(0, 2))
+    return circuit
+
+
+@pytest.fixture(scope="session")
+def small_instance(grid33):
+    """A cached 2-SWAP instance on the 3x3 grid."""
+    return generate(grid33, num_swaps=2, num_two_qubit_gates=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def aspen_instance(aspen):
+    """A cached 3-SWAP instance on Aspen-4."""
+    return generate(aspen, num_swaps=3, num_two_qubit_gates=80, seed=11)

@@ -1,0 +1,58 @@
+"""Experiment CLI driver tests (tiny scales — wiring, not science)."""
+
+import pytest
+
+from repro.evalx import experiments
+
+
+class TestRunE1:
+    def test_small_study(self, capsys):
+        summary = experiments.run_e1(per_point=1, exact_budget_seconds=30)
+        assert summary["instances"] == 8  # 2 archs x 4 swap counts x 1
+        assert summary["certificate_valid"] == summary["instances"]
+        assert summary["sat_agreed"] == summary["sat_checked"]
+        out = capsys.readouterr().out
+        assert "Optimality study" in out
+
+
+class TestRunFig4:
+    def test_single_panel(self, capsys):
+        run = experiments.run_fig4(
+            "grid3x3", per_point=1, gate_scale=0.1, sabre_trials=2, seed=3
+        )
+        assert run.records
+        assert run.invalid_records() == []
+        out = capsys.readouterr().out
+        assert "SWAP ratio on grid3x3" in out
+
+
+class TestRunHeadline:
+    def test_two_arch_headline(self, capsys):
+        run = experiments.run_headline(
+            per_point=1, gate_scale=0.1, sabre_trials=2, seed=3,
+            architectures=["grid3x3", "aspen4"],
+        )
+        assert set(run.architectures()) == {"grid3x3", "aspen4"}
+        out = capsys.readouterr().out
+        assert "Average optimality gap" in out
+
+
+class TestRunDecayAblation:
+    def test_points(self, capsys):
+        points = experiments.run_decay_ablation(per_point=1)
+        assert len(points) >= 2
+        assert "decay" in capsys.readouterr().out
+
+
+class TestCli:
+    def test_main_dispatch(self, capsys):
+        rc = experiments.main([
+            "fig4a", "--per-point", "1", "--gate-scale", "0.05",
+            "--sabre-trials", "2",
+        ])
+        assert rc == 0
+        assert "aspen4" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments.main(["nonsense"])

@@ -1,0 +1,86 @@
+"""Evaluation harness tests."""
+
+import math
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.circuit import QuantumCircuit
+from repro.evalx import evaluate
+from repro.qls import QLSResult, QLSTool, SabreLayout
+from repro.qubikos import Mapping, generate
+
+
+@pytest.fixture(scope="module")
+def instances():
+    device = get_architecture("grid3x3")
+    return [
+        generate(device, num_swaps=n, num_two_qubit_gates=25, seed=400 + n)
+        for n in (1, 2)
+    ]
+
+
+class _BrokenTool(QLSTool):
+    """Raises on every run — the harness must isolate it."""
+
+    name = "broken"
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        raise RuntimeError("boom")
+
+
+class _CheatingTool(QLSTool):
+    """Returns an empty circuit claiming zero swaps — must fail validation."""
+
+    name = "cheater"
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        return QLSResult(
+            tool=self.name,
+            circuit=QuantumCircuit(coupling.num_qubits),
+            initial_mapping=Mapping.identity(circuit.num_qubits),
+            swap_count=0,
+        )
+
+
+class TestEvaluate:
+    def test_records_per_tool_and_instance(self, instances):
+        run = evaluate([SabreLayout(seed=0)], instances)
+        assert len(run.records) == len(instances)
+        assert all(r.valid for r in run.records)
+        assert all(r.swap_ratio >= 1.0 for r in run.records)
+
+    def test_broken_tool_isolated(self, instances):
+        run = evaluate([_BrokenTool(), SabreLayout(seed=0)], instances)
+        broken = run.for_tool("broken")
+        assert all(not r.valid for r in broken)
+        assert all("boom" in r.error for r in broken)
+        good = run.for_tool("sabre")
+        assert all(r.valid for r in good)
+
+    def test_cheater_caught_by_validation(self, instances):
+        run = evaluate([_CheatingTool()], instances)
+        assert all(not r.valid for r in run.records)
+        assert all(math.isnan(r.swap_ratio) for r in run.records)
+
+    def test_router_only_flag(self, instances):
+        run = evaluate([SabreLayout(seed=0)], instances, router_only=True)
+        assert all(r.router_only for r in run.records)
+        # Router-only ratios should be small (optimal mapping given).
+        assert all(r.swap_ratio <= 4 for r in run.records if r.valid)
+
+    def test_filter_helpers(self, instances):
+        run = evaluate([SabreLayout(seed=0)], instances)
+        assert run.tools() == ["sabre"]
+        assert run.architectures() == ["grid3x3"]
+        assert len(run.filter(optimal_swaps=1)) == 1
+        assert run.invalid_records() == []
+
+    def test_progress_callback(self, instances):
+        seen = []
+        evaluate([SabreLayout(seed=0)], instances, progress=seen.append)
+        assert len(seen) == len(instances)
+
+    def test_validation_can_be_skipped(self, instances):
+        run = evaluate([_CheatingTool()], instances, validate=False)
+        assert all(r.valid for r in run.records)  # trusted blindly

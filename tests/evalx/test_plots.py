@@ -1,0 +1,97 @@
+"""ASCII plot and bootstrap-CI tests."""
+
+import math
+
+import pytest
+
+from repro.evalx import (
+    EvaluationRun,
+    bootstrap_mean_ci,
+    ratio_table_with_ci,
+    series_plot,
+)
+from repro.evalx.harness import RunRecord
+
+
+def record(tool, arch, optimal, observed, valid=True):
+    return RunRecord(
+        tool=tool, instance=f"i{optimal}", architecture=arch,
+        optimal_swaps=optimal, observed_swaps=observed,
+        swap_ratio=observed / optimal if valid else float("nan"),
+        runtime_seconds=0.0, valid=valid,
+    )
+
+
+@pytest.fixture
+def run():
+    out = EvaluationRun()
+    for tool, factor in [("alpha", 2), ("beta", 30)]:
+        for n in (5, 10, 20):
+            for k in range(3):
+                out.records.append(
+                    record(tool, "grid3x3", n, factor * n + k)
+                )
+    return out
+
+
+class TestSeriesPlot:
+    def test_contains_axes_and_legend(self, run):
+        text = series_plot(run, "grid3x3", width=40, height=10)
+        assert "legend:" in text
+        assert "alpha" in text and "beta" in text
+        assert "(optimal SWAPs)" in text
+
+    def test_markers_present(self, run):
+        text = series_plot(run, "grid3x3")
+        assert "o" in text and "x" in text
+
+    def test_linear_scale(self, run):
+        text = series_plot(run, "grid3x3", log_scale=False)
+        assert "ratio" in text
+
+    def test_missing_architecture(self, run):
+        assert "no data" in series_plot(run, "eagle127")
+
+    def test_single_point_series(self):
+        out = EvaluationRun()
+        out.records = [record("solo", "grid3x3", 5, 10)]
+        text = series_plot(out, "grid3x3")
+        assert "solo" in text
+
+
+class TestBootstrap:
+    def test_degenerate_cases(self):
+        mean, lo, hi = bootstrap_mean_ci([])
+        assert math.isnan(mean)
+        mean, lo, hi = bootstrap_mean_ci([3.0])
+        assert mean == lo == hi == 3.0
+
+    def test_ci_brackets_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, lo, hi = bootstrap_mean_ci(values, seed=1)
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(3.0)
+
+    def test_tight_data_tight_ci(self):
+        mean, lo, hi = bootstrap_mean_ci([2.0] * 20, seed=1)
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(2.0)
+
+    def test_nan_filtered(self):
+        mean, lo, hi = bootstrap_mean_ci([1.0, float("nan"), 3.0], seed=1)
+        assert mean == pytest.approx(2.0)
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(values, seed=7) == bootstrap_mean_ci(values, seed=7)
+
+
+class TestRatioTableWithCi:
+    def test_rows_per_tool_and_point(self, run):
+        table = ratio_table_with_ci(run, "grid3x3")
+        assert table.count("alpha") == 3  # one row per swap count
+        assert "[" in table and "]" in table
+        assert "3 circuits" in table
+
+    def test_missing_architecture(self, run):
+        assert "no data" in ratio_table_with_ci(run, "eagle127")

@@ -1,0 +1,85 @@
+"""Report rendering tests (smoke + content checks)."""
+
+import pytest
+
+from repro.evalx import (
+    EvaluationRun,
+    architecture_growth_table,
+    figure4_table,
+    full_report,
+    headline_table,
+    validity_summary,
+)
+from repro.evalx.harness import RunRecord
+
+
+def record(tool, arch, optimal, observed, valid=True):
+    return RunRecord(
+        tool=tool, instance=f"i{optimal}", architecture=arch,
+        optimal_swaps=optimal, observed_swaps=observed,
+        swap_ratio=observed / optimal if valid else float("nan"),
+        runtime_seconds=0.0, valid=valid,
+        error=None if valid else "synthetic failure",
+    )
+
+
+@pytest.fixture
+def run():
+    out = EvaluationRun()
+    out.records = [
+        record("lightsabre", "aspen4", 5, 10),
+        record("lightsabre", "aspen4", 10, 15),
+        record("tketlike", "aspen4", 5, 100),
+        record("lightsabre", "sycamore54", 5, 25),
+        record("tketlike", "sycamore54", 5, 250),
+    ]
+    return out
+
+
+class TestFigure4Table:
+    def test_contains_tools_and_columns(self, run):
+        table = figure4_table(run, "aspen4")
+        assert "lightsabre" in table
+        assert "tketlike" in table
+        assert "n=5" in table
+        assert "n=10" in table
+        assert "2.00" in table  # 10/5
+
+    def test_missing_architecture(self, run):
+        assert "no data" in figure4_table(run, "eagle127")
+
+    def test_explicit_swap_counts(self, run):
+        table = figure4_table(run, "aspen4", swap_counts=[5])
+        assert "n=10" not in table
+
+
+class TestHeadlineTable:
+    def test_sorted_by_gap(self, run):
+        table = headline_table(run)
+        assert table.index("lightsabre") < table.index("tketlike")
+
+
+class TestGrowthTable:
+    def test_includes_winner_lines(self, run):
+        table = architecture_growth_table(run, ["aspen4", "sycamore54"])
+        assert "best on aspen4: lightsabre" in table
+
+
+class TestValiditySummary:
+    def test_all_valid(self, run):
+        assert "replay-validated" in validity_summary(run)
+
+    def test_reports_failures(self, run):
+        run.records.append(record("tketlike", "aspen4", 5, -1, valid=False))
+        summary = validity_summary(run)
+        assert "FAILED" in summary
+        assert "synthetic failure" in summary
+
+
+class TestFullReport:
+    def test_assembles_all_sections(self, run):
+        report = full_report(run, ["aspen4", "sycamore54"])
+        assert "SWAP ratio on aspen4" in report
+        assert "SWAP ratio on sycamore54" in report
+        assert "Average optimality gap" in report
+        assert "replay-validated" in report

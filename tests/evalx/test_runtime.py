@@ -1,0 +1,84 @@
+"""Runtime-vs-quality reporting tests."""
+
+import pytest
+
+from repro.evalx import EvaluationRun
+from repro.evalx.harness import RunRecord
+from repro.evalx.runtime import (
+    pareto_front,
+    runtime_quality_points,
+    runtime_quality_table,
+)
+
+
+def record(tool, ratio, runtime, valid=True):
+    return RunRecord(
+        tool=tool, instance="i", architecture="grid3x3",
+        optimal_swaps=1, observed_swaps=int(ratio),
+        swap_ratio=ratio if valid else float("nan"),
+        runtime_seconds=runtime, valid=valid,
+    )
+
+
+@pytest.fixture
+def run():
+    out = EvaluationRun()
+    out.records = [
+        record("fast_bad", 50.0, 0.01),
+        record("fast_bad", 70.0, 0.02),
+        record("slow_good", 2.0, 5.0),
+        record("slow_good", 4.0, 6.0),
+        record("dominated", 80.0, 9.0),
+        record("broken", 0.0, 0.1, valid=False),
+    ]
+    return out
+
+
+class TestPoints:
+    def test_aggregates(self, run):
+        points = {p.tool: p for p in runtime_quality_points(run)}
+        assert points["fast_bad"].mean_ratio == pytest.approx(60.0)
+        assert points["fast_bad"].mean_runtime_seconds == pytest.approx(0.015)
+        assert points["slow_good"].runs == 2
+
+    def test_invalid_tools_excluded(self, run):
+        tools = {p.tool for p in runtime_quality_points(run)}
+        assert "broken" not in tools
+
+    def test_sorted_by_quality(self, run):
+        points = runtime_quality_points(run)
+        ratios = [p.mean_ratio for p in points]
+        assert ratios == sorted(ratios)
+
+
+class TestTable:
+    def test_contains_rows(self, run):
+        table = runtime_quality_table(run)
+        assert "fast_bad" in table
+        assert "slow_good" in table
+        assert "60.00x" in table
+
+    def test_empty(self):
+        assert "(no valid records)" in runtime_quality_table(EvaluationRun())
+
+
+class TestPareto:
+    def test_front_excludes_dominated(self, run):
+        points = runtime_quality_points(run)
+        front = {p.tool for p in pareto_front(points)}
+        assert "dominated" not in front
+        assert "fast_bad" in front  # fastest
+        assert "slow_good" in front  # best quality
+
+    def test_real_harness_end_to_end(self, small_instance):
+        from repro.evalx import evaluate
+        from repro.qls import SabreLayout, TketLikeRouter
+
+        run = evaluate(
+            [SabreLayout(seed=0), TketLikeRouter(seed=0)], [small_instance]
+        )
+        points = runtime_quality_points(run)
+        assert len(points) == 2
+        assert all(p.mean_runtime_seconds > 0 for p in points)
+        table = runtime_quality_table(run)
+        assert "sabre" in table

@@ -1,0 +1,106 @@
+"""Statistics aggregation tests over synthetic run records."""
+
+import math
+
+import pytest
+
+from repro.evalx import (
+    EvaluationRun,
+    architecture_gap,
+    best_tool_by_architecture,
+    geometric_mean,
+    headline_gaps,
+    mean,
+    ratio_points,
+    size_growth,
+    sparse_dense_contrast,
+)
+from repro.evalx.harness import RunRecord
+
+
+def record(tool, arch, optimal, observed, valid=True):
+    return RunRecord(
+        tool=tool, instance=f"{arch}_{optimal}", architecture=arch,
+        optimal_swaps=optimal, observed_swaps=observed,
+        swap_ratio=observed / optimal if valid else float("nan"),
+        runtime_seconds=0.0, valid=valid,
+    )
+
+
+@pytest.fixture
+def synthetic_run():
+    run = EvaluationRun()
+    run.records = [
+        record("alpha", "aspen4", 5, 10),
+        record("alpha", "aspen4", 10, 10),
+        record("alpha", "sycamore54", 5, 20),
+        record("alpha", "rochester53", 5, 120),
+        record("beta", "aspen4", 5, 50),
+        record("beta", "sycamore54", 5, 60),
+        record("beta", "rochester53", 5, 400, valid=False),
+    ]
+    return run
+
+
+class TestMeans:
+    def test_mean_skips_nan(self):
+        assert mean([1.0, float("nan"), 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty(self):
+        assert math.isnan(mean([]))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+
+class TestAggregation:
+    def test_ratio_points(self, synthetic_run):
+        points = ratio_points(synthetic_run)
+        alpha5 = next(
+            p for p in points
+            if p.tool == "alpha" and p.architecture == "aspen4"
+            and p.optimal_swaps == 5
+        )
+        assert alpha5.mean_ratio == pytest.approx(2.0)
+        assert alpha5.samples == 1
+
+    def test_invalid_records_excluded(self, synthetic_run):
+        points = ratio_points(synthetic_run)
+        beta_roc = [
+            p for p in points
+            if p.tool == "beta" and p.architecture == "rochester53"
+        ]
+        assert beta_roc == []
+
+    def test_architecture_gap(self, synthetic_run):
+        gap = architecture_gap(synthetic_run, "alpha", "aspen4")
+        assert gap == pytest.approx((2.0 + 1.0) / 2)
+
+    def test_headline_gaps(self, synthetic_run):
+        gaps = headline_gaps(synthetic_run)
+        assert gaps["alpha"] == pytest.approx((2.0 + 1.0 + 4.0 + 24.0) / 4)
+        assert gaps["beta"] == pytest.approx((10.0 + 12.0) / 2)
+
+    def test_best_tool(self, synthetic_run):
+        winners = best_tool_by_architecture(synthetic_run)
+        assert winners["aspen4"] == "alpha"
+        assert winners["sycamore54"] == "alpha"
+
+    def test_size_growth(self, synthetic_run):
+        growth = size_growth(
+            synthetic_run, "alpha", ["aspen4", "sycamore54", "rochester53"]
+        )
+        gaps = [g for _, g in growth]
+        assert gaps == sorted(gaps)  # grows with size in this synthetic data
+
+    def test_sparse_dense_contrast(self, synthetic_run):
+        contrast = sparse_dense_contrast(synthetic_run, "alpha")
+        assert contrast == pytest.approx(24.0 / 4.0)
+
+    def test_contrast_none_when_missing(self):
+        run = EvaluationRun()
+        run.records = [record("x", "aspen4", 5, 10)]
+        assert sparse_dense_contrast(run, "x") is None

@@ -1,0 +1,68 @@
+"""Symmetry-counting tests: known automorphism groups of small graphs."""
+
+import pytest
+
+from repro.arch import grid, line, ring, rochester53, sycamore54
+from repro.graphs import count_automorphisms, orbit_count, refine_colors, symmetry_score
+
+
+class TestKnownGroups:
+    def test_path_graph(self):
+        # P4 has exactly the identity and the reversal.
+        assert count_automorphisms(4, [(0, 1), (1, 2), (2, 3)]) == 2
+
+    def test_cycle_graph(self):
+        # C_n has the dihedral group of order 2n.
+        assert count_automorphisms(6, [(i, (i + 1) % 6) for i in range(6)]) == 12
+
+    def test_complete_graph(self):
+        k4 = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        assert count_automorphisms(4, k4) == 24  # S4
+
+    def test_star_graph(self):
+        star = [(0, i) for i in range(1, 5)]
+        assert count_automorphisms(5, star) == 24  # permute the 4 leaves
+
+    def test_square_grid(self):
+        g = grid(3, 3)
+        # The 3x3 grid graph has the dihedral group of the square: order 8.
+        assert count_automorphisms(9, list(g.edges)) == 8
+
+    def test_asymmetric_graph(self):
+        # Smallest asymmetric tree (7 nodes).
+        edges = [(0, 1), (1, 2), (2, 3), (2, 4), (4, 5), (5, 6)]
+        assert count_automorphisms(7, edges) == 1
+
+    def test_limit_respected(self):
+        k5 = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        assert count_automorphisms(5, k5, limit=10) == 10
+
+
+class TestRefinement:
+    def test_colors_separate_degrees(self):
+        colors = refine_colors(4, [
+            {1}, {0, 2}, {1, 3}, {2},
+        ])
+        assert colors[0] == colors[3]
+        assert colors[1] == colors[2]
+        assert colors[0] != colors[1]
+
+    def test_orbit_count_regular_graph(self):
+        assert orbit_count(6, [(i, (i + 1) % 6) for i in range(6)]) == 1
+
+
+class TestPaperSymmetryClaim:
+    def test_sycamore_more_symmetric_than_rochester(self):
+        """Paper: Rochester has 'fewer axes of symmetry' than Sycamore."""
+        syc = sycamore54()
+        roc = rochester53()
+        assert symmetry_score(syc.num_qubits, list(syc.edges)) >= \
+            symmetry_score(roc.num_qubits, list(roc.edges))
+
+    def test_symmetry_score_positive_for_ring(self):
+        g = ring(8)
+        assert symmetry_score(8, list(g.edges)) > 0
+
+    def test_symmetry_score_zero_for_asymmetric(self):
+        edges = [(0, 1), (1, 2), (2, 3), (2, 4), (4, 5), (5, 6)]
+        assert symmetry_score(7, edges) == 0.0

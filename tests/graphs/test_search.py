@@ -1,0 +1,101 @@
+"""Tests for BFS edge orders and connectivity completion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import grid, line
+from repro.graphs import (
+    bfs_edge_order,
+    connected_components,
+    connecting_edges,
+    is_connected,
+)
+
+
+class TestBfsEdgeOrder:
+    def test_covers_connected_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        order = bfs_edge_order(edges, sources=[0])
+        assert sorted(order) == sorted(tuple(sorted(e)) for e in edges)
+
+    def test_chaining_property(self):
+        """Every emitted edge shares a node with an earlier edge or source."""
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (0, 2)]
+        order = bfs_edge_order(edges, sources=[2])
+        touched = {2}
+        for a, b in order:
+            assert a in touched or b in touched
+            touched.update((a, b))
+
+    def test_skip(self):
+        # The paper skips the special gate's edge while BFS-ordering the
+        # rest; both endpoints of the skipped edge are sources.
+        edges = [(0, 1), (1, 2)]
+        order = bfs_edge_order(edges, sources=[0, 1], skip={(1, 0)})
+        assert (0, 1) not in order
+        assert (1, 2) in order
+
+    def test_unreachable_component_not_emitted(self):
+        edges = [(0, 1), (5, 6)]
+        order = bfs_edge_order(edges, sources=[0])
+        assert order == [(0, 1)]
+
+    def test_tree_only_touches_all_vertices(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]
+        tree = bfs_edge_order(edges, sources=[0], tree_only=True)
+        touched = set()
+        for a, b in tree:
+            touched.update((a, b))
+        assert touched == {0, 1, 2, 3}
+        assert len(tree) == 3  # |V| - 1 for a connected graph from 1 source
+
+    def test_multiple_sources(self):
+        edges = [(0, 1), (2, 3), (1, 2)]
+        order = bfs_edge_order(edges, sources=[0, 3])
+        assert sorted(order) == sorted(edges)
+
+
+class TestComponents:
+    def test_connected_components(self):
+        comps = connected_components([(0, 1), (2, 3)], nodes=[4])
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert is_connected([(0, 1), (1, 2)])
+        assert not is_connected([(0, 1)], nodes=[2])
+
+
+class TestConnectingEdges:
+    def test_no_op_when_connected(self, line4):
+        assert connecting_edges(
+            [{0, 1, 2, 3}], line4.neighbors, line4.distance
+        ) == []
+
+    def test_connects_two_components_on_grid(self):
+        device = grid(3, 3)
+        components = [{0}, {8}]
+        extra = connecting_edges(components, device.neighbors, device.distance)
+        # The added edges must all be device edges forming a 0->8 path.
+        for a, b in extra:
+            assert device.has_edge(a, b)
+        assert is_connected(extra, nodes=[0, 8])
+
+    def test_three_components(self):
+        device = line(8)
+        components = [{0}, {4}, {7}]
+        extra = connecting_edges(components, device.neighbors, device.distance)
+        assert is_connected(extra, nodes=[0, 4, 7])
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_component_sets_get_connected(self, seed):
+        rng = random.Random(seed)
+        device = grid(3, 4)
+        nodes = rng.sample(range(device.num_qubits), rng.randint(2, 6))
+        components = [{n} for n in nodes]
+        extra = connecting_edges(components, device.neighbors, device.distance)
+        assert is_connected(extra, nodes=nodes)
+        for a, b in extra:
+            assert device.has_edge(a, b)

@@ -1,0 +1,102 @@
+"""Token-swapping tests: correctness on known cases and random fuzzing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import grid, line, ring
+from repro.graphs import (
+    TokenSwapError,
+    apply_swaps,
+    routing_via_token_swapping,
+    token_swap_sequence,
+)
+
+
+def solve_and_check(device, targets, max_factor=8):
+    swaps = token_swap_sequence(
+        targets, device.neighbors, device.distance,
+    )
+    final = apply_swaps(dict(targets), swaps)
+    for vertex, token_target in final.items():
+        assert token_target == vertex, (targets, swaps, final)
+    for a, b in swaps:
+        assert device.has_edge(a, b)
+    return swaps
+
+
+class TestKnownCases:
+    def test_identity_needs_nothing(self):
+        device = line(4)
+        assert solve_and_check(device, {0: 0, 1: 1, 2: 2}) == []
+
+    def test_adjacent_transposition(self):
+        device = line(4)
+        swaps = solve_and_check(device, {0: 1, 1: 0})
+        assert swaps == [(0, 1)]
+
+    def test_line_reversal(self):
+        # Reversing n tokens on a path needs n(n-1)/2 swaps.
+        n = 5
+        device = line(n)
+        targets = {i: n - 1 - i for i in range(n)}
+        swaps = solve_and_check(device, targets)
+        assert len(swaps) == n * (n - 1) // 2  # optimal on a path
+
+    def test_three_cycle_on_triangle(self):
+        device = ring(3)
+        swaps = solve_and_check(device, {0: 1, 1: 2, 2: 0})
+        assert len(swaps) == 2  # a 3-cycle of adjacent vertices takes 2
+
+    def test_distant_transposition_on_line(self):
+        device = line(4)
+        swaps = solve_and_check(device, {0: 3, 3: 0, 1: 1, 2: 2})
+        assert len(swaps) == 5  # known optimum for end-swap on P4
+
+    def test_partial_targets_with_free_vertices(self):
+        device = line(5)
+        swaps = solve_and_check(device, {0: 4})
+        assert len(swaps) == 4  # walk the token across free vertices
+
+    def test_duplicate_targets_rejected(self):
+        device = line(3)
+        with pytest.raises(TokenSwapError):
+            token_swap_sequence({0: 2, 1: 2}, device.neighbors, device.distance)
+
+
+class TestApproximationQuality:
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_permutations_complete_within_4x_bound(self, seed):
+        rng = random.Random(seed)
+        device = rng.choice([line(6), ring(7), grid(3, 3)])
+        n = device.num_qubits
+        perm = list(range(n))
+        rng.shuffle(perm)
+        targets = {i: perm[i] for i in range(n)}
+        swaps = solve_and_check(device, targets)
+        # Quality bound: the tree-elimination phase costs at most one tree
+        # path per vertex, the greedy phase at most 2 * sum-of-distances.
+        lower = sum(device.distance(v, t) for v, t in targets.items()) / 2
+        assert len(swaps) >= lower  # sanity: no cheating below the LB
+        assert len(swaps) <= 2 * n * device.diameter() + n
+
+
+class TestRoutingBridge:
+    def test_mapping_transformation(self):
+        device = grid(3, 3)
+        current = {0: 0, 1: 1, 2: 2}
+        desired = {0: 8, 1: 1, 2: 2}
+        swaps = routing_via_token_swapping(
+            current, desired, device.neighbors, device.distance
+        )
+        # Replaying on a program->physical view: walk mapping manually.
+        position = dict(current)
+        for a, b in swaps:
+            for q, p in list(position.items()):
+                if p == a:
+                    position[q] = b
+                elif p == b:
+                    position[q] = a
+        assert position == desired

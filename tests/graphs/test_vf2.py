@@ -1,0 +1,139 @@
+"""VF2 subgraph-monomorphism tests, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    SubgraphMatcher,
+    degree_sequence_embeddable,
+    is_subgraph_embeddable,
+    subgraph_monomorphism,
+)
+
+
+class TestDegreeSequenceFilter:
+    def test_fits(self):
+        assert degree_sequence_embeddable([2, 1, 1], [3, 2, 2, 1])
+
+    def test_too_many_nodes(self):
+        assert not degree_sequence_embeddable([1, 1, 1], [2, 2])
+
+    def test_degree_excess(self):
+        assert not degree_sequence_embeddable([5], [4, 4, 4])
+
+    def test_lemma1_shape(self):
+        # Pattern has one more high-degree vertex than the host.
+        assert not degree_sequence_embeddable([3, 3, 1, 1], [3, 2, 2, 2, 2])
+
+
+class TestBasicMatching:
+    def test_triangle_in_line_fails(self):
+        assert not is_subgraph_embeddable(
+            [(0, 1), (1, 2), (0, 2)], [(0, 1), (1, 2), (2, 3)]
+        )
+
+    def test_path_in_line(self):
+        m = subgraph_monomorphism([(0, 1), (1, 2)], [(0, 1), (1, 2), (2, 3)])
+        assert m is not None
+        # Images must preserve the pattern edges.
+        assert (min(m[0], m[1]), max(m[0], m[1])) in {(0, 1), (1, 2), (2, 3)}
+
+    def test_triangle_in_k4(self):
+        k4 = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        assert is_subgraph_embeddable([(0, 1), (1, 2), (0, 2)], k4)
+
+    def test_monomorphism_not_induced(self):
+        # Pattern path of 3 embeds into a triangle even though the triangle
+        # has an extra edge between the images (monomorphism semantics).
+        assert is_subgraph_embeddable([(0, 1), (1, 2)], [(0, 1), (1, 2), (0, 2)])
+
+    def test_star_needs_high_degree(self):
+        star5 = [(0, i) for i in range(1, 6)]
+        grid_edges = [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)]
+        assert not is_subgraph_embeddable(star5, grid_edges)
+
+    def test_isolated_pattern_nodes(self):
+        m = subgraph_monomorphism(
+            [(0, 1)], [(0, 1)], pattern_nodes=[0, 1, 2], host_nodes=[0, 1, 2]
+        )
+        assert m is not None
+        assert len(set(m.values())) == 3  # injective over isolated node too
+
+    def test_pattern_larger_than_host(self):
+        assert not is_subgraph_embeddable(
+            [(0, 1), (1, 2), (2, 3)], [(0, 1)],
+        )
+
+
+class TestCounting:
+    def test_count_path_in_triangle(self):
+        matcher = SubgraphMatcher(
+            [0, 1, 2], [(0, 1), (1, 2)], [0, 1, 2], [(0, 1), (1, 2), (0, 2)]
+        )
+        # A path of 3 maps into a triangle in 3! = 6 ways.
+        assert matcher.count() == 6
+
+    def test_count_limit(self):
+        matcher = SubgraphMatcher(
+            [0, 1], [(0, 1)], list(range(6)),
+            [(i, j) for i in range(6) for j in range(i + 1, 6)],
+        )
+        assert matcher.count(limit=5) == 5
+
+
+def _random_graph(rng, n, p):
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                edges.append((i, j))
+    return edges
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_monomorphism(self, seed):
+        rng = random.Random(seed)
+        host_n = rng.randint(3, 8)
+        pattern_n = rng.randint(2, host_n)
+        host_edges = _random_graph(rng, host_n, 0.5)
+        pattern_edges = _random_graph(rng, pattern_n, 0.4)
+
+        ours = is_subgraph_embeddable(
+            pattern_edges, host_edges,
+            pattern_nodes=range(pattern_n), host_nodes=range(host_n),
+        )
+        host = nx.Graph()
+        host.add_nodes_from(range(host_n))
+        host.add_edges_from(host_edges)
+        pattern = nx.Graph()
+        pattern.add_nodes_from(range(pattern_n))
+        pattern.add_edges_from(pattern_edges)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(host, pattern)
+        theirs = matcher.subgraph_monomorphism_exists() if hasattr(
+            matcher, "subgraph_monomorphism_exists"
+        ) else any(True for _ in matcher.subgraph_monomorphisms_iter())
+        assert ours == theirs
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=40, deadline=None)
+    def test_returned_mapping_is_a_monomorphism(self, seed):
+        rng = random.Random(seed)
+        host_n = rng.randint(3, 9)
+        pattern_n = rng.randint(2, host_n)
+        host_edges = _random_graph(rng, host_n, 0.6)
+        pattern_edges = _random_graph(rng, pattern_n, 0.3)
+        m = subgraph_monomorphism(
+            pattern_edges, host_edges,
+            pattern_nodes=range(pattern_n), host_nodes=range(host_n),
+        )
+        if m is None:
+            return
+        assert len(set(m.values())) == len(m)  # injective
+        host_set = {tuple(sorted(e)) for e in host_edges}
+        for a, b in pattern_edges:
+            assert tuple(sorted((m[a], m[b]))) in host_set

@@ -1,0 +1,73 @@
+"""BMT-style mapper tests (embedding segments + token swapping)."""
+
+import pytest
+
+from repro.arch import get_architecture, grid
+from repro.circuit import circuit_from_pairs
+from repro.qls import BmtMapper, BmtParameters, validate_transpiled
+from repro.qubikos import generate, generate_queko
+
+
+class TestOnQueko:
+    def test_single_segment_zero_swaps(self, grid33):
+        """QUEKO circuits embed wholly: one segment, zero SWAPs."""
+        inst = generate_queko(grid33, depth=5, seed=1)
+        result = BmtMapper(seed=0).run(inst.circuit, grid33)
+        report = validate_transpiled(
+            inst.circuit, result.circuit, grid33, result.initial_mapping
+        )
+        assert report.valid, report.error
+        assert result.swap_count == 0
+        assert result.metadata["segments"] == 1
+
+
+class TestOnQubikos:
+    def test_valid_and_bounded_below(self, grid33):
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=40, seed=2)
+        result = BmtMapper(seed=0).run(inst.circuit, grid33)
+        report = validate_transpiled(
+            inst.circuit, result.circuit, grid33, result.initial_mapping
+        )
+        assert report.valid, report.error
+        assert result.swap_count >= inst.optimal_swaps
+
+    def test_segments_track_sections(self, grid33):
+        """QUBIKOS forces at least one new segment per section."""
+        for swaps in (1, 2, 3):
+            inst = generate(grid33, num_swaps=swaps, seed=3,
+                            ordering_mode="pruned")
+            result = BmtMapper(seed=0).run(inst.circuit, grid33)
+            assert result.metadata["segments"] >= swaps
+
+    def test_on_aspen(self, aspen_instance, aspen):
+        result = BmtMapper(seed=1).run(aspen_instance.circuit, aspen)
+        report = validate_transpiled(
+            aspen_instance.circuit, result.circuit, aspen,
+            result.initial_mapping,
+        )
+        assert report.valid, report.error
+
+
+class TestParameters:
+    def test_segment_cap_creates_more_segments(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2), (2, 5)] * 6)
+        uncapped = BmtMapper(seed=0).run(circuit, grid33)
+        capped = BmtMapper(BmtParameters(max_segment_gates=4), seed=0).run(
+            circuit, grid33
+        )
+        assert capped.metadata["segments"] >= uncapped.metadata["segments"]
+        report = validate_transpiled(
+            circuit, capped.circuit, grid33, capped.initial_mapping
+        )
+        assert report.valid
+
+    def test_router_only_mode(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20, seed=4)
+        pinned = inst.mapping()
+        result = BmtMapper(seed=0).run(inst.circuit, grid33,
+                                       initial_mapping=pinned)
+        assert result.initial_mapping == pinned
+        report = validate_transpiled(
+            inst.circuit, result.circuit, grid33, pinned
+        )
+        assert report.valid

@@ -1,0 +1,163 @@
+"""Exact SAT solver tests: agreement with brute force, QUBIKOS designs,
+and heuristic upper bounds."""
+
+import pytest
+
+from repro.arch import grid, line, ring
+from repro.circuit import QuantumCircuit, circuit_from_pairs
+from repro.qls import (
+    ExactSolver,
+    SabreLayout,
+    SatEncoder,
+    brute_force_optimal,
+    validate_transpiled,
+)
+from repro.qubikos import Mapping, generate
+
+
+class TestZeroSwapCases:
+    def test_embeddable_circuit_is_zero(self):
+        device = line(4)
+        circuit = circuit_from_pairs(4, [(0, 1), (1, 2)])
+        outcome = ExactSolver(max_swaps=2).solve(circuit, device)
+        assert outcome.optimal_swaps == 0
+
+    def test_empty_circuit(self):
+        device = line(3)
+        outcome = ExactSolver(max_swaps=1).solve(QuantumCircuit(3), device)
+        assert outcome.optimal_swaps == 0
+
+    def test_permuted_line_still_zero(self):
+        # Gates form a line but with scrambled labels; a good initial
+        # mapping needs no swaps.
+        device = line(4)
+        circuit = circuit_from_pairs(4, [(2, 0), (0, 3), (3, 1)])
+        outcome = ExactSolver(max_swaps=2).solve(circuit, device)
+        assert outcome.optimal_swaps == 0
+
+
+class TestForcedSwaps:
+    def test_triangle_on_line_needs_one(self):
+        device = line(3)
+        circuit = circuit_from_pairs(3, [(0, 1), (1, 2), (0, 2)])
+        outcome = ExactSolver(max_swaps=2).solve(circuit, device)
+        assert outcome.optimal_swaps == 1
+
+    def test_result_is_valid_transpilation(self):
+        device = line(3)
+        circuit = circuit_from_pairs(3, [(0, 1), (1, 2), (0, 2)])
+        outcome = ExactSolver(max_swaps=2).solve(circuit, device)
+        result = outcome.result
+        report = validate_transpiled(
+            circuit, result.circuit, device, result.initial_mapping
+        )
+        assert report.valid, report.error
+        assert report.swap_count == 1
+
+    def test_pinned_initial_mapping_can_cost_more(self):
+        device = line(3)
+        circuit = circuit_from_pairs(3, [(0, 2)])
+        free = ExactSolver(max_swaps=2).solve(circuit, device)
+        assert free.optimal_swaps == 0
+        pinned = ExactSolver(max_swaps=2).solve(
+            circuit, device, initial_mapping=Mapping({0: 0, 1: 1, 2: 2})
+        )
+        assert pinned.optimal_swaps == 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_on_line4(self, seed):
+        import random
+        rng = random.Random(seed)
+        device = line(4)
+        pairs = []
+        for _ in range(rng.randint(2, 7)):
+            a, b = rng.sample(range(4), 2)
+            pairs.append((a, b))
+        circuit = circuit_from_pairs(4, pairs)
+        sat = ExactSolver(max_swaps=4).solve(circuit, device)
+        brute = brute_force_optimal(circuit, device, max_swaps=4)
+        assert sat.optimal_swaps == brute
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_on_ring5(self, seed):
+        import random
+        rng = random.Random(100 + seed)
+        device = ring(5)
+        pairs = []
+        for _ in range(rng.randint(2, 6)):
+            a, b = rng.sample(range(5), 2)
+            pairs.append((a, b))
+        circuit = circuit_from_pairs(5, pairs)
+        sat = ExactSolver(max_swaps=3).solve(circuit, device)
+        brute = brute_force_optimal(circuit, device, max_swaps=3)
+        assert sat.optimal_swaps == brute
+
+
+class TestOnQubikos:
+    @pytest.mark.parametrize("device_name,swaps", [
+        ("line4", 1), ("line5", 2), ("grid3x3", 1), ("grid3x3", 2),
+    ])
+    def test_agrees_with_designed_optimum(self, device_name, swaps):
+        from repro.arch import get_architecture
+        device = get_architecture(device_name)
+        instance = generate(device, num_swaps=swaps, seed=17,
+                            ordering_mode="pruned")
+        outcome = ExactSolver(max_swaps=swaps + 1).solve(
+            instance.circuit, device
+        )
+        assert outcome.optimal_swaps == instance.optimal_swaps
+
+    def test_lower_bound_proof_for_k_below_optimum(self):
+        device = grid(3, 3)
+        instance = generate(device, num_swaps=2, seed=23,
+                            ordering_mode="pruned")
+        solver = ExactSolver(max_swaps=2)
+        outcome = solver.solve(instance.circuit, device)
+        assert outcome.optimal_swaps == 2
+        # The stats list must show UNSAT proofs at k=0 and k=1.
+        ks = [s["k"] for s in outcome.solver_stats]
+        assert ks == [0, 1, 2]
+
+    def test_never_above_heuristic(self):
+        device = grid(3, 3)
+        instance = generate(device, num_swaps=1, num_two_qubit_gates=20,
+                            seed=29, ordering_mode="pruned")
+        heuristic = SabreLayout(seed=1).run(instance.circuit, device)
+        exact = ExactSolver(max_swaps=heuristic.swap_count).solve(
+            instance.circuit, device
+        )
+        assert exact.optimal_swaps is not None
+        assert exact.optimal_swaps <= heuristic.swap_count
+
+
+class TestBudgets:
+    def test_budget_exhaustion_reports_unknown(self):
+        device = grid(3, 3)
+        instance = generate(device, num_swaps=2, seed=31)
+        outcome = ExactSolver(max_swaps=0).solve(instance.circuit, device)
+        assert outcome.optimal_swaps is None
+        assert outcome.timed_out
+
+    def test_run_raises_on_exhaustion(self):
+        from repro.qls import QLSError
+        device = grid(3, 3)
+        instance = generate(device, num_swaps=2, seed=37)
+        with pytest.raises(QLSError):
+            ExactSolver(max_swaps=0).run(instance.circuit, device)
+
+
+class TestEncoder:
+    def test_encoding_size_reasonable(self):
+        device = grid(3, 3)
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2)])
+        encoder = SatEncoder(circuit, device, k=1)
+        stats = encoder.builder.stats()
+        assert stats["vars"] > 0
+        assert stats["clauses"] > stats["vars"]
+
+    def test_circuit_larger_than_device_rejected(self):
+        from repro.qls import QLSError
+        with pytest.raises(QLSError):
+            SatEncoder(circuit_from_pairs(5, [(0, 4)]), line(3), k=0)

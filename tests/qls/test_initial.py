@@ -1,0 +1,84 @@
+"""Initial-mapping strategy tests."""
+
+import random
+
+import pytest
+
+from repro.arch import grid, line
+from repro.circuit import circuit_from_pairs
+from repro.qls import (
+    greedy_degree_mapping,
+    random_mapping,
+    trivial_mapping,
+    vf2_mapping,
+)
+
+
+class TestTrivialAndRandom:
+    def test_trivial(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 1)])
+        mapping = trivial_mapping(circuit, grid33)
+        assert all(mapping.phys(q) == q for q in range(9))
+
+    def test_random_is_injective(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 1)])
+        mapping = random_mapping(circuit, grid33, random.Random(0))
+        physical = [mapping.phys(q) for q in range(9)]
+        assert len(set(physical)) == 9
+
+
+class TestVf2Mapping:
+    def test_embeddable_circuit_gets_exact_placement(self, grid33):
+        # A path interaction graph embeds into the grid.
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2), (2, 3)])
+        mapping = vf2_mapping(circuit, grid33)
+        assert mapping is not None
+        for a, b in [(0, 1), (1, 2), (2, 3)]:
+            assert grid33.has_edge(mapping.phys(a), mapping.phys(b))
+
+    def test_places_all_program_qubits(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 1)])
+        mapping = vf2_mapping(circuit, grid33)
+        assert mapping is not None
+        assert len({mapping.phys(q) for q in range(9)}) == 9
+
+    def test_qubikos_never_embeds(self, small_instance, grid33):
+        assert vf2_mapping(small_instance.circuit, grid33) is None
+
+    def test_too_dense_circuit(self):
+        device = line(4)
+        triangle = circuit_from_pairs(4, [(0, 1), (1, 2), (0, 2)])
+        assert vf2_mapping(triangle, device) is None
+
+
+class TestGreedyDegree:
+    def test_injective_complete(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        mapping = greedy_degree_mapping(circuit, grid33)
+        physical = [mapping.phys(q) for q in range(9)]
+        assert sorted(physical) == list(range(9))
+
+    def test_heavy_qubit_gets_high_degree_spot(self, grid33):
+        # q0 interacts with four partners: it should land on a high-degree
+        # physical qubit (the grid centre has degree 4).
+        pairs = [(0, 1), (0, 2), (0, 3), (0, 4)]
+        circuit = circuit_from_pairs(9, pairs)
+        mapping = greedy_degree_mapping(circuit, grid33)
+        assert grid33.degree(mapping.phys(0)) >= 3
+
+    def test_adjacent_partners_cluster(self, grid33):
+        pairs = [(0, 1), (1, 2), (2, 0)]
+        circuit = circuit_from_pairs(9, pairs)
+        mapping = greedy_degree_mapping(circuit, grid33)
+        # The triangle cannot embed in a grid, but partners should stay close.
+        total = sum(
+            grid33.distance(mapping.phys(a), mapping.phys(b))
+            for a, b in pairs
+        )
+        assert total <= 5
+
+    def test_device_too_small(self):
+        device = line(3)
+        circuit = circuit_from_pairs(5, [(0, 4)])
+        with pytest.raises(ValueError):
+            greedy_degree_mapping(circuit, device)

@@ -1,0 +1,60 @@
+"""Single-qubit gate re-insertion tests."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx, h, rz
+from repro.qls.reinsert import split_one_qubit_gates, weave_transpiled
+from repro.qubikos import Mapping
+
+
+class TestSplit:
+    def test_bundles_attach_to_next_two_qubit_gate(self):
+        circuit = QuantumCircuit(3, [h(0), cx(0, 1), h(1), cx(1, 2)])
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        assert len(two_qubit) == 2
+        assert [g.name for g in bundles[0]] == ["h"]
+        assert [g.name for g in bundles[1]] == ["h"]
+        assert tail == []
+
+    def test_tail_gates(self):
+        circuit = QuantumCircuit(2, [cx(0, 1), h(0), h(1)])
+        _, bundles, tail = split_one_qubit_gates(circuit)
+        assert bundles == {}
+        assert len(tail) == 2
+
+    def test_gate_on_untouched_qubit_goes_to_tail(self):
+        circuit = QuantumCircuit(3, [h(2), cx(0, 1)])
+        _, bundles, tail = split_one_qubit_gates(circuit)
+        assert bundles == {}
+        assert [g.qubits for g in tail] == [(2,)]
+
+    def test_multiple_pending_per_qubit(self):
+        circuit = QuantumCircuit(2, [h(0), rz(0.1, 0), cx(0, 1)])
+        _, bundles, _ = split_one_qubit_gates(circuit)
+        assert [g.name for g in bundles[0]] == ["h", "rz"]
+
+
+class TestWeave:
+    def test_weave_maps_one_qubit_gates(self):
+        circuit = QuantumCircuit(2, [h(0), cx(0, 1), h(1)])
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        mapping = Mapping({0: 5, 1: 6})
+        routed = [(0, cx(5, 6))]
+        woven = weave_transpiled(
+            8, routed, bundles, tail,
+            mapping_at={0: mapping}, final_mapping=mapping,
+        )
+        names = [(g.name, g.qubits) for g in woven.gates]
+        assert names == [("h", (5,)), ("cx", (5, 6)), ("h", (6,))]
+
+    def test_swaps_pass_through(self):
+        from repro.circuit import swap
+        circuit = QuantumCircuit(2, [cx(0, 1)])
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        routed = [(-1, swap(1, 2)), (0, cx(0, 2))]
+        mapping = Mapping({0: 0, 1: 2})
+        woven = weave_transpiled(
+            4, routed, bundles, tail,
+            mapping_at={0: mapping}, final_mapping=mapping,
+        )
+        assert [g.name for g in woven.gates] == ["swap", "cx"]

@@ -1,0 +1,171 @@
+"""SABRE router and layout tests."""
+
+import random
+
+import pytest
+
+from repro.arch import get_architecture, grid, line
+from repro.circuit import QuantumCircuit, circuit_from_pairs, cx, h
+from repro.qls import (
+    QLSError,
+    SabreCostModel,
+    SabreLayout,
+    SabreParameters,
+    route,
+    validate_transpiled,
+)
+from repro.circuit.dag import DependencyDag, ExecutionFrontier
+from repro.qubikos import Mapping, generate
+
+
+class TestRoute:
+    def test_already_executable_circuit_needs_no_swaps(self, line4):
+        circuit = circuit_from_pairs(4, [(0, 1), (1, 2), (2, 3)])
+        outcome = route(circuit, line4, Mapping.identity(4),
+                        SabreParameters(), random.Random(0))
+        assert outcome.swap_count == 0
+
+    def test_distant_pair_needs_swaps(self):
+        device = line(5)
+        circuit = circuit_from_pairs(5, [(0, 4)])
+        outcome = route(circuit, device, Mapping.identity(5),
+                        SabreParameters(), random.Random(0))
+        assert outcome.swap_count == 3  # distance 4 -> 3 swaps
+
+    def test_routed_output_is_valid(self, grid33):
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=40, seed=2)
+        mapping = inst.mapping()
+        outcome = route(inst.circuit.without_single_qubit_gates(), grid33,
+                        mapping, SabreParameters(), random.Random(0),
+                        record_mappings=True)
+        transpiled = QuantumCircuit(9, [g for _, g in outcome.routed])
+        report = validate_transpiled(
+            inst.circuit, transpiled, grid33, inst.mapping()
+        )
+        assert report.valid, report.error
+        assert report.swap_count == outcome.swap_count
+
+    def test_empty_circuit(self, line4):
+        outcome = route(QuantumCircuit(4), line4, Mapping.identity(4),
+                        SabreParameters(), random.Random(0))
+        assert outcome.swap_count == 0
+        assert outcome.routed == []
+
+
+class TestCostModel:
+    def _state(self, device):
+        circuit = circuit_from_pairs(
+            device.num_qubits, [(0, device.num_qubits - 1)]
+        )
+        dag = DependencyDag.from_circuit(circuit)
+        return dag, ExecutionFrontier(dag)
+
+    def test_candidates_touch_front_qubits(self):
+        device = line(5)
+        dag, frontier = self._state(device)
+        model = SabreCostModel(device, SabreParameters())
+        mapping = Mapping.identity(5)
+        candidates = model.candidate_swaps(dag, frontier, mapping)
+        assert (0, 1) in candidates
+        assert (3, 4) in candidates
+        assert (1, 2) not in candidates  # touches neither q0 nor q4
+
+    def test_score_prefers_distance_reducing_swap(self):
+        device = line(5)
+        dag, frontier = self._state(device)
+        model = SabreCostModel(device, SabreParameters())
+        mapping = Mapping.identity(5)
+        front = sorted(frontier.front)
+        good = model.score(dag, mapping, (0, 1), front, [], {})
+        # Swapping (0,1) moves q0 toward q4: distance 4 -> 3.
+        assert good.basic == pytest.approx(3.0)
+
+    def test_decay_multiplies_total(self):
+        device = line(5)
+        dag, frontier = self._state(device)
+        model = SabreCostModel(device, SabreParameters())
+        mapping = Mapping.identity(5)
+        front = sorted(frontier.front)
+        plain = model.score(dag, mapping, (0, 1), front, [], {})
+        decayed = model.score(dag, mapping, (0, 1), front, [], {0: 2.0})
+        assert decayed.total == pytest.approx(2.0 * plain.total)
+        assert decayed.decay == pytest.approx(2.0)
+
+    def test_lookahead_decay_reweights_extended_set(self):
+        device = line(6)
+        # Extended set gates at different distances so reweighting matters.
+        circuit = circuit_from_pairs(6, [(0, 3), (0, 1), (3, 5)])
+        dag = DependencyDag.from_circuit(circuit)
+        frontier = ExecutionFrontier(dag)
+        mapping = Mapping.identity(6)
+        front = sorted(frontier.front)
+        extended = frontier.following_gates(20)
+        stock = SabreCostModel(device, SabreParameters())
+        decayed = SabreCostModel(
+            device, SabreParameters(lookahead_decay=0.5)
+        )
+        s1 = stock.score(dag, mapping, (0, 1), front, extended, {})
+        s2 = decayed.score(dag, mapping, (0, 1), front, extended, {})
+        # Same basic cost, different lookahead weighting.
+        assert s1.basic == s2.basic
+        assert s1.lookahead != s2.lookahead
+
+    def test_score_all_covers_candidates(self, grid33):
+        circuit = circuit_from_pairs(9, [(0, 8)])
+        dag = DependencyDag.from_circuit(circuit)
+        frontier = ExecutionFrontier(dag)
+        model = SabreCostModel(grid33, SabreParameters())
+        mapping = Mapping.identity(9)
+        scores = model.score_all(dag, frontier, mapping)
+        assert len(scores) == len(model.candidate_swaps(dag, frontier, mapping))
+
+
+class TestSabreLayout:
+    def test_full_run_validates(self, aspen_instance, aspen):
+        tool = SabreLayout(seed=3)
+        result = tool.run(aspen_instance.circuit, aspen)
+        report = validate_transpiled(
+            aspen_instance.circuit, result.circuit, aspen, result.initial_mapping
+        )
+        assert report.valid, report.error
+        assert result.swap_count == report.swap_count
+
+    def test_honours_pinned_mapping(self, small_instance, grid33):
+        pinned = small_instance.mapping()
+        tool = SabreLayout(seed=1)
+        result = tool.run(small_instance.circuit, grid33, initial_mapping=pinned)
+        assert result.initial_mapping == pinned
+
+    def test_circuit_too_large_rejected(self, line4):
+        circuit = QuantumCircuit(10, [cx(0, 9)])
+        with pytest.raises(QLSError):
+            SabreLayout().run(circuit, line4)
+
+    def test_single_qubit_gates_preserved(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20,
+                        one_qubit_gate_fraction=0.5, seed=13)
+        result = SabreLayout(seed=0).run(inst.circuit, grid33)
+        original_1q = sorted(
+            g.name for g in inst.circuit.gates if not g.is_two_qubit
+        )
+        routed_1q = sorted(
+            g.name for g in result.circuit.gates if not g.is_two_qubit
+        )
+        assert original_1q == routed_1q
+        report = validate_transpiled(
+            inst.circuit, result.circuit, grid33, result.initial_mapping
+        )
+        assert report.valid
+
+    def test_deterministic_given_seed(self, small_instance, grid33):
+        a = SabreLayout(seed=5).run(small_instance.circuit, grid33)
+        b = SabreLayout(seed=5).run(small_instance.circuit, grid33)
+        assert a.swap_count == b.swap_count
+        assert a.circuit == b.circuit
+
+    def test_finds_zero_swap_embedding_often(self, grid33):
+        """A circuit whose interaction graph is a grid path should route
+        with very few swaps once the layout pass has converged."""
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2), (2, 3)] * 5)
+        result = SabreLayout(seed=8).run(circuit, grid33)
+        assert result.swap_count <= 2

@@ -1,0 +1,127 @@
+"""White-box tests for tket-like, ML-QLS, and A* internals."""
+
+import random
+
+import pytest
+
+from repro.arch import grid, line
+from repro.circuit import DependencyDag, QuantumCircuit, circuit_from_pairs
+from repro.qls import MlQls, TketLikeRouter, TketParameters, validate_transpiled
+from repro.qls.mlqls import MlqlsParameters, _heavy_edge_coarsen, _Level, _place_coarse, _refine
+from repro.qls.tketlike import TketLikeRouter as _Router
+from repro.qubikos import Mapping
+
+
+class TestTketStaticLayers:
+    def test_layers_match_dag_layers(self):
+        circuit = circuit_from_pairs(5, [(0, 1), (2, 3), (1, 2), (3, 4)])
+        dag = DependencyDag.from_circuit(circuit)
+        layer_of = _Router._static_layers(dag)
+        for layer_index, layer in enumerate(dag.layers()):
+            for node in layer:
+                assert layer_of[node] == layer_index
+
+
+class TestTketParameters:
+    def test_lookahead_window_changes_choice_sometimes(self):
+        """Different slice horizons must be accepted and stay valid."""
+        device = grid(3, 3)
+        circuit = circuit_from_pairs(9, [(0, 8), (8, 0), (1, 7), (2, 6)])
+        for slices in (1, 2, 6):
+            tool = TketLikeRouter(TketParameters(lookahead_slices=slices),
+                                  seed=0)
+            result = tool.run(circuit, device)
+            report = validate_transpiled(
+                circuit, result.circuit, device, result.initial_mapping
+            )
+            assert report.valid
+
+    def test_deterministic(self):
+        device = grid(3, 3)
+        circuit = circuit_from_pairs(9, [(0, 8), (3, 5)])
+        a = TketLikeRouter(seed=1).run(circuit, device)
+        b = TketLikeRouter(seed=1).run(circuit, device)
+        assert a.circuit == b.circuit
+
+
+class TestHeavyEdgeCoarsening:
+    def test_halves_node_count_roughly(self):
+        weights = {(i, i + 1): 10 - i for i in range(9)}
+        level = _Level(weights, list(range(10)))
+        coarser, parent = _heavy_edge_coarsen(level, random.Random(0))
+        assert len(coarser.nodes) == 5
+        assert set(parent) == set(range(10))
+
+    def test_heaviest_edges_contract_first(self):
+        weights = {(0, 1): 100, (1, 2): 1, (2, 3): 100}
+        level = _Level(weights, [0, 1, 2, 3])
+        coarser, parent = _heavy_edge_coarsen(level, random.Random(0))
+        assert parent[0] == parent[1]
+        assert parent[2] == parent[3]
+        assert parent[0] != parent[2]
+
+    def test_weights_accumulate(self):
+        weights = {(0, 1): 5, (0, 2): 3, (1, 3): 4, (2, 3): 7}
+        level = _Level(weights, [0, 1, 2, 3])
+        coarser, parent = _heavy_edge_coarsen(level, random.Random(0))
+        # (2,3) and (0,1) merge -> one coarse edge of weight 3 + 4.
+        assert sum(coarser.weights.values()) == 7
+
+    def test_isolated_nodes_become_singletons(self):
+        level = _Level({(0, 1): 1}, [0, 1, 2])
+        coarser, parent = _heavy_edge_coarsen(level, random.Random(0))
+        assert parent[2] not in (parent[0],)
+
+
+class TestPlacementAndRefinement:
+    def test_place_coarse_injective(self):
+        device = grid(3, 3)
+        level = _Level({(0, 1): 3, (1, 2): 2}, [0, 1, 2])
+        placement = _place_coarse(level, device)
+        assert len(set(placement.values())) == 3
+
+    def test_refine_improves_or_keeps_objective(self):
+        device = grid(3, 3)
+        level = _Level({(0, 1): 5, (1, 2): 5}, [0, 1, 2])
+        # Adversarial start: chain placed at mutually distant corners.
+        placement = {0: 0, 1: 8, 2: 2}
+
+        def objective(p):
+            dist = device.distance_matrix
+            return sum(
+                w * int(dist[p[a], p[b]])
+                for (a, b), w in level.weights.items()
+            )
+
+        before = objective(placement)
+        refined = _refine(level, device, dict(placement), passes=5)
+        assert objective(refined) <= before
+        assert len(set(refined.values())) == 3  # stays injective
+
+    def test_mlqls_full_run_with_custom_params(self):
+        device = grid(3, 3)
+        circuit = circuit_from_pairs(9, [(0, 1), (1, 2), (0, 2)] * 3)
+        tool = MlQls(MlqlsParameters(coarsest_size=4, refinement_passes=1),
+                     seed=0)
+        result = tool.run(circuit, device)
+        report = validate_transpiled(
+            circuit, result.circuit, device, result.initial_mapping
+        )
+        assert report.valid
+
+
+class TestSabreStallEscape:
+    def test_force_route_makes_progress(self):
+        """The livelock escape hatch must route the closest front gate."""
+        from repro.circuit.dag import ExecutionFrontier
+        from repro.qls.sabre import _force_route_one
+
+        device = line(6)
+        circuit = circuit_from_pairs(6, [(0, 5)])
+        dag = DependencyDag.from_circuit(circuit)
+        frontier = ExecutionFrontier(dag)
+        mapping = Mapping.identity(6)
+        routed = []
+        swaps = _force_route_one(dag, frontier, device, mapping, routed)
+        assert swaps == 4  # distance 5 -> walk 4 steps
+        assert device.has_edge(mapping.phys(0), mapping.phys(5))

@@ -1,0 +1,153 @@
+"""Cross-tool contract tests: every QLS tool must emit valid transpilations
+on assorted circuits and devices, honour pinned mappings, and report
+accurate SWAP counts."""
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.circuit import QuantumCircuit, circuit_from_pairs
+from repro.qls import (
+    AStarMapper,
+    LightSabre,
+    MlQls,
+    QLSError,
+    SabreLayout,
+    TketLikeRouter,
+    paper_tools,
+    validate_transpiled,
+)
+from repro.qubikos import generate
+
+
+def make_tools():
+    return [
+        SabreLayout(seed=2),
+        LightSabre(trials=3, seed=2),
+        TketLikeRouter(seed=2),
+        AStarMapper(seed=2),
+        MlQls(seed=2),
+    ]
+
+
+TOOL_IDS = [t.name for t in make_tools()]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    specs = [
+        ("grid3x3", 1, 20),
+        ("aspen4", 2, 50),
+        ("tshape9", 2, 40),
+    ]
+    return [
+        generate(get_architecture(arch), num_swaps=n, num_two_qubit_gates=g,
+                 seed=60 + i)
+        for i, (arch, n, g) in enumerate(specs)
+    ]
+
+
+class TestToolContracts:
+    @pytest.mark.parametrize("tool", make_tools(), ids=TOOL_IDS)
+    def test_valid_output_on_qubikos_instances(self, tool, instances):
+        for instance in instances:
+            device = instance.coupling()
+            result = tool.run(instance.circuit, device)
+            report = validate_transpiled(
+                instance.circuit, result.circuit, device, result.initial_mapping
+            )
+            assert report.valid, f"{tool.name} on {instance.name}: {report.error}"
+            assert report.swap_count == result.swap_count
+            assert result.swap_count >= instance.optimal_swaps
+
+    @pytest.mark.parametrize("tool", make_tools(), ids=TOOL_IDS)
+    def test_router_only_mode_respects_mapping(self, tool, instances):
+        instance = instances[0]
+        device = instance.coupling()
+        pinned = instance.mapping()
+        result = tool.run(instance.circuit, device, initial_mapping=pinned)
+        assert result.initial_mapping == pinned
+        report = validate_transpiled(
+            instance.circuit, result.circuit, device, pinned
+        )
+        assert report.valid, f"{tool.name}: {report.error}"
+
+    @pytest.mark.parametrize("tool", make_tools(), ids=TOOL_IDS)
+    def test_trivially_executable_circuit(self, tool):
+        device = get_architecture("line4")
+        circuit = circuit_from_pairs(4, [(0, 1), (1, 2), (2, 3), (1, 2)])
+        result = tool.run(circuit, device)
+        report = validate_transpiled(
+            circuit, result.circuit, device, result.initial_mapping
+        )
+        assert report.valid
+        # A line circuit on a line device should need no or almost no swaps.
+        assert result.swap_count <= 3
+
+    @pytest.mark.parametrize("tool", make_tools(), ids=TOOL_IDS)
+    def test_empty_circuit(self, tool):
+        device = get_architecture("line4")
+        result = tool.run(QuantumCircuit(4), device)
+        assert result.swap_count == 0
+
+    @pytest.mark.parametrize("tool", make_tools(), ids=TOOL_IDS)
+    def test_oversized_circuit_rejected(self, tool):
+        device = get_architecture("line4")
+        circuit = circuit_from_pairs(6, [(0, 5)])
+        with pytest.raises(QLSError):
+            tool.run(circuit, device)
+
+
+class TestLightSabre:
+    def test_beats_or_matches_single_trial(self, instances):
+        instance = instances[1]
+        device = instance.coupling()
+        single = SabreLayout(seed=9).run(instance.circuit, device)
+        multi = LightSabre(trials=6, seed=9).run(instance.circuit, device)
+        assert multi.swap_count <= single.swap_count + 3  # statistical slack
+
+    def test_more_trials_never_hurt(self, instances):
+        instance = instances[0]
+        device = instance.coupling()
+        few = LightSabre(trials=2, seed=4).run(instance.circuit, device)
+        many = LightSabre(trials=8, seed=4).run(instance.circuit, device)
+        assert many.swap_count <= few.swap_count
+
+    def test_metadata(self, instances):
+        instance = instances[0]
+        result = LightSabre(trials=3, seed=1).run(
+            instance.circuit, instance.coupling()
+        )
+        assert result.metadata["trials"] == 3
+        assert 0 <= result.metadata["winning_trial"] < 3
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            LightSabre(trials=0)
+
+
+class TestPaperTools:
+    def test_four_tools_in_order(self):
+        tools = paper_tools()
+        assert [t.name for t in tools] == [
+            "lightsabre", "mlqls", "astar", "tketlike"
+        ]
+
+
+class TestAStarSpecifics:
+    def test_layer_metadata(self, instances):
+        instance = instances[0]
+        result = AStarMapper(seed=0).run(instance.circuit, instance.coupling())
+        assert result.metadata["layers"] >= 1
+        assert result.metadata["layer_fallbacks"] >= 0
+
+    def test_tiny_budget_falls_back_but_stays_valid(self, instances):
+        from repro.qls import AStarParameters
+        instance = instances[1]
+        device = instance.coupling()
+        tool = AStarMapper(AStarParameters(expansion_budget=1), seed=0)
+        result = tool.run(instance.circuit, device)
+        report = validate_transpiled(
+            instance.circuit, result.circuit, device, result.initial_mapping
+        )
+        assert report.valid
+        assert result.metadata["layer_fallbacks"] >= 0

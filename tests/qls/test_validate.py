@@ -1,0 +1,123 @@
+"""Transpiled-circuit validator tests."""
+
+import pytest
+
+from repro.arch import line
+from repro.circuit import QuantumCircuit, cx, h, swap
+from repro.qls import strip_swaps_and_unmap, validate_transpiled
+from repro.qubikos import Mapping
+
+
+@pytest.fixture
+def device():
+    return line(4)
+
+
+@pytest.fixture
+def figure1_example(device):
+    """The paper's Figure 1(a)/(e) worked example on a 4-qubit line.
+
+    Original: cx(0,1), cx(1,2), cx(0,2) with identity mapping
+    q0->p0, q1->p1, q2->p2.  After cx(0,1), cx(1,2), a SWAP(p1,p2) makes
+    (q0,q2) adjacent on (p0,p1).
+    """
+    original = QuantumCircuit(3, [cx(0, 1), cx(1, 2), cx(0, 2)])
+    transpiled = QuantumCircuit(4, [
+        cx(0, 1), cx(1, 2), swap(1, 2), cx(0, 1),
+    ])
+    return original, transpiled, Mapping({0: 0, 1: 1, 2: 2})
+
+
+class TestAccept:
+    def test_figure1_transpilation(self, device, figure1_example):
+        original, transpiled, mapping = figure1_example
+        report = validate_transpiled(original, transpiled, device, mapping)
+        assert report.valid, report.error
+        assert report.swap_count == 1
+        assert report.executed_gates == 3
+
+    def test_single_qubit_gates_ignored(self, device):
+        original = QuantumCircuit(2, [h(0), cx(0, 1), h(1)])
+        transpiled = QuantumCircuit(4, [h(0), cx(0, 1), h(1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping({0: 0, 1: 1})
+        )
+        assert report.valid
+
+    def test_reordered_independent_gates_accepted(self, device):
+        original = QuantumCircuit(4, [cx(0, 1), cx(2, 3)])
+        transpiled = QuantumCircuit(4, [cx(2, 3), cx(0, 1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping.identity(4)
+        )
+        assert report.valid
+
+
+class TestReject:
+    def test_non_adjacent_gate(self, device):
+        original = QuantumCircuit(3, [cx(0, 2)])
+        transpiled = QuantumCircuit(4, [cx(0, 2)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping.identity(3)
+        )
+        assert not report.valid
+        assert "non-adjacent" in report.error
+
+    def test_dependency_violation(self, device):
+        original = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        transpiled = QuantumCircuit(4, [cx(1, 2), cx(0, 1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping.identity(3)
+        )
+        assert not report.valid
+        assert "front layer" in report.error
+
+    def test_missing_gates(self, device):
+        original = QuantumCircuit(3, [cx(0, 1), cx(1, 2)])
+        transpiled = QuantumCircuit(4, [cx(0, 1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping.identity(3)
+        )
+        assert not report.valid
+        assert "never executed" in report.error
+
+    def test_phantom_gate(self, device):
+        original = QuantumCircuit(2, [cx(0, 1)])
+        transpiled = QuantumCircuit(4, [cx(0, 1), cx(0, 1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping.identity(2)
+        )
+        assert not report.valid
+
+    def test_gate_on_unmapped_qubit(self, device):
+        original = QuantumCircuit(2, [cx(0, 1)])
+        transpiled = QuantumCircuit(4, [cx(2, 3)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping({0: 0, 1: 1})
+        )
+        assert not report.valid
+
+    def test_swap_on_non_edge(self, device):
+        original = QuantumCircuit(2, [cx(0, 1)])
+        transpiled = QuantumCircuit(4, [swap(0, 3), cx(0, 1)])
+        report = validate_transpiled(
+            original, transpiled, device, Mapping({0: 0, 1: 1})
+        )
+        assert not report.valid
+
+
+class TestStripAndUnmap:
+    def test_recovers_logical_sequence(self, device, figure1_example):
+        original, transpiled, mapping = figure1_example
+        logical = strip_swaps_and_unmap(transpiled, device, mapping)
+        assert [g.qubit_pair() for g in logical.two_qubit_gates()] == [
+            (0, 1), (1, 2), (0, 2)
+        ]
+
+    def test_witness_unmaps_to_original_pairs(self, small_instance, grid33):
+        logical = strip_swaps_and_unmap(
+            small_instance.witness, grid33, small_instance.mapping()
+        )
+        original_pairs = sorted(small_instance.circuit.interaction_pairs())
+        recovered_pairs = sorted(logical.interaction_pairs())
+        assert original_pairs == recovered_pairs

@@ -1,0 +1,139 @@
+"""Lemma 2 tests: section orderings must serialize between special gates."""
+
+import random
+
+import pytest
+
+from repro.arch import get_architecture, grid
+from repro.circuit import DependencyDag, circuit_from_pairs
+from repro.qubikos import (
+    Mapping,
+    ORDERING_MODES,
+    build_section_graph,
+    connect_section,
+    order_section,
+    select_swap,
+)
+
+
+def _one_section(device, seed, mode="paper", prev=()):
+    rng = random.Random(seed)
+    mapping = Mapping.random_complete(device.num_qubits, rng)
+    choice = select_swap(device, rng)
+    section = build_section_graph(device, mapping, choice)
+    ordered = order_section(device, mapping, section,
+                            prev_special_prog=prev, mode=mode)
+    return mapping, section, ordered
+
+
+class TestConnectSection:
+    def test_connectors_are_device_edges(self, grid33):
+        rng = random.Random(17)
+        for seed in range(10):
+            mapping = Mapping.random_complete(grid33.num_qubits, rng)
+            choice = select_swap(grid33, rng)
+            section = build_section_graph(grid33, mapping, choice)
+            connectors = connect_section(grid33, section)
+            for a, b in connectors:
+                assert grid33.has_edge(a, b)
+
+
+class TestOrderSectionFirst:
+    @pytest.mark.parametrize("mode", ORDERING_MODES)
+    def test_special_depends_on_everything(self, grid33, mode):
+        mapping, section, ordered = _one_section(grid33, 3, mode)
+        pairs = list(ordered.prog_gates) + [ordered.special_prog]
+        circuit = circuit_from_pairs(grid33.num_qubits, pairs)
+        dag = DependencyDag.from_circuit(circuit)
+        special_node = len(dag) - 1
+        ancestors = dag.prev_set(special_node)
+        assert ancestors == frozenset(range(special_node))
+
+    def test_gates_executable_under_mapping(self, grid33):
+        mapping, section, ordered = _one_section(grid33, 4)
+        for a, b in ordered.prog_gates:
+            assert grid33.has_edge(mapping.phys(a), mapping.phys(b))
+
+    def test_unknown_mode_rejected(self, grid33):
+        rng = random.Random(0)
+        mapping = Mapping.random_complete(grid33.num_qubits, rng)
+        choice = select_swap(grid33, rng)
+        section = build_section_graph(grid33, mapping, choice)
+        with pytest.raises(ValueError):
+            order_section(grid33, mapping, section, mode="bogus")
+
+
+class TestOrderSectionChained:
+    @pytest.mark.parametrize("mode", ORDERING_MODES)
+    @pytest.mark.parametrize("device_name", ["grid3x3", "aspen4", "tshape9"])
+    def test_two_section_serialization(self, device_name, mode):
+        """Build two chained sections and check both Lemma 2 properties on
+        the assembled dependency DAG."""
+        device = get_architecture(device_name)
+        rng = random.Random(42)
+        mapping = Mapping.random_complete(device.num_qubits, rng)
+
+        choice1 = select_swap(device, rng)
+        section1 = build_section_graph(device, mapping, choice1)
+        ordered1 = order_section(device, mapping, section1, mode=mode)
+        mapping.swap_physical(*choice1.edge)
+
+        choice2 = select_swap(device, rng)
+        section2 = build_section_graph(device, mapping, choice2)
+        ordered2 = order_section(
+            device, mapping, section2,
+            prev_special_prog=ordered1.special_prog, mode=mode,
+        )
+
+        pairs = (
+            list(ordered1.prog_gates) + [ordered1.special_prog]
+            + list(ordered2.prog_gates) + [ordered2.special_prog]
+        )
+        circuit = circuit_from_pairs(device.num_qubits, pairs)
+        dag = DependencyDag.from_circuit(circuit)
+        special1 = len(ordered1.prog_gates)
+        special2 = len(pairs) - 1
+        section2_nodes = range(special1 + 1, special2)
+
+        descendants = dag.descendants(special1)
+        for node in section2_nodes:
+            assert node in descendants, (
+                f"{mode}: section-2 gate {node} does not depend on special 1"
+            )
+        ancestors = dag.prev_set(special2)
+        for node in section2_nodes:
+            assert node in ancestors, (
+                f"{mode}: section-2 gate {node} does not precede special 2"
+            )
+        # And transitively: special 2 depends on special 1.
+        assert special1 in dag.prev_set(special2)
+
+    def test_pruned_mode_emits_fewer_gates(self):
+        device = grid(3, 3)
+        sizes = {}
+        for mode in ORDERING_MODES:
+            rng = random.Random(9)
+            mapping = Mapping.random_complete(device.num_qubits, rng)
+            choice1 = select_swap(device, rng)
+            section1 = build_section_graph(device, mapping, choice1)
+            ordered1 = order_section(device, mapping, section1, mode=mode)
+            mapping.swap_physical(*choice1.edge)
+            choice2 = select_swap(device, rng)
+            section2 = build_section_graph(device, mapping, choice2)
+            ordered2 = order_section(
+                device, mapping, section2,
+                prev_special_prog=ordered1.special_prog, mode=mode,
+            )
+            sizes[mode] = len(ordered2.prog_gates)
+        assert sizes["pruned"] <= sizes["paper"]
+
+    def test_prev_special_must_be_executable(self, grid33):
+        rng = random.Random(2)
+        mapping = Mapping.random_complete(grid33.num_qubits, rng)
+        choice = select_swap(grid33, rng)
+        section = build_section_graph(grid33, mapping, choice)
+        # A made-up "previous special" on non-adjacent physical qubits.
+        q_far_a, q_far_b = mapping.prog(0), mapping.prog(8)
+        with pytest.raises(ValueError):
+            order_section(grid33, mapping, section,
+                          prev_special_prog=(q_far_a, q_far_b))

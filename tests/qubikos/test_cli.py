@@ -1,0 +1,58 @@
+"""Suite-generation CLI tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.qubikos.__main__ import main
+from repro.qubikos import load_suite, verify_certificate
+
+
+class TestCli:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "suite"
+        rc = main([
+            "--arch", "grid3x3", "--swaps", "1", "--gates", "20",
+            "--count", "2", "--seed", "5", "--out", str(out),
+        ])
+        assert rc == 0
+        assert os.path.exists(out / "index.json")
+        instances = load_suite(out)
+        assert len(instances) == 2
+        assert all(verify_certificate(i).valid for i in instances)
+        assert "wrote 2 instances" in capsys.readouterr().out
+
+    def test_pruned_ordering_flag(self, tmp_path):
+        out = tmp_path / "suite"
+        rc = main([
+            "--arch", "line6", "--swaps", "2", "--count", "1",
+            "--ordering", "pruned", "--out", str(out),
+        ])
+        assert rc == 0
+        (instance,) = load_suite(out)
+        assert instance.ordering_mode == "pruned"
+
+    def test_one_qubit_fraction(self, tmp_path):
+        out = tmp_path / "suite"
+        rc = main([
+            "--arch", "grid3x3", "--swaps", "1", "--gates", "20",
+            "--count", "1", "--one-qubit-fraction", "0.4",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        (instance,) = load_suite(out)
+        ops = instance.circuit.count_ops()
+        assert sum(v for k, v in ops.items() if k != "cx") > 0
+
+    def test_missing_required_args(self):
+        with pytest.raises(SystemExit):
+            main(["--arch", "grid3x3"])
+
+    def test_skip_verify(self, tmp_path):
+        out = tmp_path / "suite"
+        rc = main([
+            "--arch", "grid3x3", "--swaps", "1", "--count", "1",
+            "--skip-verify", "--out", str(out),
+        ])
+        assert rc == 0

@@ -1,0 +1,164 @@
+"""Generator (Algorithm 3) tests: structure, determinism, and optimality
+certificates across devices, SWAP counts, and ordering modes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import complete, get_architecture
+from repro.qls import validate_transpiled
+from repro.qubikos import GenerationError, generate, verify_certificate
+
+
+class TestBasicStructure:
+    def test_counts(self, small_instance):
+        assert small_instance.optimal_swaps == 2
+        assert small_instance.num_two_qubit_gates() == 40
+        assert len(small_instance.sections) == 2
+        assert len(small_instance.special_gate_positions) == 2
+
+    def test_gate_bookkeeping_lengths(self, small_instance):
+        n2q = small_instance.num_two_qubit_gates()
+        assert len(small_instance.gate_sections) == n2q
+        assert len(small_instance.gate_fillers) == n2q
+
+    def test_special_positions_are_backbone(self, small_instance):
+        for pos in small_instance.special_gate_positions:
+            assert not small_instance.gate_fillers[pos]
+
+    def test_witness_swap_count(self, small_instance):
+        assert small_instance.witness.swap_count() == 2
+
+    def test_zero_swaps_rejected(self, grid33):
+        with pytest.raises(GenerationError):
+            generate(grid33, num_swaps=0)
+
+    def test_complete_graph_rejected(self):
+        with pytest.raises(Exception):
+            generate(complete(5), num_swaps=1)
+
+    def test_bad_ordering_mode_rejected(self, grid33):
+        with pytest.raises(GenerationError):
+            generate(grid33, num_swaps=1, ordering_mode="nope")
+
+    def test_backbone_only_when_target_none(self, grid33):
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=None, seed=1)
+        assert inst.metadata["filler_two_qubit_gates"] == 0
+
+    def test_backbone_wins_when_target_too_small(self, grid33):
+        inst = generate(grid33, num_swaps=3, num_two_qubit_gates=5, seed=1)
+        assert inst.num_two_qubit_gates() >= 5
+        assert inst.metadata["filler_two_qubit_gates"] == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self, grid33):
+        a = generate(grid33, num_swaps=2, num_two_qubit_gates=50, seed=123)
+        b = generate(grid33, num_swaps=2, num_two_qubit_gates=50, seed=123)
+        assert a.circuit == b.circuit
+        assert a.witness == b.witness
+        assert a.initial_mapping == b.initial_mapping
+
+    def test_different_seed_different_instance(self, grid33):
+        a = generate(grid33, num_swaps=2, num_two_qubit_gates=50, seed=1)
+        b = generate(grid33, num_swaps=2, num_two_qubit_gates=50, seed=2)
+        assert a.circuit != b.circuit
+
+
+class TestWitnessValidity:
+    @pytest.mark.parametrize("device_name,swaps,gates", [
+        ("grid3x3", 1, 20),
+        ("grid3x3", 4, 80),
+        ("aspen4", 2, 60),
+        ("tshape9", 3, 60),
+        ("ring8", 2, 40),
+        ("sycamore54", 2, 150),
+    ])
+    def test_witness_executes_with_exact_swaps(self, device_name, swaps, gates):
+        device = get_architecture(device_name)
+        inst = generate(device, num_swaps=swaps, num_two_qubit_gates=gates,
+                        seed=31)
+        report = validate_transpiled(
+            inst.circuit, inst.witness, device, inst.mapping()
+        )
+        assert report.valid, report.error
+        assert report.swap_count == swaps
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("mode", ["paper", "pruned"])
+    @pytest.mark.parametrize("device_name", ["grid3x3", "aspen4"])
+    def test_certificate_valid_both_modes(self, device_name, mode):
+        device = get_architecture(device_name)
+        for seed in range(4):
+            inst = generate(device, num_swaps=2, num_two_qubit_gates=60,
+                            seed=seed, ordering_mode=mode)
+            report = verify_certificate(inst)
+            assert report.valid, report.failures
+
+    def test_pruned_mode_smaller_backbone(self, grid33):
+        paper = generate(grid33, num_swaps=3, seed=8, ordering_mode="paper")
+        pruned = generate(grid33, num_swaps=3, seed=8, ordering_mode="pruned")
+        assert (pruned.metadata["backbone_two_qubit_gates"]
+                <= paper.metadata["backbone_two_qubit_gates"])
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_certificates(self, seed):
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(["grid3x3", "line6", "ring8"]))
+        swaps = rng.randint(1, 3)
+        inst = generate(device, num_swaps=swaps,
+                        num_two_qubit_gates=rng.randint(20, 60), seed=seed,
+                        ordering_mode=rng.choice(["paper", "pruned"]))
+        assert inst.optimal_swaps == swaps
+        report = verify_certificate(inst)
+        assert report.valid, report.failures
+
+
+class TestOneQubitDressing:
+    def test_dressing_adds_single_qubit_gates(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=30,
+                        one_qubit_gate_fraction=0.5, seed=3)
+        ops = inst.circuit.count_ops()
+        one_qubit = sum(v for k, v in ops.items() if k not in ("cx", "swap"))
+        assert one_qubit > 0
+        assert inst.num_two_qubit_gates() == 30
+
+    def test_dressed_witness_still_valid(self, grid33):
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=40,
+                        one_qubit_gate_fraction=0.3, seed=4)
+        report = verify_certificate(inst)
+        assert report.valid, report.failures
+
+    def test_dressed_witness_has_matching_one_qubit_gates(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20,
+                        one_qubit_gate_fraction=0.4, seed=5)
+        circuit_1q = [g.name for g in inst.circuit.gates if not g.is_two_qubit]
+        witness_1q = [g.name for g in inst.witness.gates if not g.is_two_qubit]
+        assert circuit_1q == witness_1q
+
+
+class TestFillerPlacement:
+    def test_fillers_marked(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=40, seed=6)
+        backbone = inst.metadata["backbone_two_qubit_gates"]
+        fillers = inst.metadata["filler_two_qubit_gates"]
+        assert backbone + fillers == 40
+        assert sum(inst.gate_fillers) == fillers
+
+    def test_fillers_respect_section_mapping(self, grid33):
+        """Every filler gate must be a coupling edge under its span mapping."""
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=60, seed=9)
+        two_qubit = inst.circuit.two_qubit_gates()
+        mappings = [rec.mapping() for rec in inst.sections]
+        mappings.append(inst.final_mapping())
+        for i, (span, filler) in enumerate(
+            zip(inst.gate_sections, inst.gate_fillers)
+        ):
+            if not filler:
+                continue
+            mapping = mappings[span]
+            a, b = two_qubit[i].qubits
+            assert inst.coupling().has_edge(mapping.phys(a), mapping.phys(b))

@@ -1,0 +1,78 @@
+"""Instance container and serialization tests."""
+
+import json
+
+import pytest
+
+from repro.qubikos import QubikosInstance, generate
+
+
+class TestAccessors:
+    def test_coupling_roundtrip(self, small_instance, grid33):
+        assert small_instance.coupling() == grid33
+
+    def test_mapping(self, small_instance):
+        mapping = small_instance.mapping()
+        assert mapping.is_complete_on(9)
+
+    def test_final_mapping_applies_all_swaps(self, small_instance):
+        final = small_instance.final_mapping()
+        expected = small_instance.mapping()
+        for record in small_instance.sections:
+            expected.swap_physical(*record.swap_edge)
+        assert final == expected
+
+    def test_swap_ratio(self, small_instance):
+        assert small_instance.swap_ratio(4) == pytest.approx(2.0)
+        assert small_instance.swap_ratio(2) == pytest.approx(1.0)
+
+    def test_section_record_mapping(self, small_instance):
+        record = small_instance.sections[0]
+        assert record.mapping().to_list(9) == list(record.mapping_before)
+
+    def test_repr(self, small_instance):
+        text = repr(small_instance)
+        assert "opt_swaps=2" in text
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, small_instance):
+        clone = QubikosInstance.from_json(small_instance.to_json())
+        assert clone.circuit == small_instance.circuit
+        assert clone.witness == small_instance.witness
+        assert clone.initial_mapping == small_instance.initial_mapping
+        assert clone.optimal_swaps == small_instance.optimal_swaps
+        assert clone.sections == small_instance.sections
+        assert clone.special_gate_positions == small_instance.special_gate_positions
+        assert clone.gate_sections == small_instance.gate_sections
+        assert clone.gate_fillers == small_instance.gate_fillers
+        assert clone.name == small_instance.name
+
+    def test_file_roundtrip(self, tmp_path, small_instance):
+        path = tmp_path / "inst.json"
+        small_instance.save(path)
+        clone = QubikosInstance.load(path)
+        assert clone.circuit == small_instance.circuit
+
+    def test_json_is_valid_and_versioned(self, small_instance):
+        payload = json.loads(small_instance.to_json())
+        assert payload["format_version"] == 1
+        assert "circuit_qasm" in payload
+        assert payload["optimal_swaps"] == 2
+
+    def test_unknown_version_rejected(self, small_instance):
+        payload = json.loads(small_instance.to_json())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            QubikosInstance.from_json(json.dumps(payload))
+
+    def test_roundtrip_preserves_certificate(self, small_instance):
+        from repro.qubikos import verify_certificate
+        clone = QubikosInstance.from_json(small_instance.to_json())
+        assert verify_certificate(clone).valid
+
+    def test_dressed_instance_roundtrip(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20,
+                        one_qubit_gate_fraction=0.4, seed=77)
+        clone = QubikosInstance.from_json(inst.to_json())
+        assert clone.circuit == inst.circuit

@@ -1,0 +1,116 @@
+"""Mapping bijection tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qubikos import Mapping, MappingError
+
+
+class TestConstruction:
+    def test_identity(self):
+        m = Mapping.identity(4)
+        assert all(m.phys(q) == q for q in range(4))
+        assert all(m.prog(p) == p for p in range(4))
+
+    def test_duplicate_target_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping({0: 1, 1: 1})
+
+    def test_random_complete_is_bijection(self):
+        m = Mapping.random_complete(8, random.Random(0))
+        assert m.is_complete_on(8)
+        assert sorted(m.phys(q) for q in range(8)) == list(range(8))
+
+    def test_from_list(self):
+        m = Mapping.from_list([2, 0, 1])
+        assert m.phys(0) == 2
+        assert m.prog(2) == 0
+
+
+class TestLookup:
+    def test_inverse_consistency(self):
+        m = Mapping({0: 3, 1: 5})
+        assert m.prog(m.phys(0)) == 0
+        assert m.prog(m.phys(1)) == 1
+
+    def test_has_prog_at(self):
+        m = Mapping({0: 3})
+        assert m.has_prog_at(3)
+        assert not m.has_prog_at(0)
+
+    def test_contains(self):
+        m = Mapping({0: 3})
+        assert 0 in m
+        assert 1 not in m
+
+    def test_qubit_lists(self):
+        m = Mapping({1: 4, 0: 2})
+        assert m.program_qubits() == [0, 1]
+        assert m.physical_qubits() == [2, 4]
+
+
+class TestSwap:
+    def test_swap_exchanges(self):
+        m = Mapping({0: 1, 1: 2})
+        m.swap_physical(1, 2)
+        assert m.phys(0) == 2
+        assert m.phys(1) == 1
+
+    def test_swap_with_empty_slot(self):
+        m = Mapping({0: 1})
+        m.swap_physical(1, 5)
+        assert m.phys(0) == 5
+        assert not m.has_prog_at(1)
+        assert m.prog(5) == 0
+
+    def test_swap_two_empty_slots(self):
+        m = Mapping({0: 1})
+        m.swap_physical(3, 4)  # no-op
+        assert m.phys(0) == 1
+
+    def test_swap_involution(self):
+        m = Mapping({0: 0, 1: 1, 2: 2})
+        before = m.to_dict()
+        m.swap_physical(0, 2)
+        m.swap_physical(0, 2)
+        assert m.to_dict() == before
+
+    def test_swapped_physical_copies(self):
+        m = Mapping({0: 0, 1: 1})
+        m2 = m.swapped_physical(0, 1)
+        assert m.phys(0) == 0
+        assert m2.phys(0) == 1
+
+
+class TestExport:
+    def test_to_list(self):
+        assert Mapping({0: 2, 1: 0}).to_list() == [2, 0]
+
+    def test_to_list_with_gap_raises(self):
+        with pytest.raises(MappingError):
+            Mapping({0: 2, 2: 0}).to_list()
+
+    def test_roundtrip_dict(self):
+        m = Mapping({0: 5, 3: 1})
+        assert Mapping(m.to_dict()) == m
+
+    def test_equality(self):
+        assert Mapping({0: 1}) == Mapping({0: 1})
+        assert Mapping({0: 1}) != Mapping({0: 2})
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_swap_sequences_preserve_bijection(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 10)
+        m = Mapping.random_complete(n, rng)
+        for _ in range(30):
+            p1, p2 = rng.sample(range(n), 2)
+            m.swap_physical(p1, p2)
+        assert m.is_complete_on(n)
+        for q in range(n):
+            assert m.prog(m.phys(q)) == q

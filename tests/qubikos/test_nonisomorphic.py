@@ -1,0 +1,137 @@
+"""Lemma 1 tests: the generated section graphs must never embed."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_architecture, grid, line, ring, star
+from repro.graphs import is_subgraph_embeddable
+from repro.qubikos import (
+    Mapping,
+    build_section_graph,
+    degree_count_certificate,
+    interaction_edges_prog,
+    saturated_edge_set,
+    select_swap,
+)
+from repro.qubikos.swapseq import SwapChoice
+
+
+class TestSaturatedEdgeSet:
+    def test_includes_anchor_edges(self, grid33):
+        edges = saturated_edge_set(grid33, 0)  # corner, degree 2
+        for nbr in grid33.neighbors(0):
+            assert tuple(sorted((0, nbr))) in edges
+
+    def test_includes_higher_degree_vertices(self, grid33):
+        # Anchoring at a corner (degree 2) must saturate the centre (deg 4)
+        # and the edge midpoints (degree 3).
+        edges = saturated_edge_set(grid33, 0)
+        centre_edges = [e for e in edges if 4 in e]
+        assert len(centre_edges) == 4
+
+    def test_max_degree_anchor_saturates_nothing_extra(self, grid33):
+        # Anchoring at the centre (max degree): only its own edges needed.
+        edges = saturated_edge_set(grid33, 4)
+        assert all(4 in e for e in edges)
+        assert len(edges) == 4
+
+
+class TestBuildSectionGraph:
+    def _mapping(self, device, seed=0):
+        return Mapping.random_complete(device.num_qubits, random.Random(seed))
+
+    def test_invalid_swap_edge_rejected(self, grid33):
+        mapping = self._mapping(grid33)
+        with pytest.raises(ValueError):
+            build_section_graph(grid33, mapping, SwapChoice(0, 8, 5))
+
+    def test_redundant_p_new_rejected(self, grid33):
+        mapping = self._mapping(grid33)
+        # p_new adjacent to p_a makes the SWAP unnecessary.
+        with pytest.raises(ValueError):
+            build_section_graph(grid33, mapping, SwapChoice(0, 1, 3))
+
+    def test_p_new_not_adjacent_to_p_b_rejected(self, grid33):
+        mapping = self._mapping(grid33)
+        with pytest.raises(ValueError):
+            build_section_graph(grid33, mapping, SwapChoice(0, 1, 8))
+
+    def test_special_gate_not_executable_before_swap(self, grid33):
+        mapping = self._mapping(grid33, seed=5)
+        choice = select_swap(grid33, random.Random(5))
+        section = build_section_graph(grid33, mapping, choice)
+        qa, qb = section.special_prog
+        assert not grid33.has_edge(mapping.phys(qa), mapping.phys(qb))
+
+    def test_special_gate_executable_after_swap(self, grid33):
+        mapping = self._mapping(grid33, seed=6)
+        choice = select_swap(grid33, random.Random(6))
+        section = build_section_graph(grid33, mapping, choice)
+        after = mapping.swapped_physical(choice.p_a, choice.p_b)
+        qa, qb = section.special_prog
+        assert grid33.has_edge(after.phys(qa), after.phys(qb))
+
+    def test_s_edges_executable_before_swap(self, grid33):
+        mapping = self._mapping(grid33, seed=7)
+        choice = select_swap(grid33, random.Random(7))
+        section = build_section_graph(grid33, mapping, choice)
+        for a, b in section.phys_edges:
+            assert grid33.has_edge(a, b)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("device_name", [
+        "line5", "ring6", "grid3x3", "aspen4", "tshape9",
+    ])
+    def test_section_graph_never_embeds(self, device_name):
+        device = get_architecture(device_name)
+        rng = random.Random(99)
+        for trial in range(15):
+            mapping = Mapping.random_complete(device.num_qubits, rng)
+            choice = select_swap(device, rng)
+            section = build_section_graph(device, mapping, choice)
+            edges = interaction_edges_prog(section, mapping)
+            assert not is_subgraph_embeddable(
+                edges, device.edges, host_nodes=range(device.num_qubits)
+            ), f"section embeds on {device_name} trial {trial}"
+
+    @pytest.mark.parametrize("device_name", ["grid3x3", "aspen4", "line6"])
+    def test_degree_count_certificate_agrees(self, device_name):
+        device = get_architecture(device_name)
+        rng = random.Random(5)
+        for _ in range(10):
+            mapping = Mapping.random_complete(device.num_qubits, rng)
+            choice = select_swap(device, rng)
+            section = build_section_graph(device, mapping, choice)
+            assert degree_count_certificate(device, section)
+
+    def test_removing_special_gate_allows_embedding(self, grid33):
+        """Without the special gate, S alone is executable (it IS a set of
+        coupling edges), so it must embed."""
+        rng = random.Random(21)
+        mapping = Mapping.random_complete(grid33.num_qubits, rng)
+        choice = select_swap(grid33, rng)
+        section = build_section_graph(grid33, mapping, choice)
+        edges_without_special = sorted({
+            tuple(sorted((mapping.prog(a), mapping.prog(b))))
+            for a, b in section.phys_edges
+        })
+        assert is_subgraph_embeddable(
+            edges_without_special, grid33.edges,
+            host_nodes=range(grid33.num_qubits),
+        )
+
+    @given(st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma1_randomized(self, seed):
+        rng = random.Random(seed)
+        device = rng.choice([grid(3, 3), line(6), ring(7), star(6)])
+        mapping = Mapping.random_complete(device.num_qubits, rng)
+        choice = select_swap(device, rng)
+        section = build_section_graph(device, mapping, choice)
+        edges = interaction_edges_prog(section, mapping)
+        assert not is_subgraph_embeddable(
+            edges, device.edges, host_nodes=range(device.num_qubits)
+        )

@@ -1,0 +1,90 @@
+"""QUEKO-style zero-SWAP benchmark tests.
+
+QUEKO is the control group the paper contrasts QUBIKOS against: circuits
+with a known zero-SWAP solution and known-optimal depth, solvable by
+subgraph isomorphism — everything QUBIKOS is designed not to be.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import get_architecture, grid
+from repro.qls import ExactSolver, SabreLayout, validate_transpiled, vf2_mapping
+from repro.qubikos import check_zero_swap_solution, generate_queko
+
+
+class TestGeneration:
+    def test_depth_is_exact(self, grid33):
+        for depth in (1, 3, 7):
+            inst = generate_queko(grid33, depth=depth, seed=1)
+            assert inst.optimal_depth == depth
+            assert inst.circuit.depth() == depth
+
+    def test_zero_swap_solution_exists(self, grid33):
+        inst = generate_queko(grid33, depth=5, seed=2)
+        assert check_zero_swap_solution(inst, grid33)
+        assert inst.optimal_swaps == 0
+
+    def test_density_controls_gate_count(self, grid33):
+        sparse = generate_queko(grid33, depth=10, two_qubit_density=0.2, seed=3)
+        dense = generate_queko(grid33, depth=10, two_qubit_density=0.9, seed=3)
+        assert dense.circuit.num_two_qubit_gates() >= \
+            sparse.circuit.num_two_qubit_gates()
+
+    def test_one_qubit_density(self, grid33):
+        inst = generate_queko(grid33, depth=5, one_qubit_density=0.5, seed=4)
+        one_qubit = len(inst.circuit) - inst.circuit.num_two_qubit_gates()
+        assert one_qubit > 0
+
+    def test_deterministic(self, grid33):
+        a = generate_queko(grid33, depth=4, seed=9)
+        b = generate_queko(grid33, depth=4, seed=9)
+        assert a.circuit == b.circuit
+        assert a.hidden_mapping == b.hidden_mapping
+
+    def test_bad_parameters(self, grid33):
+        with pytest.raises(ValueError):
+            generate_queko(grid33, depth=0)
+        with pytest.raises(ValueError):
+            generate_queko(grid33, depth=3, two_qubit_density=1.5)
+
+
+class TestPaperContrast:
+    """The properties that distinguish QUEKO from QUBIKOS."""
+
+    def test_vf2_solves_queko(self, grid33):
+        """Subgraph-isomorphism placement cracks QUEKO outright."""
+        inst = generate_queko(grid33, depth=6, seed=5)
+        mapping = vf2_mapping(inst.circuit, grid33)
+        assert mapping is not None
+        for gate in inst.circuit.two_qubit_gates():
+            a, b = gate.qubits
+            assert grid33.has_edge(mapping.phys(a), mapping.phys(b))
+
+    def test_exact_solver_confirms_zero(self):
+        device = grid(2, 3)
+        inst = generate_queko(device, depth=3, seed=6)
+        outcome = ExactSolver(max_swaps=1).solve(inst.circuit, device)
+        assert outcome.optimal_swaps == 0
+
+    def test_sabre_handles_queko_well(self, grid33):
+        """A competent tool should be at or near zero SWAPs on QUEKO."""
+        inst = generate_queko(grid33, depth=5, seed=7)
+        result = SabreLayout(seed=1).run(inst.circuit, grid33)
+        report = validate_transpiled(
+            inst.circuit, result.circuit, grid33, result.initial_mapping
+        )
+        assert report.valid
+        assert result.swap_count <= 4  # near-zero, not the QUBIKOS blowup
+
+    def test_hidden_mapping_transpilation_validates(self, grid33):
+        """Relabeling through the hidden mapping is a 0-SWAP transpilation."""
+        inst = generate_queko(grid33, depth=4, seed=8)
+        mapping = inst.hidden_mapping
+        physical = inst.circuit.remap_qubits(
+            {q: mapping.phys(q) for q in range(grid33.num_qubits)}
+        )
+        report = validate_transpiled(inst.circuit, physical, grid33, mapping)
+        assert report.valid
+        assert report.swap_count == 0

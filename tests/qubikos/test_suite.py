@@ -1,0 +1,99 @@
+"""Suite builder and persistence tests."""
+
+import os
+
+import pytest
+
+from repro.qubikos import (
+    SuiteSpec,
+    build_suite,
+    evaluation_spec,
+    load_suite,
+    optimality_study_spec,
+    save_suite,
+    verify_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return SuiteSpec(
+        architectures=("grid3x3", "line6"),
+        swap_counts=(1, 2),
+        circuits_per_point=2,
+        gate_counts={"grid3x3": 25, "line6": 20},
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_suite(tiny_spec):
+    return build_suite(tiny_spec)
+
+
+class TestSpecs:
+    def test_optimality_study_spec_matches_paper_grid(self):
+        spec = optimality_study_spec()
+        assert spec.architectures == ("aspen4", "grid3x3")
+        assert spec.swap_counts == (1, 2, 3, 4)
+        assert spec.circuits_per_point == 100  # paper default
+        assert spec.total_instances() == 800
+
+    def test_evaluation_spec_matches_paper_grid(self):
+        spec = evaluation_spec()
+        assert spec.swap_counts == (5, 10, 15, 20)
+        assert spec.gate_counts["aspen4"] == 300
+        assert spec.gate_counts["sycamore54"] == 1500
+        assert spec.gate_counts["eagle127"] == 3000
+
+    def test_evaluation_spec_gate_scale(self):
+        spec = evaluation_spec(gate_scale=0.1)
+        assert spec.gate_counts["aspen4"] == 30
+
+
+class TestBuildSuite:
+    def test_grid_coverage(self, tiny_spec, tiny_suite):
+        assert len(tiny_suite) == tiny_spec.total_instances()
+        combos = {(i.architecture, i.optimal_swaps) for i in tiny_suite}
+        assert combos == {
+            ("grid3x3", 1), ("grid3x3", 2), ("line6", 1), ("line6", 2),
+        }
+
+    def test_deterministic(self, tiny_spec, tiny_suite):
+        again = build_suite(tiny_spec)
+        assert [i.name for i in again] == [i.name for i in tiny_suite]
+        assert all(a.circuit == b.circuit for a, b in zip(again, tiny_suite))
+
+    def test_distinct_seeds_across_grid(self, tiny_suite):
+        seeds = [i.seed for i in tiny_suite]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_all_certified(self, tiny_suite):
+        for instance in tiny_suite:
+            assert verify_certificate(instance).valid
+
+    def test_progress_callback(self, tiny_spec):
+        seen = []
+        build_suite(tiny_spec, progress=seen.append)
+        assert len(seen) == tiny_spec.total_instances()
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, tiny_suite):
+        directory = tmp_path / "suite"
+        save_suite(tiny_suite, directory)
+        assert os.path.exists(directory / "index.json")
+        loaded = load_suite(directory)
+        assert len(loaded) == len(tiny_suite)
+        for a, b in zip(loaded, tiny_suite):
+            assert a.circuit == b.circuit
+            assert a.optimal_swaps == b.optimal_swaps
+
+    def test_index_contents(self, tmp_path, tiny_suite):
+        import json
+        directory = tmp_path / "suite"
+        save_suite(tiny_suite, directory)
+        with open(directory / "index.json") as handle:
+            index = json.load(handle)
+        assert len(index) == len(tiny_suite)
+        assert all("architecture" in entry for entry in index)

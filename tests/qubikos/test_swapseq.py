@@ -1,0 +1,74 @@
+"""Essential-SWAP selection tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import complete, grid, line, ring, star
+from repro.qubikos import SwapSelectionError, essential_swap_choices, select_swap
+from repro.qubikos.swapseq import new_neighbor_candidates
+
+
+class TestNewNeighborCandidates:
+    def test_line_end(self, line4):
+        # Swapping 0<->1: the occupant of 0 newly reaches 2.
+        assert new_neighbor_candidates(line4, 0, 1) == [2]
+
+    def test_no_new_neighbors_in_complete_graph(self):
+        k4 = complete(4)
+        for a, b in k4.edges:
+            assert new_neighbor_candidates(k4, a, b) == []
+
+    def test_excludes_p_a_and_common_neighbors(self, grid33):
+        # Edge (0,1) on the grid: neighbors of 1 are {0, 2, 4}; 0 is p_a,
+        # and 2, 4 are not adjacent to 0, so both are candidates.
+        assert new_neighbor_candidates(grid33, 0, 1) == [2, 4]
+
+
+class TestEssentialSwapChoices:
+    def test_every_choice_is_valid(self, grid33):
+        for choice in essential_swap_choices(grid33):
+            assert grid33.has_edge(choice.p_a, choice.p_b)
+            assert choice.p_new in grid33.neighbors(choice.p_b)
+            assert choice.p_new not in grid33.neighbors(choice.p_a)
+            assert choice.p_new != choice.p_a
+
+    def test_line_has_choices(self, line4):
+        choices = essential_swap_choices(line4)
+        assert choices  # non-complete graphs always have one
+
+    def test_complete_graph_has_none(self):
+        assert essential_swap_choices(complete(4)) == []
+
+    def test_edge_property(self, line4):
+        choice = essential_swap_choices(line4)[0]
+        assert choice.edge == tuple(sorted((choice.p_a, choice.p_b)))
+
+
+class TestSelectSwap:
+    def test_complete_graph_raises(self):
+        with pytest.raises(SwapSelectionError):
+            select_swap(complete(5), random.Random(0))
+
+    def test_star_graph_works(self):
+        # Star: swapping a leaf with the hub gives the leaf new neighbors.
+        choice = select_swap(star(5), random.Random(0))
+        assert choice.p_new not in star(5).neighbors(choice.p_a)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_on_assorted_devices(self, seed):
+        rng = random.Random(seed)
+        device = rng.choice([line(5), ring(6), grid(3, 3), star(6)])
+        choice = select_swap(device, rng)
+        assert device.has_edge(choice.p_a, choice.p_b)
+        assert choice.p_new in device.neighbors(choice.p_b)
+        assert choice.p_new not in device.neighbors(choice.p_a) | {choice.p_a}
+
+    def test_avoid_edge_is_soft(self, line4):
+        # line4 has few choices; avoiding one edge must still succeed.
+        rng = random.Random(1)
+        for _ in range(10):
+            choice = select_swap(line4, rng, avoid_edge=(0, 1))
+            assert line4.has_edge(choice.p_a, choice.p_b)

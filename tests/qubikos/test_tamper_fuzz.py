@@ -1,0 +1,105 @@
+"""Randomized tamper-detection fuzzing for the certificate verifier.
+
+The certificate's job is to never bless a wrong optimum.  We mutate valid
+instances in ways that change their semantics and assert the verifier
+either rejects the mutant or the mutation was provably harmless (we only
+apply mutations designed to break one of the three checked facts).
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.qubikos import generate, verify_certificate
+
+
+def _base(seed):
+    from repro.arch import grid
+    return generate(grid(3, 3), num_swaps=2, num_two_qubit_gates=30,
+                    seed=seed)
+
+
+class TestWitnessTampering:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_dropping_a_witness_swap_detected(self, seed):
+        instance = _base(seed % 7)
+        rng = random.Random(seed)
+        gates = list(instance.witness.gates)
+        swap_positions = [i for i, g in enumerate(gates) if g.is_swap]
+        drop = rng.choice(swap_positions)
+        tampered = QuantumCircuit(
+            instance.witness.num_qubits,
+            [g for i, g in enumerate(gates) if i != drop],
+        )
+        mutant = dataclasses.replace(instance, witness=tampered)
+        report = verify_certificate(mutant)
+        assert not report.valid
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_extra_witness_swap_changes_count(self, seed):
+        instance = _base(seed % 7)
+        rng = random.Random(seed)
+        coupling = instance.coupling()
+        edge = rng.choice(list(coupling.edges))
+        tampered = instance.witness.copy()
+        tampered.insert(0, Gate("swap", edge))
+        mutant = dataclasses.replace(instance, witness=tampered)
+        report = verify_certificate(mutant)
+        # Either the replay now mismatches the claimed optimum (count), or
+        # the inserted swap breaks gate executability downstream.
+        assert not report.valid
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=20, deadline=None)
+    def test_scrambled_initial_mapping_detected(self, seed):
+        instance = _base(seed % 7)
+        rng = random.Random(seed)
+        mapping = list(instance.initial_mapping)
+        a, b = rng.sample(range(len(mapping)), 2)
+        mapping[a], mapping[b] = mapping[b], mapping[a]
+        mutant = dataclasses.replace(instance, initial_mapping=tuple(mapping))
+        report = verify_certificate(mutant)
+        assert not report.valid
+
+
+class TestClaimTampering:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=15, deadline=None)
+    def test_inflated_optimum_detected(self, seed):
+        instance = _base(seed % 7)
+        mutant = dataclasses.replace(
+            instance, optimal_swaps=instance.optimal_swaps + 1
+        )
+        assert not verify_certificate(mutant).valid
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=15, deadline=None)
+    def test_deflated_optimum_detected(self, seed):
+        instance = _base(seed % 7)
+        mutant = dataclasses.replace(
+            instance, optimal_swaps=instance.optimal_swaps - 1
+        )
+        assert not verify_certificate(mutant).valid
+
+
+class TestHarmlessMutations:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=15, deadline=None)
+    def test_renaming_is_harmless(self, seed):
+        instance = _base(seed % 7)
+        mutant = dataclasses.replace(instance, name="renamed", seed=None)
+        assert verify_certificate(mutant).valid
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=10, deadline=None)
+    def test_metadata_is_ignored(self, seed):
+        instance = _base(seed % 7)
+        mutant = dataclasses.replace(
+            instance, metadata={"arbitrary": "stuff", "n": seed}
+        )
+        assert verify_certificate(mutant).valid

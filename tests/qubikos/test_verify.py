@@ -1,0 +1,107 @@
+"""Certificate verifier tests: accepts valid instances, rejects tampering."""
+
+import dataclasses
+
+import pytest
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.qubikos import generate, verify_certificate
+from repro.qubikos.verify import backbone_section_nodes
+
+
+class TestAcceptance:
+    def test_valid_instance(self, small_instance):
+        report = verify_certificate(small_instance)
+        assert report.valid
+        assert report.witness_swaps == 2
+        assert report.sections_checked == 2
+        assert bool(report)
+
+    def test_aspen_instance(self, aspen_instance):
+        assert verify_certificate(aspen_instance).valid
+
+
+class TestBackboneSectionNodes:
+    def test_sections_end_with_special(self, small_instance):
+        groups = backbone_section_nodes(small_instance)
+        for group, special in zip(groups, small_instance.special_gate_positions):
+            assert group[-1] == special
+
+    def test_fillers_excluded(self, small_instance):
+        groups = backbone_section_nodes(small_instance)
+        members = {i for group in groups for i in group}
+        for i, filler in enumerate(small_instance.gate_fillers):
+            if filler:
+                assert i not in members
+
+
+class TestTamperRejection:
+    def _clone_with(self, instance, **overrides):
+        return dataclasses.replace(instance, **overrides)
+
+    def test_wrong_optimal_count_rejected(self, small_instance):
+        fake = self._clone_with(small_instance, optimal_swaps=3)
+        report = verify_certificate(fake)
+        assert not report.valid
+        assert any("SWAP" in f for f in report.failures)
+
+    def test_truncated_witness_rejected(self, small_instance):
+        truncated = QuantumCircuit(
+            small_instance.witness.num_qubits,
+            small_instance.witness.gates[:-3],
+        )
+        fake = self._clone_with(small_instance, witness=truncated)
+        assert not verify_certificate(fake).valid
+
+    def test_witness_with_illegal_edge_rejected(self, small_instance, grid33):
+        # Insert a 2q gate between non-adjacent physical qubits 0 and 8.
+        bad = small_instance.witness.copy()
+        bad.insert(0, Gate("cx", (0, 8)))
+        fake = self._clone_with(small_instance, witness=bad)
+        assert not verify_certificate(fake).valid
+
+    def test_dropping_special_gate_breaks_lemma1(self, small_instance):
+        """Deleting a special gate makes that section embeddable."""
+        circuit = small_instance.circuit
+        pos = small_instance.special_gate_positions[0]
+        two_qubit_indices = circuit.two_qubit_indices()
+        drop = two_qubit_indices[pos]
+        gates = [g for i, g in enumerate(circuit.gates) if i != drop]
+        # Rebuild bookkeeping with the gate removed.
+        sections = list(small_instance.gate_sections)
+        fillers = list(small_instance.gate_fillers)
+        del sections[pos]
+        del fillers[pos]
+        fake = self._clone_with(
+            small_instance,
+            circuit=QuantumCircuit(circuit.num_qubits, gates),
+            gate_sections=tuple(sections),
+            gate_fillers=tuple(fillers),
+            special_gate_positions=(pos,) + tuple(
+                p - 1 for p in small_instance.special_gate_positions[1:]
+            ),
+        )
+        report = verify_certificate(fake)
+        assert not report.valid
+
+    def test_mismatched_bookkeeping_rejected(self, small_instance):
+        fake = self._clone_with(small_instance, gate_sections=(0,))
+        report = verify_certificate(fake)
+        assert not report.valid
+        assert any("mismatch" in f for f in report.failures)
+
+    def test_wrong_special_count_rejected(self, small_instance):
+        fake = self._clone_with(
+            small_instance,
+            special_gate_positions=small_instance.special_gate_positions[:1],
+        )
+        assert not verify_certificate(fake).valid
+
+    def test_shuffled_circuit_rejected(self, small_instance):
+        """Reversing the gate order destroys the witness correspondence."""
+        reversed_circuit = QuantumCircuit(
+            small_instance.circuit.num_qubits,
+            list(reversed(small_instance.circuit.gates)),
+        )
+        fake = self._clone_with(small_instance, circuit=reversed_circuit)
+        assert not verify_certificate(fake).valid

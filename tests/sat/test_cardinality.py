@@ -1,0 +1,95 @@
+"""Cardinality encoding tests: exhaustive over small n, fuzzed beyond."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import (
+    CnfBuilder,
+    SolverResult,
+    at_least_k,
+    at_most_k,
+    exactly_k,
+    solve_clauses,
+)
+
+
+def check_assignment(n, k, true_set, encode):
+    """SAT iff the forced assignment satisfies the encoded constraint."""
+    builder = CnfBuilder()
+    xs = [builder.var(("x", i)) for i in range(n)]
+    encode(builder, xs, k)
+    for i in range(n):
+        builder.add_unit(xs[i] if i in true_set else -xs[i])
+    result, _ = solve_clauses(builder.clauses)
+    return result is SolverResult.SAT
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exhaustive_small(self, n):
+        for k in range(n + 1):
+            for bits in itertools.product([0, 1], repeat=n):
+                true_set = {i for i, b in enumerate(bits) if b}
+                expected = len(true_set) <= k
+                assert check_assignment(n, k, true_set, at_most_k) == expected, (
+                    f"n={n} k={k} set={true_set}"
+                )
+
+    def test_k_zero_forces_all_false(self):
+        assert check_assignment(3, 0, set(), at_most_k)
+        assert not check_assignment(3, 0, {1}, at_most_k)
+
+    def test_negative_k_unsat(self):
+        builder = CnfBuilder()
+        xs = [builder.var(i) for i in range(2)]
+        at_most_k(builder, xs, -1)
+        result, _ = solve_clauses(builder.clauses)
+        assert result is SolverResult.UNSAT
+
+    def test_vacuous_when_k_ge_n(self):
+        assert check_assignment(3, 3, {0, 1, 2}, at_most_k)
+        assert check_assignment(3, 5, {0, 1, 2}, at_most_k)
+
+
+class TestAtLeastK:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive_small(self, n):
+        for k in range(n + 2):
+            for bits in itertools.product([0, 1], repeat=n):
+                true_set = {i for i, b in enumerate(bits) if b}
+                expected = len(true_set) >= k
+                assert check_assignment(n, k, true_set, at_least_k) == expected
+
+    def test_k_above_n_unsat(self):
+        assert not check_assignment(2, 3, {0, 1}, at_least_k)
+
+
+class TestExactlyK:
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 1), (3, 2), (3, 3), (4, 2)])
+    def test_exhaustive(self, n, k):
+        for bits in itertools.product([0, 1], repeat=n):
+            true_set = {i for i, b in enumerate(bits) if b}
+            expected = len(true_set) == k
+            assert check_assignment(n, k, true_set, exactly_k) == expected
+
+    def test_free_solution_has_exactly_k(self):
+        builder = CnfBuilder()
+        xs = [builder.var(i) for i in range(6)]
+        exactly_k(builder, xs, 3)
+        result, model = solve_clauses(builder.clauses)
+        assert result is SolverResult.SAT
+        assert sum(model[x] for x in xs) == 3
+
+
+class TestFuzz:
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_assignments(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 10)
+        k = rng.randint(0, n + 1)
+        true_set = set(rng.sample(range(n), rng.randint(0, n)))
+        assert check_assignment(n, k, true_set, at_most_k) == (len(true_set) <= k)

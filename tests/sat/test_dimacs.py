@@ -1,0 +1,55 @@
+"""DIMACS round-trip tests."""
+
+import pytest
+
+from repro.sat import dimacs
+
+
+class TestDumps:
+    def test_problem_line(self):
+        text = dimacs.dumps(3, [[1, -2], [3]])
+        assert "p cnf 3 2" in text
+        assert "1 -2 0" in text
+        assert "3 0" in text
+
+    def test_comment(self):
+        text = dimacs.dumps(1, [[1]], comment="hello\nworld")
+        assert "c hello" in text
+        assert "c world" in text
+
+
+class TestLoads:
+    def test_roundtrip(self):
+        clauses = [[1, -2, 3], [-1], [2, 3]]
+        n, parsed = dimacs.loads(dimacs.dumps(3, clauses))
+        assert n == 3
+        assert parsed == clauses
+
+    def test_multiline_clause(self):
+        n, clauses = dimacs.loads("p cnf 2 1\n1\n-2 0\n")
+        assert clauses == [[1, -2]]
+
+    def test_comments_skipped(self):
+        n, clauses = dimacs.loads("c hi\np cnf 1 1\n1 0\n")
+        assert clauses == [[1]]
+
+    def test_num_vars_inferred_from_literals(self):
+        n, _ = dimacs.loads("p cnf 1 1\n7 0\n")
+        assert n == 7
+
+    def test_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            dimacs.loads("p wcnf 1 1\n1 0\n")
+
+    def test_trailing_clause_without_zero(self):
+        n, clauses = dimacs.loads("p cnf 2 1\n1 -2")
+        assert clauses == [[1, -2]]
+
+
+class TestFileIo:
+    def test_dump_load(self, tmp_path):
+        path = tmp_path / "f.cnf"
+        dimacs.dump(2, [[1, 2], [-1]], path)
+        n, clauses = dimacs.load(path)
+        assert n == 2
+        assert clauses == [[1, 2], [-1]]

@@ -1,0 +1,198 @@
+"""CDCL solver tests: known instances, model soundness, and brute-force
+equivalence fuzzing."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CdclSolver, SolverResult, solve_clauses
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        result, _ = solve_clauses([])
+        assert result is SolverResult.SAT
+
+    def test_empty_clause_unsat(self):
+        result, _ = solve_clauses([[]])
+        assert result is SolverResult.UNSAT
+
+    def test_unit_propagation_chain(self):
+        result, model = solve_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        assert result is SolverResult.SAT
+        assert all(model.value(v) for v in [1, 2, 3, 4])
+
+    def test_contradictory_units(self):
+        result, _ = solve_clauses([[1], [-1]])
+        assert result is SolverResult.UNSAT
+
+    def test_tautology_ignored(self):
+        result, _ = solve_clauses([[1, -1], [2]])
+        assert result is SolverResult.SAT
+
+    def test_duplicate_literals_deduped(self):
+        result, model = solve_clauses([[1, 1, 1]])
+        assert result is SolverResult.SAT
+        assert model.value(1)
+
+    def test_simple_conflict_analysis(self):
+        # (x1 | x2) & (x1 | -x2) & (-x1 | x3) & (-x1 | -x3) is UNSAT.
+        result, _ = solve_clauses([[1, 2], [1, -2], [-1, 3], [-1, -3]])
+        assert result is SolverResult.UNSAT
+
+
+class TestKnownInstances:
+    def test_pigeonhole_3_into_2(self):
+        clauses = []
+        def var(i, j):
+            return i * 2 + j + 1
+        for i in range(3):
+            clauses.append([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        result, _ = solve_clauses(clauses)
+        assert result is SolverResult.UNSAT
+
+    def test_pigeonhole_4_into_3(self):
+        clauses = []
+        def var(i, j):
+            return i * 3 + j + 1
+        for i in range(4):
+            clauses.append([var(i, j) for j in range(3)])
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        result, _ = solve_clauses(clauses)
+        assert result is SolverResult.UNSAT
+
+    def test_graph_coloring_triangle_2_colors_unsat(self):
+        # Each of 3 vertices gets one of 2 colors; adjacent differ.
+        def var(v, c):
+            return v * 2 + c + 1
+        clauses = []
+        for v in range(3):
+            clauses.append([var(v, 0), var(v, 1)])
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(2):
+                clauses.append([-var(a, c), -var(b, c)])
+        result, _ = solve_clauses(clauses)
+        assert result is SolverResult.UNSAT
+
+    def test_graph_coloring_triangle_3_colors_sat(self):
+        def var(v, c):
+            return v * 3 + c + 1
+        clauses = []
+        for v in range(3):
+            clauses.append([var(v, c) for c in range(3)])
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(3):
+                clauses.append([-var(a, c), -var(b, c)])
+        result, model = solve_clauses(clauses)
+        assert result is SolverResult.SAT
+        colors = {}
+        for v in range(3):
+            chosen = [c for c in range(3) if model[var(v, c)]]
+            assert len(chosen) >= 1
+            colors[v] = chosen[0]
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            assert colors[a] != colors[b]
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is SolverResult.SAT
+        assert solver.model().value(2)
+
+    def test_conflicting_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1, -2]) is SolverResult.UNSAT
+
+    def test_solver_reusable_after_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is SolverResult.SAT
+        assert solver.solve(assumptions=[-2]) is SolverResult.SAT
+        assert solver.solve() is SolverResult.SAT
+
+
+class TestBudgets:
+    def test_conflict_limit_returns_unknown(self):
+        # A hard pigeonhole with a tiny conflict budget.
+        clauses = []
+        holes = 5
+        def var(i, j):
+            return i * holes + j + 1
+        for i in range(holes + 1):
+            clauses.append([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(holes + 1):
+                for i2 in range(i1 + 1, holes + 1):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        result, _ = solve_clauses(clauses, conflict_limit=10)
+        assert result is SolverResult.UNKNOWN
+
+
+class TestFuzzing:
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 9)
+        m = rng.randint(1, 35)
+        clauses = []
+        for _ in range(m):
+            width = rng.randint(1, min(3, n))
+            variables = rng.sample(range(1, n + 1), width)
+            clauses.append([
+                v if rng.random() < 0.5 else -v for v in variables
+            ])
+        result, model = solve_clauses(clauses)
+        expected = brute_force_sat(n, clauses)
+        assert (result is SolverResult.SAT) == expected
+        if result is SolverResult.SAT:
+            for clause in clauses:
+                assert any(model.value(l) for l in clause)
+
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=40, deadline=None)
+    def test_learned_clause_deletion_keeps_correctness(self, seed):
+        """Larger random instances exercise restarts and DB reduction."""
+        rng = random.Random(seed)
+        n = rng.randint(10, 25)
+        m = int(n * 4.0)
+        clauses = []
+        for _ in range(m):
+            variables = rng.sample(range(1, n + 1), 3)
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+        result, model = solve_clauses(clauses)
+        if result is SolverResult.SAT:
+            for clause in clauses:
+                assert any(model.value(l) for l in clause)
+        else:
+            assert result is SolverResult.UNSAT
+
+
+class TestStats:
+    def test_stats_populated(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([1, -2])
+        solver.solve()
+        assert solver.stats["decisions"] >= 0
+        assert solver.stats["propagations"] >= 0

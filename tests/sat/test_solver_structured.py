@@ -1,0 +1,172 @@
+"""Structured SAT instances: 2-SAT cross-checked against the SCC
+polynomial algorithm, XOR chains, and at-most-one grids — families that
+stress clause learning differently than uniform random formulas."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CdclSolver, CnfBuilder, SolverResult, solve_clauses
+
+
+def two_sat_by_scc(num_vars, clauses):
+    """Polynomial 2-SAT decision via implication-graph SCCs (Tarjan)."""
+    # Node encoding: 2*v for literal v, 2*v+1 for literal -v (v 0-based).
+    def node(lit):
+        v = abs(lit) - 1
+        return 2 * v if lit > 0 else 2 * v + 1
+
+    def negation(n):
+        return n ^ 1
+
+    graph = {i: [] for i in range(2 * num_vars)}
+    for clause in clauses:
+        if len(clause) == 1:
+            a = clause[0]
+            graph[negation(node(a))].append(node(a))
+            continue
+        a, b = clause
+        graph[negation(node(a))].append(node(b))
+        graph[negation(node(b))].append(node(a))
+
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    component = {}
+    counter = [0]
+    comp_count = [0]
+
+    def strongconnect(v):
+        work = [(v, 0)]
+        while work:
+            node_id, pi = work[-1]
+            if pi == 0:
+                index[node_id] = counter[0]
+                lowlink[node_id] = counter[0]
+                counter[0] += 1
+                stack.append(node_id)
+                on_stack.add(node_id)
+            recurse = False
+            for i in range(pi, len(graph[node_id])):
+                w = graph[node_id][i]
+                if w not in index:
+                    work[-1] = (node_id, i + 1)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    lowlink[node_id] = min(lowlink[node_id], index[w])
+            if recurse:
+                continue
+            if lowlink[node_id] == index[node_id]:
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component[w] = comp_count[0]
+                    if w == node_id:
+                        break
+                comp_count[0] += 1
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node_id])
+
+    for v in range(2 * num_vars):
+        if v not in index:
+            strongconnect(v)
+    return all(component[2 * v] != component[2 * v + 1] for v in range(num_vars))
+
+
+class TestTwoSat:
+    @given(st.integers(min_value=0, max_value=100000))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_scc_decision(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 12)
+        m = rng.randint(2, 4 * n)
+        clauses = []
+        for _ in range(m):
+            a, b = rng.sample(range(1, n + 1), 2)
+            clauses.append([
+                a if rng.random() < 0.5 else -a,
+                b if rng.random() < 0.5 else -b,
+            ])
+        cdcl, _ = solve_clauses(clauses)
+        poly = two_sat_by_scc(n, clauses)
+        assert (cdcl is SolverResult.SAT) == poly
+
+
+class TestXorChains:
+    def _xor_clauses(self, a, b, c):
+        """CNF for a XOR b XOR c = 0 (even parity)."""
+        return [[-a, -b, -c], [-a, b, c], [a, -b, c], [a, b, -c]]
+
+    def test_consistent_chain_sat(self):
+        clauses = []
+        for i in range(1, 10):
+            clauses += self._xor_clauses(i, i + 1, i + 2)
+        result, model = solve_clauses(clauses)
+        assert result is SolverResult.SAT
+        for i in range(1, 10):
+            parity = model.value(i) ^ model.value(i + 1) ^ model.value(i + 2)
+            assert not parity
+
+    def test_contradictory_chain_unsat(self):
+        # x1^x2^x3=0, x1^x2^x4=0 => x3=x4; then force x3 != x4.
+        clauses = self._xor_clauses(1, 2, 3) + self._xor_clauses(1, 2, 4)
+        clauses += [[3], [-4]]
+        result, _ = solve_clauses(clauses)
+        assert result is SolverResult.UNSAT
+
+
+class TestAtMostOneGrids:
+    def test_latin_square_2x2(self):
+        """Each cell one symbol; rows/cols distinct — satisfiable."""
+        b = CnfBuilder()
+        n = 2
+        def var(r, c, s):
+            return b.var(("cell", r, c, s))
+        for r in range(n):
+            for c in range(n):
+                b.exactly_one([var(r, c, s) for s in range(n)])
+        for s in range(n):
+            for r in range(n):
+                b.at_most_one([var(r, c, s) for c in range(n)])
+            for c in range(n):
+                b.at_most_one([var(r, c, s) for r in range(n)])
+        result, model = solve_clauses(b.clauses)
+        assert result is SolverResult.SAT
+        # Decode and verify the square is latin.
+        square = {}
+        for r in range(n):
+            for c in range(n):
+                symbols = [s for s in range(n) if b.value(model, ("cell", r, c, s))]
+                assert len(symbols) == 1
+                square[r, c] = symbols[0]
+        for r in range(n):
+            assert {square[r, c] for c in range(n)} == set(range(n))
+        for c in range(n):
+            assert {square[r, c] for r in range(n)} == set(range(n))
+
+    def test_overconstrained_grid_unsat(self):
+        b = CnfBuilder()
+        cells = [b.var(("c", i)) for i in range(3)]
+        b.at_most_one(cells)
+        b.add([cells[0]])
+        b.add([cells[1]])
+        result, _ = solve_clauses(b.clauses)
+        assert result is SolverResult.UNSAT
+
+
+class TestIncrementalUse:
+    def test_add_clauses_between_solves(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is SolverResult.SAT
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model().value(2)
+        solver.add_clause([-2])
+        assert solver.solve() is SolverResult.UNSAT

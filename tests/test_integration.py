@@ -1,0 +1,142 @@
+"""End-to-end integration tests spanning the whole pipeline:
+
+generate -> certify -> serialize -> evaluate with every tool -> validate
+every result -> cross-check small optima with the exact SAT solver and
+brute force.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import get_architecture, line
+from repro.circuit import circuit_from_pairs
+from repro.evalx import evaluate, figure4_table, headline_gaps, ratio_points
+from repro.qls import (
+    ExactSolver,
+    LightSabre,
+    brute_force_optimal,
+    paper_tools,
+    validate_transpiled,
+)
+from repro.qubikos import (
+    QubikosInstance,
+    build_suite,
+    generate,
+    SuiteSpec,
+    verify_certificate,
+)
+
+
+class TestFullPipeline:
+    def test_generate_certify_serialize_evaluate(self, tmp_path):
+        device = get_architecture("aspen4")
+        instance = generate(device, num_swaps=2, num_two_qubit_gates=60,
+                            seed=1234)
+        assert verify_certificate(instance).valid
+
+        path = tmp_path / "inst.json"
+        instance.save(path)
+        loaded = QubikosInstance.load(path)
+        assert verify_certificate(loaded).valid
+
+        tools = paper_tools(seed=1, sabre_trials=2)
+        run = evaluate(tools, [loaded])
+        assert len(run.records) == 4
+        assert all(r.valid for r in run.records), [
+            (r.tool, r.error) for r in run.records if not r.valid
+        ]
+        for record in run.records:
+            assert record.swap_ratio >= 1.0
+
+    def test_mini_figure4_shape(self):
+        """Laptop-scale Figure 4 sanity: ratios >= 1 and a coherent table."""
+        spec = SuiteSpec(
+            architectures=("grid3x3",),
+            swap_counts=(1, 2),
+            circuits_per_point=2,
+            gate_counts={"grid3x3": 30},
+            seed=5150,
+        )
+        instances = build_suite(spec)
+        run = evaluate(paper_tools(seed=2, sabre_trials=2), instances)
+        points = ratio_points(run)
+        assert points
+        assert all(p.mean_ratio >= 1.0 for p in points)
+        table = figure4_table(run, "grid3x3")
+        assert "n=1" in table and "n=2" in table
+        gaps = headline_gaps(run)
+        assert set(gaps) == {"lightsabre", "mlqls", "astar", "tketlike"}
+
+
+class TestExactCrossChecks:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_qubikos_design_vs_sat_vs_brute(self, seed):
+        """Three independent optimality answers must coincide."""
+        device = line(5)
+        instance = generate(device, num_swaps=1, num_two_qubit_gates=12,
+                            seed=seed, ordering_mode="pruned")
+        sat = ExactSolver(max_swaps=3).solve(instance.circuit, device)
+        brute = brute_force_optimal(instance.circuit, device, max_swaps=3)
+        assert sat.optimal_swaps == instance.optimal_swaps == brute
+
+    def test_heuristic_bounded_below_by_design(self):
+        device = get_architecture("grid3x3")
+        for seed in range(3):
+            instance = generate(device, num_swaps=2, num_two_qubit_gates=35,
+                                seed=800 + seed)
+            result = LightSabre(trials=3, seed=seed).run(
+                instance.circuit, device
+            )
+            assert result.swap_count >= instance.optimal_swaps
+
+
+class TestRandomCircuitsThroughTools:
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_circuits_route_validly(self, seed):
+        """Not just QUBIKOS circuits: any random circuit must transpile."""
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(["grid3x3", "aspen4", "line6"]))
+        n = device.num_qubits
+        pairs = []
+        for _ in range(rng.randint(1, 25)):
+            a, b = rng.sample(range(n), 2)
+            pairs.append((a, b))
+        circuit = circuit_from_pairs(n, pairs)
+        for tool in paper_tools(seed=seed, sabre_trials=2):
+            result = tool.run(circuit, device)
+            report = validate_transpiled(
+                circuit, result.circuit, device, result.initial_mapping
+            )
+            assert report.valid, f"{tool.name}: {report.error}"
+
+
+class TestPaperClaimsQualitative:
+    """The paper's qualitative findings, at laptop scale."""
+
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        spec = SuiteSpec(
+            architectures=("aspen4",),
+            swap_counts=(2, 4),
+            circuits_per_point=2,
+            gate_counts={"aspen4": 80},
+            seed=777,
+        )
+        instances = build_suite(spec)
+        return evaluate(paper_tools(seed=4, sabre_trials=4), instances)
+
+    def test_all_results_validate(self, small_run):
+        assert small_run.invalid_records() == []
+
+    def test_sabre_family_beats_slice_and_astar(self, small_run):
+        """Paper: LightSABRE/ML-QLS lead; QMAP and t|ket> trail badly."""
+        gaps = headline_gaps(small_run)
+        assert gaps["lightsabre"] < gaps["tketlike"]
+        assert gaps["lightsabre"] < gaps["astar"]
+
+    def test_gaps_exceed_one(self, small_run):
+        gaps = headline_gaps(small_run)
+        assert all(g >= 1.0 for g in gaps.values())

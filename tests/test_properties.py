@@ -1,0 +1,129 @@
+"""Cross-module property-based tests: the invariants that make the whole
+reproduction trustworthy, fuzzed with hypothesis."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import get_architecture, grid, line, ring
+from repro.circuit import DependencyDag, qasm
+from repro.qls import (
+    SabreLayout,
+    strip_swaps_and_unmap,
+    validate_transpiled,
+)
+from repro.qubikos import (
+    QubikosInstance,
+    generate,
+    generate_queko,
+    verify_certificate,
+)
+
+DEVICES = ["grid3x3", "line6", "ring8", "tshape9", "aspen4"]
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGeneratorInvariants:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, **COMMON)
+    def test_instance_invariants(self, seed):
+        """Structure invariants hold for arbitrary seeds and settings."""
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(DEVICES))
+        swaps = rng.randint(1, 3)
+        gates = rng.choice([None, rng.randint(10, 80)])
+        mode = rng.choice(["paper", "pruned"])
+        inst = generate(device, num_swaps=swaps, num_two_qubit_gates=gates,
+                        seed=seed, ordering_mode=mode)
+        # Counts and bookkeeping agree.
+        n2q = inst.num_two_qubit_gates()
+        assert len(inst.gate_sections) == n2q
+        assert len(inst.gate_fillers) == n2q
+        assert len(inst.special_gate_positions) == swaps
+        assert inst.witness.swap_count() == swaps
+        # Mappings are complete bijections at every section boundary.
+        assert inst.mapping().is_complete_on(device.num_qubits)
+        for record in inst.sections:
+            assert record.mapping().is_complete_on(device.num_qubits)
+        # Span indices are monotone (sections are contiguous in C).
+        assert list(inst.gate_sections) == sorted(inst.gate_sections)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=12, **COMMON)
+    def test_certificate_always_valid(self, seed):
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(DEVICES))
+        inst = generate(device, num_swaps=rng.randint(1, 3),
+                        num_two_qubit_gates=rng.randint(15, 60), seed=seed)
+        report = verify_certificate(inst)
+        assert report.valid, report.failures
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, **COMMON)
+    def test_serialization_roundtrip_preserves_everything(self, seed):
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(DEVICES))
+        inst = generate(device, num_swaps=rng.randint(1, 2),
+                        num_two_qubit_gates=30, seed=seed,
+                        one_qubit_gate_fraction=rng.choice([0.0, 0.3]))
+        clone = QubikosInstance.from_json(inst.to_json())
+        assert clone.circuit == inst.circuit
+        assert clone.witness == inst.witness
+        assert clone.sections == inst.sections
+        assert verify_certificate(clone).valid
+
+
+class TestWitnessSemantics:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, **COMMON)
+    def test_witness_unmaps_to_dependency_respecting_order(self, seed):
+        """Stripping SWAPs from the witness yields the original gates in a
+        valid linear extension of the original dependency DAG."""
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(DEVICES))
+        inst = generate(device, num_swaps=rng.randint(1, 3),
+                        num_two_qubit_gates=40, seed=seed)
+        logical = strip_swaps_and_unmap(inst.witness, device, inst.mapping())
+        original_dag = DependencyDag.from_circuit(inst.circuit)
+        recovered_dag = DependencyDag.from_circuit(logical)
+        assert len(original_dag) == len(recovered_dag)
+        # Same multiset of interaction pairs.
+        assert sorted(inst.circuit.interaction_pairs()) == \
+            sorted(logical.interaction_pairs())
+
+
+class TestToolsOnRandomWorkloads:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=8, **COMMON)
+    def test_sabre_on_queko_and_qubikos(self, seed):
+        """SABRE must emit valid transpilations for both benchmark families
+        and respect their respective optima."""
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(["grid3x3", "aspen4"]))
+        queko = generate_queko(device, depth=rng.randint(2, 6), seed=seed)
+        qubikos = generate(device, num_swaps=rng.randint(1, 2),
+                           num_two_qubit_gates=30, seed=seed)
+        tool = SabreLayout(seed=seed)
+        for circuit, floor in [
+            (queko.circuit, 0), (qubikos.circuit, qubikos.optimal_swaps)
+        ]:
+            result = tool.run(circuit, device)
+            report = validate_transpiled(
+                circuit, result.circuit, device, result.initial_mapping
+            )
+            assert report.valid, report.error
+            assert result.swap_count >= floor
+
+
+class TestQasmBridge:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, **COMMON)
+    def test_qubikos_circuits_roundtrip_qasm(self, seed):
+        rng = random.Random(seed)
+        device = get_architecture(rng.choice(DEVICES))
+        inst = generate(device, num_swaps=1, num_two_qubit_gates=25,
+                        seed=seed, one_qubit_gate_fraction=0.2)
+        for circuit in (inst.circuit, inst.witness):
+            assert qasm.loads(qasm.dumps(circuit)) == circuit
