@@ -1,0 +1,271 @@
+"""E-perf — routing-engine throughput tracking across PRs.
+
+Times the two workloads the whole evaluation hangs on, on all four paper
+devices:
+
+* **router-only** — one SABRE ``route()`` pass over a QUBIKOS skeleton from
+  a *random* initial mapping (the swap-decision-heavy regime that dominates
+  layout-pass runtime), reported as gates/sec;
+* **LightSABRE trials** — best-of-k layout search, serial and parallel,
+  reported as trials/sec.
+
+Results are written to ``BENCH_routing.json`` at the repo root so the perf
+trajectory is tracked across PRs.  The ≥3× speedup assertion compares the
+engine against ``_reference_route`` — a faithful replica of the
+pre-optimization decision procedure (per-decision front sort, per-decision
+extended-set BFS, one ``SwapScore`` per candidate) timed *on the same
+host*, so the test is robust to machine speed.  The absolute
+``SEED_BASELINE_GATES_PER_SEC`` numbers (seed engine on the reference
+container) ride along in the JSON for cross-PR trajectory only, and the
+fixed-seed swap counts assert routing decisions never drift while the
+engine gets faster.
+"""
+
+import json
+import os
+import random
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.circuit.dag import DependencyDag, ExecutionFrontier
+from repro.qls import LightSabre, SabreCostModel, SabreParameters, route
+from repro.qubikos import Mapping, generate
+
+from conftest import print_banner
+
+#: Router-only workload: (two-qubit gate budget) per device.
+ARCH_GATES = {
+    "aspen4": 150,
+    "sycamore54": 220,
+    "rochester53": 220,
+    "eagle127": 300,
+}
+
+#: gates/sec of the pre-optimization (seed) engine on this workload,
+#: measured on the reference container (min of 3 runs).  Informational —
+#: the asserted speedup uses the same-host reference router below.
+SEED_BASELINE_GATES_PER_SEC = {
+    "aspen4": 11139.4,
+    "sycamore54": 2034.7,
+    "rochester53": 1787.0,
+    "eagle127": 890.9,
+}
+
+#: Fixed-seed swap counts for the router-only workload — must never drift.
+EXPECTED_SWAPS = {
+    "aspen4": 102,
+    "sycamore54": 882,
+    "rochester53": 1029,
+    "eagle127": 3437,
+}
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+TRIALS = 8
+
+
+def _time_route(device, skeleton, mapping_seed, reps=3):
+    best = float("inf")
+    swaps = None
+    for _ in range(reps):
+        mapping = Mapping.random_complete(device.num_qubits,
+                                          random.Random(mapping_seed))
+        start = time.perf_counter()
+        outcome = route(skeleton, device, mapping, SabreParameters(),
+                        random.Random(7))
+        best = min(best, time.perf_counter() - start)
+        swaps = outcome.swap_count
+    return best, swaps
+
+
+def _reference_route(circuit, coupling, mapping, params, rng):
+    """Seed-faithful SABRE pass: redoes per-decision work from scratch.
+
+    Replicates the pre-optimization engine's decision procedure — sorting
+    the front layer and re-running the extended-set BFS on every SWAP
+    decision, building one :class:`SwapScore` per candidate via
+    ``score`` — so timing it on the current host gives a machine-
+    independent speedup denominator.  Returns the swap count, which must
+    match the optimized engine for the same seeds.
+    """
+    dag = DependencyDag.from_circuit(circuit)
+    frontier = ExecutionFrontier(dag)
+    model = SabreCostModel(coupling, params)
+    executed = set()
+    decay = {}
+    swap_count = 0
+    swaps_since_reset = 0
+    swaps_since_progress = 0
+    stall_limit = max(16, 6 * coupling.diameter())
+
+    def fresh_following(limit):
+        result = []
+        seen = set(frontier.front)
+        queue = deque(sorted(frontier.front))
+        while queue and len(result) < limit:
+            node = queue.popleft()
+            for nxt in dag.successors(node):
+                if nxt in seen or nxt in executed:
+                    continue
+                seen.add(nxt)
+                result.append(nxt)
+                if len(result) >= limit:
+                    break
+                queue.append(nxt)
+        return result
+
+    def execute_ready():
+        progressed = True
+        any_progress = False
+        while progressed:
+            progressed = False
+            for node in sorted(frontier.front):
+                g = dag.gates[node]
+                if coupling.has_edge(mapping.phys(g[0]), mapping.phys(g[1])):
+                    frontier.execute(node)
+                    executed.add(node)
+                    progressed = True
+                    any_progress = True
+        return any_progress
+
+    while not frontier.done():
+        if execute_ready():
+            decay.clear()
+            swaps_since_reset = 0
+            swaps_since_progress = 0
+            continue
+        if frontier.done():
+            break
+        if swaps_since_progress >= stall_limit:
+            node = min(
+                frontier.front,
+                key=lambda n: coupling.distance(
+                    mapping.phys(dag.gates[n][0]), mapping.phys(dag.gates[n][1])
+                ),
+            )
+            g = dag.gates[node]
+            path = coupling.shortest_path(mapping.phys(g[0]), mapping.phys(g[1]))
+            for a, b in zip(path, path[1:-1]):
+                mapping.swap_physical(a, b)
+                swap_count += 1
+            swaps_since_progress = 0
+            continue
+        front = sorted(frontier.front)
+        extended = fresh_following(params.extended_set_size)
+        scores = [
+            model.score(dag, mapping, swap, front, extended, decay)
+            for swap in model.candidate_swaps(dag, frontier, mapping)
+        ]
+        best_total = min(s.total for s in scores)
+        best = [s for s in scores if s.total <= best_total + 1e-12]
+        p1, p2 = rng.choice(best).swap
+        mapping.swap_physical(p1, p2)
+        swap_count += 1
+        swaps_since_reset += 1
+        swaps_since_progress += 1
+        for p in (p1, p2):
+            if mapping.has_prog_at(p):
+                q = mapping.prog(p)
+                decay[q] = decay.get(q, 1.0) + params.decay_increment
+        if swaps_since_reset >= params.decay_reset_interval:
+            decay.clear()
+            swaps_since_reset = 0
+    return swap_count
+
+
+def _time_reference_route(device, skeleton, mapping_seed, reps=2):
+    best = float("inf")
+    swaps = None
+    for _ in range(reps):
+        mapping = Mapping.random_complete(device.num_qubits,
+                                          random.Random(mapping_seed))
+        start = time.perf_counter()
+        swaps = _reference_route(skeleton, device, mapping, SabreParameters(),
+                                 random.Random(7))
+        best = min(best, time.perf_counter() - start)
+    return best, swaps
+
+
+@pytest.fixture(scope="module")
+def perf_data():
+    data = {"router_only": {}, "lightsabre": {}, "cpu_count": os.cpu_count()}
+    speedups = []
+    for arch, gates in ARCH_GATES.items():
+        device = get_architecture(arch)
+        instance = generate(device, num_swaps=6, num_two_qubit_gates=gates,
+                            seed=2025)
+        skeleton = instance.circuit.without_single_qubit_gates()
+        wall, swaps = _time_route(device, skeleton, mapping_seed=42)
+        ref_wall, ref_swaps = _time_reference_route(device, skeleton,
+                                                    mapping_seed=42)
+        gps = len(skeleton.gates) / wall
+        speedup = ref_wall / wall
+        speedups.append(speedup)
+        data["router_only"][arch] = {
+            "wall_seconds": wall,
+            "reference_wall_seconds": ref_wall,
+            "two_qubit_gates": len(skeleton.gates),
+            "gates_per_second": gps,
+            "swap_count": swaps,
+            "reference_swap_count": ref_swaps,
+            "speedup_vs_reference": speedup,
+            "speedup_vs_seed_container": gps / SEED_BASELINE_GATES_PER_SEC[arch],
+        }
+    data["router_only"]["mean_speedup_vs_reference"] = (
+        sum(speedups) / len(speedups)
+    )
+
+    device = get_architecture("sycamore54")
+    instance = generate(device, num_swaps=4, num_two_qubit_gates=120, seed=5)
+    serial = LightSabre(trials=TRIALS, seed=9).run(instance.circuit, device)
+    workers = min(4, os.cpu_count() or 1)
+    parallel = LightSabre(trials=TRIALS, seed=9, workers=workers).run(
+        instance.circuit, device
+    )
+    data["lightsabre"] = {
+        "trials": TRIALS,
+        "serial_trials_per_second": serial.metadata["trials_per_second"],
+        "parallel_trials_per_second": parallel.metadata["trials_per_second"],
+        "parallel_workers": workers,
+        "serial_swaps": serial.swap_count,
+        "parallel_swaps": parallel.swap_count,
+        "winning_trial": serial.metadata["winning_trial"],
+    }
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def test_report(perf_data, benchmark):
+    benchmark.pedantic(lambda: perf_data, rounds=1, iterations=1)
+    print_banner("E-perf — routing engine throughput (written to "
+                 f"{OUTPUT.name})")
+    print(f"{'device':<12s} {'gates/s':>10s} {'speedup':>8s} {'swaps':>7s}")
+    for arch in ARCH_GATES:
+        row = perf_data["router_only"][arch]
+        print(f"{arch:<12s} {row['gates_per_second']:10.0f} "
+              f"{row['speedup_vs_reference']:7.1f}x {row['swap_count']:7d}")
+    ls = perf_data["lightsabre"]
+    print(f"lightsabre   serial {ls['serial_trials_per_second']:.1f} trials/s, "
+          f"parallel({ls['parallel_workers']}w) "
+          f"{ls['parallel_trials_per_second']:.1f} trials/s "
+          f"on {perf_data['cpu_count']} cpu(s)")
+
+
+def test_speedup_vs_seed(perf_data):
+    """≥3× over the seed decision procedure, measured on the same host."""
+    assert perf_data["router_only"]["mean_speedup_vs_reference"] >= 3.0
+
+
+def test_fixed_seed_swaps_unchanged(perf_data):
+    """Speed must not come from different routing decisions."""
+    for arch, expected in EXPECTED_SWAPS.items():
+        assert perf_data["router_only"][arch]["swap_count"] == expected
+        assert perf_data["router_only"][arch]["reference_swap_count"] == expected
+
+
+def test_parallel_trials_identical(perf_data):
+    ls = perf_data["lightsabre"]
+    assert ls["serial_swaps"] == ls["parallel_swaps"]

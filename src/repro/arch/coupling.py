@@ -43,6 +43,8 @@ class CouplingGraph:
         if self.num_qubits > 1 and not self._is_connected():
             raise CouplingError(f"coupling graph {name!r} is not connected")
         self._dist: Optional[np.ndarray] = None
+        self._dist_rows: Optional[List[List[int]]] = None
+        self._diameter: Optional[int] = None
 
     def _build_adjacency(self) -> List[FrozenSet[int]]:
         adj: List[Set[int]] = [set() for _ in range(self.num_qubits)]
@@ -117,12 +119,28 @@ class CouplingGraph:
             self._dist = dist
         return self._dist
 
+    @property
+    def distance_rows(self) -> List[List[int]]:
+        """The distance matrix as nested Python lists (cached).
+
+        Scalar indexing on plain lists is several times faster than numpy
+        element access, and SWAP scoring is the routing hot path; caching
+        the converted form here means :class:`repro.qls.sabre.SabreCostModel`
+        no longer re-runs ``distance_matrix.tolist()`` per ``route()`` call.
+        Treat the result as read-only.
+        """
+        if self._dist_rows is None:
+            self._dist_rows = self.distance_matrix.tolist()
+        return self._dist_rows
+
     def distance(self, a: int, b: int) -> int:
         """Shortest-path hop count between physical qubits ``a`` and ``b``."""
         return int(self.distance_matrix[a, b])
 
     def diameter(self) -> int:
-        return int(self.distance_matrix.max())
+        if self._diameter is None:
+            self._diameter = int(self.distance_matrix.max())
+        return self._diameter
 
     def shortest_path(self, a: int, b: int) -> List[int]:
         """One shortest path from ``a`` to ``b`` inclusive."""

@@ -28,6 +28,11 @@ class DependencyDag:
 
     def __init__(self, gates: Sequence[Gate]) -> None:
         self.gates: Tuple[Gate, ...] = tuple(g for g in gates if g.is_two_qubit)
+        #: Flat per-gate operand pairs: ``op_pairs[i] == (g[0], g[1])``.
+        #: Routing hot loops index these instead of ``gates[i].qubits``.
+        self.op_pairs: Tuple[Tuple[int, int], ...] = tuple(
+            (g.qubits[0], g.qubits[1]) for g in self.gates
+        )
         n = len(self.gates)
         self._succ: List[List[int]] = [[] for _ in range(n)]
         self._pred: List[List[int]] = [[] for _ in range(n)]
@@ -46,6 +51,15 @@ class DependencyDag:
     def from_circuit(cls, circuit: QuantumCircuit) -> "DependencyDag":
         """Build the DAG from any circuit (single-qubit gates dropped)."""
         return cls(circuit.gates)
+
+    def reversed(self) -> "DependencyDag":
+        """The DAG of the gate sequence played backwards.
+
+        SABRE's backward layout passes route the reversed circuit; building
+        the reverse once here lets :class:`repro.qls.sabre.SabreLayout`
+        reuse it across every pass instead of rebuilding per ``route()``.
+        """
+        return DependencyDag(tuple(reversed(self.gates)))
 
     def __len__(self) -> int:
         return len(self.gates)
@@ -173,6 +187,14 @@ class ExecutionFrontier:
     Routing tools repeatedly execute the currently-satisfiable gates and ask
     for the new front layer; recomputing from scratch is quadratic, so this
     class maintains in-degrees incrementally.
+
+    The sorted front layer and the extended set (:meth:`following_gates`)
+    are additionally memoised per frontier revision: between two gate
+    executions the frontier is unchanged, so every SWAP decision taken in a
+    stall window reuses the same lists instead of re-sorting and re-running
+    the BFS.  Both caches are invalidated by :meth:`execute`, the only
+    mutating operation, which keeps the memoised values bit-identical to a
+    from-scratch recomputation.
     """
 
     def __init__(self, dag: DependencyDag) -> None:
@@ -180,6 +202,9 @@ class ExecutionFrontier:
         self._remaining_pred = [len(dag.predecessors(i)) for i in range(len(dag))]
         self._executed: Set[int] = set()
         self.front: Set[int] = {i for i, d in enumerate(self._remaining_pred) if d == 0}
+        self._front_sorted: Optional[List[int]] = None
+        self._following: Optional[List[int]] = None
+        self._following_limit = -1
 
     @property
     def executed(self) -> FrozenSet[int]:
@@ -195,6 +220,8 @@ class ExecutionFrontier:
             raise ValueError(f"gate {node} is not in the front layer")
         self.front.remove(node)
         self._executed.add(node)
+        self._front_sorted = None
+        self._following = None
         released = []
         for nxt in self.dag.successors(node):
             self._remaining_pred[nxt] -= 1
@@ -203,15 +230,28 @@ class ExecutionFrontier:
                 released.append(nxt)
         return released
 
+    def front_sorted(self) -> List[int]:
+        """The front layer in ascending node order (memoised).
+
+        The returned list is shared until the next :meth:`execute`; treat it
+        as read-only.
+        """
+        if self._front_sorted is None:
+            self._front_sorted = sorted(self.front)
+        return self._front_sorted
+
     def following_gates(self, limit: int) -> List[int]:
         """Up to ``limit`` unexecuted gates beyond the front layer.
 
         This is SABRE's *extended set*: a BFS over successors of the front
-        layer in dependency order, capped at ``limit`` gates.
+        layer in dependency order, capped at ``limit`` gates.  The result is
+        memoised until the frontier changes; treat it as read-only.
         """
+        if self._following is not None and self._following_limit == limit:
+            return self._following
         result: List[int] = []
         seen = set(self.front)
-        queue = deque(sorted(self.front))
+        queue = deque(self.front_sorted())
         while queue and len(result) < limit:
             node = queue.popleft()
             for nxt in self.dag.successors(node):
@@ -222,6 +262,8 @@ class ExecutionFrontier:
                 if len(result) >= limit:
                     break
                 queue.append(nxt)
+        self._following = result
+        self._following_limit = limit
         return result
 
 

@@ -27,6 +27,8 @@ class RunRecord:
     valid: bool
     router_only: bool = False
     error: Optional[str] = None
+    #: Trials/second reported by best-of-k tools (None for single-shot tools).
+    trials_per_second: Optional[float] = None
 
 
 @dataclass
@@ -82,9 +84,12 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
         for tool in tools:
             start = time.perf_counter()
             error = None
+            trials_per_second = None
             try:
                 result = tool.run(instance.circuit, coupling, initial_mapping=pinned)
                 observed = result.swap_count
+                tps = result.metadata.get("trials_per_second")
+                trials_per_second = float(tps) if tps is not None else None
                 ok = True
                 if validate:
                     report = validate_transpiled(
@@ -116,6 +121,7 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
                 valid=ok,
                 router_only=router_only,
                 error=error,
+                trials_per_second=trials_per_second,
             )
             run.records.append(record)
             if progress is not None:

@@ -26,40 +26,51 @@ class RuntimeQualityPoint:
     mean_runtime_seconds: float
     total_runtime_seconds: float
     runs: int
+    #: Mean trials/second for best-of-k tools (None when not reported).
+    mean_trials_per_second: Optional[float] = None
 
 
 def runtime_quality_points(run: EvaluationRun) -> List[RuntimeQualityPoint]:
-    """Aggregate (quality, runtime) per tool over valid records."""
+    """Aggregate (quality, runtime, throughput) per tool over valid records."""
     points = []
     for tool in run.tools():
         records = [r for r in run.for_tool(tool) if r.valid]
         if not records:
             continue
         runtimes = [r.runtime_seconds for r in records]
+        throughputs = [
+            r.trials_per_second for r in records if r.trials_per_second is not None
+        ]
         points.append(RuntimeQualityPoint(
             tool=tool,
             mean_ratio=mean([r.swap_ratio for r in records]),
             mean_runtime_seconds=sum(runtimes) / len(runtimes),
             total_runtime_seconds=sum(runtimes),
             runs=len(records),
+            mean_trials_per_second=(
+                sum(throughputs) / len(throughputs) if throughputs else None
+            ),
         ))
     return sorted(points, key=lambda p: p.mean_ratio)
 
 
 def runtime_quality_table(run: EvaluationRun) -> str:
-    """Text table: SWAP ratio vs seconds per run, per tool."""
+    """Text table: SWAP ratio vs seconds per run (and trials/s), per tool."""
     points = runtime_quality_points(run)
     if not points:
         return "(no valid records)"
     lines = [
         "Runtime vs quality (the Section I trade-off, measured)",
-        "-" * 58,
-        f"{'tool':<14s} {'mean ratio':>11s} {'s/run':>9s} {'runs':>6s}",
+        "-" * 70,
+        f"{'tool':<14s} {'mean ratio':>11s} {'s/run':>9s} {'runs':>6s} "
+        f"{'trials/s':>9s}",
     ]
     for p in points:
+        tps = (f"{p.mean_trials_per_second:9.1f}"
+               if p.mean_trials_per_second is not None else f"{'-':>9s}")
         lines.append(
             f"{p.tool:<14s} {p.mean_ratio:10.2f}x {p.mean_runtime_seconds:9.3f}"
-            f" {p.runs:6d}"
+            f" {p.runs:6d} {tps}"
         )
     return "\n".join(lines)
 

@@ -1,5 +1,14 @@
 """Layout-synthesis tools: SABRE/LightSABRE, slice router, A*, multilevel,
-and the exact SAT-based solver, plus validation utilities."""
+and the exact SAT-based solver, plus validation utilities.
+
+The SABRE routing engine is throughput-oriented (see
+:mod:`repro.qls.sabre` for the architecture): memoised frontier/extended
+set, allocation-free delta scoring, per-run DAG and cost-model reuse, and
+compact mapping timelines.  :class:`LightSabre` additionally accepts a
+``workers`` knob that fans best-of-k trials out over a process pool with
+deterministic per-trial seeds — serial and parallel runs return identical
+results for a fixed seed.
+"""
 
 from .base import QLSError, QLSResult, QLSTool
 from .validate import ValidationReport, count_swaps, strip_swaps_and_unmap, validate_transpiled

@@ -10,11 +10,11 @@ qubit is preserved.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.gates import Gate
-from ..qubikos.mapping import Mapping
+from ..qubikos.mapping import Mapping, MappingTimeline
 
 
 def split_one_qubit_gates(circuit: QuantumCircuit
@@ -48,21 +48,29 @@ def weave_transpiled(num_qubits: int,
                      routed: Sequence[Tuple[int, Gate]],
                      bundles: Dict[int, List[Gate]],
                      tail: Sequence[Gate],
-                     mapping_at: Sequence[Mapping],
+                     mapping_at: Union[MappingTimeline, Dict[int, Mapping]],
                      final_mapping: Mapping,
                      name: str = "transpiled") -> QuantumCircuit:
     """Assemble the full transpiled circuit.
 
     ``routed`` is the routing output: (original 2q index or -1 for SWAPs,
     physical gate).  ``mapping_at[k]`` is the mapping in force when original
-    gate ``k`` executed.
+    gate ``k`` executed — either an eager dict of snapshots or a
+    :class:`~repro.qubikos.mapping.MappingTimeline` that replays swap deltas
+    on demand; the loop below visits gates in routed (swap-prefix) order and
+    consumes each lookup immediately, so the timeline's live ``view`` is
+    safe and reconstruction is amortised O(1) per gate.
     """
+    if isinstance(mapping_at, MappingTimeline):
+        mapping_for = mapping_at.view
+    else:
+        mapping_for = mapping_at.__getitem__
     circuit = QuantumCircuit(num_qubits, name=name)
     for original_index, gate in routed:
         if original_index >= 0:
             for one_qubit in bundles.get(original_index, ()):
                 q = one_qubit.qubits[0]
-                circuit.append(one_qubit.remap({q: mapping_at[original_index].phys(q)}))
+                circuit.append(one_qubit.remap({q: mapping_for(original_index).phys(q)}))
         circuit.append(gate)
     for one_qubit in tail:
         q = one_qubit.qubits[0]

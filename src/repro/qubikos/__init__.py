@@ -1,6 +1,6 @@
 """QUBIKOS: benchmark circuits with provably optimal SWAP counts."""
 
-from .mapping import Mapping, MappingError
+from .mapping import Mapping, MappingError, MappingTimeline
 from .swapseq import SwapChoice, SwapSelectionError, essential_swap_choices, select_swap
 from .nonisomorphic import (
     SectionGraph,
@@ -27,6 +27,7 @@ from .quekno import QueknoInstance, generate_quekno, reference_is_loose
 __all__ = [
     "Mapping",
     "MappingError",
+    "MappingTimeline",
     "SwapChoice",
     "SwapSelectionError",
     "essential_swap_choices",

@@ -4,12 +4,20 @@ QUBIKOS instances use complete bijections (one program qubit per physical
 qubit); layout-synthesis results may place fewer program qubits.  The class
 keeps both directions in sync and supports the two operations the generator
 and validators need: lookup and physical-pair swap.
+
+Internally the permutation is stored as a pair of dense arrays — ``forward``
+(π: program → physical) and ``backward`` (π⁻¹: physical → program), with
+``-1`` marking unmapped slots — so ``phys``/``prog`` are O(1) array reads
+and routing hot loops can read the arrays directly without method-call
+overhead.  :class:`MappingTimeline` complements this with a compact
+swap-delta log that reconstructs the mapping in force at any executed gate
+without storing a full copy per gate.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class MappingError(ValueError):
@@ -19,13 +27,23 @@ class MappingError(ValueError):
 class Mapping:
     """Injective map from program qubits to physical qubits."""
 
+    __slots__ = ("_forward", "_backward", "_size")
+
     def __init__(self, prog_to_phys: Dict[int, int]) -> None:
-        self._p2q: Dict[int, int] = {}
-        self._q2p: Dict[int, int] = dict(prog_to_phys)
-        for q, p in self._q2p.items():
-            if p in self._p2q:
+        items = list(prog_to_phys.items())
+        for q, p in items:
+            if q < 0 or p < 0:
+                raise MappingError(f"negative qubit index in {q}->{p}")
+        max_q = max((q for q, _ in items), default=-1)
+        max_p = max((p for _, p in items), default=-1)
+        self._forward: List[int] = [-1] * (max_q + 1)
+        self._backward: List[int] = [-1] * (max_p + 1)
+        for q, p in items:
+            if self._backward[p] >= 0:
                 raise MappingError(f"physical qubit {p} assigned twice")
-            self._p2q[p] = q
+            self._forward[q] = p
+            self._backward[p] = q
+        self._size = len(items)
 
     @classmethod
     def identity(cls, n: int) -> "Mapping":
@@ -46,53 +64,83 @@ class Mapping:
 
     # -- lookup ---------------------------------------------------------------
 
+    @property
+    def forward(self) -> List[int]:
+        """Live π array: ``forward[q]`` is the physical qubit of program
+        qubit ``q``, or ``-1`` when unmapped.  Read-only view — mutate only
+        through :meth:`swap_physical`."""
+        return self._forward
+
+    @property
+    def backward(self) -> List[int]:
+        """Live π⁻¹ array: ``backward[p]`` is the program qubit at physical
+        qubit ``p``, or ``-1`` when empty.  Read-only view."""
+        return self._backward
+
     def phys(self, q: int) -> int:
         """Physical location of program qubit ``q`` (the paper's ``f(q)``)."""
-        return self._q2p[q]
+        try:
+            p = self._forward[q] if q >= 0 else -1
+        except IndexError:
+            raise KeyError(q) from None
+        if p < 0:
+            raise KeyError(q)
+        return p
 
     def prog(self, p: int) -> int:
         """Program qubit at physical qubit ``p`` (``f^-1(p)``)."""
-        return self._p2q[p]
+        try:
+            q = self._backward[p] if p >= 0 else -1
+        except IndexError:
+            raise KeyError(p) from None
+        if q < 0:
+            raise KeyError(p)
+        return q
 
     def has_prog_at(self, p: int) -> bool:
-        return p in self._p2q
+        return 0 <= p < len(self._backward) and self._backward[p] >= 0
 
     def __contains__(self, q: int) -> bool:
-        return q in self._q2p
+        return 0 <= q < len(self._forward) and self._forward[q] >= 0
 
     def __len__(self) -> int:
-        return len(self._q2p)
+        return self._size
 
     def program_qubits(self) -> List[int]:
-        return sorted(self._q2p)
+        return [q for q, p in enumerate(self._forward) if p >= 0]
 
     def physical_qubits(self) -> List[int]:
-        return sorted(self._p2q)
+        return [p for p, q in enumerate(self._backward) if q >= 0]
 
     def is_complete_on(self, num_physical: int) -> bool:
         """True when every physical qubit 0..n-1 holds a program qubit."""
-        return len(self._q2p) == num_physical and set(self._p2q) == set(range(num_physical))
+        return (
+            self._size == num_physical
+            and len(self._backward) >= num_physical
+            and all(q >= 0 for q in self._backward[:num_physical])
+        )
 
     # -- evolution ------------------------------------------------------------
 
     def swap_physical(self, p1: int, p2: int) -> None:
         """Exchange the program qubits on physical qubits ``p1`` and ``p2``."""
-        q1 = self._p2q.get(p1)
-        q2 = self._p2q.get(p2)
-        if q1 is None and q2 is None:
+        if p1 < 0 or p2 < 0:
+            # Negative list indexing would silently alias a valid slot.
+            raise MappingError(f"negative physical qubit in swap ({p1}, {p2})")
+        back = self._backward
+        n = len(back)
+        if p1 >= n or p2 >= n:
+            back.extend([-1] * (max(p1, p2) + 1 - n))
+        q1 = back[p1]
+        q2 = back[p2]
+        if q1 < 0 and q2 < 0:
             return
-        if q1 is not None:
-            self._q2p[q1] = p2
-        if q2 is not None:
-            self._q2p[q2] = p1
-        if q1 is not None:
-            self._p2q[p2] = q1
-        else:
-            del self._p2q[p2]
-        if q2 is not None:
-            self._p2q[p1] = q2
-        else:
-            del self._p2q[p1]
+        if q1 >= 0:
+            self._forward[q1] = p2
+        if q2 >= 0:
+            self._forward[q2] = p1
+        back[p1] = q2
+        back[p2] = q1
 
     def swapped_physical(self, p1: int, p2: int) -> "Mapping":
         """Copy with the physical-pair swap applied."""
@@ -101,29 +149,117 @@ class Mapping:
         return clone
 
     def copy(self) -> "Mapping":
-        return Mapping(dict(self._q2p))
+        clone = Mapping.__new__(Mapping)
+        clone._forward = list(self._forward)
+        clone._backward = list(self._backward)
+        clone._size = self._size
+        return clone
 
     # -- export -----------------------------------------------------------
 
     def to_dict(self) -> Dict[int, int]:
-        return dict(self._q2p)
+        return {q: p for q, p in enumerate(self._forward) if p >= 0}
 
     def to_list(self, num_program: Optional[int] = None) -> List[int]:
         """prog_to_phys as a dense list (requires contiguous program qubits)."""
-        n = num_program if num_program is not None else (max(self._q2p) + 1 if self._q2p else 0)
+        if num_program is not None:
+            n = num_program
+        else:
+            n = 0
+            for q, p in enumerate(self._forward):
+                if p >= 0:
+                    n = q + 1
         result = []
         for q in range(n):
-            if q not in self._q2p:
+            if not (q < len(self._forward) and self._forward[q] >= 0):
                 raise MappingError(f"program qubit {q} unmapped; cannot densify")
-            result.append(self._q2p[q])
+            result.append(self._forward[q])
         return result
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Mapping):
             return NotImplemented
-        return self._q2p == other._q2p
+        return self.to_dict() == other.to_dict()
 
     def __repr__(self) -> str:
-        items = ", ".join(f"{q}->{p}" for q, p in sorted(self._q2p.items())[:8])
-        suffix = "" if len(self._q2p) <= 8 else ", ..."
+        pairs = [(q, p) for q, p in enumerate(self._forward) if p >= 0]
+        items = ", ".join(f"{q}->{p}" for q, p in pairs[:8])
+        suffix = "" if len(pairs) <= 8 else ", ..."
         return f"Mapping({items}{suffix})"
+
+
+class MappingTimeline:
+    """Compact record of how a mapping evolved during one routing pass.
+
+    Routing with ``record_mappings=True`` used to deep-copy the full
+    :class:`Mapping` per executed gate — O(gates × qubits) memory.  The
+    timeline instead stores one start-mapping copy, the ordered SWAP log,
+    and a per-gate *swap prefix count*; the mapping in force at any gate is
+    reconstructed on demand by replaying swaps.  Sequential access (the
+    order :func:`repro.qls.reinsert.weave_transpiled` uses) replays each
+    swap exactly once; random backward access restarts from the beginning.
+    """
+
+    __slots__ = ("_start", "_swaps", "_gate_prefix", "_current", "_cursor")
+
+    def __init__(self, start: Mapping) -> None:
+        self._start = start.copy()
+        self._swaps: List[Tuple[int, int]] = []
+        self._gate_prefix: Dict[int, int] = {}
+        self._current: Optional[Mapping] = None
+        self._cursor = 0
+
+    # -- recording (called by the router) ----------------------------------
+
+    def record_swap(self, p1: int, p2: int) -> None:
+        """Log one physical SWAP applied by the router."""
+        self._swaps.append((p1, p2))
+
+    def record_gate(self, node: int) -> None:
+        """Mark ``node`` as executed under the mapping after all logged swaps."""
+        self._gate_prefix[node] = len(self._swaps)
+
+    # -- reconstruction ----------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._gate_prefix
+
+    def __len__(self) -> int:
+        return len(self._gate_prefix)
+
+    def __iter__(self):
+        """Recorded gate indices, like iterating the old snapshot dict."""
+        return iter(self._gate_prefix)
+
+    def __getitem__(self, node: int) -> Mapping:
+        """Independent copy of the mapping in force when ``node`` executed.
+
+        Matches the old eager-snapshot contract of
+        ``RoutingOutcome.mapping_at``: entries retrieved at different times
+        never alias.  Hot loops that consume each lookup immediately (such
+        as :func:`repro.qls.reinsert.weave_transpiled`) should use
+        :meth:`view` to skip the copy.
+        """
+        return self.view(node).copy()
+
+    def view(self, node: int) -> Mapping:
+        """Live internal view of the mapping at gate ``node``.
+
+        Only valid until the next :meth:`view`/``[]`` lookup — the same
+        object is advanced in place.  Sequential (non-decreasing ``node``)
+        access replays each swap exactly once.
+        """
+        target = self._gate_prefix[node]
+        if self._current is None or self._cursor > target:
+            self._current = self._start.copy()
+            self._cursor = 0
+        current = self._current
+        while self._cursor < target:
+            p1, p2 = self._swaps[self._cursor]
+            current.swap_physical(p1, p2)
+            self._cursor += 1
+        return current
+
+    def snapshot(self, node: int) -> Mapping:
+        """Alias of ``[]``: independent copy at gate ``node``."""
+        return self[node]

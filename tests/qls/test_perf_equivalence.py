@@ -1,0 +1,254 @@
+"""Equivalence and determinism tests for the high-throughput SABRE engine.
+
+The routing engine (incremental frontier, delta scoring, pass reuse,
+parallel trials) must be *bit-identical* to the reference formulation: the
+golden swap counts and circuit hashes below were captured by running the
+original from-scratch implementation with the same fixed seeds on the four
+paper topologies.  Any change to these numbers means routing decisions
+drifted — which silently invalidates every cross-PR benchmark comparison.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.arch import get_architecture
+from repro.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDag, ExecutionFrontier
+from repro.qls import (
+    LightSabre,
+    SabreLayout,
+    SabreParameters,
+    route,
+    validate_transpiled,
+)
+from repro.qubikos import Mapping, MappingTimeline, generate
+
+#: (architecture, qubikos swaps, two-qubit gates, generator seed).
+CONFIGS = {
+    "aspen4": (3, 80, 11),
+    "sycamore54": (4, 120, 5),
+    "rochester53": (4, 120, 5),
+    "eagle127": (3, 120, 5),
+}
+
+#: Captured from the reference (pre-optimization) engine with fixed seeds:
+#: router-only route() from a random mapping (rng 42, router rng 7),
+#: SabreLayout(seed=3), LightSabre(trials=3, seed=9).
+GOLDEN = {
+    "aspen4": {
+        "route_swaps": 83, "route_hash": "03729053abaf72dd",
+        "layout_swaps": 25, "layout_hash": "31f1b05702f637bb",
+        "light_swaps": 20, "light_winner": 0, "light_hash": "c74497f781298cab",
+    },
+    "sycamore54": {
+        "route_swaps": 267, "route_hash": "89b10c78405230f0",
+        "layout_swaps": 107, "layout_hash": "e72a236b25d16d06",
+        "light_swaps": 70, "light_winner": 0, "light_hash": "4034c0d01f3a3a58",
+    },
+    "rochester53": {
+        "route_swaps": 350, "route_hash": "64478342bf52c5f3",
+        "layout_swaps": 143, "layout_hash": "bcbbb98b5fba4560",
+        "light_swaps": 124, "light_winner": 1, "light_hash": "c22fb8ca91179594",
+    },
+    "eagle127": {
+        "route_swaps": 1743, "route_hash": "4292e95c2c8d6774",
+        "layout_swaps": 692, "layout_hash": "154d570975fca5f1",
+        "light_swaps": 625, "light_winner": 1, "light_hash": "e95de20c0227e163",
+    },
+}
+
+
+def circuit_hash(circuit):
+    payload = "\n".join(str(g) for g in circuit.gates)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def routed_hash(routed):
+    payload = "\n".join(f"{i}:{g}" for i, g in routed)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@pytest.fixture(scope="module", params=sorted(CONFIGS))
+def arch_instance(request):
+    arch = request.param
+    swaps, gates, seed = CONFIGS[arch]
+    device = get_architecture(arch)
+    return arch, device, generate(
+        device, num_swaps=swaps, num_two_qubit_gates=gates, seed=seed
+    )
+
+
+class TestSeedEquivalence:
+    def test_router_only_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        skeleton = inst.circuit.without_single_qubit_gates()
+        mapping = Mapping.random_complete(device.num_qubits, random.Random(42))
+        start = mapping.copy()
+        outcome = route(skeleton, device, mapping, SabreParameters(),
+                        random.Random(7))
+        assert outcome.swap_count == GOLDEN[arch]["route_swaps"]
+        assert routed_hash(outcome.routed) == GOLDEN[arch]["route_hash"]
+        transpiled = QuantumCircuit(device.num_qubits,
+                                    [g for _, g in outcome.routed])
+        report = validate_transpiled(skeleton, transpiled, device, start)
+        assert report.valid, report.error
+        assert report.swap_count == outcome.swap_count
+
+    def test_full_layout_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = SabreLayout(seed=3).run(inst.circuit, device)
+        assert result.swap_count == GOLDEN[arch]["layout_swaps"]
+        assert circuit_hash(result.circuit) == GOLDEN[arch]["layout_hash"]
+        report = validate_transpiled(inst.circuit, result.circuit, device,
+                                     result.initial_mapping)
+        assert report.valid, report.error
+
+    def test_lightsabre_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = LightSabre(trials=3, seed=9).run(inst.circuit, device)
+        assert result.swap_count == GOLDEN[arch]["light_swaps"]
+        assert result.metadata["winning_trial"] == GOLDEN[arch]["light_winner"]
+        assert circuit_hash(result.circuit) == GOLDEN[arch]["light_hash"]
+
+
+class TestParallelTrials:
+    def test_parallel_matches_serial(self, aspen, aspen_instance):
+        serial = LightSabre(trials=4, seed=6).run(aspen_instance.circuit, aspen)
+        parallel = LightSabre(trials=4, seed=6, workers=2).run(
+            aspen_instance.circuit, aspen
+        )
+        assert parallel.swap_count == serial.swap_count
+        assert parallel.metadata["winning_trial"] == serial.metadata["winning_trial"]
+        assert parallel.circuit == serial.circuit
+        assert parallel.initial_mapping == serial.initial_mapping
+        report = validate_transpiled(aspen_instance.circuit, parallel.circuit,
+                                     aspen, parallel.initial_mapping)
+        assert report.valid, report.error
+
+    def test_throughput_recorded(self, aspen, aspen_instance):
+        result = LightSabre(trials=2, seed=1).run(aspen_instance.circuit, aspen)
+        assert result.metadata["trials"] == 2
+        assert result.metadata["trials_per_second"] > 0
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            LightSabre(trials=2, workers=-1)
+
+
+class TestMappingTimeline:
+    def test_reconstruction_matches_eager_snapshots(self, grid33):
+        inst = generate(grid33, num_swaps=2, num_two_qubit_gates=30, seed=4)
+        skeleton = inst.circuit.without_single_qubit_gates()
+        mapping = inst.mapping()
+        start = mapping.copy()
+        outcome = route(skeleton, grid33, mapping, SabreParameters(),
+                        random.Random(0), record_mappings=True)
+        assert isinstance(outcome.mapping_at, MappingTimeline)
+        # Replay the routed stream eagerly and compare at every gate.
+        replay = start.copy()
+        eager = {}
+        for node, gate in outcome.routed:
+            if node < 0:
+                replay.swap_physical(*gate.qubits)
+            else:
+                eager[node] = replay.to_dict()
+                assert outcome.mapping_at[node].to_dict() == eager[node]
+        # Backward (random) access restarts the replay transparently.
+        for node in sorted(eager, reverse=True):
+            assert outcome.mapping_at[node].to_dict() == eager[node]
+
+    def test_snapshot_is_independent(self):
+        timeline = MappingTimeline(Mapping.identity(3))
+        timeline.record_swap(0, 1)
+        timeline.record_gate(0)
+        snap = timeline.snapshot(0)
+        snap.swap_physical(1, 2)
+        assert timeline[0].to_dict() == {0: 1, 1: 0, 2: 2}
+
+
+class TestMappingArrays:
+    def test_forward_backward_stay_consistent(self):
+        rng = random.Random(3)
+        mapping = Mapping.random_complete(12, rng)
+        for _ in range(50):
+            p1, p2 = rng.randrange(12), rng.randrange(12)
+            if p1 != p2:
+                mapping.swap_physical(p1, p2)
+        for q, p in mapping.to_dict().items():
+            assert mapping.forward[q] == p
+            assert mapping.backward[p] == q
+            assert mapping.phys(q) == p
+            assert mapping.prog(p) == q
+
+    def test_partial_mapping_swap_into_empty(self):
+        mapping = Mapping({0: 0, 1: 1})
+        mapping.swap_physical(1, 5)  # physical 5 was empty
+        assert mapping.phys(1) == 5
+        assert not mapping.has_prog_at(1)
+        with pytest.raises(KeyError):
+            mapping.prog(1)
+
+    def test_unmapped_lookup_raises(self):
+        mapping = Mapping({0: 2})
+        with pytest.raises(KeyError):
+            mapping.phys(1)
+        with pytest.raises(KeyError):
+            mapping.prog(0)
+
+    def test_negative_swap_rejected(self):
+        from repro.qubikos import MappingError
+
+        mapping = Mapping({0: 0, 1: 1})
+        with pytest.raises(MappingError):
+            mapping.swap_physical(-1, 0)
+        assert mapping.to_dict() == {0: 0, 1: 1}  # state untouched
+
+
+class TestFrontierMemoisation:
+    def test_caches_invalidate_on_execute(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20, seed=1)
+        dag = DependencyDag.from_circuit(
+            inst.circuit.without_single_qubit_gates()
+        )
+        frontier = ExecutionFrontier(dag)
+        first = frontier.following_gates(5)
+        assert frontier.following_gates(5) is first  # memoised
+        assert frontier.front_sorted() == sorted(frontier.front)
+        node = frontier.front_sorted()[0]
+        frontier.execute(node)
+        assert frontier.following_gates(5) == [
+            n for n in _reference_following(frontier, 5)
+        ]
+        assert frontier.front_sorted() == sorted(frontier.front)
+
+    def test_different_limit_recomputes(self, grid33):
+        inst = generate(grid33, num_swaps=1, num_two_qubit_gates=20, seed=1)
+        dag = DependencyDag.from_circuit(
+            inst.circuit.without_single_qubit_gates()
+        )
+        frontier = ExecutionFrontier(dag)
+        assert len(frontier.following_gates(2)) <= 2
+        assert len(frontier.following_gates(8)) <= 8
+        assert frontier.following_gates(2) == frontier.following_gates(8)[:2]
+
+
+def _reference_following(frontier, limit):
+    """From-scratch BFS identical to the pre-memoisation implementation."""
+    from collections import deque
+
+    result = []
+    seen = set(frontier.front)
+    queue = deque(sorted(frontier.front))
+    while queue and len(result) < limit:
+        node = queue.popleft()
+        for nxt in frontier.dag.successors(node):
+            if nxt in seen or nxt in frontier.executed:
+                continue
+            seen.add(nxt)
+            result.append(nxt)
+            if len(result) >= limit:
+                break
+            queue.append(nxt)
+    return result
