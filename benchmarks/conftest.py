@@ -16,6 +16,33 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf-smoke", action="store_true", default=False,
+        help="run only the tiny parallel-vs-serial harness equivalence "
+             "check (tier-1 CI scale); every heavy benchmark is skipped",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """``--perf-smoke`` inverts the default selection.
+
+    Normally the smoke check is skipped (it duplicates what the heavy
+    harness benchmark proves); with the flag, *only* tests named
+    ``*perf_smoke*`` run, so ``pytest benchmarks --perf-smoke`` is cheap
+    enough for tier-1 CI.
+    """
+    smoke = config.getoption("--perf-smoke")
+    skip_heavy = pytest.mark.skip(reason="skipped in --perf-smoke mode")
+    skip_smoke = pytest.mark.skip(reason="enable with --perf-smoke")
+    for item in items:
+        is_smoke = "perf_smoke" in item.name
+        if smoke and not is_smoke:
+            item.add_marker(skip_heavy)
+        elif not smoke and is_smoke:
+            item.add_marker(skip_smoke)
+
+
 def env_int(name, default):
     return int(os.environ.get(name, default))
 

@@ -6,7 +6,10 @@ A laptop-sized rendition of the paper's Section IV-B evaluation — one panel
 benchmarks live in benchmarks/ and the CLI
 (`python -m repro.evalx.experiments fig4a ... fig4d`).
 
-Run:  python examples/evaluate_tools.py [architecture]
+Run:  python examples/evaluate_tools.py [architecture] [workers]
+
+``workers`` > 1 fans the (tool, instance) grid — and LightSABRE's trials —
+over one shared process pool; results are identical to the serial run.
 """
 
 import sys
@@ -16,7 +19,7 @@ from repro.qls import paper_tools
 from repro.qubikos import SuiteSpec, build_suite
 
 
-def main(architecture: str = "aspen4") -> None:
+def main(architecture: str = "aspen4", workers: int = 0) -> None:
     spec = SuiteSpec(
         architectures=(architecture,),
         swap_counts=(2, 4, 6),
@@ -30,8 +33,9 @@ def main(architecture: str = "aspen4") -> None:
         print(f"  {instance.name}: {instance.num_two_qubit_gates()} gates")
 
     tools = paper_tools(seed=5, sabre_trials=4)
-    print(f"running {len(tools)} tools x {len(instances)} instances...")
-    run = evaluate(tools, instances)
+    mode = f"{workers} workers" if workers > 1 else "serial"
+    print(f"running {len(tools)} tools x {len(instances)} instances ({mode})...")
+    run = evaluate(tools, instances, workers=workers or None)
 
     print()
     print(figure4_table(run, architecture))
@@ -43,4 +47,5 @@ def main(architecture: str = "aspen4") -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "aspen4")
+    main(sys.argv[1] if len(sys.argv) > 1 else "aspen4",
+         int(sys.argv[2]) if len(sys.argv) > 2 else 0)

@@ -1,5 +1,13 @@
-"""Evaluation harness, statistics, and paper-style reporting."""
+"""Evaluation harness, statistics, and paper-style reporting.
 
+``evaluate(..., workers=N)`` runs the (tool, instance) grid on one
+persistent process pool (serial-identical records, streaming progress,
+LightSABRE trial chunks sharing the same workers); see
+:mod:`repro.evalx.harness` for the contract and
+:class:`repro.parallel.WorkerPool` for the pool itself.
+"""
+
+from ..parallel import WorkerPool
 from .harness import EvaluationRun, RunRecord, evaluate
 from .stats import (
     RatioPoint,
@@ -30,6 +38,7 @@ from .report import (
 __all__ = [
     "EvaluationRun",
     "RunRecord",
+    "WorkerPool",
     "evaluate",
     "RatioPoint",
     "architecture_gap",

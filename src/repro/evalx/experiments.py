@@ -85,7 +85,7 @@ def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True) ->
 
 
 def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
-             seed: int, verbose: bool = True):
+             seed: int, verbose: bool = True, workers: Optional[int] = None):
     """One Figure 4 panel."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=[arch],
@@ -93,7 +93,7 @@ def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
     )
     instances = build_suite(spec)
     tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances)
+    run = evaluate(tools, instances, workers=workers)
     if verbose:
         print(figure4_table(run, arch, swap_counts=spec.swap_counts))
         print()
@@ -103,7 +103,7 @@ def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
 
 def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
                  seed: int, architectures: Optional[Sequence[str]] = None,
-                 verbose: bool = True):
+                 verbose: bool = True, workers: Optional[int] = None):
     """All four panels + the abstract's aggregate table."""
     archs = list(architectures or PAPER_ARCHITECTURES)
     spec = evaluation_spec(
@@ -112,7 +112,7 @@ def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
     )
     instances = build_suite(spec)
     tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances)
+    run = evaluate(tools, instances, workers=workers)
     if verbose:
         print(full_report(run, archs))
     return run
@@ -143,7 +143,7 @@ def run_decay_ablation(per_point: int, verbose: bool = True):
 
 
 def run_router(per_point: int, gate_scale: float, sabre_trials: int,
-               seed: int, verbose: bool = True):
+               seed: int, verbose: bool = True, workers: Optional[int] = None):
     """Router-only evaluation from the known-optimal initial mapping."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=["aspen4", "sycamore54"],
@@ -151,7 +151,7 @@ def run_router(per_point: int, gate_scale: float, sabre_trials: int,
     )
     instances = build_suite(spec)
     tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances, router_only=True)
+    run = evaluate(tools, instances, router_only=True, workers=workers)
     if verbose:
         print("Router-only mode (optimal initial mapping supplied)")
         print(full_report(run, ["aspen4", "sycamore54"]))
@@ -172,6 +172,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sabre-trials", type=int, default=8,
                         help="LightSABRE trial count (paper: 1000)")
     parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for suite evaluation "
+                             "(default: serial; paper scale: host core count)")
     parser.add_argument("--exact-budget", type=float, default=120.0,
                         help="e1: total seconds for SAT cross-checks")
     args = parser.parse_args(argv)
@@ -180,15 +183,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_e1(args.per_point, args.exact_budget)
     elif args.experiment in _FIG4_ARCH:
         run_fig4(_FIG4_ARCH[args.experiment], args.per_point, args.gate_scale,
-                 args.sabre_trials, args.seed)
+                 args.sabre_trials, args.seed, workers=args.workers)
     elif args.experiment == "headline":
-        run_headline(args.per_point, args.gate_scale, args.sabre_trials, args.seed)
+        run_headline(args.per_point, args.gate_scale, args.sabre_trials,
+                     args.seed, workers=args.workers)
     elif args.experiment == "case-study":
         run_case_study()
     elif args.experiment == "decay-ablation":
         run_decay_ablation(args.per_point)
     elif args.experiment == "router":
-        run_router(args.per_point, args.gate_scale, args.sabre_trials, args.seed)
+        run_router(args.per_point, args.gate_scale, args.sabre_trials,
+                   args.seed, workers=args.workers)
     return 0
 
 

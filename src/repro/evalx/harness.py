@@ -1,14 +1,58 @@
 """Evaluation harness: run QLS tools over QUBIKOS suites and collect the
-paper's metric (SWAP ratio = average SWAPs / optimal SWAPs)."""
+paper's metric (SWAP ratio = average SWAPs / optimal SWAPs).
+
+Parallel evaluation
+-------------------
+``evaluate(..., workers=N)`` fans the (tool, instance) grid over one
+persistent :class:`repro.parallel.WorkerPool` instead of the serial double
+loop.  The contract:
+
+* **Determinism** — every pair ships a pickled snapshot of its tool, whose
+  configured seed fully determines the pair's result (all in-repo tools
+  draw a fresh ``random.Random(seed)`` per ``run``), so results are
+  independent of worker scheduling.  ``EvaluationRun.records`` is assembled
+  in exactly the order the serial double loop produces — instance-major,
+  tool-minor — and :meth:`RunRecord.result_key` compares the deterministic
+  fields, so a parallel run and a serial run of the same suite yield
+  identical record sequences for a fixed seed.
+* **Streaming** — ``progress`` fires from the parent as each record
+  *completes* (out of serial order); only the final list is reordered.
+* **Pool sharing** — tools advertising ``supports_shared_pool``
+  (:class:`repro.qls.lightsabre.LightSabre`) do not ship to a worker as one
+  opaque pair.  They run in the parent — first, before the plain pairs are
+  queued, so their timings measure trial compute rather than queue wait —
+  with the suite pool temporarily bound to :attr:`tool.pool`, fanning their
+  best-of-k trial chunks over the *same* workers as everyone else's pairs:
+  one pool for the whole suite run (ROADMAP item b), no nested pools, no
+  over-subscription.
+* **Failure isolation** — a pair whose worker dies (pool-level error) is
+  transparently re-run serially in the parent; completed pairs are kept.
+  Exceptions raised by a tool itself are caught *inside* the pair and
+  recorded as ``valid=False``, exactly as in the serial loop.
+
+Pass ``pool=`` to share one :class:`~repro.parallel.WorkerPool` across
+several ``evaluate`` calls (e.g. the four Figure-4 panels); the pool is
+then left running for the caller to shut down.
+
+Timing: ``RunRecord.runtime_seconds`` measures **only** ``tool.run()``;
+the :func:`repro.qls.validate.validate_transpiled` replay is timed
+separately in ``validation_seconds`` so runtime-vs-quality reports are not
+inflated by harness overhead.
+"""
 
 from __future__ import annotations
 
+import math
 import time
+from concurrent.futures import Future, as_completed
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..arch.coupling import CouplingGraph
 from ..arch.library import get_architecture
-from ..qls.base import QLSResult, QLSTool
+from ..parallel import WorkerPool
+from ..qls.base import QLSTool
 from ..qls.validate import validate_transpiled
 from ..qubikos.instance import QubikosInstance
 
@@ -23,12 +67,29 @@ class RunRecord:
     optimal_swaps: int
     observed_swaps: int
     swap_ratio: float
+    #: Wall-clock of ``tool.run()`` only (validation excluded).
     runtime_seconds: float
     valid: bool
     router_only: bool = False
     error: Optional[str] = None
     #: Trials/second reported by best-of-k tools (None for single-shot tools).
     trials_per_second: Optional[float] = None
+    #: Wall-clock of the validation replay (0 when validation is skipped).
+    validation_seconds: float = 0.0
+
+    def result_key(self) -> Tuple:
+        """The deterministic fields — everything except wall-clock.
+
+        Two records describing the same (tool, instance) work agree on this
+        key iff the tools made identical decisions; parallel and serial
+        evaluations of a fixed-seed suite must produce equal key sequences.
+        ``NaN`` ratios (invalid runs) are normalised so the key is
+        comparable with ``==``.
+        """
+        ratio = None if math.isnan(self.swap_ratio) else self.swap_ratio
+        return (self.tool, self.instance, self.architecture,
+                self.optimal_swaps, self.observed_swaps, ratio,
+                self.valid, self.router_only, self.error)
 
 
 @dataclass
@@ -61,69 +122,225 @@ class EvaluationRun:
         return [r for r in self.records if not r.valid]
 
 
+def _measure_pair(tool: QLSTool, instance: QubikosInstance,
+                  coupling: CouplingGraph, router_only: bool,
+                  validate: bool) -> RunRecord:
+    """Run one (tool, instance) pair and build its record.
+
+    The single measurement routine shared by the serial loop, the pool
+    workers, and the parent-side pool-sharing path, so every mode times and
+    validates identically.
+    """
+    pinned = instance.mapping() if router_only else None
+    error = None
+    trials_per_second = None
+    validation_seconds = 0.0
+    start = time.perf_counter()
+    try:
+        result = tool.run(instance.circuit, coupling, initial_mapping=pinned)
+        elapsed = time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - harness isolates tools
+        elapsed = time.perf_counter() - start
+        observed = -1
+        ok = False
+        error = f"{type(exc).__name__}: {exc}"
+    else:
+        observed = result.swap_count
+        tps = result.metadata.get("trials_per_second")
+        trials_per_second = float(tps) if tps is not None else None
+        ok = True
+        if validate:
+            # Timed and fault-isolated separately from the tool: a crash in
+            # the replay must neither inflate runtime_seconds nor be
+            # attributed to the tool's own execution.
+            validation_start = time.perf_counter()
+            try:
+                report = validate_transpiled(
+                    instance.circuit, result.circuit, coupling,
+                    result.initial_mapping,
+                )
+            except Exception as exc:  # noqa: BLE001
+                ok = False
+                error = f"validation {type(exc).__name__}: {exc}"
+            else:
+                ok = report.valid
+                if ok and report.swap_count != observed:
+                    ok = False
+                    error = (
+                        f"tool reported {observed} swaps; replay counted "
+                        f"{report.swap_count}"
+                    )
+                elif not ok:
+                    error = report.error
+            finally:
+                validation_seconds = time.perf_counter() - validation_start
+    return RunRecord(
+        tool=tool.name,
+        instance=instance.name,
+        architecture=instance.architecture,
+        optimal_swaps=instance.optimal_swaps,
+        observed_swaps=observed,
+        swap_ratio=(observed / instance.optimal_swaps) if ok else float("nan"),
+        runtime_seconds=elapsed,
+        valid=ok,
+        router_only=router_only,
+        error=error,
+        trials_per_second=trials_per_second,
+        validation_seconds=validation_seconds,
+    )
+
+
+@lru_cache(maxsize=None)
+def _cached_architecture(name: str) -> CouplingGraph:
+    """Per-process coupling cache (architectures are immutable).
+
+    Shared by the serial loop, the parent side of a parallel run, and —
+    because each pool worker has its own copy of this module — the workers,
+    which therefore rebuild each architecture (and its distance matrices)
+    at most once per process rather than once per shipped pair.
+    """
+    return get_architecture(name)
+
+
+def _evaluate_pair_task(tool: QLSTool, instance: QubikosInstance,
+                        router_only: bool, validate: bool) -> RunRecord:
+    """Pool-worker entry point for one (tool, instance) pair."""
+    return _measure_pair(tool, instance,
+                         _cached_architecture(instance.architecture),
+                         router_only, validate)
+
+
 def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
              router_only: bool = False,
              validate: bool = True,
-             progress: Optional[Callable[[RunRecord], None]] = None
+             progress: Optional[Callable[[RunRecord], None]] = None,
+             workers: Optional[int] = None,
+             pool: Optional[WorkerPool] = None,
              ) -> EvaluationRun:
     """Run every tool on every instance.
 
     ``router_only`` pins each tool to the instance's known-optimal initial
     mapping (Section IV-C mode).  Results failing validation are recorded
     with ``valid=False`` and excluded from ratio statistics downstream.
+
+    ``workers`` > 1 evaluates the (tool, instance) grid on a process pool
+    (see the module docstring for the determinism/streaming/pool-sharing
+    contract); ``pool`` reuses a caller-owned
+    :class:`~repro.parallel.WorkerPool` across several ``evaluate`` calls.
     """
-    run = EvaluationRun()
+    tools = list(tools)
     instances = list(instances)
-    couplings = {
-        name: get_architecture(name)
-        for name in {inst.architecture for inst in instances}
-    }
+    if pool is None and (workers is None or workers <= 1):
+        return _evaluate_serial(tools, instances, router_only, validate, progress)
+    owned = pool is None
+    if owned:
+        pool = WorkerPool(workers)
+    try:
+        return _evaluate_parallel(tools, instances, router_only, validate,
+                                  progress, pool)
+    finally:
+        if owned:
+            pool.shutdown()
+
+
+def _evaluate_serial(tools: Sequence[QLSTool],
+                     instances: Sequence[QubikosInstance],
+                     router_only: bool, validate: bool,
+                     progress: Optional[Callable[[RunRecord], None]]
+                     ) -> EvaluationRun:
+    """The reference double loop: instance-major, tool-minor."""
+    run = EvaluationRun()
     for instance in instances:
-        coupling = couplings[instance.architecture]
-        pinned = instance.mapping() if router_only else None
+        coupling = _cached_architecture(instance.architecture)
         for tool in tools:
-            start = time.perf_counter()
-            error = None
-            trials_per_second = None
-            try:
-                result = tool.run(instance.circuit, coupling, initial_mapping=pinned)
-                observed = result.swap_count
-                tps = result.metadata.get("trials_per_second")
-                trials_per_second = float(tps) if tps is not None else None
-                ok = True
-                if validate:
-                    report = validate_transpiled(
-                        instance.circuit, result.circuit, coupling,
-                        result.initial_mapping,
-                    )
-                    ok = report.valid
-                    if ok and report.swap_count != observed:
-                        ok = False
-                        error = (
-                            f"tool reported {observed} swaps; replay counted "
-                            f"{report.swap_count}"
-                        )
-                    elif not ok:
-                        error = report.error
-            except Exception as exc:  # noqa: BLE001 - harness isolates tools
-                observed = -1
-                ok = False
-                error = f"{type(exc).__name__}: {exc}"
-            elapsed = time.perf_counter() - start
-            record = RunRecord(
-                tool=tool.name,
-                instance=instance.name,
-                architecture=instance.architecture,
-                optimal_swaps=instance.optimal_swaps,
-                observed_swaps=observed,
-                swap_ratio=(observed / instance.optimal_swaps) if ok else float("nan"),
-                runtime_seconds=elapsed,
-                valid=ok,
-                router_only=router_only,
-                error=error,
-                trials_per_second=trials_per_second,
-            )
+            record = _measure_pair(tool, instance, coupling, router_only,
+                                   validate)
             run.records.append(record)
             if progress is not None:
                 progress(record)
+    return run
+
+
+def _evaluate_parallel(tools: Sequence[QLSTool],
+                       instances: Sequence[QubikosInstance],
+                       router_only: bool, validate: bool,
+                       progress: Optional[Callable[[RunRecord], None]],
+                       pool: WorkerPool) -> EvaluationRun:
+    """Fan the (tool, instance) grid over ``pool``.
+
+    Pair index ``i * len(tools) + t`` pins each record's position to the
+    slot the serial double loop would fill, so the assembled record list is
+    order-identical no matter how the pool schedules the work.
+    """
+    slots: List[Optional[RunRecord]] = [None] * (len(instances) * len(tools))
+
+    def finish(index: int, record: RunRecord) -> None:
+        slots[index] = record
+        if progress is not None:
+            progress(record)
+
+    futures: Dict[Future, Tuple[int, QLSTool, QubikosInstance]] = {}
+    plain_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
+    shared_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
+    broken_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
+    for i, instance in enumerate(instances):
+        for t, tool in enumerate(tools):
+            index = i * len(tools) + t
+            if getattr(tool, "supports_shared_pool", False) \
+                    and getattr(tool, "trials", 1) > 1:
+                shared_pairs.append((index, tool, instance))
+            else:
+                plain_pairs.append((index, tool, instance))
+
+    # Pool-sharing pairs run first, from the parent, with the suite pool
+    # bound: their trial chunks get the workers to themselves, so the
+    # recorded runtime_seconds / trials_per_second measure trial compute,
+    # not time spent queueing behind a backlog of other tools' pairs —
+    # keeping the runtime-quality metrics comparable with serial runs.
+    for index, tool, instance in shared_pairs:
+        previous = getattr(tool, "pool", None)
+        tool.pool = pool
+        try:
+            record = _measure_pair(tool, instance,
+                                   _cached_architecture(instance.architecture),
+                                   router_only, validate)
+        finally:
+            tool.pool = previous
+        finish(index, record)
+
+    # Then fan the plain pairs out; each runs whole inside one worker.
+    for index, tool, instance in plain_pairs:
+        try:
+            future = pool.submit(_evaluate_pair_task, tool, instance,
+                                 router_only, validate)
+        except Exception:  # noqa: BLE001 - submission = transport layer
+            broken_pairs.append((index, tool, instance))
+            continue
+        futures[future] = (index, tool, instance)
+
+    for future in as_completed(list(futures)):
+        index, tool, instance = futures[future]
+        try:
+            record = future.result()
+        except Exception:  # noqa: BLE001 - transport failures, see below
+            # Tool exceptions are caught *inside* _measure_pair, so anything
+            # surfacing here is a transport problem: the pool died
+            # (BrokenExecutor/OSError) or the pair could not cross the
+            # process boundary (unpicklable tool or result).  Either way the
+            # pair re-runs in the parent, where no pickling is involved and
+            # the serial error-isolation semantics apply.
+            broken_pairs.append((index, tool, instance))
+            continue
+        finish(index, record)
+
+    # Pool-level casualties (dead worker, forbidden fork, unpicklable
+    # pairs): re-run serially in the parent.  Completed pairs are untouched.
+    for index, tool, instance in broken_pairs:
+        record = _measure_pair(tool, instance,
+                               _cached_architecture(instance.architecture),
+                               router_only, validate)
+        finish(index, record)
+
+    run = EvaluationRun()
+    run.records = [record for record in slots if record is not None]
     return run

@@ -23,11 +23,16 @@ class RuntimeQualityPoint:
 
     tool: str
     mean_ratio: float
+    #: Mean wall-clock of ``tool.run()`` only — the harness times the
+    #: validation replay separately (``RunRecord.validation_seconds``), so
+    #: this no longer inflates the tool's apparent cost.
     mean_runtime_seconds: float
     total_runtime_seconds: float
     runs: int
     #: Mean trials/second for best-of-k tools (None when not reported).
     mean_trials_per_second: Optional[float] = None
+    #: Mean harness validation-replay time (0 when validation was skipped).
+    mean_validation_seconds: float = 0.0
 
 
 def runtime_quality_points(run: EvaluationRun) -> List[RuntimeQualityPoint]:
@@ -38,6 +43,7 @@ def runtime_quality_points(run: EvaluationRun) -> List[RuntimeQualityPoint]:
         if not records:
             continue
         runtimes = [r.runtime_seconds for r in records]
+        validations = [r.validation_seconds for r in records]
         throughputs = [
             r.trials_per_second for r in records if r.trials_per_second is not None
         ]
@@ -50,6 +56,7 @@ def runtime_quality_points(run: EvaluationRun) -> List[RuntimeQualityPoint]:
             mean_trials_per_second=(
                 sum(throughputs) / len(throughputs) if throughputs else None
             ),
+            mean_validation_seconds=sum(validations) / len(validations),
         ))
     return sorted(points, key=lambda p: p.mean_ratio)
 
@@ -62,15 +69,15 @@ def runtime_quality_table(run: EvaluationRun) -> str:
     lines = [
         "Runtime vs quality (the Section I trade-off, measured)",
         "-" * 70,
-        f"{'tool':<14s} {'mean ratio':>11s} {'s/run':>9s} {'runs':>6s} "
-        f"{'trials/s':>9s}",
+        f"{'tool':<14s} {'mean ratio':>11s} {'s/run':>9s} {'val s':>8s} "
+        f"{'runs':>6s} {'trials/s':>9s}",
     ]
     for p in points:
         tps = (f"{p.mean_trials_per_second:9.1f}"
                if p.mean_trials_per_second is not None else f"{'-':>9s}")
         lines.append(
             f"{p.tool:<14s} {p.mean_ratio:10.2f}x {p.mean_runtime_seconds:9.3f}"
-            f" {p.runs:6d} {tps}"
+            f" {p.mean_validation_seconds:8.3f} {p.runs:6d} {tps}"
         )
     return "\n".join(lines)
 

@@ -1,13 +1,19 @@
 """Layout-synthesis tools: SABRE/LightSABRE, slice router, A*, multilevel,
 and the exact SAT-based solver, plus validation utilities.
 
-The SABRE routing engine is throughput-oriented (see
-:mod:`repro.qls.sabre` for the architecture): memoised frontier/extended
-set, allocation-free delta scoring, per-run DAG and cost-model reuse, and
-compact mapping timelines.  :class:`LightSabre` additionally accepts a
-``workers`` knob that fans best-of-k trials out over a process pool with
-deterministic per-trial seeds — serial and parallel runs return identical
-results for a fixed seed.
+All three routing engines are throughput-oriented while staying
+bit-identical to their reference formulations: SABRE (see
+:mod:`repro.qls.sabre`) pioneered the architecture — memoised
+frontier/extended set, exact-integer delta scoring against cached distance
+rows, per-run DAG and cost-model reuse, compact mapping timelines — and
+the t|ket⟩-style slice router (:mod:`repro.qls.tketlike`, plus a
+vectorised numpy scoring path for 200+-qubit devices) and the per-layer A*
+mapper (:mod:`repro.qls.astar`) received the same treatment.
+:class:`LightSabre` fans best-of-k trials over a process pool
+(``workers``, or a shared :class:`repro.parallel.WorkerPool` bound to its
+``pool`` attribute) with deterministic per-trial seeds, and re-runs only
+failed trial chunks if the pool breaks — serial and parallel runs return
+identical results for a fixed seed.
 """
 
 from .base import QLSError, QLSResult, QLSTool

@@ -11,6 +11,32 @@ QUBIKOS circuits, whose optimal routing requires global foresight.
 
 A node-expansion budget keeps worst-case runtime bounded; on exhaustion the
 layer falls back to shortest-path greedy routing (counted in metadata).
+
+Performance architecture
+------------------------
+The per-layer search gets the SABRE-engine treatment (see
+:mod:`repro.qls.sabre`) while staying *bit-identical* to the reference
+formulation — fixed seeds reproduce the golden swap counts and circuit
+hashes in ``tests/qls/test_perf_equivalence.py``:
+
+* distances come from the cached :attr:`CouplingGraph.distance_rows`
+  nested lists, fetched once per ``run`` — the reference re-ran
+  ``distance_matrix.tolist()`` (O(n²)) for every layer;
+* the distance heuristic is maintained *incrementally in exact integers*:
+  each search node carries its unweighted distance sum, and a successor
+  adjusts only the layer pairs touching the one or two qubits the SWAP
+  moved (O(touched) instead of O(layer pairs) per successor).  Because a
+  layer's qubits occupy distinct physical slots, every pair distance is
+  ≥ 1 and the goal test collapses to ``distance_sum == 0`` — no more
+  all-pairs adjacency scan per popped node;
+* mapping snapshots use the compact swap-delta
+  :class:`~repro.qubikos.mapping.MappingTimeline` instead of deep-copying
+  the mapping per executed gate.
+
+(The companion vectorised numpy scoring path for 200+-qubit devices lives
+in :mod:`repro.qls.tketlike`, whose bulk candidate scoring is the shape
+numpy rewards; the A* inner loop is a heap search whose per-successor work
+is already O(touched pairs).)
 """
 
 from __future__ import annotations
@@ -25,7 +51,7 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DependencyDag
 from ..circuit.gates import Gate
-from ..qubikos.mapping import Mapping
+from ..qubikos.mapping import Mapping, MappingTimeline
 from .base import QLSError, QLSResult, QLSTool
 from .initial import greedy_degree_mapping
 from .reinsert import split_one_qubit_gates, weave_transpiled
@@ -72,24 +98,26 @@ class AStarMapper(QLSTool):
 
         dag = DependencyDag.from_circuit(skeleton)
         layers = dag.layers()
+        dist = coupling.distance_rows  # cached nested lists, once per run
+        timeline = MappingTimeline(mapping)
         routed: List[Tuple[int, Gate]] = []
-        mapping_at: Dict[int, Mapping] = {}
         swap_count = 0
         fallbacks = 0
         for layer in layers:
             gates = [dag.gates[node] for node in layer]
-            swaps = self._solve_layer(coupling, mapping, gates)
+            swaps = self._solve_layer(coupling, mapping, gates, dist)
             if swaps is None:
                 # Budget exhausted: route and emit the layer's gates one by
                 # one (they are qubit-disjoint, so per-gate greedy is safe).
                 fallbacks += 1
                 swap_count += self._greedy_emit_layer(
-                    coupling, mapping, dag, layer, routed, mapping_at
+                    coupling, mapping, dag, layer, routed, timeline
                 )
                 continue
             for p1, p2 in swaps:
                 mapping.swap_physical(p1, p2)
                 routed.append((-1, Gate("swap", (p1, p2))))
+                timeline.record_swap(p1, p2)
                 swap_count += 1
             for node in layer:
                 g = dag.gates[node]
@@ -97,11 +125,11 @@ class AStarMapper(QLSTool):
                 if not coupling.has_edge(p1, p2):
                     raise QLSError("layer solve left a gate unexecutable")
                 routed.append((node, g.remap({g[0]: p1, g[1]: p2})))
-                mapping_at[node] = mapping.copy()
+                timeline.record_gate(node)
 
         transpiled = weave_transpiled(
             coupling.num_qubits, routed, bundles, tail,
-            mapping_at=mapping_at, final_mapping=mapping,
+            mapping_at=timeline, final_mapping=mapping,
             name=f"{circuit.name}_{self.name}",
         )
         return QLSResult(
@@ -113,59 +141,83 @@ class AStarMapper(QLSTool):
     # -- per-layer search -----------------------------------------------------
 
     def _solve_layer(self, coupling: CouplingGraph, mapping: Mapping,
-                     gates: Sequence[Gate]) -> Optional[List[Edge]]:
+                     gates: Sequence[Gate],
+                     dist: Sequence[Sequence[int]]) -> Optional[List[Edge]]:
         """A* for the SWAP sequence making every layer gate executable.
 
         Returns the SWAP list, or None when the expansion budget runs out.
+
+        Each heap entry carries ``hsum`` — the exact integer
+        ``sum(dist - 1)`` over the layer's gate pairs under that node's
+        positions.  Layer gates are qubit-disjoint and positions injective,
+        so every pair distance is ≥ 1: the goal test is ``hsum == 0``, the
+        A* heuristic is ``weight * hsum`` (bit-identical to the reference's
+        ``weight * sum(max(0, d - 1))``), and successors update ``hsum`` by
+        adjusting only the pairs touching the swapped qubits.
         """
-        dist = coupling.distance_matrix.tolist()
+        weight = self.params.heuristic_weight
         relevant = sorted({q for g in gates for q in g.qubits})
-        pairs = [(g[0], g[1]) for g in gates]
+        index_of = {q: i for i, q in enumerate(relevant)}
+        # A search state is the position tuple itself (positions of
+        # ``relevant`` qubits, in ``relevant`` order) — the same tuple the
+        # reference built separately as its visited-set key, so keys, push
+        # order, and tie-breaks are unchanged while successor generation
+        # drops the per-successor dict copy and key construction.
+        pairs = [(index_of[g[0]], index_of[g[1]]) for g in gates]
+        # Layer gates are qubit-disjoint (same-qubit gates are dependency-
+        # ordered into different ASAP layers), so each relevant qubit
+        # belongs to exactly one pair.
+        pair_of = [0] * len(relevant)
+        for index, (a, b) in enumerate(pairs):
+            pair_of[a] = index
+            pair_of[b] = index
 
-        def positions_key(m: Dict[int, int]) -> Tuple[int, ...]:
-            return tuple(m[q] for q in relevant)
-
-        def heuristic(m: Dict[int, int]) -> float:
-            return self.params.heuristic_weight * sum(
-                max(0, dist[m[a]][m[b]] - 1) for a, b in pairs
-            )
-
-        def satisfied(m: Dict[int, int]) -> bool:
-            return all(coupling.has_edge(m[a], m[b]) for a, b in pairs)
-
-        start = {q: mapping.phys(q) for q in relevant}
-        if satisfied(start):
+        start = tuple(mapping.phys(q) for q in relevant)
+        start_hsum = sum(dist[start[a]][start[b]] - 1 for a, b in pairs)
+        if start_hsum == 0:
             return []
 
+        neighbors = coupling.neighbors
         counter = itertools.count()
-        open_heap: List[Tuple[float, int, Dict[int, int], List[Edge]]] = []
-        heapq.heappush(open_heap, (heuristic(start), next(counter), start, []))
-        best_cost: Dict[Tuple[int, ...], int] = {positions_key(start): 0}
+        open_heap: List[Tuple[float, int, Tuple[int, ...], List[Edge], int]] = []
+        heapq.heappush(open_heap,
+                       (weight * start_hsum, next(counter), start, [], start_hsum))
+        best_cost: Dict[Tuple[int, ...], int] = {start: 0}
         expansions = 0
         while open_heap and expansions < self.params.expansion_budget:
-            _, _, state, path = heapq.heappop(open_heap)
-            if satisfied(state):
+            _, _, state, path, hsum = heapq.heappop(open_heap)
+            if hsum == 0:
                 return path
             expansions += 1
-            occupied = {p: q for q, p in state.items()}
+            occupied = {p: i for i, p in enumerate(state)}
+            cost = len(path) + 1
             # Swaps on edges touching at least one relevant qubit.
-            for q in relevant:
-                p = state[q]
-                for nbr in coupling.neighbors(p):
+            for qi in range(len(relevant)):
+                p = state[qi]
+                for nbr in neighbors(p):
                     edge = (p, nbr) if p < nbr else (nbr, p)
-                    successor = dict(state)
-                    successor[q] = nbr
-                    other = occupied.get(nbr)
-                    if other is not None and other in successor:
-                        successor[other] = p
-                    key = positions_key(successor)
-                    cost = len(path) + 1
-                    if best_cost.get(key, 1 << 30) <= cost:
+                    moved = list(state)
+                    moved[qi] = nbr
+                    oi = occupied.get(nbr)
+                    if oi is not None:
+                        moved[oi] = p
+                    successor = tuple(moved)
+                    if best_cost.get(successor, 1 << 30) <= cost:
                         continue
-                    best_cost[key] = cost
+                    best_cost[successor] = cost
+                    pair = pair_of[qi]
+                    a, b = pairs[pair]
+                    new_hsum = (hsum + dist[successor[a]][successor[b]]
+                                - dist[state[a]][state[b]])
+                    if oi is not None:
+                        other_pair = pair_of[oi]
+                        if other_pair != pair:
+                            a, b = pairs[other_pair]
+                            new_hsum += (dist[successor[a]][successor[b]]
+                                         - dist[state[a]][state[b]])
                     heapq.heappush(open_heap, (
-                        cost + heuristic(successor), next(counter),
-                        successor, path + [edge],
+                        cost + weight * new_hsum, next(counter),
+                        successor, path + [edge], new_hsum,
                     ))
         # Budget exhausted: signal the caller to use per-gate greedy routing.
         return None
@@ -174,7 +226,7 @@ class AStarMapper(QLSTool):
     def _greedy_emit_layer(coupling: CouplingGraph, mapping: Mapping,
                            dag: DependencyDag, layer: Sequence[int],
                            routed: List[Tuple[int, Gate]],
-                           mapping_at: Dict[int, Mapping]) -> int:
+                           timeline: MappingTimeline) -> int:
         """Route and emit each layer gate in turn (fallback path).
 
         Emitting gates one at a time keeps the transpilation valid even
@@ -189,9 +241,10 @@ class AStarMapper(QLSTool):
                 )
                 mapping.swap_physical(path[0], path[1])
                 routed.append((-1, Gate("swap", (path[0], path[1]))))
+                timeline.record_swap(path[0], path[1])
                 swap_count += 1
             routed.append((node, g.remap({
                 g[0]: mapping.phys(g[0]), g[1]: mapping.phys(g[1])
             })))
-            mapping_at[node] = mapping.copy()
+            timeline.record_gate(node)
         return swap_count

@@ -12,17 +12,32 @@ minimum over chunk bests.  The parallel path therefore returns
 bit-identical results to the serial path for a fixed seed.  Throughput is
 recorded as ``trials_per_second`` in the result metadata so the evaluation
 harness can report it.
+
+Pool sharing and failure recovery
+---------------------------------
+Instead of spawning a private pool per call, a suite runner can bind one
+persistent :class:`repro.parallel.WorkerPool` via the :attr:`LightSabre.pool`
+attribute (the parallel evaluation harness does this automatically); trial
+chunks are then submitted to the shared pool, so a whole suite's trials
+interleave on one set of workers.  Chunk submission and collection are
+fault-isolated: if the pool (shared or private) breaks mid-run — a worker
+was OOM-killed, say — only the *failed* chunks are re-run serially in the
+parent process, preserving every chunk result that already completed
+(``retried_chunks`` in the metadata counts the re-runs).  Exceptions raised
+by the trials themselves propagate unchanged — they would recur serially
+anyway.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 import random
 from typing import List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
+from ..parallel import POOL_UNAVAILABLE_ERRORS, WorkerPool
 from ..qubikos.mapping import Mapping
 from .base import QLSResult, QLSTool
 from .sabre import SabreLayout, SabreParameters
@@ -55,17 +70,24 @@ def _run_trial_chunk(circuit: QuantumCircuit, coupling: CouplingGraph,
 class LightSabre(QLSTool):
     """Best-of-``trials`` SABRE (the paper's strongest baseline).
 
-    ``workers`` > 1 distributes trials over a :class:`ProcessPoolExecutor`;
-    ``None``/``0``/``1`` runs serially.  Both paths pick the same winner for
-    a fixed ``seed``.
+    ``workers`` > 1 distributes trials over a private process pool;
+    ``None``/``0``/``1`` runs serially.  Binding :attr:`pool` to a shared
+    :class:`repro.parallel.WorkerPool` overrides ``workers`` and submits the
+    trial chunks there instead.  All paths pick the same winner for a fixed
+    ``seed``.
     """
 
     name = "lightsabre"
 
+    #: The parallel evaluation harness binds its suite-wide pool to tools
+    #: advertising this flag (see ``repro.evalx.harness.evaluate``).
+    supports_shared_pool = True
+
     def __init__(self, trials: int = 8,
                  params: Optional[SabreParameters] = None,
                  seed: Optional[int] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None) -> None:
         if trials < 1:
             raise ValueError("need at least one trial")
         if workers is not None and workers < 0:
@@ -74,25 +96,45 @@ class LightSabre(QLSTool):
         self.params = params or SabreParameters()
         self.seed = seed
         self.workers = workers
+        #: Optional shared pool; not pickled with the tool (workers never
+        #: nest pools — a tool shipped to a pool worker runs serially there).
+        self.pool = pool
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["pool"] = None  # executors do not cross process boundaries
+        return state
 
     def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
             initial_mapping: Optional[Mapping] = None) -> QLSResult:
         rng = random.Random(self.seed)
         trial_seeds = [rng.randrange(2 ** 31) for _ in range(self.trials)]
-        workers = min(self.workers or 1, self.trials)
-        if workers > 1:
-            best, trial_phase, used_workers = self._run_parallel(
-                circuit, coupling, initial_mapping, trial_seeds, workers
+        pool = self.pool
+        if pool is not None:
+            workers = min(getattr(pool, "workers", 1) or 1, self.trials)
+        else:
+            workers = min(self.workers or 1, self.trials)
+        if pool is not None and self.trials > 1:
+            best, trial_phase, used_workers, retried = self._run_parallel(
+                circuit, coupling, initial_mapping, trial_seeds,
+                max(workers, 1), pool,
+            )
+        elif workers > 1:
+            best, trial_phase, used_workers, retried = self._run_parallel(
+                circuit, coupling, initial_mapping, trial_seeds, workers, None
             )
         else:
             best, trial_phase = self._run_serial(
                 circuit, coupling, initial_mapping, trial_seeds
             )
             used_workers = 1
+            retried = None
         best.tool = self.name
         best.metadata["trials"] = self.trials
         # How the trials actually ran: 1 after a pool-unavailable fallback.
         best.metadata["workers"] = used_workers
+        if retried is not None:
+            best.metadata["retried_chunks"] = retried
         if trial_phase > 0:
             best.metadata["trials_per_second"] = self.trials / trial_phase
         return best
@@ -113,33 +155,68 @@ class LightSabre(QLSTool):
 
     def _run_parallel(self, circuit: QuantumCircuit, coupling: CouplingGraph,
                       initial_mapping: Optional[Mapping],
-                      trial_seeds: Sequence[int], workers: int
-                      ) -> Tuple[QLSResult, float, int]:
+                      trial_seeds: Sequence[int], workers: int,
+                      pool: Optional[WorkerPool]
+                      ) -> Tuple[QLSResult, float, int, int]:
+        """Chunked trials on ``pool`` (or a private pool when ``None``).
+
+        Returns ``(best, trial_phase_seconds, effective_workers,
+        retried_chunks)``.  Chunks whose pool submission or collection hit a
+        pool-level failure are re-run serially in the calling process; chunk
+        results that already completed are kept, so a single dead worker at
+        paper scale costs one chunk of work, not the whole trial budget.
+        """
         indexed = list(enumerate(trial_seeds))
         chunks = [indexed[i::workers] for i in range(workers)]
         chunks = [c for c in chunks if c]
         start = time.perf_counter()
+        owned: Optional[ProcessPoolExecutor] = None
+        if pool is None:
+            try:
+                owned = ProcessPoolExecutor(max_workers=len(chunks))
+            except POOL_UNAVAILABLE_ERRORS:
+                # Pool unavailable outright (sandboxed/forbidden fork):
+                # degrade gracefully to the plain serial path.
+                best, trial_phase = self._run_serial(
+                    circuit, coupling, initial_mapping, trial_seeds
+                )
+                return best, trial_phase, 1, 0
+            submit = owned.submit
+        else:
+            submit = pool.submit
+        chunk_bests: List[Tuple[int, QLSResult]] = []
+        failed: List[Sequence[Tuple[int, int]]] = []
         try:
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                futures = [
-                    pool.submit(_run_trial_chunk, circuit, coupling,
-                                self.params, initial_mapping, chunk)
-                    for chunk in chunks
-                ]
-                chunk_bests: List[Tuple[int, QLSResult]] = [
-                    future.result() for future in futures
-                ]
-        except (OSError, BrokenExecutor):
-            # Pool unavailable or its workers died (sandboxed/forbidden
-            # fork): degrade gracefully.  Exceptions raised *by trials*
-            # propagate unchanged — they would recur serially anyway.
-            best, trial_phase = self._run_serial(circuit, coupling,
-                                                 initial_mapping, trial_seeds)
-            return best, trial_phase, 1
+            futures = []
+            for chunk in chunks:
+                try:
+                    futures.append(submit(_run_trial_chunk, circuit, coupling,
+                                          self.params, initial_mapping, chunk))
+                except POOL_UNAVAILABLE_ERRORS:
+                    futures.append(None)
+            for chunk, future in zip(chunks, futures):
+                if future is None:
+                    failed.append(chunk)
+                    continue
+                try:
+                    chunk_bests.append(future.result())
+                except POOL_UNAVAILABLE_ERRORS:
+                    failed.append(chunk)
+            # Re-run only the failed chunks, serially, in this process.
+            for chunk in failed:
+                chunk_bests.append(_run_trial_chunk(
+                    circuit, coupling, self.params, initial_mapping, chunk
+                ))
+        finally:
+            if owned is not None:
+                owned.shutdown()
         trial_phase = time.perf_counter() - start
         # Serial tie-break: lowest swap count, earliest trial among ties.
+        # Trial indices are unique, so the minimum is order-independent and
+        # re-run chunks appended out of order cannot change the winner.
         winner, best = min(
             chunk_bests, key=lambda pair: (pair[1].swap_count, pair[0])
         )
         best.metadata["winning_trial"] = winner
-        return best, trial_phase, len(chunks)
+        effective = max(1, len(chunks) - len(failed))
+        return best, trial_phase, effective, len(failed)

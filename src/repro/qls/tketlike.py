@@ -9,19 +9,52 @@ geometrically decaying weights.  Distinguishing features versus SABRE:
 slice-based lookahead (not a gate-count extended set), no decay penalty on
 recently moved qubits, and deterministic tie-breaking — the combination
 that historically trails SABRE on SWAP count, as the paper observes.
+
+Performance architecture
+------------------------
+The SWAP decision loop gets the same treatment as the SABRE engine (see
+:mod:`repro.qls.sabre`), while staying *bit-identical* to the reference
+formulation — fixed seeds reproduce the golden swap counts and circuit
+hashes in ``tests/qls/test_perf_equivalence.py``:
+
+* the per-layer lists of unexecuted gates are memoised and invalidated
+  only when a gate executes, so a stall window of many SWAP decisions
+  stops re-scanning the whole DAG to rebuild its pending slices;
+* distances come from the cached :attr:`CouplingGraph.distance_rows`
+  nested lists instead of a per-run ``distance_matrix.tolist()``;
+* for the default rational decay (0.6 = 3/5) the decayed multi-slice cost
+  is scored in *exact integer* arithmetic — each slice weight becomes
+  ``3^s * 5^(L-1-s)`` — and each candidate SWAP adjusts only the gates its
+  two endpoints touch instead of re-summing every pending gate.  Exact
+  integers order candidates identically to the reference float costs
+  (nonzero scaled differences are ≥ 1, i.e. ≥ ``5^-(L-1)`` unscaled, far
+  above float rounding noise); *exact ties* are re-scored for just the
+  tied candidates with the reference float operation sequence, so the
+  deterministic first-minimum tie-break matches bit for bit;
+* on devices with more than ``TketParameters.vectorize_above`` qubits the
+  candidate set is large enough that the integer scoring moves to a
+  vectorised numpy path (int64, still exact — ROADMAP item d);
+* mapping snapshots use the compact swap-delta
+  :class:`~repro.qubikos.mapping.MappingTimeline` instead of deep-copying
+  the mapping per executed gate.
+
+Irrational (general float) decay factors fall back to a scoring loop that
+replays the reference float operation sequence per candidate — still
+benefiting from the memoised slices and precomputed operand positions.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DependencyDag, ExecutionFrontier
 from ..circuit.gates import Gate
-from ..qubikos.mapping import Mapping
+from ..qubikos.mapping import Mapping, MappingTimeline
 from .base import QLSError, QLSResult, QLSTool
 from .initial import greedy_degree_mapping
 from .reinsert import split_one_qubit_gates, weave_transpiled
@@ -36,6 +69,30 @@ class TketParameters:
 
     lookahead_slices: int = 4
     slice_decay: float = 0.6
+    #: Device size above which candidate scoring switches to the vectorised
+    #: numpy path (only reachable when the decay is exactly rational).
+    vectorize_above: int = 200
+
+
+def _exact_slice_weights(decay: float, slices: int) -> Optional[List[int]]:
+    """Integer slice weights ``num^s * den^(L-1-s)`` for rational decays.
+
+    Multiplying every slice weight ``decay^s`` by ``den^(L-1)`` turns the
+    decayed cost into an exact integer without changing the candidate
+    order.  Returns ``None`` when ``decay`` is not a small rational (or the
+    scale factor would grow large enough to weaken the float-vs-exact
+    ordering argument), in which case the caller replays the reference
+    float scoring.
+    """
+    if decay <= 0:
+        return None
+    frac = Fraction(decay).limit_denominator(64)
+    if float(frac) != decay:
+        return None
+    num, den = frac.numerator, frac.denominator
+    if den ** max(slices - 1, 0) > 10 ** 9:
+        return None
+    return [num ** s * den ** (slices - 1 - s) for s in range(slices)]
 
 
 class TketLikeRouter(QLSTool):
@@ -64,34 +121,52 @@ class TketLikeRouter(QLSTool):
         dag = DependencyDag.from_circuit(skeleton)
         frontier = ExecutionFrontier(dag)
         layer_of = self._static_layers(dag)
-        dist = coupling.distance_matrix.tolist()
+        pi = mapping.forward  # live π array, mutated by swap_physical
+        ops = dag.op_pairs
+        npi = len(pi)
+        for a, b in ops:
+            if a >= npi or pi[a] < 0 or b >= npi or pi[b] < 0:
+                raise QLSError(f"program qubit of gate pair ({a}, {b}) is unmapped")
+        # Memoised slice state: unexecuted gates per static layer, ascending
+        # node order, invalidated (one removal) only when a gate executes.
+        unexecuted_by_layer: List[List[int]] = [
+            [] for _ in range(max(layer_of, default=-1) + 1)
+        ]
+        for node, layer in enumerate(layer_of):
+            unexecuted_by_layer[layer].append(node)
+
+        weights = _exact_slice_weights(self.params.slice_decay,
+                                       self.params.lookahead_slices)
+        timeline = MappingTimeline(mapping)
         routed: List[Tuple[int, Gate]] = []
-        mapping_at: Dict[int, Mapping] = {}
         swap_count = 0
         stall = 0
         stall_limit = max(16, 6 * coupling.diameter())
 
         while not frontier.done():
-            if self._execute_ready(dag, frontier, coupling, mapping,
-                                   routed, mapping_at):
+            if self._execute_ready(dag, frontier, coupling, mapping, routed,
+                                   timeline, layer_of, unexecuted_by_layer):
                 stall = 0
                 continue
             if frontier.done():
                 break
             if stall >= stall_limit:
-                forced = _force_route_one(dag, frontier, coupling, mapping, routed)
+                forced = _force_route_one(dag, frontier, coupling, mapping,
+                                          routed, timeline)
                 swap_count += forced
                 stall = 0
                 continue
-            swap = self._best_swap(dag, frontier, layer_of, coupling, mapping, dist)
+            swap = self._best_swap(dag, frontier, layer_of, coupling, mapping,
+                                   unexecuted_by_layer, weights)
             mapping.swap_physical(*swap)
             routed.append((-1, Gate("swap", swap)))
+            timeline.record_swap(*swap)
             swap_count += 1
             stall += 1
 
         transpiled = weave_transpiled(
             coupling.num_qubits, routed, bundles, tail,
-            mapping_at=mapping_at, final_mapping=mapping,
+            mapping_at=timeline, final_mapping=mapping,
             name=f"{circuit.name}_{self.name}",
         )
         return QLSResult(
@@ -114,65 +189,173 @@ class TketLikeRouter(QLSTool):
     def _execute_ready(dag: DependencyDag, frontier: ExecutionFrontier,
                        coupling: CouplingGraph, mapping: Mapping,
                        routed: List[Tuple[int, Gate]],
-                       mapping_at: Dict[int, Mapping]) -> bool:
+                       timeline: MappingTimeline,
+                       layer_of: Sequence[int],
+                       unexecuted_by_layer: List[List[int]]) -> bool:
+        # Executes satisfiable gates in ascending node order, pass by pass.
+        # After the first sweep the mapping is unchanged, so only the gates
+        # released by an execution can become satisfiable — later sweeps
+        # iterate the released lists instead of re-sorting the whole front.
+        pi = mapping.forward
+        ops = dag.op_pairs
+        adj = coupling.neighbors
         progressed = False
-        again = True
-        while again:
-            again = False
-            for node in sorted(frontier.front):
-                g = dag.gates[node]
-                p1, p2 = mapping.phys(g[0]), mapping.phys(g[1])
-                if coupling.has_edge(p1, p2):
-                    frontier.execute(node)
-                    routed.append((node, g.remap({g[0]: p1, g[1]: p2})))
-                    mapping_at[node] = mapping.copy()
-                    again = True
+        worklist: Sequence[int] = frontier.front_sorted()
+        while worklist:
+            released_all: List[int] = []
+            for node in worklist:
+                a, b = ops[node]
+                p1, p2 = pi[a], pi[b]
+                if p2 in adj(p1):
+                    released_all.extend(frontier.execute(node))
+                    unexecuted_by_layer[layer_of[node]].remove(node)
+                    routed.append((node, dag.gates[node].remap({a: p1, b: p2})))
+                    timeline.record_gate(node)
                     progressed = True
+            worklist = sorted(released_all)
         return progressed
 
     def _best_swap(self, dag: DependencyDag, frontier: ExecutionFrontier,
-                   layer_of: List[int], coupling: CouplingGraph,
-                   mapping: Mapping, dist) -> Edge:
+                   layer_of: Sequence[int], coupling: CouplingGraph,
+                   mapping: Mapping,
+                   unexecuted_by_layer: List[List[int]],
+                   weights: Optional[List[int]]) -> Edge:
         """Candidate SWAP minimizing the decayed multi-slice distance cost."""
-        # Group the unexecuted gates of the next few slices.
-        pending: Dict[int, List[int]] = {}
-        executed = frontier.executed
+        params = self.params
+        slices = params.lookahead_slices
+        pi = mapping.forward
+        ops = dag.op_pairs
         base_layer = min(layer_of[n] for n in frontier.front)
-        horizon = base_layer + self.params.lookahead_slices
-        for node in range(len(dag)):
-            if node in executed:
-                continue
-            layer = layer_of[node]
-            if base_layer <= layer < horizon:
-                pending.setdefault(layer - base_layer, []).append(node)
+
+        # Pending gate operand positions per relative slice (the mapping is
+        # fixed for the whole decision, so positions are computed once and
+        # shared by every candidate).
+        spos: List[List[Tuple[int, int]]] = []
+        for s in range(slices):
+            layer = base_layer + s
+            if layer < len(unexecuted_by_layer):
+                spos.append([
+                    (pi[ops[n][0]], pi[ops[n][1]])
+                    for n in unexecuted_by_layer[layer]
+                ])
+            else:
+                spos.append([])
 
         candidates = set()
         for node in frontier.front:
             for q in dag.gates[node].qubits:
-                p = mapping.phys(q)
+                p = pi[q]
                 for nbr in coupling.neighbors(p):
                     candidates.add((p, nbr) if p < nbr else (nbr, p))
         if not candidates:
             raise QLSError("no candidate swaps available")
+        ordered = sorted(candidates)
 
-        def cost(swap: Edge) -> float:
-            p1, p2 = swap
+        if weights is None:
+            return self._best_swap_float(coupling, ordered, spos)
+        if coupling.num_qubits > params.vectorize_above:
+            totals = self._score_vectorised(coupling, ordered, spos, weights)
+        else:
+            totals = self._score_delta(coupling, ordered, spos, weights)
+        best = min(totals)
+        tied = [c for c, t in zip(ordered, totals) if t == best]
+        if len(tied) == 1:
+            return tied[0]
+        # Exact integer ties: the reference implementation separates them by
+        # float rounding noise.  Re-score only the tied candidates with the
+        # reference operation sequence to reproduce its pick bit for bit.
+        return self._best_swap_float(coupling, tied, spos)
 
-            def position(q: int) -> int:
-                p = mapping.phys(q)
-                if p == p1:
-                    return p2
-                if p == p2:
-                    return p1
-                return p
+    def _score_delta(self, coupling: CouplingGraph, ordered: Sequence[Edge],
+                     spos: Sequence[Sequence[Tuple[int, int]]],
+                     weights: Sequence[int]) -> List[int]:
+        """Exact-integer delta scoring: O(touched gates) per candidate."""
+        dist = coupling.distance_rows
+        flat_a: List[int] = []
+        flat_b: List[int] = []
+        flat_w: List[int] = []
+        touch: Dict[int, List[int]] = {}
+        base = 0
+        for s, positions in enumerate(spos):
+            w = weights[s]
+            for pa, pb in positions:
+                i = len(flat_a)
+                flat_a.append(pa)
+                flat_b.append(pb)
+                flat_w.append(w)
+                base += w * dist[pa][pb]
+                touch.setdefault(pa, []).append(i)
+                touch.setdefault(pb, []).append(i)
+        totals: List[int] = []
+        for p1, p2 in ordered:
+            l1 = touch.get(p1)
+            l2 = touch.get(p2)
+            touched = (set(l1) | set(l2)) if (l1 and l2) else (l1 or l2 or ())
+            delta = 0
+            for i in touched:
+                pa = flat_a[i]
+                pb = flat_b[i]
+                npa = p2 if pa == p1 else (p1 if pa == p2 else pa)
+                npb = p2 if pb == p1 else (p1 if pb == p2 else pb)
+                delta += flat_w[i] * (dist[npa][npb] - dist[pa][pb])
+            totals.append(base + delta)
+        return totals
 
+    @staticmethod
+    def _score_vectorised(coupling: CouplingGraph, ordered: Sequence[Edge],
+                          spos: Sequence[Sequence[Tuple[int, int]]],
+                          weights: Sequence[int]) -> List[int]:
+        """Numpy candidate scoring — same exact integers as `_score_delta`.
+
+        Scores the full (candidate × pending gate) grid in one shot; on
+        200+-qubit devices the candidate set is large enough that the
+        vectorised gather beats the per-candidate python loop.
+        """
+        import numpy as np
+
+        pa = np.array([p for positions in spos for p, _ in positions],
+                      dtype=np.int64)
+        pb = np.array([p for positions in spos for _, p in positions],
+                      dtype=np.int64)
+        w = np.array([weights[s] for s, positions in enumerate(spos)
+                      for _ in positions], dtype=np.int64)
+        if pa.size == 0:
+            return [0] * len(ordered)
+        dist = coupling.distance_matrix.astype(np.int64, copy=False)
+        p1 = np.array([c[0] for c in ordered], dtype=np.int64)[:, None]
+        p2 = np.array([c[1] for c in ordered], dtype=np.int64)[:, None]
+        npa = np.where(pa == p1, p2, np.where(pa == p2, p1, pa))
+        npb = np.where(pb == p1, p2, np.where(pb == p2, p1, pb))
+        totals = (w * dist[npa, npb]).sum(axis=1)
+        return totals.tolist()
+
+    def _best_swap_float(self, coupling: CouplingGraph,
+                         ordered: Sequence[Edge],
+                         spos: Sequence[Sequence[Tuple[int, int]]]) -> Edge:
+        """Reference float scoring, first strict minimum in candidate order.
+
+        Replays the reference implementation's exact float operation
+        sequence — per slice, per pending gate, ``total += weight * dist``
+        with ``weight`` decayed once per slice — so the returned pick (and
+        its tie-break by candidate order) is bit-identical to the
+        pre-rebuild router.  Used as the full scoring path for irrational
+        decays and as the tie-breaker for the exact-integer paths.
+        """
+        decay = self.params.slice_decay
+        dist = coupling.distance_rows
+        best_swap: Optional[Edge] = None
+        best_cost = float("inf")
+        for p1, p2 in ordered:
             total = 0.0
             weight = 1.0
-            for slice_index in range(self.params.lookahead_slices):
-                for node in pending.get(slice_index, ()):
-                    g = dag.gates[node]
-                    total += weight * dist[position(g[0])][position(g[1])]
-                weight *= self.params.slice_decay
-            return total
-
-        return min(sorted(candidates), key=cost)
+            for positions in spos:
+                for pa, pb in positions:
+                    npa = p2 if pa == p1 else (p1 if pa == p2 else pa)
+                    npb = p2 if pb == p1 else (p1 if pb == p2 else pb)
+                    total += weight * dist[npa][npb]
+                weight *= decay
+            if total < best_cost:
+                best_cost = total
+                best_swap = (p1, p2)
+        assert best_swap is not None
+        return best_swap

@@ -6,8 +6,8 @@ import pytest
 
 from repro.arch import get_architecture
 from repro.circuit import QuantumCircuit
-from repro.evalx import evaluate
-from repro.qls import QLSResult, QLSTool, SabreLayout
+from repro.evalx import WorkerPool, evaluate
+from repro.qls import LightSabre, QLSResult, QLSTool, SabreLayout, TketLikeRouter
 from repro.qubikos import Mapping, generate
 
 
@@ -84,3 +84,134 @@ class TestEvaluate:
     def test_validation_can_be_skipped(self, instances):
         run = evaluate([_CheatingTool()], instances, validate=False)
         assert all(r.valid for r in run.records)  # trusted blindly
+        assert all(r.validation_seconds == 0.0 for r in run.records)
+
+    def test_runtime_excludes_validation_time(self, instances):
+        run = evaluate([SabreLayout(seed=0)], instances)
+        for record in run.records:
+            assert record.runtime_seconds > 0
+            assert record.validation_seconds > 0  # timed, but separately
+
+
+class _ValidationBomb(QLSTool):
+    """Returns gates on wildly out-of-range physical qubits.
+
+    ``validate_transpiled`` then crashes (IndexError in the adjacency
+    lookup) — the harness must isolate that as a *validation* failure
+    without inflating the tool's ``runtime_seconds``.
+    """
+
+    name = "valbomb"
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        from repro.circuit import cx
+
+        bad = QuantumCircuit(coupling.num_qubits + 500)
+        bad.append(cx(coupling.num_qubits + 400, coupling.num_qubits + 401))
+        return QLSResult(
+            tool=self.name, circuit=bad,
+            initial_mapping=Mapping.identity(circuit.num_qubits),
+            swap_count=0,
+        )
+
+
+class _UnpicklableTool(QLSTool):
+    """Cannot cross a process boundary — must fall back to the parent."""
+
+    name = "unpicklable"
+
+    def __init__(self):
+        import threading
+
+        self.lock = threading.Lock()  # pickling this raises TypeError
+        self.inner = SabreLayout(seed=0)
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        result = self.inner.run(circuit, coupling, initial_mapping)
+        result.tool = self.name
+        return result
+
+
+class _DeadPool:
+    """Pool whose submissions always fail — forces the serial fallback."""
+
+    workers = 2
+
+    def submit(self, fn, *args):
+        from concurrent.futures import BrokenExecutor
+
+        raise BrokenExecutor("pool is gone")
+
+
+class TestParallelEvaluate:
+    def test_records_identical_to_serial(self, instances):
+        tools = [_BrokenTool(), SabreLayout(seed=0), TketLikeRouter(seed=1)]
+        serial = evaluate(tools, instances)
+        seen = []
+        parallel = evaluate(tools, instances, workers=2, progress=seen.append)
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
+        # progress streams every record (completion order may differ).
+        assert len(seen) == len(serial.records)
+        assert {r.result_key() for r in seen} == \
+            {r.result_key() for r in serial.records}
+
+    def test_router_only_parallel(self, instances):
+        serial = evaluate([SabreLayout(seed=0)], instances, router_only=True)
+        parallel = evaluate([SabreLayout(seed=0)], instances,
+                            router_only=True, workers=2)
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
+        assert all(r.router_only for r in parallel.records)
+
+    def test_lightsabre_shares_the_suite_pool(self, instances):
+        tool = LightSabre(trials=3, seed=9)
+        serial = evaluate([tool], instances[:1])
+        with WorkerPool(2) as pool:
+            parallel = evaluate([tool], instances[:1], pool=pool)
+        assert tool.pool is None  # unbound after the run
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
+
+    def test_caller_owned_pool_reused_across_calls(self, instances):
+        with WorkerPool(2) as pool:
+            first = evaluate([SabreLayout(seed=0)], instances, pool=pool)
+            second = evaluate([SabreLayout(seed=0)], instances, pool=pool)
+        assert [r.result_key() for r in first.records] == \
+            [r.result_key() for r in second.records]
+
+    def test_unpicklable_pair_reruns_in_parent(self, instances):
+        tools = [_UnpicklableTool(), SabreLayout(seed=0)]
+        serial = evaluate(tools, instances)
+        parallel = evaluate(tools, instances, workers=2)
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
+        assert all(r.valid for r in parallel.records)
+
+    def test_broken_pool_falls_back_to_serial(self, instances):
+        serial = evaluate([SabreLayout(seed=0)], instances)
+        fallback = evaluate([SabreLayout(seed=0)], instances, pool=_DeadPool())
+        assert [r.result_key() for r in fallback.records] == \
+            [r.result_key() for r in serial.records]
+
+    def test_pool_submit_after_shutdown_raises(self):
+        from concurrent.futures import BrokenExecutor
+
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(BrokenExecutor):
+            pool.submit(int)
+
+    def test_validation_crash_isolated_and_timed_separately(self, instances):
+        run = evaluate([_ValidationBomb()], instances[:1])
+        (record,) = run.records
+        assert not record.valid
+        assert record.error.startswith("validation ")
+        assert record.validation_seconds > 0
+        assert record.observed_swaps == 0  # the tool's own report survives
+
+    def test_result_key_normalises_nan(self, instances):
+        first = evaluate([_BrokenTool()], instances[:1])
+        second = evaluate([_BrokenTool()], instances[:1])
+        assert first.records[0].result_key() == second.records[0].result_key()
+        assert math.isnan(first.records[0].swap_ratio)

@@ -13,16 +13,20 @@ import random
 
 import pytest
 
-from repro.arch import get_architecture
+from repro.arch import get_architecture, grid
 from repro.circuit import QuantumCircuit
 from repro.circuit.dag import DependencyDag, ExecutionFrontier
 from repro.qls import (
+    AStarMapper,
     LightSabre,
     SabreLayout,
     SabreParameters,
+    TketLikeRouter,
+    TketParameters,
     route,
     validate_transpiled,
 )
+from repro.qls import tketlike as tketlike_module
 from repro.qubikos import Mapping, MappingTimeline, generate
 
 #: (architecture, qubikos swaps, two-qubit gates, generator seed).
@@ -56,6 +60,38 @@ GOLDEN = {
         "route_swaps": 1743, "route_hash": "4292e95c2c8d6774",
         "layout_swaps": 692, "layout_hash": "154d570975fca5f1",
         "light_swaps": 625, "light_winner": 1, "light_hash": "e95de20c0227e163",
+    },
+}
+
+
+#: Captured from the reference (pre-rebuild) tket-like and A* routers with
+#: fixed seeds, *before* their incremental/delta-scoring rebuild: full runs
+#: with seed 13 and router-only runs pinned to the instance's optimal
+#: mapping.  The rebuilt routers must reproduce these bit for bit.
+ROUTER_GOLDEN = {
+    "aspen4": {
+        "tket_swaps": 66, "tket_hash": "17845f9221ee9615",
+        "tket_pinned_swaps": 3, "tket_pinned_hash": "8d8f6e94637a5707",
+        "astar_swaps": 113, "astar_hash": "db555b9e4c44e0a3",
+        "astar_pinned_swaps": 7, "astar_pinned_hash": "6892e58ec6b1c52d",
+    },
+    "sycamore54": {
+        "tket_swaps": 139, "tket_hash": "18bb94b599f72899",
+        "tket_pinned_swaps": 4, "tket_pinned_hash": "23551bd75bb45fc4",
+        "astar_swaps": 236, "astar_hash": "b569eae0880b5d35",
+        "astar_pinned_swaps": 6, "astar_pinned_hash": "0c18fc56e4e59f20",
+    },
+    "rochester53": {
+        "tket_swaps": 250, "tket_hash": "ad557c73b39c2eca",
+        "tket_pinned_swaps": 4, "tket_pinned_hash": "1c16cc28e76ce997",
+        "astar_swaps": 450, "astar_hash": "2411901dd0ac2a23",
+        "astar_pinned_swaps": 8, "astar_pinned_hash": "604b8ac11d68d040",
+    },
+    "eagle127": {
+        "tket_swaps": 1146, "tket_hash": "a4bc609146facb4a",
+        "tket_pinned_swaps": 3, "tket_pinned_hash": "69fe217f21c5192d",
+        "astar_swaps": 1962, "astar_hash": "ed3154613ba5c3ac",
+        "astar_pinned_swaps": 14, "astar_pinned_hash": "2852ae6389161b1f",
     },
 }
 
@@ -113,6 +149,94 @@ class TestSeedEquivalence:
         assert circuit_hash(result.circuit) == GOLDEN[arch]["light_hash"]
 
 
+class TestRouterSeedEquivalence:
+    """tket-like and A* rebuilds must match the pre-rebuild goldens."""
+
+    def test_tketlike_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = TketLikeRouter(seed=13).run(inst.circuit, device)
+        assert result.swap_count == ROUTER_GOLDEN[arch]["tket_swaps"]
+        assert circuit_hash(result.circuit) == ROUTER_GOLDEN[arch]["tket_hash"]
+        report = validate_transpiled(inst.circuit, result.circuit, device,
+                                     result.initial_mapping)
+        assert report.valid, report.error
+
+    def test_tketlike_router_only_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = TketLikeRouter(seed=13).run(inst.circuit, device,
+                                             initial_mapping=inst.mapping())
+        assert result.swap_count == ROUTER_GOLDEN[arch]["tket_pinned_swaps"]
+        assert circuit_hash(result.circuit) == \
+            ROUTER_GOLDEN[arch]["tket_pinned_hash"]
+
+    def test_astar_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = AStarMapper(seed=13).run(inst.circuit, device)
+        assert result.swap_count == ROUTER_GOLDEN[arch]["astar_swaps"]
+        assert circuit_hash(result.circuit) == ROUTER_GOLDEN[arch]["astar_hash"]
+        report = validate_transpiled(inst.circuit, result.circuit, device,
+                                     result.initial_mapping)
+        assert report.valid, report.error
+
+    def test_astar_router_only_matches_reference(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = AStarMapper(seed=13).run(inst.circuit, device,
+                                          initial_mapping=inst.mapping())
+        assert result.swap_count == ROUTER_GOLDEN[arch]["astar_pinned_swaps"]
+        assert circuit_hash(result.circuit) == \
+            ROUTER_GOLDEN[arch]["astar_pinned_hash"]
+
+
+class TestTketScoringPaths:
+    """The three tket-like scoring paths must make identical decisions."""
+
+    def test_float_fallback_matches_exact_integers(self, monkeypatch, aspen,
+                                                   aspen_instance):
+        exact = TketLikeRouter(seed=13).run(aspen_instance.circuit, aspen)
+        monkeypatch.setattr(tketlike_module, "_exact_slice_weights",
+                            lambda decay, slices: None)
+        floats = TketLikeRouter(seed=13).run(aspen_instance.circuit, aspen)
+        assert floats.swap_count == exact.swap_count
+        assert floats.circuit == exact.circuit
+
+    def test_vectorised_matches_delta_scoring(self, aspen, aspen_instance):
+        scalar = TketLikeRouter(seed=13).run(aspen_instance.circuit, aspen)
+        forced = TketLikeRouter(
+            params=TketParameters(vectorize_above=0), seed=13
+        ).run(aspen_instance.circuit, aspen)
+        assert forced.swap_count == scalar.swap_count
+        assert forced.circuit == scalar.circuit
+
+    def test_large_device_uses_vector_path_by_default(self):
+        device = grid(15, 15)  # 225 qubits > vectorize_above default of 200
+        inst = generate(device, num_swaps=2, num_two_qubit_gates=30, seed=3)
+        default = TketLikeRouter(seed=13).run(inst.circuit, device)
+        scalar = TketLikeRouter(
+            params=TketParameters(vectorize_above=10 ** 9), seed=13
+        ).run(inst.circuit, device)
+        assert default.swap_count == scalar.swap_count
+        assert default.circuit == scalar.circuit
+        report = validate_transpiled(inst.circuit, default.circuit, device,
+                                     default.initial_mapping)
+        assert report.valid, report.error
+
+    def test_exact_weights_detection(self):
+        weights = tketlike_module._exact_slice_weights(0.6, 4)
+        assert weights == [125, 75, 45, 27]  # (3/5)^s scaled by 5^3
+        assert tketlike_module._exact_slice_weights(0.5, 3) == [4, 2, 1]
+        assert tketlike_module._exact_slice_weights(0.7071067811865476, 4) is None
+        assert tketlike_module._exact_slice_weights(-0.5, 4) is None
+
+    def test_irrational_decay_still_routes_validly(self, aspen, aspen_instance):
+        params = TketParameters(slice_decay=0.7071067811865476)
+        result = TketLikeRouter(params=params, seed=13).run(
+            aspen_instance.circuit, aspen
+        )
+        report = validate_transpiled(aspen_instance.circuit, result.circuit,
+                                     aspen, result.initial_mapping)
+        assert report.valid, report.error
+
+
 class TestParallelTrials:
     def test_parallel_matches_serial(self, aspen, aspen_instance):
         serial = LightSabre(trials=4, seed=6).run(aspen_instance.circuit, aspen)
@@ -135,6 +259,84 @@ class TestParallelTrials:
     def test_workers_validation(self):
         with pytest.raises(ValueError):
             LightSabre(trials=2, workers=-1)
+
+
+class _InlinePool:
+    """Shared-pool stand-in running submissions synchronously in-process.
+
+    Submissions whose ordinal is in ``fail_indices`` never run; their future
+    carries a ``BrokenExecutor`` — the observable shape of a pool whose
+    worker was killed mid-run.
+    """
+
+    def __init__(self, workers, fail_indices=()):
+        self.workers = workers
+        self.fail_indices = set(fail_indices)
+        self.submitted = 0
+
+    def submit(self, fn, *args):
+        from concurrent.futures import BrokenExecutor, Future
+
+        index = self.submitted
+        self.submitted += 1
+        future = Future()
+        if index in self.fail_indices:
+            future.set_exception(BrokenExecutor("worker killed"))
+        else:
+            future.set_result(fn(*args))
+        return future
+
+
+class TestChunkFailureRecovery:
+    """A dead chunk must be re-run alone; completed chunks are preserved."""
+
+    def test_failed_chunk_rerun_preserves_completed_work(
+            self, monkeypatch, aspen, aspen_instance):
+        from repro.qls import lightsabre as lightsabre_module
+
+        serial = LightSabre(trials=6, seed=3).run(aspen_instance.circuit, aspen)
+
+        chunk_log = []
+        real_chunk = lightsabre_module._run_trial_chunk
+
+        def spy(circuit, coupling, params, initial_mapping, indexed_seeds):
+            chunk_log.append([index for index, _ in indexed_seeds])
+            return real_chunk(circuit, coupling, params, initial_mapping,
+                              indexed_seeds)
+
+        monkeypatch.setattr(lightsabre_module, "_run_trial_chunk", spy)
+        pool = _InlinePool(workers=3, fail_indices={1})
+        tool = LightSabre(trials=6, seed=3, pool=pool)
+        result = tool.run(aspen_instance.circuit, aspen)
+
+        assert result.swap_count == serial.swap_count
+        assert result.metadata["winning_trial"] == serial.metadata["winning_trial"]
+        assert result.circuit == serial.circuit
+        assert result.metadata["retried_chunks"] == 1
+        assert result.metadata["workers"] == 2
+        # Trials 0..5 split over 3 chunks: [0, 3], [1, 4], [2, 5].  The
+        # killed chunk [1, 4] runs exactly once — serially, after the two
+        # surviving chunks — and neither survivor is recomputed.
+        assert chunk_log == [[0, 3], [2, 5], [1, 4]]
+
+    def test_all_chunks_failing_degrades_to_serial_rerun(self, aspen,
+                                                         aspen_instance):
+        serial = LightSabre(trials=4, seed=6).run(aspen_instance.circuit, aspen)
+        pool = _InlinePool(workers=2, fail_indices={0, 1})
+        result = LightSabre(trials=4, seed=6, pool=pool).run(
+            aspen_instance.circuit, aspen
+        )
+        assert result.swap_count == serial.swap_count
+        assert result.metadata["winning_trial"] == serial.metadata["winning_trial"]
+        assert result.metadata["retried_chunks"] == 2
+
+    def test_shared_pool_not_pickled(self):
+        import pickle
+
+        tool = LightSabre(trials=2, seed=1, pool=_InlinePool(workers=2))
+        clone = pickle.loads(pickle.dumps(tool))
+        assert clone.pool is None
+        assert clone.trials == 2 and clone.seed == 1
 
 
 class TestMappingTimeline:
