@@ -1,0 +1,72 @@
+"""Pipeline-registry smoke check (run with ``--pipeline-smoke``).
+
+Runs one tiny QUBIKOS instance through *every* registered pipeline preset
+spec — full mode and, for presets that accept a pin, router-only mode —
+and replay-validates each result, so a broken registry entry (bad factory
+arguments, a stage that stopped composing, an unwoven routed stream) fails
+fast at tier-1 cost::
+
+    pytest benchmarks --pipeline-smoke
+
+The companion coverage assertion guarantees the presets collectively
+exercise every registered stage: registering a new pass without wiring it
+into at least one preset is itself a failure.
+"""
+
+from repro.arch import get_architecture
+from repro.pipeline import PipelineTool, build_pipeline, list_passes, list_specs, parse_spec
+from repro.qls import validate_transpiled
+from repro.qubikos import generate
+
+from conftest import print_banner
+
+
+def _tiny_instance():
+    device = get_architecture("grid3x3")
+    return device, generate(device, num_swaps=2, num_two_qubit_gates=24,
+                            seed=31)
+
+
+def test_pipeline_smoke_every_registered_spec():
+    device, inst = _tiny_instance()
+    rows = []
+    for alias, spec in sorted(list_specs().items()):
+        tool = PipelineTool(build_pipeline(spec, seed=5), name=alias)
+        result = tool.run(inst.circuit, device)
+        report = validate_transpiled(inst.circuit, result.circuit, device,
+                                     result.initial_mapping)
+        assert report.valid, f"{alias} ({spec}): {report.error}"
+        assert report.swap_count == result.swap_count, alias
+        assert result.stages, alias
+        rows.append((alias, spec, result.swap_count,
+                     sum(s.seconds for s in result.stages)))
+    print_banner("pipeline-smoke — every registered spec routes validly")
+    for alias, spec, swaps, seconds in rows:
+        print(f"  {alias:<16} {spec:<44} swaps={swaps:<4} {seconds:.3f}s")
+
+
+def test_pipeline_smoke_router_only_specs():
+    """Pinned (router-only) mode through each preset: the pin must win."""
+    device, inst = _tiny_instance()
+    for alias, spec in sorted(list_specs().items()):
+        tool = PipelineTool(build_pipeline(spec, seed=5), name=alias)
+        result = tool.run(inst.circuit, device,
+                          initial_mapping=inst.mapping())
+        assert result.initial_mapping == inst.mapping(), alias
+        report = validate_transpiled(inst.circuit, result.circuit, device,
+                                     result.initial_mapping)
+        assert report.valid, f"{alias} ({spec}) pinned: {report.error}"
+
+
+def test_pipeline_smoke_presets_cover_every_stage():
+    """Every registered pass must appear in at least one preset spec."""
+    covered = set()
+    for spec in list_specs().values():
+        covered.update(name for name, _ in parse_spec(spec))
+    registered = {info.name for info in list_passes()}
+    missing = registered - covered
+    assert not missing, (
+        f"registered stages missing from every preset spec: {sorted(missing)}"
+        " — add a preset exercising them (register_spec) so --pipeline-smoke"
+        " covers the whole registry"
+    )

@@ -22,24 +22,42 @@ def pytest_addoption(parser):
         help="run only the tiny parallel-vs-serial harness equivalence "
              "check (tier-1 CI scale); every heavy benchmark is skipped",
     )
+    parser.addoption(
+        "--pipeline-smoke", action="store_true", default=False,
+        help="run only the tiny every-registered-pipeline-spec check "
+             "(tier-1 CI scale); every heavy benchmark is skipped",
+    )
+
+
+#: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
+#: tests whose name contains its marker; without any flag the smoke tests
+#: are skipped (they duplicate what the heavy benchmarks prove).
+SMOKE_GATES = {
+    "--perf-smoke": "perf_smoke",
+    "--pipeline-smoke": "pipeline_smoke",
+}
 
 
 def pytest_collection_modifyitems(config, items):
-    """``--perf-smoke`` inverts the default selection.
+    """Smoke flags invert the default selection.
 
-    Normally the smoke check is skipped (it duplicates what the heavy
-    harness benchmark proves); with the flag, *only* tests named
-    ``*perf_smoke*`` run, so ``pytest benchmarks --perf-smoke`` is cheap
-    enough for tier-1 CI.
+    Normally the smoke checks are skipped; with ``--perf-smoke`` and/or
+    ``--pipeline-smoke``, *only* the matching ``*_smoke`` tests run, so
+    ``pytest benchmarks --perf-smoke --pipeline-smoke`` is cheap enough
+    for tier-1 CI.
     """
-    smoke = config.getoption("--perf-smoke")
-    skip_heavy = pytest.mark.skip(reason="skipped in --perf-smoke mode")
-    skip_smoke = pytest.mark.skip(reason="enable with --perf-smoke")
+    enabled = {marker for flag, marker in SMOKE_GATES.items()
+               if config.getoption(flag)}
+    skip_heavy = pytest.mark.skip(reason="skipped in smoke mode")
+    skip_smoke = pytest.mark.skip(
+        reason="enable with " + " / ".join(SMOKE_GATES)
+    )
     for item in items:
-        is_smoke = "perf_smoke" in item.name
-        if smoke and not is_smoke:
-            item.add_marker(skip_heavy)
-        elif not smoke and is_smoke:
+        markers = {m for m in SMOKE_GATES.values() if m in item.name}
+        if enabled:
+            if not (markers & enabled):
+                item.add_marker(skip_heavy)
+        elif markers:
             item.add_marker(skip_smoke)
 
 

@@ -10,11 +10,18 @@ Run:  python examples/evaluate_tools.py [architecture] [workers]
 
 ``workers`` > 1 fans the (tool, instance) grid — and LightSABRE's trials —
 over one shared process pool; results are identical to the serial run.
+
+The paper tools are themselves pipeline constructions now
+(``repro.pipeline``); this example also appends one mix-and-match pipeline
+— greedy-degree placement feeding plain SABRE routing — built from a spec
+string, to show that any placer x router composition rides the same
+harness as the monolithic tools.
 """
 
 import sys
 
 from repro.evalx import evaluate, figure4_table, validity_summary
+from repro.pipeline import PipelineTool, build_pipeline
 from repro.qls import paper_tools
 from repro.qubikos import SuiteSpec, build_suite
 
@@ -33,6 +40,8 @@ def main(architecture: str = "aspen4", workers: int = 0) -> None:
         print(f"  {instance.name}: {instance.num_two_qubit_gates()} gates")
 
     tools = paper_tools(seed=5, sabre_trials=4)
+    # Mix-and-match: any registered placement + routing stage composes.
+    tools.append(PipelineTool(build_pipeline("greedy+sabre", seed=5)))
     mode = f"{workers} workers" if workers > 1 else "serial"
     print(f"running {len(tools)} tools x {len(instances)} instances ({mode})...")
     run = evaluate(tools, instances, workers=workers or None)

@@ -7,11 +7,20 @@ This example (1) scores all four tools in router-only mode, and (2) finds
 an instance where SABRE — even from the optimal placement — routes
 suboptimally, and prints the cost table explaining why (Figure 5).
 
+Router-only mode is a pipeline-native idea: ``evaluate(router_only=True)``
+pins each instance's optimal mapping before the first pass runs, so layout
+stages skip themselves and only routing quality is measured.  To make that
+visible, the panel below adds one decomposed pipeline — the low-level
+SABRE routing kernel between explicit skeleton-split and reinsert stages —
+next to the monolithic paper tools; from a pinned mapping it reproduces
+``SabreLayout`` decision for decision.
+
 Run:  python examples/router_case_study.py
 """
 
 from repro.analysis import explain, find_suboptimal_case
 from repro.evalx import evaluate, figure4_table
+from repro.pipeline import PipelineTool, build_pipeline
 from repro.qls import paper_tools
 from repro.qubikos import SuiteSpec, build_suite
 
@@ -26,6 +35,10 @@ def router_only_panel() -> None:
     )
     instances = build_suite(spec)
     tools = paper_tools(seed=3, sabre_trials=4)
+    tools.append(PipelineTool(
+        build_pipeline("skeleton+sabre-route+reinsert+validate", seed=3),
+        name="sabre-staged",
+    ))
     run = evaluate(tools, instances, router_only=True)
     print("== router-only mode: tools start from the optimal mapping ==")
     print(figure4_table(run, "sycamore54"))

@@ -18,7 +18,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import arch, circuit, graphs, qubikos, qls, sat, evalx, analysis
+from . import arch, circuit, graphs, qubikos, qls, pipeline, sat, evalx, analysis
 
 __all__ = [
     "arch",
@@ -26,6 +26,7 @@ __all__ = [
     "graphs",
     "qubikos",
     "qls",
+    "pipeline",
     "sat",
     "evalx",
     "analysis",

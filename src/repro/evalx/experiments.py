@@ -12,8 +12,18 @@ Usage::
     python -m repro.evalx.experiments decay-ablation
     python -m repro.evalx.experiments router     # router-only evaluation
 
-Defaults are laptop-scale; ``--per-point`` / ``--gate-scale`` /
-``--sabre-trials`` reach toward paper scale.
+Discovery and pipeline selection::
+
+    python -m repro.evalx.experiments --list-tools
+    python -m repro.evalx.experiments --list-passes
+    python -m repro.evalx.experiments fig4a --pipeline greedy+sabre \
+        --pipeline lightsabre:trials=16
+
+``--pipeline SPEC`` (repeatable) evaluates the named pipelines instead of
+the four paper tools; any spec accepted by
+:func:`repro.pipeline.build_pipeline` works, including preset aliases from
+``--list-passes``.  Defaults are laptop-scale; ``--per-point`` /
+``--gate-scale`` / ``--sabre-trials`` reach toward paper scale.
 """
 
 from __future__ import annotations
@@ -24,7 +34,8 @@ import time
 from typing import List, Optional, Sequence
 
 from ..arch.library import PAPER_ARCHITECTURES, get_architecture
-from ..qls import ExactSolver, paper_tools
+from ..pipeline import PipelineTool, build_pipeline, list_passes, list_specs
+from ..qls import ExactSolver, available_tools, paper_tools
 from ..qubikos.generator import generate
 from ..qubikos.suite import SuiteSpec, build_suite, evaluation_spec
 from ..qubikos.verify import verify_certificate
@@ -84,15 +95,47 @@ def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True) ->
     return summary
 
 
+def build_pipeline_tools(specs: Sequence[str], seed: int) -> List[PipelineTool]:
+    """One :class:`PipelineTool` per ``--pipeline`` spec string."""
+    return [PipelineTool(build_pipeline(spec, seed=seed)) for spec in specs]
+
+
+def print_tool_list() -> None:
+    """``--list-tools``: every registered QLS tool class."""
+    print("Registered layout-synthesis tools (repro.qls):")
+    for name, cls in sorted(available_tools().items()):
+        summary = next(iter((cls.__doc__ or "").strip().splitlines()), "")
+        print(f"  {name:<12} {cls.__name__:<16} {summary}")
+    print()
+    print("paper_tools() evaluates: lightsabre, mlqls, astar, tketlike")
+
+
+def print_pass_list() -> None:
+    """``--list-passes``: registered pipeline stages and preset specs."""
+    print("Registered pipeline stages (repro.pipeline):")
+    for info in list_passes():
+        alias = f" (alias: {', '.join(info.aliases)})" if info.aliases else ""
+        print(f"  {info.name:<12} [{info.kind:<9}] {info.description}{alias}")
+    print()
+    print("Preset specs (usable as --pipeline arguments):")
+    for alias, spec in sorted(list_specs().items()):
+        print(f"  {alias:<16} = {spec}")
+    print()
+    print('Grammar: stage[:key=value,...] joined by "+", '
+          'e.g. --pipeline greedy+lightsabre:trials=16')
+
+
 def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
-             seed: int, verbose: bool = True, workers: Optional[int] = None):
+             seed: int, verbose: bool = True, workers: Optional[int] = None,
+             tools=None):
     """One Figure 4 panel."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=[arch],
         gate_scale=gate_scale, seed=seed,
     )
     instances = build_suite(spec)
-    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    if tools is None:
+        tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
     run = evaluate(tools, instances, workers=workers)
     if verbose:
         print(figure4_table(run, arch, swap_counts=spec.swap_counts))
@@ -103,7 +146,8 @@ def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
 
 def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
                  seed: int, architectures: Optional[Sequence[str]] = None,
-                 verbose: bool = True, workers: Optional[int] = None):
+                 verbose: bool = True, workers: Optional[int] = None,
+                 tools=None):
     """All four panels + the abstract's aggregate table."""
     archs = list(architectures or PAPER_ARCHITECTURES)
     spec = evaluation_spec(
@@ -111,7 +155,8 @@ def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
         gate_scale=gate_scale, seed=seed,
     )
     instances = build_suite(spec)
-    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    if tools is None:
+        tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
     run = evaluate(tools, instances, workers=workers)
     if verbose:
         print(full_report(run, archs))
@@ -143,14 +188,16 @@ def run_decay_ablation(per_point: int, verbose: bool = True):
 
 
 def run_router(per_point: int, gate_scale: float, sabre_trials: int,
-               seed: int, verbose: bool = True, workers: Optional[int] = None):
+               seed: int, verbose: bool = True, workers: Optional[int] = None,
+               tools=None):
     """Router-only evaluation from the known-optimal initial mapping."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=["aspen4", "sycamore54"],
         gate_scale=gate_scale, seed=seed,
     )
     instances = build_suite(spec)
-    tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
+    if tools is None:
+        tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
     run = evaluate(tools, instances, router_only=True, workers=workers)
     if verbose:
         print("Router-only mode (optimal initial mapping supplied)")
@@ -160,10 +207,18 @@ def run_router(per_point: int, gate_scale: float, sabre_trials: int,
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("experiment", choices=[
+    parser.add_argument("experiment", nargs="?", choices=[
         "e1", "fig4a", "fig4b", "fig4c", "fig4d", "headline",
         "case-study", "decay-ablation", "router",
     ])
+    parser.add_argument("--list-tools", action="store_true",
+                        help="list registered QLS tools and exit")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered pipeline stages/presets and exit")
+    parser.add_argument("--pipeline", action="append", metavar="SPEC",
+                        help="evaluate this pipeline spec instead of the "
+                             "paper tools (repeatable); see --list-passes "
+                             "for the grammar and registered stages")
     parser.add_argument("--per-point", type=int, default=3,
                         help="circuits per (arch, swap-count) point "
                              "(paper: 100 for e1, 10 for fig4)")
@@ -179,21 +234,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="e1: total seconds for SAT cross-checks")
     args = parser.parse_args(argv)
 
+    if args.list_tools:
+        print_tool_list()
+    if args.list_passes:
+        if args.list_tools:
+            print()
+        print_pass_list()
+    if args.experiment is None:
+        if args.list_tools or args.list_passes:
+            return 0
+        parser.error("an experiment is required "
+                     "(or use --list-tools / --list-passes)")
+
+    tools = (build_pipeline_tools(args.pipeline, seed=args.seed)
+             if args.pipeline else None)
+    if tools is not None and args.experiment not in (
+            "fig4a", "fig4b", "fig4c", "fig4d", "headline", "router"):
+        parser.error(f"--pipeline is not supported by {args.experiment!r}; "
+                     "it applies to fig4a..fig4d, headline, and router")
     if args.experiment == "e1":
         run_e1(args.per_point, args.exact_budget)
     elif args.experiment in _FIG4_ARCH:
         run_fig4(_FIG4_ARCH[args.experiment], args.per_point, args.gate_scale,
-                 args.sabre_trials, args.seed, workers=args.workers)
+                 args.sabre_trials, args.seed, workers=args.workers,
+                 tools=tools)
     elif args.experiment == "headline":
         run_headline(args.per_point, args.gate_scale, args.sabre_trials,
-                     args.seed, workers=args.workers)
+                     args.seed, workers=args.workers, tools=tools)
     elif args.experiment == "case-study":
         run_case_study()
     elif args.experiment == "decay-ablation":
         run_decay_ablation(args.per_point)
     elif args.experiment == "router":
         run_router(args.per_point, args.gate_scale, args.sabre_trials,
-                   args.seed, workers=args.workers)
+                   args.seed, workers=args.workers, tools=tools)
     return 0
 
 

@@ -1,0 +1,70 @@
+"""Composable compilation pipelines: passes, PropertySet, stage registry.
+
+The pass-based compilation API over the monolithic ``QLSTool.run()``
+surface.  A :class:`Pass` is the unit of work — placement, routing,
+post-processing, validation — threaded through a
+:class:`CompilationContext` (the PropertySet) by a :class:`Pipeline`, which
+emits a :class:`PipelineResult` (a ``QLSResult`` subclass with a per-stage
+breakdown).  The string-spec registry names pipelines declaratively::
+
+    from repro.pipeline import build_pipeline, PipelineTool
+
+    pipe = build_pipeline("greedy+lightsabre:trials=32", seed=7)
+    result = pipe.run(circuit, coupling)            # PipelineResult
+    tool = PipelineTool(pipe)                       # drop-in QLSTool
+    evaluate([tool], instances, workers=8)          # harness-compatible
+
+Determinism contract: a pipeline wrapping a single tool reproduces that
+tool bit for bit (the pinned goldens in
+``tests/qls/test_perf_equivalence.py`` run through both forms), and the
+decomposed ``skeleton+sabre-route+reinsert`` chain matches ``SabreLayout``
+from the same pinned mapping and seed.
+"""
+
+from .context import CompilationContext
+from .passes import (
+    FixedLayoutPass,
+    LayoutPass,
+    Pass,
+    ReinsertPass,
+    RoutingPass,
+    SabreRoutePass,
+    SkeletonPass,
+    ToolPass,
+    ValidatePass,
+)
+from .pipeline import Pipeline, PipelineResult, StageRecord
+from .registry import (
+    PassInfo,
+    build_pipeline,
+    list_passes,
+    list_specs,
+    parse_spec,
+    register_pass,
+    register_spec,
+)
+from .tool import PipelineTool
+
+__all__ = [
+    "CompilationContext",
+    "Pass",
+    "LayoutPass",
+    "FixedLayoutPass",
+    "ToolPass",
+    "RoutingPass",
+    "SkeletonPass",
+    "SabreRoutePass",
+    "ReinsertPass",
+    "ValidatePass",
+    "Pipeline",
+    "PipelineResult",
+    "StageRecord",
+    "PassInfo",
+    "register_pass",
+    "register_spec",
+    "list_passes",
+    "list_specs",
+    "parse_spec",
+    "build_pipeline",
+    "PipelineTool",
+]

@@ -1,0 +1,92 @@
+"""The PropertySet threading state between compilation passes.
+
+A :class:`CompilationContext` travels through every pass of a
+:class:`~repro.pipeline.pipeline.Pipeline` run.  Named attributes carry the
+state every pass cares about (the evolving placement, the swap total, the
+per-pass timings); the dict-style property store carries pass-specific
+intermediates (the routed gate stream, split single-qubit bundles, a
+validation report) that only cooperating passes need to agree on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qubikos.mapping import Mapping
+
+
+class CompilationContext:
+    """Mutable state shared by the passes of one pipeline run.
+
+    Attributes
+    ----------
+    original_circuit:
+        The circuit handed to :meth:`Pipeline.run`, never mutated; passes
+        that compare against the pre-compilation circuit (validation,
+        equivalence debugging) read it from here.
+    coupling:
+        The target device.
+    initial_mapping:
+        The program->physical placement the transpiled circuit starts
+        from.  ``Pipeline.run(initial_mapping=...)`` pins it before any
+        pass executes (router-only mode); otherwise the first layout pass
+        — or the wrapped tool's own placement search — sets it.
+    final_mapping:
+        The placement after the last routed gate, when a pass tracked it.
+    swap_count:
+        The authoritative SWAP total, set by whichever pass routed.
+        ``None`` means "count the gates of the final circuit".
+    timings:
+        Ordered per-pass wall-clock seconds, stamped by the pipeline.
+        Repeated pass names accumulate.
+    metadata:
+        Free-form annotations merged into ``PipelineResult.metadata``.
+    """
+
+    def __init__(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+                 initial_mapping: Optional[Mapping] = None) -> None:
+        self.original_circuit = circuit
+        self.coupling = coupling
+        self.initial_mapping: Optional[Mapping] = (
+            initial_mapping.copy() if initial_mapping is not None else None
+        )
+        #: True when the caller pinned the placement (router-only mode);
+        #: layout passes must not override a pinned mapping.
+        self.pinned = initial_mapping is not None
+        self.final_mapping: Optional[Mapping] = None
+        self.swap_count: Optional[int] = None
+        self.timings: Dict[str, float] = {}
+        self.metadata: Dict[str, object] = {}
+        self._properties: Dict[str, object] = {}
+
+    # -- dict-style property store -------------------------------------------
+
+    def __getitem__(self, key: str) -> object:
+        return self._properties[key]
+
+    def __setitem__(self, key: str, value: object) -> None:
+        self._properties[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._properties
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._properties)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._properties.get(key, default)
+
+    def pop(self, key: str, default: object = None) -> object:
+        return self._properties.pop(key, default)
+
+    def __repr__(self) -> str:
+        mapped = "pinned" if self.pinned else (
+            "placed" if self.initial_mapping is not None else "unplaced"
+        )
+        return (f"CompilationContext({mapped}, swaps={self.swap_count}, "
+                f"properties={sorted(self._properties)})")

@@ -1,0 +1,290 @@
+"""Compilation passes: the composable unit of layout synthesis.
+
+A pass consumes the current circuit, the coupling graph, and the run's
+:class:`~repro.pipeline.context.CompilationContext`, and returns either a
+transformed circuit or ``None`` (state-only passes — layout selection,
+validation).  Four families cover the existing surface:
+
+* :class:`LayoutPass` — the placement strategies of
+  :mod:`repro.qls.initial` (trivial / random / greedy-degree / VF2),
+  writing ``context.initial_mapping`` for a downstream router;
+* :class:`ToolPass` (alias :class:`RoutingPass`) — any
+  :class:`~repro.qls.base.QLSTool` unchanged: the tool receives
+  ``context.initial_mapping`` as its pinned placement, so a preceding
+  layout pass overrides the tool's own placement search while a bare
+  ``ToolPass`` reproduces the monolithic tool bit for bit;
+* decomposed routing — :class:`SkeletonPass` splits off single-qubit
+  gates, :class:`SabreRoutePass` routes the two-qubit skeleton with the
+  low-level :func:`repro.qls.sabre.route`, and :class:`ReinsertPass`
+  weaves the single-qubit gates back (``reinsert.weave_transpiled`` as a
+  post-pass);
+* :class:`ValidatePass` — ``validate_transpiled`` as a post-pass, raising
+  (or recording, with ``strict=False``) on an unfaithful transpilation.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qls.base import QLSError, QLSTool
+from ..qls.initial import (
+    greedy_degree_mapping,
+    random_mapping,
+    trivial_mapping,
+    vf2_mapping,
+)
+from ..qls.reinsert import split_one_qubit_gates, weave_transpiled
+from ..qls.sabre import SabreParameters, route
+from ..qls.validate import validate_transpiled
+from ..qubikos.mapping import Mapping
+from .context import CompilationContext
+
+
+class Pass(abc.ABC):
+    """One stage of a compilation pipeline.
+
+    ``run`` returns the transformed circuit, or ``None`` when the pass only
+    updates the context (layout selection, validation).  Passes must be
+    picklable — pipelines ship whole to worker processes in parallel
+    evaluation — so configuration belongs in instance attributes, not
+    closures.
+    """
+
+    #: Stage identifier used in timings, stage records, and spec strings.
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> Optional[QuantumCircuit]:
+        """Apply the pass to ``circuit`` under ``context``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LayoutPass(Pass):
+    """Initial-placement strategies as a pass.
+
+    Writes ``context.initial_mapping`` unless a mapping is already present
+    (a caller pin or an earlier layout pass wins).  The ``vf2`` method is
+    opportunistic: when no exact embedding exists (every QUBIKOS instance,
+    by construction) it leaves the mapping unset — the downstream router
+    then falls back to its own placement search — and records
+    ``vf2_embedded: False`` in the metadata.
+    """
+
+    METHODS = ("trivial", "random", "greedy", "vf2")
+
+    def __init__(self, method: str, seed: Optional[int] = None) -> None:
+        if method not in self.METHODS:
+            raise ValueError(f"unknown layout method {method!r}; "
+                             f"choose from {self.METHODS}")
+        self.method = method
+        self.seed = seed
+        self.name = f"layout-{method}"
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> None:
+        if context.initial_mapping is not None:
+            context.metadata.setdefault("layout_skipped", []).append(self.name)
+            return None
+        rng = random.Random(self.seed)
+        mapping: Optional[Mapping]
+        if self.method == "trivial":
+            mapping = trivial_mapping(circuit, coupling)
+        elif self.method == "random":
+            mapping = random_mapping(circuit, coupling, rng)
+        elif self.method == "greedy":
+            mapping = greedy_degree_mapping(circuit, coupling, rng)
+        else:  # vf2
+            mapping = vf2_mapping(circuit, coupling)
+            context.metadata["vf2_embedded"] = mapping is not None
+            if mapping is None:
+                return None
+        context.initial_mapping = mapping
+        context.metadata["layout_pass"] = self.name
+        return None
+
+
+class FixedLayoutPass(Pass):
+    """Pins a concrete mapping chosen at construction time.
+
+    The pipeline form of the old ``FixedLayoutRouter`` wrapper: a caller
+    pin (``Pipeline.run(initial_mapping=...)``) still takes precedence,
+    preserving that wrapper's override semantics.
+    """
+
+    name = "layout-fixed"
+
+    def __init__(self, mapping: Mapping) -> None:
+        self.mapping = mapping
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> None:
+        if context.initial_mapping is None:
+            context.initial_mapping = self.mapping.copy()
+            context.metadata["layout_pass"] = self.name
+        return None
+
+
+class ToolPass(Pass):
+    """Adapter running any :class:`~repro.qls.base.QLSTool` as a pass.
+
+    The tool receives ``context.initial_mapping`` as its pinned placement
+    (``None`` lets it search); its result circuit becomes the pipeline's
+    current circuit, and its swap count, initial mapping, and metadata are
+    folded into the context.  A pipeline containing a single ``ToolPass``
+    is bit-identical to calling the tool directly — the determinism
+    contract the pinned goldens enforce.
+    """
+
+    def __init__(self, tool: QLSTool, name: Optional[str] = None) -> None:
+        self.tool = tool
+        self.name = name or tool.name
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> QuantumCircuit:
+        result = self.tool.run(circuit, coupling,
+                               initial_mapping=context.initial_mapping)
+        context.initial_mapping = result.initial_mapping
+        context.swap_count = result.swap_count
+        context.metadata.update(result.metadata)
+        context["tool_result"] = result
+        return result.circuit
+
+
+class RoutingPass(ToolPass):
+    """A :class:`ToolPass` whose tool is used for its router.
+
+    Behaviourally identical to ``ToolPass``; the distinct name documents
+    intent in pipeline definitions (placement upstream, routing here).
+    """
+
+
+class SkeletonPass(Pass):
+    """Split off single-qubit gates, leaving the two-qubit skeleton.
+
+    Stores the pre-gate bundles and tail in the context for
+    :class:`ReinsertPass` to weave back after routing.
+    """
+
+    name = "skeleton"
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> QuantumCircuit:
+        two_qubit, bundles, tail = split_one_qubit_gates(circuit)
+        context["bundles"] = bundles
+        context["tail"] = tail
+        return QuantumCircuit(circuit.num_qubits, two_qubit,
+                              name=f"{circuit.name}_skeleton")
+
+
+class SabreRoutePass(Pass):
+    """The low-level SABRE routing kernel as a standalone pass.
+
+    Requires a placement — from a layout pass or a caller pin; unlike
+    :class:`ToolPass` over ``SabreLayout`` there is no built-in
+    forward–backward search to fall back on.  If no :class:`SkeletonPass`
+    ran yet, the split is performed here so ``sabre-route`` composes
+    directly after a layout stage.  The routed stream, mapping timeline,
+    and final mapping land in the context for :class:`ReinsertPass`.
+
+    With the same seed and a pinned mapping this pass, followed by
+    ``reinsert``, reproduces ``SabreLayout`` bit for bit: both draw a
+    fresh ``random.Random(seed)`` consumed only by the routing loop.
+    """
+
+    name = "sabre-route"
+
+    def __init__(self, params: Optional[SabreParameters] = None,
+                 seed: Optional[int] = None) -> None:
+        self.params = params or SabreParameters()
+        self.seed = seed
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> QuantumCircuit:
+        if context.initial_mapping is None:
+            raise QLSError(
+                "sabre-route needs an initial mapping; add a layout pass "
+                "before it or pin one via Pipeline.run(initial_mapping=...)"
+            )
+        if circuit.num_qubits > coupling.num_qubits:
+            raise QLSError("circuit larger than device")
+        if "bundles" not in context:
+            skeleton = SkeletonPass().run(circuit, coupling, context)
+        else:
+            skeleton = circuit
+        rng = random.Random(self.seed)
+        mapping = context.initial_mapping.copy()
+        outcome = route(skeleton, coupling, mapping, self.params, rng,
+                        record_mappings=True)
+        context["routed"] = outcome.routed
+        context["mapping_at"] = outcome.mapping_at
+        context.final_mapping = outcome.final_mapping
+        context.swap_count = outcome.swap_count
+        context.metadata["fallback_swaps"] = outcome.fallback_swaps
+        return QuantumCircuit(coupling.num_qubits,
+                              [gate for _, gate in outcome.routed],
+                              name=f"{skeleton.name}_routed")
+
+
+class ReinsertPass(Pass):
+    """Weave single-qubit gates back into the routed skeleton.
+
+    ``reinsert.weave_transpiled`` as a post-pass: consumes the routed
+    stream and bundles a :class:`SabreRoutePass` (or :class:`SkeletonPass`)
+    left in the context.  A no-op when nothing is pending — e.g. after a
+    :class:`ToolPass`, whose tool already emits a woven circuit.
+    """
+
+    name = "reinsert"
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> Optional[QuantumCircuit]:
+        if "routed" not in context:
+            return None
+        if context.final_mapping is None:
+            raise QLSError("reinsert found a routed stream but no final "
+                           "mapping; the routing pass is incomplete")
+        woven = weave_transpiled(
+            coupling.num_qubits,
+            context.pop("routed"),
+            context.pop("bundles", {}),
+            context.pop("tail", ()),
+            mapping_at=context.pop("mapping_at"),
+            final_mapping=context.final_mapping,
+            name=f"{context.original_circuit.name}_pipeline",
+        )
+        return woven
+
+
+class ValidatePass(Pass):
+    """``validate_transpiled`` as a post-pass.
+
+    Replays the current circuit against the original's dependency DAG and
+    stores the :class:`~repro.qls.validate.ValidationReport` under the
+    ``"validation"`` property.  ``strict`` (default) raises
+    :class:`~repro.qls.base.QLSError` on an unfaithful transpilation;
+    ``strict=False`` only records ``validated: False`` in the metadata.
+    """
+
+    name = "validate"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            context: CompilationContext) -> None:
+        if context.initial_mapping is None:
+            raise QLSError("validate needs the pipeline's initial mapping")
+        report = validate_transpiled(context.original_circuit, circuit,
+                                     coupling, context.initial_mapping)
+        context["validation"] = report
+        context.metadata["validated"] = report.valid
+        if not report.valid and self.strict:
+            raise QLSError(f"pipeline output failed validation: {report.error}")
+        return None

@@ -1,0 +1,120 @@
+"""The Pipeline: an ordered chain of passes with a per-stage breakdown.
+
+``Pipeline.run`` threads one :class:`~repro.pipeline.context.CompilationContext`
+through its passes and emits a :class:`PipelineResult` — a
+:class:`~repro.qls.base.QLSResult` subclass, so everything that consumes
+tool results (the evaluation harness, validation, reports) accepts pipeline
+output unchanged, with stage-level timings and swap progression on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qls.base import QLSError, QLSResult
+from ..qubikos.mapping import Mapping
+from .context import CompilationContext
+from .passes import Pass
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One pass execution inside a pipeline run."""
+
+    name: str
+    seconds: float
+    #: SWAP gates in the current circuit after this stage (the running
+    #: total a per-stage breakdown plots).
+    swaps_after: int
+
+    def __repr__(self) -> str:
+        return (f"StageRecord({self.name!r}, {self.seconds:.4f}s, "
+                f"swaps={self.swaps_after})")
+
+
+@dataclass
+class PipelineResult(QLSResult):
+    """A ``QLSResult`` with the pipeline's per-stage breakdown.
+
+    ``runtime_seconds`` is the summed stage wall-clock, stamped by the
+    pipeline itself — ``QLSTool.timed_run`` leaves it untouched.
+    """
+
+    stages: List[StageRecord] = field(default_factory=list)
+
+    def stage(self, name: str) -> StageRecord:
+        """The first stage record with ``name`` (KeyError if absent)."""
+        for record in self.stages:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+
+class Pipeline:
+    """An ordered chain of compilation passes.
+
+    ``initial_mapping`` pins the starting placement before any pass runs
+    (router-only mode, exactly like the ``QLSTool.run`` parameter); layout
+    passes then skip themselves and tool passes receive the pin.
+    """
+
+    def __init__(self, passes: Iterable[Pass], name: Optional[str] = None) -> None:
+        self.passes: List[Pass] = list(passes)
+        if not self.passes:
+            raise ValueError("a pipeline needs at least one pass")
+        self.name = name or "+".join(p.name for p in self.passes)
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> PipelineResult:
+        context = CompilationContext(circuit, coupling,
+                                     initial_mapping=initial_mapping)
+        current = circuit
+        stages: List[StageRecord] = []
+        for stage in self.passes:
+            start = time.perf_counter()
+            output = stage.run(current, coupling, context)
+            seconds = time.perf_counter() - start
+            if output is not None:
+                current = output
+            context.timings[stage.name] = (
+                context.timings.get(stage.name, 0.0) + seconds
+            )
+            stages.append(StageRecord(name=stage.name, seconds=seconds,
+                                      swaps_after=current.swap_count()))
+        if context.initial_mapping is None:
+            raise QLSError(
+                f"pipeline {self.name!r} finished without an initial "
+                "mapping; add a layout or tool pass"
+            )
+        if "routed" in context:
+            raise QLSError(
+                f"pipeline {self.name!r} left an unwoven routed stream; "
+                "add a 'reinsert' pass after the routing stage"
+            )
+        if "bundles" in context or "tail" in context:
+            raise QLSError(
+                f"pipeline {self.name!r} split off single-qubit gates that "
+                "were never woven back (they would be silently dropped); "
+                "route the skeleton with 'sabre-route' + 'reinsert' instead "
+                "of a monolithic tool, or drop the 'skeleton' stage"
+            )
+        swap_count = (context.swap_count if context.swap_count is not None
+                      else current.swap_count())
+        metadata = dict(context.metadata)
+        metadata["pipeline"] = self.name
+        return PipelineResult(
+            tool=self.name,
+            circuit=current,
+            initial_mapping=context.initial_mapping,
+            swap_count=swap_count,
+            runtime_seconds=sum(record.seconds for record in stages),
+            metadata=metadata,
+            stages=stages,
+        )
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}, {len(self.passes)} passes)"

@@ -1,0 +1,282 @@
+"""String-spec registry: name pipelines declaratively.
+
+Spec grammar
+------------
+A pipeline spec is ``+``-separated stage tokens, each a registered pass
+name with optional ``key=value`` arguments::
+
+    spec   := stage ("+" stage)*
+    stage  := name (":" arg ("," arg)*)?
+    arg    := key "=" value          # value parsed as a Python literal,
+                                     # bare words fall back to strings
+
+Examples::
+
+    build_pipeline("sabre")                        # monolithic tool as a pass
+    build_pipeline("vf2+sabre+reinsert")           # placement x routing mix
+    build_pipeline("greedy+lightsabre:trials=32")  # stage arguments
+    build_pipeline("greedy+skeleton+sabre-route+reinsert+validate")
+
+``build_pipeline(spec, seed=N)`` injects ``seed`` into every stage factory
+that accepts one and was not given an explicit ``seed=`` argument, so one
+top-level seed configures a whole pipeline deterministically.
+
+``register_pass`` adds a stage factory; ``register_spec`` names a composite
+preset (``list_specs`` enumerates them, and the ``--pipeline-smoke``
+benchmark gate runs every preset end to end).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..qls.astar import AStarMapper
+from ..qls.base import QLSError
+from ..qls.bmt import BmtMapper
+from ..qls.lightsabre import LightSabre
+from ..qls.mlqls import MlQls
+from ..qls.sabre import SabreLayout, SabreParameters
+from ..qls.tketlike import TketLikeRouter
+from .passes import (
+    LayoutPass,
+    Pass,
+    ReinsertPass,
+    RoutingPass,
+    SabreRoutePass,
+    SkeletonPass,
+    ValidatePass,
+)
+from .pipeline import Pipeline
+
+PassFactory = Callable[..., Pass]
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """One registry entry, as shown by ``list_passes`` / ``--list-passes``."""
+
+    name: str
+    kind: str  # "layout" | "routing" | "structure" | "post"
+    description: str
+    aliases: Tuple[str, ...] = ()
+
+
+_FACTORIES: Dict[str, PassFactory] = {}
+_INFO: Dict[str, PassInfo] = {}
+_ALIASES: Dict[str, str] = {}
+_SPECS: Dict[str, str] = {}
+
+
+def register_pass(name: str, factory: PassFactory, *, kind: str,
+                  description: str, aliases: Tuple[str, ...] = ()) -> None:
+    """Register a stage factory under ``name`` (and optional aliases)."""
+    if name in _FACTORIES or name in _ALIASES:
+        raise ValueError(f"pass {name!r} already registered")
+    _FACTORIES[name] = factory
+    _INFO[name] = PassInfo(name=name, kind=kind, description=description,
+                           aliases=aliases)
+    for alias in aliases:
+        if alias in _FACTORIES or alias in _ALIASES:
+            raise ValueError(f"alias {alias!r} already registered")
+        _ALIASES[alias] = name
+
+
+def register_spec(alias: str, spec: str) -> None:
+    """Name a composite pipeline spec (a preset)."""
+    if alias in _SPECS:
+        raise ValueError(f"spec {alias!r} already registered")
+    parse_spec(spec)  # fail fast on malformed presets
+    _SPECS[alias] = spec
+
+
+def list_passes() -> List[PassInfo]:
+    """Registered stage entries, sorted by (kind, name)."""
+    order = {"layout": 0, "routing": 1, "structure": 2, "post": 3}
+    return sorted(_INFO.values(),
+                  key=lambda info: (order.get(info.kind, 9), info.name))
+
+
+def list_specs() -> Dict[str, str]:
+    """Named preset pipelines: ``{alias: spec}``."""
+    return dict(_SPECS)
+
+
+def parse_spec(spec: str) -> List[Tuple[str, Dict[str, object]]]:
+    """Parse a spec string into ``[(canonical stage name, kwargs), ...]``."""
+    if not spec or not spec.strip():
+        raise QLSError("empty pipeline spec")
+    stages: List[Tuple[str, Dict[str, object]]] = []
+    for token in spec.split("+"):
+        token = token.strip()
+        if not token:
+            raise QLSError(f"empty stage in pipeline spec {spec!r}")
+        name, _, argblob = token.partition(":")
+        name = name.strip()
+        name = _ALIASES.get(name, name)
+        if name not in _FACTORIES:
+            known = ", ".join(sorted(_FACTORIES))
+            raise QLSError(f"unknown pipeline stage {name!r} "
+                           f"(registered: {known})")
+        kwargs: Dict[str, object] = {}
+        if argblob:
+            for arg in argblob.split(","):
+                key, sep, value = arg.partition("=")
+                if not sep or not key.strip():
+                    raise QLSError(
+                        f"malformed stage argument {arg!r} in {token!r}; "
+                        "expected key=value"
+                    )
+                kwargs[key.strip()] = _parse_value(value.strip())
+        stages.append((name, kwargs))
+    return stages
+
+
+def _parse_value(text: str) -> object:
+    """Python literal when possible, bare string otherwise."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def build_pipeline(spec: str, seed: Optional[int] = None,
+                   name: Optional[str] = None) -> Pipeline:
+    """Build a :class:`Pipeline` from a spec string (or preset alias).
+
+    ``seed`` is injected into every stage whose factory accepts a ``seed``
+    keyword and whose spec token did not set one explicitly.  A preset
+    alias names the pipeline after itself (not its expansion), so reports
+    show what the user typed.
+    """
+    alias = spec
+    spec = _SPECS.get(spec, spec)
+    passes: List[Pass] = []
+    for stage_name, kwargs in parse_spec(spec):
+        factory = _FACTORIES[stage_name]
+        if seed is not None and "seed" not in kwargs \
+                and _accepts_seed(factory):
+            kwargs = dict(kwargs, seed=seed)
+        try:
+            passes.append(factory(**kwargs))
+        except TypeError as exc:
+            raise QLSError(
+                f"bad arguments for pipeline stage {stage_name!r}: {exc}"
+            ) from exc
+    return Pipeline(passes, name=name or alias)
+
+
+def _accepts_seed(factory: PassFactory) -> bool:
+    try:
+        return "seed" in inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+# -- built-in stage registry --------------------------------------------------
+
+def _layout_factory(method: str) -> PassFactory:
+    def factory(seed: Optional[int] = None) -> LayoutPass:
+        return LayoutPass(method, seed=seed)
+    factory.__name__ = f"make_{method}_layout"
+    return factory
+
+
+register_pass("trivial", _layout_factory("trivial"), kind="layout",
+              description="identity placement (program qubit q on physical q)")
+register_pass("random", _layout_factory("random"), kind="layout",
+              description="uniform random placement")
+register_pass("greedy", _layout_factory("greedy"), kind="layout",
+              aliases=("greedy_degree",),
+              description="degree-matched BFS placement from the device centre")
+register_pass("vf2", _layout_factory("vf2"), kind="layout",
+              description="exact subgraph embedding; skipped (router's own "
+                          "search) when no embedding exists")
+
+
+def _make_sabre(seed: Optional[int] = None,
+                lookahead_decay: Optional[float] = None) -> RoutingPass:
+    params = SabreParameters(lookahead_decay=lookahead_decay) \
+        if lookahead_decay is not None else None
+    return RoutingPass(SabreLayout(params=params, seed=seed))
+
+
+def _make_lightsabre(seed: Optional[int] = None, trials: int = 8,
+                     workers: Optional[int] = None) -> RoutingPass:
+    return RoutingPass(LightSabre(trials=trials, seed=seed, workers=workers))
+
+
+def _make_tketlike(seed: Optional[int] = None) -> RoutingPass:
+    return RoutingPass(TketLikeRouter(seed=seed))
+
+
+def _make_astar(seed: Optional[int] = None) -> RoutingPass:
+    return RoutingPass(AStarMapper(seed=seed))
+
+
+def _make_mlqls(seed: Optional[int] = None) -> RoutingPass:
+    return RoutingPass(MlQls(seed=seed))
+
+
+def _make_bmt(seed: Optional[int] = None) -> RoutingPass:
+    return RoutingPass(BmtMapper(seed=seed))
+
+
+register_pass("sabre", _make_sabre, kind="routing",
+              description="SABRE forward-backward layout search + routing "
+                          "(args: lookahead_decay)")
+register_pass("lightsabre", _make_lightsabre, kind="routing",
+              description="best-of-k randomized SABRE trials "
+                          "(args: trials, workers)")
+register_pass("tketlike", _make_tketlike, kind="routing", aliases=("tket",),
+              description="t|ket>-style slice router with decayed lookahead")
+register_pass("astar", _make_astar, kind="routing",
+              description="per-layer A* mapper (QMAP-heuristic stand-in)")
+register_pass("mlqls", _make_mlqls, kind="routing",
+              description="multilevel placement + SABRE routing")
+register_pass("bmt", _make_bmt, kind="routing",
+              description="subgraph-embedding segments + token swapping")
+
+register_pass("skeleton", SkeletonPass, kind="structure",
+              description="split off single-qubit gates for skeleton routing")
+
+
+def _make_sabre_route(seed: Optional[int] = None,
+                      lookahead_decay: Optional[float] = None
+                      ) -> SabreRoutePass:
+    params = SabreParameters(lookahead_decay=lookahead_decay) \
+        if lookahead_decay is not None else None
+    return SabreRoutePass(params=params, seed=seed)
+
+
+register_pass("sabre-route", _make_sabre_route, kind="routing",
+              description="low-level SABRE routing kernel; needs a layout "
+                          "pass (or pinned mapping) and a reinsert stage")
+register_pass("reinsert", ReinsertPass, kind="post",
+              description="weave single-qubit gates back after skeleton "
+                          "routing (no-op after monolithic tools)")
+
+
+def _make_validate(strict: bool = True) -> ValidatePass:
+    return ValidatePass(strict=strict)
+
+
+register_pass("validate", _make_validate, kind="post",
+              description="replay-validate the output against the original "
+                          "circuit (args: strict)")
+
+
+# -- built-in presets ---------------------------------------------------------
+# One preset per tool plus mix-and-match composites; collectively these
+# cover every registered stage, which the pipeline-smoke benchmark asserts.
+
+for _tool in ("sabre", "lightsabre", "tketlike", "astar", "mlqls", "bmt"):
+    register_spec(_tool + "-tool", _tool)
+register_spec("vf2-sabre", "vf2+sabre+reinsert")
+register_spec("greedy-tket", "greedy+tketlike")
+register_spec("trivial-astar", "trivial+astar")
+register_spec("random-sabre", "random+sabre")
+register_spec("staged-sabre",
+              "greedy+skeleton+sabre-route+reinsert+validate")

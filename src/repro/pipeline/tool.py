@@ -1,0 +1,70 @@
+"""Adapter making any pipeline usable wherever a ``QLSTool`` is expected.
+
+``PipelineTool`` satisfies the full tool contract — ``run`` with an
+optional pinned mapping, a ``name`` for reports — so pipelines drop into
+``evaluate(..., workers=N)``, the experiments CLI, and every report
+unchanged.  Shared-pool capability is delegated: when an inner
+:class:`~repro.pipeline.passes.ToolPass` wraps a pool-sharing tool
+(``LightSabre``), the adapter advertises ``supports_shared_pool`` and
+forwards ``pool`` / ``trials`` to it, so the parallel evaluation harness
+fans the pipeline's trial chunks over the suite pool exactly as it does
+for the bare tool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..qls.base import QLSTool
+from ..qubikos.mapping import Mapping
+from .passes import ToolPass
+from .pipeline import Pipeline, PipelineResult
+
+
+class PipelineTool(QLSTool):
+    """A :class:`~repro.pipeline.pipeline.Pipeline` behind the tool API."""
+
+    def __init__(self, pipeline: Pipeline, name: Optional[str] = None) -> None:
+        self.pipeline = pipeline
+        self.name = name or pipeline.name
+
+    def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
+            initial_mapping: Optional[Mapping] = None) -> PipelineResult:
+        result = self.pipeline.run(circuit, coupling,
+                                   initial_mapping=initial_mapping)
+        result.tool = self.name
+        return result
+
+    # -- shared-pool delegation ----------------------------------------------
+
+    def _pooled_tools(self) -> List[QLSTool]:
+        return [
+            stage.tool for stage in self.pipeline.passes
+            if isinstance(stage, ToolPass)
+            and getattr(stage.tool, "supports_shared_pool", False)
+        ]
+
+    @property
+    def supports_shared_pool(self) -> bool:
+        return bool(self._pooled_tools())
+
+    @property
+    def trials(self) -> int:
+        return max((getattr(tool, "trials", 1)
+                    for tool in self._pooled_tools()), default=1)
+
+    @property
+    def pool(self):
+        for tool in self._pooled_tools():
+            return tool.pool
+        return None
+
+    @pool.setter
+    def pool(self, value) -> None:
+        for tool in self._pooled_tools():
+            tool.pool = value
+
+    def __repr__(self) -> str:
+        return f"PipelineTool({self.name!r})"

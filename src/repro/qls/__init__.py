@@ -35,15 +35,44 @@ from .bmt import BmtMapper, BmtParameters
 from .exact import ExactOutcome, ExactSolver, SatEncoder, brute_force_optimal
 from .router import FixedLayoutRouter, route_with_optimal_layout
 
+#: Tool classes by report name — the discoverable registry behind
+#: ``repro.evalx.experiments --list-tools`` (previously hardcoded in
+#: :func:`paper_tools`).
+TOOL_CLASSES = {
+    SabreLayout.name: SabreLayout,
+    LightSabre.name: LightSabre,
+    MlQls.name: MlQls,
+    AStarMapper.name: AStarMapper,
+    TketLikeRouter.name: TketLikeRouter,
+    BmtMapper.name: BmtMapper,
+}
+
+
+def available_tools():
+    """Name -> class for every registered layout-synthesis tool."""
+    return dict(TOOL_CLASSES)
+
+
 #: The paper's four heuristic tools, in Figure 4 legend order, built with
 #: laptop-scale defaults.
 def paper_tools(seed: int = 7, sabre_trials: int = 8):
-    """Instantiate the four evaluated tools with default parameters."""
+    """Instantiate the four evaluated tools with default parameters.
+
+    Each tool is now a pipeline construction — a single-stage pipeline
+    behind a :class:`repro.pipeline.PipelineTool` adapter, named after the
+    bare tool so reports are unchanged.  Results are bit-identical to the
+    bare tools (the ``ToolPass`` adapter delegates), and LightSABRE's
+    shared-pool trial fan-out still works through the adapter's ``pool``
+    delegation.
+    """
+    from ..pipeline import build_pipeline, PipelineTool  # lazy: avoids cycle
+
     return [
-        LightSabre(trials=sabre_trials, seed=seed),
-        MlQls(seed=seed),
-        AStarMapper(seed=seed),
-        TketLikeRouter(seed=seed),
+        PipelineTool(build_pipeline(f"lightsabre:trials={sabre_trials}",
+                                    seed=seed), name="lightsabre"),
+        PipelineTool(build_pipeline("mlqls", seed=seed), name="mlqls"),
+        PipelineTool(build_pipeline("astar", seed=seed), name="astar"),
+        PipelineTool(build_pipeline("tketlike", seed=seed), name="tketlike"),
     ]
 
 
@@ -80,5 +109,7 @@ __all__ = [
     "brute_force_optimal",
     "FixedLayoutRouter",
     "route_with_optimal_layout",
+    "TOOL_CLASSES",
+    "available_tools",
     "paper_tools",
 ]

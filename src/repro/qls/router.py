@@ -3,6 +3,14 @@
 QUBIKOS instances carry their optimal initial mapping, so standalone
 routers can be judged in isolation: feed every tool the known-optimal
 placement and attribute any excess SWAPs to routing alone.
+
+Both entry points are now thin pipeline constructions over
+:mod:`repro.pipeline`: a :class:`~repro.pipeline.passes.FixedLayoutPass`
+pins the placement and a :class:`~repro.pipeline.passes.ToolPass` runs the
+wrapped tool — the same composition ``build_pipeline`` produces for specs
+like ``"greedy+sabre"``.  The pre-pipeline classes remain as the public
+API; their behaviour (names, metadata, explicit-mapping override) is
+unchanged.
 """
 
 from __future__ import annotations
@@ -16,18 +24,33 @@ from ..qubikos.mapping import Mapping
 from .base import QLSResult, QLSTool
 
 
+def _pinned_pipeline(inner: QLSTool, mapping: Mapping, name: str):
+    """Pipeline pinning ``mapping`` ahead of ``inner`` (lazy import: the
+    pipeline package imports this module's siblings)."""
+    from ..pipeline import FixedLayoutPass, Pipeline, ToolPass
+
+    return Pipeline([FixedLayoutPass(mapping), ToolPass(inner)], name=name)
+
+
 class FixedLayoutRouter(QLSTool):
-    """Wraps a tool, pinning the initial mapping (route-only mode)."""
+    """Wraps a tool, pinning the initial mapping (route-only mode).
+
+    Equivalent pipeline: ``Pipeline([FixedLayoutPass(mapping),
+    ToolPass(inner)])`` — which is exactly what this adapter builds.  An
+    explicit ``initial_mapping`` passed to :meth:`run` still overrides the
+    construction-time pin.
+    """
 
     def __init__(self, inner: QLSTool, mapping: Mapping) -> None:
         self.inner = inner
         self.mapping = mapping
         self.name = f"{inner.name}+fixed"
+        self._pipeline = _pinned_pipeline(inner, mapping, self.name)
 
     def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
             initial_mapping: Optional[Mapping] = None) -> QLSResult:
-        pinned = initial_mapping if initial_mapping is not None else self.mapping
-        result = self.inner.run(circuit, coupling, initial_mapping=pinned)
+        result = self._pipeline.run(circuit, coupling,
+                                    initial_mapping=initial_mapping)
         result.tool = self.name
         result.metadata["router_only"] = True
         return result
@@ -35,11 +58,15 @@ class FixedLayoutRouter(QLSTool):
 
 def route_with_optimal_layout(tool: QLSTool,
                               instance: QubikosInstance) -> QLSResult:
-    """Run ``tool`` on ``instance`` from its known-optimal initial mapping."""
-    coupling = instance.coupling()
-    result = tool.run(
-        instance.circuit, coupling, initial_mapping=instance.mapping()
-    )
+    """Run ``tool`` on ``instance`` from its known-optimal initial mapping.
+
+    Equivalent pipeline: ``Pipeline([FixedLayoutPass(instance.mapping()),
+    ToolPass(tool)])``.
+    """
+    pipeline = _pinned_pipeline(tool, instance.mapping(),
+                                name=f"{tool.name}+optimal")
+    result = pipeline.run(instance.circuit, instance.coupling())
+    result.tool = tool.name
     result.metadata["router_only"] = True
     result.metadata["optimal_swaps"] = instance.optimal_swaps
     return result

@@ -56,3 +56,48 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             experiments.main(["nonsense"])
+
+    def test_list_tools(self, capsys):
+        rc = experiments.main(["--list-tools"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("sabre", "lightsabre", "mlqls", "astar", "tketlike",
+                     "bmt"):
+            assert name in out
+
+    def test_list_passes(self, capsys):
+        rc = experiments.main(["--list-passes"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sabre-route" in out
+        assert "reinsert" in out
+        assert "staged-sabre" in out  # preset specs listed too
+        assert "Grammar" in out
+
+    def test_no_experiment_and_no_listing_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments.main([])
+
+    def test_pipeline_specs_replace_paper_tools(self, capsys):
+        rc = experiments.main([
+            "fig4a", "--per-point", "1", "--gate-scale", "0.05",
+            "--pipeline", "greedy+sabre", "--pipeline", "tketlike",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "greedy+sabre" in out
+        assert "tketlike" in out
+        assert "lightsabre" not in out  # paper tools not evaluated
+
+    def test_pipeline_rejected_for_non_suite_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            experiments.main(["e1", "--pipeline", "greedy+sabre"])
+        assert "--pipeline is not supported" in capsys.readouterr().err
+
+    def test_router_only_pipeline_spec(self, capsys):
+        run = experiments.run_router(
+            per_point=1, gate_scale=0.05, sabre_trials=2, seed=3,
+            tools=experiments.build_pipeline_tools(["greedy+sabre"], seed=3),
+        )
+        assert run.tools() == ["greedy+sabre"]
+        assert all(r.router_only for r in run.records)

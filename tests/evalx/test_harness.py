@@ -7,6 +7,7 @@ import pytest
 from repro.arch import get_architecture
 from repro.circuit import QuantumCircuit
 from repro.evalx import WorkerPool, evaluate
+from repro.pipeline import PipelineTool, build_pipeline
 from repro.qls import LightSabre, QLSResult, QLSTool, SabreLayout, TketLikeRouter
 from repro.qubikos import Mapping, generate
 
@@ -201,6 +202,43 @@ class TestParallelEvaluate:
         pool.shutdown()
         with pytest.raises(BrokenExecutor):
             pool.submit(int)
+
+    def test_pipeline_tools_keep_serial_record_order(self, instances):
+        """PipelineTool entries fan out with serial-identical ordering."""
+        tools = [
+            PipelineTool(build_pipeline("greedy+sabre", seed=0)),
+            SabreLayout(seed=0),
+            PipelineTool(build_pipeline("tketlike", seed=1), name="tket-pipe"),
+        ]
+        serial = evaluate(tools, instances)
+        parallel = evaluate(tools, instances, workers=2)
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
+        assert all(r.valid for r in parallel.records)
+        assert set(serial.tools()) == {"greedy+sabre", "sabre", "tket-pipe"}
+
+    def test_pipeline_tool_matches_bare_tool_records(self, instances):
+        """A pipeline-wrapped tool and the bare tool agree record for
+        record (only the report name differs)."""
+        bare = evaluate([SabreLayout(seed=0)], instances)
+        piped = evaluate(
+            [PipelineTool(build_pipeline("sabre", seed=0), name="sabre")],
+            instances,
+        )
+        assert [r.result_key() for r in piped.records] == \
+            [r.result_key() for r in bare.records]
+
+    def test_pipeline_lightsabre_shares_the_suite_pool(self, instances):
+        """The shared-pool path reaches LightSabre through the adapter."""
+        tool = PipelineTool(build_pipeline("lightsabre:trials=3", seed=9),
+                            name="lightsabre")
+        assert tool.supports_shared_pool and tool.trials == 3
+        serial = evaluate([tool], instances[:1])
+        with WorkerPool(2) as pool:
+            parallel = evaluate([tool], instances[:1], pool=pool)
+        assert tool.pool is None  # unbound after the run
+        assert [r.result_key() for r in parallel.records] == \
+            [r.result_key() for r in serial.records]
 
     def test_validation_crash_isolated_and_timed_separately(self, instances):
         run = evaluate([_ValidationBomb()], instances[:1])

@@ -1,0 +1,270 @@
+"""Pipeline, context, and pass behaviour tests."""
+
+import pickle
+
+import pytest
+
+from repro.pipeline import (
+    CompilationContext,
+    FixedLayoutPass,
+    LayoutPass,
+    Pipeline,
+    PipelineResult,
+    PipelineTool,
+    ReinsertPass,
+    SabreRoutePass,
+    SkeletonPass,
+    ToolPass,
+    ValidatePass,
+    build_pipeline,
+)
+from repro.circuit import QuantumCircuit
+from repro.qls import QLSError, QLSResult, QLSTool, SabreLayout, validate_transpiled
+from repro.qubikos import Mapping
+
+
+class TestCompilationContext:
+    def test_property_store(self, small_instance, grid33):
+        context = CompilationContext(small_instance.circuit, grid33)
+        assert "routed" not in context
+        context["routed"] = [1, 2]
+        assert context["routed"] == [1, 2]
+        assert context.get("missing") is None
+        assert sorted(context) == ["routed"]
+        assert context.pop("routed") == [1, 2]
+        assert "routed" not in context
+
+    def test_pin_copies_and_flags(self, small_instance, grid33):
+        pinned = small_instance.mapping()
+        context = CompilationContext(small_instance.circuit, grid33, pinned)
+        assert context.pinned
+        assert context.initial_mapping == pinned
+        assert context.initial_mapping is not pinned  # defensive copy
+
+
+class TestLayoutPasses:
+    @pytest.mark.parametrize("method", LayoutPass.METHODS)
+    def test_each_method_places_or_skips(self, method, small_instance, grid33):
+        context = CompilationContext(small_instance.circuit, grid33)
+        LayoutPass(method, seed=1).run(small_instance.circuit, grid33, context)
+        if method == "vf2":
+            # QUBIKOS circuits never embed, by construction.
+            assert context.metadata["vf2_embedded"] is False
+            assert context.initial_mapping is None
+        else:
+            assert context.initial_mapping is not None
+            assert context.metadata["layout_pass"] == f"layout-{method}"
+
+    def test_pinned_mapping_wins(self, small_instance, grid33):
+        pinned = small_instance.mapping()
+        context = CompilationContext(small_instance.circuit, grid33, pinned)
+        LayoutPass("greedy", seed=1).run(small_instance.circuit, grid33,
+                                         context)
+        assert context.initial_mapping == pinned
+        assert context.metadata["layout_skipped"] == ["layout-greedy"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutPass("quantum-annealing")
+
+    def test_fixed_layout_pass_defers_to_pin(self, small_instance, grid33):
+        fixed = small_instance.final_mapping()
+        pinned = small_instance.mapping()
+        context = CompilationContext(small_instance.circuit, grid33, pinned)
+        FixedLayoutPass(fixed).run(small_instance.circuit, grid33, context)
+        assert context.initial_mapping == pinned
+
+
+class TestPipelineRun:
+    def test_layout_plus_tool_is_valid(self, small_instance, grid33):
+        pipeline = Pipeline([LayoutPass("greedy", seed=2),
+                             ToolPass(SabreLayout(seed=2))],
+                            name="greedy+sabre")
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert isinstance(result, PipelineResult)
+        assert isinstance(result, QLSResult)  # harness compatibility
+        assert result.tool == "greedy+sabre"
+        report = validate_transpiled(small_instance.circuit, result.circuit,
+                                     grid33, result.initial_mapping)
+        assert report.valid, report.error
+        assert report.swap_count == result.swap_count
+
+    def test_stage_breakdown_and_timings(self, small_instance, grid33):
+        pipeline = build_pipeline("greedy+sabre+validate", seed=2)
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert [s.name for s in result.stages] == \
+            ["layout-greedy", "sabre", "validate"]
+        assert all(s.seconds >= 0 for s in result.stages)
+        assert result.stage("sabre").swaps_after == result.swap_count
+        assert set(result.metadata) >= {"pipeline", "validated"}
+        assert result.runtime_seconds == \
+            pytest.approx(sum(s.seconds for s in result.stages))
+
+    def test_layout_pass_overrides_tool_search(self, small_instance, grid33):
+        """A preceding layout pass pins the tool, like router-only mode."""
+        placed = Pipeline([FixedLayoutPass(small_instance.mapping()),
+                           ToolPass(SabreLayout(seed=4))])
+        direct = SabreLayout(seed=4).run(
+            small_instance.circuit, grid33,
+            initial_mapping=small_instance.mapping(),
+        )
+        result = placed.run(small_instance.circuit, grid33)
+        assert result.circuit == direct.circuit
+        assert result.swap_count == direct.swap_count
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_mappingless_pipeline_fails_loudly(self, small_instance, grid33):
+        with pytest.raises(QLSError, match="initial"):
+            Pipeline([LayoutPass("vf2")]).run(small_instance.circuit, grid33)
+
+    def test_unwoven_routed_stream_fails_loudly(self, small_instance, grid33):
+        pipeline = Pipeline([LayoutPass("greedy", seed=1), SabreRoutePass(seed=1)])
+        with pytest.raises(QLSError, match="reinsert"):
+            pipeline.run(small_instance.circuit, grid33)
+
+    def test_skeleton_into_monolithic_tool_fails_loudly(self, small_instance,
+                                                        grid33):
+        """A monolithic tool after 'skeleton' would silently drop every
+        single-qubit gate; the pipeline must refuse instead."""
+        pipeline = Pipeline([SkeletonPass(), ToolPass(SabreLayout(seed=1))])
+        with pytest.raises(QLSError, match="single-qubit"):
+            pipeline.run(small_instance.circuit, grid33)
+
+    def test_downstream_pass_reads_elapsed_timings(self, small_instance,
+                                                   grid33):
+        """context.timings lets a later pass see where time went — e.g. a
+        budget-aware stage deciding how hard to work."""
+        seen = {}
+
+        class BudgetProbe(ToolPass):
+            name = "probe"
+
+            def run(self, circuit, coupling, context):
+                seen.update(context.timings)
+                return super().run(circuit, coupling, context)
+
+        pipeline = Pipeline([LayoutPass("greedy", seed=1),
+                             BudgetProbe(SabreLayout(seed=1))])
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert set(seen) == {"layout-greedy"}
+        assert seen["layout-greedy"] >= 0
+        assert result.swap_count >= 0
+
+    def test_pipeline_pickles(self, small_instance, grid33):
+        pipeline = build_pipeline("greedy+lightsabre:trials=2", seed=3)
+        clone = pickle.loads(pickle.dumps(pipeline))
+        first = pipeline.run(small_instance.circuit, grid33)
+        second = clone.run(small_instance.circuit, grid33)
+        assert first.circuit == second.circuit
+        assert first.swap_count == second.swap_count
+
+
+class TestDecomposedSabre:
+    def test_matches_monolithic_from_pinned_mapping(self, small_instance,
+                                                    grid33):
+        """skeleton+sabre-route+reinsert == SabreLayout, bit for bit."""
+        staged = Pipeline([SkeletonPass(), SabreRoutePass(seed=13),
+                           ReinsertPass()])
+        direct = SabreLayout(seed=13).run(
+            small_instance.circuit, grid33,
+            initial_mapping=small_instance.mapping(),
+        )
+        result = staged.run(small_instance.circuit, grid33,
+                            initial_mapping=small_instance.mapping())
+        assert result.circuit == direct.circuit
+        assert result.swap_count == direct.swap_count
+
+    def test_route_without_mapping_raises(self, small_instance, grid33):
+        with pytest.raises(QLSError, match="layout"):
+            Pipeline([SabreRoutePass(seed=1)]).run(small_instance.circuit,
+                                                   grid33)
+
+    def test_route_autosplits_without_skeleton_pass(self, small_instance,
+                                                    grid33):
+        explicit = Pipeline([SkeletonPass(), SabreRoutePass(seed=13),
+                             ReinsertPass()])
+        implicit = Pipeline([SabreRoutePass(seed=13), ReinsertPass()])
+        pinned = small_instance.mapping()
+        a = explicit.run(small_instance.circuit, grid33, initial_mapping=pinned)
+        b = implicit.run(small_instance.circuit, grid33, initial_mapping=pinned)
+        assert a.circuit == b.circuit
+
+    def test_reinsert_is_noop_after_monolithic_tool(self, small_instance,
+                                                    grid33):
+        plain = build_pipeline("sabre", seed=2)
+        with_reinsert = build_pipeline("sabre+reinsert", seed=2)
+        a = plain.run(small_instance.circuit, grid33)
+        b = with_reinsert.run(small_instance.circuit, grid33)
+        assert a.circuit == b.circuit
+
+
+class _Cheater(QLSTool):
+    """Claims zero swaps with an empty circuit — must fail validation."""
+
+    name = "cheater"
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        return QLSResult(
+            tool=self.name,
+            circuit=QuantumCircuit(coupling.num_qubits),
+            initial_mapping=Mapping.identity(circuit.num_qubits),
+            swap_count=0,
+        )
+
+
+class TestValidatePass:
+    def test_strict_raises_on_unfaithful_output(self, small_instance, grid33):
+        pipeline = Pipeline([ToolPass(_Cheater()), ValidatePass()])
+        with pytest.raises(QLSError, match="validation"):
+            pipeline.run(small_instance.circuit, grid33)
+
+    def test_lenient_records_failure(self, small_instance, grid33):
+        pipeline = Pipeline([ToolPass(_Cheater()), ValidatePass(strict=False)])
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert result.metadata["validated"] is False
+
+    def test_valid_output_annotated(self, small_instance, grid33):
+        pipeline = build_pipeline("sabre+validate", seed=1)
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert result.metadata["validated"] is True
+
+
+class TestPipelineTool:
+    def test_tool_contract(self, small_instance, grid33):
+        tool = PipelineTool(build_pipeline("greedy+sabre", seed=1),
+                            name="mixed")
+        assert tool.name == "mixed"
+        result = tool.run(small_instance.circuit, grid33)
+        assert result.tool == "mixed"
+        pinned = tool.run(small_instance.circuit, grid33,
+                          initial_mapping=small_instance.mapping())
+        assert pinned.initial_mapping == small_instance.mapping()
+
+    def test_timed_run_keeps_pipeline_timing(self, small_instance, grid33):
+        tool = PipelineTool(build_pipeline("sabre", seed=1))
+        result = tool.timed_run(small_instance.circuit, grid33)
+        # The pipeline stamped its summed stage time; timed_run must not
+        # overwrite the tool's own (more precise) measurement.
+        assert result.runtime_seconds == \
+            pytest.approx(sum(s.seconds for s in result.stages))
+
+    def test_shared_pool_delegation(self):
+        pooled = PipelineTool(build_pipeline("lightsabre:trials=4", seed=1))
+        assert pooled.supports_shared_pool
+        assert pooled.trials == 4
+        sentinel = object()
+        pooled.pool = sentinel
+        assert pooled.pool is sentinel
+        inner = pooled.pipeline.passes[0].tool
+        assert inner.pool is sentinel
+        pooled.pool = None
+        assert pooled.pool is None
+
+    def test_no_pool_without_pooled_tools(self):
+        plain = PipelineTool(build_pipeline("sabre", seed=1))
+        assert not plain.supports_shared_pool
+        assert plain.trials == 1
+        assert plain.pool is None

@@ -1,0 +1,112 @@
+"""Spec-string registry tests: grammar, factories, presets."""
+
+import pytest
+
+from repro.pipeline import (
+    LayoutPass,
+    PipelineResult,
+    RoutingPass,
+    build_pipeline,
+    list_passes,
+    list_specs,
+    parse_spec,
+    register_pass,
+    register_spec,
+)
+from repro.pipeline.registry import _parse_value
+from repro.qls import QLSError
+
+
+class TestParseSpec:
+    def test_plain_stages(self):
+        assert parse_spec("greedy+sabre") == [("greedy", {}), ("sabre", {})]
+
+    def test_stage_arguments(self):
+        stages = parse_spec("lightsabre:trials=16,workers=2")
+        assert stages == [("lightsabre", {"trials": 16, "workers": 2})]
+
+    def test_alias_resolution(self):
+        assert parse_spec("tket") == [("tketlike", {})]
+        assert parse_spec("greedy_degree") == [("greedy", {})]
+
+    def test_value_literals(self):
+        assert _parse_value("16") == 16
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("True") is True
+        assert _parse_value("None") is None
+        assert _parse_value("bare-word") == "bare-word"
+
+    @pytest.mark.parametrize("bad", ["", "  ", "greedy++sabre", "nonsense",
+                                     "sabre:seed"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(QLSError):
+            parse_spec(bad)
+
+
+class TestBuildPipeline:
+    def test_issue_example_spec(self, small_instance, grid33):
+        pipeline = build_pipeline("vf2+sabre+reinsert", seed=3)
+        result = pipeline.run(small_instance.circuit, grid33)
+        assert isinstance(result, PipelineResult)
+        # QUBIKOS never embeds: vf2 steps aside, sabre searches its own.
+        assert result.metadata["vf2_embedded"] is False
+        assert result.swap_count >= small_instance.optimal_swaps
+
+    def test_seed_injected_into_seedable_stages(self):
+        pipeline = build_pipeline("random+sabre", seed=99)
+        layout, routing = pipeline.passes
+        assert isinstance(layout, LayoutPass) and layout.seed == 99
+        assert isinstance(routing, RoutingPass) and routing.tool.seed == 99
+
+    def test_explicit_seed_wins_over_injection(self):
+        pipeline = build_pipeline("sabre:seed=7", seed=99)
+        assert pipeline.passes[0].tool.seed == 7
+
+    def test_stage_arguments_reach_the_tool(self):
+        pipeline = build_pipeline("lightsabre:trials=3", seed=1)
+        assert pipeline.passes[0].tool.trials == 3
+
+    def test_bad_stage_argument_fails_fast(self):
+        with pytest.raises(QLSError, match="bad arguments"):
+            build_pipeline("sabre:warp_factor=9")
+
+    def test_preset_alias_expands(self):
+        pipeline = build_pipeline("staged-sabre", seed=1)
+        assert [p.name for p in pipeline.passes] == [
+            "layout-greedy", "skeleton", "sabre-route", "reinsert", "validate",
+        ]
+        # Reports show what the user typed, not the expansion.
+        assert pipeline.name == "staged-sabre"
+
+    def test_pipeline_name_defaults_to_spec(self):
+        assert build_pipeline("greedy+sabre").name == "greedy+sabre"
+        assert build_pipeline("greedy+sabre", name="mine").name == "mine"
+
+
+class TestRegistryListing:
+    def test_list_passes_covers_the_four_kinds(self):
+        kinds = {info.kind for info in list_passes()}
+        assert kinds == {"layout", "routing", "structure", "post"}
+
+    def test_expected_stages_registered(self):
+        names = {info.name for info in list_passes()}
+        assert {"trivial", "random", "greedy", "vf2", "sabre", "lightsabre",
+                "tketlike", "astar", "mlqls", "bmt", "skeleton",
+                "sabre-route", "reinsert", "validate"} <= names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_pass("sabre", lambda: None, kind="routing",
+                          description="dup")
+        with pytest.raises(ValueError):
+            register_spec("staged-sabre", "sabre")
+
+    def test_register_spec_validates_eagerly(self):
+        with pytest.raises(QLSError):
+            register_spec("broken-preset", "no-such-stage+sabre")
+        assert "broken-preset" not in list_specs()
+
+    def test_list_specs_is_a_copy(self):
+        specs = list_specs()
+        specs["mutation"] = "sabre"
+        assert "mutation" not in list_specs()

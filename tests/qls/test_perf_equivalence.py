@@ -16,9 +16,12 @@ import pytest
 from repro.arch import get_architecture, grid
 from repro.circuit import QuantumCircuit
 from repro.circuit.dag import DependencyDag, ExecutionFrontier
+from repro.pipeline import build_pipeline
 from repro.qls import (
     AStarMapper,
+    BmtMapper,
     LightSabre,
+    MlQls,
     SabreLayout,
     SabreParameters,
     TketLikeRouter,
@@ -185,6 +188,77 @@ class TestRouterSeedEquivalence:
         assert result.swap_count == ROUTER_GOLDEN[arch]["astar_pinned_swaps"]
         assert circuit_hash(result.circuit) == \
             ROUTER_GOLDEN[arch]["astar_pinned_hash"]
+
+
+class TestPipelineGoldenEquivalence:
+    """Every pinned golden must reproduce bit-identically when the same
+    tool runs via its pipeline form (``build_pipeline`` + ``Pipeline.run``),
+    in both full and router-only modes — the api-redesign determinism
+    contract."""
+
+    def test_sabre_pipeline_matches_golden(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = build_pipeline("sabre", seed=3).run(inst.circuit, device)
+        assert result.swap_count == GOLDEN[arch]["layout_swaps"]
+        assert circuit_hash(result.circuit) == GOLDEN[arch]["layout_hash"]
+
+    def test_lightsabre_pipeline_matches_golden(self, arch_instance):
+        arch, device, inst = arch_instance
+        result = build_pipeline("lightsabre:trials=3", seed=9).run(
+            inst.circuit, device
+        )
+        assert result.swap_count == GOLDEN[arch]["light_swaps"]
+        assert result.metadata["winning_trial"] == GOLDEN[arch]["light_winner"]
+        assert circuit_hash(result.circuit) == GOLDEN[arch]["light_hash"]
+
+    def test_tketlike_pipeline_matches_golden(self, arch_instance):
+        arch, device, inst = arch_instance
+        pipeline = build_pipeline("tketlike", seed=13)
+        full = pipeline.run(inst.circuit, device)
+        assert full.swap_count == ROUTER_GOLDEN[arch]["tket_swaps"]
+        assert circuit_hash(full.circuit) == ROUTER_GOLDEN[arch]["tket_hash"]
+        pinned = pipeline.run(inst.circuit, device,
+                              initial_mapping=inst.mapping())
+        assert pinned.swap_count == ROUTER_GOLDEN[arch]["tket_pinned_swaps"]
+        assert circuit_hash(pinned.circuit) == \
+            ROUTER_GOLDEN[arch]["tket_pinned_hash"]
+
+    def test_astar_pipeline_matches_golden(self, arch_instance):
+        arch, device, inst = arch_instance
+        pipeline = build_pipeline("astar", seed=13)
+        full = pipeline.run(inst.circuit, device)
+        assert full.swap_count == ROUTER_GOLDEN[arch]["astar_swaps"]
+        assert circuit_hash(full.circuit) == ROUTER_GOLDEN[arch]["astar_hash"]
+        pinned = pipeline.run(inst.circuit, device,
+                              initial_mapping=inst.mapping())
+        assert pinned.swap_count == ROUTER_GOLDEN[arch]["astar_pinned_swaps"]
+        assert circuit_hash(pinned.circuit) == \
+            ROUTER_GOLDEN[arch]["astar_pinned_hash"]
+
+    @pytest.mark.parametrize("tool_factory,spec", [
+        (lambda: SabreLayout(seed=3), "sabre:seed=3"),
+        (lambda: LightSabre(trials=3, seed=9), "lightsabre:trials=3,seed=9"),
+        (lambda: MlQls(seed=13), "mlqls:seed=13"),
+        (lambda: AStarMapper(seed=13), "astar:seed=13"),
+        (lambda: TketLikeRouter(seed=13), "tketlike:seed=13"),
+        (lambda: BmtMapper(seed=13), "bmt:seed=13"),
+    ], ids=["sabre", "lightsabre", "mlqls", "astar", "tketlike", "bmt"])
+    def test_pipeline_form_is_bit_identical(self, tool_factory, spec,
+                                            arch_instance):
+        """Full and router-only: pipeline output == monolithic output."""
+        arch, device, inst = arch_instance
+        if spec.startswith("bmt") and arch == "eagle127":
+            pytest.skip("BMT's VF2 segmentation needs minutes on 127 qubits; "
+                        "the bit-identity contract is covered on the other "
+                        "three devices")
+        pipeline = build_pipeline(spec)
+        for pinned in (None, inst.mapping()):
+            direct = tool_factory().run(inst.circuit, device,
+                                        initial_mapping=pinned)
+            piped = pipeline.run(inst.circuit, device, initial_mapping=pinned)
+            assert piped.swap_count == direct.swap_count
+            assert circuit_hash(piped.circuit) == circuit_hash(direct.circuit)
+            assert piped.initial_mapping == direct.initial_mapping
 
 
 class TestTketScoringPaths:

@@ -132,6 +132,41 @@ class TestPaperTools:
             "lightsabre", "mlqls", "astar", "tketlike"
         ]
 
+    def test_trials_reach_lightsabre_through_the_pipeline(self):
+        tools = paper_tools(seed=3, sabre_trials=5)
+        lightsabre = tools[0]
+        assert lightsabre.supports_shared_pool
+        assert lightsabre.trials == 5
+
+
+class _SelfTimingTool(SabreLayout):
+    """Stamps its own (already-measured) runtime before returning."""
+
+    name = "selftimed"
+
+    def run(self, circuit, coupling, initial_mapping=None):
+        result = super().run(circuit, coupling, initial_mapping)
+        result.runtime_seconds = 123.456  # e.g. a pool run timing only trials
+        return result
+
+
+class TestTimedRun:
+    def test_stamps_when_tool_left_default(self, instances):
+        instance = instances[0]
+        result = SabreLayout(seed=1).timed_run(
+            instance.circuit, instance.coupling()
+        )
+        assert result.runtime_seconds > 0
+
+    def test_preserves_tool_measured_runtime(self, instances):
+        """Regression: timed_run must not overwrite a runtime the tool
+        already measured (it used to stamp unconditionally)."""
+        instance = instances[0]
+        result = _SelfTimingTool(seed=1).timed_run(
+            instance.circuit, instance.coupling()
+        )
+        assert result.runtime_seconds == 123.456
+
 
 class TestAStarSpecifics:
     def test_layer_metadata(self, instances):
