@@ -1,0 +1,170 @@
+"""Compilation-service smoke check (run with ``--service-smoke``).
+
+Exercises the full service surface at tier-1 cost — submit → cache-hit →
+batch on tiny instances — and records the cache payoff in
+``BENCH_service.json`` at the repo root::
+
+    pytest benchmarks --service-smoke
+
+Checks:
+
+* a repeat ``submit`` is a cache hit returning a bit-identical result
+  (same circuit, mapping, swap count, per-stage records), including
+  through the on-disk tier (a fresh service over the same directory);
+* a warm ``submit_many`` batch and a warm ``evaluate(..., cache=...)``
+  suite rerun report **100% cache hits** with measured wall-clock
+  reduction;
+* batch responses are element-identical to the serial submit loop.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.arch import get_architecture
+from repro.evalx.harness import evaluate
+from repro.pipeline import PipelineTool, build_pipeline
+from repro.qls import validate_transpiled
+from repro.qubikos import generate
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    ResultCache,
+)
+
+from conftest import print_banner
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+SPECS = ("sabre", "tketlike", "lightsabre:trials=2")
+
+
+def _smoke_instances():
+    device = get_architecture("aspen4")
+    return device, [
+        generate(device, num_swaps=3, num_two_qubit_gates=60, seed=700 + k)
+        for k in range(3)
+    ]
+
+
+def _smoke_requests(instances):
+    return [
+        CompileRequest.from_instance(instance, spec=spec, seed=11)
+        for instance in instances
+        for spec in SPECS
+    ]
+
+
+def test_service_smoke_submit_cache_hit_batch(tmp_path):
+    device, instances = _smoke_instances()
+    requests = _smoke_requests(instances)
+    cache_dir = tmp_path / "cache"
+    service = CompilationService(cache=ResultCache(directory=str(cache_dir)))
+
+    # -- single submit: miss, then bit-identical hit ------------------------
+    first = service.submit(requests[0])
+    assert not first.cache_hit
+    again = service.submit(requests[0])
+    assert again.cache_hit
+    assert again.result.circuit == first.result.circuit
+    assert again.result.initial_mapping == first.result.initial_mapping
+    assert again.result.swap_count == first.result.swap_count
+    assert again.result.stages == first.result.stages
+    report = validate_transpiled(requests[0].circuit, again.result.circuit,
+                                 device, again.result.initial_mapping)
+    assert report.valid, report.error
+
+    # -- batch: cold fills, warm is 100% hits and faster --------------------
+    service.cache.clear()
+    start = time.perf_counter()
+    cold = service.submit_many(requests)
+    cold_seconds = time.perf_counter() - start
+    assert all(not response.cache_hit for response in cold)
+    start = time.perf_counter()
+    warm = service.submit_many(requests)
+    warm_seconds = time.perf_counter() - start
+    assert all(response.cache_hit for response in warm)
+    assert warm_seconds < cold_seconds
+    for c, w in zip(cold, warm):
+        assert w.result.circuit == c.result.circuit
+        assert w.result.swap_count == c.result.swap_count
+        assert w.request_fingerprint == c.request_fingerprint
+
+    # batch == serial submit loop, element for element
+    fresh = CompilationService(cache=ResultCache())
+    serial = [fresh.submit(request) for request in requests]
+    for s, c in zip(serial, cold):
+        assert s.result.circuit == c.result.circuit
+        assert s.cache_hit == c.cache_hit
+        assert s.request_fingerprint == c.request_fingerprint
+
+    # -- disk tier: a fresh service over the same directory hits ------------
+    reopened = CompilationService(
+        cache=ResultCache(directory=str(cache_dir)))
+    disk = reopened.submit(requests[0])
+    assert disk.cache_hit
+    assert disk.result.circuit == first.result.circuit
+    assert reopened.cache.stats.disk_hits == 1
+
+    # -- warm evaluate() suite rerun: 100% hits, reduced wall-clock ---------
+    tools = [PipelineTool(build_pipeline(spec, seed=11)) for spec in SPECS]
+    eval_cache = ResultCache()
+    start = time.perf_counter()
+    cold_run = evaluate(tools, instances, cache=eval_cache)
+    eval_cold_seconds = time.perf_counter() - start
+    assert not any(record.cache_hit for record in cold_run.records)
+    start = time.perf_counter()
+    warm_run = evaluate(tools, instances, cache=eval_cache)
+    eval_warm_seconds = time.perf_counter() - start
+    assert all(record.cache_hit for record in warm_run.records)
+    assert [r.result_key() for r in warm_run.records] == \
+        [r.result_key() for r in cold_run.records]
+    assert eval_warm_seconds < eval_cold_seconds
+
+    payload = {
+        "suite": {
+            "requests": len(requests),
+            "specs": list(SPECS),
+            "instances": len(instances),
+            "device": "aspen4",
+        },
+        "batch": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_hit_rate": 1.0,
+            "speedup": cold_seconds / warm_seconds,
+        },
+        "evaluate": {
+            "cold_seconds": eval_cold_seconds,
+            "warm_seconds": eval_warm_seconds,
+            "warm_hit_rate": 1.0,
+            "speedup": eval_cold_seconds / eval_warm_seconds,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print_banner("service-smoke — submit -> cache-hit -> batch")
+    print(f"  batch    cold {cold_seconds:.3f}s -> warm {warm_seconds:.3f}s "
+          f"({payload['batch']['speedup']:.0f}x, 100% hits)")
+    print(f"  evaluate cold {eval_cold_seconds:.3f}s -> warm "
+          f"{eval_warm_seconds:.3f}s "
+          f"({payload['evaluate']['speedup']:.0f}x, 100% hits)")
+    print(f"  -> {OUTPUT}")
+
+
+def test_service_smoke_parallel_batch_matches_serial(tmp_path):
+    """Pool fan-out: same responses, same hit/miss flags, cache warmed."""
+    _, instances = _smoke_instances()
+    requests = _smoke_requests(instances)
+    serial_service = CompilationService(cache=ResultCache())
+    serial = serial_service.submit_many(requests)
+    parallel_service = CompilationService(cache=ResultCache(), workers=2)
+    parallel = parallel_service.submit_many(requests)
+    assert len(parallel) == len(serial)
+    for s, p in zip(serial, parallel):
+        assert p.request_fingerprint == s.request_fingerprint
+        assert p.cache_hit == s.cache_hit
+        assert p.result.circuit == s.result.circuit
+        assert p.result.swap_count == s.result.swap_count
+    warm = parallel_service.submit_many(requests)
+    assert all(response.cache_hit for response in warm)

@@ -27,6 +27,11 @@ def pytest_addoption(parser):
         help="run only the tiny every-registered-pipeline-spec check "
              "(tier-1 CI scale); every heavy benchmark is skipped",
     )
+    parser.addoption(
+        "--service-smoke", action="store_true", default=False,
+        help="run only the tiny submit -> cache-hit -> batch service "
+             "check (tier-1 CI scale); every heavy benchmark is skipped",
+    )
 
 
 #: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
@@ -35,6 +40,7 @@ def pytest_addoption(parser):
 SMOKE_GATES = {
     "--perf-smoke": "perf_smoke",
     "--pipeline-smoke": "pipeline_smoke",
+    "--service-smoke": "service_smoke",
 }
 
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 tests plus every cheap smoke gate.
+#
+#   scripts/check.sh            # tier-1 + perf/pipeline/service smoke
+#   scripts/check.sh --fast     # tier-1 only
+#
+# The smoke gates are tier-1-sized versions of the heavy benchmark
+# contracts: parallel-vs-serial record identity (--perf-smoke), every
+# registered pipeline preset routing validly (--pipeline-smoke), and
+# submit -> cache-hit -> batch through the compilation service
+# (--service-smoke, refreshing BENCH_service.json).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: python -m pytest -x -q"
+python -m pytest -x -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    exit 0
+fi
+
+echo
+echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke"
+python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke -q

@@ -18,7 +18,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import arch, circuit, graphs, qubikos, qls, pipeline, sat, evalx, analysis
+from . import arch, circuit, graphs, qubikos, qls, pipeline, sat, service, \
+    evalx, analysis
 
 __all__ = [
     "arch",
@@ -28,6 +29,7 @@ __all__ = [
     "qls",
     "pipeline",
     "sat",
+    "service",
     "evalx",
     "analysis",
     "__version__",

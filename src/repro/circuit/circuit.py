@@ -146,6 +146,37 @@ class QuantumCircuit:
         """Unordered operand pairs of every two-qubit gate, in order."""
         return [g.qubit_pair() for g in self._gates if g.is_two_qubit]
 
+    # -- canonical serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe canonical form; round-trips bit-identically.
+
+        Gates serialize as ``[name, [qubits...]]`` or
+        ``[name, [qubits...], [params...]]`` triples.  Unlike the QASM
+        writer this covers *every* gate name, and float parameters survive
+        the JSON round trip exactly (shortest-repr floats).
+        """
+        return {
+            "num_qubits": self.num_qubits,
+            "name": self.name,
+            "gates": [
+                [g.name, list(g.qubits)] if not g.params
+                else [g.name, list(g.qubits), list(g.params)]
+                for g in self._gates
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QuantumCircuit":
+        """Inverse of :meth:`to_dict`."""
+        gates = (
+            Gate(entry[0], tuple(entry[1]),
+                 tuple(entry[2]) if len(entry) > 2 else ())
+            for entry in payload["gates"]
+        )
+        return cls(payload["num_qubits"], gates,
+                   name=payload.get("name", "circuit"))
+
     def without_single_qubit_gates(self) -> "QuantumCircuit":
         """Projection onto the two-qubit skeleton analysed by QLS."""
         return QuantumCircuit(self.num_qubits, self.two_qubit_gates(), self.name)

@@ -125,9 +125,19 @@ def print_pass_list() -> None:
           'e.g. --pipeline greedy+lightsabre:trials=16')
 
 
+def _print_cache_summary(run, cache) -> None:
+    """One line of cache effectiveness after a cached evaluation."""
+    if cache is None:
+        return
+    hits = len(run.cache_hits())
+    print(f"cache: {hits}/{len(run.records)} records served from cache "
+          f"(lifetime: {cache.stats.hits} hits / {cache.stats.misses} misses"
+          + (f", dir={cache.directory}" if cache.directory else "") + ")")
+
+
 def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
              seed: int, verbose: bool = True, workers: Optional[int] = None,
-             tools=None):
+             tools=None, cache=None):
     """One Figure 4 panel."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=[arch],
@@ -136,18 +146,19 @@ def run_fig4(arch: str, per_point: int, gate_scale: float, sabre_trials: int,
     instances = build_suite(spec)
     if tools is None:
         tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances, workers=workers)
+    run = evaluate(tools, instances, workers=workers, cache=cache)
     if verbose:
         print(figure4_table(run, arch, swap_counts=spec.swap_counts))
         print()
         print(validity_summary(run))
+        _print_cache_summary(run, cache)
     return run
 
 
 def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
                  seed: int, architectures: Optional[Sequence[str]] = None,
                  verbose: bool = True, workers: Optional[int] = None,
-                 tools=None):
+                 tools=None, cache=None):
     """All four panels + the abstract's aggregate table."""
     archs = list(architectures or PAPER_ARCHITECTURES)
     spec = evaluation_spec(
@@ -157,9 +168,10 @@ def run_headline(per_point: int, gate_scale: float, sabre_trials: int,
     instances = build_suite(spec)
     if tools is None:
         tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances, workers=workers)
+    run = evaluate(tools, instances, workers=workers, cache=cache)
     if verbose:
         print(full_report(run, archs))
+        _print_cache_summary(run, cache)
     return run
 
 
@@ -189,7 +201,7 @@ def run_decay_ablation(per_point: int, verbose: bool = True):
 
 def run_router(per_point: int, gate_scale: float, sabre_trials: int,
                seed: int, verbose: bool = True, workers: Optional[int] = None,
-               tools=None):
+               tools=None, cache=None):
     """Router-only evaluation from the known-optimal initial mapping."""
     spec = evaluation_spec(
         circuits_per_point=per_point, architectures=["aspen4", "sycamore54"],
@@ -198,10 +210,12 @@ def run_router(per_point: int, gate_scale: float, sabre_trials: int,
     instances = build_suite(spec)
     if tools is None:
         tools = paper_tools(seed=seed, sabre_trials=sabre_trials)
-    run = evaluate(tools, instances, router_only=True, workers=workers)
+    run = evaluate(tools, instances, router_only=True, workers=workers,
+                   cache=cache)
     if verbose:
         print("Router-only mode (optimal initial mapping supplied)")
         print(full_report(run, ["aspen4", "sycamore54"]))
+        _print_cache_summary(run, cache)
     return run
 
 
@@ -230,6 +244,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size for suite evaluation "
                              "(default: serial; paper scale: host core count)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result-cache directory: reruns of "
+                             "fig4a..fig4d/headline/router only pay for "
+                             "cache misses (see repro.service)")
     parser.add_argument("--exact-budget", type=float, default=120.0,
                         help="e1: total seconds for SAT cross-checks")
     args = parser.parse_args(argv)
@@ -248,26 +266,36 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     tools = (build_pipeline_tools(args.pipeline, seed=args.seed)
              if args.pipeline else None)
-    if tools is not None and args.experiment not in (
-            "fig4a", "fig4b", "fig4c", "fig4d", "headline", "router"):
+    cached_experiments = ("fig4a", "fig4b", "fig4c", "fig4d", "headline",
+                          "router")
+    if tools is not None and args.experiment not in cached_experiments:
         parser.error(f"--pipeline is not supported by {args.experiment!r}; "
                      "it applies to fig4a..fig4d, headline, and router")
+    cache = None
+    if args.cache_dir is not None:
+        if args.experiment not in cached_experiments:
+            parser.error(f"--cache-dir is not supported by "
+                         f"{args.experiment!r}; it applies to "
+                         "fig4a..fig4d, headline, and router")
+        from ..service import ResultCache
+        cache = ResultCache(directory=args.cache_dir)
     if args.experiment == "e1":
         run_e1(args.per_point, args.exact_budget)
     elif args.experiment in _FIG4_ARCH:
         run_fig4(_FIG4_ARCH[args.experiment], args.per_point, args.gate_scale,
                  args.sabre_trials, args.seed, workers=args.workers,
-                 tools=tools)
+                 tools=tools, cache=cache)
     elif args.experiment == "headline":
         run_headline(args.per_point, args.gate_scale, args.sabre_trials,
-                     args.seed, workers=args.workers, tools=tools)
+                     args.seed, workers=args.workers, tools=tools,
+                     cache=cache)
     elif args.experiment == "case-study":
         run_case_study()
     elif args.experiment == "decay-ablation":
         run_decay_ablation(args.per_point)
     elif args.experiment == "router":
         run_router(args.per_point, args.gate_scale, args.sabre_trials,
-                   args.seed, workers=args.workers, tools=tools)
+                   args.seed, workers=args.workers, tools=tools, cache=cache)
     return 0
 
 

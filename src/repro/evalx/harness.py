@@ -34,6 +34,23 @@ Pass ``pool=`` to share one :class:`~repro.parallel.WorkerPool` across
 several ``evaluate`` calls (e.g. the four Figure-4 panels); the pool is
 then left running for the caller to shut down.
 
+Result caching
+--------------
+``evaluate(..., cache=ResultCache(...))`` (or ``service=`` with a
+:class:`~repro.service.service.CompilationService`, whose cache is used)
+makes the harness cache-first: each (tool, instance, router_only) pair is
+keyed by a content-addressed fingerprint — tool configuration, circuit
+gate stream, coupling graph, pinned mapping, code epoch — and a hit
+reconstructs the stored result instead of re-running the tool, so a
+rerun of an already-evaluated suite pays only cache lookups (plus
+validation, which always replays the — cached — circuit and therefore
+keeps proving bit-identity).  Hit records carry ``cache_hit=True`` and
+the *original* compute cost in ``runtime_seconds``; ``result_key`` is
+unchanged, so cached and recomputed runs compare record-identical.  In
+parallel mode hits are resolved in the parent and only misses ship to
+the pool; results are stored from the parent as they land.
+
+
 Timing: ``RunRecord.runtime_seconds`` measures **only** ``tool.run()``;
 the :func:`repro.qls.validate.validate_transpiled` replay is timed
 separately in ``validation_seconds`` so runtime-vs-quality reports are not
@@ -55,6 +72,14 @@ from ..parallel import WorkerPool
 from ..qls.base import QLSTool
 from ..qls.validate import validate_transpiled
 from ..qubikos.instance import QubikosInstance
+from ..service.cache import ResultCache
+from ..service.fingerprint import (
+    circuit_fingerprint,
+    coupling_fingerprint,
+    pair_fingerprint,
+    tool_fingerprint,
+)
+from ..service.service import ENTRY_DECODE_ERRORS, decode_entry, make_entry
 
 
 @dataclass
@@ -76,6 +101,11 @@ class RunRecord:
     trials_per_second: Optional[float] = None
     #: Wall-clock of the validation replay (0 when validation is skipped).
     validation_seconds: float = 0.0
+    #: True when the result came from the evaluation cache; then
+    #: ``runtime_seconds`` reports the *original* compute cost, not this
+    #: run's (near-zero) lookup time.  Excluded from :meth:`result_key` so
+    #: warm and cold runs compare record-identical.
+    cache_hit: bool = False
 
     def result_key(self) -> Tuple:
         """The deterministic fields — everything except wall-clock.
@@ -90,6 +120,57 @@ class RunRecord:
         return (self.tool, self.instance, self.architecture,
                 self.optimal_swaps, self.observed_swaps, ratio,
                 self.valid, self.router_only, self.error)
+
+    # -- canonical serialization ----------------------------------------------
+
+    #: Version of the ``RunRecord.to_dict`` wire schema.
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-safe form (NaN ratios encode as ``None``)."""
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "type": "RunRecord",
+            "tool": self.tool,
+            "instance": self.instance,
+            "architecture": self.architecture,
+            "optimal_swaps": self.optimal_swaps,
+            "observed_swaps": self.observed_swaps,
+            "swap_ratio": (None if math.isnan(self.swap_ratio)
+                           else self.swap_ratio),
+            "runtime_seconds": self.runtime_seconds,
+            "valid": self.valid,
+            "router_only": self.router_only,
+            "error": self.error,
+            "trials_per_second": self.trials_per_second,
+            "validation_seconds": self.validation_seconds,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        version = payload.get("schema")
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunRecord schema version {version!r} "
+                f"(this build reads version {cls.SCHEMA_VERSION})"
+            )
+        ratio = payload["swap_ratio"]
+        return cls(
+            tool=payload["tool"],
+            instance=payload["instance"],
+            architecture=payload["architecture"],
+            optimal_swaps=payload["optimal_swaps"],
+            observed_swaps=payload["observed_swaps"],
+            swap_ratio=float("nan") if ratio is None else ratio,
+            runtime_seconds=payload["runtime_seconds"],
+            valid=payload["valid"],
+            router_only=payload["router_only"],
+            error=payload.get("error"),
+            trials_per_second=payload.get("trials_per_second"),
+            validation_seconds=payload.get("validation_seconds", 0.0),
+            cache_hit=payload.get("cache_hit", False),
+        )
 
 
 @dataclass
@@ -121,24 +202,54 @@ class EvaluationRun:
     def invalid_records(self) -> List[RunRecord]:
         return [r for r in self.records if not r.valid]
 
+    def cache_hits(self) -> List[RunRecord]:
+        return [r for r in self.records if r.cache_hit]
+
+
+def _fetch_decoded(cache: ResultCache, key: str) -> Optional[Tuple]:
+    """Guarded cache fetch: decoded ``(result, compile_seconds)`` or
+    ``None`` — undecodable (stale/poisoned) entries are reported back via
+    :meth:`ResultCache.note_stale` and treated as misses, so the
+    recomputation that follows heals the store."""
+    entry = cache.get(key)
+    if entry is None:
+        return None
+    try:
+        return decode_entry(entry)
+    except ENTRY_DECODE_ERRORS:
+        cache.note_stale(key)
+        return None
+
 
 def _measure_pair(tool: QLSTool, instance: QubikosInstance,
                   coupling: CouplingGraph, router_only: bool,
-                  validate: bool) -> RunRecord:
-    """Run one (tool, instance) pair and build its record.
+                  validate: bool,
+                  cached: Optional[Tuple] = None,
+                  capture: bool = False,
+                  ) -> Tuple[RunRecord, Optional[Dict]]:
+    """Run one (tool, instance) pair; build its record (+ cache payload).
 
     The single measurement routine shared by the serial loop, the pool
     workers, and the parent-side pool-sharing path, so every mode times and
-    validates identically.
+    validates identically.  ``cached`` — a decoded ``(result,
+    compile_seconds)`` from :func:`_fetch_decoded` — replaces the
+    ``tool.run`` call with the stored result (a cache hit; validation,
+    when enabled, still replays it).  ``capture`` asks for the serialized
+    cache payload of a successful fresh run, which the caller stores.
     """
     pinned = instance.mapping() if router_only else None
     error = None
     trials_per_second = None
     validation_seconds = 0.0
+    cache_hit = cached is not None
     start = time.perf_counter()
     try:
-        result = tool.run(instance.circuit, coupling, initial_mapping=pinned)
-        elapsed = time.perf_counter() - start
+        if cache_hit:
+            result, elapsed = cached
+        else:
+            result = tool.run(instance.circuit, coupling,
+                              initial_mapping=pinned)
+            elapsed = time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - harness isolates tools
         elapsed = time.perf_counter() - start
         observed = -1
@@ -174,7 +285,7 @@ def _measure_pair(tool: QLSTool, instance: QubikosInstance,
                     error = report.error
             finally:
                 validation_seconds = time.perf_counter() - validation_start
-    return RunRecord(
+    record = RunRecord(
         tool=tool.name,
         instance=instance.name,
         architecture=instance.architecture,
@@ -187,7 +298,12 @@ def _measure_pair(tool: QLSTool, instance: QubikosInstance,
         error=error,
         trials_per_second=trials_per_second,
         validation_seconds=validation_seconds,
+        cache_hit=cache_hit,
     )
+    payload = None
+    if capture and ok and not cache_hit:
+        payload = make_entry(result, elapsed)
+    return record, payload
 
 
 @lru_cache(maxsize=None)
@@ -203,11 +319,44 @@ def _cached_architecture(name: str) -> CouplingGraph:
 
 
 def _evaluate_pair_task(tool: QLSTool, instance: QubikosInstance,
-                        router_only: bool, validate: bool) -> RunRecord:
+                        router_only: bool, validate: bool,
+                        capture: bool = False,
+                        ) -> Tuple[RunRecord, Optional[Dict]]:
     """Pool-worker entry point for one (tool, instance) pair."""
     return _measure_pair(tool, instance,
                          _cached_architecture(instance.architecture),
-                         router_only, validate)
+                         router_only, validate, capture=capture)
+
+
+class _PairKeyer:
+    """Content-addressed cache keys for the (tool, instance) grid.
+
+    Memoises the per-instance circuit fingerprint and the per-architecture
+    coupling fingerprint, so a grid of I instances x T tools hashes each
+    circuit once rather than T times (instances are keyed by identity —
+    the caller holds the instance list alive for the whole run).
+    """
+
+    def __init__(self, tool_fps: Sequence[str], router_only: bool) -> None:
+        self.tool_fps = tool_fps
+        self.router_only = router_only
+        self._circuit_fps: Dict[int, str] = {}
+        self._coupling_fps: Dict[str, str] = {}
+
+    def key(self, t: int, instance: QubikosInstance,
+            coupling: CouplingGraph) -> str:
+        circuit_fp = self._circuit_fps.get(id(instance))
+        if circuit_fp is None:
+            circuit_fp = circuit_fingerprint(instance.circuit)
+            self._circuit_fps[id(instance)] = circuit_fp
+        coupling_fp = self._coupling_fps.get(instance.architecture)
+        if coupling_fp is None:
+            coupling_fp = coupling_fingerprint(coupling)
+            self._coupling_fps[instance.architecture] = coupling_fp
+        return pair_fingerprint(
+            self.tool_fps[t], circuit_fp, coupling_fp,
+            instance.mapping() if self.router_only else None,
+        )
 
 
 def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
@@ -216,6 +365,8 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
              progress: Optional[Callable[[RunRecord], None]] = None,
              workers: Optional[int] = None,
              pool: Optional[WorkerPool] = None,
+             cache: Optional[ResultCache] = None,
+             service: Optional[object] = None,
              ) -> EvaluationRun:
     """Run every tool on every instance.
 
@@ -227,17 +378,29 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
     (see the module docstring for the determinism/streaming/pool-sharing
     contract); ``pool`` reuses a caller-owned
     :class:`~repro.parallel.WorkerPool` across several ``evaluate`` calls.
+
+    ``cache`` (a :class:`~repro.service.cache.ResultCache`) or ``service``
+    (a :class:`~repro.service.service.CompilationService`, whose cache is
+    used) makes the run cache-first: pairs already evaluated — in this
+    process or, with a directory-backed cache, any previous one — are
+    served from the store instead of re-run (see "Result caching" above).
     """
     tools = list(tools)
     instances = list(instances)
+    if cache is None and service is not None:
+        cache = getattr(service, "cache", None)
+    keyer = (_PairKeyer([tool_fingerprint(tool) for tool in tools],
+                        router_only)
+             if cache is not None else None)
     if pool is None and (workers is None or workers <= 1):
-        return _evaluate_serial(tools, instances, router_only, validate, progress)
+        return _evaluate_serial(tools, instances, router_only, validate,
+                                progress, cache, keyer)
     owned = pool is None
     if owned:
         pool = WorkerPool(workers)
     try:
         return _evaluate_parallel(tools, instances, router_only, validate,
-                                  progress, pool)
+                                  progress, pool, cache, keyer)
     finally:
         if owned:
             pool.shutdown()
@@ -246,15 +409,25 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
 def _evaluate_serial(tools: Sequence[QLSTool],
                      instances: Sequence[QubikosInstance],
                      router_only: bool, validate: bool,
-                     progress: Optional[Callable[[RunRecord], None]]
+                     progress: Optional[Callable[[RunRecord], None]],
+                     cache: Optional[ResultCache] = None,
+                     keyer: Optional[_PairKeyer] = None,
                      ) -> EvaluationRun:
     """The reference double loop: instance-major, tool-minor."""
     run = EvaluationRun()
     for instance in instances:
         coupling = _cached_architecture(instance.architecture)
-        for tool in tools:
-            record = _measure_pair(tool, instance, coupling, router_only,
-                                   validate)
+        for t, tool in enumerate(tools):
+            key = decoded = None
+            if cache is not None:
+                key = keyer.key(t, instance, coupling)
+                decoded = _fetch_decoded(cache, key)
+            record, payload = _measure_pair(tool, instance, coupling,
+                                            router_only, validate,
+                                            cached=decoded,
+                                            capture=cache is not None)
+            if payload is not None:
+                cache.put(key, payload)
             run.records.append(record)
             if progress is not None:
                 progress(record)
@@ -265,12 +438,17 @@ def _evaluate_parallel(tools: Sequence[QLSTool],
                        instances: Sequence[QubikosInstance],
                        router_only: bool, validate: bool,
                        progress: Optional[Callable[[RunRecord], None]],
-                       pool: WorkerPool) -> EvaluationRun:
+                       pool: WorkerPool,
+                       cache: Optional[ResultCache] = None,
+                       keyer: Optional[_PairKeyer] = None,
+                       ) -> EvaluationRun:
     """Fan the (tool, instance) grid over ``pool``.
 
     Pair index ``i * len(tools) + t`` pins each record's position to the
     slot the serial double loop would fill, so the assembled record list is
-    order-identical no matter how the pool schedules the work.
+    order-identical no matter how the pool schedules the work.  With a
+    cache, hits are resolved in the parent before anything is queued, and
+    miss payloads are stored from the parent as their futures land.
     """
     slots: List[Optional[RunRecord]] = [None] * (len(instances) * len(tools))
 
@@ -279,49 +457,85 @@ def _evaluate_parallel(tools: Sequence[QLSTool],
         if progress is not None:
             progress(record)
 
-    futures: Dict[Future, Tuple[int, QLSTool, QubikosInstance]] = {}
-    plain_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
-    shared_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
-    broken_pairs: List[Tuple[int, QLSTool, QubikosInstance]] = []
+    def pair_cache_key(t: int, instance: QubikosInstance) -> Optional[str]:
+        if cache is None:
+            return None
+        return keyer.key(t, instance,
+                         _cached_architecture(instance.architecture))
+
+    def run_in_parent(index: int, tool: QLSTool, instance: QubikosInstance,
+                      t: int) -> None:
+        """Measure one pair in the parent, cache-first, storing misses."""
+        key = pair_cache_key(t, instance)
+        decoded = _fetch_decoded(cache, key) if key is not None else None
+        record, payload = _measure_pair(
+            tool, instance, _cached_architecture(instance.architecture),
+            router_only, validate, cached=decoded,
+            capture=cache is not None,
+        )
+        if payload is not None:
+            cache.put(key, payload)
+        finish(index, record)
+
+    futures: Dict[Future, Tuple] = {}
+    plain_pairs: List[Tuple[int, QLSTool, QubikosInstance, int]] = []
+    shared_pairs: List[Tuple[int, QLSTool, QubikosInstance, int]] = []
+    broken_pairs: List[Tuple[int, QLSTool, QubikosInstance, int]] = []
     for i, instance in enumerate(instances):
         for t, tool in enumerate(tools):
             index = i * len(tools) + t
             if getattr(tool, "supports_shared_pool", False) \
                     and getattr(tool, "trials", 1) > 1:
-                shared_pairs.append((index, tool, instance))
+                shared_pairs.append((index, tool, instance, t))
             else:
-                plain_pairs.append((index, tool, instance))
+                plain_pairs.append((index, tool, instance, t))
 
     # Pool-sharing pairs run first, from the parent, with the suite pool
     # bound: their trial chunks get the workers to themselves, so the
     # recorded runtime_seconds / trials_per_second measure trial compute,
     # not time spent queueing behind a backlog of other tools' pairs —
     # keeping the runtime-quality metrics comparable with serial runs.
-    for index, tool, instance in shared_pairs:
+    for index, tool, instance, t in shared_pairs:
         previous = getattr(tool, "pool", None)
         tool.pool = pool
         try:
-            record = _measure_pair(tool, instance,
-                                   _cached_architecture(instance.architecture),
-                                   router_only, validate)
+            run_in_parent(index, tool, instance, t)
         finally:
             tool.pool = previous
-        finish(index, record)
 
-    # Then fan the plain pairs out; each runs whole inside one worker.
-    for index, tool, instance in plain_pairs:
+    # Then fan the plain pairs out: every miss is queued before any hit is
+    # resolved, so workers start on the compute immediately and the parent
+    # reconstructs/validates the hits while they run.  Each miss runs
+    # whole inside one worker.
+    hit_pairs: List[Tuple[int, QLSTool, QubikosInstance, Tuple]] = []
+    for index, tool, instance, t in plain_pairs:
+        key = pair_cache_key(t, instance)
+        if key is not None:
+            decoded = _fetch_decoded(cache, key)
+            if decoded is not None:
+                hit_pairs.append((index, tool, instance, decoded))
+                continue
+            # a miss — including a poisoned entry, which the landing
+            # future's payload then overwrites
         try:
             future = pool.submit(_evaluate_pair_task, tool, instance,
-                                 router_only, validate)
+                                 router_only, validate, cache is not None)
         except Exception:  # noqa: BLE001 - submission = transport layer
-            broken_pairs.append((index, tool, instance))
+            broken_pairs.append((index, tool, instance, t))
             continue
-        futures[future] = (index, tool, instance)
+        futures[future] = (index, tool, instance, t, key)
+
+    for index, tool, instance, decoded in hit_pairs:
+        record, _ = _measure_pair(
+            tool, instance, _cached_architecture(instance.architecture),
+            router_only, validate, cached=decoded,
+        )
+        finish(index, record)
 
     for future in as_completed(list(futures)):
-        index, tool, instance = futures[future]
+        index, tool, instance, t, key = futures[future]
         try:
-            record = future.result()
+            record, payload = future.result()
         except Exception:  # noqa: BLE001 - transport failures, see below
             # Tool exceptions are caught *inside* _measure_pair, so anything
             # surfacing here is a transport problem: the pool died
@@ -329,17 +543,16 @@ def _evaluate_parallel(tools: Sequence[QLSTool],
             # process boundary (unpicklable tool or result).  Either way the
             # pair re-runs in the parent, where no pickling is involved and
             # the serial error-isolation semantics apply.
-            broken_pairs.append((index, tool, instance))
+            broken_pairs.append((index, tool, instance, t))
             continue
+        if payload is not None and key is not None:
+            cache.put(key, payload)
         finish(index, record)
 
     # Pool-level casualties (dead worker, forbidden fork, unpicklable
     # pairs): re-run serially in the parent.  Completed pairs are untouched.
-    for index, tool, instance in broken_pairs:
-        record = _measure_pair(tool, instance,
-                               _cached_architecture(instance.architecture),
-                               router_only, validate)
-        finish(index, record)
+    for index, tool, instance, t in broken_pairs:
+        run_in_parent(index, tool, instance, t)
 
     run = EvaluationRun()
     run.records = [record for record in slots if record is not None]

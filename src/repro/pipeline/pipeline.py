@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
-from ..qls.base import QLSError, QLSResult
+from ..qls.base import QLSError, QLSResult, register_result_type
 from ..qubikos.mapping import Mapping
 from .context import CompilationContext
 from .passes import Pass
@@ -35,7 +35,18 @@ class StageRecord:
         return (f"StageRecord({self.name!r}, {self.seconds:.4f}s, "
                 f"swaps={self.swaps_after})")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (floats round-trip exactly)."""
+        return {"name": self.name, "seconds": self.seconds,
+                "swaps_after": self.swaps_after}
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StageRecord":
+        return cls(name=payload["name"], seconds=payload["seconds"],
+                   swaps_after=payload["swaps_after"])
+
+
+@register_result_type
 @dataclass
 class PipelineResult(QLSResult):
     """A ``QLSResult`` with the pipeline's per-stage breakdown.
@@ -52,6 +63,16 @@ class PipelineResult(QLSResult):
             if record.name == name:
                 return record
         raise KeyError(name)
+
+    def _extra_dict(self) -> Dict[str, object]:
+        return {"stages": [record.to_dict() for record in self.stages]}
+
+    @classmethod
+    def _init_kwargs(cls, payload: Dict[str, object]) -> Dict[str, object]:
+        kwargs = super()._init_kwargs(payload)
+        kwargs["stages"] = [StageRecord.from_dict(entry)
+                            for entry in payload.get("stages", [])]
+        return kwargs
 
 
 class Pipeline:

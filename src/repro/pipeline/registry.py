@@ -72,15 +72,20 @@ _SPECS: Dict[str, str] = {}
 
 def register_pass(name: str, factory: PassFactory, *, kind: str,
                   description: str, aliases: Tuple[str, ...] = ()) -> None:
-    """Register a stage factory under ``name`` (and optional aliases)."""
+    """Register a stage factory under ``name`` (and optional aliases).
+
+    All names are validated before anything is inserted, so a rejected
+    registration never leaves a partial entry behind.
+    """
     if name in _FACTORIES or name in _ALIASES:
         raise ValueError(f"pass {name!r} already registered")
+    for alias in aliases:
+        if alias in _FACTORIES or alias in _ALIASES:
+            raise ValueError(f"alias {alias!r} already registered")
     _FACTORIES[name] = factory
     _INFO[name] = PassInfo(name=name, kind=kind, description=description,
                            aliases=aliases)
     for alias in aliases:
-        if alias in _FACTORIES or alias in _ALIASES:
-            raise ValueError(f"alias {alias!r} already registered")
         _ALIASES[alias] = name
 
 

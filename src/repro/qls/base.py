@@ -19,6 +19,23 @@ from ..circuit.circuit import QuantumCircuit
 from ..qubikos.mapping import Mapping
 
 
+#: Version of the ``QLSResult.to_dict`` wire schema.  Bump when the payload
+#: shape changes incompatibly; ``from_dict`` rejects unknown versions.
+RESULT_SCHEMA_VERSION = 1
+
+#: Concrete result classes by type tag, for ``QLSResult.from_dict``
+#: dispatch.  Subclasses living in higher layers (``PipelineResult``)
+#: register themselves here instead of being imported, keeping the
+#: dependency direction intact.
+_RESULT_TYPES: Dict[str, type] = {}
+
+
+def register_result_type(cls: type) -> type:
+    """Class decorator: make ``cls`` reconstructable by ``from_dict``."""
+    _RESULT_TYPES[cls.__name__] = cls
+    return cls
+
+
 @dataclass
 class QLSResult:
     """Output of one layout-synthesis run."""
@@ -33,6 +50,65 @@ class QLSResult:
     def __repr__(self) -> str:
         return (f"QLSResult(tool={self.tool!r}, swaps={self.swap_count}, "
                 f"gates={len(self.circuit)}, t={self.runtime_seconds:.3f}s)")
+
+    # -- canonical serialization ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-safe form; ``from_dict`` round-trips bit-identically.
+
+        Subclasses extend the payload via :meth:`_extra_dict` and register
+        themselves with :func:`register_result_type` so the base
+        ``from_dict`` reconstructs the right class from the ``type`` tag.
+        """
+        payload: Dict[str, object] = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "type": type(self).__name__,
+            "tool": self.tool,
+            "circuit": self.circuit.to_dict(),
+            "initial_mapping": self.initial_mapping.to_pairs(),
+            "swap_count": self.swap_count,
+            "runtime_seconds": self.runtime_seconds,
+            "metadata": dict(self.metadata),
+        }
+        payload.update(self._extra_dict())
+        return payload
+
+    def _extra_dict(self) -> Dict[str, object]:
+        """Subclass hook: extra payload fields."""
+        return {}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QLSResult":
+        """Reconstruct any registered result type from its payload."""
+        version = payload.get("schema")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema version {version!r} "
+                f"(this build reads version {RESULT_SCHEMA_VERSION})"
+            )
+        tag = payload.get("type", "QLSResult")
+        target = _RESULT_TYPES.get(tag)
+        if target is None:
+            raise ValueError(
+                f"unknown result type {tag!r} "
+                f"(registered: {sorted(_RESULT_TYPES)})"
+            )
+        return target(**target._init_kwargs(payload))
+
+    @classmethod
+    def _init_kwargs(cls, payload: Dict[str, object]) -> Dict[str, object]:
+        """Constructor kwargs from a payload (subclasses extend)."""
+        return {
+            "tool": payload["tool"],
+            "circuit": QuantumCircuit.from_dict(payload["circuit"]),
+            "initial_mapping": Mapping.from_pairs(payload["initial_mapping"]),
+            "swap_count": payload["swap_count"],
+            "runtime_seconds": payload["runtime_seconds"],
+            "metadata": dict(payload["metadata"]),
+        }
+
+
+register_result_type(QLSResult)
 
 
 class QLSTool(abc.ABC):

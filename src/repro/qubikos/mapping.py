@@ -160,6 +160,16 @@ class Mapping:
     def to_dict(self) -> Dict[int, int]:
         return {q: p for q, p in enumerate(self._forward) if p >= 0}
 
+    def to_pairs(self) -> List[Tuple[int, int]]:
+        """Sorted ``(program, physical)`` pairs — the JSON-safe canonical
+        form (JSON objects cannot key on integers; a pair list can)."""
+        return [(q, p) for q, p in enumerate(self._forward) if p >= 0]
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Sequence[int]]) -> "Mapping":
+        """Inverse of :meth:`to_pairs` (accepts any (q, p) pair iterable)."""
+        return cls({int(q): int(p) for q, p in pairs})
+
     def to_list(self, num_program: Optional[int] = None) -> List[int]:
         """prog_to_phys as a dense list (requires contiguous program qubits)."""
         if num_program is not None:

@@ -1,0 +1,74 @@
+"""Compilation-service API: typed requests, content-addressed caching,
+batched submission.
+
+The serving facade over :mod:`repro.pipeline` — how work enters the
+system from outside a Python process::
+
+    from repro.service import CompileRequest, CompilationService, ResultCache
+
+    service = CompilationService(cache=ResultCache(directory=".qls-cache"),
+                                 workers=4)
+    request = CompileRequest.from_instance(inst, spec="lightsabre:trials=8",
+                                           seed=7)
+    response = service.submit(request)        # miss: compiles + caches
+    again = service.submit(request)           # hit: bit-identical result
+    assert again.cache_hit
+    assert again.result.circuit == response.result.circuit
+
+    responses = service.submit_many(requests) # batch over a WorkerPool
+
+Cache keys are content-addressed: SHA-256 over (circuit gate stream,
+coupling graph, normalized spec, seed, pinned mapping, code epoch) — see
+:mod:`repro.service.fingerprint` for the exact keying and invalidation
+rules.  Hits reconstruct results from canonical JSON payloads and are
+bit-identical to recomputation (enforced against the pinned goldens in
+``tests/qls/test_perf_equivalence.py``).  The ``python -m repro.service``
+CLI does batch compile-from-JSONL and cache inspection/clear.
+"""
+
+from .api import (
+    REQUEST_SCHEMA_VERSION,
+    CompileRequest,
+    CompileResponse,
+    ServiceError,
+    make_provenance,
+)
+from .cache import CacheStats, ResultCache
+from .fingerprint import (
+    CACHE_EPOCH,
+    canonical_json,
+    circuit_fingerprint,
+    code_fingerprint,
+    coupling_fingerprint,
+    normalize_spec,
+    request_fingerprint,
+    tool_fingerprint,
+)
+from .service import (
+    CompilationService,
+    compile_entry,
+    decode_entry,
+    make_entry,
+)
+
+__all__ = [
+    "REQUEST_SCHEMA_VERSION",
+    "CACHE_EPOCH",
+    "CompileRequest",
+    "CompileResponse",
+    "CompilationService",
+    "CacheStats",
+    "ResultCache",
+    "ServiceError",
+    "canonical_json",
+    "circuit_fingerprint",
+    "code_fingerprint",
+    "coupling_fingerprint",
+    "compile_entry",
+    "decode_entry",
+    "make_entry",
+    "make_provenance",
+    "normalize_spec",
+    "request_fingerprint",
+    "tool_fingerprint",
+]

@@ -1,0 +1,218 @@
+"""Content-addressed result cache: in-memory LRU + optional on-disk store.
+
+Entries are JSON-able dicts (a serialized result plus its original compute
+cost) keyed by the request fingerprint.  The in-memory tier is a bounded
+LRU; the optional disk tier (one ``<fingerprint>.json`` per entry under
+``directory``) survives process restarts and is shared by every service
+instance pointed at the same directory.  Reads promote disk entries into
+memory; writes go to both tiers.  A corrupt or unreadable disk entry is
+treated as a miss (and counted in ``stats``), never as an error — a cache
+must degrade, not crash, the service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from .fingerprint import canonical_json
+
+#: Version of the on-disk entry envelope.
+ENTRY_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    #: Hits served from the disk tier (subset of ``hits``).
+    disk_hits: int = 0
+    #: Disk writes that failed (entry kept in memory only).
+    write_errors: int = 0
+    #: Entries a caller reported as undecodable via ``note_stale``
+    #: (reclassified from hit to miss).
+    stale: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits, "misses": self.misses, "puts": self.puts,
+            "evictions": self.evictions, "corrupt": self.corrupt,
+            "disk_hits": self.disk_hits, "write_errors": self.write_errors,
+            "stale": self.stale,
+        }
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ResultCache:
+    """LRU result cache with an optional persistent directory tier."""
+
+    capacity: int = 1024
+    directory: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        if self.directory is not None:
+            self.directory = str(self.directory)
+            Path(self.directory).mkdir(parents=True, exist_ok=True)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached entry for ``key``, or ``None`` (recorded as a miss)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._disk_read(key)
+        if entry is not None:
+            self._remember(key, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        """Distinct entries across both tiers."""
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(path.stem for path in Path(self.directory).glob("*.json"))
+        return len(keys)
+
+    def keys(self) -> List[str]:
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(path.stem for path in Path(self.directory).glob("*.json"))
+        return sorted(keys)
+
+    # -- storage ---------------------------------------------------------------
+
+    def put(self, key: str, entry: Dict[str, object]) -> None:
+        """Store ``entry`` under ``key`` in both tiers."""
+        self.stats.puts += 1
+        self._remember(key, entry)
+        self._disk_write(key, entry)
+
+    def note_stale(self, key: str) -> None:
+        """Report that the entry just served for ``key`` failed payload
+        decoding (stale entry version, unknown result schema).
+
+        Reclassifies the lookup from hit to miss — so hit rates reflect
+        *served results*, not raw lookups — and drops the entry from the
+        memory tier so it cannot be served again; the recomputation that
+        follows overwrites both tiers.
+        """
+        self.stats.hits = max(0, self.stats.hits - 1)
+        self.stats.misses += 1
+        self.stats.stale += 1
+        self._memory.pop(key, None)
+
+    def clear(self) -> int:
+        """Drop every entry from both tiers; returns the count removed."""
+        removed = len(self)
+        self._memory.clear()
+        if self.directory is not None:
+            for path in Path(self.directory).glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def _remember(self, key: str, entry: Dict[str, object]) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk tier -------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        if not key or any(ch in key for ch in "/\\."):
+            # Fingerprints are hex; anything else must not touch the fs.
+            return None
+        return Path(self.directory) / f"{key}.json"
+
+    def _disk_read(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if envelope.get("schema") != ENTRY_SCHEMA_VERSION:
+                raise ValueError("entry schema mismatch")
+            return envelope["entry"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            return None
+
+    def _disk_write(self, key: str, entry: Dict[str, object]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        envelope = {"schema": ENTRY_SCHEMA_VERSION, "key": key, "entry": entry}
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(canonical_json(envelope), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # Same degrade-don't-crash contract as the read path: a full or
+            # read-only disk must not lose the compile that just finished —
+            # the entry stays served from the memory tier.
+            self.stats.write_errors += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        """Inspection payload for the ``cache-info`` CLI."""
+        disk_entries = 0
+        disk_bytes = 0
+        if self.directory is not None:
+            for path in Path(self.directory).glob("*.json"):
+                disk_entries += 1
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "capacity": self.capacity,
+            "memory_entries": len(self._memory),
+            "directory": self.directory,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "stats": self.stats.to_dict(),
+        }
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:
+        tier = f", dir={self.directory!r}" if self.directory else ""
+        return (f"ResultCache({len(self._memory)}/{self.capacity} in memory"
+                f"{tier}, hits={self.stats.hits}, misses={self.stats.misses})")

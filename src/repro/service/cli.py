@@ -1,0 +1,191 @@
+"""``python -m repro.service`` — batch compilation and cache management.
+
+Usage::
+
+    # Compile a JSONL stream of CompileRequest payloads (one per line):
+    python -m repro.service batch requests.jsonl --out responses.jsonl \
+        --cache-dir .qls-cache --workers 4
+
+    # Inspect / clear a persistent cache directory:
+    python -m repro.service cache-info  --cache-dir .qls-cache
+    python -m repro.service cache-clear --cache-dir .qls-cache
+
+    # Generate a demo request stream (QUBIKOS instances -> requests):
+    python -m repro.service make-requests --device aspen4 --count 4 \
+        --spec sabre --seed 3 --out requests.jsonl
+
+``batch`` reads one :class:`~repro.service.api.CompileRequest` JSON object
+per line, resolves the batch through a
+:class:`~repro.service.service.CompilationService` (cache-first, misses
+fanned over a worker pool), writes one
+:class:`~repro.service.api.CompileResponse` JSON object per line, and
+prints a hit/miss/wall-clock summary.  Rerunning the same batch against
+the same ``--cache-dir`` reports 100% hits and pays only lookup time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..qls.base import QLSError
+from .api import CompileRequest
+from .cache import ResultCache
+from .fingerprint import canonical_json
+from .service import CompilationService
+
+
+def _build_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(capacity=args.capacity, directory=args.cache_dir)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    requests = []
+    with open(args.requests, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = CompileRequest.from_dict(json.loads(line))
+                request.coupling()         # unknown device fails here,
+                request.normalized_spec()  # unknown/malformed spec here —
+                requests.append(request)   # not as a mid-batch traceback
+            except (json.JSONDecodeError, KeyError, TypeError, IndexError,
+                    ValueError, QLSError) as exc:
+                # ValueError covers ServiceError plus the circuit/gate/
+                # mapping validation errors a malformed payload triggers;
+                # QLSError covers bad pipeline specs.
+                print(f"error: {args.requests}:{lineno}: bad request: {exc}",
+                      file=sys.stderr)
+                return 2
+    service = CompilationService(cache=_build_cache(args),
+                                 workers=args.workers)
+
+    done = [0]
+
+    def progress(response) -> None:
+        done[0] += 1
+        if not args.quiet:
+            status = "hit " if response.cache_hit else "miss"
+            label = response.provenance.get("instance") or \
+                response.provenance.get("normalized_spec")
+            print(f"  [{done[0]}/{len(requests)}] {status} "
+                  f"{response.request_fingerprint[:12]} {label} "
+                  f"swaps={response.result.swap_count} "
+                  f"{response.service_seconds:.3f}s")
+
+    started = time.perf_counter()
+    try:
+        responses = service.submit_many(requests, progress=progress)
+    except QLSError as exc:
+        # Spec-level validation passed but compilation itself refused the
+        # work (e.g. circuit larger than the device).
+        print(f"error: compilation failed: {exc}", file=sys.stderr)
+        return 1
+    wall = time.perf_counter() - started
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for response in responses:
+                handle.write(canonical_json(response.to_dict()) + "\n")
+    hits = sum(1 for r in responses if r.cache_hit)
+    print(f"batch: {len(responses)} requests, {hits} hits, "
+          f"{len(responses) - hits} misses, {wall:.3f}s wall-clock"
+          + (f", responses -> {args.out}" if args.out else ""))
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    info = _build_cache(args).info()
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    removed = _build_cache(args).clear()
+    print(f"cleared {removed} cache entries from {args.cache_dir}")
+    return 0
+
+
+def _cmd_make_requests(args: argparse.Namespace) -> int:
+    from ..arch.library import get_architecture
+    from ..qubikos.generator import generate
+
+    device = get_architecture(args.device)
+    lines: List[str] = []
+    for index in range(args.count):
+        instance = generate(device, num_swaps=args.swaps,
+                            num_two_qubit_gates=args.gates,
+                            seed=args.seed + index)
+        request = CompileRequest.from_instance(
+            instance, spec=args.spec, seed=args.seed,
+            router_only=args.router_only,
+        )
+        lines.append(canonical_json(request.to_dict()))
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        for line in lines:
+            out.write(line + "\n")
+    finally:
+        if args.out:
+            out.close()
+    if args.out:
+        print(f"wrote {len(lines)} requests -> {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent cache directory (default: in-memory)")
+        p.add_argument("--capacity", type=int, default=1024,
+                       help="in-memory LRU capacity")
+
+    batch = sub.add_parser("batch", help="compile a JSONL request stream")
+    batch.add_argument("requests", help="input JSONL of CompileRequest objects")
+    batch.add_argument("--out", default=None,
+                       help="output JSONL of CompileResponse objects")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker-pool size for cache misses "
+                            "(default: serial)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress per-request progress lines")
+    add_cache_args(batch)
+    batch.set_defaults(func=_cmd_batch)
+
+    info = sub.add_parser("cache-info", help="inspect a cache")
+    add_cache_args(info)
+    info.set_defaults(func=_cmd_cache_info)
+
+    clear = sub.add_parser("cache-clear", help="drop every cache entry")
+    add_cache_args(clear)
+    clear.set_defaults(func=_cmd_cache_clear)
+
+    make = sub.add_parser("make-requests",
+                          help="emit a demo JSONL request stream")
+    make.add_argument("--device", default="aspen4")
+    make.add_argument("--spec", default="sabre")
+    make.add_argument("--seed", type=int, default=3)
+    make.add_argument("--count", type=int, default=4)
+    make.add_argument("--swaps", type=int, default=3)
+    make.add_argument("--gates", type=int, default=60)
+    make.add_argument("--router-only", action="store_true")
+    make.add_argument("--out", default=None)
+    make.set_defaults(func=_cmd_make_requests)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Content-addressed fingerprints for compilation work.
+
+A compilation is fully determined by four things: the circuit *content*
+(qubit count + gate stream — names are provenance, not content), the
+coupling graph, the normalized pipeline spec, and the seed.  Hashing that
+tuple — together with a code/schema epoch — yields a stable key under
+which a result can be cached and later returned bit-identically.  Two
+devices with different library names but identical coupling graphs share
+cache entries; a renamed circuit with the same gates does too.
+
+Invalidation is by construction: any change to the circuit, the device,
+the spec (after normalization — presets expand, aliases resolve, stage
+arguments sort), the seed, or the :data:`CACHE_EPOCH` yields a different
+key, so stale entries are never *returned*, merely orphaned.  Bump
+``CACHE_EPOCH`` whenever routing decisions change (the pinned goldens in
+``tests/qls/test_perf_equivalence.py`` catching a drift is the signal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from .. import __version__
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import QuantumCircuit
+from ..pipeline.registry import list_specs, parse_spec
+from ..qls.base import RESULT_SCHEMA_VERSION
+from ..qubikos.mapping import Mapping
+
+#: Bumping this orphans every existing cache entry.  Do so whenever
+#: compilation *decisions* change (new routing behaviour, changed seed
+#: handling) — schema-only changes are covered by RESULT_SCHEMA_VERSION.
+CACHE_EPOCH = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Hash of the circuit *content*: qubit count + gate stream.
+
+    The circuit name is provenance — two identically-gated circuits with
+    different names are the same compilation problem.
+    """
+    payload = circuit.to_dict()
+    payload.pop("name", None)
+    return _digest(canonical_json(payload))
+
+
+def coupling_fingerprint(coupling: CouplingGraph) -> str:
+    """Hash of the device graph: qubit count + sorted edge set."""
+    return _digest(canonical_json({
+        "num_qubits": coupling.num_qubits,
+        "edges": [list(edge) for edge in coupling.edges],
+    }))
+
+
+def normalize_spec(spec: str) -> str:
+    """Canonical spec string: presets expanded, aliases resolved, stage
+    arguments sorted — so every spelling of the same pipeline keys alike.
+
+    ``"lightsabre-tool"``, ``"lightsabre"`` and ``"lightsabre:"``-less
+    variants all normalize to ``"lightsabre"``; ``"tket"`` to
+    ``"tketlike"``; ``"lightsabre:workers=2,trials=8"`` to
+    ``"lightsabre:trials=8,workers=2"``.
+    """
+    expanded = list_specs().get(spec, spec)
+    parts = []
+    for name, kwargs in parse_spec(expanded):
+        if kwargs:
+            args = ",".join(f"{key}={kwargs[key]!r}" for key in sorted(kwargs))
+            parts.append(f"{name}:{args}")
+        else:
+            parts.append(name)
+    return "+".join(parts)
+
+
+def code_fingerprint() -> Dict[str, object]:
+    """The code/version component of every cache key and provenance stamp."""
+    return {
+        "version": __version__,
+        "cache_epoch": CACHE_EPOCH,
+        "result_schema": RESULT_SCHEMA_VERSION,
+    }
+
+
+def request_fingerprint(circuit: QuantumCircuit, coupling: CouplingGraph,
+                        spec: str, seed: Optional[int],
+                        initial_mapping: Optional[Mapping] = None) -> str:
+    """The content-addressed cache key of one compilation request."""
+    return _digest(canonical_json({
+        "kind": "compile-request",
+        "code": code_fingerprint(),
+        "circuit": circuit_fingerprint(circuit),
+        "coupling": coupling_fingerprint(coupling),
+        "spec": normalize_spec(spec),
+        "seed": seed,
+        "initial_mapping": (
+            [list(pair) for pair in initial_mapping.to_pairs()]
+            if initial_mapping is not None else None
+        ),
+    }))
+
+
+# -- tool fingerprints (the evaluate() cache path) ---------------------------
+
+#: Attributes never part of a tool's deterministic configuration.
+_SKIP_ATTRS = frozenset({"pool"})
+
+_MAX_DEPTH = 10
+
+
+def _state(obj: object, depth: int = 0) -> object:
+    """JSON-able structural snapshot of a tool's configuration.
+
+    Walks public attributes recursively (params dataclasses, nested
+    pipelines and passes), special-casing the repo's value types.  Private
+    (underscore) attributes, ``pool`` handles, and callables are excluded:
+    they are runtime plumbing, not configuration.
+    """
+    if depth > _MAX_DEPTH:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_state(item, depth + 1) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(item) for item in obj)
+    if isinstance(obj, dict):
+        return {str(key): _state(value, depth + 1)
+                for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, QuantumCircuit):
+        return ["circuit", circuit_fingerprint(obj)]
+    if isinstance(obj, Mapping):
+        return ["mapping", [list(pair) for pair in obj.to_pairs()]]
+    if isinstance(obj, CouplingGraph):
+        return ["coupling", coupling_fingerprint(obj)]
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return [type(obj).__name__, {
+            key: _state(value, depth + 1)
+            for key, value in sorted(attrs.items())
+            if key not in _SKIP_ATTRS and not key.startswith("_")
+            and not callable(value)
+        }]
+    return repr(obj)
+
+
+def pair_fingerprint(tool_fp: str, circuit_fp: str, coupling_fp: str,
+                     initial_mapping: Optional[Mapping] = None) -> str:
+    """Cache key of one ``evaluate()`` (tool, instance) pair.
+
+    Mirrors :func:`request_fingerprint` with a tool fingerprint in place
+    of a (spec, seed): the harness caches results for arbitrary tool
+    instances, not just spec-built pipelines.  Takes pre-computed
+    circuit/coupling fingerprints so callers iterating a grid hash each
+    circuit once, not once per tool.
+    """
+    return _digest(canonical_json({
+        "kind": "evaluate-pair",
+        "code": code_fingerprint(),
+        "tool": tool_fp,
+        "circuit": circuit_fp,
+        "coupling": coupling_fp,
+        "initial_mapping": (
+            [list(pair) for pair in initial_mapping.to_pairs()]
+            if initial_mapping is not None else None
+        ),
+    }))
+
+
+def tool_fingerprint(tool: object) -> str:
+    """Content hash of a tool's *configuration* (class + public state).
+
+    Lets ``evaluate(..., cache=...)`` key results on arbitrary
+    :class:`~repro.qls.base.QLSTool` instances — including
+    :class:`~repro.pipeline.tool.PipelineTool` chains — without requiring
+    them to have been built from a spec string.
+    """
+    return _digest(canonical_json({
+        "kind": "tool",
+        "code": code_fingerprint(),
+        "state": _state(tool),
+    }))

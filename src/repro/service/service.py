@@ -1,0 +1,295 @@
+"""The compilation service: cache-first submission over the pipeline layer.
+
+``CompilationService.submit`` resolves one :class:`CompileRequest` —
+cache lookup first, pipeline compilation on a miss — and returns a
+:class:`CompileResponse` with provenance and timings.  ``submit_many``
+fans a batch's cache *misses* over a :class:`~repro.parallel.WorkerPool`
+with the same contract the evaluation harness established:
+
+* **Deterministic, serial-identical ordering** — the returned list equals
+  ``[service.submit(r) for r in requests]`` element-for-element (same
+  results, same hit/miss flags): responses are assembled in request order
+  regardless of worker scheduling, and duplicate fingerprints within one
+  batch compile once — the first occurrence is the miss, later ones are
+  hits, exactly as the serial loop's warm cache would produce.
+* **Cache-first short-circuiting** — hits never touch the pool.
+* **Streaming progress** — ``progress`` fires from the parent as each
+  response completes (out of request order); only the list is reordered.
+* **Failure isolation** — a miss whose worker dies (pool-level error) is
+  transparently recompiled in the parent; compilation errors raised by
+  the pipeline itself propagate unchanged, serial and parallel alike.
+
+Results crossing the process boundary travel as canonical payload dicts
+(the exact bytes the cache stores), so a batch-computed response is
+bit-identical to a later cache hit of the same request.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, as_completed
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..parallel import POOL_UNAVAILABLE_ERRORS, WorkerPool
+from ..pipeline.registry import build_pipeline
+from ..qls.base import QLSResult
+from .api import CompileRequest, CompileResponse, make_provenance
+from .cache import ResultCache
+
+#: Version of the cache-entry payload produced by compilation (and by the
+#: ``evaluate()`` cache path, which stores the same shape via
+#: :func:`make_entry`).  Checked by :func:`decode_entry` on every read.
+COMPILE_ENTRY_VERSION = 1
+
+ProgressFn = Callable[[CompileResponse], None]
+
+
+def make_entry(result: QLSResult, compile_seconds: float) -> Dict[str, object]:
+    """The one cache-entry payload shape, shared by every writer."""
+    return {
+        "entry_version": COMPILE_ENTRY_VERSION,
+        "result": result.to_dict(),
+        "compile_seconds": compile_seconds,
+    }
+
+
+def decode_entry(entry: Dict[str, object]) -> Tuple[QLSResult, float]:
+    """Reconstruct ``(result, compile_seconds)`` from a cache entry.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on any stale or
+    corrupt payload (wrong entry version, unknown result schema, missing
+    fields); callers treat that as a cache miss and recompute — a
+    poisoned entry must never crash a submission, and recomputing
+    overwrites it.
+    """
+    if not isinstance(entry, dict) \
+            or entry.get("entry_version") != COMPILE_ENTRY_VERSION:
+        raise ValueError(
+            f"unsupported cache entry version "
+            f"{entry.get('entry_version') if isinstance(entry, dict) else entry!r} "
+            f"(this build reads version {COMPILE_ENTRY_VERSION})"
+        )
+    return QLSResult.from_dict(entry["result"]), entry["compile_seconds"]
+
+
+#: What a stale/corrupt entry raises out of :func:`decode_entry`.
+ENTRY_DECODE_ERRORS = (KeyError, TypeError, ValueError)
+
+
+def compile_entry(request: CompileRequest) -> Dict[str, object]:
+    """Compile one request into its canonical cache-entry payload.
+
+    This is the single compilation routine shared by the serial path, the
+    pool workers, and the parent-side re-run of pool casualties, so every
+    mode produces byte-identical entries.
+    """
+    pipeline = build_pipeline(request.spec, seed=request.seed)
+    coupling = request.coupling()
+    start = time.perf_counter()
+    result = pipeline.run(request.circuit, coupling,
+                          initial_mapping=request.initial_mapping)
+    compile_seconds = time.perf_counter() - start
+    return make_entry(result, compile_seconds)
+
+
+class CompilationService:
+    """Serving facade: typed requests in, cached typed responses out.
+
+    ``cache=None`` creates a private in-memory LRU; pass a
+    :class:`ResultCache` with a ``directory`` for a persistent store
+    shared across processes, or ``cache=False`` to disable caching.
+    ``workers``/``pool`` configure batch fan-out exactly as in
+    :func:`repro.evalx.harness.evaluate`.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None) -> None:
+        if cache is False:
+            self.cache: Optional[ResultCache] = None
+        else:
+            self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.pool = pool
+
+    # -- single submission -----------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> CompileResponse:
+        """Resolve one request: cache hit, or compile and store."""
+        started = time.perf_counter()
+        key = request.fingerprint()
+        decoded = self._lookup(key)
+        if decoded is None:
+            entry = compile_entry(request)
+            if self.cache is not None:
+                self.cache.put(key, entry)
+            decoded = decode_entry(entry)
+            hit = False
+        else:
+            hit = True
+        result, compile_seconds = decoded
+        return self._response(request, key, result, compile_seconds, hit,
+                              started)
+
+    def _lookup(self, key: str) -> Optional[Tuple[QLSResult, float]]:
+        """Decoded cache entry for ``key``, or ``None`` (miss *or* a
+        stale/corrupt entry, which recomputation then overwrites)."""
+        if self.cache is None:
+            return None
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        try:
+            return decode_entry(entry)
+        except ENTRY_DECODE_ERRORS:
+            self.cache.note_stale(key)
+            return None
+
+    def _response(self, request: CompileRequest, key: str, result: QLSResult,
+                  compile_seconds: float, hit: bool,
+                  started: float) -> CompileResponse:
+        return CompileResponse(
+            request_fingerprint=key,
+            result=result,
+            provenance=make_provenance(request, hit),
+            cache_hit=hit,
+            compile_seconds=compile_seconds,
+            service_seconds=time.perf_counter() - started,
+        )
+
+    # -- batched submission ----------------------------------------------------
+
+    def submit_many(self, requests: Iterable[CompileRequest],
+                    progress: Optional[ProgressFn] = None,
+                    workers: Optional[int] = None,
+                    pool: Optional[WorkerPool] = None,
+                    ) -> List[CompileResponse]:
+        """Resolve a batch; misses fan out over a worker pool.
+
+        See the module docstring for the ordering/caching/failure
+        contract.  ``workers``/``pool`` override the service defaults for
+        this batch; with neither, misses compile serially in-process.
+        """
+        requests = list(requests)
+        pool = pool if pool is not None else self.pool
+        workers = workers if workers is not None else self.workers
+        if pool is None and (workers is None or workers <= 1):
+            return self._submit_serial(requests, progress)
+        owned = pool is None
+        if owned:
+            pool = WorkerPool(workers)
+        try:
+            return self._submit_parallel(requests, progress, pool)
+        finally:
+            if owned:
+                pool.shutdown()
+
+    def map(self, requests: Iterable[CompileRequest],
+            progress: Optional[ProgressFn] = None,
+            workers: Optional[int] = None,
+            pool: Optional[WorkerPool] = None) -> Iterator[CompileResponse]:
+        """Iterate responses in request order (a thin ``submit_many`` view)."""
+        return iter(self.submit_many(requests, progress=progress,
+                                     workers=workers, pool=pool))
+
+    def _submit_serial(self, requests: List[CompileRequest],
+                       progress: Optional[ProgressFn]
+                       ) -> List[CompileResponse]:
+        responses = []
+        for request in requests:
+            response = self.submit(request)
+            responses.append(response)
+            if progress is not None:
+                progress(response)
+        return responses
+
+    def _submit_parallel(self, requests: List[CompileRequest],
+                         progress: Optional[ProgressFn],
+                         pool: WorkerPool) -> List[CompileResponse]:
+        batch_started = time.perf_counter()
+        keys = [request.fingerprint() for request in requests]
+        slots: List[Optional[CompileResponse]] = [None] * len(requests)
+
+        def finish(index: int, result: QLSResult, compile_seconds: float,
+                   hit: bool, started: float) -> None:
+            slots[index] = self._response(requests[index], keys[index],
+                                          result, compile_seconds, hit,
+                                          started)
+            if progress is not None:
+                progress(slots[index])
+
+        # Cache-first pass; the first occurrence of each new fingerprint
+        # becomes that key's single compilation, later duplicates resolve
+        # as hits once it lands (matching the serial loop's warm cache).
+        # With caching disabled the serial loop recomputes duplicates too,
+        # so dedup keys become per-index and every request compiles.
+        hits: List[Tuple[int, QLSResult, float]] = []
+        compile_indices: Dict[str, int] = {}
+        followers: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            if self.cache is None:
+                compile_indices[f"{index}:{key}"] = index
+                continue
+            decoded = self._lookup(key)  # stale/corrupt entries = misses
+            if decoded is not None:
+                hits.append((index,) + decoded)
+            elif key in compile_indices:
+                followers.setdefault(key, []).append(index)
+            else:
+                compile_indices[key] = index
+
+        # Queue every miss before touching the hits, so workers start on
+        # the expensive compiles immediately; hit responses are then built
+        # in the parent while the pool computes.
+        futures: Dict[Future, str] = {}
+        casualties: List[str] = []
+        for key, index in compile_indices.items():
+            try:
+                future = pool.submit(compile_entry, requests[index])
+            except Exception:  # noqa: BLE001 - pool transport failure
+                casualties.append(key)
+                continue
+            futures[future] = key
+
+        for index, result, compile_seconds in hits:
+            finish(index, result, compile_seconds, hit=True,
+                   started=time.perf_counter())
+
+        def land(key: str, entry: Dict[str, object]) -> None:
+            # Misses (and the duplicate followers waiting on them) report
+            # their batch latency — queueing plus compute — as
+            # service_seconds; pre-resolved hits above reported only their
+            # serving cost.  Each response decodes its own result object,
+            # matching the serial loop (no sharing between responses).
+            if self.cache is not None:
+                self.cache.put(key, entry)
+            result, compile_seconds = decode_entry(entry)
+            finish(compile_indices[key], result, compile_seconds, hit=False,
+                   started=batch_started)
+            for follower in followers.get(key, ()):  # duplicates are hits
+                result, compile_seconds = decode_entry(entry)
+                finish(follower, result, compile_seconds, hit=True,
+                       started=batch_started)
+
+        for future in as_completed(list(futures)):
+            key = futures[future]
+            try:
+                entry = future.result()
+            except Exception as exc:  # noqa: BLE001 - see below
+                # Pipeline errors must propagate exactly as in the serial
+                # path; only pool-level transport failures degrade to a
+                # parent-side recompilation.
+                if isinstance(exc, POOL_UNAVAILABLE_ERRORS):
+                    casualties.append(key)
+                    continue
+                raise
+            land(key, entry)
+
+        for key in casualties:
+            land(key, compile_entry(requests[compile_indices[key]]))
+
+        return [response for response in slots if response is not None]
+
+    def __repr__(self) -> str:
+        cache = repr(self.cache) if self.cache is not None else "disabled"
+        return f"CompilationService(cache={cache}, workers={self.workers})"

@@ -83,6 +83,58 @@ class TestBuildPipeline:
         assert build_pipeline("greedy+sabre", name="mine").name == "mine"
 
 
+class TestRegistryErrorPaths:
+    """Every misuse raises a clear, *typed* error with an actionable
+    message — the contract the service layer surfaces to remote callers."""
+
+    def test_unknown_stage_names_the_offender_and_the_registry(self):
+        with pytest.raises(QLSError, match=r"unknown pipeline stage 'warp'"):
+            parse_spec("greedy+warp")
+        with pytest.raises(QLSError, match=r"registered: .*sabre"):
+            parse_spec("warp")
+
+    def test_malformed_stage_params_name_the_token(self):
+        with pytest.raises(QLSError,
+                           match=r"malformed stage argument 'trials'"):
+            parse_spec("lightsabre:trials")
+        with pytest.raises(QLSError, match=r"expected key=value"):
+            parse_spec("lightsabre:=8")
+
+    def test_duplicate_register_pass_is_a_value_error(self):
+        with pytest.raises(ValueError,
+                           match=r"pass 'sabre' already registered"):
+            register_pass("sabre", lambda: None, kind="routing",
+                          description="dup")
+        # aliases collide with names and other aliases alike — and a
+        # rejected registration leaves no partial entry behind
+        with pytest.raises(ValueError, match=r"already registered"):
+            register_pass("fresh-name-1", lambda: None, kind="routing",
+                          description="dup-alias", aliases=("tket",))
+        assert "fresh-name-1" not in {info.name for info in list_passes()}
+        with pytest.raises(QLSError, match="unknown pipeline stage"):
+            parse_spec("fresh-name-1")
+
+    def test_duplicate_register_spec_is_a_value_error(self):
+        with pytest.raises(ValueError,
+                           match=r"spec 'staged-sabre' already registered"):
+            register_spec("staged-sabre", "sabre")
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(QLSError, match=r"empty pipeline spec"):
+            parse_spec("")
+        with pytest.raises(QLSError, match=r"empty pipeline spec"):
+            parse_spec("   ")
+        with pytest.raises(QLSError, match=r"empty stage"):
+            parse_spec("greedy++sabre")
+
+    def test_build_pipeline_surfaces_parse_errors(self):
+        with pytest.raises(QLSError, match=r"unknown pipeline stage"):
+            build_pipeline("no-such-stage")
+        with pytest.raises(QLSError, match=r"bad arguments for pipeline "
+                                           r"stage 'sabre'"):
+            build_pipeline("sabre:warp_factor=9")
+
+
 class TestRegistryListing:
     def test_list_passes_covers_the_four_kinds(self):
         kinds = {info.kind for info in list_passes()}

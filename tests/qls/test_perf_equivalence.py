@@ -261,6 +261,58 @@ class TestPipelineGoldenEquivalence:
             assert piped.initial_mapping == direct.initial_mapping
 
 
+class TestServiceCacheGoldens:
+    """A compilation-cache hit must be bit-identical to the pinned goldens
+    on all four devices: cold compile, warm in-memory hit, and a pure
+    disk-tier hit (fresh service over the same directory, i.e. a full
+    canonical-JSON round trip) all reproduce the golden swap counts and
+    circuit hashes."""
+
+    def test_cache_hit_matches_sabre_golden(self, arch_instance, tmp_path):
+        from repro.service import (
+            CompilationService,
+            CompileRequest,
+            ResultCache,
+        )
+
+        arch, device, inst = arch_instance
+        cache_dir = str(tmp_path / "cache")
+        service = CompilationService(cache=ResultCache(directory=cache_dir))
+        request = CompileRequest.from_instance(inst, spec="sabre", seed=3)
+        cold = service.submit(request)
+        warm = service.submit(request)
+        assert not cold.cache_hit and warm.cache_hit
+        for response in (cold, warm):
+            assert response.result.swap_count == GOLDEN[arch]["layout_swaps"]
+            assert circuit_hash(response.result.circuit) == \
+                GOLDEN[arch]["layout_hash"]
+        assert warm.result.initial_mapping == cold.result.initial_mapping
+        reopened = CompilationService(
+            cache=ResultCache(directory=cache_dir))
+        disk = reopened.submit(request)
+        assert disk.cache_hit
+        assert reopened.cache.stats.disk_hits == 1
+        assert disk.result.swap_count == GOLDEN[arch]["layout_swaps"]
+        assert circuit_hash(disk.result.circuit) == \
+            GOLDEN[arch]["layout_hash"]
+
+    def test_router_only_cache_hit_matches_tket_golden(self, arch_instance):
+        from repro.service import CompilationService, CompileRequest
+
+        arch, device, inst = arch_instance
+        service = CompilationService()
+        request = CompileRequest.from_instance(inst, spec="tketlike",
+                                               seed=13, router_only=True)
+        cold = service.submit(request)
+        warm = service.submit(request)
+        assert warm.cache_hit
+        for response in (cold, warm):
+            assert response.result.swap_count == \
+                ROUTER_GOLDEN[arch]["tket_pinned_swaps"]
+            assert circuit_hash(response.result.circuit) == \
+                ROUTER_GOLDEN[arch]["tket_pinned_hash"]
+
+
 class TestTketScoringPaths:
     """The three tket-like scoring paths must make identical decisions."""
 

@@ -1,0 +1,120 @@
+"""ResultCache: LRU behaviour, disk tier, corruption handling, stats."""
+
+import json
+
+import pytest
+
+from repro.service import ResultCache
+
+
+def entry(n):
+    return {"entry_version": 1, "result": {"value": n}, "compile_seconds": 0.1}
+
+
+class TestMemoryTier:
+    def test_get_put_and_stats(self):
+        cache = ResultCache()
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, entry(1))
+        assert cache.get("a" * 64) == entry(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))
+        assert cache.get("k1") is not None  # refresh k1; k2 becomes LRU
+        cache.put("k3", entry(3))
+        assert cache.get("k2") is None  # evicted
+        assert cache.get("k1") is not None
+        assert cache.get("k3") is not None
+        assert cache.stats.evictions == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(capacity=0)
+
+    def test_len_and_keys(self):
+        cache = ResultCache()
+        cache.put("k2", entry(2))
+        cache.put("k1", entry(1))
+        assert len(cache) == 2
+        assert cache.keys() == ["k1", "k2"]
+        assert "k1" in cache and "zz" not in cache
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k1", entry(1))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        first = ResultCache(directory=str(tmp_path / "c"))
+        first.put("deadbeef", entry(7))
+        second = ResultCache(directory=str(tmp_path / "c"))
+        assert second.get("deadbeef") == entry(7)
+        assert second.stats.disk_hits == 1
+        # promoted into memory: a second read is a memory hit
+        assert second.get("deadbeef") == entry(7)
+        assert second.stats.disk_hits == 1
+
+    def test_eviction_does_not_lose_disk_entries(self, tmp_path):
+        cache = ResultCache(capacity=1, directory=str(tmp_path / "c"))
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))  # evicts k1 from memory only
+        assert cache.get("k1") == entry(1)  # served from disk
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("cafe", entry(1))
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        (tmp_path / "c" / "cafe.json").write_text("{not json", encoding="utf-8")
+        assert fresh.get("cafe") is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+
+    def test_wrong_envelope_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        (tmp_path / "c" / "beef.json").write_text(
+            json.dumps({"schema": 99, "entry": entry(1)}), encoding="utf-8"
+        )
+        assert cache.get("beef") is None
+        assert cache.stats.corrupt == 1
+
+    def test_hostile_keys_never_touch_the_filesystem(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("../escape", entry(1))  # memory-only, no file created
+        assert not (tmp_path / "escape.json").exists()
+        assert list((tmp_path / "c").glob("*")) == []
+        assert cache.get("../escape") == entry(1)  # still served from memory
+
+    def test_failed_disk_write_degrades_to_memory(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        # an unwritable store: the directory is actually a regular file
+        (tmp_path / "c").rmdir()
+        (tmp_path / "c").touch()
+        cache.put("feed", entry(1))  # must not raise
+        assert cache.stats.write_errors == 1
+        assert cache.get("feed") == entry(1)  # memory tier still serves
+
+    def test_clear_removes_both_tiers(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert list((tmp_path / "c").glob("*.json")) == []
+
+    def test_info(self, tmp_path):
+        cache = ResultCache(capacity=8, directory=str(tmp_path / "c"))
+        cache.put("k1", entry(1))
+        info = cache.info()
+        assert info["capacity"] == 8
+        assert info["memory_entries"] == 1
+        assert info["disk_entries"] == 1
+        assert info["disk_bytes"] > 0
+        assert info["stats"]["puts"] == 1

@@ -1,0 +1,100 @@
+"""``python -m repro.service`` CLI: batch, cache-info, cache-clear."""
+
+import json
+
+from repro.service import CompileRequest, CompileResponse, canonical_json
+from repro.service.cli import main
+
+
+def _write_requests(path, instances, spec="sabre", seed=5):
+    with open(path, "w", encoding="utf-8") as handle:
+        for instance in instances:
+            request = CompileRequest.from_instance(instance, spec=spec,
+                                                   seed=seed)
+            handle.write(canonical_json(request.to_dict()) + "\n")
+
+
+def test_batch_then_warm_rerun(tmp_path, small_instance, capsys):
+    requests = tmp_path / "req.jsonl"
+    responses = tmp_path / "resp.jsonl"
+    cache_dir = tmp_path / "cache"
+    _write_requests(requests, [small_instance])
+
+    assert main(["batch", str(requests), "--out", str(responses),
+                 "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "1 requests, 0 hits, 1 misses" in out
+
+    lines = responses.read_text().strip().splitlines()
+    assert len(lines) == 1
+    response = CompileResponse.from_dict(json.loads(lines[0]))
+    assert not response.cache_hit
+    assert response.result.swap_count >= small_instance.optimal_swaps
+
+    assert main(["batch", str(requests), "--cache-dir", str(cache_dir),
+                 "--quiet"]) == 0
+    assert "1 hits, 0 misses" in capsys.readouterr().out
+
+
+def test_cache_info_and_clear(tmp_path, small_instance, capsys):
+    requests = tmp_path / "req.jsonl"
+    cache_dir = tmp_path / "cache"
+    _write_requests(requests, [small_instance])
+    assert main(["batch", str(requests), "--cache-dir", str(cache_dir),
+                 "--quiet"]) == 0
+    capsys.readouterr()
+
+    assert main(["cache-info", "--cache-dir", str(cache_dir)]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["disk_entries"] == 1
+
+    assert main(["cache-clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "cleared 1" in capsys.readouterr().out
+    assert list(cache_dir.glob("*.json")) == []
+
+
+def test_make_requests_emits_valid_jsonl(tmp_path, capsys):
+    out = tmp_path / "req.jsonl"
+    assert main(["make-requests", "--device", "grid3x3", "--count", "2",
+                 "--swaps", "1", "--gates", "10", "--out", str(out)]) == 0
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        request = CompileRequest.from_dict(json.loads(line))
+        assert request.device == "grid3x3"
+
+
+def test_bad_request_line_reports_location(tmp_path, capsys):
+    requests = tmp_path / "req.jsonl"
+    requests.write_text('{"schema": 1}\n', encoding="utf-8")
+    assert main(["batch", str(requests)]) == 2
+    err = capsys.readouterr().err
+    assert "req.jsonl:1" in err
+
+
+def test_unknown_device_and_spec_report_cleanly(tmp_path, capsys, small_instance):
+    """Semantic errors (bad device/spec) get located messages, not tracebacks."""
+    requests = tmp_path / "req.jsonl"
+    bad_device = CompileRequest.from_instance(small_instance).to_dict()
+    bad_device["device"] = "warp-core-9"
+    requests.write_text(json.dumps(bad_device) + "\n", encoding="utf-8")
+    assert main(["batch", str(requests)]) == 2
+    assert "unknown device" in capsys.readouterr().err
+
+    bad_spec = CompileRequest.from_instance(small_instance).to_dict()
+    bad_spec["spec"] = "no-such-stage"
+    requests.write_text(json.dumps(bad_spec) + "\n", encoding="utf-8")
+    assert main(["batch", str(requests)]) == 2
+    assert "unknown pipeline stage" in capsys.readouterr().err
+
+
+def test_malformed_circuit_payload_reports_cleanly(tmp_path, capsys):
+    """Structurally bad payloads exit 2 with a located message, no traceback."""
+    requests = tmp_path / "req.jsonl"
+    requests.write_text(
+        json.dumps({"schema": 1, "device": "grid3x3",
+                    "circuit": {"num_qubits": 2, "gates": [42]}}) + "\n",
+        encoding="utf-8",
+    )
+    assert main(["batch", str(requests)]) == 2
+    assert "req.jsonl:1: bad request" in capsys.readouterr().err
