@@ -1,0 +1,123 @@
+"""Serving-front-end smoke check (run with ``--server-smoke``).
+
+Boots the real HTTP server on an ephemeral port, drives it with a
+:class:`~repro.service.client.ServiceClient`, and exercises the serving
+surface at tier-1 cost — sync submit, async job batch, warm-hit rerun —
+recording the cache payoff in ``BENCH_server.json`` at the repo root::
+
+    pytest benchmarks --server-smoke
+
+Checks:
+
+* ``/v1/healthz`` reports the running build's code fingerprint;
+* a **cold async job** (``POST /v1/jobs`` → poll → done) compiles every
+  request and its responses match a local in-process
+  ``CompilationService`` bit-identically;
+* a **warm sync batch** (``POST /v1/compile``) is 100% cache hits with
+  measured wall-clock reduction over the cold job;
+* a warm job resubmission completes via cache-first admission (terminal
+  at submit time, never queued).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.arch import get_architecture
+from repro.qubikos import generate
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+    code_fingerprint,
+)
+
+from conftest import print_banner
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+SPECS = ("sabre", "tketlike", "lightsabre:trials=2")
+
+
+def _smoke_requests():
+    device = get_architecture("aspen4")
+    instances = [
+        generate(device, num_swaps=3, num_two_qubit_gates=60, seed=900 + k)
+        for k in range(3)
+    ]
+    return [
+        CompileRequest.from_instance(instance, spec=spec, seed=11)
+        for instance in instances
+        for spec in SPECS
+    ]
+
+
+def test_server_smoke_sync_async_warm(tmp_path):
+    requests = _smoke_requests()
+    service = CompilationService(
+        cache=ResultCache(directory=str(tmp_path / "cache"))
+    )
+    with ServiceServer(service) as server:
+        client = ServiceClient(server.url)
+
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["code"] == code_fingerprint()
+
+        # -- cold async batch job -------------------------------------------
+        start = time.perf_counter()
+        job = client.submit_job(requests, priority=1)
+        done = client.wait_job(job["id"], timeout=600)
+        cold_seconds = time.perf_counter() - start
+        assert done["status"] == "done", done
+        cold = client.job_responses(done)
+        assert all(not response.cache_hit for response in cold)
+
+        # responses bit-identical to a local in-process service
+        local = CompilationService().submit_many(requests)
+        for remote, reference in zip(cold, local):
+            assert remote.request_fingerprint == reference.request_fingerprint
+            assert remote.result.circuit == reference.result.circuit
+            assert remote.result.swap_count == reference.result.swap_count
+
+        # -- warm sync batch: 100% hits, measured speedup -------------------
+        start = time.perf_counter()
+        warm = client.submit_many(requests)
+        warm_seconds = time.perf_counter() - start
+        assert all(response.cache_hit for response in warm)
+        assert warm_seconds < cold_seconds
+        for w, c in zip(warm, cold):
+            assert w.result.circuit == c.result.circuit
+
+        # -- warm job: cache-first admission completes without queueing -----
+        warm_job = client.submit_job(requests)
+        assert warm_job["status"] == "done"  # terminal at submission
+        assert all(response.cache_hit
+                   for response in client.job_responses(warm_job))
+
+        cache_info = client.cache_info()
+        assert cache_info["disk_entries"] == len(set(
+            response.request_fingerprint for response in cold
+        ))
+
+    payload = {
+        "suite": {
+            "requests": len(requests),
+            "specs": list(SPECS),
+            "device": "aspen4",
+        },
+        "server": {
+            "cold_job_seconds": cold_seconds,
+            "warm_sync_seconds": warm_seconds,
+            "warm_hit_rate": 1.0,
+            "speedup": cold_seconds / warm_seconds,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print_banner("server-smoke — job submit -> poll -> warm sync batch")
+    print(f"  cold job  {cold_seconds:.3f}s -> warm sync {warm_seconds:.3f}s "
+          f"({payload['server']['speedup']:.0f}x, 100% hits)")
+    print(f"  -> {OUTPUT}")

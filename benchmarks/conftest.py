@@ -32,6 +32,12 @@ def pytest_addoption(parser):
         help="run only the tiny submit -> cache-hit -> batch service "
              "check (tier-1 CI scale); every heavy benchmark is skipped",
     )
+    parser.addoption(
+        "--server-smoke", action="store_true", default=False,
+        help="run only the tiny HTTP-server check (ephemeral port, sync + "
+             "async job batch, warm-hit speedup -> BENCH_server.json); "
+             "every heavy benchmark is skipped",
+    )
 
 
 #: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
@@ -41,6 +47,7 @@ SMOKE_GATES = {
     "--perf-smoke": "perf_smoke",
     "--pipeline-smoke": "pipeline_smoke",
     "--service-smoke": "service_smoke",
+    "--server-smoke": "server_smoke",
 }
 
 

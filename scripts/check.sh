@@ -6,9 +6,11 @@
 #
 # The smoke gates are tier-1-sized versions of the heavy benchmark
 # contracts: parallel-vs-serial record identity (--perf-smoke), every
-# registered pipeline preset routing validly (--pipeline-smoke), and
+# registered pipeline preset routing validly (--pipeline-smoke),
 # submit -> cache-hit -> batch through the compilation service
-# (--service-smoke, refreshing BENCH_service.json).
+# (--service-smoke, refreshing BENCH_service.json), and the HTTP serving
+# front-end driven over an ephemeral port — sync compile, async job,
+# warm-hit speedup (--server-smoke, refreshing BENCH_server.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,5 +25,5 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo
-echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke"
-python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke -q
+echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke"
+python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke -q

@@ -34,21 +34,46 @@ Pass ``pool=`` to share one :class:`~repro.parallel.WorkerPool` across
 several ``evaluate`` calls (e.g. the four Figure-4 panels); the pool is
 then left running for the caller to shut down.
 
+Service-routed evaluation
+-------------------------
+``evaluate(..., service=)`` delegates compilation to a compilation
+service when every tool can be expressed as a service request — a
+:class:`~repro.pipeline.tool.PipelineTool` whose pipeline was built from
+a spec string (``tool.request_spec()`` returns its ``(spec, seed)``).
+The harness builds one :class:`~repro.service.api.CompileRequest` per
+(tool, instance) pair — instance-major, tool-minor, pinned mapping in
+``router_only`` mode — and resolves the whole grid through
+``service.submit_many`` (cache-first, in-batch dedup, misses fanned over
+the service's pool).  Because a :class:`~repro.service.client.
+ServiceClient` mirrors that exact surface, the *same call* evaluates
+against a remote server: ``evaluate(..., service=ServiceClient(url))``
+produces records key-identical to the in-process serial run (validation
+still replays every returned circuit in the parent, so bit-identity
+keeps being *proved*, not assumed).  ``workers``/``pool`` are forwarded
+to the service as batch fan-out hints.
+
+Tools that cannot be expressed as requests (arbitrary ``QLSTool``
+instances) fall back to the local cache-first path below, using the
+service's own cache; with a cache-less remote client that is an error —
+a remote server cannot run an opaque local tool object.  An explicitly
+passed ``cache=`` always wins: the run stays local and cache-first
+against that store, and service routing never engages.
+
 Result caching
 --------------
-``evaluate(..., cache=ResultCache(...))`` (or ``service=`` with a
-:class:`~repro.service.service.CompilationService`, whose cache is used)
-makes the harness cache-first: each (tool, instance, router_only) pair is
-keyed by a content-addressed fingerprint — tool configuration, circuit
-gate stream, coupling graph, pinned mapping, code epoch — and a hit
-reconstructs the stored result instead of re-running the tool, so a
-rerun of an already-evaluated suite pays only cache lookups (plus
-validation, which always replays the — cached — circuit and therefore
-keeps proving bit-identity).  Hit records carry ``cache_hit=True`` and
-the *original* compute cost in ``runtime_seconds``; ``result_key`` is
-unchanged, so cached and recomputed runs compare record-identical.  In
-parallel mode hits are resolved in the parent and only misses ship to
-the pool; results are stored from the parent as they land.
+``evaluate(..., cache=ResultCache(...))`` (or the ``service=`` fallback
+above, whose cache is used) makes the harness cache-first: each (tool,
+instance, router_only) pair is keyed by a content-addressed fingerprint
+— tool configuration, circuit gate stream, coupling graph, pinned
+mapping, code epoch — and a hit reconstructs the stored result instead
+of re-running the tool, so a rerun of an already-evaluated suite pays
+only cache lookups (plus validation, which always replays the — cached —
+circuit and therefore keeps proving bit-identity).  Hit records carry
+``cache_hit=True`` and the *original* compute cost in
+``runtime_seconds``; ``result_key`` is unchanged, so cached and
+recomputed runs compare record-identical.  In parallel mode hits are
+resolved in the parent and only misses ship to the pool; results are
+stored from the parent as they land.
 
 
 Timing: ``RunRecord.runtime_seconds`` measures **only** ``tool.run()``;
@@ -72,6 +97,7 @@ from ..parallel import WorkerPool
 from ..qls.base import QLSTool
 from ..qls.validate import validate_transpiled
 from ..qubikos.instance import QubikosInstance
+from ..service.api import CompileRequest
 from ..service.cache import ResultCache
 from ..service.fingerprint import (
     circuit_fingerprint,
@@ -226,6 +252,7 @@ def _measure_pair(tool: QLSTool, instance: QubikosInstance,
                   validate: bool,
                   cached: Optional[Tuple] = None,
                   capture: bool = False,
+                  hit: Optional[bool] = None,
                   ) -> Tuple[RunRecord, Optional[Dict]]:
     """Run one (tool, instance) pair; build its record (+ cache payload).
 
@@ -236,15 +263,17 @@ def _measure_pair(tool: QLSTool, instance: QubikosInstance,
     ``tool.run`` call with the stored result (a cache hit; validation,
     when enabled, still replays it).  ``capture`` asks for the serialized
     cache payload of a successful fresh run, which the caller stores.
+    ``hit`` overrides the recorded ``cache_hit`` flag — the service-routed
+    path supplies precomputed results that may themselves be fresh misses.
     """
     pinned = instance.mapping() if router_only else None
     error = None
     trials_per_second = None
     validation_seconds = 0.0
-    cache_hit = cached is not None
+    cache_hit = hit if hit is not None else cached is not None
     start = time.perf_counter()
     try:
-        if cache_hit:
+        if cached is not None:
             result, elapsed = cached
         else:
             result = tool.run(instance.circuit, coupling,
@@ -379,16 +408,37 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
     contract); ``pool`` reuses a caller-owned
     :class:`~repro.parallel.WorkerPool` across several ``evaluate`` calls.
 
-    ``cache`` (a :class:`~repro.service.cache.ResultCache`) or ``service``
-    (a :class:`~repro.service.service.CompilationService`, whose cache is
-    used) makes the run cache-first: pairs already evaluated — in this
-    process or, with a directory-backed cache, any previous one — are
-    served from the store instead of re-run (see "Result caching" above).
+    ``service`` (a :class:`~repro.service.service.CompilationService` or a
+    remote :class:`~repro.service.client.ServiceClient`) routes the whole
+    grid through ``service.submit_many`` when every tool is expressible as
+    a service request (see "Service-routed evaluation" above); otherwise
+    ``cache`` (a :class:`~repro.service.cache.ResultCache`, or the
+    service's own cache) makes the run cache-first: pairs already
+    evaluated — in this process or, with a directory-backed cache, any
+    previous one — are served from the store instead of re-run (see
+    "Result caching" above).
     """
     tools = list(tools)
     instances = list(instances)
-    if cache is None and service is not None:
+    if service is not None and cache is None:
+        # An explicitly passed cache= keeps its long-standing meaning —
+        # a local cache-first run against that store — so service
+        # routing only engages when the caller left cache unset.
+        specs = [_tool_request_spec(tool) for tool in tools]
+        if all(spec is not None for spec in specs):
+            return _evaluate_service(tools, specs, instances, router_only,
+                                     validate, progress, service,
+                                     workers, pool)
         cache = getattr(service, "cache", None)
+        if cache is None:
+            opaque = [tool.name for tool, spec in zip(tools, specs)
+                      if spec is None]
+            raise ValueError(
+                f"service-routed evaluation needs spec-built tools "
+                f"(PipelineTool over build_pipeline); {opaque} cannot be "
+                "expressed as compile requests and the service has no "
+                "local cache to fall back on"
+            )
     keyer = (_PairKeyer([tool_fingerprint(tool) for tool in tools],
                         router_only)
              if cache is not None else None)
@@ -404,6 +454,70 @@ def evaluate(tools: Sequence[QLSTool], instances: Iterable[QubikosInstance],
     finally:
         if owned:
             pool.shutdown()
+
+
+def _tool_request_spec(tool: QLSTool) -> Optional[Tuple[str, Optional[int]]]:
+    """``(spec, seed)`` when ``tool`` is expressible as a service request
+    (it advertises ``request_spec``, e.g. a spec-built ``PipelineTool``),
+    else ``None``."""
+    getter = getattr(tool, "request_spec", None)
+    if callable(getter):
+        return getter()
+    return None
+
+
+def _evaluate_service(tools: Sequence[QLSTool],
+                      specs: Sequence[Tuple[str, Optional[int]]],
+                      instances: Sequence[QubikosInstance],
+                      router_only: bool, validate: bool,
+                      progress: Optional[Callable[[RunRecord], None]],
+                      service: object,
+                      workers: Optional[int],
+                      pool: Optional[WorkerPool]) -> EvaluationRun:
+    """Resolve the (tool, instance) grid through a compilation service.
+
+    One request per pair, instance-major tool-minor — the serial double
+    loop's order — resolved in a single ``submit_many`` batch (so the
+    service's cache-first/dedup/fan-out contract applies across the whole
+    grid).  Records are assembled from the request-ordered responses;
+    validation replays every returned circuit in the parent, exactly as
+    the in-process paths do, so a remote run keeps proving bit-identity
+    rather than trusting the wire.
+    """
+    requests = []
+    for instance in instances:
+        pinned = instance.mapping() if router_only else None
+        for spec, seed in specs:
+            requests.append(CompileRequest(
+                circuit=instance.circuit,
+                device=instance.architecture,
+                spec=spec,
+                seed=seed,
+                initial_mapping=pinned,
+                instance=instance.name,
+            ))
+    responses = service.submit_many(requests, workers=workers, pool=pool)
+    if len(responses) != len(requests):
+        raise ValueError(
+            f"service returned {len(responses)} responses for "
+            f"{len(requests)} requests"
+        )
+    run = EvaluationRun()
+    index = 0
+    for instance in instances:
+        coupling = _cached_architecture(instance.architecture)
+        for tool in tools:
+            response = responses[index]
+            index += 1
+            record, _ = _measure_pair(
+                tool, instance, coupling, router_only, validate,
+                cached=(response.result, response.compile_seconds),
+                hit=response.cache_hit,
+            )
+            run.records.append(record)
+            if progress is not None:
+                progress(record)
+    return run
 
 
 def _evaluate_serial(tools: Sequence[QLSTool],

@@ -83,11 +83,20 @@ class Pipeline:
     passes then skip themselves and tool passes receive the pin.
     """
 
-    def __init__(self, passes: Iterable[Pass], name: Optional[str] = None) -> None:
+    def __init__(self, passes: Iterable[Pass], name: Optional[str] = None,
+                 spec: Optional[str] = None,
+                 seed: Optional[int] = None) -> None:
         self.passes: List[Pass] = list(passes)
         if not self.passes:
             raise ValueError("a pipeline needs at least one pass")
         self.name = name or "+".join(p.name for p in self.passes)
+        #: The spec string (and top-level seed) this pipeline was built
+        #: from, when it came out of :func:`~repro.pipeline.registry.
+        #: build_pipeline` — what lets the serving layer reconstruct an
+        #: equivalent pipeline remotely.  ``None`` for hand-assembled
+        #: pipelines, which only exist in-process.
+        self.spec = spec
+        self.seed = seed
 
     def run(self, circuit: QuantumCircuit, coupling: CouplingGraph,
             initial_mapping: Optional[Mapping] = None) -> PipelineResult:

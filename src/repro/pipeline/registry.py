@@ -170,7 +170,10 @@ def build_pipeline(spec: str, seed: Optional[int] = None,
             raise QLSError(
                 f"bad arguments for pipeline stage {stage_name!r}: {exc}"
             ) from exc
-    return Pipeline(passes, name=name or alias)
+    # Record the provenance (alias + top-level seed): a spec-built pipeline
+    # is exactly reconstructable elsewhere — the property the service layer
+    # uses to ship evaluation work to a remote server.
+    return Pipeline(passes, name=name or alias, spec=alias, seed=seed)
 
 
 def _accepts_seed(factory: PassFactory) -> bool:

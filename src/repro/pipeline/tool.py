@@ -37,6 +37,18 @@ class PipelineTool(QLSTool):
         result.tool = self.name
         return result
 
+    def request_spec(self) -> Optional[tuple]:
+        """``(spec, seed)`` when this tool is expressible as a service
+        :class:`~repro.service.api.CompileRequest` — i.e. its pipeline was
+        built from a spec string — else ``None``.  The evaluation harness
+        uses this to route work through a (possibly remote) compilation
+        service instead of calling ``run`` in-process.
+        """
+        spec = getattr(self.pipeline, "spec", None)
+        if spec is None:
+            return None
+        return spec, getattr(self.pipeline, "seed", None)
+
     # -- shared-pool delegation ----------------------------------------------
 
     def _pooled_tools(self) -> List[QLSTool]:

@@ -117,24 +117,25 @@ def order_section(coupling: CouplingGraph, mapping: Mapping, section: SectionGra
             )
     connectors = connect_section(coupling, section, prev_special_phys)
     all_edges: List[Edge] = list(section.phys_edges) + list(connectors)
-
-    ordered_phys: List[Edge] = []
-    if prev_special_prog:
-        # Forward pass: every emitted gate chains back to g1.  In pruned
-        # mode only the BFS tree is emitted; it touches every vertex, so the
-        # backward pass's instances still find an earlier gate to chain to.
-        forward = bfs_edge_order(
-            all_edges, sources=list(prev_special_phys), tree_only=(mode == "pruned")
-        )
-        if mode == "paper":
-            _assert_covers(forward, all_edges, "forward")
-        ordered_phys.extend(forward)
-    # Backward pass: reversed BFS from g2's endpoints; every gate chains
-    # forward to g2.
     backward_sources = [section.swap.p_a, section.swap.p_new]
-    backward = bfs_edge_order(all_edges, sources=backward_sources)
-    _assert_covers(backward, all_edges, "backward")
-    ordered_phys.extend(reversed(backward))
+    try:
+        ordered_phys = _ordered_passes(all_edges, prev_special_phys,
+                                       backward_sources, mode)
+    except RuntimeError:
+        # connect_section counts the previous special gate's edge as
+        # connectivity, but neither BFS pass runs over that edge — so when
+        # it is the *only* link between parts of the section graph, a pass
+        # cannot cover every edge.  Repair by adding connectors that make
+        # the section graph one component on its own edges and redo the
+        # passes.  This path is reached only when the unrepaired graph
+        # cannot be serialized at all, so every generation that succeeded
+        # without it is byte-identical with it.
+        repair = _self_connectors(coupling, all_edges,
+                                  _required_nodes(section, prev_special_phys))
+        connectors = tuple(connectors) + repair
+        all_edges = list(section.phys_edges) + list(connectors)
+        ordered_phys = _ordered_passes(all_edges, prev_special_phys,
+                                       backward_sources, mode)
 
     prog_gates = tuple(
         (mapping.prog(a), mapping.prog(b)) for a, b in ordered_phys
@@ -145,6 +146,47 @@ def order_section(coupling: CouplingGraph, mapping: Mapping, section: SectionGra
         connector_phys_edges=connectors,
         special_prog=section.special_prog,
     )
+
+
+def _ordered_passes(all_edges: Sequence[Edge],
+                    prev_special_phys: Tuple[int, int],
+                    backward_sources: Sequence[int],
+                    mode: str) -> List[Edge]:
+    """The two serializing BFS passes over one section graph."""
+    ordered: List[Edge] = []
+    if prev_special_phys:
+        # Forward pass: every emitted gate chains back to g1.  In pruned
+        # mode only the BFS tree is emitted; it touches every vertex, so the
+        # backward pass's instances still find an earlier gate to chain to.
+        forward = bfs_edge_order(
+            all_edges, sources=list(prev_special_phys),
+            tree_only=(mode == "pruned")
+        )
+        if mode == "paper":
+            _assert_covers(forward, all_edges, "forward")
+        ordered.extend(forward)
+    # Backward pass: reversed BFS from g2's endpoints; every gate chains
+    # forward to g2.
+    backward = bfs_edge_order(all_edges, sources=list(backward_sources))
+    _assert_covers(backward, all_edges, "backward")
+    ordered.extend(reversed(backward))
+    return ordered
+
+
+def _self_connectors(coupling: CouplingGraph, edges: Sequence[Edge],
+                     nodes: Set[int]) -> Tuple[Edge, ...]:
+    """Connector edges making ``edges`` one component over ``nodes``
+    *without* help from any edge outside the section graph."""
+    components = connected_components(list(edges), nodes)
+    if len(components) <= 1:
+        return ()
+    extra = connecting_edges(
+        components,
+        host_adjacency=coupling.neighbors,
+        host_distance=coupling.distance,
+    )
+    existing = set(edges)
+    return tuple(e for e in extra if e not in existing)
 
 
 def _assert_covers(emitted: Sequence[Edge], all_edges: Sequence[Edge],

@@ -1,5 +1,5 @@
 """Compilation-service API: typed requests, content-addressed caching,
-batched submission.
+batched submission, and the async job-oriented serving layer.
 
 The serving facade over :mod:`repro.pipeline` — how work enters the
 system from outside a Python process::
@@ -17,13 +17,28 @@ system from outside a Python process::
 
     responses = service.submit_many(requests) # batch over a WorkerPool
 
+Remote serving (``python -m repro.service serve --port N``) exposes the
+same canonical-JSON schema over stdlib HTTP; :class:`ServiceClient`
+mirrors the ``submit``/``submit_many``/``map`` surface so callers swap
+local for remote without changes, and :class:`JobManager` adds the
+asynchronous ``queued → running → done`` batch lifecycle behind
+``POST /v1/jobs``::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    response = client.submit(request)               # sync, over the wire
+    job = client.submit_job(requests, priority=5)   # async batch
+    done = client.wait_job(job["id"])
+    responses = client.job_responses(done)
+
 Cache keys are content-addressed: SHA-256 over (circuit gate stream,
 coupling graph, normalized spec, seed, pinned mapping, code epoch) — see
 :mod:`repro.service.fingerprint` for the exact keying and invalidation
 rules.  Hits reconstruct results from canonical JSON payloads and are
 bit-identical to recomputation (enforced against the pinned goldens in
 ``tests/qls/test_perf_equivalence.py``).  The ``python -m repro.service``
-CLI does batch compile-from-JSONL and cache inspection/clear.
+CLI does serving, batch compile-from-JSONL, and cache inspection/clear.
 """
 
 from .api import (
@@ -31,9 +46,15 @@ from .api import (
     CompileRequest,
     CompileResponse,
     ServiceError,
+    decode_requests,
+    decode_responses,
+    encode_requests,
+    encode_responses,
+    error_payload,
     make_provenance,
 )
 from .cache import CacheStats, ResultCache
+from .client import RemoteServiceError, ServiceClient
 from .fingerprint import (
     CACHE_EPOCH,
     canonical_json,
@@ -44,6 +65,8 @@ from .fingerprint import (
     request_fingerprint,
     tool_fingerprint,
 )
+from .jobs import JOB_SCHEMA_VERSION, Job, JobManager, JobStatus
+from .server import ServiceServer, serve
 from .service import (
     CompilationService,
     compile_entry,
@@ -53,22 +76,35 @@ from .service import (
 
 __all__ = [
     "REQUEST_SCHEMA_VERSION",
+    "JOB_SCHEMA_VERSION",
     "CACHE_EPOCH",
     "CompileRequest",
     "CompileResponse",
     "CompilationService",
     "CacheStats",
+    "Job",
+    "JobManager",
+    "JobStatus",
+    "RemoteServiceError",
     "ResultCache",
+    "ServiceClient",
     "ServiceError",
+    "ServiceServer",
     "canonical_json",
     "circuit_fingerprint",
     "code_fingerprint",
     "coupling_fingerprint",
     "compile_entry",
     "decode_entry",
+    "decode_requests",
+    "decode_responses",
+    "encode_requests",
+    "encode_responses",
+    "error_payload",
     "make_entry",
     "make_provenance",
     "normalize_spec",
     "request_fingerprint",
+    "serve",
     "tool_fingerprint",
 ]

@@ -10,14 +10,20 @@ normalized spec, the code/version fingerprint, cache status, and timings.
 
 Both serialize to canonical JSON (``to_dict`` / ``from_dict``, versioned
 schema), which is also the JSONL line format of the
-``python -m repro.service`` batch CLI.
+``python -m repro.service`` batch CLI *and* the HTTP wire format of the
+serving front-end (:mod:`repro.service.server` /
+:mod:`repro.service.client`): one schema, every transport.
+
+The envelope helpers at the bottom define the shared batch shapes —
+``{"requests": [...]}`` in, ``{"responses": [...]}`` out — and the
+canonical error payload every non-2xx server response carries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..arch.coupling import CouplingGraph
 from ..arch.library import available_architectures, get_architecture
@@ -228,4 +234,77 @@ def make_provenance(request: CompileRequest, cache_hit: bool) -> Dict[str, objec
         "options": dict(request.options),
         "code": code_fingerprint(),
         "cache": "hit" if cache_hit else "miss",
+    }
+
+
+# -- wire envelopes (HTTP server/client + batch CLI) --------------------------
+
+
+def encode_requests(requests: Sequence[CompileRequest],
+                    **extra: object) -> Dict[str, object]:
+    """The batch-request envelope (``POST /v1/compile`` / ``/v1/jobs``).
+
+    ``extra`` keys (``priority``, ``workers``) ride along at the top
+    level next to ``requests``.
+    """
+    payload: Dict[str, object] = {
+        "schema": REQUEST_SCHEMA_VERSION,
+        "type": "CompileRequestBatch",
+        "requests": [request.to_dict() for request in requests],
+    }
+    payload.update(extra)
+    return payload
+
+
+def decode_requests(payload: object) -> List[CompileRequest]:
+    """Parse a ``POST /v1/compile``-shaped body into requests.
+
+    Accepts either a single ``CompileRequest`` object or a batch
+    envelope with a non-empty ``requests`` list; anything else raises
+    :class:`ServiceError` (which the server maps to a 400).
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            "request body must be a JSON object (a CompileRequest or a "
+            "{'requests': [...]} batch)"
+        )
+    if payload.get("type") == "CompileRequest":
+        return [CompileRequest.from_dict(payload)]
+    requests = payload.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise ServiceError(
+            "batch body needs a non-empty 'requests' list of "
+            "CompileRequest objects"
+        )
+    return [CompileRequest.from_dict(item) for item in requests]
+
+
+def encode_responses(responses: Iterable[CompileResponse]) -> Dict[str, object]:
+    """The batch-response envelope mirroring :func:`encode_requests`."""
+    return {
+        "schema": REQUEST_SCHEMA_VERSION,
+        "type": "CompileResponseBatch",
+        "responses": [response.to_dict() for response in responses],
+    }
+
+
+def decode_responses(payload: object) -> List[CompileResponse]:
+    """Parse a batch-response envelope (the client side of
+    :func:`encode_responses`)."""
+    if not isinstance(payload, dict) \
+            or not isinstance(payload.get("responses"), list):
+        raise ServiceError(
+            "response body needs a 'responses' list of CompileResponse "
+            "objects"
+        )
+    return [CompileResponse.from_dict(item) for item in payload["responses"]]
+
+
+def error_payload(message: str, status: int) -> Dict[str, object]:
+    """The canonical-JSON error body of every non-2xx server response."""
+    return {
+        "schema": REQUEST_SCHEMA_VERSION,
+        "type": "ServiceError",
+        "status": int(status),
+        "error": str(message),
     }

@@ -8,12 +8,28 @@ instance pointed at the same directory.  Reads promote disk entries into
 memory; writes go to both tiers.  A corrupt or unreadable disk entry is
 treated as a miss (and counted in ``stats``), never as an error — a cache
 must degrade, not crash, the service.
+
+Disk-tier eviction
+------------------
+Long-running servers need the disk tier bounded.  Three independent caps —
+``max_entries``, ``max_bytes``, ``max_age_seconds`` — are enforced after
+every disk write (and on demand via :meth:`evict`): entries older than the
+age cap are expired first, then the oldest-by-mtime entries are evicted
+until the count and byte caps hold.  Disk reads touch the entry's mtime,
+so eviction order is LRU, not insertion order.  All caps are disk-tier
+policy only; the memory tier keeps its own ``capacity`` LRU.
+
+Thread safety: every public method takes an internal lock, so one cache
+instance can back a threaded HTTP server (concurrent sync compiles, the
+job executor, and introspection endpoints) without corrupting the LRU.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,13 +57,18 @@ class CacheStats:
     #: Entries a caller reported as undecodable via ``note_stale``
     #: (reclassified from hit to miss).
     stale: int = 0
+    #: Disk entries evicted by the ``max_entries``/``max_bytes`` caps.
+    disk_evictions: int = 0
+    #: Disk entries expired by the ``max_age_seconds`` cap.
+    expired: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits, "misses": self.misses, "puts": self.puts,
             "evictions": self.evictions, "corrupt": self.corrupt,
             "disk_hits": self.disk_hits, "write_errors": self.write_errors,
-            "stale": self.stale,
+            "stale": self.stale, "disk_evictions": self.disk_evictions,
+            "expired": self.expired,
         }
 
     def hit_rate(self) -> float:
@@ -57,16 +78,39 @@ class CacheStats:
 
 @dataclass
 class ResultCache:
-    """LRU result cache with an optional persistent directory tier."""
+    """LRU result cache with an optional persistent directory tier.
+
+    ``max_entries``/``max_bytes``/``max_age_seconds`` bound the disk tier
+    (``None`` = unbounded); see the module docstring for the eviction
+    policy.
+    """
 
     capacity: int = 1024
     directory: Optional[str] = None
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_age_seconds: Optional[float] = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("cache capacity must be at least 1")
+        for cap in ("max_entries", "max_bytes", "max_age_seconds"):
+            value = getattr(self, cap)
+            if value is not None and value <= 0:
+                raise ValueError(f"{cap} must be positive (or None)")
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.RLock()
+        # Incrementally tracked disk-tier footprint (None = unknown, next
+        # cap enforcement rescans); spares the hot write path a full
+        # directory scan when the caps demonstrably hold.  Because the
+        # counters only see *this* process's writes, a periodic full sweep
+        # (``_sweep_due``) re-grounds them — the mechanism that both
+        # expires by age and keeps the caps honest when several processes
+        # share one directory.
+        self._disk_count: Optional[int] = None
+        self._disk_bytes: Optional[int] = None
+        self._sweep_due = 0.0
         if self.directory is not None:
             self.directory = str(self.directory)
             Path(self.directory).mkdir(parents=True, exist_ok=True)
@@ -75,46 +119,66 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The cached entry for ``key``, or ``None`` (recorded as a miss)."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        entry = self._disk_read(key)
-        if entry is not None:
-            self._remember(key, entry)
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            return entry
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            entry = self._disk_read(key)
+            if entry is not None:
+                self._remember(key, entry)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return entry
+            self.stats.misses += 1
+            return None
+
+    def peek(self, key: str) -> Optional[Dict[str, object]]:
+        """The entry for ``key`` if present and readable, else ``None`` —
+        a pure probe: no hit/miss/corrupt counting, no memory-LRU
+        promotion, and no disk-LRU mtime refresh (an entry that is only
+        ever probed must still age-expire).  For job admission and health
+        checks that must stay invisible in the serving statistics."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                return entry
+            return self._disk_read(key, touch=False, count=False)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
-        path = self._disk_path(key)
-        return path is not None and path.exists()
+        with self._lock:
+            if key in self._memory:
+                return True
+            path = self._disk_path(key)
+            return path is not None and path.exists()
 
     def __len__(self) -> int:
         """Distinct entries across both tiers."""
-        keys = set(self._memory)
-        if self.directory is not None:
-            keys.update(path.stem for path in Path(self.directory).glob("*.json"))
-        return len(keys)
+        with self._lock:
+            keys = set(self._memory)
+            if self.directory is not None:
+                keys.update(path.stem
+                            for path in Path(self.directory).glob("*.json"))
+            return len(keys)
 
     def keys(self) -> List[str]:
-        keys = set(self._memory)
-        if self.directory is not None:
-            keys.update(path.stem for path in Path(self.directory).glob("*.json"))
-        return sorted(keys)
+        with self._lock:
+            keys = set(self._memory)
+            if self.directory is not None:
+                keys.update(path.stem
+                            for path in Path(self.directory).glob("*.json"))
+            return sorted(keys)
 
     # -- storage ---------------------------------------------------------------
 
     def put(self, key: str, entry: Dict[str, object]) -> None:
         """Store ``entry`` under ``key`` in both tiers."""
-        self.stats.puts += 1
-        self._remember(key, entry)
-        self._disk_write(key, entry)
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(key, entry)
+            self._disk_write(key, entry)
+            self._enforce_disk_caps()
 
     def note_stale(self, key: str) -> None:
         """Report that the entry just served for ``key`` failed payload
@@ -125,22 +189,37 @@ class ResultCache:
         memory tier so it cannot be served again; the recomputation that
         follows overwrites both tiers.
         """
-        self.stats.hits = max(0, self.stats.hits - 1)
-        self.stats.misses += 1
-        self.stats.stale += 1
-        self._memory.pop(key, None)
+        with self._lock:
+            self.stats.hits = max(0, self.stats.hits - 1)
+            self.stats.misses += 1
+            self.stats.stale += 1
+            self._memory.pop(key, None)
 
     def clear(self) -> int:
         """Drop every entry from both tiers; returns the count removed."""
-        removed = len(self)
-        self._memory.clear()
-        if self.directory is not None:
-            for path in Path(self.directory).glob("*.json"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-        return removed
+        with self._lock:
+            removed = len(self)
+            self._memory.clear()
+            if self.directory is not None:
+                for path in Path(self.directory).glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            self._disk_count = None  # footprint unknown if unlinks failed
+            self._disk_bytes = None
+            return removed
+
+    def evict(self) -> int:
+        """Apply the disk-tier caps now; returns the entries removed.
+
+        Cap checks also run after every write (cheaply, against the
+        tracked footprint) — this entry point exists for callers that
+        changed the caps on an existing directory or want an age sweep
+        without writing anything, so it always rescans.
+        """
+        with self._lock:
+            return self._enforce_disk_caps(force=True)
 
     def _remember(self, key: str, entry: Dict[str, object]) -> None:
         self._memory[key] = entry
@@ -159,7 +238,8 @@ class ResultCache:
             return None
         return Path(self.directory) / f"{key}.json"
 
-    def _disk_read(self, key: str) -> Optional[Dict[str, object]]:
+    def _disk_read(self, key: str, touch: bool = True,
+                   count: bool = True) -> Optional[Dict[str, object]]:
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
@@ -167,30 +247,129 @@ class ResultCache:
             envelope = json.loads(path.read_text(encoding="utf-8"))
             if envelope.get("schema") != ENTRY_SCHEMA_VERSION:
                 raise ValueError("entry schema mismatch")
-            return envelope["entry"]
+            entry = envelope["entry"]
         except (OSError, ValueError, KeyError, TypeError):
-            self.stats.corrupt += 1
+            if count:
+                self.stats.corrupt += 1
             return None
+        if touch:
+            try:
+                # A read is a use: refresh the mtime so LRU-by-mtime
+                # eviction removes cold entries, not recently served ones.
+                os.utime(path, None)
+            except OSError:
+                pass
+        return entry
 
     def _disk_write(self, key: str, entry: Dict[str, object]) -> None:
         path = self._disk_path(key)
         if path is None:
             return
         envelope = {"schema": ENTRY_SCHEMA_VERSION, "key": key, "entry": entry}
+        data = canonical_json(envelope)
+        try:
+            previous = path.stat().st_size
+        except OSError:
+            previous = None
         tmp = path.with_name(path.name + ".tmp")
         try:
-            tmp.write_text(canonical_json(envelope), encoding="utf-8")
+            tmp.write_text(data, encoding="utf-8")
             os.replace(tmp, path)
         except OSError:
             # Same degrade-don't-crash contract as the read path: a full or
             # read-only disk must not lose the compile that just finished —
             # the entry stays served from the memory tier.
             self.stats.write_errors += 1
+            return
+        if self._disk_count is not None:
+            size = len(data.encode("utf-8"))
+            if previous is None:
+                self._disk_count += 1
+                self._disk_bytes += size
+            else:
+                self._disk_bytes += size - previous
+
+    #: Upper bound on how long a capped cache goes between full directory
+    #: sweeps (shorter when ``max_age_seconds`` demands it).
+    SWEEP_INTERVAL_SECONDS = 60.0
+
+    def _caps_maybe_exceeded(self, now: float) -> bool:
+        """Cheap pre-check against the tracked footprint: only a possible
+        violation (or an unknown footprint, or a due periodic sweep)
+        warrants the full directory scan."""
+        if self._disk_count is None or now >= self._sweep_due:
+            return True
+        if self.max_entries is not None \
+                and self._disk_count > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._disk_bytes > self.max_bytes
+
+    def _enforce_disk_caps(self, force: bool = False) -> int:
+        """LRU-by-mtime disk eviction; returns the entries removed."""
+        if self.directory is None or (
+                self.max_entries is None and self.max_bytes is None
+                and self.max_age_seconds is None):
+            return 0
+        now = time.time()
+        if not force and not self._caps_maybe_exceeded(now):
+            return 0
+        files = []
+        for path in Path(self.directory).glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+        files.sort()  # oldest first
+        removed = 0
+        survivors = []
+        for mtime, size, path in files:
+            if self.max_age_seconds is not None \
+                    and now - mtime > self.max_age_seconds:
+                if self._unlink(path):
+                    removed += 1
+                    self.stats.expired += 1
+                continue
+            survivors.append((size, path))
+        count = len(survivors)
+        total = sum(size for size, _ in survivors)
+        for size, path in survivors:  # oldest first: LRU order
+            over_count = self.max_entries is not None \
+                and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_count or over_bytes):
+                break
+            if self._unlink(path):
+                removed += 1
+                count -= 1
+                total -= size
+                self.stats.disk_evictions += 1
+        self._disk_count = count
+        self._disk_bytes = total
+        # Amortise the next sweep: ten checks per age period (bounding
+        # expiry staleness), never longer than the base interval (bounding
+        # cap overshoot from other processes writing the same directory).
+        interval = self.SWEEP_INTERVAL_SECONDS
+        if self.max_age_seconds is not None:
+            interval = min(interval, max(1.0, self.max_age_seconds / 10))
+        self._sweep_due = now + interval
+        return removed
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
 
     # -- introspection ---------------------------------------------------------
 
     def info(self) -> Dict[str, object]:
-        """Inspection payload for the ``cache-info`` CLI."""
+        """Inspection payload for ``cache-info`` and ``GET /v1/cache``."""
+        # The directory walk touches no shared mutable state, so it runs
+        # unlocked: a monitoring poll of a big cache must not stall every
+        # concurrent compile-path get/put for the duration of the scan.
         disk_entries = 0
         disk_bytes = 0
         if self.directory is not None:
@@ -200,14 +379,20 @@ class ResultCache:
                     disk_bytes += path.stat().st_size
                 except OSError:
                     pass
-        return {
-            "capacity": self.capacity,
-            "memory_entries": len(self._memory),
-            "directory": self.directory,
-            "disk_entries": disk_entries,
-            "disk_bytes": disk_bytes,
-            "stats": self.stats.to_dict(),
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "memory_entries": len(self._memory),
+                "directory": self.directory,
+                "disk_entries": disk_entries,
+                "disk_bytes": disk_bytes,
+                "eviction": {
+                    "max_entries": self.max_entries,
+                    "max_bytes": self.max_bytes,
+                    "max_age_seconds": self.max_age_seconds,
+                },
+                "stats": self.stats.to_dict(),
+            }
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.keys())

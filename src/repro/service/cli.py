@@ -1,6 +1,10 @@
-"""``python -m repro.service`` — batch compilation and cache management.
+"""``python -m repro.service`` — serving, batch compilation, cache management.
 
 Usage::
+
+    # Long-running HTTP front-end (see repro.service.server for routes):
+    python -m repro.service serve --port 8000 --cache-dir .qls-cache \
+        --workers 4 --max-entries 10000 --max-bytes 500000000
 
     # Compile a JSONL stream of CompileRequest payloads (one per line):
     python -m repro.service batch requests.jsonl --out responses.jsonl \
@@ -19,8 +23,13 @@ per line, resolves the batch through a
 :class:`~repro.service.service.CompilationService` (cache-first, misses
 fanned over a worker pool), writes one
 :class:`~repro.service.api.CompileResponse` JSON object per line, and
-prints a hit/miss/wall-clock summary.  Rerunning the same batch against
-the same ``--cache-dir`` reports 100% hits and pays only lookup time.
+prints a hit/miss/wall-clock summary.  A malformed line — bad JSON, bad
+payload, unknown device or spec — does **not** abort the batch: it is
+reported to stderr with its line number, a ``BatchError`` record holding
+the line number and reason takes its place in the output stream (line
+order preserved), and the exit code is 2 to signal partial failure (0 =
+every line compiled).  Rerunning the same batch against the same
+``--cache-dir`` reports 100% hits and pays only lookup time.
 """
 
 from __future__ import annotations
@@ -29,21 +38,46 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..qls.base import QLSError
-from .api import CompileRequest
+from .api import CompileRequest, REQUEST_SCHEMA_VERSION
 from .cache import ResultCache
 from .fingerprint import canonical_json
 from .service import CompilationService
 
 
 def _build_cache(args: argparse.Namespace) -> ResultCache:
-    return ResultCache(capacity=args.capacity, directory=args.cache_dir)
+    return ResultCache(
+        capacity=args.capacity,
+        directory=args.cache_dir,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_age_seconds=args.max_age,
+    )
+
+
+#: What a malformed JSONL line can raise while being parsed/validated.
+#: ValueError covers ServiceError plus the circuit/gate/mapping validation
+#: errors a malformed payload triggers; QLSError covers bad pipeline specs.
+BAD_LINE_ERRORS = (json.JSONDecodeError, KeyError, TypeError, IndexError,
+                   ValueError, QLSError)
+
+
+def _batch_error_record(lineno: int, reason: str) -> str:
+    """The canonical per-line failure record of the batch output stream."""
+    return canonical_json({
+        "schema": REQUEST_SCHEMA_VERSION,
+        "type": "BatchError",
+        "line": lineno,
+        "error": reason,
+    })
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    requests = []
+    #: (lineno, request-or-None, error-or-None), in input order.
+    rows: List[Tuple[int, Optional[CompileRequest], Optional[str]]] = []
+    failures = 0
     with open(args.requests, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -53,15 +87,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 request = CompileRequest.from_dict(json.loads(line))
                 request.coupling()         # unknown device fails here,
                 request.normalized_spec()  # unknown/malformed spec here —
-                requests.append(request)   # not as a mid-batch traceback
-            except (json.JSONDecodeError, KeyError, TypeError, IndexError,
-                    ValueError, QLSError) as exc:
-                # ValueError covers ServiceError plus the circuit/gate/
-                # mapping validation errors a malformed payload triggers;
-                # QLSError covers bad pipeline specs.
-                print(f"error: {args.requests}:{lineno}: bad request: {exc}",
+            except BAD_LINE_ERRORS as exc:
+                reason = f"bad request: {exc}"
+                print(f"error: {args.requests}:{lineno}: {reason}",
                       file=sys.stderr)
-                return 2
+                rows.append((lineno, None, reason))
+                failures += 1
+            else:
+                rows.append((lineno, request, None))
+    requests = [request for _, request, _ in rows if request is not None]
     service = CompilationService(cache=_build_cache(args),
                                  workers=args.workers)
 
@@ -89,13 +123,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - started
 
     if args.out:
+        response_iter = iter(responses)
         with open(args.out, "w", encoding="utf-8") as handle:
-            for response in responses:
-                handle.write(canonical_json(response.to_dict()) + "\n")
+            for lineno, request, reason in rows:
+                if request is None:
+                    handle.write(_batch_error_record(lineno, reason) + "\n")
+                else:
+                    handle.write(
+                        canonical_json(next(response_iter).to_dict()) + "\n"
+                    )
     hits = sum(1 for r in responses if r.cache_hit)
     print(f"batch: {len(responses)} requests, {hits} hits, "
           f"{len(responses) - hits} misses, {wall:.3f}s wall-clock"
+          + (f", {failures} bad lines" if failures else "")
           + (f", responses -> {args.out}" if args.out else ""))
+    return 2 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..parallel import WorkerPool
+    from .server import ServiceServer
+
+    # One persistent pool for the server's lifetime: every sync batch and
+    # every job fans its misses over the same workers (the single
+    # concurrency bound), instead of paying process-pool start-up per
+    # request.  ProcessPoolExecutor.submit is thread-safe, so concurrent
+    # handler threads share it directly.
+    pool = WorkerPool(args.workers) \
+        if args.workers is not None and args.workers > 1 else None
+    service = CompilationService(cache=_build_cache(args), pool=pool)
+    server = ServiceServer(service=service, host=args.host, port=args.port)
+    store = args.cache_dir or "in-memory"
+    print(f"serving on {server.url} (cache: {store}); Ctrl-C to stop",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        if pool is not None:
+            pool.shutdown()
     return 0
 
 
@@ -150,11 +218,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="persistent cache directory (default: in-memory)")
         p.add_argument("--capacity", type=int, default=1024,
                        help="in-memory LRU capacity")
+        p.add_argument("--max-entries", type=int, default=None,
+                       help="disk-tier entry cap (LRU-by-mtime eviction)")
+        p.add_argument("--max-bytes", type=int, default=None,
+                       help="disk-tier byte cap (LRU-by-mtime eviction)")
+        p.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                       help="disk-tier age cap; older entries expire")
 
     batch = sub.add_parser("batch", help="compile a JSONL request stream")
     batch.add_argument("requests", help="input JSONL of CompileRequest objects")
     batch.add_argument("--out", default=None,
-                       help="output JSONL of CompileResponse objects")
+                       help="output JSONL of CompileResponse objects "
+                            "(BatchError records for bad input lines)")
     batch.add_argument("--workers", type=int, default=None,
                        help="worker-pool size for cache misses "
                             "(default: serial)")
@@ -162,6 +237,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="suppress per-request progress lines")
     add_cache_args(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser("serve", help="run the HTTP serving front-end")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 = ephemeral, printed on start)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker-pool size for batch cache misses")
+    add_cache_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     info = sub.add_parser("cache-info", help="inspect a cache")
     add_cache_args(info)

@@ -1,0 +1,230 @@
+"""HTTP client speaking the compilation-service wire schema.
+
+:class:`ServiceClient` mirrors the :class:`CompilationService` surface —
+``submit`` / ``submit_many`` / ``map`` with the same signatures and the
+same response objects — so harness and application code swaps a local
+service for a remote one without changes::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    response = client.submit(request)             # POST /v1/compile
+    responses = client.submit_many(requests)      # one batched round trip
+    run = evaluate(tools, instances, service=client)  # remote evaluation
+
+Semantics match the local service: ``submit_many`` is one round trip
+whose in-batch duplicate/caching behaviour is the server's
+``submit_many`` contract (serial-identical ordering, duplicates compile
+once), and responses deserialize bit-identically to what a local call
+would return (the canonical-JSON schemas round-trip exactly).
+``workers`` is forwarded to the server as a fan-out hint; ``pool`` is
+accepted for signature compatibility but meaningless across processes
+and therefore ignored.
+
+The async side wraps the job endpoints: ``submit_job`` → ``wait_job`` →
+``job_responses`` is the remote ``queued → running → done`` flow.  All
+failures surface as :class:`RemoteServiceError` carrying the HTTP status
+and the server's canonical error message.
+
+Stdlib only (:mod:`urllib.request`) — a client import must never pull in
+more than the schema modules.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .api import (
+    CompileRequest,
+    CompileResponse,
+    ServiceError,
+    decode_responses,
+    encode_requests,
+)
+from .fingerprint import canonical_json
+
+ProgressFn = Callable[[CompileResponse], None]
+
+
+class RemoteServiceError(ServiceError):
+    """A service call failed remotely (or the server is unreachable).
+
+    ``status`` is the HTTP status code, or ``None`` for transport-level
+    failures (connection refused, timeout).
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Wire-compatible remote stand-in for :class:`CompilationService`."""
+
+    #: No local cache: present (as ``None``) so code probing the
+    #: ``service.cache`` attribute — the evaluation harness's legacy
+    #: fallback — degrades predictably instead of raising AttributeError.
+    cache = None
+
+    def __init__(self, url: str, timeout: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _call(self, method: str, path: str,
+              payload: Optional[object] = None) -> object:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = canonical_json(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=data,
+                                         method=method, headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            raise RemoteServiceError(self._error_message(exc),
+                                     status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise RemoteServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RemoteServiceError(
+                f"service at {self.url} returned non-JSON body"
+            ) from exc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        """The server's canonical ``error`` field, or a plain fallback."""
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            return str(payload["error"])
+        except Exception:  # noqa: BLE001 - any malformed error body
+            return f"HTTP {exc.code}: {exc.reason}"
+
+    # -- synchronous compilation (CompilationService mirror) -------------------
+
+    def submit(self, request: CompileRequest) -> CompileResponse:
+        """Compile one request synchronously (``POST /v1/compile``)."""
+        payload = self._call("POST", "/v1/compile", request.to_dict())
+        return CompileResponse.from_dict(payload)
+
+    def submit_many(self, requests: Iterable[CompileRequest],
+                    progress: Optional[ProgressFn] = None,
+                    workers: Optional[int] = None,
+                    pool: Optional[object] = None,  # noqa: ARG002 - API compat
+                    ) -> List[CompileResponse]:
+        """Compile a batch in one round trip, responses in request order.
+
+        ``progress`` fires per response during decoding (the whole batch
+        has landed by then — streaming granularity is a server-side
+        property).  ``workers`` is forwarded as the server-side fan-out
+        hint; ``pool`` is ignored (pools do not cross processes).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        extra: Dict[str, object] = {}
+        if workers is not None:
+            extra["workers"] = workers
+        payload = self._call("POST", "/v1/compile",
+                             encode_requests(requests, **extra))
+        responses = decode_responses(payload)
+        if progress is not None:
+            for response in responses:
+                progress(response)
+        return responses
+
+    def map(self, requests: Iterable[CompileRequest],
+            progress: Optional[ProgressFn] = None,
+            workers: Optional[int] = None,
+            pool: Optional[object] = None) -> Iterator[CompileResponse]:
+        """Iterate responses in request order (``submit_many`` view)."""
+        return iter(self.submit_many(requests, progress=progress,
+                                     workers=workers, pool=pool))
+
+    # -- asynchronous jobs -----------------------------------------------------
+
+    def submit_job(self, requests: Iterable[CompileRequest],
+                   priority: int = 0) -> Dict[str, object]:
+        """Enqueue an async batch (``POST /v1/jobs``); returns the job
+        payload (already terminal when cache-first admission applied)."""
+        return self._call(
+            "POST", "/v1/jobs",
+            encode_requests(list(requests), priority=priority),
+        )
+
+    def job(self, job_id: int) -> Dict[str, object]:
+        """One job's current state (``GET /v1/jobs/<id>``)."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Every known job, without response payloads."""
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def cancel_job(self, job_id: int) -> Dict[str, object]:
+        """Cancel a queued job (``DELETE``); running/terminal jobs are a
+        no-op — inspect ``status`` in the returned payload."""
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait_job(self, job_id: int, timeout: Optional[float] = 300.0,
+                 poll_seconds: float = 0.05) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll_seconds
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] in ("done", "failed", "cancelled"):
+                return payload
+            if deadline is not None and time.monotonic() >= deadline:
+                raise RemoteServiceError(
+                    f"job {job_id} still {payload['status']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)  # back off to 1s polls
+
+    @staticmethod
+    def job_responses(job: Dict[str, object]) -> List[CompileResponse]:
+        """Decode a terminal job payload's responses.
+
+        Raises :class:`ServiceError` when the job failed (surfacing the
+        recorded error) or has no responses yet.
+        """
+        if job.get("error"):
+            raise ServiceError(
+                f"job {job.get('id')} failed: {job['error']}"
+            )
+        responses = job.get("responses")
+        if responses is None:
+            raise ServiceError(
+                f"job {job.get('id')} is {job.get('status')!r}; responses "
+                "are available once it is done"
+            )
+        return [CompileResponse.from_dict(item) for item in responses]
+
+    # -- introspection ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/healthz")
+
+    def devices(self) -> List[str]:
+        return self._call("GET", "/v1/devices")["devices"]
+
+    def passes(self) -> Dict[str, object]:
+        return self._call("GET", "/v1/passes")
+
+    def cache_info(self) -> Optional[Dict[str, object]]:
+        """The server cache's ``info()`` payload (``None`` = disabled)."""
+        return self._call("GET", "/v1/cache")["cache"]
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.url!r})"

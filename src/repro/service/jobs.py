@@ -1,0 +1,339 @@
+"""Asynchronous jobs over the compilation service.
+
+A :class:`Job` is one batch of :class:`~repro.service.api.CompileRequest`
+objects moving through the ``queued → running → done/failed`` lifecycle
+(``cancelled`` for queued jobs that never ran).  The :class:`JobManager`
+owns the queue:
+
+* **Monotonic ids** — jobs are numbered 1, 2, 3, … in admission order;
+  ids are never reused within a manager's lifetime.
+* **Priority ordering** — higher ``priority`` runs first; ties run in
+  admission (FIFO) order.
+* **Cancellation** — a *queued* job can be cancelled; cancelling a
+  running, finished, failed, or already-cancelled job is a documented
+  no-op that returns the job unchanged (the caller inspects ``status``
+  to see what happened).  There is no mid-compile abort: compilation is
+  CPU-bound work already in flight on the worker pool.
+* **Bounded concurrency** — one executor thread drains the queue, so
+  jobs execute one at a time; *within* a job, cache misses fan out over
+  the service's :class:`~repro.parallel.WorkerPool` exactly as in
+  :meth:`CompilationService.submit_many`.  The pool is therefore the
+  single concurrency bound for compile work, shared with every other
+  submission path.
+* **Cache-first admission** — a job whose every request fingerprint is
+  already cached completes at submission time without ever entering the
+  queue (or touching the pool): 100%-hit work must not wait behind a
+  backlog of cold compiles.
+* **Duplicate-fingerprint dedup** — because jobs execute sequentially
+  against one shared cache, two jobs carrying the same request
+  fingerprint compile it once: the first job's miss warms the cache and
+  the second job's occurrence resolves as a hit (the in-batch dedup of
+  ``submit_many`` covers duplicates within one job).
+
+Everything here is process-local; the HTTP layer in
+:mod:`repro.service.server` exposes it remotely.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .api import CompileRequest, CompileResponse, ServiceError
+from .service import ENTRY_DECODE_ERRORS, CompilationService, decode_entry
+
+#: Version of the ``Job.to_dict`` wire schema.
+JOB_SCHEMA_VERSION = 1
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle states of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves.
+TERMINAL_STATUSES = frozenset(
+    {JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED}
+)
+
+
+@dataclass
+class Job:
+    """One asynchronous batch submission and its lifecycle state."""
+
+    id: int
+    requests: List[CompileRequest]
+    fingerprints: List[str]
+    priority: int = 0
+    status: JobStatus = JobStatus.QUEUED
+    created_seconds: float = field(default_factory=time.time)
+    started_seconds: Optional[float] = None
+    finished_seconds: Optional[float] = None
+    responses: Optional[List[CompileResponse]] = None
+    error: Optional[str] = None
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status in TERMINAL_STATUSES
+
+    def to_dict(self, include_responses: bool = True) -> Dict[str, object]:
+        """Canonical wire form; responses ride along only when present
+        (terminal ``done`` jobs) and requested."""
+        payload: Dict[str, object] = {
+            "schema": JOB_SCHEMA_VERSION,
+            "type": "Job",
+            "id": self.id,
+            "status": self.status.value,
+            "priority": self.priority,
+            "request_count": len(self.requests),
+            "request_fingerprints": list(self.fingerprints),
+            "created_seconds": self.created_seconds,
+            "started_seconds": self.started_seconds,
+            "finished_seconds": self.finished_seconds,
+            "error": self.error,
+            "responses": None,
+        }
+        if include_responses and self.responses is not None:
+            payload["responses"] = [r.to_dict() for r in self.responses]
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"Job(id={self.id}, {self.status.value}, "
+                f"priority={self.priority}, requests={len(self.requests)})")
+
+
+class JobManager:
+    """Priority queue of compilation jobs over one shared service.
+
+    ``start=True`` (the default) spawns the daemon executor thread;
+    ``start=False`` leaves the queue passive so callers (tests, batch
+    drivers) step it deterministically with :meth:`run_next`.
+    """
+
+    def __init__(self, service: Optional[CompilationService] = None,
+                 start: bool = True) -> None:
+        self.service = service if service is not None else CompilationService()
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: Dict[int, Job] = {}
+        self._heap: List[tuple] = []  # (-priority, id): max-priority, FIFO ties
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, requests: Iterable[CompileRequest],
+               priority: int = 0) -> Job:
+        """Admit a batch as one job; returns it immediately.
+
+        Raises :class:`ServiceError` for an empty batch; device and spec
+        problems surface here too (computing the fingerprints validates
+        both), so a job that enters the queue can only fail on genuine
+        compile errors.  A fully cached job completes inline — see
+        "cache-first admission" in the module docstring.
+        """
+        requests = list(requests)
+        if not requests:
+            raise ServiceError("a job needs at least one request")
+        fingerprints = [request.fingerprint() for request in requests]
+        job = Job(id=next(self._ids), requests=requests,
+                  fingerprints=fingerprints, priority=priority)
+        inline = self._all_cached(fingerprints)
+        # One critical section for the closed-check, registration, and
+        # queue insertion: a shutdown() can then only land entirely before
+        # (submission rejected) or entirely after (job queued while the
+        # executor was still alive) — never between, which would strand a
+        # registered job in a queue nobody drains.
+        with self._wake:
+            if self._closed:
+                raise ServiceError("JobManager was shut down")
+            if inline:
+                # Registered already RUNNING: the job is never observable
+                # as QUEUED, so a concurrent cancel is the documented
+                # running-job no-op rather than a race.
+                job.status = JobStatus.RUNNING
+                job.started_seconds = time.time()
+            self._jobs[job.id] = job
+            if not inline:
+                heapq.heappush(self._heap, (-priority, job.id))
+                self._wake.notify_all()
+        if inline:
+            self._execute(job)  # all hits: resolves without the pool
+        return job
+
+    def _all_cached(self, fingerprints: List[str]) -> bool:
+        """True when every fingerprint has a *decodable* cache entry.
+
+        Peeking (no stats, no LRU promotion) keeps the admission probe
+        invisible in hit rates; requiring decodability keeps a corrupt
+        disk entry — a miss by the cache's own contract — from pulling a
+        full cold compile onto the submitter's thread.
+        """
+        cache = getattr(self.service, "cache", None)
+        if cache is None:
+            return False
+        for fingerprint in fingerprints:
+            entry = cache.peek(fingerprint)
+            if entry is None:
+                return False
+            try:
+                decode_entry(entry)
+            except ENTRY_DECODE_ERRORS:
+                return False
+        return True
+
+    # -- inspection ------------------------------------------------------------
+
+    def get(self, job_id: int) -> Job:
+        """The job with ``job_id`` (KeyError if unknown)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in id (admission) order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def counts(self) -> Dict[str, int]:
+        """``{status value: job count}`` over every known job."""
+        with self._lock:
+            counts = {status.value: 0 for status in JobStatus}
+            for job in self._jobs.values():
+                counts[job.status.value] += 1
+            return counts
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel ``job_id`` if it is still queued.
+
+        Running and terminal jobs are returned unchanged (the documented
+        no-op); callers distinguish the outcomes by ``status``.
+        """
+        with self._wake:
+            job = self._jobs[job_id]
+            if job.status is JobStatus.QUEUED:
+                job.status = JobStatus.CANCELLED
+                job.finished_seconds = time.time()
+                self._wake.notify_all()
+            return job
+
+    def run_next(self) -> Optional[Job]:
+        """Run the highest-priority queued job to completion; ``None``
+        when the queue holds no runnable job.  The executor thread's step
+        function, also callable directly on a ``start=False`` manager."""
+        job = self._claim()
+        if job is None:
+            return None
+        self._execute(job)
+        return job
+
+    def _claim(self) -> Optional[Job]:
+        with self._lock:
+            while self._heap:
+                _, job_id = heapq.heappop(self._heap)
+                job = self._jobs[job_id]
+                if job.status is not JobStatus.QUEUED:
+                    continue  # cancelled while queued
+                job.status = JobStatus.RUNNING
+                job.started_seconds = time.time()
+                return job
+            return None
+
+    def _execute(self, job: Job) -> None:
+        """Resolve one job through the service (no locks held while
+        compiling; terminal state + wake-up under the lock)."""
+        if job.started_seconds is None:
+            job.started_seconds = time.time()
+        try:
+            responses = self.service.submit_many(job.requests)
+        except Exception as exc:  # noqa: BLE001 - recorded, not raised
+            status, responses = JobStatus.FAILED, None
+            error: Optional[str] = f"{type(exc).__name__}: {exc}"
+        else:
+            status, error = JobStatus.DONE, None
+        with self._wake:
+            if not job.done():  # terminal states (cancelled) are final
+                job.responses = responses
+                job.error = error
+                job.status = status
+                job.finished_seconds = time.time()
+            self._wake.notify_all()
+
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> Job:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Raises ``TimeoutError`` after ``timeout`` seconds (``None`` waits
+        forever) and ``KeyError`` for an unknown id.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wake:
+            while True:
+                job = self._jobs[job_id]
+                if job.done():
+                    return job
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.status.value} "
+                        f"after {timeout}s"
+                    )
+                self._wake.wait(remaining if remaining is not None else 0.5)
+
+    # -- executor thread -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the executor thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None or self._closed:
+                return
+            self._thread = threading.Thread(
+                target=self._drain, name="job-executor", daemon=True
+            )
+            self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            with self._wake:
+                while not self._closed and not self._has_runnable():
+                    self._wake.wait(0.5)
+                if self._closed:
+                    return
+            self.run_next()
+
+    def _has_runnable(self) -> bool:
+        return any(self._jobs[job_id].status is JobStatus.QUEUED
+                   for _, job_id in self._heap)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and stop the executor thread.
+
+        A job mid-compile finishes (``wait=True`` joins the thread);
+        queued jobs simply never run.
+        """
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join(timeout=60.0)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        busy = ", ".join(f"{status}={count}"
+                         for status, count in counts.items() if count)
+        return f"JobManager({busy or 'empty'})"

@@ -1,0 +1,307 @@
+"""Stdlib HTTP front-end over the compilation service.
+
+``python -m repro.service serve --port N`` (or :class:`ServiceServer`
+embedded in-process) exposes the canonical-JSON wire schema of
+:mod:`repro.service.api` over HTTP — no third-party dependencies, just
+:mod:`http.server`:
+
+===========================  ================================================
+``POST /v1/compile``         synchronous compile: one ``CompileRequest``
+                             object → one ``CompileResponse``; or a
+                             ``{"requests": [...]}`` batch → a
+                             ``{"responses": [...]}`` batch (in-batch
+                             duplicate dedup and cache-first resolution
+                             exactly as :meth:`CompilationService.submit_many`)
+``POST /v1/jobs``            asynchronous batch: enqueue a job
+                             (``{"requests": [...], "priority": P}``);
+                             202 with the job payload (200 when cache-first
+                             admission completed it inline)
+``GET /v1/jobs``             every known job (no response payloads)
+``GET /v1/jobs/<id>``        one job, responses included once it is done
+``DELETE /v1/jobs/<id>``     cancel a queued job (running/terminal: no-op —
+                             inspect ``status`` in the returned payload)
+``GET /v1/cache``            ``ResultCache.info()`` (caps, tiers, stats)
+``GET /v1/devices``          architecture-library names
+``GET /v1/passes``           registered passes + preset specs
+``GET /v1/healthz``          liveness: code fingerprint + job counts
+===========================  ================================================
+
+Every error response carries the canonical body of
+:func:`repro.service.api.error_payload` — a JSON object with ``status``
+and ``error`` — so remote callers get machine-readable failures, never
+HTML.  Requests are handled on per-connection threads
+(``ThreadingHTTPServer``); the service's :class:`ResultCache` is
+thread-safe and compilation itself is pure, so concurrent sync compiles,
+the job executor, and introspection endpoints coexist safely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from ..arch.library import available_architectures
+from ..pipeline.registry import list_passes, list_specs
+from ..qls.base import QLSError
+from .api import (
+    REQUEST_SCHEMA_VERSION,
+    ServiceError,
+    decode_requests,
+    encode_responses,
+    error_payload,
+)
+from .fingerprint import canonical_json, code_fingerprint
+from .jobs import JobManager
+from .service import CompilationService
+
+#: Exceptions a request body can legitimately trigger; everything in here
+#: becomes a 400 with a canonical error payload, not a traceback.
+BAD_REQUEST_ERRORS = (ServiceError, QLSError, KeyError, TypeError,
+                      IndexError, ValueError)
+
+
+class ServiceServer:
+    """The long-running serving front-end: HTTP + jobs over one service.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url``).  ``serve_forever`` blocks (the CLI path); ``start`` runs
+    the accept loop on a daemon thread (embedding and tests)::
+
+        server = ServiceServer(service=CompilationService(...))
+        server.start()
+        client = ServiceClient(server.url)
+        ...
+        server.shutdown()
+    """
+
+    def __init__(self, service: Optional[CompilationService] = None,
+                 jobs: Optional[JobManager] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service if service is not None else CompilationService()
+        self.jobs = jobs if jobs is not None else JobManager(self.service)
+        handler = type("_BoundHandler", (_Handler,), {"app": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (CLI mode)."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self.serve_forever,
+                                            name="service-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the accept loop and the job executor."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.jobs.shutdown(wait=False)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"ServiceServer({self.url}, jobs={self.jobs.counts()})"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` onto the bound :class:`ServiceServer` (``app``)."""
+
+    app: ServiceServer = None  # bound by ServiceServer via subclassing
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep stdout/stderr quiet; callers watch the CLI banner
+
+    def _send_json(self, payload: Dict[str, object],
+                   status: int = 200) -> None:
+        self._drain_body()
+        body = canonical_json(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drain_body(self) -> None:
+        """Consume any unread request body before responding.
+
+        Under HTTP/1.1 keep-alive an unread body stays in ``rfile`` and
+        would be parsed as the *next* request on the connection — so a
+        POST to an unknown route (or a DELETE sent with a body) must
+        drain what it never read before the error response goes out.
+        """
+        if self._body_consumed:
+            return
+        self._body_consumed = True
+        remaining = int(self.headers.get("Content-Length") or 0)
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(error_payload(message, status), status=status)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        self._body_consumed = True
+        if not raw:
+            raise ServiceError("empty request body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") \
+                from exc
+
+    def _job_id(self, tail: str) -> int:
+        try:
+            return int(tail)
+        except ValueError as exc:
+            raise ServiceError(f"malformed job id {tail!r}") from exc
+
+    # -- dispatch --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        self._body_consumed = False
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            handled = self._route(method, path)
+        except BAD_REQUEST_ERRORS as exc:
+            self._send_error_json(400, f"{exc}")
+        except Exception as exc:  # noqa: BLE001 - last-resort JSON 500
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            if not handled:
+                self._send_error_json(
+                    404, f"no route for {method} {path} (API root: /v1)"
+                )
+
+    def _route(self, method: str, path: str) -> bool:
+        app = self.app
+        if (method, path) == ("GET", "/v1/healthz"):
+            self._send_json({
+                "schema": REQUEST_SCHEMA_VERSION,
+                "type": "Health",
+                "status": "ok",
+                "code": code_fingerprint(),
+                "jobs": app.jobs.counts(),
+                "cache": app.service.cache is not None,
+            })
+        elif (method, path) == ("GET", "/v1/devices"):
+            self._send_json({
+                "schema": REQUEST_SCHEMA_VERSION,
+                "type": "Devices",
+                "devices": available_architectures(),
+            })
+        elif (method, path) == ("GET", "/v1/passes"):
+            self._send_json({
+                "schema": REQUEST_SCHEMA_VERSION,
+                "type": "Passes",
+                "passes": [
+                    {"name": info.name, "kind": info.kind,
+                     "description": info.description,
+                     "aliases": list(info.aliases)}
+                    for info in list_passes()
+                ],
+                "specs": list_specs(),
+            })
+        elif (method, path) == ("GET", "/v1/cache"):
+            cache = app.service.cache
+            self._send_json({
+                "schema": REQUEST_SCHEMA_VERSION,
+                "type": "CacheInfo",
+                "cache": cache.info() if cache is not None else None,
+            })
+        elif (method, path) == ("POST", "/v1/compile"):
+            self._compile(self._read_json())
+        elif (method, path) == ("POST", "/v1/jobs"):
+            self._submit_job(self._read_json())
+        elif (method, path) == ("GET", "/v1/jobs"):
+            self._send_json({
+                "schema": REQUEST_SCHEMA_VERSION,
+                "type": "Jobs",
+                "jobs": [job.to_dict(include_responses=False)
+                         for job in app.jobs.jobs()],
+            })
+        elif method in ("GET", "DELETE") and path.startswith("/v1/jobs/"):
+            job_id = self._job_id(path[len("/v1/jobs/"):])
+            try:
+                job = (app.jobs.cancel(job_id) if method == "DELETE"
+                       else app.jobs.get(job_id))
+            except KeyError:
+                self._send_error_json(404, f"no such job {job_id}")
+            else:
+                self._send_json(job.to_dict())
+        else:
+            return False
+        return True
+
+    # -- compile endpoints -----------------------------------------------------
+
+    def _compile(self, payload: object) -> None:
+        """``POST /v1/compile``: sync single or batch compilation."""
+        single = isinstance(payload, dict) \
+            and payload.get("type") == "CompileRequest"
+        requests = decode_requests(payload)
+        workers = payload.get("workers") if isinstance(payload, dict) else None
+        if workers is not None and not isinstance(workers, int):
+            raise ServiceError("'workers' must be an integer")
+        responses = self.app.service.submit_many(requests, workers=workers)
+        if single:
+            self._send_json(responses[0].to_dict())
+        else:
+            self._send_json(encode_responses(responses))
+
+    def _submit_job(self, payload: object) -> None:
+        """``POST /v1/jobs``: enqueue an async batch."""
+        requests = decode_requests(payload)
+        priority = payload.get("priority", 0) if isinstance(payload, dict) \
+            else 0
+        if not isinstance(priority, int):
+            raise ServiceError("'priority' must be an integer")
+        job = self.app.jobs.submit(requests, priority=priority)
+        # Cache-first admission completes 100%-hit jobs inline: report 200
+        # for those, 202 for genuinely queued (or already running) work.
+        self._send_json(job.to_dict(), status=200 if job.done() else 202)
+
+
+def serve(service: Optional[CompilationService] = None,
+          host: str = "127.0.0.1", port: int = 0) -> ServiceServer:
+    """Build and start a background :class:`ServiceServer` (convenience
+    for embedding; the CLI uses :meth:`ServiceServer.serve_forever`)."""
+    return ServiceServer(service=service, host=host, port=port).start()
+
+
+__all__ = ["ServiceServer", "serve", "BAD_REQUEST_ERRORS"]

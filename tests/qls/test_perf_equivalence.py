@@ -313,6 +313,74 @@ class TestServiceCacheGoldens:
                 ROUTER_GOLDEN[arch]["tket_pinned_hash"]
 
 
+class TestServiceClientGoldens:
+    """The serving acceptance contract: ``evaluate(..., service=
+    ServiceClient(url))`` against a live local HTTP server reproduces the
+    pinned goldens bit-identically on all four devices, with
+    ``RunRecord.result_key`` order identical to the in-process serial
+    run.  Every circuit crosses the wire twice (request out, result back)
+    and the harness replays it for validation, so a pass here proves the
+    canonical-JSON schema, the server, the client, and the job-free sync
+    path end to end."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.service import (
+            CompilationService,
+            ResultCache,
+            ServiceServer,
+        )
+
+        with ServiceServer(CompilationService(cache=ResultCache())) as server:
+            yield server
+
+    def test_remote_evaluate_matches_goldens(self, arch_instance, server):
+        from repro.evalx.harness import evaluate
+        from repro.pipeline import PipelineTool
+        from repro.service import CompileRequest, ServiceClient
+
+        arch, device, inst = arch_instance
+        tools = [PipelineTool(build_pipeline("sabre", seed=3)),
+                 PipelineTool(build_pipeline("tketlike", seed=13))]
+        client = ServiceClient(server.url)
+        remote = evaluate(tools, [inst], service=client)
+        local = evaluate(tools, [inst])
+        assert [r.result_key() for r in remote.records] == \
+            [r.result_key() for r in local.records]
+        assert all(r.valid for r in remote.records)
+        sabre_record, tket_record = remote.records
+        assert sabre_record.observed_swaps == GOLDEN[arch]["layout_swaps"]
+        assert tket_record.observed_swaps == ROUTER_GOLDEN[arch]["tket_swaps"]
+        # The returned circuits themselves must be the golden ones, bit
+        # for bit: fetch them through the sync endpoint (cache hits of the
+        # very compiles the evaluation above ran remotely).
+        sabre_response = client.submit(
+            CompileRequest.from_instance(inst, spec="sabre", seed=3))
+        assert sabre_response.cache_hit
+        assert circuit_hash(sabre_response.result.circuit) == \
+            GOLDEN[arch]["layout_hash"]
+        tket_response = client.submit(
+            CompileRequest.from_instance(inst, spec="tketlike", seed=13))
+        assert tket_response.cache_hit
+        assert circuit_hash(tket_response.result.circuit) == \
+            ROUTER_GOLDEN[arch]["tket_hash"]
+
+    def test_remote_router_only_matches_goldens(self, arch_instance, server):
+        from repro.evalx.harness import evaluate
+        from repro.pipeline import PipelineTool
+        from repro.service import ServiceClient
+
+        arch, device, inst = arch_instance
+        tools = [PipelineTool(build_pipeline("tketlike", seed=13))]
+        client = ServiceClient(server.url)
+        remote = evaluate(tools, [inst], router_only=True, service=client)
+        local = evaluate(tools, [inst], router_only=True)
+        assert [r.result_key() for r in remote.records] == \
+            [r.result_key() for r in local.records]
+        assert remote.records[0].observed_swaps == \
+            ROUTER_GOLDEN[arch]["tket_pinned_swaps"]
+
+
 class TestTketScoringPaths:
     """The three tket-like scoring paths must make identical decisions."""
 

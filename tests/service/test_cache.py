@@ -1,6 +1,8 @@
-"""ResultCache: LRU behaviour, disk tier, corruption handling, stats."""
+"""ResultCache: LRU behaviour, disk tier, corruption handling, eviction
+policy, stats."""
 
 import json
+import os
 
 import pytest
 
@@ -118,3 +120,160 @@ class TestDiskTier:
         assert info["disk_entries"] == 1
         assert info["disk_bytes"] > 0
         assert info["stats"]["puts"] == 1
+
+
+def _set_mtimes(directory, *keys, start=1000.0, step=100.0):
+    """Pin deterministic, strictly increasing mtimes onto disk entries."""
+    for index, key in enumerate(keys):
+        when = start + index * step
+        os.utime(directory / f"{key}.json", (when, when))
+
+
+class TestDiskEviction:
+    """The disk-tier caps: LRU-by-mtime, enforced on write and on demand."""
+
+    def test_max_entries_evicts_oldest_on_write(self, tmp_path):
+        store = tmp_path / "c"
+        cache = ResultCache(directory=str(store), max_entries=2)
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))
+        _set_mtimes(store, "k1", "k2")
+        cache.put("k3", entry(3))  # write triggers enforcement
+        stems = {path.stem for path in store.glob("*.json")}
+        assert stems == {"k2", "k3"}  # k1 was oldest
+        assert cache.stats.disk_evictions == 1
+
+    def test_max_bytes_evicts_until_under_cap(self, tmp_path):
+        store = tmp_path / "c"
+        seed = ResultCache(directory=str(store))
+        for key in ("k1", "k2", "k3"):
+            seed.put(key, entry(1))
+        _set_mtimes(store, "k1", "k2", "k3")
+        size = (store / "k1.json").stat().st_size
+        capped = ResultCache(directory=str(store), max_bytes=2 * size)
+        removed = capped.evict()
+        assert removed == 1
+        assert {p.stem for p in store.glob("*.json")} == {"k2", "k3"}
+        assert capped.stats.disk_evictions == 1
+
+    def test_max_age_expires_old_entries(self, tmp_path):
+        store = tmp_path / "c"
+        seed = ResultCache(directory=str(store))
+        seed.put("old1", entry(1))
+        seed.put("new1", entry(2))
+        ancient = 1000.0
+        os.utime(store / "old1.json", (ancient, ancient))
+        capped = ResultCache(directory=str(store), max_age_seconds=3600)
+        assert capped.evict() == 1
+        assert {p.stem for p in store.glob("*.json")} == {"new1"}
+        assert capped.stats.expired == 1
+
+    def test_disk_reads_refresh_mtime_for_lru(self, tmp_path):
+        store = tmp_path / "c"
+        seed = ResultCache(directory=str(store))
+        seed.put("k1", entry(1))
+        seed.put("k2", entry(2))
+        _set_mtimes(store, "k1", "k2")
+        # A fresh instance reads k1 from disk: that *use* must refresh its
+        # mtime so eviction removes the cold k2, not the just-served k1.
+        reader = ResultCache(directory=str(store), max_entries=1)
+        assert reader.get("k1") == entry(1)
+        reader.evict()
+        assert {p.stem for p in store.glob("*.json")} == {"k1"}
+
+    def test_caps_in_info(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"), max_entries=5,
+                            max_bytes=1000, max_age_seconds=60.0)
+        eviction = cache.info()["eviction"]
+        assert eviction == {"max_entries": 5, "max_bytes": 1000,
+                            "max_age_seconds": 60.0}
+        stats = cache.info()["stats"]
+        assert stats["disk_evictions"] == 0 and stats["expired"] == 0
+
+    def test_caps_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(max_bytes=-1)
+        with pytest.raises(ValueError, match="max_age_seconds"):
+            ResultCache(max_age_seconds=0)
+
+    def test_no_caps_no_eviction(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        for index in range(5):
+            cache.put(f"k{index}", entry(index))
+        assert cache.evict() == 0
+        assert len(list((tmp_path / "c").glob("*.json"))) == 5
+
+    def test_memory_only_cache_ignores_caps(self):
+        cache = ResultCache(max_entries=1)
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))
+        assert cache.evict() == 0  # no disk tier to bound
+        assert cache.get("k1") is not None and cache.get("k2") is not None
+
+    def test_overwrites_do_not_inflate_the_tracked_footprint(self, tmp_path):
+        store = tmp_path / "c"
+        cache = ResultCache(directory=str(store), max_entries=2)
+        for _ in range(5):
+            cache.put("k1", entry(1))  # same key: one disk entry
+        cache.put("k2", entry(2))
+        assert cache.evict() == 0  # 2 entries, cap is 2 — nothing to do
+        assert {p.stem for p in store.glob("*.json")} == {"k1", "k2"}
+        assert cache.stats.disk_evictions == 0
+
+
+class TestPeek:
+    def test_peek_serves_both_tiers_without_stats(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("k1", entry(1))
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        assert fresh.peek("k1") == entry(1)     # disk, no promotion
+        assert fresh.peek("zz") is None
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == 0
+        assert fresh.stats.disk_hits == 0
+        # not promoted: the first get() is still a disk hit
+        assert fresh.get("k1") == entry(1)
+        assert fresh.stats.disk_hits == 1
+
+    def test_peek_does_not_refresh_disk_mtime(self, tmp_path):
+        """A probe is not a use: entries that are only peeked must keep
+        aging toward expiry (only served reads refresh the disk LRU)."""
+        store = tmp_path / "c"
+        cache = ResultCache(directory=str(store))
+        cache.put("k1", entry(1))
+        os.utime(store / "k1.json", (1000.0, 1000.0))
+        fresh = ResultCache(directory=str(store))
+        fresh.peek("k1")
+        assert (store / "k1.json").stat().st_mtime == 1000.0
+        fresh.get("k1")  # a served read *does* refresh
+        assert (store / "k1.json").stat().st_mtime > 1000.0
+
+    def test_peek_corrupt_entry_counts_nothing(self, tmp_path):
+        store = tmp_path / "c"
+        cache = ResultCache(directory=str(store))
+        (store / "beef.json").write_text("{not json", encoding="utf-8")
+        assert cache.peek("beef") is None
+        assert cache.stats.corrupt == 0
+
+
+class TestSharedDirectorySweep:
+    def test_periodic_sweep_sees_other_writers(self, tmp_path):
+        """The incremental footprint only counts this process's writes; the
+        periodic full sweep re-grounds it, so caps hold on a directory
+        other writers fill too."""
+        store = tmp_path / "c"
+        capped = ResultCache(directory=str(store), max_entries=2)
+        capped.put("k1", entry(1))
+        other = ResultCache(directory=str(store))  # a second writer
+        other.put("k2", entry(2))
+        other.put("k3", entry(3))
+        _set_mtimes(store, "k1", "k2", "k3")
+        capped.put("k4", entry(4))  # tracked footprint says 2: no scan yet
+        assert len(list(store.glob("*.json"))) == 4
+        capped._sweep_due = 0.0     # sweep timer expires
+        capped.put("k5", entry(5))  # periodic sweep re-grounds and evicts
+        stems = {path.stem for path in store.glob("*.json")}
+        assert len(stems) == 2
+        assert "k5" in stems  # the newest write survives

@@ -1,0 +1,296 @@
+"""HTTP serving front-end + ServiceClient: wire compatibility, jobs,
+canonical error bodies."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.evalx.harness import evaluate
+from repro.pipeline import PipelineTool, build_pipeline
+from repro.qls import SabreLayout
+from repro.qubikos import generate
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    RemoteServiceError,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+    code_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def instances(grid33):
+    return [generate(grid33, num_swaps=2, num_two_qubit_gates=20,
+                     seed=80 + k) for k in range(2)]
+
+
+@pytest.fixture(scope="module")
+def requests(instances):
+    return [CompileRequest.from_instance(instance, spec=spec, seed=5)
+            for instance in instances
+            for spec in ("sabre", "tketlike")]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceServer(CompilationService(cache=ResultCache())) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+def _raw(server, method, path, body=None):
+    """Raw request bypassing the client (for asserting wire details)."""
+    data = body.encode("utf-8") if isinstance(body, str) else body
+    request = urllib.request.Request(server.url + path, data=data,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestIntrospectionEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["code"] == code_fingerprint()
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed",
+                                       "cancelled"}
+
+    def test_devices_lists_the_library(self, client):
+        devices = client.devices()
+        assert "grid3x3" in devices and "aspen4" in devices
+
+    def test_passes_lists_registry_and_presets(self, client):
+        payload = client.passes()
+        names = {entry["name"] for entry in payload["passes"]}
+        assert {"sabre", "lightsabre", "vf2", "reinsert"} <= names
+        assert payload["specs"]["vf2-sabre"] == "vf2+sabre+reinsert"
+
+    def test_cache_endpoint_surfaces_info(self, client):
+        info = client.cache_info()
+        assert info["capacity"] == 1024
+        assert "eviction" in info and "stats" in info
+
+
+class TestSyncCompile:
+    def test_single_miss_then_hit_bit_identical_to_local(self, requests,
+                                                         client):
+        request = requests[0]
+        remote = client.submit(request)
+        local = CompilationService().submit(request)
+        assert remote.request_fingerprint == local.request_fingerprint
+        assert remote.result.circuit == local.result.circuit
+        assert remote.result.initial_mapping == local.result.initial_mapping
+        assert remote.result.swap_count == local.result.swap_count
+        again = client.submit(request)
+        assert again.cache_hit
+        assert again.result.circuit == remote.result.circuit
+
+    def test_batch_matches_local_submit_many(self, requests, client,
+                                             server):
+        server.service.cache.clear()
+        remote = client.submit_many(requests)
+        local = CompilationService().submit_many(requests)
+        assert [r.request_fingerprint for r in remote] == \
+            [l.request_fingerprint for l in local]
+        for r, l in zip(remote, local):
+            assert r.result.circuit == l.result.circuit
+            assert r.cache_hit == l.cache_hit
+
+    def test_batch_duplicates_dedup_like_local(self, requests, server):
+        with ServiceServer(CompilationService(cache=ResultCache())) as fresh:
+            batch = ServiceClient(fresh.url).submit_many(
+                [requests[0], requests[1], requests[0]]
+            )
+        assert [r.cache_hit for r in batch] == [False, False, True]
+
+    def test_progress_fires_per_response(self, requests, client):
+        seen = []
+        responses = client.submit_many(requests, progress=seen.append)
+        assert [s.request_fingerprint for s in seen] == \
+            [r.request_fingerprint for r in responses]
+
+    def test_empty_batch_is_local_noop(self, client):
+        assert client.submit_many([]) == []
+
+    def test_map_yields_in_request_order(self, requests, client):
+        mapped = list(client.map(requests))
+        assert [m.request_fingerprint for m in mapped] == \
+            [r.fingerprint() for r in requests]
+
+
+class TestJobEndpoints:
+    def test_async_job_flow_matches_sync(self, requests, client):
+        with ServiceServer(CompilationService(cache=ResultCache())) as fresh:
+            fresh_client = ServiceClient(fresh.url)
+            job = fresh_client.submit_job(requests, priority=2)
+            assert job["status"] in ("queued", "running", "done")
+            assert job["priority"] == 2
+            done = fresh_client.wait_job(job["id"], timeout=120)
+            assert done["status"] == "done"
+            responses = fresh_client.job_responses(done)
+            sync = CompilationService().submit_many(requests)
+            for r, s in zip(responses, sync):
+                assert r.request_fingerprint == s.request_fingerprint
+                assert r.result.circuit == s.result.circuit
+            # warm resubmission: cache-first admission → 200, already done
+            warm = fresh_client.submit_job(requests)
+            assert warm["status"] == "done"
+            assert all(r.cache_hit
+                       for r in fresh_client.job_responses(warm))
+
+    def test_job_listing_includes_submitted_job(self, requests, client):
+        job = client.submit_job([requests[0]])
+        client.wait_job(job["id"], timeout=120)
+        listed = client.jobs()
+        assert job["id"] in [entry["id"] for entry in listed]
+        # the listing never ships response payloads
+        assert all(entry["responses"] is None for entry in listed)
+
+    def test_responses_unavailable_until_done(self, requests, client):
+        job = {"id": 1, "status": "queued", "responses": None, "error": None}
+        with pytest.raises(Exception, match="once it is done"):
+            client.job_responses(job)
+
+
+class TestErrorBodies:
+    """Every failure is a canonical-JSON body with status + error."""
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(RemoteServiceError) as excinfo:
+            client.job(999999)
+        assert excinfo.value.status == 404
+        assert "no such job" in str(excinfo.value)
+
+    def test_cancel_unknown_job_is_404(self, client):
+        with pytest.raises(RemoteServiceError) as excinfo:
+            client.cancel_job(999999)
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404_with_canonical_body(self, server):
+        status, payload = _raw(server, "GET", "/v1/nope")
+        assert status == 404
+        assert payload["type"] == "ServiceError"
+        assert payload["status"] == 404
+        assert "/v1/nope" in payload["error"]
+
+    def test_malformed_json_body_is_400(self, server):
+        status, payload = _raw(server, "POST", "/v1/compile", "{not json")
+        assert status == 400
+        assert payload["type"] == "ServiceError"
+        assert "not valid JSON" in payload["error"]
+
+    def test_empty_body_is_400(self, server):
+        status, payload = _raw(server, "POST", "/v1/compile", b"")
+        assert status == 400
+        assert "empty request body" in payload["error"]
+
+    def test_unknown_device_is_400(self, requests, client):
+        payload = requests[0].to_dict()
+        payload["device"] = "warp-core-9"
+        with pytest.raises(RemoteServiceError) as excinfo:
+            client.submit(CompileRequest.from_dict(payload))
+        assert excinfo.value.status == 400
+        assert "unknown device" in str(excinfo.value)
+
+    def test_unknown_spec_is_400(self, requests, server):
+        payload = requests[0].to_dict()
+        payload["spec"] = "no-such-stage"
+        status, body = _raw(server, "POST", "/v1/compile",
+                            json.dumps(payload))
+        assert status == 400
+        assert "unknown pipeline stage" in body["error"]
+
+    def test_bad_batch_envelope_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/compile",
+                            json.dumps({"requests": []}))
+        assert status == 400
+        assert "non-empty 'requests' list" in body["error"]
+
+    def test_malformed_job_id_is_400(self, server):
+        status, body = _raw(server, "GET", "/v1/jobs/banana")
+        assert status == 400
+        assert "malformed job id" in body["error"]
+
+    def test_unreachable_server_raises_transport_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(RemoteServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_keepalive_connection_survives_unrouted_post_body(self, server):
+        """An unread POST body must be drained before the 404, or it
+        would be parsed as the next request on the keep-alive connection."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port,
+                                                timeout=30)
+        try:
+            body = json.dumps({"filler": "x" * 4096})
+            connection.request("POST", "/v1/compilex", body=body,
+                               headers={"Content-Type": "application/json"})
+            first = connection.getresponse()
+            assert first.status == 404
+            assert json.loads(first.read())["type"] == "ServiceError"
+            # same connection: the next request must parse cleanly
+            connection.request("GET", "/v1/healthz")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+
+class TestRemoteEvaluation:
+    """evaluate(..., service=ServiceClient(url)): the swap-in contract."""
+
+    def test_records_key_identical_to_local_run(self, instances, client,
+                                                server):
+        server.service.cache.clear()
+        tools = [PipelineTool(build_pipeline("sabre", seed=3)),
+                 PipelineTool(build_pipeline("tketlike", seed=13))]
+        remote = evaluate(tools, instances, service=client)
+        local = evaluate(tools, instances)
+        assert [r.result_key() for r in remote.records] == \
+            [r.result_key() for r in local.records]
+        assert all(r.valid for r in remote.records)
+        assert not any(r.cache_hit for r in remote.records)  # cold
+        warm = evaluate(tools, instances, service=client)
+        assert all(r.cache_hit for r in warm.records)
+        assert [r.result_key() for r in warm.records] == \
+            [r.result_key() for r in local.records]
+
+    def test_router_only_mode_round_trips(self, instances, client):
+        tools = [PipelineTool(build_pipeline("tketlike", seed=13))]
+        remote = evaluate(tools, instances, router_only=True, service=client)
+        local = evaluate(tools, instances, router_only=True)
+        assert [r.result_key() for r in remote.records] == \
+            [r.result_key() for r in local.records]
+
+    def test_opaque_tools_need_a_local_cache(self, instances, client):
+        with pytest.raises(ValueError, match="spec-built"):
+            evaluate([SabreLayout(seed=3)], instances, service=client)
+
+    def test_explicit_cache_wins_over_service_routing(self, instances,
+                                                      client, server):
+        """cache= keeps its meaning: a local cache-first run against that
+        store — the service is not consulted even when tools are
+        spec-addressable."""
+        server.service.cache.clear()
+        tools = [PipelineTool(build_pipeline("sabre", seed=3))]
+        local_cache = ResultCache()
+        cold = evaluate(tools, instances, cache=local_cache, service=client)
+        assert not any(r.cache_hit for r in cold.records)
+        assert len(local_cache) == len(instances)  # stored locally...
+        assert len(server.service.cache) == 0      # ...never sent remote
+        warm = evaluate(tools, instances, cache=local_cache, service=client)
+        assert all(r.cache_hit for r in warm.records)

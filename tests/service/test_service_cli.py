@@ -98,3 +98,62 @@ def test_malformed_circuit_payload_reports_cleanly(tmp_path, capsys):
     )
     assert main(["batch", str(requests)]) == 2
     assert "req.jsonl:1: bad request" in capsys.readouterr().err
+
+
+def test_bad_lines_do_not_abort_the_batch(tmp_path, capsys, small_instance):
+    """Good lines compile; bad lines become located BatchError records in
+    the output stream (line order preserved); exit 2 = partial failure."""
+    requests = tmp_path / "req.jsonl"
+    responses = tmp_path / "resp.jsonl"
+    good = CompileRequest.from_instance(small_instance, spec="sabre",
+                                        seed=5).to_dict()
+    bad_device = dict(good, device="warp-core-9")
+    lines = [json.dumps(good), "{not json", json.dumps(bad_device),
+             json.dumps(good)]
+    requests.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    assert main(["batch", str(requests), "--out", str(responses),
+                 "--quiet"]) == 2
+    captured = capsys.readouterr()
+    assert "req.jsonl:2" in captured.err
+    assert "req.jsonl:3" in captured.err
+    assert "2 requests" in captured.out  # both good lines compiled
+    assert "2 bad lines" in captured.out
+
+    records = [json.loads(line)
+               for line in responses.read_text().strip().splitlines()]
+    assert len(records) == 4  # one output record per input line, in order
+    assert records[0]["type"] == "CompileResponse"
+    assert records[1] == {"schema": 1, "type": "BatchError", "line": 2,
+                          "error": records[1]["error"]}
+    assert "bad request" in records[1]["error"]
+    assert records[2]["type"] == "BatchError"
+    assert records[2]["line"] == 3
+    assert "unknown device" in records[2]["error"]
+    assert records[3]["type"] == "CompileResponse"
+    # duplicate of line 1: in-batch dedup marks it a hit
+    assert records[3]["cache_hit"] is True
+    response = CompileResponse.from_dict(records[3])
+    assert response.result.swap_count >= small_instance.optimal_swaps
+
+
+def test_all_lines_bad_still_writes_error_records(tmp_path, capsys):
+    requests = tmp_path / "req.jsonl"
+    responses = tmp_path / "resp.jsonl"
+    requests.write_text("nope\n{}\n", encoding="utf-8")
+    assert main(["batch", str(requests), "--out", str(responses),
+                 "--quiet"]) == 2
+    records = [json.loads(line)
+               for line in responses.read_text().strip().splitlines()]
+    assert [r["type"] for r in records] == ["BatchError", "BatchError"]
+    assert [r["line"] for r in records] == [1, 2]
+    assert "0 requests" in capsys.readouterr().out
+
+
+def test_cache_info_surfaces_eviction_caps(tmp_path, capsys):
+    assert main(["cache-info", "--cache-dir", str(tmp_path / "c"),
+                 "--max-entries", "7", "--max-bytes", "1000",
+                 "--max-age", "60"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["eviction"] == {"max_entries": 7, "max_bytes": 1000,
+                                "max_age_seconds": 60.0}
