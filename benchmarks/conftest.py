@@ -38,6 +38,13 @@ def pytest_addoption(parser):
              "async job batch, warm-hit speedup -> BENCH_server.json); "
              "every heavy benchmark is skipped",
     )
+    parser.addoption(
+        "--chaos-smoke", action="store_true", default=False,
+        help="run only the fault-injection scenarios (worker crash, "
+             "corrupt cache entry, connection reset, SIGKILL + journal "
+             "recovery -> BENCH_chaos.json); every heavy benchmark is "
+             "skipped",
+    )
 
 
 #: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
@@ -48,6 +55,7 @@ SMOKE_GATES = {
     "--pipeline-smoke": "pipeline_smoke",
     "--service-smoke": "service_smoke",
     "--server-smoke": "server_smoke",
+    "--chaos-smoke": "chaos_smoke",
 }
 
 

@@ -8,9 +8,12 @@
 # contracts: parallel-vs-serial record identity (--perf-smoke), every
 # registered pipeline preset routing validly (--pipeline-smoke),
 # submit -> cache-hit -> batch through the compilation service
-# (--service-smoke, refreshing BENCH_service.json), and the HTTP serving
+# (--service-smoke, refreshing BENCH_service.json), the HTTP serving
 # front-end driven over an ephemeral port — sync compile, async job,
-# warm-hit speedup (--server-smoke, refreshing BENCH_server.json).
+# warm-hit speedup (--server-smoke, refreshing BENCH_server.json), and
+# the fault-injection scenarios — worker crash, corrupt cache entry,
+# connection reset, SIGKILL + journal recovery (--chaos-smoke,
+# refreshing BENCH_chaos.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,5 +28,5 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo
-echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke"
-python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke -q
+echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke"
+python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke -q

@@ -25,8 +25,13 @@ loop.  The contract:
   best-of-k trial chunks over the *same* workers as everyone else's pairs:
   one pool for the whole suite run (ROADMAP item b), no nested pools, no
   over-subscription.
-* **Failure isolation** — a pair whose worker dies (pool-level error) is
-  transparently re-run serially in the parent; completed pairs are kept.
+* **Failure isolation** — the pool heals itself first: a worker casualty
+  rebuilds the executor (within ``WorkerPool``'s respawn budget) and
+  re-runs the in-flight pairs there, invisibly to the harness.  Only
+  when the pool is truly gone — respawn budget exhausted, fork forbidden,
+  or a pair that cannot cross the process boundary — does the pair fall
+  back to a serial re-run in the parent; completed pairs are kept either
+  way, and both re-run paths are bit-identical because pairs are pure.
   Exceptions raised by a tool itself are caught *inside* the pair and
   recorded as ``valid=False``, exactly as in the serial loop.
 

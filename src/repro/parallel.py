@@ -5,21 +5,48 @@ layers of parallelism: the evaluation harness fans (tool, instance) pairs
 over it, and best-of-k tools (LightSABRE) fan their trial chunks over the
 same pool instead of spawning a nested pool per call.  A single pool keeps
 every core busy without over-subscription and amortises worker start-up
-across the whole suite — the property ROADMAP item (b) asks for.
+across the whole suite.
 
-The pool is deliberately thin: a lazily created
-:class:`~concurrent.futures.ProcessPoolExecutor` plus the error contract
-callers rely on.  Anything raised from :data:`POOL_UNAVAILABLE_ERRORS`
-(pool cannot start, or its workers died) means "the pool is gone, run this
-piece of work serially"; exceptions raised *by the submitted function*
+Self-healing
+------------
+A worker process dying (OOM-killed, segfaulted, fault-injected) breaks
+the underlying :class:`~concurrent.futures.ProcessPoolExecutor` and fails
+*every* in-flight future with :class:`BrokenExecutor` — historically
+degrading a whole batch to serial after one casualty.  The pool now heals
+itself: a task that fails at the executor level rebuilds the executor
+(within a bounded ``respawn_budget``) and resubmits itself, so callers'
+futures resolve normally and only the budget-exhausted tail ever sees
+:data:`POOL_UNAVAILABLE_ERRORS`.  Tasks must therefore be **pure**
+(deterministic functions of their arguments) — every in-repo submission
+is — so a healed re-run is bit-identical to the first attempt.
+Recoveries are counted in :meth:`WorkerPool.stats`.
+
+An optional ``task_timeout`` bounds stragglers: a task not done after
+that many seconds is re-run in the parent and its future resolved with
+the parent's result; the abandoned worker attempt is discarded when (if)
+it lands.  The worker itself is not killed — process pools cannot abort
+a running call — so use this for hung-I/O-shaped stalls, not runaway
+compute.
+
+The error contract is unchanged: anything raised from
+:data:`POOL_UNAVAILABLE_ERRORS` means "the pool is gone, run this piece
+of work serially"; exceptions raised *by the submitted function*
 propagate unchanged.
+
+Fault injection: each :meth:`submit` is a ``pool.task`` site — an armed
+:class:`repro.faults.FaultPlan` can replace the Nth submission with a
+worker-process crash or stretch it with latency (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import faults
 
 #: Errors that mean "the pool itself is unavailable", as opposed to errors
 #: raised by the submitted work.  ``BrokenProcessPool`` (a worker died) is a
@@ -28,38 +55,251 @@ from typing import Callable, Optional
 POOL_UNAVAILABLE_ERRORS = (OSError, BrokenExecutor)
 
 
-class WorkerPool:
-    """Persistent process pool shared across an evaluation suite.
+def _exit_worker() -> None:
+    """Injected ``pool.task`` crash: die the way a real casualty does —
+    no exception, no cleanup, just a vanished process."""
+    os._exit(1)
 
-    ``workers`` defaults to the host core count.  The underlying executor
-    is created on first :meth:`submit` so constructing a pool is free, and
-    is shut down by :meth:`shutdown` (or the context-manager exit).
-    Submissions after the pool broke raise one of
-    :data:`POOL_UNAVAILABLE_ERRORS`, which callers treat as "degrade to
-    serial for this piece of work".
+
+def _delay_call(seconds: float, fn: Callable, *args):
+    """Injected ``pool.task`` latency: sleep in the worker, then run."""
+    time.sleep(seconds)
+    return fn(*args)
+
+
+class _Task:
+    """One logical submission: the clean (fn, args) to retry with, plus
+    the settle flag guarding its caller-visible future."""
+
+    __slots__ = ("fn", "args", "attempts", "settled", "lock")
+
+    def __init__(self, fn: Callable, args: Tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.attempts = 0
+        self.settled = False
+        self.lock = threading.Lock()
+
+
+class WorkerPool:
+    """Persistent, self-healing process pool shared across a suite.
+
+    ``workers`` defaults to the host core count (``workers=0`` falls back
+    the same way).  The underlying executor is created on first
+    :meth:`submit` so constructing a pool is free, and is shut down by
+    :meth:`shutdown` (or the context-manager exit).  A broken executor is
+    rebuilt transparently up to ``respawn_budget`` times; past the
+    budget — and after :meth:`shutdown` — submissions and futures raise
+    one of :data:`POOL_UNAVAILABLE_ERRORS`, which callers treat as
+    "degrade to serial for this piece of work".
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(self, workers: Optional[int] = None,
+                 respawn_budget: int = 2,
+                 task_timeout: Optional[float] = None) -> None:
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
+        if respawn_budget < 0:
+            raise ValueError("respawn_budget must be non-negative")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
         self.workers = workers or os.cpu_count() or 1
+        self.respawn_budget = respawn_budget
+        self.task_timeout = task_timeout
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        self._lock = threading.Lock()
+        #: Bumped on every executor rebuild, so concurrent casualties of
+        #: one broken executor consume a single respawn between them.
+        self._generation = 0
+        self._respawns = 0
+        self._recovered_tasks = 0
+        self._timeout_reruns = 0
+        self._submitted = 0
+        self._timers: Dict[int, threading.Timer] = {}
+
+    # -- submission ------------------------------------------------------------
 
     def submit(self, fn: Callable, *args) -> Future:
-        """Schedule ``fn(*args)`` on the pool, creating it if needed."""
-        if self._closed:
-            raise BrokenExecutor("WorkerPool was shut down")
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        return self._executor.submit(fn, *args)
+        """Schedule ``fn(*args)`` on the pool, creating it if needed.
+
+        The returned future resolves with the task's result even if the
+        worker running it dies (the task is re-run on a respawned
+        executor); it raises :class:`BrokenExecutor` only once the
+        respawn budget is exhausted or the pool was shut down.
+        """
+        task = _Task(fn, args)
+        attempt: Optional[Tuple[Callable, Tuple]] = None
+        if faults._ACTIVE is not None:
+            point = faults.poll(faults.POOL_TASK)
+            if point is not None:
+                if point.kind == faults.CRASH:
+                    attempt = (_exit_worker, ())
+                elif point.kind == faults.DELAY:
+                    attempt = (_delay_call, (point.seconds, fn) + args)
+        with self._lock:
+            if self._closed:
+                raise BrokenExecutor("WorkerPool was shut down")
+            self._submitted += 1
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+        self._start(task, outer, attempt)
+        return outer
+
+    def _start(self, task: _Task, outer: Future,
+               attempt: Optional[Tuple[Callable, Tuple]] = None) -> None:
+        """Submit one attempt of ``task``, respawning the executor as
+        needed; resolves ``outer`` directly when the pool is gone."""
+        while True:
+            with self._lock:
+                if self._closed:
+                    self._settle(task, outer,
+                                 error=BrokenExecutor("WorkerPool was "
+                                                      "shut down"))
+                    return
+                generation = self._generation
+                try:
+                    if self._executor is None:
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.workers)
+                    inner = self._executor.submit(attempt[0], *attempt[1]) \
+                        if attempt is not None \
+                        else self._executor.submit(task.fn, *task.args)
+                except BrokenExecutor:
+                    inner = None
+                except OSError as exc:
+                    # Cannot fork at all: the pool is unavailable, not
+                    # broken — no respawn will help.
+                    self._settle(task, outer, error=exc)
+                    return
+            if inner is not None:
+                break
+            # Broken at submission time: burn one respawn and retry with
+            # the clean payload (an injected crash fires at most once).
+            attempt = None
+            if not self._respawn(generation):
+                self._settle(task, outer,
+                             error=BrokenExecutor(
+                                 "worker pool broke and its respawn budget "
+                                 f"({self.respawn_budget}) is exhausted"))
+                return
+        task.attempts += 1
+        timer = None
+        if self.task_timeout is not None:
+            timer = threading.Timer(self.task_timeout,
+                                    self._rerun_in_parent, (task, outer))
+            timer.daemon = True
+            with self._lock:
+                self._timers[id(task)] = timer
+            timer.start()
+        inner.add_done_callback(
+            lambda f: self._on_done(task, outer, f, generation, timer))
+
+    # -- recovery --------------------------------------------------------------
+
+    def _on_done(self, task: _Task, outer: Future, inner: Future,
+                 generation: int, timer: Optional[threading.Timer]) -> None:
+        if timer is not None:
+            timer.cancel()
+            with self._lock:
+                self._timers.pop(id(task), None)
+        with task.lock:
+            if task.settled:
+                return  # a timeout re-run already resolved the future
+        exc = inner.exception()
+        if exc is None:
+            self._settle(task, outer, value=inner.result())
+            return
+        if isinstance(exc, BrokenExecutor) and not self._closed:
+            # Executor-level casualty, not a task error: heal and retry.
+            if self._respawn(generation):
+                with self._lock:
+                    self._recovered_tasks += 1
+                self._start(task, outer)
+                return
+        self._settle(task, outer, error=exc)
+
+    def _respawn(self, generation: int) -> bool:
+        """Replace a broken executor (once per generation, budget
+        permitting).  True when the caller should resubmit its task."""
+        with self._lock:
+            if self._closed:
+                return False
+            if generation == self._generation:
+                # First casualty of this executor: this one pays.
+                if self._respawns >= self.respawn_budget:
+                    return False
+                stale = self._executor
+                self._executor = None
+                self._generation += 1
+                self._respawns += 1
+            else:
+                # A sibling already respawned for this breakage; resubmit
+                # onto the current executor (if that one is broken too,
+                # the resubmission loops back here with its generation).
+                stale = None
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return True
+
+    def _rerun_in_parent(self, task: _Task, outer: Future) -> None:
+        """Straggler path: the worker attempt is abandoned (its eventual
+        result discarded) and the task runs here, in the parent."""
+        with task.lock:
+            if task.settled:
+                return
+        with self._lock:
+            if self._closed:
+                return
+            self._timeout_reruns += 1
+            self._timers.pop(id(task), None)
+        try:
+            value = task.fn(*task.args)
+        except BaseException as exc:  # noqa: BLE001 - mirrors worker behaviour
+            self._settle(task, outer, error=exc)
+        else:
+            self._settle(task, outer, value=value)
+
+    @staticmethod
+    def _settle(task: _Task, outer: Future, value=None,
+                error: Optional[BaseException] = None) -> None:
+        with task.lock:
+            if task.settled:
+                return
+            task.settled = True
+        if error is not None:
+            outer.set_exception(error)
+        else:
+            outer.set_result(value)
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Health counters: submissions, respawns consumed/remaining,
+        tasks recovered across a respawn, straggler re-runs."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "submitted": self._submitted,
+                "respawns": self._respawns,
+                "respawn_budget": self.respawn_budget,
+                "recovered_tasks": self._recovered_tasks,
+                "timeout_reruns": self._timeout_reruns,
+                "closed": self._closed,
+            }
 
     def shutdown(self) -> None:
         """Stop the workers; the pool cannot be reused afterwards."""
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown()
+        with self._lock:
+            self._closed = True
+            executor = self._executor
             self._executor = None
+            timers = list(self._timers.values())
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        if executor is not None:
+            executor.shutdown()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -70,4 +310,5 @@ class WorkerPool:
     def __repr__(self) -> str:
         state = ("closed" if self._closed
                  else "live" if self._executor is not None else "idle")
-        return f"WorkerPool(workers={self.workers}, {state})"
+        return (f"WorkerPool(workers={self.workers}, {state}, "
+                f"respawns={self._respawns}/{self.respawn_budget})")

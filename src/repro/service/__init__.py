@@ -54,7 +54,12 @@ from .api import (
     make_provenance,
 )
 from .cache import CacheStats, ResultCache
-from .client import RemoteServiceError, ServiceClient
+from .client import (
+    JobPollTimeout,
+    RemoteServiceError,
+    RetryPolicy,
+    ServiceClient,
+)
 from .fingerprint import (
     CACHE_EPOCH,
     canonical_json,
@@ -65,7 +70,14 @@ from .fingerprint import (
     request_fingerprint,
     tool_fingerprint,
 )
-from .jobs import JOB_SCHEMA_VERSION, Job, JobManager, JobStatus
+from .jobs import (
+    JOB_SCHEMA_VERSION,
+    Job,
+    JobManager,
+    JobStatus,
+    QueueFullError,
+)
+from .journal import JOURNAL_SCHEMA_VERSION, JobJournal
 from .server import ServiceServer, serve
 from .service import (
     CompilationService,
@@ -77,16 +89,21 @@ from .service import (
 __all__ = [
     "REQUEST_SCHEMA_VERSION",
     "JOB_SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "CACHE_EPOCH",
     "CompileRequest",
     "CompileResponse",
     "CompilationService",
     "CacheStats",
     "Job",
+    "JobJournal",
     "JobManager",
+    "JobPollTimeout",
     "JobStatus",
+    "QueueFullError",
     "RemoteServiceError",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",

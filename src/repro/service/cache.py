@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
+from .. import faults
 from .fingerprint import canonical_json
 
 #: Version of the on-disk entry envelope.
@@ -61,6 +62,9 @@ class CacheStats:
     disk_evictions: int = 0
     #: Disk entries expired by the ``max_age_seconds`` cap.
     expired: int = 0
+    #: Corrupt disk entries renamed to ``<fingerprint>.corrupt`` on their
+    #: first decode failure (subset of ``corrupt``; see module docstring).
+    corrupt_quarantined: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -69,6 +73,7 @@ class CacheStats:
             "disk_hits": self.disk_hits, "write_errors": self.write_errors,
             "stale": self.stale, "disk_evictions": self.disk_evictions,
             "expired": self.expired,
+            "corrupt_quarantined": self.corrupt_quarantined,
         }
 
     def hit_rate(self) -> float:
@@ -201,7 +206,8 @@ class ResultCache:
             removed = len(self)
             self._memory.clear()
             if self.directory is not None:
-                for path in Path(self.directory).glob("*.json"):
+                for path in (list(Path(self.directory).glob("*.json"))
+                             + list(Path(self.directory).glob("*.corrupt"))):
                     try:
                         path.unlink()
                     except OSError:
@@ -243,14 +249,34 @@ class ResultCache:
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
+        point = faults.poll(faults.CACHE_DISK_READ) \
+            if faults._ACTIVE is not None else None
+        if point is not None and point.kind == faults.DELAY:
+            time.sleep(point.seconds)
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
+            if point is not None and point.kind == faults.OS_ERROR:
+                raise point.os_error()
+            text = path.read_text(encoding="utf-8")
+            if point is not None and point.kind == faults.CORRUPT:
+                text = text[:max(1, len(text) // 2)] + "\x00#corrupt"
+            envelope = json.loads(text)
             if envelope.get("schema") != ENTRY_SCHEMA_VERSION:
                 raise ValueError("entry schema mismatch")
             entry = envelope["entry"]
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            # I/O failures (EIO, ENOSPC, permissions) may be transient:
+            # miss, but leave the file alone — the data might be fine.
             if count:
                 self.stats.corrupt += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # The bytes themselves are bad: quarantine on first decode
+            # failure so every later lookup of this fingerprint is a
+            # plain miss instead of a re-read + re-decode of junk (and
+            # so the recompute that follows can store a clean entry).
+            if count:
+                self.stats.corrupt += 1
+            self._quarantine(path)
             return None
         if touch:
             try:
@@ -261,10 +287,29 @@ class ResultCache:
                 pass
         return entry
 
+    def _quarantine(self, path: Path) -> None:
+        """Rename an undecodable ``<fingerprint>.json`` to
+        ``<fingerprint>.corrupt`` (kept for post-mortems, invisible to
+        every ``*.json`` scan, overwritten by the next recompute)."""
+        target = path.with_suffix(".corrupt")
+        try:
+            size = path.stat().st_size
+            os.replace(path, target)
+        except OSError:
+            return
+        self.stats.corrupt_quarantined += 1
+        if self._disk_count is not None:
+            self._disk_count = max(0, self._disk_count - 1)
+            self._disk_bytes = max(0, self._disk_bytes - size)
+
     def _disk_write(self, key: str, entry: Dict[str, object]) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        point = faults.poll(faults.CACHE_DISK_WRITE) \
+            if faults._ACTIVE is not None else None
+        if point is not None and point.kind == faults.DELAY:
+            time.sleep(point.seconds)
         envelope = {"schema": ENTRY_SCHEMA_VERSION, "key": key, "entry": entry}
         data = canonical_json(envelope)
         try:
@@ -273,6 +318,8 @@ class ResultCache:
             previous = None
         tmp = path.with_name(path.name + ".tmp")
         try:
+            if point is not None and point.kind == faults.OS_ERROR:
+                raise point.os_error()
             tmp.write_text(data, encoding="utf-8")
             os.replace(tmp, path)
         except OSError:
@@ -391,6 +438,7 @@ class ResultCache:
                     "max_bytes": self.max_bytes,
                     "max_age_seconds": self.max_age_seconds,
                 },
+                "corrupt_quarantined": self.stats.corrupt_quarantined,
                 "stats": self.stats.to_dict(),
             }
 

@@ -4,7 +4,8 @@ Usage::
 
     # Long-running HTTP front-end (see repro.service.server for routes):
     python -m repro.service serve --port 8000 --cache-dir .qls-cache \
-        --workers 4 --max-entries 10000 --max-bytes 500000000
+        --workers 4 --max-entries 10000 --max-bytes 500000000 \
+        --journal jobs.jsonl --max-queued 64
 
     # Compile a JSONL stream of CompileRequest payloads (one per line):
     python -m repro.service batch requests.jsonl --out responses.jsonl \
@@ -36,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Tuple
@@ -141,8 +143,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .. import faults
     from ..parallel import WorkerPool
+    from .jobs import JobManager
     from .server import ServiceServer
+
+    # Fault injection: --faults wins over $REPRO_FAULTS; either arms a
+    # deterministic plan for the server's whole lifetime (chaos tests
+    # drive a real subprocess this way).
+    spec = args.faults if args.faults is not None \
+        else os.environ.get(faults.ENV_VAR)
+    if spec:
+        plan = faults.arm(faults.FaultPlan.from_spec(spec))
+        print(f"fault plan armed: {plan.spec()}", flush=True)
 
     # One persistent pool for the server's lifetime: every sync batch and
     # every job fans its misses over the same workers (the single
@@ -152,7 +165,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pool = WorkerPool(args.workers) \
         if args.workers is not None and args.workers > 1 else None
     service = CompilationService(cache=_build_cache(args), pool=pool)
-    server = ServiceServer(service=service, host=args.host, port=args.port)
+    jobs = JobManager(service, journal=args.journal,
+                      max_queued=args.max_queued)
+    if args.journal and jobs.recovered_jobs:
+        print(f"journal: recovered {jobs.recovered_jobs} job(s) "
+              f"from {args.journal}", flush=True)
+    server = ServiceServer(service=service, jobs=jobs,
+                           host=args.host, port=args.port)
     store = args.cache_dir or "in-memory"
     print(f"serving on {server.url} (cache: {store}); Ctrl-C to stop",
           flush=True)
@@ -161,10 +180,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.shutdown()
+        clean = server.shutdown()
         if pool is not None:
             pool.shutdown()
-    return 0
+    return 0 if clean else 1
 
 
 def _cmd_cache_info(args: argparse.Namespace) -> int:
@@ -244,6 +263,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="listen port (0 = ephemeral, printed on start)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker-pool size for batch cache misses")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="write-ahead job journal (JSONL); queued jobs "
+                            "survive a crash and are re-queued on restart")
+    serve.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="bound the job queue; admissions past the bound "
+                            "get 503 + Retry-After (load shedding)")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm a deterministic fault plan (see repro.faults;"
+                            " default: $REPRO_FAULTS when set)")
     add_cache_args(serve)
     serve.set_defaults(func=_cmd_serve)
 

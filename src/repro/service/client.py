@@ -24,18 +24,40 @@ The async side wraps the job endpoints: ``submit_job`` → ``wait_job`` →
 failures surface as :class:`RemoteServiceError` carrying the HTTP status
 and the server's canonical error message.
 
+Retries
+-------
+A :class:`RetryPolicy` makes the client survive transient failures —
+connection resets, server restarts, 503 load shedding — without ever
+duplicating side effects:
+
+* Only **idempotent** calls retry: every ``GET``, plus ``POST
+  /v1/compile`` — safe to resubmit because requests are addressed by
+  content fingerprint and the server cache dedups (a retried compile
+  that already landed is a cache hit, not a second compile).  ``POST
+  /v1/jobs`` and ``DELETE`` never retry: resubmitting a job enqueues a
+  second one.
+* Backoff is exponential with **seeded deterministic jitter** — two
+  clients with different seeds desynchronize their retries, and a test
+  with a pinned seed replays the exact same schedule.
+* A server ``Retry-After`` header (the 503 load-shedding contract)
+  overrides the computed delay for that attempt.
+
 Stdlib only (:mod:`urllib.request`) — a client import must never pull in
 more than the schema modules.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
+from .. import faults
 from .api import (
     CompileRequest,
     CompileResponse,
@@ -47,17 +69,68 @@ from .fingerprint import canonical_json
 
 ProgressFn = Callable[[CompileResponse], None]
 
+#: HTTP statuses that signal "try again later", not "you are wrong".
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for idempotent :class:`ServiceClient` calls.
+
+    ``max_attempts`` counts the first try: 4 means up to 3 retries.  The
+    delay before retry *n* (0-based) is ``base_seconds * multiplier**n``
+    capped at ``max_seconds``, plus a deterministic jitter drawn in
+    ``[0, jitter * delay)`` from a :class:`random.Random` seeded with
+    ``seed`` — same seed, same schedule, bit-reproducible chaos tests.
+    """
+
+    max_attempts: int = 4
+    base_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_seconds: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts counts the first try; must be >= 1")
+        if self.base_seconds < 0 or self.max_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter is a fraction of the delay (0..1)")
+
+    def rng(self) -> random.Random:
+        """A fresh jitter stream (one per client, not per call)."""
+        return random.Random(self.seed)
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        """Seconds to sleep before 0-based retry number ``retry``."""
+        base = min(self.base_seconds * self.multiplier ** retry,
+                   self.max_seconds)
+        return base + self.jitter * base * rng.random()
+
 
 class RemoteServiceError(ServiceError):
     """A service call failed remotely (or the server is unreachable).
 
     ``status`` is the HTTP status code, or ``None`` for transport-level
-    failures (connection refused, timeout).
+    failures (connection refused, timeout).  ``retry_after`` carries the
+    server's ``Retry-After`` hint when the response had one.
     """
 
-    def __init__(self, message: str, status: Optional[int] = None) -> None:
+    def __init__(self, message: str, status: Optional[int] = None,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class JobPollTimeout(RemoteServiceError, TimeoutError):
+    """``wait_job`` gave up: the job was still non-terminal when the
+    timeout expired.  Also a :class:`TimeoutError`, so generic timeout
+    handling catches it."""
 
 
 class ServiceClient:
@@ -68,11 +141,23 @@ class ServiceClient:
     #: fallback — degrades predictably instead of raising AttributeError.
     cache = None
 
-    def __init__(self, url: str, timeout: float = 300.0) -> None:
+    def __init__(self, url: str, timeout: float = 300.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        #: Retries performed over this client's lifetime (observability:
+        #: chaos tests assert the recovery actually exercised a retry).
+        self.retry_count = 0
+        self._rng = retry.rng() if retry is not None else None
 
     # -- transport -------------------------------------------------------------
+
+    @staticmethod
+    def _idempotent(method: str, path: str) -> bool:
+        """True when a retry cannot duplicate a side effect: every GET,
+        plus the fingerprint-keyed (cache-dedup'd) compile POST."""
+        return method == "GET" or (method, path) == ("POST", "/v1/compile")
 
     def _call(self, method: str, path: str,
               payload: Optional[object] = None) -> object:
@@ -81,6 +166,42 @@ class ServiceClient:
         if payload is not None:
             data = canonical_json(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        retries = self.retry.max_attempts - 1 \
+            if self.retry is not None and self._idempotent(method, path) \
+            else 0
+        retry = 0
+        while True:
+            try:
+                return self._call_once(method, path, data, headers)
+            except RemoteServiceError as exc:
+                transient = exc.status is None \
+                    or exc.status in RETRYABLE_STATUSES
+                if not transient or retry >= retries:
+                    if self.retry is not None and retry:
+                        exc.args = (f"{exc.args[0]} "
+                                    f"(after {retry + 1} attempts)",)
+                    raise
+                delay = self.retry.delay(retry, self._rng)
+                if exc.retry_after is not None:
+                    delay = exc.retry_after  # the server knows best
+                retry += 1
+                self.retry_count += 1
+                time.sleep(delay)
+
+    def _call_once(self, method: str, path: str, data: Optional[bytes],
+                   headers: Dict[str, str]) -> object:
+        """One attempt; every failure becomes a RemoteServiceError (with
+        ``status=None`` for transport-level ones)."""
+        if faults._ACTIVE is not None:
+            point = faults.poll(faults.CLIENT_REQUEST)
+            if point is not None:
+                if point.kind == faults.DELAY:
+                    time.sleep(point.seconds)
+                elif point.kind == faults.RESET:
+                    raise RemoteServiceError(
+                        f"cannot reach service at {self.url}: "
+                        "connection reset [injected fault]"
+                    )
         request = urllib.request.Request(self.url + path, data=data,
                                          method=method, headers=headers)
         try:
@@ -89,10 +210,17 @@ class ServiceClient:
                 body = response.read()
         except urllib.error.HTTPError as exc:
             raise RemoteServiceError(self._error_message(exc),
-                                     status=exc.code) from exc
-        except urllib.error.URLError as exc:
+                                     status=exc.code,
+                                     retry_after=self._retry_after(exc)) \
+                from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # URLError (connection refused, DNS) carries .reason; a mid-
+            # response drop (RemoteDisconnected, ConnectionResetError)
+            # escapes urllib unwrapped — both are the same transport
+            # failure to a caller.
+            reason = getattr(exc, "reason", None) or exc
             raise RemoteServiceError(
-                f"cannot reach service at {self.url}: {exc.reason}"
+                f"cannot reach service at {self.url}: {reason}"
             ) from exc
         try:
             return json.loads(body.decode("utf-8"))
@@ -100,6 +228,15 @@ class ServiceClient:
             raise RemoteServiceError(
                 f"service at {self.url} returned non-JSON body"
             ) from exc
+
+    @staticmethod
+    def _retry_after(exc: urllib.error.HTTPError) -> Optional[float]:
+        """The server's ``Retry-After`` seconds, when parseable."""
+        value = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            return float(value) if value is not None else None
+        except ValueError:
+            return None
 
     @staticmethod
     def _error_message(exc: urllib.error.HTTPError) -> str:
@@ -176,21 +313,32 @@ class ServiceClient:
         return self._call("DELETE", f"/v1/jobs/{job_id}")
 
     def wait_job(self, job_id: int, timeout: Optional[float] = 300.0,
-                 poll_seconds: float = 0.05) -> Dict[str, object]:
-        """Poll until the job reaches a terminal state; returns it."""
+                 poll_seconds: float = 0.05,
+                 max_poll_seconds: float = 1.0) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Polling backs off exponentially from ``poll_seconds`` up to
+        ``max_poll_seconds`` so long jobs cost O(log) polls early and a
+        bounded request rate after.  On expiry raises
+        :class:`JobPollTimeout` (a ``TimeoutError``) naming the poll
+        count, so a stuck job reads differently from a slow network.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         delay = poll_seconds
+        attempts = 0
         while True:
             payload = self.job(job_id)
+            attempts += 1
             if payload["status"] in ("done", "failed", "cancelled"):
                 return payload
             if deadline is not None and time.monotonic() >= deadline:
-                raise RemoteServiceError(
-                    f"job {job_id} still {payload['status']} "
-                    f"after {timeout}s"
+                raise JobPollTimeout(
+                    f"job {job_id} still {payload['status']} after "
+                    f"{timeout}s ({attempts} polls, backoff "
+                    f"{poll_seconds:g}s..{max_poll_seconds:g}s)"
                 )
             time.sleep(delay)
-            delay = min(delay * 2, 1.0)  # back off to 1s polls
+            delay = min(delay * 2, max_poll_seconds)
 
     @staticmethod
     def job_responses(job: Dict[str, object]) -> List[CompileResponse]:

@@ -24,6 +24,18 @@ owns the queue:
   already cached completes at submission time without ever entering the
   queue (or touching the pool): 100%-hit work must not wait behind a
   backlog of cold compiles.
+* **Load shedding** — ``max_queued`` bounds the queue; admission past
+  the bound raises :class:`QueueFullError` carrying a ``retry_after``
+  hint, which the HTTP layer turns into 503 + ``Retry-After`` (fully
+  cached jobs still complete inline — shedding applies to *queued*
+  work, not to free work).
+* **Durability** — ``journal=`` attaches a :class:`~repro.service.
+  journal.JobJournal` write-ahead log: every admission and transition
+  is fsync'd to JSONL before it becomes observable, and a manager built
+  over an existing journal re-queues every non-terminal job (original
+  ids and priorities) before accepting new work.  Cache-first admission
+  then keeps recovery cheap: already-cached fingerprints of an
+  interrupted job resolve as hits, never duplicate compiles.
 * **Duplicate-fingerprint dedup** — because jobs execute sequentially
   against one shared cache, two jobs carrying the same request
   fingerprint compile it once: the first job's miss warms the cache and
@@ -39,16 +51,33 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
+from .. import faults
 from .api import CompileRequest, CompileResponse, ServiceError
+from .journal import JobJournal
 from .service import ENTRY_DECODE_ERRORS, CompilationService, decode_entry
 
 #: Version of the ``Job.to_dict`` wire schema.
 JOB_SCHEMA_VERSION = 1
+
+logger = logging.getLogger(__name__)
+
+
+class QueueFullError(ServiceError):
+    """Admission rejected: the job queue is at ``max_queued``.
+
+    ``retry_after`` is the server's backoff hint in seconds (the HTTP
+    layer sends it as the ``Retry-After`` header of the 503)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobStatus(enum.Enum):
@@ -118,11 +147,25 @@ class JobManager:
     ``start=True`` (the default) spawns the daemon executor thread;
     ``start=False`` leaves the queue passive so callers (tests, batch
     drivers) step it deterministically with :meth:`run_next`.
+
+    ``journal`` (a path or a :class:`JobJournal`) makes the queue
+    durable: existing records are replayed *before* the executor starts,
+    re-queueing every non-terminal job, and the file is compacted to the
+    survivors.  ``max_queued`` bounds the queue (load shedding — see the
+    module docstring); ``None`` keeps it unbounded.
     """
 
     def __init__(self, service: Optional[CompilationService] = None,
-                 start: bool = True) -> None:
+                 start: bool = True,
+                 journal: Union[JobJournal, str, Path, None] = None,
+                 max_queued: Optional[int] = None) -> None:
+        if max_queued is not None and max_queued < 1:
+            raise ValueError("max_queued must be positive (or None)")
         self.service = service if service is not None else CompilationService()
+        self.journal = JobJournal(journal) \
+            if isinstance(journal, (str, Path)) else journal
+        self.max_queued = max_queued
+        self.recovered_jobs = 0
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._jobs: Dict[int, Job] = {}
@@ -130,6 +173,8 @@ class JobManager:
         self._ids = itertools.count(1)
         self._closed = False
         self._thread: Optional[threading.Thread] = None
+        if self.journal is not None:
+            self._recover()
         if start:
             self.start()
 
@@ -142,24 +187,37 @@ class JobManager:
         Raises :class:`ServiceError` for an empty batch; device and spec
         problems surface here too (computing the fingerprints validates
         both), so a job that enters the queue can only fail on genuine
-        compile errors.  A fully cached job completes inline — see
-        "cache-first admission" in the module docstring.
+        compile errors.  Raises :class:`QueueFullError` when ``max_queued``
+        jobs are already waiting (fully cached jobs are exempt — they
+        never enter the queue).  A fully cached job completes inline —
+        see "cache-first admission" in the module docstring.
         """
         requests = list(requests)
         if not requests:
             raise ServiceError("a job needs at least one request")
         fingerprints = [request.fingerprint() for request in requests]
-        job = Job(id=next(self._ids), requests=requests,
-                  fingerprints=fingerprints, priority=priority)
         inline = self._all_cached(fingerprints)
         # One critical section for the closed-check, registration, and
         # queue insertion: a shutdown() can then only land entirely before
         # (submission rejected) or entirely after (job queued while the
         # executor was still alive) — never between, which would strand a
-        # registered job in a queue nobody drains.
+        # registered job in a queue nobody drains.  The journal append
+        # (write-ahead: before the job becomes observable) sits inside the
+        # same section so journal order is admission order.
         with self._wake:
             if self._closed:
                 raise ServiceError("JobManager was shut down")
+            if not inline and self.max_queued is not None \
+                    and self._queued_count() >= self.max_queued:
+                raise QueueFullError(
+                    f"job queue is full ({self.max_queued} queued); "
+                    "retry after the backlog drains",
+                    retry_after=1.0,
+                )
+            job = Job(id=next(self._ids), requests=requests,
+                      fingerprints=fingerprints, priority=priority)
+            if self.journal is not None:
+                self.journal.record_submit(job)
             if inline:
                 # Registered already RUNNING: the job is never observable
                 # as QUEUED, so a concurrent cancel is the documented
@@ -173,6 +231,11 @@ class JobManager:
         if inline:
             self._execute(job)  # all hits: resolves without the pool
         return job
+
+    def _queued_count(self) -> int:
+        """Jobs currently waiting in the queue (heap minus cancelled)."""
+        return sum(1 for _, job_id in self._heap
+                   if self._jobs[job_id].status is JobStatus.QUEUED)
 
     def _all_cached(self, fingerprints: List[str]) -> bool:
         """True when every fingerprint has a *decodable* cache entry.
@@ -228,6 +291,8 @@ class JobManager:
             if job.status is JobStatus.QUEUED:
                 job.status = JobStatus.CANCELLED
                 job.finished_seconds = time.time()
+                if self.journal is not None:
+                    self.journal.record_status(job)
                 self._wake.notify_all()
             return job
 
@@ -258,6 +323,12 @@ class JobManager:
         compiling; terminal state + wake-up under the lock)."""
         if job.started_seconds is None:
             job.started_seconds = time.time()
+        if self.journal is not None:
+            self.journal.record_status(job)  # running: marks the attempt
+        if faults._ACTIVE is not None:
+            point = faults.poll(faults.JOBS_EXECUTE)
+            if point is not None and point.kind == faults.DELAY:
+                time.sleep(point.seconds)
         try:
             responses = self.service.submit_many(job.requests)
         except Exception as exc:  # noqa: BLE001 - recorded, not raised
@@ -271,6 +342,8 @@ class JobManager:
                 job.error = error
                 job.status = status
                 job.finished_seconds = time.time()
+                if self.journal is not None:
+                    self.journal.record_status(job)
             self._wake.notify_all()
 
     def wait(self, job_id: int, timeout: Optional[float] = None) -> Job:
@@ -293,6 +366,51 @@ class JobManager:
                         f"after {timeout}s"
                     )
                 self._wake.wait(remaining if remaining is not None else 0.5)
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal: re-queue every non-terminal job under its
+        original id and priority, drop terminal ones, continue the id
+        counter past everything seen, and compact the file.
+
+        Runs from ``__init__`` before the executor thread exists, so no
+        locking subtleties: the queue is rebuilt, then the world starts.
+        Jobs whose every fingerprint is already cached complete inline
+        here (cache-first admission applies to recovered work too), so a
+        restart never re-compiles what the cache kept.
+        """
+        inline_jobs: List[Job] = []
+        max_id = 0
+        for record in self.journal.replay():
+            max_id = max(max_id, record["id"])
+            if record["status"] not in ("queued", "running"):
+                continue  # terminal: nothing left to do
+            try:
+                requests = [CompileRequest.from_dict(item)
+                            for item in record["requests"]]
+            except (KeyError, TypeError, ValueError) as exc:
+                logger.warning("journal: dropping unrecoverable job %s: %s",
+                               record["id"], exc)
+                continue
+            job = Job(id=record["id"], requests=requests,
+                      fingerprints=list(record["fingerprints"]),
+                      priority=record["priority"],
+                      created_seconds=record["created_seconds"])
+            self._jobs[job.id] = job
+            if self._all_cached(job.fingerprints):
+                job.status = JobStatus.RUNNING
+                inline_jobs.append(job)
+            else:
+                heapq.heappush(self._heap, (-job.priority, job.id))
+            self.recovered_jobs += 1
+        self._ids = itertools.count(max_id + 1)
+        # Compact to the survivors *before* executing the inline ones, so
+        # their terminal records land in the fresh file, not the old one.
+        self.journal.compact([self._jobs[job_id]
+                              for job_id in sorted(self._jobs)])
+        for job in inline_jobs:
+            self._execute(job)
 
     # -- executor thread -------------------------------------------------------
 
@@ -319,18 +437,36 @@ class JobManager:
         return any(self._jobs[job_id].status is JobStatus.QUEUED
                    for _, job_id in self._heap)
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, timeout: float = 60.0) -> bool:
         """Stop accepting jobs and stop the executor thread.
 
         A job mid-compile finishes (``wait=True`` joins the thread);
-        queued jobs simply never run.
+        queued jobs simply never run (with a journal attached they
+        survive to the next start-up).  Returns ``True`` for a clean
+        stop; ``False`` — with a warning naming the stuck job — when the
+        join expired with the executor still compiling.
         """
         with self._wake:
             self._closed = True
             self._wake.notify_all()
             thread = self._thread
+        clean = True
         if wait and thread is not None:
-            thread.join(timeout=60.0)
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                clean = False
+                with self._lock:
+                    stuck = [job.id for job in self._jobs.values()
+                             if job.status is JobStatus.RUNNING]
+                logger.warning(
+                    "JobManager.shutdown: executor still busy after %.0fs "
+                    "(running job id%s: %s); thread leaked",
+                    timeout, "s" if len(stuck) != 1 else "",
+                    ", ".join(map(str, stuck)) or "unknown",
+                )
+        if self.journal is not None:
+            self.journal.close()
+        return clean
 
     def __repr__(self) -> str:
         counts = self.counts()

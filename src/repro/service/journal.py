@@ -1,0 +1,194 @@
+"""Write-ahead job journal: crash-durable JSONL for the JobManager.
+
+A server restart used to lose every queued job.  :class:`JobJournal`
+fixes that with the classic write-ahead pattern: every admission and
+every lifecycle transition is appended to one JSONL file — canonical
+JSON, one record per line, ``fsync``'d — *before* the in-memory state
+changes become observable.  On startup a :class:`~repro.service.jobs.
+JobManager` built with ``journal=`` replays the file: non-terminal jobs
+(queued, or running when the process died) are re-queued with their
+original ids and priorities, terminal jobs are dropped, and the file is
+compacted to just the survivors.  Re-running an interrupted job is safe
+because compilation is pure and cache-first — already-cached
+fingerprints resolve as hits, so recovery never duplicates work.
+
+Record grammar (one JSON object per line)::
+
+    {"event": "submit", "id": 7, "priority": 0, "created_seconds": ...,
+     "fingerprints": [...], "requests": [<CompileRequest.to_dict()>...]}
+    {"event": "status", "id": 7, "status": "running"}
+    {"event": "status", "id": 7, "status": "done", "error": null}
+
+Durability is availability-second: a journal append that fails (disk
+full, read-only volume) is counted in :attr:`JobJournal.write_errors`
+and the job proceeds un-journaled — a broken journal must degrade the
+durability guarantee, never the serving path.  A truncated or corrupt
+trailing line (the crash landed mid-append) is skipped and counted, not
+fatal: replay keeps every record before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List
+
+from .fingerprint import canonical_json
+
+#: Version of the journal line schema.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job lifecycle events.
+
+    ``fsync=True`` (the default) flushes every append through to the
+    device — the whole point of a WAL; ``fsync=False`` trades crash
+    durability for speed in tests.
+    """
+
+    def __init__(self, path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.write_errors = 0
+        self.corrupt_lines = 0
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # -- appending -------------------------------------------------------------
+
+    def record_submit(self, job) -> None:
+        """Journal one admission (requests ride along for replay)."""
+        self._append({
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "event": "submit",
+            "id": job.id,
+            "priority": job.priority,
+            "created_seconds": job.created_seconds,
+            "fingerprints": list(job.fingerprints),
+            "requests": [request.to_dict() for request in job.requests],
+        })
+
+    def record_status(self, job) -> None:
+        """Journal one lifecycle transition."""
+        self._append({
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "event": "status",
+            "id": job.id,
+            "status": job.status.value,
+            "error": job.error,
+        })
+
+    def _append(self, record: Dict[str, object]) -> None:
+        line = canonical_json(record) + "\n"
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(line)
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+            except OSError:
+                self.write_errors += 1
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, object]]:
+        """The journaled jobs, in id order, each with its *last* status.
+
+        Returns one dict per ``submit`` record seen —
+        ``{"id", "priority", "created_seconds", "fingerprints",
+        "requests", "status", "error"}`` — with ``status`` folded forward
+        from the status records (``"queued"`` when none followed).
+        Corrupt lines (and status records whose submit never made it)
+        are skipped and counted in :attr:`corrupt_lines`.
+        """
+        jobs: Dict[int, Dict[str, object]] = {}
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    event = record["event"]
+                    job_id = int(record["id"])
+                    if event == "submit":
+                        jobs[job_id] = {
+                            "id": job_id,
+                            "priority": int(record["priority"]),
+                            "created_seconds": record["created_seconds"],
+                            "fingerprints": list(record["fingerprints"]),
+                            "requests": list(record["requests"]),
+                            "status": "queued",
+                            "error": None,
+                        }
+                    elif event == "status":
+                        jobs[job_id]["status"] = str(record["status"])
+                        jobs[job_id]["error"] = record.get("error")
+                    else:
+                        raise ValueError(f"unknown event {event!r}")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+        return [jobs[job_id] for job_id in sorted(jobs)]
+
+    def compact(self, jobs) -> None:
+        """Rewrite the journal to just ``jobs`` (their submit records
+        plus a status record for any non-queued state) — called after
+        recovery so the file stops growing across restart cycles."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for job in jobs:
+                        handle.write(canonical_json({
+                            "schema": JOURNAL_SCHEMA_VERSION,
+                            "event": "submit",
+                            "id": job.id,
+                            "priority": job.priority,
+                            "created_seconds": job.created_seconds,
+                            "fingerprints": list(job.fingerprints),
+                            "requests": [request.to_dict()
+                                         for request in job.requests],
+                        }) + "\n")
+                        if job.status.value != "queued":
+                            handle.write(canonical_json({
+                                "schema": JOURNAL_SCHEMA_VERSION,
+                                "event": "status",
+                                "id": job.id,
+                                "status": job.status.value,
+                                "error": job.error,
+                            }) + "\n")
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                os.replace(tmp, self.path)
+            except OSError:
+                self.write_errors += 1
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return (f"JobJournal({str(self.path)!r}, fsync={self.fsync}, "
+                f"write_errors={self.write_errors})")
+
+
+__all__ = ["JobJournal", "JOURNAL_SCHEMA_VERSION"]

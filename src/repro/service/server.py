@@ -33,15 +33,38 @@ HTML.  Requests are handled on per-connection threads
 (``ThreadingHTTPServer``); the service's :class:`ResultCache` is
 thread-safe and compilation itself is pure, so concurrent sync compiles,
 the job executor, and introspection endpoints coexist safely.
+
+Robustness contract
+-------------------
+* **Load shedding** — a full job queue (``JobManager(max_queued=N)``)
+  turns into ``503`` with a ``Retry-After`` header; well-behaved clients
+  (:class:`~repro.service.client.ServiceClient` with a ``RetryPolicy``)
+  back off and resubmit.
+* **Deadlines** — a ``X-Deadline-Seconds`` request header bounds a
+  ``POST /v1/compile``: when the budget expires the server answers
+  ``504`` (with ``Retry-After``) *between* batch items, never mid-item —
+  everything compiled before the cut is already cached, so the retry
+  pays only for the remainder.
+* **Draining shutdown** — :meth:`ServiceServer.shutdown` stops the
+  accept loop, lets the running job finish (``drain=True``), and returns
+  ``False`` (after a logged warning naming the stuck job) instead of
+  silently leaking threads.
+* **Fault injection** — each inbound request is an ``http.request``
+  site: an armed :class:`repro.faults.FaultPlan` can drop the connection
+  cold (``reset``) or stretch it (``delay``) to exercise client retries.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 
+from .. import faults
 from ..arch.library import available_architectures
 from ..pipeline.registry import list_passes, list_specs
 from ..qls.base import QLSError
@@ -53,13 +76,22 @@ from .api import (
     error_payload,
 )
 from .fingerprint import canonical_json, code_fingerprint
-from .jobs import JobManager
+from .jobs import JobManager, QueueFullError
 from .service import CompilationService
 
 #: Exceptions a request body can legitimately trigger; everything in here
 #: becomes a 400 with a canonical error payload, not a traceback.
 BAD_REQUEST_ERRORS = (ServiceError, QLSError, KeyError, TypeError,
                       IndexError, ValueError)
+
+#: Request header bounding one ``POST /v1/compile`` wall-clock budget.
+DEADLINE_HEADER = "X-Deadline-Seconds"
+
+logger = logging.getLogger(__name__)
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: a request's ``X-Deadline-Seconds`` budget expired."""
 
 
 class ServiceServer:
@@ -102,14 +134,28 @@ class ServiceServer:
             self._thread.start()
         return self
 
-    def shutdown(self) -> None:
-        """Stop the accept loop and the job executor."""
+    def shutdown(self, drain: bool = True, timeout: float = 10.0) -> bool:
+        """Stop the accept loop and the job executor.
+
+        ``drain=True`` (the default) waits for a job mid-compile to
+        finish before returning — queued jobs never run, but with a
+        journal attached they survive to the next start-up.  Returns
+        ``True`` for a clean stop; ``False`` (after a logged warning)
+        when the HTTP thread or the job executor had to be leaked.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
+        clean = True
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                clean = False
+                logger.warning(
+                    "ServiceServer.shutdown: HTTP thread still serving "
+                    "after %.0fs; thread leaked", timeout,
+                )
             self._thread = None
-        self.jobs.shutdown(wait=False)
+        return self.jobs.shutdown(wait=drain) and clean
 
     def __enter__(self) -> "ServiceServer":
         return self.start()
@@ -133,13 +179,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep stdout/stderr quiet; callers watch the CLI banner
 
-    def _send_json(self, payload: Dict[str, object],
-                   status: int = 200) -> None:
+    def _send_json(self, payload: Dict[str, object], status: int = 200,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         self._drain_body()
         body = canonical_json(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -161,8 +209,20 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(error_payload(message, status), status=status)
+    def _send_error_json(self, status: int, message: str,
+                         headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_json(error_payload(message, status), status=status,
+                        headers=headers)
+
+    def _reset_connection(self) -> None:
+        """Injected ``http.request`` reset: drop the connection with no
+        response, the way a crashed/partitioned server looks from the
+        client side.  Must not raise — socketserver would log it."""
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
     def _read_json(self) -> object:
         length = int(self.headers.get("Content-Length") or 0)
@@ -196,8 +256,28 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         self._body_consumed = False
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if faults._ACTIVE is not None:
+            point = faults.poll(faults.HTTP_REQUEST)
+            if point is not None:
+                if point.kind == faults.RESET:
+                    self._reset_connection()
+                    return
+                if point.kind == faults.DELAY:
+                    time.sleep(point.seconds)
         try:
             handled = self._route(method, path)
+        except QueueFullError as exc:
+            # Load shedding (before BAD_REQUEST_ERRORS — QueueFullError
+            # is a ServiceError, but a full queue is the server's state,
+            # not the caller's mistake): 503 + the backoff hint.
+            self._send_error_json(503, f"{exc}",
+                                  headers={"Retry-After":
+                                           f"{exc.retry_after:g}"})
+        except _DeadlineExceeded as exc:
+            # Work compiled before the cut is cached; the retry pays
+            # only for the remainder.
+            self._send_error_json(504, f"{exc}",
+                                  headers={"Retry-After": "1"})
         except BAD_REQUEST_ERRORS as exc:
             self._send_error_json(400, f"{exc}")
         except Exception as exc:  # noqa: BLE001 - last-resort JSON 500
@@ -270,6 +350,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- compile endpoints -----------------------------------------------------
 
+    def _deadline_check(self):
+        """A per-response progress hook enforcing ``X-Deadline-Seconds``
+        between batch items (``None`` when the header is absent)."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget = float(raw)
+        except ValueError as exc:
+            raise ServiceError(
+                f"malformed {DEADLINE_HEADER} header {raw!r}") from exc
+        if budget <= 0:
+            raise ServiceError(f"{DEADLINE_HEADER} must be positive")
+        deadline = time.monotonic() + budget
+
+        def check(_response) -> None:
+            if time.monotonic() >= deadline:
+                raise _DeadlineExceeded(
+                    f"request deadline ({budget:g}s) exceeded; completed "
+                    "items are cached — retry for the remainder"
+                )
+        return check
+
     def _compile(self, payload: object) -> None:
         """``POST /v1/compile``: sync single or batch compilation."""
         single = isinstance(payload, dict) \
@@ -278,7 +381,8 @@ class _Handler(BaseHTTPRequestHandler):
         workers = payload.get("workers") if isinstance(payload, dict) else None
         if workers is not None and not isinstance(workers, int):
             raise ServiceError("'workers' must be an integer")
-        responses = self.app.service.submit_many(requests, workers=workers)
+        responses = self.app.service.submit_many(
+            requests, workers=workers, progress=self._deadline_check())
         if single:
             self._send_json(responses[0].to_dict())
         else:

@@ -313,6 +313,61 @@ class TestServiceCacheGoldens:
                 ROUTER_GOLDEN[arch]["tket_pinned_hash"]
 
 
+class TestChaosGoldens:
+    """The fault-tolerance acceptance contract: with a seeded FaultPlan
+    killing one pool worker mid-batch *and* resetting one client
+    connection, ``evaluate(..., service=ServiceClient(url))`` still
+    reproduces the pinned goldens bit-identically, ``result_key`` order
+    unchanged.  Recovery must be invisible in the results and visible in
+    the counters (pool respawns, client retries) — both are asserted, so
+    a pass proves the faults actually fired and were actually healed."""
+
+    def test_crash_and_reset_recovery_is_bit_identical(self,
+                                                       arch_instance):
+        from repro import faults
+        from repro.evalx.harness import evaluate
+        from repro.parallel import WorkerPool
+        from repro.pipeline import PipelineTool
+        from repro.service import (
+            CompilationService,
+            ResultCache,
+            RetryPolicy,
+            ServiceClient,
+            ServiceServer,
+        )
+
+        arch, device, inst = arch_instance
+        tools = [PipelineTool(build_pipeline("sabre", seed=3)),
+                 PipelineTool(build_pipeline("tketlike", seed=13))]
+        pool = WorkerPool(workers=2, respawn_budget=2)
+        service = CompilationService(cache=ResultCache(), pool=pool)
+        plan = faults.FaultPlan.from_spec(
+            "seed=17; pool.task:crash@1; client.request:reset@1")
+        try:
+            with ServiceServer(service) as server:
+                client = ServiceClient(
+                    server.url, retry=RetryPolicy(seed=17,
+                                                  base_seconds=0.01))
+                with faults.injected(plan):
+                    remote = evaluate(tools, [inst], service=client)
+        finally:
+            pool.shutdown()
+        # both faults genuinely fired...
+        fired_sites = {site for site, _, _ in plan.fired()}
+        assert fired_sites == {faults.POOL_TASK, faults.CLIENT_REQUEST}
+        assert client.retry_count >= 1
+        assert pool.stats()["respawns"] >= 1
+        # ...and recovery is bit-identical to the clean serial run
+        local = evaluate(tools, [inst])
+        assert [r.result_key() for r in remote.records] == \
+            [r.result_key() for r in local.records]
+        assert all(r.valid for r in remote.records)
+        sabre_record, tket_record = remote.records
+        assert sabre_record.observed_swaps == GOLDEN[arch]["layout_swaps"]
+        assert tket_record.observed_swaps == \
+            ROUTER_GOLDEN[arch]["tket_swaps"]
+
+
 class TestServiceClientGoldens:
     """The serving acceptance contract: ``evaluate(..., service=
     ServiceClient(url))`` against a live local HTTP server reproduces the

@@ -6,6 +6,7 @@ import os
 
 import pytest
 
+from repro import faults
 from repro.service import ResultCache
 
 
@@ -120,6 +121,93 @@ class TestDiskTier:
         assert info["disk_entries"] == 1
         assert info["disk_bytes"] > 0
         assert info["stats"]["puts"] == 1
+
+
+class TestQuarantine:
+    """Corrupt disk entries are renamed aside on first decode failure."""
+
+    def test_corrupt_entry_quarantined_on_first_failure(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("cafe", entry(1))
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        (tmp_path / "c" / "cafe.json").write_text("{not json",
+                                                  encoding="utf-8")
+        assert fresh.get("cafe") is None
+        assert fresh.stats.corrupt_quarantined == 1
+        assert not (tmp_path / "c" / "cafe.json").exists()
+        assert (tmp_path / "c" / "cafe.corrupt").exists()
+        # later lookups are plain misses: no re-read, no double count
+        assert fresh.get("cafe") is None
+        assert fresh.stats.corrupt_quarantined == 1
+        assert fresh.stats.corrupt == 1
+
+    def test_info_surfaces_quarantine_count(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        (tmp_path / "c" / "dead.json").write_text("junk", encoding="utf-8")
+        assert cache.info()["corrupt_quarantined"] == 0
+        cache.get("dead")
+        info = cache.info()
+        assert info["corrupt_quarantined"] == 1
+        assert info["stats"]["corrupt_quarantined"] == 1
+
+    def test_reput_heals_a_quarantined_fingerprint(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        (tmp_path / "c" / "beef.json").write_text("junk", encoding="utf-8")
+        assert cache.get("beef") is None  # quarantined
+        cache.put("beef", entry(2))       # the recompute stores cleanly
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        assert fresh.get("beef") == entry(2)
+        assert fresh.stats.corrupt == 0
+
+    def test_injected_os_error_is_a_miss_without_quarantine(self, tmp_path):
+        """Transient I/O failure: the bytes might be fine — keep them."""
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("feed", entry(3))
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        with faults.injected(faults.FaultPlan.from_spec(
+                "cache.disk_read:os_error@1:errno=5")):
+            assert fresh.get("feed") is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.corrupt_quarantined == 0
+        assert (tmp_path / "c" / "feed.json").exists()
+        assert fresh.get("feed") == entry(3)  # next read succeeds
+
+    def test_injected_corruption_quarantines(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("f00d", entry(4))
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        with faults.injected(faults.FaultPlan.from_spec(
+                "cache.disk_read:corrupt@1")):
+            assert fresh.get("f00d") is None
+        assert fresh.stats.corrupt_quarantined == 1
+        assert (tmp_path / "c" / "f00d.corrupt").exists()
+
+    def test_injected_write_error_counts_write_errors(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        with faults.injected(faults.FaultPlan.from_spec(
+                "cache.disk_write:os_error@1:errno=28")):
+            cache.put("deaf", entry(5))  # must not raise (ENOSPC)
+        assert cache.stats.write_errors == 1
+        assert cache.get("deaf") == entry(5)  # memory tier still serves
+        assert not (tmp_path / "c" / "deaf.json").exists()
+
+    def test_clear_sweeps_quarantined_files_too(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("babe", entry(6))
+        (tmp_path / "c" / "dead.json").write_text("junk", encoding="utf-8")
+        cache.get("dead")  # quarantined -> dead.corrupt
+        cache.clear()
+        assert list((tmp_path / "c").glob("*")) == []
+
+    def test_quarantine_keeps_disk_footprint_consistent(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "c"))
+        cache.put("k1", entry(1))
+        cache.put("k2", entry(2))
+        assert cache.info()["disk_entries"] == 2
+        (tmp_path / "c" / "k1.json").write_text("junk", encoding="utf-8")
+        fresh = ResultCache(directory=str(tmp_path / "c"))
+        fresh.get("k1")  # quarantine
+        assert fresh.info()["disk_entries"] == 1
 
 
 def _set_mtimes(directory, *keys, start=1000.0, step=100.0):

@@ -1,0 +1,276 @@
+"""Durable job queue: write-ahead journal, crash recovery, load
+shedding, and the boolean shutdown contract."""
+
+import json
+import logging
+
+import pytest
+
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    JobJournal,
+    JobManager,
+    JobStatus,
+    QueueFullError,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.qubikos import generate
+
+
+@pytest.fixture(scope="module")
+def requests(grid33):
+    return [CompileRequest.from_instance(
+                generate(grid33, num_swaps=2, num_two_qubit_gates=16,
+                         seed=140 + k),
+                spec="sabre", seed=5)
+            for k in range(3)]
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    return tmp_path / "jobs.jsonl"
+
+
+class TestJournalFile:
+    def test_submit_records_requests_for_replay(self, requests,
+                                                journal_path):
+        manager = JobManager(CompilationService(), start=False,
+                             journal=journal_path)
+        job = manager.submit([requests[0]], priority=3)
+        manager.journal.close()
+        (record,) = [json.loads(line) for line in
+                     journal_path.read_text().splitlines()]
+        assert record["event"] == "submit"
+        assert record["id"] == job.id
+        assert record["priority"] == 3
+        assert record["fingerprints"] == job.fingerprints
+        assert record["requests"] == [requests[0].to_dict()]
+
+    def test_transitions_are_journaled(self, requests, journal_path):
+        manager = JobManager(CompilationService(cache=ResultCache()),
+                             start=False, journal=journal_path)
+        manager.submit([requests[0]])
+        manager.run_next()
+        manager.journal.close()
+        events = [(json.loads(line)["event"],
+                   json.loads(line).get("status"))
+                  for line in journal_path.read_text().splitlines()]
+        assert events == [("submit", None), ("status", "running"),
+                          ("status", "done")]
+
+    def test_corrupt_trailing_line_tolerated(self, requests, journal_path):
+        manager = JobManager(CompilationService(), start=False,
+                             journal=journal_path)
+        manager.submit([requests[0]])
+        manager.journal.close()
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "status", "id": 1, "sta')  # torn write
+        journal = JobJournal(journal_path)
+        replayed = journal.replay()
+        assert [job["id"] for job in replayed] == [1]
+        assert journal.corrupt_lines == 1
+
+    def test_append_failure_degrades_not_raises(self, requests, tmp_path):
+        journal = JobJournal(tmp_path / "missing" / "deep.jsonl")
+        journal.path = tmp_path  # a directory: opening for append fails
+        manager = JobManager(CompilationService(), start=False)
+        manager.journal = journal
+        job = manager.submit([requests[0]])  # must not raise
+        assert job.status is JobStatus.QUEUED
+        assert journal.write_errors == 1
+
+
+class TestRecovery:
+    def test_nonterminal_jobs_requeued_with_ids_and_priorities(
+            self, requests, journal_path):
+        first = JobManager(CompilationService(), start=False,
+                           journal=journal_path)
+        low = first.submit([requests[0]], priority=0)
+        high = first.submit([requests[1]], priority=5)
+        first.journal.close()  # simulated SIGKILL: nothing ever ran
+
+        second = JobManager(CompilationService(cache=ResultCache()),
+                            start=False, journal=journal_path)
+        assert second.recovered_jobs == 2
+        assert {job.id for job in second.jobs()} == {low.id, high.id}
+        assert all(job.status is JobStatus.QUEUED for job in second.jobs())
+        assert second.get(high.id).priority == 5
+        assert second.run_next().id == high.id  # priority order survives
+
+    def test_terminal_jobs_skipped_and_ids_never_reused(self, requests,
+                                                        journal_path):
+        first = JobManager(CompilationService(cache=ResultCache()),
+                           start=False, journal=journal_path)
+        done = first.submit([requests[0]])
+        first.run_next()
+        cancelled = first.submit([requests[1]])
+        first.cancel(cancelled.id)
+        first.journal.close()
+
+        second = JobManager(CompilationService(), start=False,
+                            journal=journal_path)
+        assert second.recovered_jobs == 0
+        assert second.jobs() == []
+        fresh = second.submit([requests[2]])
+        assert fresh.id == cancelled.id + 1  # counter continued past history
+
+    def test_running_job_requeued_after_crash_mid_compile(self, requests,
+                                                          journal_path):
+        first = JobManager(CompilationService(), start=False,
+                           journal=journal_path)
+        job = first.submit([requests[0]])
+        claimed = first._claim()  # RUNNING journaled...
+        first.journal.record_status(claimed)
+        first.journal.close()     # ...then the process dies mid-compile
+
+        second = JobManager(CompilationService(cache=ResultCache()),
+                            start=False, journal=journal_path)
+        assert second.recovered_jobs == 1
+        recovered = second.get(job.id)
+        assert recovered.status is JobStatus.QUEUED  # re-queued, not lost
+        second.run_next()
+        assert second.get(job.id).status is JobStatus.DONE
+
+    def test_cached_fingerprints_complete_inline_without_recompiling(
+            self, requests, journal_path):
+        cache = ResultCache()
+        service = CompilationService(cache=cache)
+        first = JobManager(service, start=False, journal=journal_path)
+        first.submit([requests[0]])
+        first.run_next()  # warms the cache
+        stranded = first.submit([requests[0]])  # same fingerprint, queued?
+        # cache-first admission resolved it inline already — strand a cold
+        # duplicate instead by writing the submit record by hand:
+        assert stranded.status is JobStatus.DONE
+        first.journal.close()
+
+        puts_before = cache.stats.puts
+        second = JobManager(service, start=False, journal=journal_path)
+        assert second.recovered_jobs == 0  # everything was terminal
+        assert cache.stats.puts == puts_before  # and nothing recompiled
+
+    def test_recovered_queued_job_with_warm_cache_resolves_inline(
+            self, requests, journal_path):
+        cache = ResultCache()
+        service = CompilationService(cache=cache)
+        first = JobManager(service, start=False, journal=journal_path)
+        job = first.submit([requests[1]])  # cold: genuinely queued
+        first.journal.close()              # crash before it ran
+        # the fingerprint lands in the cache some other way (another
+        # replica sharing the directory, a sync compile, ...):
+        service.submit(requests[1])
+        puts_before = cache.stats.puts
+
+        second = JobManager(service, start=False, journal=journal_path)
+        assert second.recovered_jobs == 1
+        recovered = second.get(job.id)
+        assert recovered.status is JobStatus.DONE  # inline, cache-first
+        assert all(r.cache_hit for r in recovered.responses)
+        assert cache.stats.puts == puts_before  # no duplicate compile
+
+    def test_compaction_bounds_the_file_across_restarts(self, requests,
+                                                        journal_path):
+        manager = JobManager(CompilationService(cache=ResultCache()),
+                             start=False, journal=journal_path)
+        for _ in range(3):
+            manager.submit([requests[0]])
+            manager.run_next()
+        manager.journal.close()
+        lines_before = len(journal_path.read_text().splitlines())
+        second = JobManager(CompilationService(), start=False,
+                            journal=journal_path)
+        second.journal.close()
+        lines_after = len(journal_path.read_text().splitlines())
+        assert lines_before == 9   # 3 x (submit, running, done)
+        assert lines_after == 0    # all terminal: compacted away
+
+
+class TestLoadShedding:
+    def test_queue_bound_rejects_with_retry_after(self, requests):
+        manager = JobManager(CompilationService(), start=False, max_queued=1)
+        manager.submit([requests[0]])
+        with pytest.raises(QueueFullError, match="queue is full") as excinfo:
+            manager.submit([requests[1]])
+        assert excinfo.value.retry_after == 1.0
+
+    def test_cached_jobs_bypass_the_bound(self, requests):
+        cache = ResultCache()
+        service = CompilationService(cache=cache)
+        service.submit(requests[0])  # warm one fingerprint
+        manager = JobManager(service, start=False, max_queued=1)
+        manager.submit([requests[1]])  # fills the queue
+        warm = manager.submit([requests[0]])  # all-hit: exempt from the bound
+        assert warm.status is JobStatus.DONE
+
+    def test_http_surface_is_503_with_retry_after_header(self, requests):
+        import urllib.error
+        import urllib.request
+
+        service = CompilationService(cache=ResultCache())
+        jobs = JobManager(service, start=False, max_queued=1)
+        with ServiceServer(service, jobs=jobs) as server:
+            client = ServiceClient(server.url, timeout=30)
+            client.submit_job([requests[0]])
+            with pytest.raises(Exception) as excinfo:
+                client.submit_job([requests[1]])
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after == 1.0
+            assert "queue is full" in str(excinfo.value)
+            # raw wire check: the header itself
+            raw = urllib.request.Request(
+                server.url + "/v1/jobs",
+                data=json.dumps(
+                    {"requests": [requests[2].to_dict()]}).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as raw_exc:
+                urllib.request.urlopen(raw, timeout=30)
+            assert raw_exc.value.code == 503
+            assert raw_exc.value.headers["Retry-After"] == "1"
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_queued"):
+            JobManager(CompilationService(), start=False, max_queued=0)
+
+
+class TestShutdownContract:
+    def test_clean_shutdown_returns_true(self, requests):
+        manager = JobManager(CompilationService(cache=ResultCache()))
+        job = manager.submit([requests[0]])
+        manager.wait(job.id, timeout=120)
+        assert manager.shutdown() is True
+
+    def test_expired_join_warns_with_stuck_job_id(self, requests, caplog):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        class _StallingService(CompilationService):
+            def submit_many(self, reqs, **kwargs):
+                release.wait(timeout=60)
+                return super().submit_many(reqs, **kwargs)
+
+        manager = JobManager(_StallingService(cache=ResultCache()))
+        job = manager.submit([requests[0]])
+        for _ in range(100):  # wait for the executor to claim it
+            if manager.get(job.id).status is JobStatus.RUNNING:
+                break
+            time.sleep(0.05)
+        with caplog.at_level(logging.WARNING, logger="repro.service.jobs"):
+            clean = manager.shutdown(timeout=0.2)
+        release.set()
+        assert clean is False
+        assert any(str(job.id) in record.getMessage()
+                   for record in caplog.records)
+
+    def test_server_shutdown_returns_jobs_verdict(self, requests):
+        service = CompilationService(cache=ResultCache())
+        server = ServiceServer(service).start()
+        client = ServiceClient(server.url, timeout=30)
+        job = client.submit_job([requests[0]])
+        client.wait_job(job["id"], timeout=120)
+        assert server.shutdown() is True

@@ -1,0 +1,139 @@
+"""WorkerPool: self-healing, respawn budget, timeouts, and edge cases.
+
+Worker crashes are injected through the ``pool.task`` fault site (the
+worker ``os._exit``\\ s, exactly like an OOM kill), so every recovery
+path here exercises the same machinery production failures would.
+"""
+
+import os
+import time
+
+import pytest
+from concurrent.futures import BrokenExecutor
+
+from repro import faults
+from repro.faults import FaultPlan
+from repro.parallel import POOL_UNAVAILABLE_ERRORS, WorkerPool
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_unless_parent(parent_pid, seconds, value):
+    """Sleep only when running in a worker process — the parent-side
+    timeout re-run of the same task returns immediately."""
+    if os.getpid() != parent_pid:
+        time.sleep(seconds)
+    return value
+
+
+class TestConstruction:
+    def test_workers_zero_falls_back_to_cpu_count(self):
+        pool = WorkerPool(workers=0)
+        assert pool.workers == (os.cpu_count() or 1)
+        pool.shutdown()
+
+    def test_workers_none_falls_back_to_cpu_count(self):
+        pool = WorkerPool()
+        assert pool.workers == (os.cpu_count() or 1)
+        pool.shutdown()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerPool(workers=-1)
+
+    def test_negative_respawn_budget_rejected(self):
+        with pytest.raises(ValueError, match="respawn_budget"):
+            WorkerPool(respawn_budget=-1)
+
+    def test_nonpositive_task_timeout_rejected(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            WorkerPool(task_timeout=0)
+
+    def test_construction_is_lazy(self):
+        pool = WorkerPool(workers=2)
+        assert pool._executor is None  # no processes until first submit
+        pool.shutdown()
+
+
+class TestLifecycle:
+    def test_submit_after_shutdown_raises_pool_unavailable(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(POOL_UNAVAILABLE_ERRORS, match="shut down"):
+            pool.submit(_square, 3)
+
+    def test_context_manager_shuts_down(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.submit(_square, 4).result(timeout=60) == 16
+        assert pool.stats()["closed"]
+
+    def test_stats_shape(self):
+        with WorkerPool(workers=1, respawn_budget=3) as pool:
+            stats = pool.stats()
+        assert stats["respawn_budget"] == 3
+        assert {"workers", "submitted", "respawns", "recovered_tasks",
+                "timeout_reruns", "closed"} <= set(stats)
+
+
+class TestSelfHealing:
+    def test_crash_mid_batch_recovers_every_result(self):
+        with WorkerPool(workers=1, respawn_budget=2) as pool:
+            with faults.injected(FaultPlan.from_spec("pool.task:crash@2")):
+                futures = [pool.submit(_square, n) for n in range(6)]
+                results = [f.result(timeout=120) for f in futures]
+        assert results == [n * n for n in range(6)]
+        stats = pool.stats()
+        assert stats["respawns"] == 1
+        assert stats["recovered_tasks"] >= 1  # at least the crashed task
+
+    def test_budget_exhaustion_degrades_to_pool_unavailable(self):
+        with WorkerPool(workers=1, respawn_budget=0) as pool:
+            with faults.injected(FaultPlan.from_spec("pool.task:crash@1")):
+                future = pool.submit(_square, 2)
+                with pytest.raises(POOL_UNAVAILABLE_ERRORS):
+                    future.result(timeout=120)
+            # the pool stays unavailable, callers degrade to serial
+            survivor = pool.submit(_square, 3)
+            with pytest.raises(POOL_UNAVAILABLE_ERRORS):
+                survivor.result(timeout=120)
+
+    def test_harness_survives_budget_exhaustion_serially(self, grid33):
+        """evaluate()'s existing POOL_UNAVAILABLE_ERRORS fallback contract:
+        a dead pool degrades the affected pairs to parent re-runs with
+        records identical to a serial run."""
+        from repro.evalx.harness import evaluate
+        from repro.pipeline import PipelineTool, build_pipeline
+        from repro.qubikos import generate
+
+        instances = [generate(grid33, num_swaps=2, num_two_qubit_gates=16,
+                              seed=130 + k) for k in range(2)]
+        tools = [PipelineTool(build_pipeline("sabre", seed=3))]
+        with WorkerPool(workers=1, respawn_budget=0) as pool:
+            with faults.injected(FaultPlan.from_spec("pool.task:crash@1")):
+                run = evaluate(tools, instances, pool=pool)
+        serial = evaluate(tools, instances)
+        assert [r.result_key() for r in run.records] == \
+            [r.result_key() for r in serial.records]
+
+    def test_injected_crash_fires_once_not_on_the_retry(self):
+        """The retry resubmits the clean payload: with budget available a
+        crash@N plan costs one respawn, not an infinite crash loop."""
+        with WorkerPool(workers=1, respawn_budget=1) as pool:
+            with faults.injected(FaultPlan.from_spec("pool.task:crash@1")):
+                assert pool.submit(_square, 7).result(timeout=120) == 49
+        assert pool.stats()["respawns"] == 1
+
+
+class TestTaskTimeout:
+    def test_straggler_reruns_in_parent(self):
+        with WorkerPool(workers=1, task_timeout=0.5) as pool:
+            future = pool.submit(_sleep_unless_parent, os.getpid(), 30, "ok")
+            assert future.result(timeout=120) == "ok"
+        assert pool.stats()["timeout_reruns"] == 1
+
+    def test_fast_tasks_never_hit_the_timer(self):
+        with WorkerPool(workers=1, task_timeout=60) as pool:
+            assert pool.submit(_square, 5).result(timeout=120) == 25
+        assert pool.stats()["timeout_reruns"] == 0
