@@ -45,6 +45,13 @@ def pytest_addoption(parser):
              "recovery -> BENCH_chaos.json); every heavy benchmark is "
              "skipped",
     )
+    parser.addoption(
+        "--sat-smoke", action="store_true", default=False,
+        help="run only the exact-SAT search check (incremental vs seed "
+             "strategy agreement + speedup, cube-and-conquer, frontier "
+             "instance -> BENCH_sat.json); every heavy benchmark is "
+             "skipped",
+    )
 
 
 #: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
@@ -56,6 +63,7 @@ SMOKE_GATES = {
     "--service-smoke": "service_smoke",
     "--server-smoke": "server_smoke",
     "--chaos-smoke": "chaos_smoke",
+    "--sat-smoke": "sat_smoke",
 }
 
 

@@ -13,7 +13,10 @@
 # warm-hit speedup (--server-smoke, refreshing BENCH_server.json), and
 # the fault-injection scenarios — worker crash, corrupt cache entry,
 # connection reset, SIGKILL + journal recovery (--chaos-smoke,
-# refreshing BENCH_chaos.json).
+# refreshing BENCH_chaos.json), and the exact-SAT search contract —
+# incremental/cube sweeps matching the seed strategy's optima and lower
+# bounds with a measured speedup (--sat-smoke, refreshing
+# BENCH_sat.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,5 +31,5 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo
-echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke"
-python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke -q
+echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke"
+python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke -q

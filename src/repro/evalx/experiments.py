@@ -52,7 +52,74 @@ _FIG4_ARCH = {
 }
 
 
-def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True) -> dict:
+def run_exact(per_point: int, exact_budget_seconds: float,
+              backend: str = "python", workers: Optional[int] = None,
+              max_swaps: int = 6, verbose: bool = True) -> dict:
+    """Exact-synthesis study: optimum + lower bound per instance.
+
+    Every instance is solved to optimality (or until the shared budget
+    runs out) with the configured search: ``--backend`` picks the SAT
+    engine, ``--workers`` switches to cube-and-conquer over a process
+    pool.  QUBIKOS certificates give the designed optimum, so the SAT
+    answers are externally checked.
+    """
+    spec = SuiteSpec(
+        architectures=("grid3x3", "tshape9"),
+        swap_counts=(1, 2, 3),
+        circuits_per_point=per_point,
+        gate_counts={"grid3x3": 24, "tshape9": 16},
+        ordering_mode="pruned",
+    )
+    instances = build_suite(spec)
+    deadline = time.monotonic() + exact_budget_seconds
+    solved = agreed = timed_out = 0
+    totals: dict = {}
+    start = time.monotonic()
+    for instance in instances:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            timed_out += len(instances) - solved - timed_out
+            break
+        solver = ExactSolver(max_swaps=max_swaps, backend=backend,
+                             workers=workers,
+                             time_limit=min(remaining,
+                                            exact_budget_seconds))
+        outcome = solver.solve(instance.circuit, instance.coupling())
+        for key, value in outcome.totals.items():
+            totals[key] = totals.get(key, 0) + value
+        if outcome.optimal_swaps is None:
+            timed_out += 1
+            continue
+        solved += 1
+        if outcome.optimal_swaps == instance.optimal_swaps:
+            agreed += 1
+    elapsed = time.monotonic() - start
+    summary = {
+        "instances": len(instances),
+        "solved": solved,
+        "agreed_with_certificate": agreed,
+        "timed_out": timed_out,
+        "backend": backend,
+        "workers": workers,
+        "seconds": round(elapsed, 2),
+        "totals": totals,
+    }
+    if verbose:
+        print("Exact synthesis study (incremental k-search)")
+        print(f"  backend / workers:      {backend} / {workers or 'serial'}")
+        print(f"  instances:              {summary['instances']}")
+        print(f"  solved to optimality:   {solved}")
+        print(f"  matched certificate:    {agreed}")
+        print(f"  budget exhausted:       {timed_out}")
+        print(f"  wall-clock seconds:     {summary['seconds']}")
+        for key in ("conflicts", "decisions", "propagations"):
+            if key in totals:
+                print(f"  total {key + ':':<17}{totals[key]}")
+    return summary
+
+
+def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True,
+           backend: str = "python") -> dict:
     """Optimality study: certify every instance; SAT-verify a subset."""
     spec = SuiteSpec(
         architectures=("aspen4", "grid3x3"),
@@ -71,6 +138,7 @@ def run_e1(per_point: int, exact_budget_seconds: float, verbose: bool = True) ->
             break
         solver = ExactSolver(
             max_swaps=instance.optimal_swaps,
+            backend=backend,
             time_limit=max(5.0, exact_budget_seconds / max(len(instances), 1)),
         )
         outcome = solver.solve(instance.circuit, instance.coupling())
@@ -222,7 +290,7 @@ def run_router(per_point: int, gate_scale: float, sabre_trials: int,
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("experiment", nargs="?", choices=[
-        "e1", "fig4a", "fig4b", "fig4c", "fig4d", "headline",
+        "e1", "exact", "fig4a", "fig4b", "fig4c", "fig4d", "headline",
         "case-study", "decay-ablation", "router",
     ])
     parser.add_argument("--list-tools", action="store_true",
@@ -249,7 +317,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "fig4a..fig4d/headline/router only pay for "
                              "cache misses (see repro.service)")
     parser.add_argument("--exact-budget", type=float, default=120.0,
-                        help="e1: total seconds for SAT cross-checks")
+                        help="e1/exact: total seconds for SAT solving")
+    parser.add_argument("--backend", default="python", metavar="NAME",
+                        help="SAT backend for e1/exact: python (default), "
+                             "auto, pysat, kissat, cadical, minisat")
+    parser.add_argument("--max-swaps", type=int, default=6,
+                        help="exact: largest SWAP bound to try per instance")
     args = parser.parse_args(argv)
 
     if args.list_tools:
@@ -280,7 +353,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..service import ResultCache
         cache = ResultCache(directory=args.cache_dir)
     if args.experiment == "e1":
-        run_e1(args.per_point, args.exact_budget)
+        run_e1(args.per_point, args.exact_budget, backend=args.backend)
+    elif args.experiment == "exact":
+        run_exact(args.per_point, args.exact_budget, backend=args.backend,
+                  workers=args.workers, max_swaps=args.max_swaps)
     elif args.experiment in _FIG4_ARCH:
         run_fig4(_FIG4_ARCH[args.experiment], args.per_point, args.gate_scale,
                  args.sabre_trials, args.seed, workers=args.workers,

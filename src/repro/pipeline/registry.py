@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..qls.astar import AStarMapper
 from ..qls.base import QLSError
 from ..qls.bmt import BmtMapper
+from ..qls.exact import ExactSolver
 from ..qls.lightsabre import LightSabre
 from ..qls.mlqls import MlQls
 from ..qls.sabre import SabreLayout, SabreParameters
@@ -247,6 +248,19 @@ register_pass("mlqls", _make_mlqls, kind="routing",
 register_pass("bmt", _make_bmt, kind="routing",
               description="subgraph-embedding segments + token swapping")
 
+
+def _make_exact(max_swaps: int = 6, backend: str = "python",
+                workers: Optional[int] = None,
+                time_limit: Optional[float] = None) -> RoutingPass:
+    return RoutingPass(ExactSolver(max_swaps=max_swaps, backend=backend,
+                                   workers=workers, time_limit=time_limit))
+
+
+register_pass("exact", _make_exact, kind="routing",
+              description="SAT-exact SWAP-optimal synthesis (args: "
+                          "max_swaps, backend, workers, time_limit); "
+                          "only for small instances")
+
 register_pass("skeleton", SkeletonPass, kind="structure",
               description="split off single-qubit gates for skeleton routing")
 
@@ -282,6 +296,7 @@ register_pass("validate", _make_validate, kind="post",
 
 for _tool in ("sabre", "lightsabre", "tketlike", "astar", "mlqls", "bmt"):
     register_spec(_tool + "-tool", _tool)
+register_spec("exact-tool", "exact:max_swaps=4")
 register_spec("vf2-sabre", "vf2+sabre+reinsert")
 register_spec("greedy-tket", "greedy+tketlike")
 register_spec("trivial-astar", "trivial+astar")

@@ -1,9 +1,28 @@
-"""Pure-Python CDCL SAT solver and CNF tooling (Z3/PySAT stand-in)."""
+"""Pure-Python CDCL SAT solver and CNF tooling (Z3/PySAT stand-in).
+
+Beyond the always-available :class:`CdclSolver`, the package exposes a
+pluggable backend protocol (:mod:`repro.sat.backend` — external
+kissat/cadical/pysat engines when installed, auto-detected), a
+cube-and-conquer fan-out over the shared worker pool
+(:mod:`repro.sat.cube`), and a DIMACS CLI (``python -m repro.sat``) for
+comparing engines on identical formulas.
+"""
 
 from .types import Model, SolverResult
 from .solver import CdclSolver, solve_clauses
 from .cnf import CnfBuilder
 from .cardinality import at_least_k, at_most_k, exactly_k
+from .backend import (
+    AUTO_ORDER,
+    DimacsProcessBackend,
+    PysatBackend,
+    PythonBackend,
+    SatBackend,
+    SatSession,
+    available_backends,
+    get_backend,
+)
+from .cube import Cube, CubeOutcome, solve_cube_task, solve_cubes
 from . import dimacs
 
 __all__ = [
@@ -15,5 +34,17 @@ __all__ = [
     "at_least_k",
     "at_most_k",
     "exactly_k",
+    "AUTO_ORDER",
+    "SatBackend",
+    "SatSession",
+    "PythonBackend",
+    "PysatBackend",
+    "DimacsProcessBackend",
+    "available_backends",
+    "get_backend",
+    "Cube",
+    "CubeOutcome",
+    "solve_cubes",
+    "solve_cube_task",
     "dimacs",
 ]

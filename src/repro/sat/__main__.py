@@ -1,0 +1,137 @@
+"""DIMACS command line for the SAT subsystem: ``python -m repro.sat``.
+
+Two subcommands:
+
+* ``solve FILE`` — decide a DIMACS CNF file with any registered backend
+  (``--backend auto`` picks the fastest installed engine).  Output and
+  exit codes follow the SAT-competition convention: an ``s`` status line
+  (``SATISFIABLE`` / ``UNSATISFIABLE`` / ``UNKNOWN``), ``v`` model lines
+  for SAT, and exit code 10 / 20 / 0 respectively — so the repo's own
+  solver can stand in for kissat in scripts (including as the executable
+  behind :class:`repro.sat.backend.DimacsProcessBackend`).
+* ``dump FILE`` — parse and re-serialize a DIMACS file through
+  :mod:`repro.sat.dimacs`, normalizing whitespace/comments; a cheap
+  round-trip check for generated formulas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import dimacs
+from .backend import available_backends, get_backend
+from .types import SolverResult
+
+#: SAT-competition exit codes.
+EXIT_SAT = 10
+EXIT_UNSAT = 20
+EXIT_UNKNOWN = 0
+
+
+def _model_lines(true_vars: Sequence[int], num_vars: int,
+                 width: int = 20) -> List[str]:
+    """``v`` lines listing every variable with sign, 0-terminated."""
+    truths = set(true_vars)
+    literals = [v if v in truths else -v for v in range(1, num_vars + 1)]
+    literals.append(0)
+    lines = []
+    for start in range(0, len(literals), width):
+        chunk = literals[start:start + width]
+        lines.append("v " + " ".join(str(l) for l in chunk))
+    return lines
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    try:
+        num_vars, clauses = dimacs.load(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        backend = get_backend(args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    session = backend.session(num_vars, clauses)
+    result = session.solve(args.assume or (),
+                           conflict_limit=args.conflict_limit,
+                           time_limit=args.time_limit)
+    print(f"c backend {backend.name}")
+    for key, value in sorted(session.stats().items()):
+        print(f"c {key} {value}")
+    if result is SolverResult.SAT:
+        print("s SATISFIABLE")
+        model = session.model()
+        true_vars = model.true_variables() if model is not None else []
+        for line in _model_lines(true_vars, num_vars):
+            print(line)
+        return EXIT_SAT
+    if result is SolverResult.UNSAT:
+        print("s UNSATISFIABLE")
+        return EXIT_UNSAT
+    print("s UNKNOWN")
+    return EXIT_UNKNOWN
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    try:
+        num_vars, clauses = dimacs.load(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = dimacs.dumps(num_vars, clauses, comment=args.comment)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_backends(_args: argparse.Namespace) -> int:
+    for name, backend in sorted(available_backends().items()):
+        kind = "incremental" if backend.incremental else "one-shot"
+        print(f"{name:<10} {kind}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sat",
+        description="Solve or normalize DIMACS CNF files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="decide a DIMACS CNF file")
+    solve.add_argument("file", help="path to a DIMACS .cnf file")
+    solve.add_argument("--backend", default="auto",
+                       help="SAT backend name (default: auto)")
+    solve.add_argument("--assume", type=int, action="append", metavar="LIT",
+                       help="assumption literal (repeatable)")
+    solve.add_argument("--conflict-limit", type=int, default=None)
+    solve.add_argument("--time-limit", type=float, default=None)
+    solve.set_defaults(func=cmd_solve)
+
+    dump = sub.add_parser("dump", help="parse + re-serialize a DIMACS file")
+    dump.add_argument("file", help="path to a DIMACS .cnf file")
+    dump.add_argument("-o", "--output", default=None,
+                      help="write here instead of stdout")
+    dump.add_argument("--comment", default="",
+                      help="comment line for the emitted header")
+    dump.set_defaults(func=cmd_dump)
+
+    backends = sub.add_parser("backends",
+                              help="list SAT backends usable on this host")
+    backends.set_defaults(func=cmd_backends)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,3 +115,12 @@ class CnfBuilder:
 
     def stats(self) -> Dict[str, int]:
         return {"vars": self.num_vars, "clauses": len(self.clauses)}
+
+    def to_dimacs(self, comment: str = "") -> str:
+        """Serialize the accumulated formula as DIMACS CNF text.
+
+        The bridge to external solver backends and the cube-and-conquer
+        fan-out: one serialization is shared by every cube task.
+        """
+        from . import dimacs
+        return dimacs.dumps(self.num_vars, self.clauses, comment)

@@ -3,22 +3,34 @@
 This is the exact-solver substrate standing in for Z3/PySAT (unavailable
 offline).  It implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with *blocker literals* — each watch
+  entry carries a cached clause literal checked before the clause itself is
+  touched, the classic MiniSat trick that skips most clause visits;
 * first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
-* exponential VSIDS activity with phase saving,
-* Luby-sequence restarts,
+  backjumping;
+* exponential VSIDS activity (heap-backed decision queue with lazy
+  staleness, not a linear scan) with phase saving;
+* Luby-sequence restarts;
 * learned-clause deletion by activity (simple geometric reduce schedule).
 
-It is intentionally conventional — the value is having a correct, auditable
-exact engine for the QUBIKOS optimality study, not novelty.  Performance is
-adequate for the transition-based QLS encodings used in this project
-(thousands of variables, tens of thousands of clauses).
+The propagation inner loop is deliberately flat: watch lists are packed
+``[clause_index, blocker, clause_index, blocker, ...]`` integer arrays
+edited in place with a read/write cursor pair, and the loop binds every
+hot attribute to a local once.  In pure Python those choices are worth
+roughly 2x on propagation-bound instances (tracked in ``BENCH_sat.json``
+via ``benchmarks/bench_sat.py``).
+
+The solver is *incremental*: clauses may be added between ``solve`` calls,
+and ``solve(assumptions=...)`` decides satisfiability under temporary
+assumption literals while keeping everything learned so far — the engine
+behind the exact QLS tool's single-encoding ``k`` sweep.  ``conflict_limit``
+and ``time_limit`` are per-call budgets.
 """
 
 from __future__ import annotations
 
 import time
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .types import (
@@ -43,10 +55,10 @@ class CdclSolver:
         self._clauses: List[List[int]] = []
         self._learned_flags: List[bool] = []
         self._clause_activity: List[float] = []
-        # Watches: packed literal -> clause indices watching it.
+        # Watches: packed literal -> flat [clause_index, blocker, ...] pairs.
         self._watches: List[List[int]] = [[], []]
         # Assignment trail.
-        self._assign: List[int] = [_UNASSIGNED, _UNASSIGNED]  # per packed pos lit? no: per var
+        self._assign: List[int] = [_UNASSIGNED, _UNASSIGNED]
         self._level: List[int] = [0, 0]
         self._reason: List[int] = [-1, -1]
         self._trail: List[int] = []  # packed literals in assignment order
@@ -57,11 +69,12 @@ class CdclSolver:
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._phase: List[bool] = [False, False]
+        self._heap: List[Tuple[float, int]] = []  # (-activity, var), lazy
         # Clause activity.
         self._cla_inc = 1.0
         self._cla_decay = 0.999
         self._empty_clause = False
-        # Stats.
+        # Stats (cumulative across solve calls).
         self.stats = {
             "conflicts": 0,
             "decisions": 0,
@@ -109,8 +122,9 @@ class CdclSolver:
         self._clauses.append(packed)
         self._learned_flags.append(False)
         self._clause_activity.append(0.0)
-        self._watches[packed[0]].append(index)
-        self._watches[packed[1]].append(index)
+        # Each watch carries the *other* watched literal as its blocker.
+        self._watches[packed[0]].extend((index, packed[1]))
+        self._watches[packed[1]].extend((index, packed[0]))
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
         for clause in clauses:
@@ -143,59 +157,114 @@ class CdclSolver:
 
     def _propagate(self) -> int:
         """Unit propagation; returns conflicting clause index or -1."""
-        while self._qhead < len(self._trail):
-            packed = self._trail[self._qhead]
-            self._qhead += 1
-            false_lit = negate_internal(packed)
-            watch_list = self._watches[false_lit]
-            new_list: List[int] = []
-            conflict = -1
+        trail = self._trail
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        clauses = self._clauses
+        watches = self._watches
+        props = 0
+        qhead = self._qhead
+        while qhead < len(trail):
+            packed = trail[qhead]
+            qhead += 1
+            false_lit = packed ^ 1
+            wl = watches[false_lit]
             i = 0
-            n = len(watch_list)
+            j = 0
+            n = len(wl)
+            conflict = -1
             while i < n:
-                ci = watch_list[i]
-                i += 1
-                clause = self._clauses[ci]
+                ci = wl[i]
+                blocker = wl[i + 1]
+                i += 2
+                bv = assign[blocker >> 1]
+                if bv >= 0 and bv ^ (blocker & 1):
+                    # Blocker satisfied: keep the watch, skip the clause.
+                    wl[j] = ci
+                    wl[j + 1] = blocker
+                    j += 2
+                    continue
+                clause = clauses[ci]
                 # Normalize: false literal at position 1.
                 if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
                 first = clause[0]
-                if self._lit_value(first) == 1:
-                    new_list.append(ci)
+                fv = assign[first >> 1]
+                if fv >= 0 and fv ^ (first & 1):
+                    # Satisfied by the other watch; cache it as the blocker.
+                    wl[j] = ci
+                    wl[j + 1] = first
+                    j += 2
                     continue
-                # Look for a replacement watch.
+                # Look for a replacement watch (any non-false literal).
                 found = False
                 for k in range(2, len(clause)):
-                    if self._lit_value(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches[clause[1]].append(ci)
+                    other = clause[k]
+                    ov = assign[other >> 1]
+                    if ov < 0 or ov ^ (other & 1):
+                        clause[1] = other
+                        clause[k] = false_lit
+                        watches[other].extend((ci, first))
                         found = True
                         break
                 if found:
                     continue
-                new_list.append(ci)
-                if self._lit_value(first) == 0:
-                    # Conflict: copy the remaining watches back and stop.
+                wl[j] = ci
+                wl[j + 1] = first
+                j += 2
+                if fv >= 0:
+                    # first is false too: conflict.  Copy the rest back.
                     while i < n:
-                        new_list.append(watch_list[i])
-                        i += 1
+                        wl[j] = wl[i]
+                        wl[j + 1] = wl[i + 1]
+                        i += 2
+                        j += 2
                     conflict = ci
-                else:
-                    self.stats["propagations"] += 1
-                    self._enqueue(first, ci)
-            self._watches[false_lit] = new_list
+                    break
+                # Unit: enqueue first (inlined _enqueue).
+                props += 1
+                var = first >> 1
+                assign[var] = 1 - (first & 1)
+                level[var] = len(self._trail_lim)
+                reason[var] = ci
+                phase[var] = (first & 1) == 0
+                trail.append(first)
+            del wl[j:]
             if conflict >= 0:
+                self._qhead = qhead
+                self.stats["propagations"] += props
                 return conflict
+        self._qhead = qhead
+        self.stats["propagations"] += props
         return -1
 
     # -- conflict analysis -----------------------------------------------
 
     def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self.num_vars + 1):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
+        activity = self._activity[var] + self._var_inc
+        self._activity[var] = activity
+        if activity > 1e100:
+            self._rescale_activity()
+        elif self._assign[var] == _UNASSIGNED:
+            heappush(self._heap, (-activity, var))
+
+    def _rescale_activity(self) -> None:
+        for v in range(1, self.num_vars + 1):
+            self._activity[v] *= 1e-100
+        self._var_inc *= 1e-100
+        self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        assign = self._assign
+        activity = self._activity
+        self._heap = [
+            (-activity[v], v) for v in range(1, self.num_vars + 1)
+            if assign[v] == _UNASSIGNED
+        ]
+        heapify(self._heap)
 
     def _bump_clause(self, ci: int) -> None:
         self._clause_activity[ci] += self._cla_inc
@@ -275,11 +344,14 @@ class CdclSolver:
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
             return
+        heap = self._heap
+        activity = self._activity
         limit = self._trail_lim[level]
         for packed in reversed(self._trail[limit:]):
             var = packed >> 1
             self._assign[var] = _UNASSIGNED
             self._reason[var] = -1
+            heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -293,20 +365,28 @@ class CdclSolver:
         self._clauses.append(learned)
         self._learned_flags.append(True)
         self._clause_activity.append(self._cla_inc)
-        self._watches[learned[0]].append(index)
-        self._watches[learned[1]].append(index)
+        self._watches[learned[0]].extend((index, learned[1]))
+        self._watches[learned[1]].extend((index, learned[0]))
         self._enqueue(learned[0], index)
 
     # -- decisions ------------------------------------------------------------
 
     def _pick_branch_var(self) -> int:
-        best = 0
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
-                best = var
-                best_act = self._activity[var]
-        return best
+        """Highest-activity unassigned variable (lazy heap).
+
+        Stale entries — the variable was assigned, or its activity moved
+        since the entry was pushed (a fresher entry exists in that case) —
+        are discarded on pop.  Ties break toward the lowest variable index,
+        matching the linear scan this replaced.
+        """
+        heap = self._heap
+        assign = self._assign
+        activity = self._activity
+        while heap:
+            neg_act, var = heappop(heap)
+            if assign[var] == _UNASSIGNED and -neg_act == activity[var]:
+                return var
+        return 0
 
     # -- learned clause management -----------------------------------------
 
@@ -339,9 +419,13 @@ class CdclSolver:
         self._learned_flags = new_flags
         self._clause_activity = new_act
         for lit in range(len(self._watches)):
-            self._watches[lit] = [
-                remap[ci] for ci in self._watches[lit] if ci in remap
-            ]
+            wl = self._watches[lit]
+            kept: List[int] = []
+            for p in range(0, len(wl), 2):
+                ci = remap.get(wl[p])
+                if ci is not None:
+                    kept.extend((ci, wl[p + 1]))
+            self._watches[lit] = kept
         for var in range(1, self.num_vars + 1):
             r = self._reason[var]
             self._reason[var] = remap.get(r, -1) if r >= 0 else -1
@@ -362,10 +446,18 @@ class CdclSolver:
     def solve(self, assumptions: Sequence[int] = (),
               conflict_limit: Optional[int] = None,
               time_limit: Optional[float] = None) -> SolverResult:
-        """Decide satisfiability under optional assumptions and budgets."""
+        """Decide satisfiability under optional assumptions and budgets.
+
+        Both budgets are *per call*: ``conflict_limit`` counts conflicts in
+        this call only (``self.stats`` stays cumulative), so an incremental
+        caller gets a fresh budget each invocation.
+        """
         if self._empty_clause:
             return SolverResult.UNSAT
         self._backtrack(0)
+        # Re-propagate the whole root trail: clauses added since the last
+        # call may already be unit or falsified under level-0 assignments.
+        self._qhead = 0
         # Root-level units from unit input clauses.
         for ci, clause in enumerate(self._clauses):
             if len(clause) == 1 and not self._learned_flags[ci]:
@@ -376,15 +468,17 @@ class CdclSolver:
                     self._enqueue(clause[0], -1)
         if self._propagate() >= 0:
             return SolverResult.UNSAT
-        assumption_packed = [lit_to_internal(l) for l in assumptions]
         for l in assumptions:
             self._ensure_vars(abs(l))
+        assumption_packed = [lit_to_internal(l) for l in assumptions]
+        self._rebuild_heap()
 
         deadline = time.monotonic() + time_limit if time_limit else None
+        conflicts_at_start = self.stats["conflicts"]
         restart_count = 1
         budget = 100 * self._luby(restart_count)
         conflicts_here = 0
-        reduce_at = 2000
+        reduce_at = self.stats["learned"] + 2000
 
         while True:
             conflict = self._propagate()
@@ -398,7 +492,9 @@ class CdclSolver:
                 self._record_learned(learned)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
-                if conflict_limit is not None and self.stats["conflicts"] >= conflict_limit:
+                if conflict_limit is not None and \
+                        self.stats["conflicts"] - conflicts_at_start \
+                        >= conflict_limit:
                     return SolverResult.UNKNOWN
                 if self.stats["learned"] >= reduce_at:
                     self._reduce_db()

@@ -1,0 +1,173 @@
+"""Backend protocol tests: python session semantics, registry resolution,
+and the subprocess DIMACS backend driven by a stub executable."""
+
+import os
+import stat
+import sys
+import textwrap
+
+import pytest
+
+from repro.sat import (
+    AUTO_ORDER,
+    DimacsProcessBackend,
+    PythonBackend,
+    SolverResult,
+    available_backends,
+    get_backend,
+)
+
+
+class TestPythonSession:
+    def test_sat_and_model(self):
+        session = PythonBackend().session(3, [[1, 2], [-1, 3]])
+        assert session.solve() is SolverResult.SAT
+        model = session.model()
+        assert model is not None
+        assert any(model.value(l) for l in (1, 2))
+        assert not model.value(1) or model.value(3)
+
+    def test_unsat(self):
+        session = PythonBackend().session(1, [[1], [-1]])
+        assert session.solve() is SolverResult.UNSAT
+        assert session.model() is None
+
+    def test_assumptions_flip_answer(self):
+        session = PythonBackend().session(2, [[1, 2]])
+        assert session.solve([-1]) is SolverResult.SAT
+        assert session.model().value(2)
+        assert session.solve([-1, -2]) is SolverResult.UNSAT
+        # The session stays usable after an assumption-UNSAT answer.
+        assert session.solve([1]) is SolverResult.SAT
+
+    def test_incremental_add_clause(self):
+        session = PythonBackend().session(2, [[1, 2]])
+        assert session.solve() is SolverResult.SAT
+        session.add_clause([-1])
+        session.add_clause([-2])
+        assert session.solve() is SolverResult.UNSAT
+
+    def test_add_clause_falsified_at_root_is_seen(self):
+        # Regression: a clause added after a solve whose literals are all
+        # false under root-level units must still trigger UNSAT on the
+        # next call (the solver re-propagates the root trail).
+        session = PythonBackend().session(2, [[1], [2]])
+        assert session.solve() is SolverResult.SAT
+        session.add_clause([-1, -2])
+        assert session.solve() is SolverResult.UNSAT
+
+    def test_conflict_limit_per_call(self):
+        # Pigeonhole 4-into-3 is UNSAT but needs far more than one
+        # conflict; a tiny per-call budget must return UNKNOWN.
+        clauses = []
+        holes, pigeons = 3, 4
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        session = PythonBackend().session(pigeons * holes, clauses)
+        assert session.solve(conflict_limit=1) is SolverResult.UNKNOWN
+        # A fresh (full) budget on the same session still closes it.
+        assert session.solve() is SolverResult.UNSAT
+
+    def test_stats_keys(self):
+        session = PythonBackend().session(2, [[1, 2]])
+        session.solve()
+        stats = session.stats()
+        for key in ("conflicts", "decisions", "propagations"):
+            assert key in stats
+
+
+class TestRegistry:
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+        assert get_backend("python").name == "python"
+
+    def test_auto_resolves(self):
+        backend = get_backend("auto")
+        assert backend.name in AUTO_ORDER
+        assert backend.available()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown SAT backend"):
+            get_backend("zchaff")
+
+    def test_unavailable_named_backend_raises(self):
+        missing = [name for name in ("kissat", "cadical", "minisat", "pysat")
+                   if name not in available_backends()]
+        if not missing:
+            pytest.skip("every external backend is installed here")
+        with pytest.raises(ValueError, match="not available"):
+            get_backend(missing[0])
+
+    def test_solve_once_convenience(self):
+        result, model, stats = get_backend("python").solve_once(2, [[1], [2]])
+        assert result is SolverResult.SAT
+        assert model.value(1) and model.value(2)
+        assert stats["conflicts"] == 0
+
+
+def _write_stub_solver(directory, behaviour: str) -> str:
+    """A fake DIMACS solver executable with scripted output/exit code."""
+    path = os.path.join(directory, f"stubsat-{behaviour}")
+    bodies = {
+        "sat": ['print("s SATISFIABLE")', 'print("v 1 -2 3 0")',
+                'sys.exit(10)'],
+        "unsat": ['print("s UNSATISFIABLE")', 'sys.exit(20)'],
+        "crash": ['sys.exit(1)'],
+    }
+    script = "\n".join(
+        [f"#!{sys.executable}", "import sys"] + bodies[behaviour]
+    ) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(script)
+    os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR)
+    return path
+
+
+class TestDimacsProcessBackend:
+    def test_sat_exit_code_and_model(self, tmp_path):
+        exe = _write_stub_solver(tmp_path, "sat")
+        backend = DimacsProcessBackend("stub", executable=exe)
+        assert backend.available()
+        session = backend.session(3, [[1, 2]])
+        assert session.solve() is SolverResult.SAT
+        model = session.model()
+        assert model.value(1) and not model.value(2) and model.value(3)
+
+    def test_unsat_exit_code(self, tmp_path):
+        exe = _write_stub_solver(tmp_path, "unsat")
+        session = DimacsProcessBackend("stub", executable=exe).session(1, [[1]])
+        assert session.solve() is SolverResult.UNSAT
+        assert session.model() is None
+
+    def test_unexpected_exit_is_unknown(self, tmp_path):
+        exe = _write_stub_solver(tmp_path, "crash")
+        session = DimacsProcessBackend("stub", executable=exe).session(1, [[1]])
+        assert session.solve() is SolverResult.UNKNOWN
+
+    def test_missing_executable_unavailable(self):
+        backend = DimacsProcessBackend("stub", executable="/nonexistent/sat")
+        assert not backend.available()
+
+    def test_own_cli_as_external_solver(self, tmp_path):
+        # The repo's DIMACS CLI speaks the same protocol, so it can serve
+        # as the executable behind the subprocess backend: a full
+        # round-trip through dump/solve/exit-code conventions.
+        exe = tmp_path / "reprosat"
+        root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        exe.write_text(textwrap.dedent(f"""\
+            #!/bin/sh
+            PYTHONPATH={os.path.abspath(root)} exec {sys.executable} \
+-m repro.sat solve "$1"
+        """))
+        exe.chmod(exe.stat().st_mode | stat.S_IXUSR)
+        backend = DimacsProcessBackend("reprosat", executable=str(exe))
+        session = backend.session(2, [[1, 2], [-1]])
+        assert session.solve() is SolverResult.SAT
+        assert session.model().value(2)
+        session.add_clause([-2])
+        assert session.solve() is SolverResult.UNSAT

@@ -1,0 +1,104 @@
+"""Cube-and-conquer tests: deterministic merge, UNSAT/UNKNOWN semantics,
+pool-vs-serial agreement, and parent-side fallback after pool loss."""
+
+import pytest
+
+from repro.parallel import WorkerPool
+from repro.sat import SolverResult, solve_cubes
+
+# x1 | x2, with the exhaustive split on x1.
+SAT_CLAUSES = [[1, 2]]
+SAT_CUBES = [(1,), (-1,)]
+
+# (x1|x2) & ¬x1 & ¬x2 — UNSAT under every cube.
+UNSAT_CLAUSES = [[1, 2], [-1], [-2]]
+
+
+def pigeonhole(pigeons, holes):
+    clauses = []
+    var = lambda p, h: p * holes + h + 1  # noqa: E731
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestSerialMerge:
+    def test_first_sat_in_cube_order_wins(self):
+        # Both cubes are SAT; the merge must pick cube 0's model (x1
+        # true), not whichever finished first.
+        outcome = solve_cubes(2, SAT_CLAUSES, SAT_CUBES)
+        assert outcome.result is SolverResult.SAT
+        assert outcome.decided_by == 0
+        assert outcome.model.value(1)
+
+    def test_later_cube_decides_when_earlier_unsat(self):
+        outcome = solve_cubes(2, [[1, 2], [-1]], SAT_CUBES)
+        assert outcome.result is SolverResult.SAT
+        assert outcome.decided_by == 1
+        assert not outcome.model.value(1)
+        assert outcome.model.value(2)
+
+    def test_all_unsat_merges_to_unsat(self):
+        outcome = solve_cubes(2, UNSAT_CLAUSES, SAT_CUBES)
+        assert outcome.result is SolverResult.UNSAT
+        assert outcome.model is None
+        assert outcome.decided_by is None
+        assert len(outcome.cube_stats) == 2
+
+    def test_base_assumptions_conjoined(self):
+        outcome = solve_cubes(2, SAT_CLAUSES, SAT_CUBES,
+                              base_assumptions=[-1, -2])
+        assert outcome.result is SolverResult.UNSAT
+
+    def test_unknown_cube_degrades_unsat_to_unknown(self):
+        num_vars, clauses = pigeonhole(5, 4)
+        outcome = solve_cubes(num_vars, clauses, [(1,), (-1,)],
+                              conflict_limit=1)
+        assert outcome.result is SolverResult.UNKNOWN
+
+    def test_sat_beats_unknown(self):
+        # Cube 0 exhausts its budget; cube 1 is trivially SAT.  The merge
+        # must still answer SAT.
+        num_vars, clauses = pigeonhole(5, 4)
+        free = num_vars + 1
+        cubes = [(1,), (free,)]
+        outcome = solve_cubes(free, clauses + [[free, -free]], cubes,
+                              conflict_limit=1)
+        assert outcome.result in (SolverResult.SAT, SolverResult.UNKNOWN)
+
+    def test_empty_cube_set_rejected(self):
+        with pytest.raises(ValueError):
+            solve_cubes(2, SAT_CLAUSES, [])
+
+    def test_cube_stats_tagged(self):
+        outcome = solve_cubes(2, UNSAT_CLAUSES, SAT_CUBES)
+        assert [s["cube"] for s in outcome.cube_stats] == [0, 1]
+        assert all(s["result"] == "unsat" for s in outcome.cube_stats)
+
+
+class TestPoolMerge:
+    def test_pool_agrees_with_serial(self):
+        serial = solve_cubes(2, SAT_CLAUSES, SAT_CUBES)
+        with WorkerPool(2) as pool:
+            pooled = solve_cubes(2, SAT_CLAUSES, SAT_CUBES, pool=pool)
+        assert pooled.result is serial.result
+        assert pooled.decided_by == serial.decided_by
+        assert pooled.model.value(1) == serial.model.value(1)
+
+    def test_pool_unsat(self):
+        with WorkerPool(2) as pool:
+            outcome = solve_cubes(2, UNSAT_CLAUSES, SAT_CUBES, pool=pool)
+        assert outcome.result is SolverResult.UNSAT
+        assert outcome.pool_fallbacks == 0
+
+    def test_dead_pool_falls_back_to_parent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        outcome = solve_cubes(2, SAT_CLAUSES, SAT_CUBES, pool=pool)
+        assert outcome.result is SolverResult.SAT
+        assert outcome.decided_by == 0
+        assert outcome.pool_fallbacks >= 1

@@ -1,0 +1,96 @@
+"""``python -m repro.sat`` CLI tests: solve/dump subcommands, exit codes,
+and DIMACS round-tripping."""
+
+import pytest
+
+from repro.sat import dimacs
+from repro.sat.__main__ import EXIT_SAT, EXIT_UNKNOWN, EXIT_UNSAT, main
+
+
+@pytest.fixture
+def sat_file(tmp_path):
+    path = tmp_path / "sat.cnf"
+    dimacs.dump(3, [[1, 2], [-1, 3]], path)
+    return str(path)
+
+
+@pytest.fixture
+def unsat_file(tmp_path):
+    path = tmp_path / "unsat.cnf"
+    dimacs.dump(1, [[1], [-1]], path)
+    return str(path)
+
+
+class TestSolve:
+    def test_sat_output_and_exit_code(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--backend", "python"]) == EXIT_SAT
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        v_lines = [l for l in out.splitlines() if l.startswith("v ")]
+        assert v_lines, "SAT answers must print a v model line"
+        literals = [int(t) for line in v_lines for t in line[1:].split()]
+        assert literals[-1] == 0
+        # The printed model satisfies the formula.
+        truths = {abs(l) for l in literals if l > 0}
+        num_vars, clauses = dimacs.load(sat_file)
+        for clause in clauses:
+            assert any((abs(l) in truths) == (l > 0) for l in clause)
+
+    def test_unsat_exit_code(self, unsat_file, capsys):
+        assert main(["solve", unsat_file]) == EXIT_UNSAT
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_assumptions_flip_answer(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--assume", "1",
+                     "--assume", "-3"]) == EXIT_UNSAT
+        capsys.readouterr()
+
+    def test_conflict_limit_unknown(self, tmp_path, capsys):
+        # Pigeonhole 5-into-4 with a one-conflict budget: UNKNOWN.
+        holes, pigeons = 4, 5
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        path = tmp_path / "php.cnf"
+        dimacs.dump(pigeons * holes, clauses, path)
+        assert main(["solve", str(path),
+                     "--conflict-limit", "1"]) == EXIT_UNKNOWN
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path / "nope.cnf")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_backend_errors(self, sat_file, capsys):
+        assert main(["solve", sat_file, "--backend", "zchaff"]) == 1
+        assert "unknown SAT backend" in capsys.readouterr().err
+
+
+class TestDump:
+    def test_round_trip_normalizes(self, tmp_path, capsys):
+        messy = tmp_path / "messy.cnf"
+        messy.write_text(
+            "c a comment\n\np cnf 3 2\n  1   2 0\nc mid comment\n-1 3 0\n"
+        )
+        assert main(["dump", str(messy)]) == 0
+        text = capsys.readouterr().out
+        assert dimacs.loads(text) == (3, [[1, 2], [-1, 3]])
+        # Dumping the normalized text again is a fixed point.
+        again = tmp_path / "again.cnf"
+        again.write_text(text)
+        assert main(["dump", str(again)]) == 0
+        assert capsys.readouterr().out == text
+
+    def test_output_file(self, sat_file, tmp_path):
+        out = tmp_path / "out.cnf"
+        assert main(["dump", sat_file, "-o", str(out)]) == 0
+        assert dimacs.load(out) == dimacs.load(sat_file)
+
+
+class TestBackends:
+    def test_lists_python(self, capsys):
+        assert main(["backends"]) == 0
+        assert "python" in capsys.readouterr().out

@@ -196,3 +196,73 @@ class TestStats:
         solver.solve()
         assert solver.stats["decisions"] >= 0
         assert solver.stats["propagations"] >= 0
+
+
+def _pigeonhole_clauses(pigeons, holes):
+    clauses = []
+    def var(p, h):
+        return p * holes + h + 1
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestIncrementalUse:
+    """The contracts the incremental k-sweep relies on."""
+
+    def test_conflict_budget_is_per_call(self):
+        # The budget must reset every call: after an UNKNOWN, the same
+        # limit makes progress again instead of failing immediately.
+        solver = CdclSolver()
+        solver.add_clauses(_pigeonhole_clauses(6, 5))
+        assert solver.solve(conflict_limit=1) is SolverResult.UNKNOWN
+        before = solver.stats["conflicts"]
+        assert solver.solve(conflict_limit=1) is SolverResult.UNKNOWN
+        assert solver.stats["conflicts"] > before
+
+    def test_assumption_budget_exhaustion_then_close(self):
+        solver = CdclSolver()
+        solver.add_clauses(_pigeonhole_clauses(6, 5))
+        free = 31  # a variable outside the pigeonhole encoding
+        solver.add_clause([free, -free])
+        assert solver.solve(assumptions=[free],
+                            conflict_limit=1) is SolverResult.UNKNOWN
+        # Unlimited budget under the same assumptions closes the proof.
+        assert solver.solve(assumptions=[free]) is SolverResult.UNSAT
+        # And the instance stays decidable without assumptions.
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_learned_clauses_survive_calls(self):
+        solver = CdclSolver()
+        solver.add_clauses(_pigeonhole_clauses(5, 4))
+        assert solver.solve() is SolverResult.UNSAT
+        learned_after_first = solver.stats["learned"]
+        assert learned_after_first > 0
+        # Re-deciding the same formula reuses the learned database; the
+        # second proof must be far cheaper than the first.
+        conflicts_before = solver.stats["conflicts"]
+        assert solver.solve() is SolverResult.UNSAT
+        assert solver.stats["conflicts"] - conflicts_before <= \
+            conflicts_before
+
+    def test_clause_added_after_solve_is_respected(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is SolverResult.SAT
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_root_falsified_clause_added_between_solves(self):
+        # Regression for the incremental encoder: units fixed at root
+        # level plus a later clause contradicting them must UNSAT.
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([2])
+        assert solver.solve() is SolverResult.SAT
+        solver.add_clause([-1, -2])
+        assert solver.solve() is SolverResult.UNSAT
