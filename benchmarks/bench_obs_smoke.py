@@ -1,0 +1,160 @@
+"""Observability smoke check (run with ``--obs-smoke``).
+
+Boots the HTTP server with tracing and metrics fully armed, drives a
+cold job + warm sync batch through a :class:`ServiceClient` carrying an
+``X-Client-Id``, then asserts the telemetry is real — recording the
+figures in ``BENCH_obs.json`` at the repo root::
+
+    pytest benchmarks --obs-smoke
+
+Checks:
+
+* ``GET /v1/metrics`` returns valid Prometheus text with non-zero cache
+  hit/miss events, job transitions, and per-endpoint request latency;
+* ``/v1/healthz`` carries the new rollups: per-job aggregates,
+  per-client request counts, journal counters;
+* the JSONL trace reconstructs into a span tree containing the
+  ``http.request`` → ``service.submit_many`` → ``pipeline.run`` chain,
+  and ``render_summary`` produces a critical path.
+"""
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.arch import get_architecture
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+from repro.qubikos import generate
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    ResultCache,
+    ServiceClient,
+    ServiceServer,
+)
+
+from conftest import print_banner
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+SPECS = ("sabre", "tketlike", "lightsabre:trials=2")
+
+
+def _smoke_requests():
+    device = get_architecture("aspen4")
+    instances = [
+        generate(device, num_swaps=3, num_two_qubit_gates=60, seed=900 + k)
+        for k in range(3)
+    ]
+    return [
+        CompileRequest.from_instance(instance, spec=spec, seed=11)
+        for instance in instances
+        for spec in SPECS
+    ]
+
+
+def test_obs_smoke_metrics_and_trace(tmp_path):
+    requests = _smoke_requests()
+    trace_path = tmp_path / "trace.jsonl"
+    # A fresh registry so every asserted count is from this run alone.
+    previous = obs_metrics.active()
+    obs_metrics.enable(MetricsRegistry())
+    obs_trace.start_tracing(trace_path)
+    try:
+        service = CompilationService(
+            cache=ResultCache(directory=str(tmp_path / "cache"))
+        )
+        with ServiceServer(service) as server:
+            client = ServiceClient(server.url, client_id="obs-smoke")
+
+            # cold job (all misses) then warm sync batch (all hits)
+            job = client.submit_job(requests)
+            done = client.wait_job(job["id"], timeout=600)
+            assert done["status"] == "done", done
+            warm = client.submit_many(requests)
+            assert all(response.cache_hit for response in warm)
+
+            # -- /v1/metrics: valid Prometheus text, non-zero series ---------
+            scrape_start = time.perf_counter()
+            with urllib.request.urlopen(server.url + "/v1/metrics",
+                                        timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = response.read().decode("utf-8")
+            scrape_seconds = time.perf_counter() - scrape_start
+            parsed = parse_prometheus_text(text)  # raises on bad lines
+
+            cache_events = parsed["repro_cache_events_total"]
+            assert cache_events['{event="miss"}'] > 0
+            assert cache_events['{event="hit"}'] > 0
+            assert cache_events['{event="put"}'] > 0
+            transitions = parsed["repro_jobs_transitions_total"]
+            assert transitions['{status="done"}'] >= 1
+            assert any("endpoint=\"/v1/compile\"" in labels
+                       for labels in parsed["repro_http_requests_total"])
+            latency_counts = parsed["repro_http_request_seconds_count"]
+            assert sum(latency_counts.values()) > 0
+            service_requests = parsed["repro_service_requests_total"]
+            assert service_requests['{result="miss"}'] > 0
+            assert service_requests['{result="hit"}'] > 0
+            assert sum(
+                parsed["repro_router_swaps_total"].values()) > 0
+
+            # -- /v1/healthz rollups -----------------------------------------
+            health = client.healthz()
+            assert health["metrics"] is True
+            rollup = health["jobs_rollup"]
+            assert rollup["jobs"] >= 1
+            assert rollup["responses"]["misses"] > 0
+            assert "obs-smoke" in health["clients"]
+            assert health["pool_fallbacks"] == 0
+
+            metric_series = sum(len(series) for series in parsed.values())
+    finally:
+        obs_trace.stop_tracing()
+        if previous is not None:
+            obs_metrics.enable(previous)
+        else:
+            obs_metrics.disable()
+
+    # -- trace reconstructs into a span tree with the serving chain ---------
+    records = obs_trace.read_trace(trace_path)
+    assert records, "tracing armed but no spans written"
+    names = {record["name"] for record in records}
+    assert {"http.request", "service.submit_many",
+            "pipeline.run", "pipeline.pass"} <= names
+    roots = obs_trace.build_tree(records)
+    assert roots
+    by_id = {record["span"]: record for record in records}
+    submit_spans = [r for r in records if r["name"] == "service.submit_many"]
+    assert any(r["parent"] in by_id
+               and by_id[r["parent"]]["name"] in ("http.request",
+                                                  "job.execute")
+               for r in submit_spans)
+    summary = obs_trace.render_summary(records)
+    assert "critical path:" in summary
+
+    payload = {
+        "suite": {
+            "requests": len(requests),
+            "specs": list(SPECS),
+            "device": "aspen4",
+        },
+        "obs": {
+            "trace_spans": len(records),
+            "trace_roots": len(roots),
+            "metric_series": metric_series,
+            "metrics_scrape_seconds": scrape_seconds,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print_banner("obs-smoke — armed serving run: metrics scrape + span tree")
+    print(f"  {len(records)} spans ({len(roots)} roots), "
+          f"{metric_series} metric series, "
+          f"scrape {scrape_seconds * 1000:.1f}ms")
+    print(f"  -> {OUTPUT}")

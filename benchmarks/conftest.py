@@ -52,6 +52,13 @@ def pytest_addoption(parser):
              "instance -> BENCH_sat.json); every heavy benchmark is "
              "skipped",
     )
+    parser.addoption(
+        "--obs-smoke", action="store_true", default=False,
+        help="run only the observability check (served batch with tracing "
+             "+ metrics armed: /v1/metrics parses, span tree "
+             "reconstructs -> BENCH_obs.json); every heavy benchmark is "
+             "skipped",
+    )
 
 
 #: Smoke gates: CLI flag -> test-name marker.  Each flag selects only the
@@ -64,6 +71,7 @@ SMOKE_GATES = {
     "--server-smoke": "server_smoke",
     "--chaos-smoke": "chaos_smoke",
     "--sat-smoke": "sat_smoke",
+    "--obs-smoke": "obs_smoke",
 }
 
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Merge every ``BENCH_*.json`` at the repo root into one table.
+
+Each smoke gate refreshes its own JSON artifact (BENCH_service.json,
+BENCH_server.json, BENCH_chaos.json, BENCH_sat.json, BENCH_obs.json,
+...).  This script flattens them all into a single benchmark trajectory
+table — one row per scalar metric — so a run's results can be eyeballed
+or diffed in one place::
+
+    python scripts/bench_report.py            # table on stdout
+    python scripts/bench_report.py --json     # machine-readable dump
+
+Rows are ``name | metric | value`` where *name* is the artifact stem
+(``BENCH_server`` -> ``server``) and *metric* is the dotted path to the
+leaf.  The header records the host core count since most figures are
+parallelism-sensitive.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def flatten(value, prefix=""):
+    """Yield ``(dotted_path, scalar)`` pairs from nested dicts/lists."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from flatten(value[key], f"{prefix}.{key}" if prefix
+                               else str(key))
+    elif isinstance(value, list):
+        if all(isinstance(item, str) for item in value):
+            yield prefix, ",".join(value)
+        else:
+            for index, item in enumerate(value):
+                yield from flatten(item, f"{prefix}[{index}]")
+    else:
+        yield prefix, value
+
+
+def format_value(value):
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def collect(root):
+    """Return ``[(name, metric, value), ...]`` from all BENCH_*.json."""
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        for metric, value in flatten(payload):
+            rows.append((name, metric, value))
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the merged rows as JSON instead of "
+                             "a table")
+    args = parser.parse_args(argv)
+
+    rows = collect(Path(args.root))
+    if not rows:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+
+    if args.json:
+        payload = {
+            "host_cores": os.cpu_count(),
+            "rows": [{"name": n, "metric": m, "value": v}
+                     for n, m, v in rows],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    name_width = max(len("name"), max(len(n) for n, _, _ in rows))
+    metric_width = max(len("metric"), max(len(m) for _, m, _ in rows))
+    print(f"benchmark report — {len(rows)} metrics, "
+          f"host cores: {os.cpu_count()}")
+    header = (f"{'name':<{name_width}}  {'metric':<{metric_width}}  value")
+    print(header)
+    print("-" * len(header))
+    for name, metric, value in rows:
+        print(f"{name:<{name_width}}  {metric:<{metric_width}}  "
+              f"{format_value(value)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,9 @@
 # refreshing BENCH_chaos.json), and the exact-SAT search contract —
 # incremental/cube sweeps matching the seed strategy's optima and lower
 # bounds with a measured speedup (--sat-smoke, refreshing
-# BENCH_sat.json).
+# BENCH_sat.json), and the observability contract — a served batch with
+# tracing + metrics armed whose /v1/metrics scrape parses and whose
+# span tree reconstructs (--obs-smoke, refreshing BENCH_obs.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,5 +33,5 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo
-echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke"
-python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke -q
+echo "== smoke gates: pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke --obs-smoke"
+python -m pytest benchmarks --perf-smoke --pipeline-smoke --service-smoke --server-smoke --chaos-smoke --sat-smoke --obs-smoke -q

@@ -323,7 +323,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "auto, pysat, kissat, cadical, minisat")
     parser.add_argument("--max-swaps", type=int, default=6,
                         help="exact: largest SWAP bound to try per instance")
+    parser.add_argument("--profile", action="store_true",
+                        help="arm repro.obs profiling: per-stage wall/CPU "
+                             "time and router call counts land in "
+                             "StageRecord.profile")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write JSONL trace spans to PATH (summarize "
+                             "with 'python -m repro.obs trace-summary')")
     args = parser.parse_args(argv)
+    if args.profile:
+        from ..obs import profile as obs_profile
+        obs_profile.enable()
+    if args.trace:
+        from ..obs import trace as obs_trace
+        obs_trace.start_tracing(args.trace)
 
     if args.list_tools:
         print_tool_list()
@@ -372,6 +385,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.experiment == "router":
         run_router(args.per_point, args.gate_scale, args.sabre_trials,
                    args.seed, workers=args.workers, tools=tools, cache=cache)
+    if args.trace:
+        from ..obs import trace as obs_trace
+        writer = obs_trace.stop_tracing()
+        if writer is not None:
+            print(f"trace: {writer.spans_written} spans -> {writer.path}")
     return 0
 
 

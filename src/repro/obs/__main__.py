@@ -1,0 +1,48 @@
+"""CLI for the observability subsystem.
+
+    python -m repro.obs trace-summary TRACE.jsonl [--min-seconds S]
+
+Renders the span tree reconstructed from a JSONL trace file (written by
+``serve --trace PATH`` or ``$REPRO_TRACE``), with per-root critical
+paths marked ``*``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .trace import read_trace, render_summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling (trace inspection).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "trace-summary",
+        help="render the span tree of a JSONL trace with critical paths",
+    )
+    summary.add_argument("trace", help="path to a JSONL trace file")
+    summary.add_argument(
+        "--min-seconds", type=float, default=0.0,
+        help="hide spans shorter than this (default: show all)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "trace-summary":
+        try:
+            records = read_trace(args.trace)
+        except OSError as exc:
+            print(f"error: cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_summary(records, min_seconds=args.min_seconds))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

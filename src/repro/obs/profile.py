@@ -1,0 +1,100 @@
+"""Opt-in profiling hooks: per-stage wall/CPU time and call counts.
+
+Armed by ``--profile`` (pipeline CLI / ``serve``), a process-local
+:class:`ProfileCollector` accumulates named call counts bumped from
+router inner loops.  :class:`~repro.pipeline.pipeline.Pipeline` wraps
+each stage: it snapshots the collector before/after ``Pass.run`` and
+writes the delta — together with the stage's wall and CPU seconds —
+into the new optional ``StageRecord.profile`` field.
+
+Disarmed (the default) the hooks cost one module-attribute load and
+``StageRecord`` serialization is byte-identical to the pre-obs layout,
+so cache entries and pinned goldens are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class ProfileCollector:
+    """Thread-safe named counters for in-stage call counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, float] = {}
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counts)
+
+    def delta_since(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counts accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        after = self.snapshot()
+        delta: Dict[str, float] = {}
+        for name, value in after.items():
+            grown = value - before.get(name, 0.0)
+            if grown > 0:
+                delta[name] = grown
+        return delta
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+#: The armed collector.  Hot loops guard with
+#: ``if profile._ACTIVE is not None`` before calling :func:`bump`.
+_ACTIVE: Optional[ProfileCollector] = None
+
+
+def enable(collector: Optional[ProfileCollector] = None) -> ProfileCollector:
+    """Arm profiling; idempotent when already armed and no collector given."""
+    global _ACTIVE
+    if collector is None:
+        if _ACTIVE is None:
+            _ACTIVE = ProfileCollector()
+        return _ACTIVE
+    _ACTIVE = collector
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[ProfileCollector]:
+    return _ACTIVE
+
+
+def bump(name: str, amount: float = 1.0) -> None:
+    """Guarded convenience bump (no-op when disarmed)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.bump(name, amount)
+
+
+@contextmanager
+def profiling(collector: Optional[ProfileCollector] = None,
+              ) -> Iterator[ProfileCollector]:
+    """Arm profiling for a ``with`` block; restores the previous state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = collector if collector is not None else ProfileCollector()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+__all__ = [
+    "ProfileCollector",
+    "enable", "disable", "active", "bump", "profiling",
+]

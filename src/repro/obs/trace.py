@@ -1,0 +1,353 @@
+"""Structured tracing: JSONL span records with deterministic ids.
+
+``span("pipeline.pass", stage="sabre")`` is a context manager.  When a
+:class:`TraceWriter` is armed it emits one JSON object per completed
+span::
+
+    {"trace": "trace", "span": 3, "parent": 1, "name": "pipeline.pass",
+     "start": 0.0123, "seconds": 0.0045, "cpu_seconds": 0.0044,
+     "thread": "MainThread", "attrs": {"stage": "sabre"}}
+
+* **Deterministic, diffable ids** — span ids are sequential integers
+  assigned in start order from the writer's own counter (no PIDs, no
+  random ids), so two runs of the same single-threaded workload produce
+  structurally identical traces (only the float timings differ).
+* **Monotonic-clock durations** — ``start`` is the offset from the
+  writer's arming instant on ``time.monotonic()``; ``seconds`` and
+  ``cpu_seconds`` are monotonic/process-time deltas, immune to wall
+  clock steps.
+* **Parent/child links** — a per-thread span stack: a span opened while
+  another is live on the same thread records it as ``parent``.
+* **Fork safety** — the writer remembers its PID; ``span()`` in a forked
+  worker (the :class:`~repro.parallel.WorkerPool` children inherit the
+  armed module global) degrades to the no-op span instead of
+  interleaving writes into the parent's file descriptor.
+* **Zero cost when disarmed** — ``span()`` returns one shared no-op
+  context manager; the only disarmed cost is a module-attribute load.
+
+Arm with :func:`start_tracing`/:func:`tracing`, ``serve --trace PATH``,
+or ``$REPRO_TRACE``.  Read traces back with :func:`read_trace`, and
+render a span tree with critical-path timings via
+:func:`render_summary` / ``python -m repro.obs trace-summary FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+#: Environment variable naming a trace output path (CLI arming).
+ENV_VAR = "REPRO_TRACE"
+
+#: Version of the JSONL span-record schema.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceWriter:
+    """Append-only JSONL span sink with its own id counter and origin."""
+
+    def __init__(self, path, trace_id: str = "trace") -> None:
+        self.path = Path(path)
+        self.trace_id = trace_id
+        self.spans_written = 0
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._origin = time.monotonic()
+        self._pid = os.getpid()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def next_span_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except (OSError, ValueError):
+                return  # tracing must never take the traced path down
+            self.spans_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return (f"TraceWriter({str(self.path)!r}, trace={self.trace_id!r}, "
+                f"spans={self.spans_written})")
+
+
+# -- the per-thread span stack -------------------------------------------------
+
+_STACK = threading.local()
+
+
+def _stack() -> List[int]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+class _NullSpan:
+    """Shared no-op span: what ``span()`` returns when disarmed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; records itself to the writer on exit."""
+
+    __slots__ = ("writer", "name", "attrs", "span_id", "parent_id",
+                 "_start", "_cpu")
+
+    def __init__(self, writer: TraceWriter, name: str,
+                 attrs: Dict[str, object]) -> None:
+        self.writer = writer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+        self._cpu = 0.0
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes mid-span (recorded at exit)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = self.writer.next_span_id()
+        stack.append(self.span_id)
+        self._cpu = time.process_time()
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic()
+        cpu_end = time.process_time()
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record: Dict[str, object] = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "trace": self.writer.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self._start - self.writer._origin,
+            "seconds": end - self._start,
+            "cpu_seconds": cpu_end - self._cpu,
+            "thread": threading.current_thread().name,
+            "attrs": dict(self.attrs),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self.writer.write(record)
+        return False
+
+
+#: The armed writer.  ``span()`` guards with one module-attribute load;
+#: instrumented sites may pre-guard with ``if trace._ACTIVE is not None``.
+_ACTIVE: Optional[TraceWriter] = None
+
+
+def span(name: str, **attrs: object):
+    """A context manager tracing one operation (no-op when disarmed or
+    in a forked child of the arming process)."""
+    writer = _ACTIVE
+    if writer is None or writer._pid != os.getpid():
+        return _NULL_SPAN
+    return Span(writer, name, attrs)
+
+
+def start_tracing(path, trace_id: str = "trace") -> TraceWriter:
+    """Arm a :class:`TraceWriter` on ``path``; closes any previous one."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = TraceWriter(path, trace_id=trace_id)
+    return _ACTIVE
+
+
+def stop_tracing() -> Optional[TraceWriter]:
+    """Disarm and close the writer; returns it (for ``spans_written``)."""
+    global _ACTIVE
+    writer = _ACTIVE
+    _ACTIVE = None
+    if writer is not None:
+        writer.close()
+    return writer
+
+
+def active() -> Optional[TraceWriter]:
+    return _ACTIVE
+
+
+def from_env(var: str = ENV_VAR) -> Optional[TraceWriter]:
+    """Arm tracing on the path named by ``$REPRO_TRACE`` (when set)."""
+    path = os.environ.get(var)
+    return start_tracing(path) if path else None
+
+
+@contextmanager
+def tracing(path, trace_id: str = "trace") -> Iterator[TraceWriter]:
+    """Arm tracing for a ``with`` block; restores the previous writer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    writer = TraceWriter(path, trace_id=trace_id)
+    _ACTIVE = writer
+    try:
+        yield writer
+    finally:
+        _ACTIVE = previous
+        writer.close()
+
+
+# -- reading / summarising -----------------------------------------------------
+
+def read_trace(path) -> List[Dict[str, object]]:
+    """Every decodable span record in ``path`` (corrupt lines skipped,
+    e.g. a torn trailing line from an abrupt process end)."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "span" in record:
+                records.append(record)
+    return records
+
+
+class SpanNode:
+    """One reconstructed span and its children (start-ordered)."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Dict[str, object]) -> None:
+        self.record = record
+        self.children: List["SpanNode"] = []
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name"))
+
+    @property
+    def seconds(self) -> float:
+        return float(self.record.get("seconds", 0.0))
+
+    @property
+    def span_id(self) -> int:
+        return int(self.record["span"])
+
+    def __repr__(self) -> str:
+        return (f"SpanNode({self.name!r}, {self.seconds:.4f}s, "
+                f"{len(self.children)} children)")
+
+
+def build_tree(records: List[Dict[str, object]]) -> List[SpanNode]:
+    """Reconstruct the span forest: roots (no recorded parent) in start
+    order, children ordered by start offset.  Spans whose parent never
+    completed (crash mid-span) surface as roots rather than vanishing."""
+    nodes = {int(r["span"]): SpanNode(r) for r in records}
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = node.record.get("parent")
+        if parent is not None and int(parent) in nodes:
+            nodes[int(parent)].children.append(node)
+        else:
+            roots.append(node)
+    by_start = lambda n: float(n.record.get("start", 0.0))  # noqa: E731
+    for node in nodes.values():
+        node.children.sort(key=by_start)
+    roots.sort(key=by_start)
+    return roots
+
+
+def critical_path(root: SpanNode) -> List[SpanNode]:
+    """Greedy longest-child descent: the chain of spans that dominates
+    the root's duration."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.seconds)
+        path.append(node)
+    return path
+
+
+def render_summary(records: List[Dict[str, object]],
+                   min_seconds: float = 0.0) -> str:
+    """Human-readable span tree with durations and per-root critical
+    paths (the ``trace-summary`` CLI output)."""
+    if not records:
+        return "empty trace (0 spans)\n"
+    roots = build_tree(records)
+    trace_id = records[0].get("trace", "trace")
+    total = sum(root.seconds for root in roots)
+    lines = [f"trace {trace_id!r}: {len(records)} spans, "
+             f"{len(roots)} roots, {total:.4f}s total"]
+
+    def attrs_text(node: SpanNode) -> str:
+        attrs = node.record.get("attrs") or {}
+        if not attrs:
+            return ""
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        return f"  [{inner}]"
+
+    def walk(node: SpanNode, depth: int, critical: set) -> None:
+        if node.seconds < min_seconds:
+            return
+        marker = " *" if node.span_id in critical else ""
+        lines.append(f"{'  ' * depth}- {node.name}  "
+                     f"{node.seconds:.4f}s{marker}{attrs_text(node)}")
+        for child in node.children:
+            walk(child, depth + 1, critical)
+
+    for root in roots:
+        chain = critical_path(root)
+        walk(root, 0, {node.span_id for node in chain})
+        if len(chain) > 1:
+            names = " > ".join(node.name for node in chain)
+            lines.append(f"  critical path: {names} "
+                         f"({chain[-1].seconds:.4f}s of "
+                         f"{root.seconds:.4f}s)")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "ENV_VAR", "TRACE_SCHEMA_VERSION",
+    "TraceWriter", "Span", "SpanNode",
+    "span", "start_tracing", "stop_tracing", "active", "from_env", "tracing",
+    "read_trace", "build_tree", "critical_path", "render_summary",
+]

@@ -47,6 +47,7 @@ from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import faults
+from .obs import metrics as obs_metrics
 
 #: Errors that mean "the pool itself is unavailable", as opposed to errors
 #: raised by the submitted work.  ``BrokenProcessPool`` (a worker died) is a
@@ -65,6 +66,31 @@ def _delay_call(seconds: float, fn: Callable, *args):
     """Injected ``pool.task`` latency: sleep in the worker, then run."""
     time.sleep(seconds)
     return fn(*args)
+
+
+class _MeteredResult:
+    """A task result with the worker's metric delta piggybacked on it."""
+
+    __slots__ = ("value", "metrics")
+
+    def __init__(self, value, metrics) -> None:
+        self.value = value
+        self.metrics = metrics
+
+
+def _metered_call(fn: Callable, *args) -> _MeteredResult:
+    """Worker-side wrapper: run ``fn`` and ship back the counters it
+    accumulated.  Fork-started workers inherit the parent's armed
+    registry (with the parent's totals baked in), so the delta is
+    computed against a before-snapshot; in a spawn-started worker the
+    registry is disarmed and the delta is ``None``."""
+    registry = obs_metrics._ACTIVE
+    if registry is None:
+        return _MeteredResult(fn(*args), None)
+    before = registry.snapshot()
+    value = fn(*args)
+    delta = obs_metrics.snapshot_delta(before, registry.snapshot())
+    return _MeteredResult(value, delta or None)
 
 
 class _Task:
@@ -137,6 +163,15 @@ class WorkerPool:
                     attempt = (_exit_worker, ())
                 elif point.kind == faults.DELAY:
                     attempt = (_delay_call, (point.seconds, fn) + args)
+        if attempt is None and obs_metrics._ACTIVE is not None:
+            # Metered attempt: the worker ships its counter deltas back
+            # piggybacked on the result (unwrapped in ``_settle``).
+            # Post-respawn retries and parent re-runs use the clean
+            # payload and go unmetered — correctness over completeness.
+            attempt = (_metered_call, (fn,) + args)
+            obs_metrics.counter(
+                "repro_pool_tasks_total", "Tasks submitted to the pool.",
+            ).inc()
         with self._lock:
             if self._closed:
                 raise BrokenExecutor("WorkerPool was shut down")
@@ -215,6 +250,11 @@ class WorkerPool:
             if self._respawn(generation):
                 with self._lock:
                     self._recovered_tasks += 1
+                if obs_metrics._ACTIVE is not None:
+                    obs_metrics.counter(
+                        "repro_pool_recovered_tasks_total",
+                        "Tasks re-run to completion across a respawn.",
+                    ).inc()
                 self._start(task, outer)
                 return
         self._settle(task, outer, error=exc)
@@ -233,6 +273,11 @@ class WorkerPool:
                 self._executor = None
                 self._generation += 1
                 self._respawns += 1
+                if obs_metrics._ACTIVE is not None:
+                    obs_metrics.counter(
+                        "repro_pool_respawns_total",
+                        "Executor rebuilds after worker casualties.",
+                    ).inc()
             else:
                 # A sibling already respawned for this breakage; resubmit
                 # onto the current executor (if that one is broken too,
@@ -253,6 +298,11 @@ class WorkerPool:
                 return
             self._timeout_reruns += 1
             self._timers.pop(id(task), None)
+        if obs_metrics._ACTIVE is not None:
+            obs_metrics.counter(
+                "repro_pool_timeout_reruns_total",
+                "Straggler tasks re-run in the parent process.",
+            ).inc()
         try:
             value = task.fn(*task.args)
         except BaseException as exc:  # noqa: BLE001 - mirrors worker behaviour
@@ -269,8 +319,11 @@ class WorkerPool:
             task.settled = True
         if error is not None:
             outer.set_exception(error)
-        else:
-            outer.set_result(value)
+            return
+        if isinstance(value, _MeteredResult):
+            obs_metrics.merge_active(value.metrics)
+            value = value.value
+        outer.set_result(value)
 
     # -- lifecycle / introspection ---------------------------------------------
 

@@ -15,6 +15,9 @@ from typing import Dict, Iterable, List, Optional
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
+from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
+from ..obs import trace as obs_trace
 from ..qls.base import QLSError, QLSResult, register_result_type
 from ..qubikos.mapping import Mapping
 from .context import CompilationContext
@@ -30,6 +33,11 @@ class StageRecord:
     #: SWAP gates in the current circuit after this stage (the running
     #: total a per-stage breakdown plots).
     swaps_after: int
+    #: ``--profile`` payload: ``{"cpu_seconds": ..., "counts": {...}}``.
+    #: ``None`` unless profiling was armed, and omitted from the dict
+    #: form when ``None`` so disarmed serialization is byte-identical
+    #: to the pre-obs layout (cache entries, goldens).
+    profile: Optional[Dict[str, object]] = None
 
     def __repr__(self) -> str:
         return (f"StageRecord({self.name!r}, {self.seconds:.4f}s, "
@@ -37,13 +45,19 @@ class StageRecord:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form (floats round-trip exactly)."""
-        return {"name": self.name, "seconds": self.seconds,
-                "swaps_after": self.swaps_after}
+        payload: Dict[str, object] = {
+            "name": self.name, "seconds": self.seconds,
+            "swaps_after": self.swaps_after,
+        }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "StageRecord":
         return cls(name=payload["name"], seconds=payload["seconds"],
-                   swaps_after=payload["swaps_after"])
+                   swaps_after=payload["swaps_after"],
+                   profile=payload.get("profile"))
 
 
 @register_result_type
@@ -104,17 +118,42 @@ class Pipeline:
                                      initial_mapping=initial_mapping)
         current = circuit
         stages: List[StageRecord] = []
-        for stage in self.passes:
-            start = time.perf_counter()
-            output = stage.run(current, coupling, context)
-            seconds = time.perf_counter() - start
-            if output is not None:
-                current = output
-            context.timings[stage.name] = (
-                context.timings.get(stage.name, 0.0) + seconds
-            )
-            stages.append(StageRecord(name=stage.name, seconds=seconds,
-                                      swaps_after=current.swap_count()))
+        run_span = obs_trace.span("pipeline.run", pipeline=self.name,
+                                  stages=len(self.passes))
+        with run_span:
+            for stage in self.passes:
+                collector = obs_profile._ACTIVE
+                counts_before = (collector.snapshot()
+                                 if collector is not None else None)
+                cpu_start = time.process_time()
+                start = time.perf_counter()
+                with obs_trace.span("pipeline.pass", stage=stage.name,
+                                    pipeline=self.name):
+                    output = stage.run(current, coupling, context)
+                seconds = time.perf_counter() - start
+                cpu_seconds = time.process_time() - cpu_start
+                if output is not None:
+                    current = output
+                context.timings[stage.name] = (
+                    context.timings.get(stage.name, 0.0) + seconds
+                )
+                profile: Optional[Dict[str, object]] = None
+                if collector is not None:
+                    profile = {"cpu_seconds": cpu_seconds,
+                               "counts": collector.delta_since(counts_before)}
+                if obs_metrics._ACTIVE is not None:
+                    obs_metrics.histogram(
+                        "repro_pipeline_stage_seconds",
+                        "Wall-clock seconds per pipeline stage.",
+                    ).observe(seconds, stage=stage.name)
+                stages.append(StageRecord(name=stage.name, seconds=seconds,
+                                          swaps_after=current.swap_count(),
+                                          profile=profile))
+            if obs_metrics._ACTIVE is not None:
+                obs_metrics.counter(
+                    "repro_pipeline_runs_total",
+                    "Completed pipeline runs.",
+                ).inc(pipeline=self.name)
         if context.initial_mapping is None:
             raise QLSError(
                 f"pipeline {self.name!r} finished without an initial "

@@ -50,6 +50,7 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DependencyDag
 from ..circuit.gates import Gate
+from ..obs import metrics as obs_metrics
 from ..qubikos.mapping import Mapping
 from ..sat.backend import SatBackend, SatSession, get_backend
 from ..sat.cnf import CnfBuilder
@@ -505,6 +506,23 @@ class ExactSolver(QLSTool):
             for key, value in entry.items():
                 if key != "k" and isinstance(value, int):
                     totals[key] = totals.get(key, 0) + value
+        if obs_metrics._ACTIVE is not None:
+            conflicts = obs_metrics.counter(
+                "repro_sat_conflicts_total",
+                "CDCL conflicts per swap bound k.")
+            restarts = obs_metrics.counter(
+                "repro_sat_restarts_total",
+                "CDCL restarts per swap bound k.")
+            for entry in stats:
+                bound = str(entry.get("k", "?"))
+                conflicts.inc(entry.get("conflicts", 0), bound=bound)
+                restarts.inc(entry.get("restarts", 0), bound=bound)
+            obs_metrics.counter(
+                "repro_sat_solves_total",
+                "Exact QLS searches by outcome and mode.",
+            ).inc(outcome="timeout" if timed_out else
+                  ("optimal" if optimal is not None else "exhausted"),
+                  mode=mode)
         return ExactOutcome(optimal, lower_bound, result, stats,
                             timed_out=timed_out, totals=totals,
                             backend=self.backend, mode=mode)

@@ -55,6 +55,8 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DependencyDag, ExecutionFrontier
 from ..circuit.gates import Gate
+from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
 from ..qubikos.mapping import Mapping, MappingTimeline
 from .base import QLSError, QLSResult, QLSTool
 from .reinsert import split_one_qubit_gates, weave_transpiled
@@ -371,6 +373,8 @@ def route(circuit: Optional[QuantumCircuit], coupling: CouplingGraph,
             swap_count += swaps_done
             fallback_swaps += swaps_done
             swaps_since_progress = 0
+            if obs_profile._ACTIVE is not None:
+                obs_profile._ACTIVE.bump("sabre.forced_swaps", swaps_done)
             continue
         (p1, p2), _total = model.best_swap(dag, frontier, mapping, decay, rng)
         mapping.swap_physical(p1, p2)
@@ -380,6 +384,8 @@ def route(circuit: Optional[QuantumCircuit], coupling: CouplingGraph,
         swap_count += 1
         swaps_since_progress += 1
         swaps_since_reset += 1
+        if obs_profile._ACTIVE is not None:
+            obs_profile._ACTIVE.bump("sabre.swaps")
         for p in (p1, p2):
             q = back[p] if p < len(back) else -1
             if q >= 0:
@@ -387,6 +393,11 @@ def route(circuit: Optional[QuantumCircuit], coupling: CouplingGraph,
         if swaps_since_reset >= params.decay_reset_interval:
             decay.clear()
             swaps_since_reset = 0
+    if obs_metrics._ACTIVE is not None:
+        obs_metrics.counter(
+            "repro_router_swaps_total",
+            "SWAP gates inserted by routing passes.",
+        ).inc(swap_count, router="sabre")
     return RoutingOutcome(
         routed=routed, swap_count=swap_count, final_mapping=mapping,
         mapping_at=timeline if timeline is not None else {},

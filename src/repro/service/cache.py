@@ -36,10 +36,21 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from .. import faults
+from ..obs import metrics as obs_metrics
 from .fingerprint import canonical_json
 
 #: Version of the on-disk entry envelope.
 ENTRY_SCHEMA_VERSION = 1
+
+
+def _note(event: str, amount: int = 1) -> None:
+    """Mirror one :class:`CacheStats` increment into the armed metrics
+    registry (``repro_cache_events_total{event=...}``); no-op disarmed."""
+    if obs_metrics._ACTIVE is not None:
+        obs_metrics.counter(
+            "repro_cache_events_total",
+            "Result-cache events (hit, miss, eviction, quarantine, ...).",
+        ).inc(amount, event=event)
 
 
 @dataclass
@@ -129,14 +140,18 @@ class ResultCache:
             if entry is not None:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
+                _note("hit")
                 return entry
             entry = self._disk_read(key)
             if entry is not None:
                 self._remember(key, entry)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                _note("hit")
+                _note("disk_hit")
                 return entry
             self.stats.misses += 1
+            _note("miss")
             return None
 
     def peek(self, key: str) -> Optional[Dict[str, object]]:
@@ -181,6 +196,7 @@ class ResultCache:
         """Store ``entry`` under ``key`` in both tiers."""
         with self._lock:
             self.stats.puts += 1
+            _note("put")
             self._remember(key, entry)
             self._disk_write(key, entry)
             self._enforce_disk_caps()
@@ -198,6 +214,7 @@ class ResultCache:
             self.stats.hits = max(0, self.stats.hits - 1)
             self.stats.misses += 1
             self.stats.stale += 1
+            _note("stale")
             self._memory.pop(key, None)
 
     def clear(self) -> int:
@@ -233,6 +250,7 @@ class ResultCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            _note("memory_eviction")
 
     # -- disk tier -------------------------------------------------------------
 
@@ -268,6 +286,7 @@ class ResultCache:
             # miss, but leave the file alone — the data might be fine.
             if count:
                 self.stats.corrupt += 1
+                _note("corrupt")
             return None
         except (ValueError, KeyError, TypeError):
             # The bytes themselves are bad: quarantine on first decode
@@ -276,6 +295,7 @@ class ResultCache:
             # so the recompute that follows can store a clean entry).
             if count:
                 self.stats.corrupt += 1
+                _note("corrupt")
             self._quarantine(path)
             return None
         if touch:
@@ -298,6 +318,7 @@ class ResultCache:
         except OSError:
             return
         self.stats.corrupt_quarantined += 1
+        _note("quarantined")
         if self._disk_count is not None:
             self._disk_count = max(0, self._disk_count - 1)
             self._disk_bytes = max(0, self._disk_bytes - size)
@@ -327,6 +348,7 @@ class ResultCache:
             # read-only disk must not lose the compile that just finished —
             # the entry stays served from the memory tier.
             self.stats.write_errors += 1
+            _note("write_error")
             return
         if self._disk_count is not None:
             size = len(data.encode("utf-8"))
@@ -376,6 +398,7 @@ class ResultCache:
                 if self._unlink(path):
                     removed += 1
                     self.stats.expired += 1
+                    _note("expired")
                 continue
             survivors.append((size, path))
         count = len(survivors)
@@ -391,6 +414,7 @@ class ResultCache:
                 count -= 1
                 total -= size
                 self.stats.disk_evictions += 1
+                _note("disk_eviction")
         self._disk_count = count
         self._disk_bytes = total
         # Amortise the next sweep: ten checks per age period (bounding

@@ -5,7 +5,8 @@ Usage::
     # Long-running HTTP front-end (see repro.service.server for routes):
     python -m repro.service serve --port 8000 --cache-dir .qls-cache \
         --workers 4 --max-entries 10000 --max-bytes 500000000 \
-        --journal jobs.jsonl --max-queued 64
+        --journal jobs.jsonl --max-queued 64 \
+        --trace trace.jsonl --profile
 
     # Compile a JSONL stream of CompileRequest payloads (one per line):
     python -m repro.service batch requests.jsonl --out responses.jsonl \
@@ -144,6 +145,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .. import faults
+    from ..obs import profile as obs_profile
+    from ..obs import trace as obs_trace
     from ..parallel import WorkerPool
     from .jobs import JobManager
     from .server import ServiceServer
@@ -156,6 +159,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if spec:
         plan = faults.arm(faults.FaultPlan.from_spec(spec))
         print(f"fault plan armed: {plan.spec()}", flush=True)
+
+    # Observability arming: --trace wins over $REPRO_TRACE; --profile
+    # writes per-stage wall/CPU + counter deltas into StageRecords.
+    trace_path = args.trace if args.trace is not None \
+        else os.environ.get(obs_trace.ENV_VAR)
+    writer = obs_trace.start_tracing(trace_path) if trace_path else None
+    if writer is not None:
+        print(f"tracing to {writer.path}", flush=True)
+    if args.profile:
+        obs_profile.enable()
+        print("profiling armed (StageRecord.profile)", flush=True)
 
     # One persistent pool for the server's lifetime: every sync batch and
     # every job fans its misses over the same workers (the single
@@ -183,6 +197,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         clean = server.shutdown()
         if pool is not None:
             pool.shutdown()
+        if writer is not None:
+            obs_trace.stop_tracing()
+            print(f"trace: {writer.spans_written} spans -> {writer.path}",
+                  flush=True)
     return 0 if clean else 1
 
 
@@ -269,6 +287,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--max-queued", type=int, default=None, metavar="N",
                        help="bound the job queue; admissions past the bound "
                             "get 503 + Retry-After (load shedding)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write JSONL trace spans to PATH (overrides "
+                            "$REPRO_TRACE; summarize with 'python -m "
+                            "repro.obs trace-summary PATH')")
+    serve.add_argument("--profile", action="store_true",
+                       help="record per-stage wall/CPU time and router "
+                            "call counts into StageRecord.profile")
     serve.add_argument("--faults", default=None, metavar="SPEC",
                        help="arm a deterministic fault plan (see repro.faults;"
                             " default: $REPRO_FAULTS when set)")

@@ -142,10 +142,14 @@ class ServiceClient:
     cache = None
 
     def __init__(self, url: str, timeout: float = 300.0,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 client_id: Optional[str] = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.retry = retry
+        #: Sent as ``X-Client-Id`` on every request when set; the server
+        #: folds per-client request counts into ``/v1/healthz``.
+        self.client_id = client_id
         #: Retries performed over this client's lifetime (observability:
         #: chaos tests assert the recovery actually exercised a retry).
         self.retry_count = 0
@@ -163,6 +167,8 @@ class ServiceClient:
               payload: Optional[object] = None) -> object:
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         if payload is not None:
             data = canonical_json(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"

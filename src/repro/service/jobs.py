@@ -59,6 +59,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from .. import faults
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .api import CompileRequest, CompileResponse, ServiceError
 from .journal import JobJournal
 from .service import ENTRY_DECODE_ERRORS, CompilationService, decode_entry
@@ -228,6 +230,7 @@ class JobManager:
             if not inline:
                 heapq.heappush(self._heap, (-priority, job.id))
                 self._wake.notify_all()
+            self._note_transition(job)
         if inline:
             self._execute(job)  # all hits: resolves without the pool
         return job
@@ -236,6 +239,20 @@ class JobManager:
         """Jobs currently waiting in the queue (heap minus cancelled)."""
         return sum(1 for _, job_id in self._heap
                    if self._jobs[job_id].status is JobStatus.QUEUED)
+
+    def _note_transition(self, job: Job) -> None:
+        """Mirror one status transition into the armed metrics registry;
+        must be called with the manager lock held (reads the queue)."""
+        if obs_metrics._ACTIVE is None:
+            return
+        obs_metrics.counter(
+            "repro_jobs_transitions_total",
+            "Job lifecycle transitions by destination status.",
+        ).inc(status=job.status.value)
+        obs_metrics.gauge(
+            "repro_jobs_queue_depth",
+            "Jobs currently waiting in the queue.",
+        ).set(self._queued_count())
 
     def _all_cached(self, fingerprints: List[str]) -> bool:
         """True when every fingerprint has a *decodable* cache entry.
@@ -278,6 +295,39 @@ class JobManager:
                 counts[job.status.value] += 1
             return counts
 
+    def rollup(self) -> Dict[str, object]:
+        """Aggregates over every known job, for ``/v1/healthz``:
+        request/response volumes, cache hits vs misses across completed
+        jobs, queue depth, and mean queue-wait / run times."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            queued = self._queued_count()
+        requests = sum(len(job.requests) for job in jobs)
+        hits = misses = 0
+        waits: List[float] = []
+        runs: List[float] = []
+        for job in jobs:
+            if job.responses is not None:
+                for response in job.responses:
+                    if response.cache_hit:
+                        hits += 1
+                    else:
+                        misses += 1
+            if job.started_seconds is not None:
+                waits.append(job.started_seconds - job.created_seconds)
+                if job.finished_seconds is not None:
+                    runs.append(job.finished_seconds - job.started_seconds)
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+        return {
+            "jobs": len(jobs),
+            "queue_depth": queued,
+            "requests": requests,
+            "responses": {"hits": hits, "misses": misses},
+            "recovered_jobs": self.recovered_jobs,
+            "mean_wait_seconds": mean(waits),
+            "mean_run_seconds": mean(runs),
+        }
+
     # -- lifecycle -------------------------------------------------------------
 
     def cancel(self, job_id: int) -> Job:
@@ -293,6 +343,7 @@ class JobManager:
                 job.finished_seconds = time.time()
                 if self.journal is not None:
                     self.journal.record_status(job)
+                self._note_transition(job)
                 self._wake.notify_all()
             return job
 
@@ -315,6 +366,7 @@ class JobManager:
                     continue  # cancelled while queued
                 job.status = JobStatus.RUNNING
                 job.started_seconds = time.time()
+                self._note_transition(job)
                 return job
             return None
 
@@ -330,7 +382,9 @@ class JobManager:
             if point is not None and point.kind == faults.DELAY:
                 time.sleep(point.seconds)
         try:
-            responses = self.service.submit_many(job.requests)
+            with obs_trace.span("job.execute", job=job.id,
+                                requests=len(job.requests)):
+                responses = self.service.submit_many(job.requests)
         except Exception as exc:  # noqa: BLE001 - recorded, not raised
             status, responses = JobStatus.FAILED, None
             error: Optional[str] = f"{type(exc).__name__}: {exc}"
@@ -344,6 +398,7 @@ class JobManager:
                 job.finished_seconds = time.time()
                 if self.journal is not None:
                     self.journal.record_status(job)
+                self._note_transition(job)
             self._wake.notify_all()
 
     def wait(self, job_id: int, timeout: Optional[float] = None) -> Job:

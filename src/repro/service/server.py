@@ -23,7 +23,11 @@ embedded in-process) exposes the canonical-JSON wire schema of
 ``GET /v1/cache``            ``ResultCache.info()`` (caps, tiers, stats)
 ``GET /v1/devices``          architecture-library names
 ``GET /v1/passes``           registered passes + preset specs
-``GET /v1/healthz``          liveness: code fingerprint + job counts
+``GET /v1/healthz``          liveness + operator rollups: code fingerprint,
+                             job counts, per-job/per-client aggregates,
+                             worker-pool and journal fault counters
+``GET /v1/metrics``          the armed metrics registry in Prometheus text
+                             exposition format (see :mod:`repro.obs`)
 ===========================  ================================================
 
 Every error response carries the canonical body of
@@ -66,6 +70,8 @@ from typing import Dict, Optional
 
 from .. import faults
 from ..arch.library import available_architectures
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..pipeline.registry import list_passes, list_specs
 from ..qls.base import QLSError
 from .api import (
@@ -87,7 +93,28 @@ BAD_REQUEST_ERRORS = (ServiceError, QLSError, KeyError, TypeError,
 #: Request header bounding one ``POST /v1/compile`` wall-clock budget.
 DEADLINE_HEADER = "X-Deadline-Seconds"
 
+#: Optional request header identifying the caller for per-client rollups
+#: (:class:`~repro.service.client.ServiceClient` sends it when built with
+#: ``client_id=``).
+CLIENT_HEADER = "X-Client-Id"
+
+#: Routes that get their own ``endpoint`` metric label; everything else
+#: collapses into ``other`` so arbitrary request paths cannot blow up the
+#: label cardinality.
+_KNOWN_ENDPOINTS = frozenset({
+    "/v1/healthz", "/v1/devices", "/v1/passes", "/v1/cache",
+    "/v1/compile", "/v1/jobs", "/v1/metrics",
+})
+
 logger = logging.getLogger(__name__)
+
+
+def _endpoint_label(path: str) -> str:
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/{id}"
+    return "other"
 
 
 class _DeadlineExceeded(Exception):
@@ -110,13 +137,34 @@ class ServiceServer:
 
     def __init__(self, service: Optional[CompilationService] = None,
                  jobs: Optional[JobManager] = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 metrics: bool = True) -> None:
         self.service = service if service is not None else CompilationService()
         self.jobs = jobs if jobs is not None else JobManager(self.service)
+        if metrics:
+            # Idempotent: keeps an already-armed registry (and its
+            # accumulated series) instead of clobbering it.
+            obs_metrics.enable()
+        self._clients_lock = threading.Lock()
+        self._client_stats: Dict[str, Dict[str, int]] = {}
         handler = type("_BoundHandler", (_Handler,), {"app": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
+
+    def note_client(self, client: str, endpoint: str) -> None:
+        """Record one request from ``client`` (the ``X-Client-Id``
+        header) against ``endpoint`` — kept server-side so per-client
+        rollups work even with metrics disarmed."""
+        with self._clients_lock:
+            stats = self._client_stats.setdefault(client, {})
+            stats[endpoint] = stats.get(endpoint, 0) + 1
+
+    def client_stats(self) -> Dict[str, Dict[str, int]]:
+        """``{client id: {endpoint: request count}}`` rollup."""
+        with self._clients_lock:
+            return {client: dict(stats)
+                    for client, stats in self._client_stats.items()}
 
     @property
     def url(self) -> str:
@@ -190,6 +238,20 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_text(self, text: str, status: int = 200,
+                   content_type: str = "text/plain; version=0.0.4; "
+                                       "charset=utf-8") -> None:
+        """Plain-text response (the Prometheus exposition endpoint)."""
+        self._drain_body()
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
 
     def _drain_body(self) -> None:
         """Consume any unread request body before responding.
@@ -255,7 +317,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         self._body_consumed = False
+        self._status: Optional[int] = None
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        endpoint = _endpoint_label(path)
+        started = time.perf_counter()
         if faults._ACTIVE is not None:
             point = faults.poll(faults.HTTP_REQUEST)
             if point is not None:
@@ -265,7 +330,9 @@ class _Handler(BaseHTTPRequestHandler):
                 if point.kind == faults.DELAY:
                     time.sleep(point.seconds)
         try:
-            handled = self._route(method, path)
+            with obs_trace.span("http.request", method=method,
+                                endpoint=endpoint):
+                handled = self._route(method, path)
         except QueueFullError as exc:
             # Load shedding (before BAD_REQUEST_ERRORS — QueueFullError
             # is a ServiceError, but a full queue is the server's state,
@@ -287,10 +354,36 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_json(
                     404, f"no route for {method} {path} (API root: /v1)"
                 )
+        self._account(method, endpoint, started)
+
+    def _account(self, method: str, endpoint: str, started: float) -> None:
+        """Per-request accounting: latency/status metrics plus the
+        per-client rollup (``X-Client-Id``)."""
+        client = self.headers.get(CLIENT_HEADER)
+        if client:
+            self.app.note_client(client, endpoint)
+        if obs_metrics._ACTIVE is None:
+            return
+        status = str(self._status) if self._status is not None else "reset"
+        obs_metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by method, endpoint, and response status.",
+        ).inc(method=method, endpoint=endpoint, status=status)
+        obs_metrics.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency by method and endpoint.",
+        ).observe(time.perf_counter() - started,
+                  method=method, endpoint=endpoint)
+        if client:
+            obs_metrics.counter(
+                "repro_http_requests_by_client_total",
+                "HTTP requests by X-Client-Id.",
+            ).inc(client=client)
 
     def _route(self, method: str, path: str) -> bool:
         app = self.app
         if (method, path) == ("GET", "/v1/healthz"):
+            journal = app.jobs.journal
             self._send_json({
                 "schema": REQUEST_SCHEMA_VERSION,
                 "type": "Health",
@@ -298,7 +391,23 @@ class _Handler(BaseHTTPRequestHandler):
                 "code": code_fingerprint(),
                 "jobs": app.jobs.counts(),
                 "cache": app.service.cache is not None,
+                "jobs_rollup": app.jobs.rollup(),
+                "pool": (app.service.pool.stats()
+                         if app.service.pool is not None else None),
+                "pool_fallbacks": app.service.pool_fallbacks,
+                "journal": ({
+                    "path": str(journal.path),
+                    "write_errors": journal.write_errors,
+                    "corrupt_lines": journal.corrupt_lines,
+                } if journal is not None else None),
+                "clients": app.client_stats(),
+                "metrics": obs_metrics._ACTIVE is not None,
             })
+        elif (method, path) == ("GET", "/v1/metrics"):
+            registry = obs_metrics.active()
+            self._send_text(registry.render_prometheus()
+                            if registry is not None
+                            else "# metrics disabled\n")
         elif (method, path) == ("GET", "/v1/devices"):
             self._send_json({
                 "schema": REQUEST_SCHEMA_VERSION,

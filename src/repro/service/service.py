@@ -30,6 +30,8 @@ import time
 from concurrent.futures import Future, as_completed
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..parallel import POOL_UNAVAILABLE_ERRORS, WorkerPool
 from ..pipeline.registry import build_pipeline
 from ..qls.base import QLSResult
@@ -111,6 +113,9 @@ class CompilationService:
             self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
         self.pool = pool
+        #: Batch misses recompiled in the parent after a pool-level
+        #: failure (the serial-degrade path) — surfaced in ``/v1/healthz``.
+        self.pool_fallbacks = 0
 
     # -- single submission -----------------------------------------------------
 
@@ -118,18 +123,36 @@ class CompilationService:
         """Resolve one request: cache hit, or compile and store."""
         started = time.perf_counter()
         key = request.fingerprint()
-        decoded = self._lookup(key)
-        if decoded is None:
-            entry = compile_entry(request)
-            if self.cache is not None:
-                self.cache.put(key, entry)
-            decoded = decode_entry(entry)
-            hit = False
-        else:
-            hit = True
-        result, compile_seconds = decoded
+        with obs_trace.span("service.submit", spec=request.spec) as sp:
+            decoded = self._lookup(key)
+            if decoded is None:
+                with obs_trace.span("service.compile", spec=request.spec):
+                    entry = compile_entry(request)
+                if self.cache is not None:
+                    self.cache.put(key, entry)
+                decoded = decode_entry(entry)
+                hit = False
+            else:
+                hit = True
+            sp.annotate(cache_hit=hit)
+            result, compile_seconds = decoded
+            self._count(hit, compile_seconds)
         return self._response(request, key, result, compile_seconds, hit,
                               started)
+
+    @staticmethod
+    def _count(hit: bool, compile_seconds: float) -> None:
+        if obs_metrics._ACTIVE is None:
+            return
+        obs_metrics.counter(
+            "repro_service_requests_total",
+            "Compile requests resolved by the service.",
+        ).inc(result="hit" if hit else "miss")
+        if not hit:
+            obs_metrics.histogram(
+                "repro_service_compile_seconds",
+                "Wall-clock seconds per cache-miss compilation.",
+            ).observe(compile_seconds)
 
     def _lookup(self, key: str) -> Optional[Tuple[QLSResult, float]]:
         """Decoded cache entry for ``key``, or ``None`` (miss *or* a
@@ -173,16 +196,17 @@ class CompilationService:
         requests = list(requests)
         pool = pool if pool is not None else self.pool
         workers = workers if workers is not None else self.workers
-        if pool is None and (workers is None or workers <= 1):
-            return self._submit_serial(requests, progress)
-        owned = pool is None
-        if owned:
-            pool = WorkerPool(workers)
-        try:
-            return self._submit_parallel(requests, progress, pool)
-        finally:
+        with obs_trace.span("service.submit_many", requests=len(requests)):
+            if pool is None and (workers is None or workers <= 1):
+                return self._submit_serial(requests, progress)
+            owned = pool is None
             if owned:
-                pool.shutdown()
+                pool = WorkerPool(workers)
+            try:
+                return self._submit_parallel(requests, progress, pool)
+            finally:
+                if owned:
+                    pool.shutdown()
 
     def map(self, requests: Iterable[CompileRequest],
             progress: Optional[ProgressFn] = None,
@@ -215,6 +239,7 @@ class CompilationService:
             slots[index] = self._response(requests[index], keys[index],
                                           result, compile_seconds, hit,
                                           started)
+            self._count(hit, compile_seconds)
             if progress is not None:
                 progress(slots[index])
 
@@ -285,6 +310,14 @@ class CompilationService:
                 raise
             land(key, entry)
 
+        if casualties:
+            self.pool_fallbacks += len(casualties)
+            if obs_metrics._ACTIVE is not None:
+                obs_metrics.counter(
+                    "repro_pool_fallbacks_total",
+                    "Batch misses recompiled in the parent after a "
+                    "pool-level failure.",
+                ).inc(len(casualties))
         for key in casualties:
             land(key, compile_entry(requests[compile_indices[key]]))
 

@@ -1,0 +1,225 @@
+"""Unit tests for the metrics registry: series, snapshot/merge, render."""
+
+import pytest
+
+from repro.obs import metrics as obs
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_COUNTER,
+    parse_prometheus_text,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_events_total", "help text")
+        c.inc(event="hit")
+        c.inc(3, event="miss")
+        c.inc(event="hit")
+        assert c.value(event="hit") == 2
+        assert c.value(event="miss") == 3
+        assert c.value(event="other") == 0
+        assert c.total() == 5
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_order_is_canonical(self):
+        c = MetricsRegistry().counter("repro_x_total")
+        c.inc(b="2", a="1")
+        assert c.value(a="1", b="2") == 1
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("repro-bad-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestHistogram:
+    def test_observe_buckets_sum_count(self):
+        h = MetricsRegistry().histogram("repro_seconds",
+                                        buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+        key = ()
+        assert h._series[key]["counts"] == [1, 2, 1]  # 50.0 overflows
+
+    def test_default_buckets_sorted(self):
+        h = MetricsRegistry().histogram("repro_seconds")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_seconds", buckets=())
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_x_total") is \
+            registry.counter("repro_x_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("repro_x_total")
+
+    def test_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("repro_events_total").inc(4, event="hit")
+        source.gauge("repro_depth").set(7)
+        source.histogram("repro_seconds", buckets=(1.0,)).observe(0.5)
+        clone = MetricsRegistry()
+        clone.merge(source.snapshot())
+        assert clone.render_prometheus() == source.render_prometheus()
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total").inc(2, event="hit")
+        registry.histogram("repro_seconds", buckets=(1.0,)).observe(0.5)
+        registry.merge(registry.snapshot())  # fold itself back in
+        assert registry.counter("repro_events_total").value(event="hit") == 4
+        assert registry.histogram("repro_seconds").count() == 2
+
+    def test_merge_gauge_last_write_wins(self):
+        source = MetricsRegistry()
+        source.gauge("repro_depth").set(3)
+        target = MetricsRegistry()
+        target.gauge("repro_depth").set(9)
+        target.merge(source.snapshot())
+        assert target.gauge("repro_depth").value() == 3
+
+    def test_merge_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry().merge({"repro_x": {"kind": "summary",
+                                                 "series": {}}})
+
+
+class TestSnapshotDelta:
+    def test_counter_growth_only(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        counter.inc(2, event="hit")
+        before = registry.snapshot()
+        counter.inc(3, event="hit")
+        counter.inc(event="miss")
+        registry.gauge("repro_depth").set(9)
+        delta = snapshot_delta(before, registry.snapshot())
+        series = delta["repro_events_total"]["series"]
+        assert series['[["event", "hit"]]'] == 3
+        assert series['[["event", "miss"]]'] == 1
+        assert "repro_depth" not in delta  # gauges excluded
+
+    def test_unchanged_series_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total").inc(event="hit")
+        snap = registry.snapshot()
+        assert snapshot_delta(snap, snap) == {}
+
+    def test_histogram_delta_merges_back(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        before = registry.snapshot()
+        h.observe(5.0)
+        delta = snapshot_delta(before, registry.snapshot())
+        target = MetricsRegistry()
+        target.merge(delta)
+        merged = target.histogram("repro_seconds")
+        assert merged.count() == 1
+        assert merged.sum() == pytest.approx(5.0)
+
+
+class TestPrometheusText:
+    def test_render_parses_and_escapes(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_events_total", "what happened") \
+            .inc(5, path='tricky"value\\x')
+        text = registry.render_prometheus()
+        assert "# HELP repro_events_total what happened" in text
+        assert "# TYPE repro_events_total counter" in text
+        parsed = parse_prometheus_text(text)
+        labels = '{path="tricky\\"value\\\\x"}'
+        assert parsed["repro_events_total"][labels] == 5
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        buckets = parsed["repro_seconds_bucket"]
+        assert buckets['{le="1"}'] == 1
+        assert buckets['{le="10"}'] == 2  # cumulative
+        assert buckets['{le="+Inf"}'] == 3
+        assert parsed["repro_seconds_count"][""] == 3
+        assert parsed["repro_seconds_sum"][""] == pytest.approx(55.5)
+
+    def test_parse_handles_braces_inside_label_values(self):
+        # regression: the /v1/jobs/{id} endpoint label contains ``}``
+        text = 'repro_http_requests_total{endpoint="/v1/jobs/{id}"} 4\n'
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_http_requests_total"][
+            '{endpoint="/v1/jobs/{id}"}'] == 4
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus_text("!!! not a sample\n")
+
+    def test_integral_values_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(3)
+        assert "repro_x_total 3\n" in registry.render_prometheus()
+
+
+class TestArming:
+    def test_disarmed_helpers_return_null_singletons(self):
+        with obs.disabled():
+            assert obs.counter("repro_x_total") is NULL_COUNTER
+            assert obs.gauge("repro_x") is NULL_COUNTER
+            assert obs.histogram("repro_x_seconds") is NULL_COUNTER
+            obs.counter("repro_x_total").inc()  # harmless no-op
+            assert obs.counter("repro_x_total").value() == 0
+
+    def test_enabled_context_restores_previous(self):
+        with obs.disabled():
+            with obs.enabled() as registry:
+                assert obs.active() is registry
+                obs.counter("repro_x_total").inc()
+                assert registry.counter("repro_x_total").total() == 1
+            assert obs.active() is None
+
+    def test_enable_is_idempotent_without_argument(self):
+        with obs.disabled():
+            first = obs.enable()
+            assert obs.enable() is first
+            obs.disable()
+            assert obs.active() is None
+
+    def test_merge_active_noop_when_disarmed(self):
+        source = MetricsRegistry()
+        source.counter("repro_x_total").inc()
+        with obs.disabled():
+            obs.merge_active(source.snapshot())  # must not raise
+        with obs.enabled() as registry:
+            obs.merge_active(source.snapshot())
+            assert registry.counter("repro_x_total").total() == 1
+            obs.merge_active(None)  # empty piggyback
+            assert registry.counter("repro_x_total").total() == 1

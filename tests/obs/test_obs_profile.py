@@ -1,0 +1,106 @@
+"""Unit tests for profiling hooks and the StageRecord.profile payload."""
+
+from repro.arch import line
+from repro.circuit import QuantumCircuit, cx
+from repro.obs import profile as obs
+from repro.obs.profile import ProfileCollector, profiling
+from repro.pipeline import build_pipeline
+from repro.pipeline.pipeline import StageRecord
+
+
+class TestCollector:
+    def test_bump_snapshot_delta(self):
+        collector = ProfileCollector()
+        collector.bump("sabre.swaps")
+        collector.bump("sabre.swaps", 4)
+        before = collector.snapshot()
+        collector.bump("sabre.swaps", 2)
+        collector.bump("sabre.forced_swaps")
+        assert collector.snapshot() == {"sabre.swaps": 7,
+                                        "sabre.forced_swaps": 1}
+        assert collector.delta_since(before) == {"sabre.swaps": 2,
+                                                 "sabre.forced_swaps": 1}
+        collector.reset()
+        assert collector.snapshot() == {}
+
+    def test_delta_drops_unchanged(self):
+        collector = ProfileCollector()
+        collector.bump("x")
+        assert collector.delta_since(collector.snapshot()) == {}
+
+
+class TestArming:
+    def test_module_bump_guarded(self):
+        previous = obs._ACTIVE
+        obs.disable()
+        try:
+            obs.bump("noop")  # disarmed: silently dropped
+            with profiling() as collector:
+                obs.bump("armed", 2)
+                assert collector.snapshot() == {"armed": 2}
+            assert obs.active() is None
+        finally:
+            obs._ACTIVE = previous
+
+    def test_enable_idempotent(self):
+        previous = obs._ACTIVE
+        obs.disable()
+        try:
+            first = obs.enable()
+            assert obs.enable() is first
+            mine = ProfileCollector()
+            assert obs.enable(mine) is mine
+        finally:
+            obs._ACTIVE = previous
+
+    def test_profiling_restores_previous_collector(self):
+        with profiling() as outer:
+            with profiling() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+
+
+def _tiny_circuit():
+    gates = [cx(0, 2), cx(1, 3), cx(0, 3)]
+    return QuantumCircuit(4, gates)
+
+
+class TestPipelineProfile:
+    def test_armed_run_records_stage_profile(self):
+        pipeline = build_pipeline("sabre", seed=3)
+        with profiling():
+            result = pipeline.run(_tiny_circuit(), line(4))
+        assert result.stages
+        for record in result.stages:
+            assert record.profile is not None
+            assert record.profile["cpu_seconds"] >= 0
+            assert isinstance(record.profile["counts"], dict)
+        # the routing stage bumped the SABRE inner-loop counters
+        merged = {}
+        for record in result.stages:
+            for name, count in record.profile["counts"].items():
+                merged[name] = merged.get(name, 0) + count
+        assert merged.get("sabre.swaps", 0) >= 0  # present run-dependent
+
+    def test_disarmed_run_keeps_pre_obs_layout(self):
+        pipeline = build_pipeline("sabre", seed=3)
+        result = pipeline.run(_tiny_circuit(), line(4))
+        for record in result.stages:
+            assert record.profile is None
+            assert set(record.to_dict()) == {"name", "seconds",
+                                             "swaps_after"}
+
+    def test_stage_record_round_trip_with_profile(self):
+        record = StageRecord(name="routing", seconds=0.5, swaps_after=3,
+                             profile={"cpu_seconds": 0.4,
+                                      "counts": {"sabre.swaps": 3}})
+        payload = record.to_dict()
+        assert payload["profile"]["counts"] == {"sabre.swaps": 3}
+        clone = StageRecord.from_dict(payload)
+        assert clone == record
+
+    def test_stage_record_round_trip_without_profile(self):
+        record = StageRecord(name="routing", seconds=0.5, swaps_after=3)
+        payload = record.to_dict()
+        assert "profile" not in payload
+        assert StageRecord.from_dict(payload) == record

@@ -1,0 +1,182 @@
+"""Unit tests for structured tracing: spans, JSONL round-trip, trees."""
+
+import json
+import threading
+
+from repro.obs import trace as obs
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    _NULL_SPAN,
+    build_tree,
+    critical_path,
+    read_trace,
+    render_summary,
+    span,
+    tracing,
+)
+
+
+def _trace_nested(path):
+    with tracing(path, trace_id="t1") as writer:
+        with span("outer", kind="test"):
+            with span("inner.a"):
+                pass
+            with span("inner.b") as sp:
+                sp.annotate(extra=1)
+        with span("sibling"):
+            pass
+    return writer
+
+
+class TestSpans:
+    def test_round_trip_with_parent_links(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = _trace_nested(path)
+        assert writer.spans_written == 4
+        records = read_trace(path)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner.a"]["parent"] == by_name["outer"]["span"]
+        assert by_name["inner.b"]["parent"] == by_name["outer"]["span"]
+        assert by_name["sibling"]["parent"] is None
+        assert by_name["outer"]["attrs"] == {"kind": "test"}
+        assert by_name["inner.b"]["attrs"] == {"extra": 1}
+        assert all(r["schema"] == TRACE_SCHEMA_VERSION for r in records)
+        assert all(r["trace"] == "t1" for r in records)
+        assert all(r["seconds"] >= 0 for r in records)
+
+    def test_span_ids_are_sequential_and_deterministic(self, tmp_path):
+        first = read_trace(_trace_nested(tmp_path / "a.jsonl").path)
+        second = read_trace(_trace_nested(tmp_path / "b.jsonl").path)
+        shape = lambda rs: [(r["span"], r["parent"], r["name"])  # noqa: E731
+                            for r in rs]
+        assert shape(first) == shape(second)
+        assert sorted(r["span"] for r in first) == [1, 2, 3, 4]
+
+    def test_exception_recorded_and_propagated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(path):
+            try:
+                with span("boom"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+        (record,) = read_trace(path)
+        assert record["error"] == "RuntimeError"
+
+    def test_disarmed_span_is_shared_null(self):
+        previous = obs._ACTIVE
+        obs._ACTIVE = None
+        try:
+            assert span("anything", a=1) is _NULL_SPAN
+            with span("anything") as sp:
+                sp.annotate(b=2)  # no-op
+        finally:
+            obs._ACTIVE = previous
+
+    def test_forked_child_degrades_to_null_span(self, tmp_path):
+        with tracing(tmp_path / "trace.jsonl") as writer:
+            writer._pid = writer._pid + 1  # simulate being a forked child
+            assert span("child.work") is _NULL_SPAN
+
+    def test_threads_get_independent_parent_stacks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+
+        def worker():
+            with span("thread.child"):
+                pass
+
+        with tracing(path):
+            with span("main.parent"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        by_name = {r["name"]: r for r in read_trace(path)}
+        # the other thread's span is NOT parented under main.parent
+        assert by_name["thread.child"]["parent"] is None
+
+
+class TestArming:
+    def test_start_stop_tracing(self, tmp_path):
+        writer = obs.start_tracing(tmp_path / "t.jsonl", trace_id="x")
+        try:
+            assert obs.active() is writer
+            with span("one"):
+                pass
+        finally:
+            stopped = obs.stop_tracing()
+        assert stopped is writer
+        assert obs.active() is None
+        assert writer.spans_written == 1
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(obs.ENV_VAR, raising=False)
+        assert obs.from_env() is None
+        target = tmp_path / "env.jsonl"
+        monkeypatch.setenv(obs.ENV_VAR, str(target))
+        writer = obs.from_env()
+        try:
+            assert writer is not None and writer.path == target
+        finally:
+            obs.stop_tracing()
+
+    def test_tracing_restores_previous_writer(self, tmp_path):
+        outer = obs.start_tracing(tmp_path / "outer.jsonl")
+        try:
+            with tracing(tmp_path / "inner.jsonl"):
+                assert obs.active() is not outer
+            assert obs.active() is outer
+        finally:
+            obs.stop_tracing()
+
+
+class TestReading:
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = {"schema": 1, "trace": "t", "span": 1, "parent": None,
+                "name": "ok", "start": 0.0, "seconds": 0.1,
+                "cpu_seconds": 0.1, "thread": "MainThread", "attrs": {}}
+        path.write_text(json.dumps(good) + "\n"
+                        "{truncated\n"
+                        "[1, 2, 3]\n"
+                        "\n", encoding="utf-8")
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["ok"]
+
+    def test_build_tree_and_critical_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _trace_nested(path)
+        roots = build_tree(read_trace(path))
+        assert [root.name for root in roots] == ["outer", "sibling"]
+        outer = roots[0]
+        assert sorted(child.name for child in outer.children) == \
+            ["inner.a", "inner.b"]
+        chain = critical_path(outer)
+        assert chain[0].name == "outer"
+        assert chain[-1].name in ("inner.a", "inner.b")
+
+    def test_orphan_parent_surfaces_as_root(self):
+        records = [{"span": 5, "parent": 99, "name": "orphan",
+                    "start": 0.0, "seconds": 0.1}]
+        roots = build_tree(records)
+        assert [root.name for root in roots] == ["orphan"]
+
+    def test_render_summary(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _trace_nested(path)
+        summary = render_summary(read_trace(path))
+        assert "4 spans" in summary
+        assert "- outer" in summary
+        assert "critical path: outer > inner." in summary
+        assert "[kind=test]" in summary
+
+    def test_render_summary_empty(self):
+        assert "empty trace" in render_summary([])
+
+
+class TestWriterRobustness:
+    def test_write_after_close_is_silent(self, tmp_path):
+        writer = obs.TraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.write({"name": "late"})  # must not raise
+        assert writer.spans_written == 0

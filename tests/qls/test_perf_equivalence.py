@@ -703,3 +703,69 @@ def _reference_following(frontier, limit):
                 break
             queue.append(nxt)
     return result
+
+
+class TestObservabilityGoldens:
+    """Arming the observability layer must never change routing output.
+
+    Runs the pinned router goldens with metrics, tracing, AND profiling
+    all armed at once — the swap counts and circuit hashes must stay bit
+    for bit identical to the disarmed goldens above.
+    """
+
+    def test_route_golden_with_obs_armed(self, arch_instance, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import profile as obs_profile
+        from repro.obs import trace as obs_trace
+
+        arch, device, inst = arch_instance
+        skeleton = inst.circuit.without_single_qubit_gates()
+        mapping = Mapping.random_complete(device.num_qubits,
+                                          random.Random(42))
+        with obs_metrics.enabled() as registry, \
+                obs_trace.tracing(tmp_path / "trace.jsonl"), \
+                obs_profile.profiling():
+            outcome = route(skeleton, device, mapping, SabreParameters(),
+                            random.Random(7))
+        assert outcome.swap_count == GOLDEN[arch]["route_swaps"]
+        assert routed_hash(outcome.routed) == GOLDEN[arch]["route_hash"]
+        assert obs_metrics.active() is not registry  # armed state restored
+
+    def test_tketlike_golden_with_obs_armed(self, arch_instance, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        arch, device, inst = arch_instance
+        with obs_metrics.enabled() as registry, \
+                obs_trace.tracing(tmp_path / "trace.jsonl"):
+            result = TketLikeRouter(seed=13).run(inst.circuit, device)
+        assert result.swap_count == ROUTER_GOLDEN[arch]["tket_swaps"]
+        assert circuit_hash(result.circuit) == \
+            ROUTER_GOLDEN[arch]["tket_hash"]
+        del registry  # routers emit no per-run counters outside pipelines
+
+    def test_pipeline_golden_with_obs_armed(self, arch_instance, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        arch, device, inst = arch_instance
+        pipeline = build_pipeline("sabre", seed=3)
+        disarmed = pipeline.run(inst.circuit, device)
+        trace_path = tmp_path / "trace.jsonl"
+        with obs_metrics.enabled() as registry, \
+                obs_trace.tracing(trace_path):
+            armed = pipeline.run(inst.circuit, device)
+        assert armed.swap_count == disarmed.swap_count
+        assert circuit_hash(armed.circuit) == circuit_hash(disarmed.circuit)
+        # serialized stage records keep the pre-obs layout (no profile
+        # key) and identical routing content; only wall timings differ
+        for armed_rec, disarmed_rec in zip(armed.stages, disarmed.stages):
+            a, d = armed_rec.to_dict(), disarmed_rec.to_dict()
+            assert set(a) == set(d) == {"name", "seconds", "swaps_after"}
+            assert a["name"] == d["name"]
+            assert a["swaps_after"] == d["swaps_after"]
+        # the armed run recorded real telemetry
+        assert registry.counter("repro_pipeline_runs_total") \
+            .value(pipeline="sabre") == 1
+        records = obs_trace.read_trace(trace_path)
+        assert any(r["name"] == "pipeline.run" for r in records)
