@@ -3,7 +3,8 @@
 
 Each smoke gate refreshes its own JSON artifact (BENCH_service.json,
 BENCH_server.json, BENCH_chaos.json, BENCH_sat.json, BENCH_obs.json,
-...).  This script flattens them all into a single benchmark trajectory
+BENCH_lint.json from the contract-linter gate in check.sh, ...).  This
+script flattens them all into a single benchmark trajectory
 table — one row per scalar metric — so a run's results can be eyeballed
 or diffed in one place::
 

@@ -19,12 +19,22 @@
 # BENCH_sat.json), and the observability contract — a served batch with
 # tracing + metrics armed whose /v1/metrics scrape parses and whose
 # span tree reconstructs (--obs-smoke, refreshing BENCH_obs.json).
+#
+# Before any of that, the contract linter (repro.lint) must come back
+# clean against the committed baseline — it is the cheapest gate and
+# catches determinism/lock-discipline/registry regressions statically.
+# The run refreshes BENCH_lint.json so bench_report.py tracks analyzer
+# wall-clock alongside the other benchmarks.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== contract linter: python -m repro.lint src/ benchmarks/ scripts/"
+python -m repro.lint src/ benchmarks/ scripts/ --bench-json BENCH_lint.json
+
+echo
 echo "== tier-1: python -m pytest -x -q"
 python -m pytest -x -q
 

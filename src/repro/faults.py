@@ -142,8 +142,8 @@ class FaultPlan:
                  points: Sequence[FaultPoint] = ()) -> None:
         self.seed = seed
         self.points: List[FaultPoint] = list(points)
-        self._counts: Dict[str, int] = {}
-        self._fired: List[Tuple[str, str, int]] = []
+        self._counts: Dict[str, int] = {}  # guarded-by: _lock
+        self._fired: List[Tuple[str, str, int]] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # -- construction ----------------------------------------------------------

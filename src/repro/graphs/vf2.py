@@ -19,6 +19,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 Edge = Tuple[int, int]
 
 
+def _stable(nodes: Iterable) -> List:
+    """Nodes in a deterministic order.  Nodes are usually ints (qubits)
+    but the matcher accepts arbitrary hashables; ``repr`` keeps mixed or
+    unorderable node types sortable."""
+    return sorted(nodes, key=lambda node: (node,) if isinstance(node, int)
+                  else (float("inf"), repr(node)))
+
+
 class _Graph:
     """Tiny adjacency-set view over arbitrary hashable nodes."""
 
@@ -63,12 +71,15 @@ class SubgraphMatcher:
         self._order = self._variable_order()
 
     def _variable_order(self) -> List:
+        # Iterate candidates in sorted order so max() breaks score ties
+        # deterministically — tie order decides which mapping the search
+        # finds first, which must not depend on set/hash order.
         remaining = set(self.pattern.adj)
         order: List = []
         in_order: Set = set()
         while remaining:
             best = max(
-                remaining,
+                _stable(remaining),
                 key=lambda v: (
                     sum(1 for u in self.pattern.adj[v] if u in in_order),
                     self.pattern.degree(v),
@@ -133,7 +144,10 @@ class SubgraphMatcher:
         else:
             pool = set(self.host.adj)
         degree = self.pattern.degree(node)
-        return [c for c in pool if c not in used and self.host.degree(c) >= degree]
+        # Candidate order decides which monomorphism _search returns;
+        # sort so the result is independent of set/hash order.
+        return [c for c in _stable(pool)
+                if c not in used and self.host.degree(c) >= degree]
 
     def _search(self, depth: int, mapping: Dict, used: Set) -> bool:
         if depth == len(self._order):

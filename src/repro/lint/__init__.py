@@ -1,0 +1,21 @@
+"""Contract linter for this repo: AST-based static analysis.
+
+The goldens pin *behaviour*; :mod:`repro.lint` pins the *conventions*
+that keep the behaviour pinned — determinism of decision paths, lock
+discipline in the serving stack, and the declaration registries for
+fault sites and metrics.  Run it as ``python -m repro.lint [paths]``;
+see the README "Static analysis" section for the rule table, pragma
+grammar, and baseline workflow.
+"""
+
+from .baseline import DEFAULT_BASELINE, Baseline, BaselineEntry
+from .core import Finding, Project, Rule
+from .engine import Engine, LintResult, discover_files
+from .rules import ALL_RULES, default_rules, rules_by_id
+from .source import SourceFile
+
+__all__ = [
+    "ALL_RULES", "Baseline", "BaselineEntry", "DEFAULT_BASELINE",
+    "Engine", "Finding", "LintResult", "Project", "Rule", "SourceFile",
+    "default_rules", "discover_files", "rules_by_id",
+]

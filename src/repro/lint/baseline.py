@@ -1,0 +1,134 @@
+"""The committed baseline: intentional exceptions, each justified.
+
+A finding the repo has decided to live with (an order-insensitive glob
+loop, a documented benign race) is recorded here instead of carrying an
+inline pragma — the baseline keeps every exception in one reviewable
+place, with a one-line justification per entry.
+
+Entries match findings on ``(rule, file, context)`` where ``context`` is
+the stripped source line, *not* the line number — edits elsewhere in the
+file do not invalidate the baseline.  Each entry carries a ``count``:
+``count`` findings with that key are absorbed, the ``count+1``-th is
+reported (a regression hiding behind an existing exception still
+fails).  Entries that no longer match anything are reported as *stale*
+so they get pruned, but staleness alone never fails a run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+#: Default baseline path, relative to the project root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_KEY_FIELDS = ("rule", "file", "context")
+
+
+class BaselineEntry:
+    def __init__(self, rule: str, file: str, context: str,
+                 justification: str, count: int = 1) -> None:
+        self.rule = rule
+        self.file = file
+        self.context = context
+        self.justification = justification
+        self.count = count
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.file, self.context)
+
+    def to_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "rule": self.rule,
+            "file": self.file,
+            "context": self.context,
+            "justification": self.justification,
+        }
+        if self.count != 1:
+            entry["count"] = self.count
+        return entry
+
+
+class Baseline:
+    """A set of justified exceptions and the matching machinery."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    # -- I/O -------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = []
+        for raw in payload.get("entries", []):
+            missing = [field for field in _KEY_FIELDS if field not in raw]
+            if missing:
+                raise ValueError(
+                    f"baseline entry missing {', '.join(missing)}: {raw!r}")
+            entries.append(BaselineEntry(
+                rule=raw["rule"], file=raw["file"], context=raw["context"],
+                justification=raw.get("justification", ""),
+                count=int(raw.get("count", 1)),
+            ))
+        return cls(entries)
+
+    @classmethod
+    def load_or_empty(cls, path: Path) -> "Baseline":
+        return cls.load(path) if path.is_file() else cls()
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "comment": ("repro.lint baseline: intentional, justified "
+                        "exceptions. Matched on (rule, file, context); "
+                        "keep justifications current."),
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries, key=BaselineEntry.key)],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      justification: str = "TODO: justify") -> "Baseline":
+        """A baseline absorbing exactly ``findings`` (``--write-baseline``);
+        justifications start as placeholders for the author to fill in."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            counts[finding.baseline_key()] = \
+                counts.get(finding.baseline_key(), 0) + 1
+        entries = [BaselineEntry(rule=rule, file=file, context=context,
+                                 justification=justification, count=count)
+                   for (rule, file, context), count in counts.items()]
+        return cls(entries)
+
+    # -- matching --------------------------------------------------------------
+
+    def split(self, findings: Sequence[Finding]) \
+            -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """``(unbaselined, absorbed, stale_entries)`` for one run."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        matched: Dict[Tuple[str, str, str], int] = {}
+        unbaselined: List[Finding] = []
+        absorbed: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.baseline_key()
+            if matched.get(key, 0) < budget.get(key, 0):
+                matched[key] = matched.get(key, 0) + 1
+                absorbed.append(finding)
+            else:
+                unbaselined.append(finding)
+        stale = [entry for entry in self.entries
+                 if matched.get(entry.key(), 0) == 0]
+        return unbaselined, absorbed, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"Baseline({len(self.entries)} entries)"

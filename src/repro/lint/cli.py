@@ -1,0 +1,151 @@
+"""``python -m repro.lint``: the contract linter's command line.
+
+Exit codes: ``0`` clean (all findings baselined or none), ``1``
+unbaselined findings, ``2`` usage error.  ``--format json`` emits a
+machine-readable report; ``--bench-json`` additionally writes a
+``BENCH_*.json``-shaped timing record so ``scripts/bench_report.py``
+tracks analyzer cost alongside the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .engine import Engine
+from .rules import default_rules, rules_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Contract linter: determinism, lock discipline, and "
+                    "registry consistency for this repo.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="project root for relative paths and the "
+                             "default baseline (default: cwd)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: "
+                             f"<root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, baseline ignored")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="absorb current findings into a baseline "
+                             "file at PATH and exit 0")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--bench-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a BENCH-shaped timing record to PATH")
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[object]:
+    if spec is None:
+        return default_rules()
+    known = rules_by_id()
+    selected = []
+    for rule_id in (part.strip() for part in spec.split(",")):
+        if not rule_id:
+            continue
+        if rule_id not in known:
+            raise SystemExit(
+                f"error: unknown rule {rule_id!r} "
+                f"(known: {', '.join(sorted(known))})")
+        selected.append(known[rule_id]())
+    if not selected:
+        raise SystemExit("error: --rules selected nothing")
+    return selected
+
+
+def _render_text(unbaselined, absorbed, stale, result, out) -> None:
+    for finding in unbaselined:
+        print(finding.render(), file=out)
+    for entry in stale:
+        print(f"note: stale baseline entry [{entry.rule}] {entry.file}: "
+              f"{entry.context!r} no longer matches anything — prune it",
+              file=out)
+    verdict = "clean" if not unbaselined else "FAILED"
+    print(f"repro.lint: {len(result.project)} files, "
+          f"{len(unbaselined)} finding(s), {len(absorbed)} baselined, "
+          f"{len(result.suppressed)} pragma-suppressed "
+          f"[{result.elapsed_seconds:.2f}s] -> {verdict}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    try:
+        options = parser.parse_args(argv)
+        rules = _select_rules(options.rules)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors already; normalize ours too.
+        code = exc.code
+        if isinstance(code, str):
+            print(code, file=sys.stderr)
+            return 2
+        return 2 if code else int(code or 0)
+
+    if options.list_rules:
+        for rule in rules:
+            print(f"{rule.id:>22}  {rule.contract}", file=out)
+        return 0
+
+    root = (options.root if options.root is not None else Path.cwd())
+    engine = Engine(rules=rules, root=root)
+    # Relative paths are rooted at --root, so `--root /repo src` works
+    # from anywhere (and is a no-op for the default root=cwd case).
+    result = engine.run_paths([
+        path if path.is_absolute() else root / path
+        for path in (Path(raw) for raw in options.paths)])
+
+    if options.write_baseline is not None:
+        Baseline.from_findings(result.findings).dump(options.write_baseline)
+        print(f"repro.lint: wrote {len(result.findings)} finding(s) to "
+              f"{options.write_baseline} — fill in the justifications",
+              file=out)
+        return 0
+
+    if options.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline_path = options.baseline if options.baseline is not None \
+            else root / DEFAULT_BASELINE
+        baseline = Baseline.load_or_empty(baseline_path)
+    unbaselined, absorbed, stale = baseline.split(result.findings)
+
+    if options.bench_json is not None:
+        options.bench_json.write_text(json.dumps({
+            "bench": "lint",
+            "files": len(result.project),
+            "findings": len(unbaselined),
+            "baselined": len(absorbed),
+            "suppressed": len(result.suppressed),
+            "elapsed_seconds": round(result.elapsed_seconds, 4),
+        }, indent=2) + "\n", encoding="utf-8")
+
+    if options.format == "json":
+        print(json.dumps({
+            "files": len(result.project),
+            "clean": not unbaselined,
+            "elapsed_seconds": round(result.elapsed_seconds, 4),
+            "findings": [finding.to_dict() for finding in unbaselined],
+            "baselined": [finding.to_dict() for finding in absorbed],
+            "stale_baseline_entries": [entry.to_dict() for entry in stale],
+        }, indent=2), file=out)
+    else:
+        _render_text(unbaselined, absorbed, stale, result, out)
+    return 1 if unbaselined else 0

@@ -1,0 +1,113 @@
+"""The lint engine: file discovery, rule execution, suppression.
+
+The engine owns everything rules should not have to think about:
+
+* **discovery** — arguments are files or directories; directories are
+  walked recursively for ``*.py`` in sorted order (``__pycache__`` and
+  hidden directories skipped), so runs are deterministic;
+* **parse errors** — a file that does not parse yields one
+  ``parse-error`` finding and is excluded from every rule;
+* **suppression** — ``# repro-lint: disable=...`` pragmas are applied
+  here, after rules report, so rules stay suppression-oblivious;
+* **ordering** — findings come back sorted by ``(path, line, rule)``.
+
+Baseline subtraction is a separate concern (:mod:`repro.lint.baseline`)
+applied by the CLI on top of the engine result.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .core import Finding, Project, Rule
+from .rules import default_rules
+from .source import SourceFile
+
+#: Pseudo-rule id for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+
+_SKIP_DIRS = frozenset({"__pycache__"})
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths``, deterministic order, no duplicates."""
+    files: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                candidate for candidate in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in candidate.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+class LintResult:
+    """Everything one engine run produced."""
+
+    def __init__(self, project: Project, findings: List[Finding],
+                 suppressed: List[Finding],
+                 elapsed_seconds: float) -> None:
+        self.project = project
+        self.findings = findings
+        self.suppressed = suppressed
+        self.elapsed_seconds = elapsed_seconds
+
+    def __repr__(self) -> str:
+        return (f"LintResult({len(self.project)} files, "
+                f"{len(self.findings)} findings, "
+                f"{len(self.suppressed)} suppressed)")
+
+
+class Engine:
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 root: Optional[Path] = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.root = root if root is not None else Path.cwd()
+
+    # -- running ---------------------------------------------------------------
+
+    def run_paths(self, paths: Sequence[Path]) -> LintResult:
+        files = discover_files(paths)
+        sources = [SourceFile.load(path, self.root) for path in files]
+        return self.run_sources(sources)
+
+    def run_sources(self, sources: Iterable[SourceFile]) -> LintResult:
+        started = time.perf_counter()
+        project = Project(list(sources))
+        raw: List[Finding] = []
+        for source in project:
+            if source.parse_error is not None:
+                exc = source.parse_error
+                raw.append(Finding(
+                    rule=PARSE_ERROR_RULE, path=source.rel,
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                ))
+                continue
+            for rule in self.rules:
+                raw.extend(rule.check_file(source))
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+        findings: List[Finding] = []
+        suppressed: List[Finding] = []
+        by_rel = {source.rel: source for source in project}
+        for finding in sorted(raw, key=Finding.sort_key):
+            source = by_rel.get(finding.path)
+            if source is not None and finding.rule != PARSE_ERROR_RULE \
+                    and source.is_suppressed(finding.rule, finding.line):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+        elapsed = time.perf_counter() - started
+        return LintResult(project, findings, suppressed, elapsed)

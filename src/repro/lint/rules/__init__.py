@@ -1,0 +1,40 @@
+"""Rule registry: every contract rule the engine runs by default."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import Rule
+from .determinism import SetIterationRule, UnseededRandomRule, WallClockRule
+from .faults_registry import FaultRegistryRule
+from .locks import LockDisciplineRule
+from .metrics_decl import MetricHygieneRule
+from .serialization import SerializationRule
+
+#: Rule classes in documentation order (determinism, locks, registries).
+ALL_RULES = (
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+    LockDisciplineRule,
+    FaultRegistryRule,
+    MetricHygieneRule,
+    SerializationRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def rules_by_id() -> Dict[str, type]:
+    return {rule_cls.id: rule_cls for rule_cls in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES", "default_rules", "rules_by_id",
+    "SetIterationRule", "UnseededRandomRule", "WallClockRule",
+    "LockDisciplineRule", "FaultRegistryRule", "MetricHygieneRule",
+    "SerializationRule",
+]

@@ -1,0 +1,275 @@
+"""Determinism rules: no unordered iteration, unseeded RNG, or wall
+clock in decision paths.
+
+Every golden in this repo pins bit-identical output for a fixed seed, so
+the three classic nondeterminism leaks are contract violations:
+
+* ``det-set-iter`` — order-sensitive consumption of an unordered
+  iterable: ``for`` loops, list comprehensions, ``list()``/``tuple()``/
+  ``enumerate()``/``join()`` over a ``set``/``frozenset`` expression (or
+  a local variable bound to one), or over a filesystem listing
+  (``glob``/``rglob``/``iterdir``/``scandir``/``listdir``), whose order
+  is OS-dependent.  Wrapping in ``sorted(...)`` is the fix and is never
+  flagged; genuinely order-insensitive loops carry a pragma or a
+  baseline entry.
+* ``det-unseeded-random`` — module-level :mod:`random` functions (the
+  process-global RNG) instead of a seeded ``random.Random(seed)``
+  instance; also ``from random import ...`` of those functions and
+  unseeded ``numpy.random`` use.
+* ``det-wallclock`` — wall-clock and entropy sources
+  (``time.time``/``time.time_ns``, ``datetime.now``/``utcnow``/
+  ``today``, ``uuid.uuid1``/``uuid4``, ``os.urandom``, ``secrets.*``)
+  outside the obs/serving/timing allowlist
+  (:data:`WALLCLOCK_ALLOWED`).  ``time.perf_counter``/``monotonic`` are
+  measurement, not identity, and are never flagged; entropy sources are
+  flagged everywhere, allowlist included.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ..core import Finding, Rule
+from ..source import SourceFile, dotted_name
+
+#: Calls that build a set.
+_SET_CALLS = frozenset({"set", "frozenset"})
+#: Methods returning a set when called on one (close enough: these names
+#: are overwhelmingly set methods in practice).
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference"})
+#: Methods/functions that list a directory in OS-dependent order.
+_FS_METHODS = frozenset({"glob", "rglob", "iterdir", "scandir", "listdir"})
+#: Wrappers whose output order mirrors their input order.
+_ORDER_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+#: ``random`` module attributes that are fine: seeded-RNG constructors
+#: and state plumbing.
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "seed", "getstate",
+                        "setstate"})
+_NUMPY_RANDOM_OK = frozenset({"default_rng", "RandomState", "Generator",
+                              "SeedSequence", "seed"})
+
+#: Module path fragments where time-of-day reads are legitimate —
+#: observability, the serving tier's timestamps/eviction/backoff, and
+#: harness timing.  Entropy sources are *never* allowlisted.
+WALLCLOCK_ALLOWED = (
+    "repro/obs/",
+    "repro/service/",
+    "repro/evalx/",
+    "benchmarks/",
+    "scripts/",
+)
+
+#: Fully qualified call names that read the wall clock.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+#: Fully qualified call names that read process entropy.
+_ENTROPY_CALLS = frozenset({
+    "uuid.uuid1", "uuid.uuid4", "os.urandom",
+})
+
+
+def _unordered_kind(node: ast.AST, set_vars: Dict[str, bool]) \
+        -> Optional[str]:
+    """Why ``node`` evaluates to an unordered iterable, or ``None``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CALLS:
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_METHODS:
+                return f"a set (.{func.attr}())"
+            if func.attr in _FS_METHODS:
+                return (f"an OS-ordered filesystem listing "
+                        f"(.{func.attr}())")
+    if isinstance(node, ast.Name) and set_vars.get(node.id):
+        return f"a set (local {node.id!r})"
+    return None
+
+
+class _ScopeWalker(ast.NodeVisitor):
+    """One lexical scope: tracks local names bound to set expressions
+    and reports order-sensitive consumption of unordered iterables.
+    Nested function scopes are walked independently (their locals are
+    their own)."""
+
+    def __init__(self, rule: "SetIterationRule", source: SourceFile,
+                 findings: List[Finding]) -> None:
+        self.rule = rule
+        self.source = source
+        self.findings = findings
+        self.set_vars: Dict[str, bool] = {}
+
+    # -- local set inference ---------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            self.set_vars[name] = (
+                _unordered_kind(node.value, {}) is not None
+                and not self._is_fs_listing(node.value)
+            )
+
+    @staticmethod
+    def _is_fs_listing(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_METHODS)
+
+    # -- consumption sites -----------------------------------------------------
+
+    def _flag(self, node: ast.AST, how: str, kind: str) -> None:
+        self.findings.append(self.rule.finding(
+            self.source, node.lineno,
+            f"{how} iterates over {kind}: iteration order is "
+            f"nondeterministic — sort it (or pragma/baseline an "
+            f"order-insensitive use)",
+        ))
+
+    def visit_For(self, node: ast.For) -> None:
+        kind = _unordered_kind(node.iter, self.set_vars)
+        if kind is not None:
+            self._flag(node.iter, "for loop", kind)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for comp in node.generators:
+            kind = _unordered_kind(comp.iter, self.set_vars)
+            if kind is not None:
+                self._flag(comp.iter, "list comprehension", kind)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee: Optional[str] = None
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_WRAPPERS:
+            callee = f"{node.func.id}()"
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "join":
+            callee = "str.join()"
+        if callee is not None and node.args:
+            kind = _unordered_kind(node.args[0], self.set_vars)
+            if kind is not None:
+                self._flag(node, callee, kind)
+        self.generic_visit(node)
+
+    # -- scope boundaries ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        _walk_scope(self.rule, self.source, node, self.findings)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        _walk_scope(self.rule, self.source, node, self.findings)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        _walk_scope(self.rule, self.source, node, self.findings)
+
+
+def _walk_scope(rule: "SetIterationRule", source: SourceFile, node,
+                findings: List[Finding]) -> None:
+    walker = _ScopeWalker(rule, source, findings)
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        walker.visit(stmt)
+
+
+class SetIterationRule(Rule):
+    id = "det-set-iter"
+    contract = ("No order-sensitive iteration over sets or OS-ordered "
+                "filesystem listings (sorted() it, or justify).")
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        _walk_scope(self, source, source.tree, findings)
+        return findings
+
+
+class UnseededRandomRule(Rule):
+    id = "det-unseeded-random"
+    contract = ("No process-global RNG: randomness flows through a "
+                "seeded random.Random(seed) instance.")
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name not in _RANDOM_OK)
+                if bad:
+                    findings.append(self.finding(
+                        source, node.lineno,
+                        f"importing module-level RNG function(s) "
+                        f"{', '.join(bad)} from random: use a seeded "
+                        f"random.Random(seed) instance",
+                    ))
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name.startswith("random.") \
+                        and name.split(".", 1)[1] not in _RANDOM_OK:
+                    findings.append(self.finding(
+                        source, node.lineno,
+                        f"{name}() uses the process-global RNG: seed a "
+                        f"random.Random(seed) instance instead",
+                    ))
+                elif (name.startswith(("np.random.", "numpy.random."))
+                      and name.rsplit(".", 1)[1] not in _NUMPY_RANDOM_OK):
+                    findings.append(self.finding(
+                        source, node.lineno,
+                        f"{name}() uses numpy's global RNG: use "
+                        f"numpy.random.default_rng(seed)",
+                    ))
+        return findings
+
+
+class WallClockRule(Rule):
+    id = "det-wallclock"
+    contract = ("No wall-clock or entropy reads in compile decision "
+                "paths (timestamps belong to the obs/serving tier).")
+
+    #: Path fragments where time-of-day reads are allowed.
+    allowed_prefixes = WALLCLOCK_ALLOWED
+
+    def _time_allowed(self, rel: str) -> bool:
+        return any(fragment in rel for fragment in self.allowed_prefixes)
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        time_ok = self._time_allowed(source.rel)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALLCLOCK_CALLS and not time_ok:
+                findings.append(self.finding(
+                    source, node.lineno,
+                    f"{name}() reads the wall clock in a decision-path "
+                    f"module: derive the value from inputs, or move the "
+                    f"timestamp to the obs/serving tier",
+                ))
+            elif name in _ENTROPY_CALLS or name.startswith("secrets."):
+                findings.append(self.finding(
+                    source, node.lineno,
+                    f"{name}() draws process entropy: identities and "
+                    f"keys must be content-derived (fingerprints, "
+                    f"sequential ids)",
+                ))
+        return findings

@@ -1,0 +1,164 @@
+"""Fault-site consistency: call sites <-> the ``repro.faults`` registry.
+
+:data:`repro.faults.SITES` is the single source of truth for which choke
+points are instrumented; chaos specs, docs, and recovery tests all key
+off those names.  This project rule cross-checks both directions:
+
+* **used-but-undeclared** — a site name reaching ``faults.poll(...)``,
+  a ``FaultPoint(site=...)`` literal, or a ``from_spec("...")`` spec
+  string that is not in ``SITES`` (a typo'd or never-registered site
+  silently never fires);
+* **declared-but-unused** — a ``SITES`` entry no call site polls
+  (dead registry entries rot into false documentation).
+
+Site names are resolved statically: string literals directly, and
+``faults.POOL_TASK``-style constants through the registry module's own
+module-level string assignments.  Dynamic names (variables, parameters)
+are skipped — the grammar of the codebase only ever uses constants.
+
+The rule silently skips projects that do not include the registry file
+(fixture runs, partial scans of ``scripts/`` alone).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule
+from ..source import SourceFile, const_str, dotted_name
+
+#: Path suffix locating the registry module inside a scanned project.
+REGISTRY_SUFFIX = "repro/faults.py"
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments."""
+    constants: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            value = const_str(stmt.value)
+            if value is not None:
+                constants[stmt.targets[0].id] = value
+    return constants
+
+
+def _declared_sites(source: SourceFile) \
+        -> Optional[Tuple[Dict[str, str], Dict[str, int]]]:
+    """``(constants, {site: SITES line})`` from the registry module, or
+    ``None`` when no ``SITES`` tuple is found."""
+    if source.tree is None:
+        return None
+    constants = _module_constants(source.tree)
+    for stmt in source.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.targets[0].id == "SITES" \
+                and isinstance(stmt.value, (ast.Tuple, ast.List)):
+            sites: Dict[str, int] = {}
+            for element in stmt.value.elts:
+                value = const_str(element)
+                if value is None and isinstance(element, ast.Name):
+                    value = constants.get(element.id)
+                if value is not None:
+                    sites.setdefault(value, element.lineno)
+            return constants, sites
+    return None
+
+
+def _spec_sites(spec: str) -> List[str]:
+    """Site names inside a ``from_spec`` grammar string."""
+    sites: List[str] = []
+    for segment in spec.split(";"):
+        segment = segment.strip()
+        if not segment or segment.startswith("seed=") or "@" not in segment:
+            continue
+        head = segment.partition("@")[0]
+        site = head.rpartition(":")[0].strip()
+        if site:
+            sites.append(site)
+    return sites
+
+
+class FaultRegistryRule(Rule):
+    id = "fault-registry"
+    contract = ("Every fault-site name used at a poll/FaultPoint/spec "
+                "site exists in repro.faults.SITES, and every SITES "
+                "entry is polled somewhere.")
+
+    def check_project(self, project) -> List[Finding]:
+        registry = project.find_suffix(REGISTRY_SUFFIX)
+        if registry is None:
+            return []
+        declared = _declared_sites(registry)
+        if declared is None:
+            return []
+        constants, sites = declared
+        findings: List[Finding] = []
+        used: Set[str] = set()
+        for source in project.parsed():
+            in_registry = source is registry
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for site, line in self._call_sites(node, constants):
+                    used.add(site)
+                    if site not in sites and not in_registry:
+                        findings.append(self.finding(
+                            source, line,
+                            f"fault site {site!r} is not declared in "
+                            f"repro.faults.SITES: a typo here means the "
+                            f"fault silently never fires",
+                        ))
+        # The unused direction is only meaningful when the scan actually
+        # covers call sites (a single-file run over the registry alone
+        # would flag every site as dead).
+        if not used:
+            return findings
+        for site in sorted(sites):
+            if site not in used:
+                findings.append(self.finding(
+                    registry, sites[site],
+                    f"fault site {site!r} is declared in SITES but no "
+                    f"call site polls it: dead registry entry",
+                ))
+        return findings
+
+    def _call_sites(self, node: ast.Call,
+                    constants: Dict[str, str]) -> List[Tuple[str, int]]:
+        """``(site, line)`` pairs referenced by one call expression."""
+        name = dotted_name(node.func)
+        if name is None:
+            return []
+        short = name.rsplit(".", 1)[-1]
+        results: List[Tuple[str, int]] = []
+        if short == "poll" and node.args:
+            site = self._resolve(node.args[0], constants)
+            if site is not None:
+                results.append((site, node.lineno))
+        elif short == "FaultPoint":
+            for keyword in node.keywords:
+                if keyword.arg == "site":
+                    site = self._resolve(keyword.value, constants)
+                    if site is not None:
+                        results.append((site, node.lineno))
+        elif short == "from_spec" and node.args:
+            spec = const_str(node.args[0])
+            if spec is not None:
+                for site in _spec_sites(spec):
+                    results.append((site, node.lineno))
+        return results
+
+    @staticmethod
+    def _resolve(node: ast.AST, constants: Dict[str, str]) -> Optional[str]:
+        """A site argument's static value: string literal, bare
+        constant name, or ``faults.CONST`` attribute."""
+        value = const_str(node)
+        if value is not None:
+            return value
+        if isinstance(node, ast.Name):
+            return constants.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return constants.get(node.attr)
+        return None

@@ -1,0 +1,291 @@
+"""Lock-discipline rule: a lightweight static race detector.
+
+The serving stack shares mutable state across threads (HTTP handler
+threads, the job executor, pool callback threads).  The convention since
+PR 5 is that every such field is only touched inside ``with
+self.<lock>:``; this rule makes the convention machine-checked through
+two complementary obligations:
+
+1. **Guarded access** — a field declared ``# guarded-by: <lock>`` (on
+   its assignment line; several comma-separated names mean any one
+   suffices, for aliases like a ``Condition`` wrapping the lock) may
+   only be read or written lexically inside ``with self.<lock>:`` for
+   one of its declared locks, or inside a method whose ``def`` line is
+   annotated ``# requires-lock: <lock>`` (held-by-caller helpers).
+   ``__init__``/``__post_init__``/``__repr__``/``__del__`` are exempt
+   (construction precedes sharing; repr is best-effort diagnostics).
+   Code inside nested functions/lambdas is *not* credited with an
+   enclosing ``with`` — callbacks run later, lock long released.
+
+2. **Coverage** — in a lock-owning class (one that creates a
+   ``threading`` lock, uses ``with self...:`` anywhere, or inherits
+   either), every field that is mutated outside ``__init__`` must carry
+   a ``guarded-by`` declaration.  Deleting an annotation therefore
+   *fires* the rule instead of silently shrinking its coverage.
+
+Lock names are attribute paths rooted at ``self`` (``_lock``,
+``registry._lock``).  Base classes are resolved within the same file,
+so ``Counter`` inherits ``_Metric``'s declarations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule
+from ..source import SourceFile, self_attr_path, self_attr_root
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                             "BoundedSemaphore"})
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__repr__",
+                             "__del__", "__new__"})
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "update", "setdefault", "move_to_end",
+})
+#: ``heapq`` functions that mutate their first argument.
+_HEAPQ_MUTATORS = frozenset({"heappush", "heappop", "heapify",
+                             "heappushpop", "heapreplace"})
+
+
+class _ClassInfo:
+    """Everything the rule tracks about one class."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.name = node.name
+        self.bases = [base.id for base in node.bases
+                      if isinstance(base, ast.Name)]
+        self.lock_attrs: Set[str] = set()
+        #: field -> (locks that guard it, declaration line)
+        self.guarded: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+        self.fields_init: Set[str] = set()
+        #: field -> first line of a mutation outside __init__.
+        self.mutated: Dict[str, int] = {}
+        self.uses_with_self = False
+        self.resolved = False
+
+
+def _is_lock_factory(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES
+
+
+def _note_mutation(info: _ClassInfo, field: str, line: int) -> None:
+    info.mutated.setdefault(field, line)
+
+
+def _collect_method_facts(info: _ClassInfo, method, source: SourceFile) \
+        -> None:
+    """First pass over one method: field declarations, lock creation,
+    mutation sites, and with-over-self usage."""
+    in_init = method.name in _INIT_METHODS
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = getattr(node, "value", None)
+            for target in targets:
+                path = self_attr_path(target)
+                if path is not None and len(path) == 1:
+                    field = path[0]
+                    if in_init:
+                        info.fields_init.add(field)
+                    if value is not None and _is_lock_factory(value):
+                        info.lock_attrs.add(field)
+                    locks = source.guarded_by.get(target.lineno)
+                    if locks:
+                        info.guarded.setdefault(field,
+                                                (locks, target.lineno))
+                if not in_init:
+                    root = self_attr_root(target)
+                    if root is not None:
+                        _note_mutation(info, root, target.lineno)
+        elif isinstance(node, ast.Delete) and not in_init:
+            for target in node.targets:
+                root = self_attr_root(target)
+                if root is not None:
+                    _note_mutation(info, root, target.lineno)
+        elif isinstance(node, ast.Call) and not in_init:
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _MUTATOR_METHODS:
+                root = self_attr_root(func.value)
+                if root is not None:
+                    _note_mutation(info, root, node.lineno)
+            elif (isinstance(func, ast.Attribute)
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id == "heapq"
+                  and func.attr in _HEAPQ_MUTATORS and node.args):
+                root = self_attr_root(node.args[0])
+                if root is not None:
+                    _note_mutation(info, root, node.lineno)
+            elif isinstance(func, ast.Name) and func.id == "next" \
+                    and node.args:
+                # next(self.x) consumes an iterator in place (the
+                # itertools.count id-allocator pattern).
+                root = self_attr_root(node.args[0])
+                if root is not None:
+                    _note_mutation(info, root, node.lineno)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if self_attr_path(item.context_expr) is not None:
+                    info.uses_with_self = True
+
+
+def _collect_class_facts(info: _ClassInfo, source: SourceFile) -> None:
+    for stmt in info.node.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.fields_init.add(target.id)
+                    locks = source.guarded_by.get(target.lineno)
+                    if locks:
+                        info.guarded.setdefault(
+                            target.id, (locks, target.lineno))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_method_facts(info, stmt, source)
+
+
+def _resolve_inheritance(infos: Dict[str, _ClassInfo], info: _ClassInfo,
+                         seen: Optional[Set[str]] = None) -> None:
+    """Fold base-class declarations into ``info`` (same-file bases)."""
+    if info.resolved:
+        return
+    seen = seen or {info.name}
+    info.resolved = True
+    for base in info.bases:
+        parent = infos.get(base)
+        if parent is None or parent.name in seen:
+            continue
+        seen.add(parent.name)
+        _resolve_inheritance(infos, parent, seen)
+        info.lock_attrs |= parent.lock_attrs
+        info.fields_init |= parent.fields_init
+        info.uses_with_self |= parent.uses_with_self
+        for field, decl in parent.guarded.items():
+            info.guarded.setdefault(field, decl)
+
+
+class _AccessChecker(ast.NodeVisitor):
+    """Second pass over one method: flags guarded-field accesses made
+    without one of the declared locks lexically held."""
+
+    def __init__(self, rule: "LockDisciplineRule", source: SourceFile,
+                 info: _ClassInfo, held: Set[str],
+                 findings: List[Finding]) -> None:
+        self.rule = rule
+        self.source = source
+        self.info = info
+        self.held = held
+        self.findings = findings
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: Set[str] = set()
+        for item in node.items:
+            path = self_attr_path(item.context_expr)
+            if path is not None:
+                acquired.add(".".join(path))
+            # The context expression itself evaluates unlocked, but
+            # naming the lock is not an access to a guarded field.
+        before = set(self.held)
+        self.held |= acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = before
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        path = self_attr_path(node)
+        if path is not None:
+            field = path[0]
+            decl = self.info.guarded.get(field)
+            if decl is not None and not (set(decl[0]) & self.held):
+                locks = " or ".join(f"self.{lock}" for lock in decl[0])
+                self.findings.append(self.rule.finding(
+                    self.source, node.lineno,
+                    f"{self.info.name}.{field} is guarded-by "
+                    f"{', '.join(decl[0])} (declared on line {decl[1]}) "
+                    f"but accessed without holding {locks}",
+                ))
+        self.generic_visit(node)
+
+    # Nested callables run later, with no lock held: restart the check
+    # with an empty held-set inside them.
+    def _enter_deferred(self, node) -> None:
+        inner = _AccessChecker(self.rule, self.source, self.info,
+                               set(), self.findings)
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            inner.visit(stmt)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_deferred(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    contract = ("Fields declared '# guarded-by: <lock>' are only touched "
+                "inside 'with self.<lock>:'; every mutated field of a "
+                "lock-owning class carries a declaration.")
+
+    def check_file(self, source: SourceFile) -> List[Finding]:
+        if source.tree is None:
+            return []
+        infos: Dict[str, _ClassInfo] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _ClassInfo(node)
+                _collect_class_facts(info, source)
+                infos[info.name] = info
+        findings: List[Finding] = []
+        for info in infos.values():
+            _resolve_inheritance(infos, info)
+        for info in infos.values():
+            self._check_class(source, info, findings)
+        return findings
+
+    def _check_class(self, source: SourceFile, info: _ClassInfo,
+                     findings: List[Finding]) -> None:
+        # 1. Guarded-access checking, method by method.
+        if info.guarded:
+            for stmt in info.node.body:
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name in _EXEMPT_METHODS:
+                    continue
+                held = set(source.requires_lock.get(stmt.lineno, ()))
+                checker = _AccessChecker(self, source, info, held, findings)
+                for inner in stmt.body:
+                    checker.visit(inner)
+        # 2. Coverage: mutated-but-undeclared fields of lock-owning
+        #    classes.
+        lock_owning = bool(info.lock_attrs) or bool(info.guarded) \
+            or info.uses_with_self
+        if not lock_owning:
+            return
+        for field in sorted(info.mutated):
+            if field in info.guarded or field in info.lock_attrs:
+                continue
+            line = info.mutated[field]
+            findings.append(self.finding(
+                source, line,
+                f"{info.name}.{field} is mutated outside __init__ in a "
+                f"lock-owning class but has no '# guarded-by: <lock>' "
+                f"declaration",
+            ))

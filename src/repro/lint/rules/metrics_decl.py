@@ -1,0 +1,189 @@
+"""Metric/label hygiene: call sites <-> the ``DECLARED_METRICS`` table.
+
+Metric names and label sets are an interface — dashboards, the
+Prometheus endpoint, and ``scripts/bench_report.py`` all consume them by
+name.  The declaration table in :mod:`repro.obs.metrics` is the single
+source of truth; this project rule cross-checks every call site:
+
+* **undeclared name** — ``metrics.counter("repro_typo_total", ...)``
+  creates a series nothing ever scrapes by its intended name;
+* **kind mismatch** — registering a declared counter as a gauge (the
+  registry would raise at runtime, but only on the first armed run that
+  reaches the site);
+* **open label set** — ``.inc(...)``/``.set(...)``/``.observe(...)``
+  keyword labels must *equal* the declared label set.  An extra label is
+  the ``/v1/jobs/{id}``-cardinality class of bug (unbounded series); a
+  missing one silently merges distinct series;
+* **declared-but-unused** — table entries no call site creates.
+
+Only literal-name call sites are checked (``registry.counter(name)``
+plumbing inside the metrics module itself passes variables and is
+skipped).  Var-bound metrics — ``c = metrics.counter("x", ...)`` then
+``c.inc(...)`` — are resolved through single-assignment tracking; a
+name rebound to two different metrics is ambiguous and skipped.
+
+The rule silently skips projects without the registry module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule
+from ..source import SourceFile, const_str
+
+#: Path suffix locating the declaration table inside a scanned project.
+REGISTRY_SUFFIX = "obs/metrics.py"
+TABLE_NAME = "DECLARED_METRICS"
+
+_CREATE_METHODS = frozenset({"counter", "gauge", "histogram"})
+_UPDATE_METHODS = frozenset({"inc", "dec", "set", "observe"})
+#: Positional value argument accepted by each update method (labels are
+#: keyword-only).
+_AMBIGUOUS = object()
+
+
+class _Declaration:
+    def __init__(self, kind: str, labels: Tuple[str, ...],
+                 line: int) -> None:
+        self.kind = kind
+        self.labels = frozenset(labels)
+        self.labels_decl = labels
+        self.line = line
+
+
+def _parse_table(source: SourceFile) -> Optional[Dict[str, _Declaration]]:
+    """The ``DECLARED_METRICS`` literal, or ``None`` when absent."""
+    if source.tree is None:
+        return None
+    for stmt in source.tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not (len(targets) == 1 and isinstance(targets[0], ast.Name)
+                and targets[0].id == TABLE_NAME
+                and isinstance(stmt.value, ast.Dict)):
+            continue
+        table: Dict[str, _Declaration] = {}
+        for key_node, value_node in zip(stmt.value.keys, stmt.value.values):
+            name = const_str(key_node) if key_node is not None else None
+            if name is None \
+                    or not isinstance(value_node, (ast.Tuple, ast.List)) \
+                    or len(value_node.elts) != 2:
+                continue
+            kind = const_str(value_node.elts[0])
+            labels_node = value_node.elts[1]
+            if kind is None \
+                    or not isinstance(labels_node, (ast.Tuple, ast.List)):
+                continue
+            labels = tuple(label for label in
+                           (const_str(el) for el in labels_node.elts)
+                           if label is not None)
+            table[name] = _Declaration(kind, labels, key_node.lineno)
+        return table
+    return None
+
+
+def _creation_name_kind(node: ast.AST) -> Optional[Tuple[str, str, int]]:
+    """``(metric name, kind, line)`` when ``node`` is a literal-name
+    metric-creation call, else ``None``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _CREATE_METHODS and node.args:
+        name = const_str(node.args[0])
+        if name is not None:
+            return name, node.func.attr, node.lineno
+    return None
+
+
+class MetricHygieneRule(Rule):
+    id = "metric-hygiene"
+    contract = ("Metric call sites use names/kinds from the "
+                "DECLARED_METRICS table with exactly the declared "
+                "(closed) label set; every declared metric is used.")
+
+    def check_project(self, project) -> List[Finding]:
+        registry = project.find_suffix(REGISTRY_SUFFIX)
+        if registry is None:
+            return []
+        table = _parse_table(registry)
+        if table is None:
+            return []
+        findings: List[Finding] = []
+        used: Set[str] = set()
+        for source in project.parsed():
+            self._check_file(source, table, used, findings)
+        # Skip the unused direction on partial scans that include the
+        # table but none of the call sites (e.g. a single-file run).
+        if not used:
+            return findings
+        for name in sorted(table):
+            if name not in used:
+                findings.append(self.finding(
+                    registry, table[name].line,
+                    f"metric {name!r} is declared in {TABLE_NAME} but "
+                    f"never created at any call site: dead declaration",
+                ))
+        return findings
+
+    def _check_file(self, source: SourceFile,
+                    table: Dict[str, _Declaration], used: Set[str],
+                    findings: List[Finding]) -> None:
+        # Single-assignment tracking of var-bound metrics.
+        bound: Dict[str, object] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                created = _creation_name_kind(node.value)
+                if created is not None:
+                    var = node.targets[0].id
+                    bound[var] = _AMBIGUOUS if var in bound \
+                        and bound[var] != created[0] else created[0]
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            created = _creation_name_kind(node)
+            if created is not None:
+                name, kind, line = created
+                used.add(name)
+                decl = table.get(name)
+                if decl is None:
+                    findings.append(self.finding(
+                        source, line,
+                        f"metric {name!r} is not in {TABLE_NAME}: an "
+                        f"undeclared name is invisible to every consumer "
+                        f"scraping by declared name",
+                    ))
+                elif decl.kind != kind:
+                    findings.append(self.finding(
+                        source, line,
+                        f"metric {name!r} is declared as a {decl.kind} "
+                        f"but created here as a {kind}",
+                    ))
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _UPDATE_METHODS:
+                target = _creation_name_kind(node.func.value)
+                name = target[0] if target is not None else None
+                if name is None and isinstance(node.func.value, ast.Name):
+                    candidate = bound.get(node.func.value.id)
+                    if isinstance(candidate, str):
+                        name = candidate
+                decl = table.get(name) if name is not None else None
+                if decl is None:
+                    continue
+                if any(keyword.arg is None for keyword in node.keywords):
+                    continue  # **labels: dynamic, not statically checkable
+                labels = frozenset(keyword.arg for keyword in node.keywords)
+                if labels != decl.labels:
+                    declared = ", ".join(decl.labels_decl) or "(none)"
+                    got = ", ".join(sorted(labels)) or "(none)"
+                    findings.append(self.finding(
+                        source, node.lineno,
+                        f"metric {name!r} declares the closed label set "
+                        f"[{declared}] but this {node.func.attr}() call "
+                        f"passes [{got}]: extra labels explode series "
+                        f"cardinality, missing ones merge distinct series",
+                    ))

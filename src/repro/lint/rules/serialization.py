@@ -1,0 +1,178 @@
+"""Serialization coverage: the dataclass graph under ``CompileResponse``.
+
+Responses cross process and version boundaries (HTTP wire format, the
+disk cache, the job journal), so every dataclass *reachable* from
+:class:`repro.service.api.CompileResponse` must round-trip:
+
+* it defines — or inherits from a project class that defines — both
+  ``to_dict`` and ``from_dict``;
+* the serialization envelope is **versioned**: each reachability root
+  writes/reads a schema version (its ``to_dict``/``from_dict`` touch a
+  ``*SCHEMA_VERSION`` constant or a ``"schema"`` key).  Non-root
+  classes are version-covered by the envelope that embeds them.
+
+Reachability is computed statically over class-body annotations
+(``result: QLSResult`` pulls in ``QLSResult``) **and** project
+subclasses (``PipelineResult(QLSResult)`` — the ``register_result_type``
+type-tag dispatch means any registered subclass can appear on the
+wire), and through base classes.  A reachable dataclass missing either
+method, or a root missing versioning, is a finding at its ``class``
+line.
+
+The rule silently skips projects that contain no root class (fixture
+runs over unrelated trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..core import Finding, Rule
+from ..source import SourceFile, dotted_name
+
+#: Class names whose reachable dataclass graph must round-trip.
+ROOTS = ("CompileResponse",)
+
+_VERSION_FRAGMENT = "SCHEMA_VERSION"
+_SCHEMA_KEY = "schema"
+
+
+class _ClassRecord:
+    def __init__(self, source: SourceFile, node: ast.ClassDef,
+                 is_dataclass: bool) -> None:
+        self.source = source
+        self.node = node
+        self.name = node.name
+        self.is_dataclass = is_dataclass
+        self.bases = [base.id for base in node.bases
+                      if isinstance(base, ast.Name)]
+        self.methods: Set[str] = set()
+        self.annotation_names: Set[str] = set()
+        self.versioned = False
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods.add(stmt.name)
+                if _mentions_version(stmt):
+                    self.versioned = True
+            elif isinstance(stmt, ast.AnnAssign):
+                for inner in ast.walk(stmt.annotation):
+                    if isinstance(inner, ast.Name):
+                        self.annotation_names.add(inner.id)
+                    elif isinstance(inner, ast.Constant) \
+                            and isinstance(inner.value, str):
+                        # Forward reference: "QLSResult".
+                        self.annotation_names.add(inner.value)
+
+
+def _mentions_version(method: ast.AST) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Name) and _VERSION_FRAGMENT in node.id:
+            return True
+        if isinstance(node, ast.Attribute) \
+                and _VERSION_FRAGMENT in node.attr:
+            return True
+        if isinstance(node, ast.Constant) and node.value == _SCHEMA_KEY:
+            return True
+    return False
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = dotted_name(target)
+        if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+class SerializationRule(Rule):
+    id = "serialization"
+    contract = ("Every dataclass reachable from CompileResponse "
+                "round-trips through versioned to_dict/from_dict.")
+
+    roots = ROOTS
+
+    def check_project(self, project) -> List[Finding]:
+        classes: Dict[str, _ClassRecord] = {}
+        subclasses: Dict[str, List[str]] = {}
+        for source in project.parsed():
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    record = _ClassRecord(source, node,
+                                          _is_dataclass_decorated(node))
+                    classes.setdefault(node.name, record)
+                    for base in record.bases:
+                        subclasses.setdefault(base, []).append(node.name)
+        if not any(root in classes for root in self.roots):
+            return []
+        reachable = self._reach(classes, subclasses)
+        findings: List[Finding] = []
+        for name in sorted(reachable):
+            record = classes[name]
+            if not record.is_dataclass:
+                continue
+            missing = [method for method in ("to_dict", "from_dict")
+                       if not self._resolves(classes, name, method)]
+            if missing:
+                findings.append(self.finding(
+                    record.source, record.node.lineno,
+                    f"dataclass {name} is reachable from "
+                    f"{'/'.join(self.roots)} but lacks "
+                    f"{' and '.join(missing)}: it cannot cross the "
+                    f"wire/cache/journal boundary",
+                ))
+            if name in self.roots and not self._versioned(classes, name):
+                findings.append(self.finding(
+                    record.source, record.node.lineno,
+                    f"serialization root {name} writes no schema "
+                    f"version: old readers cannot reject new payloads",
+                ))
+        return findings
+
+    def _reach(self, classes: Dict[str, _ClassRecord],
+               subclasses: Dict[str, List[str]]) -> Set[str]:
+        queue = [root for root in self.roots if root in classes]
+        reachable: Set[str] = set()
+        while queue:
+            name = queue.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            record = classes[name]
+            neighbours = (
+                [n for n in record.annotation_names if n in classes]
+                + [n for n in record.bases if n in classes]
+                + subclasses.get(name, [])
+            )
+            for neighbour in neighbours:
+                if neighbour not in reachable:
+                    queue.append(neighbour)
+        return reachable
+
+    def _resolves(self, classes: Dict[str, _ClassRecord], name: str,
+                  method: str, seen: Optional[Set[str]] = None) -> bool:
+        """Does ``name`` define or inherit (within the project)
+        ``method``?"""
+        seen = seen or set()
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        record = classes[name]
+        if method in record.methods:
+            return True
+        return any(self._resolves(classes, base, method, seen)
+                   for base in record.bases)
+
+    def _versioned(self, classes: Dict[str, _ClassRecord], name: str,
+                   seen: Optional[Set[str]] = None) -> bool:
+        seen = seen or set()
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        record = classes[name]
+        if record.versioned:
+            return True
+        return any(self._versioned(classes, base, seen)
+                   for base in record.bases)

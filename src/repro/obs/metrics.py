@@ -36,6 +36,34 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 #: Legal Prometheus metric / label names.
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
+#: Every metric this codebase emits: ``name -> (kind, closed label set)``.
+#: This is the single source of truth the ``metric-hygiene`` lint rule
+#: checks call sites against — an undeclared name, a kind mismatch, or a
+#: label set differing from the one declared here fails ``repro.lint``.
+#: Keep it sorted by name.
+DECLARED_METRICS = {
+    "repro_cache_events_total": ("counter", ("event",)),
+    "repro_http_request_seconds": ("histogram", ("method", "endpoint")),
+    "repro_http_requests_by_client_total": ("counter", ("client",)),
+    "repro_http_requests_total": ("counter",
+                                  ("method", "endpoint", "status")),
+    "repro_jobs_queue_depth": ("gauge", ()),
+    "repro_jobs_transitions_total": ("counter", ("status",)),
+    "repro_pipeline_runs_total": ("counter", ("pipeline",)),
+    "repro_pipeline_stage_seconds": ("histogram", ("stage",)),
+    "repro_pool_fallbacks_total": ("counter", ()),
+    "repro_pool_recovered_tasks_total": ("counter", ()),
+    "repro_pool_respawns_total": ("counter", ()),
+    "repro_pool_tasks_total": ("counter", ()),
+    "repro_pool_timeout_reruns_total": ("counter", ()),
+    "repro_router_swaps_total": ("counter", ("router",)),
+    "repro_sat_conflicts_total": ("counter", ("bound",)),
+    "repro_sat_restarts_total": ("counter", ("bound",)),
+    "repro_sat_solves_total": ("counter", ("outcome", "mode")),
+    "repro_service_compile_seconds": ("histogram", ()),
+    "repro_service_requests_total": ("counter", ("result",)),
+}
+
 #: Label tuple: sorted ``(name, value)`` pairs — the series key.
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -84,7 +112,7 @@ class _Metric:
         self.registry = registry
         self.name = _check_name(name)
         self.help = help
-        self._series: Dict[LabelKey, object] = {}
+        self._series: Dict[LabelKey, object] = {}  # guarded-by: registry._lock
 
     def labels_seen(self) -> List[LabelKey]:
         with self.registry._lock:
@@ -226,7 +254,7 @@ class MetricsRegistry:
     """Create-or-get registry of named metrics with labeled series."""
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, _Metric] = {}
+        self._metrics: Dict[str, _Metric] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
 
     # -- create-or-get ---------------------------------------------------------
@@ -513,6 +541,7 @@ def disabled() -> Iterator[None]:
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DECLARED_METRICS",
     "DEFAULT_BUCKETS", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
     "enable", "disable", "active", "enabled", "disabled",
     "counter", "gauge", "histogram",

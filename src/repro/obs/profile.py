@@ -24,7 +24,7 @@ class ProfileCollector:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts: Dict[str, float] = {}
+        self._counts: Dict[str, float] = {}  # guarded-by: _lock
 
     def bump(self, name: str, amount: float = 1.0) -> None:
         with self._lock:

@@ -54,13 +54,13 @@ class TraceWriter:
     def __init__(self, path, trace_id: str = "trace") -> None:
         self.path = Path(path)
         self.trace_id = trace_id
-        self.spans_written = 0
+        self.spans_written = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._next_id = 0
+        self._next_id = 0  # guarded-by: _lock
         self._origin = time.monotonic()
         self._pid = os.getpid()
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle = open(self.path, "a", encoding="utf-8")  # guarded-by: _lock
 
     def next_span_id(self) -> int:
         with self._lock:

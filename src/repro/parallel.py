@@ -132,17 +132,17 @@ class WorkerPool:
         self.workers = workers or os.cpu_count() or 1
         self.respawn_budget = respawn_budget
         self.task_timeout = task_timeout
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._closed = False
+        self._executor: Optional[ProcessPoolExecutor] = None  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._lock = threading.Lock()
         #: Bumped on every executor rebuild, so concurrent casualties of
         #: one broken executor consume a single respawn between them.
-        self._generation = 0
-        self._respawns = 0
-        self._recovered_tasks = 0
-        self._timeout_reruns = 0
-        self._submitted = 0
-        self._timers: Dict[int, threading.Timer] = {}
+        self._generation = 0  # guarded-by: _lock
+        self._respawns = 0  # guarded-by: _lock
+        self._recovered_tasks = 0  # guarded-by: _lock
+        self._timeout_reruns = 0  # guarded-by: _lock
+        self._submitted = 0  # guarded-by: _lock
+        self._timers: Dict[int, threading.Timer] = {}  # guarded-by: _lock
 
     # -- submission ------------------------------------------------------------
 
@@ -245,7 +245,9 @@ class WorkerPool:
         if exc is None:
             self._settle(task, outer, value=inner.result())
             return
-        if isinstance(exc, BrokenExecutor) and not self._closed:
+        # Deliberately unlocked peek: a stale read only costs one extra
+        # _respawn call, which re-checks _closed under the lock.
+        if isinstance(exc, BrokenExecutor) and not self._closed:  # repro-lint: disable=lock-discipline
             # Executor-level casualty, not a task error: heal and retry.
             if self._respawn(generation):
                 with self._lock:

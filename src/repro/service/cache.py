@@ -106,7 +106,7 @@ class ResultCache:
     max_entries: Optional[int] = None
     max_bytes: Optional[int] = None
     max_age_seconds: Optional[float] = None
-    stats: CacheStats = field(default_factory=CacheStats)
+    stats: CacheStats = field(default_factory=CacheStats)  # guarded-by: _lock
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -115,7 +115,7 @@ class ResultCache:
             value = getattr(self, cap)
             if value is not None and value <= 0:
                 raise ValueError(f"{cap} must be positive (or None)")
-        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
         # Incrementally tracked disk-tier footprint (None = unknown, next
         # cap enforcement rescans); spares the hot write path a full
@@ -124,9 +124,9 @@ class ResultCache:
         # (``_sweep_due``) re-grounds them — the mechanism that both
         # expires by age and keeps the caps honest when several processes
         # share one directory.
-        self._disk_count: Optional[int] = None
-        self._disk_bytes: Optional[int] = None
-        self._sweep_due = 0.0
+        self._disk_count: Optional[int] = None  # guarded-by: _lock
+        self._disk_bytes: Optional[int] = None  # guarded-by: _lock
+        self._sweep_due = 0.0  # guarded-by: _lock
         if self.directory is not None:
             self.directory = str(self.directory)
             Path(self.directory).mkdir(parents=True, exist_ok=True)
@@ -244,7 +244,7 @@ class ResultCache:
         with self._lock:
             return self._enforce_disk_caps(force=True)
 
-    def _remember(self, key: str, entry: Dict[str, object]) -> None:
+    def _remember(self, key: str, entry: Dict[str, object]) -> None:  # requires-lock: _lock
         self._memory[key] = entry
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
@@ -262,7 +262,7 @@ class ResultCache:
             return None
         return Path(self.directory) / f"{key}.json"
 
-    def _disk_read(self, key: str, touch: bool = True,
+    def _disk_read(self, key: str, touch: bool = True,  # requires-lock: _lock
                    count: bool = True) -> Optional[Dict[str, object]]:
         path = self._disk_path(key)
         if path is None or not path.exists():
@@ -307,7 +307,7 @@ class ResultCache:
                 pass
         return entry
 
-    def _quarantine(self, path: Path) -> None:
+    def _quarantine(self, path: Path) -> None:  # requires-lock: _lock
         """Rename an undecodable ``<fingerprint>.json`` to
         ``<fingerprint>.corrupt`` (kept for post-mortems, invisible to
         every ``*.json`` scan, overwritten by the next recompute)."""
@@ -323,7 +323,7 @@ class ResultCache:
             self._disk_count = max(0, self._disk_count - 1)
             self._disk_bytes = max(0, self._disk_bytes - size)
 
-    def _disk_write(self, key: str, entry: Dict[str, object]) -> None:
+    def _disk_write(self, key: str, entry: Dict[str, object]) -> None:  # requires-lock: _lock
         path = self._disk_path(key)
         if path is None:
             return
@@ -362,7 +362,7 @@ class ResultCache:
     #: sweeps (shorter when ``max_age_seconds`` demands it).
     SWEEP_INTERVAL_SECONDS = 60.0
 
-    def _caps_maybe_exceeded(self, now: float) -> bool:
+    def _caps_maybe_exceeded(self, now: float) -> bool:  # requires-lock: _lock
         """Cheap pre-check against the tracked footprint: only a possible
         violation (or an unknown footprint, or a due periodic sweep)
         warrants the full directory scan."""
@@ -373,7 +373,7 @@ class ResultCache:
             return True
         return self.max_bytes is not None and self._disk_bytes > self.max_bytes
 
-    def _enforce_disk_caps(self, force: bool = False) -> int:
+    def _enforce_disk_caps(self, force: bool = False) -> int:  # requires-lock: _lock
         """LRU-by-mtime disk eviction; returns the entries removed."""
         if self.directory is None or (
                 self.max_entries is None and self.max_bytes is None

@@ -167,14 +167,14 @@ class JobManager:
         self.journal = JobJournal(journal) \
             if isinstance(journal, (str, Path)) else journal
         self.max_queued = max_queued
-        self.recovered_jobs = 0
+        self.recovered_jobs = 0  # guarded-by: _lock, _wake
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
-        self._jobs: Dict[int, Job] = {}
-        self._heap: List[tuple] = []  # (-priority, id): max-priority, FIFO ties
-        self._ids = itertools.count(1)
-        self._closed = False
-        self._thread: Optional[threading.Thread] = None
+        self._jobs: Dict[int, Job] = {}  # guarded-by: _lock, _wake
+        self._heap: List[tuple] = []  # (-priority, id): max-priority, FIFO ties; guarded-by: _lock, _wake
+        self._ids = itertools.count(1)  # guarded-by: _lock, _wake
+        self._closed = False  # guarded-by: _lock, _wake
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lock, _wake
         if self.journal is not None:
             self._recover()
         if start:
@@ -235,12 +235,12 @@ class JobManager:
             self._execute(job)  # all hits: resolves without the pool
         return job
 
-    def _queued_count(self) -> int:
+    def _queued_count(self) -> int:  # requires-lock: _lock
         """Jobs currently waiting in the queue (heap minus cancelled)."""
         return sum(1 for _, job_id in self._heap
                    if self._jobs[job_id].status is JobStatus.QUEUED)
 
-    def _note_transition(self, job: Job) -> None:
+    def _note_transition(self, job: Job) -> None:  # requires-lock: _lock
         """Mirror one status transition into the armed metrics registry;
         must be called with the manager lock held (reads the queue)."""
         if obs_metrics._ACTIVE is None:
@@ -302,6 +302,7 @@ class JobManager:
         with self._lock:
             jobs = list(self._jobs.values())
             queued = self._queued_count()
+            recovered = self.recovered_jobs
         requests = sum(len(job.requests) for job in jobs)
         hits = misses = 0
         waits: List[float] = []
@@ -323,7 +324,7 @@ class JobManager:
             "queue_depth": queued,
             "requests": requests,
             "responses": {"hits": hits, "misses": misses},
-            "recovered_jobs": self.recovered_jobs,
+            "recovered_jobs": recovered,
             "mean_wait_seconds": mean(waits),
             "mean_run_seconds": mean(runs),
         }
@@ -429,41 +430,45 @@ class JobManager:
         original id and priority, drop terminal ones, continue the id
         counter past everything seen, and compact the file.
 
-        Runs from ``__init__`` before the executor thread exists, so no
-        locking subtleties: the queue is rebuilt, then the world starts.
-        Jobs whose every fingerprint is already cached complete inline
-        here (cache-first admission applies to recovered work too), so a
-        restart never re-compiles what the cache kept.
+        Runs from ``__init__`` before the executor thread exists; the
+        lock is uncontended (and re-entrant), so holding it costs
+        nothing and keeps the discipline uniform.  Jobs whose every
+        fingerprint is already cached complete inline here (cache-first
+        admission applies to recovered work too), so a restart never
+        re-compiles what the cache kept.
         """
         inline_jobs: List[Job] = []
-        max_id = 0
-        for record in self.journal.replay():
-            max_id = max(max_id, record["id"])
-            if record["status"] not in ("queued", "running"):
-                continue  # terminal: nothing left to do
-            try:
-                requests = [CompileRequest.from_dict(item)
-                            for item in record["requests"]]
-            except (KeyError, TypeError, ValueError) as exc:
-                logger.warning("journal: dropping unrecoverable job %s: %s",
-                               record["id"], exc)
-                continue
-            job = Job(id=record["id"], requests=requests,
-                      fingerprints=list(record["fingerprints"]),
-                      priority=record["priority"],
-                      created_seconds=record["created_seconds"])
-            self._jobs[job.id] = job
-            if self._all_cached(job.fingerprints):
-                job.status = JobStatus.RUNNING
-                inline_jobs.append(job)
-            else:
-                heapq.heappush(self._heap, (-job.priority, job.id))
-            self.recovered_jobs += 1
-        self._ids = itertools.count(max_id + 1)
-        # Compact to the survivors *before* executing the inline ones, so
-        # their terminal records land in the fresh file, not the old one.
-        self.journal.compact([self._jobs[job_id]
-                              for job_id in sorted(self._jobs)])
+        with self._wake:
+            max_id = 0
+            for record in self.journal.replay():
+                max_id = max(max_id, record["id"])
+                if record["status"] not in ("queued", "running"):
+                    continue  # terminal: nothing left to do
+                try:
+                    requests = [CompileRequest.from_dict(item)
+                                for item in record["requests"]]
+                except (KeyError, TypeError, ValueError) as exc:
+                    logger.warning(
+                        "journal: dropping unrecoverable job %s: %s",
+                        record["id"], exc)
+                    continue
+                job = Job(id=record["id"], requests=requests,
+                          fingerprints=list(record["fingerprints"]),
+                          priority=record["priority"],
+                          created_seconds=record["created_seconds"])
+                self._jobs[job.id] = job
+                if self._all_cached(job.fingerprints):
+                    job.status = JobStatus.RUNNING
+                    inline_jobs.append(job)
+                else:
+                    heapq.heappush(self._heap, (-job.priority, job.id))
+                self.recovered_jobs += 1
+            self._ids = itertools.count(max_id + 1)
+            # Compact to the survivors *before* executing the inline
+            # ones, so their terminal records land in the fresh file,
+            # not the old one.
+            self.journal.compact([self._jobs[job_id]
+                                  for job_id in sorted(self._jobs)])
         for job in inline_jobs:
             self._execute(job)
 
@@ -488,7 +493,7 @@ class JobManager:
                     return
             self.run_next()
 
-    def _has_runnable(self) -> bool:
+    def _has_runnable(self) -> bool:  # requires-lock: _lock
         return any(self._jobs[job_id].status is JobStatus.QUEUED
                    for _, job_id in self._heap)
 

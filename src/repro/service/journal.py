@@ -52,10 +52,10 @@ class JobJournal:
     def __init__(self, path, fsync: bool = True) -> None:
         self.path = Path(path)
         self.fsync = fsync
-        self.write_errors = 0
-        self.corrupt_lines = 0
+        self.write_errors = 0  # guarded-by: _lock
+        self.corrupt_lines = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._handle = None
+        self._handle = None  # guarded-by: _lock
 
     # -- appending -------------------------------------------------------------
 
@@ -110,7 +110,10 @@ class JobJournal:
         jobs: Dict[int, Dict[str, object]] = {}
         if not self.path.exists():
             return []
-        with open(self.path, "r", encoding="utf-8") as handle:
+        # Replay normally runs before the journal is shared, but the
+        # lock is uncontended then — hold it so the corrupt-line counter
+        # stays consistent even for a late diagnostic replay.
+        with self._lock, open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

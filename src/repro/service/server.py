@@ -146,7 +146,7 @@ class ServiceServer:
             # accumulated series) instead of clobbering it.
             obs_metrics.enable()
         self._clients_lock = threading.Lock()
-        self._client_stats: Dict[str, Dict[str, int]] = {}
+        self._client_stats: Dict[str, Dict[str, int]] = {}  # guarded-by: _clients_lock
         handler = type("_BoundHandler", (_Handler,), {"app": self})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self.host, self.port = self._httpd.server_address[:2]
@@ -177,7 +177,9 @@ class ServiceServer:
     def start(self) -> "ServiceServer":
         """Serve on a background daemon thread; returns ``self``."""
         if self._thread is None:
-            self._thread = threading.Thread(target=self.serve_forever,
+            # Lifecycle field, not request state: start()/shutdown() are
+            # called by the single owning thread, never by handlers.
+            self._thread = threading.Thread(target=self.serve_forever,  # repro-lint: disable=lock-discipline
                                             name="service-http", daemon=True)
             self._thread.start()
         return self

@@ -1,0 +1,33 @@
+"""Helpers for the lint suite: run rules over inline snippets."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Engine, SourceFile
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def make_source(code: str, rel: str = "pkg/mod.py") -> SourceFile:
+    return SourceFile(textwrap.dedent(code), rel)
+
+
+def run_rules(rules, files, root=None):
+    """Findings from running ``rules`` over ``files``.
+
+    ``files`` is either a code string (linted as ``pkg/mod.py``) or a
+    ``{rel: code}`` mapping for project rules.
+    """
+    if isinstance(files, str):
+        files = {"pkg/mod.py": files}
+    sources = [make_source(code, rel) for rel, code in files.items()]
+    engine = Engine(rules=rules, root=root if root is not None else REPO_ROOT)
+    return engine.run_sources(sources).findings
+
+
+@pytest.fixture
+def repo_src():
+    return SRC

@@ -1,0 +1,230 @@
+"""Suppression paths: inline pragmas, the baseline, and the CLI."""
+
+import io
+import json
+import textwrap
+
+from repro.lint import (Baseline, BaselineEntry, Engine, SourceFile,
+                        default_rules)
+from repro.lint.cli import main
+from repro.lint.rules import SetIterationRule, WallClockRule
+
+from conftest import REPO_ROOT, run_rules
+
+DIRTY = """
+    def f():
+        for x in {1, 2, 3}:
+            print(x)
+"""
+
+
+def set_iter(code):
+    return run_rules([SetIterationRule()], code)
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self):
+        assert not set_iter("""
+            def f():
+                for x in {1, 2, 3}:  # repro-lint: disable=det-set-iter
+                    print(x)
+        """)
+
+    def test_def_pragma_covers_the_body(self):
+        assert not set_iter("""
+            def f():  # repro-lint: disable=det-set-iter
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+
+    def test_file_pragma_covers_the_file(self):
+        assert not set_iter("""
+            # repro-lint: disable-file=det-set-iter
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+
+    def test_disable_all(self):
+        assert not set_iter("""
+            def f():
+                for x in {1, 2, 3}:  # repro-lint: disable=all
+                    print(x)
+        """)
+
+    def test_pragma_for_another_rule_does_not_suppress(self):
+        assert set_iter("""
+            def f():
+                for x in {1, 2, 3}:  # repro-lint: disable=det-wallclock
+                    print(x)
+        """)
+
+    def test_suppressed_findings_are_reported_separately(self):
+        source = SourceFile(textwrap.dedent("""
+            def f():
+                for x in {1, 2}:  # repro-lint: disable=det-set-iter
+                    print(x)
+        """), "pkg/mod.py")
+        result = Engine(rules=[SetIterationRule()],
+                        root=REPO_ROOT).run_sources([source])
+        assert not result.findings
+        assert len(result.suppressed) == 1
+
+
+class TestBaseline:
+    def entry(self, count=1):
+        return BaselineEntry(
+            rule="det-set-iter", file="pkg/mod.py",
+            context="for x in {1, 2, 3}:", justification="test", count=count)
+
+    def test_matching_entry_absorbs(self):
+        findings = set_iter(DIRTY)
+        unbaselined, absorbed, stale = \
+            Baseline([self.entry()]).split(findings)
+        assert not unbaselined and len(absorbed) == 1 and not stale
+
+    def test_count_budget_is_enforced(self):
+        findings = set_iter("""
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            def g():
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+        assert len(findings) == 2
+        unbaselined, absorbed, _ = Baseline([self.entry()]).split(findings)
+        assert len(absorbed) == 1 and len(unbaselined) == 1
+        unbaselined, absorbed, _ = \
+            Baseline([self.entry(count=2)]).split(findings)
+        assert len(absorbed) == 2 and not unbaselined
+
+    def test_line_drift_does_not_invalidate(self):
+        # Same context on a different line still matches.
+        findings = set_iter("\n\n\n" + DIRTY)
+        unbaselined, absorbed, _ = Baseline([self.entry()]).split(findings)
+        assert not unbaselined and len(absorbed) == 1
+
+    def test_unmatched_entry_is_stale_not_fatal(self):
+        findings = set_iter("def f():\n    return 1\n")
+        unbaselined, absorbed, stale = \
+            Baseline([self.entry()]).split(findings)
+        assert not unbaselined and not absorbed and len(stale) == 1
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline([self.entry(count=2)]).dump(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].key() == self.entry().key()
+        assert loaded.entries[0].count == 2
+
+
+class TestCli:
+    def write_project(self, tmp_path, code=DIRTY):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "mod.py").write_text(textwrap.dedent(code))
+        return tmp_path
+
+    def run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_dirty_tree_exits_one(self, tmp_path):
+        root = self.write_project(tmp_path)
+        code, output = self.run("pkg", "--root", str(root))
+        assert code == 1
+        assert "det-set-iter" in output and "FAILED" in output
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        root = self.write_project(tmp_path, "def f():\n    return 1\n")
+        code, output = self.run("pkg", "--root", str(root))
+        assert code == 0 and "clean" in output
+
+    def test_baseline_makes_dirty_tree_clean(self, tmp_path):
+        root = self.write_project(tmp_path)
+        Baseline([BaselineEntry(
+            rule="det-set-iter", file="pkg/mod.py",
+            context="for x in {1, 2, 3}:", justification="test",
+        )]).dump(root / ".repro-lint-baseline.json")
+        code, output = self.run("pkg", "--root", str(root))
+        assert code == 0 and "1 baselined" in output
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path):
+        root = self.write_project(tmp_path)
+        Baseline([BaselineEntry(
+            rule="det-set-iter", file="pkg/mod.py",
+            context="for x in {1, 2, 3}:", justification="test",
+        )]).dump(root / ".repro-lint-baseline.json")
+        code, _ = self.run("pkg", "--root", str(root), "--no-baseline")
+        assert code == 1
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        root = self.write_project(tmp_path)
+        baseline = root / "new-baseline.json"
+        code, _ = self.run("pkg", "--root", str(root),
+                           "--write-baseline", str(baseline))
+        assert code == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["entries"][0]["justification"] == "TODO: justify"
+        code, _ = self.run("pkg", "--root", str(root),
+                           "--baseline", str(baseline))
+        assert code == 0
+
+    def test_json_format(self, tmp_path):
+        root = self.write_project(tmp_path)
+        code, output = self.run("pkg", "--root", str(root),
+                                "--format", "json")
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "det-set-iter"
+        assert payload["findings"][0]["path"] == "pkg/mod.py"
+
+    def test_rules_selection(self, tmp_path):
+        root = self.write_project(tmp_path)
+        code, _ = self.run("pkg", "--root", str(root),
+                           "--rules", "det-wallclock")
+        assert code == 0  # the set-iteration rule was not selected
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        root = self.write_project(tmp_path)
+        code, _ = self.run("pkg", "--root", str(root),
+                           "--rules", "no-such-rule")
+        assert code == 2
+
+    def test_bench_json_record(self, tmp_path):
+        root = self.write_project(tmp_path,
+                                  "def f():\n    return 1\n")
+        bench = tmp_path / "BENCH_lint.json"
+        code, _ = self.run("pkg", "--root", str(root),
+                           "--bench-json", str(bench))
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        assert payload["bench"] == "lint"
+        assert payload["files"] == 1
+        assert payload["findings"] == 0
+        assert payload["elapsed_seconds"] >= 0
+
+    def test_list_rules(self, tmp_path):
+        code, output = self.run("--list-rules")
+        assert code == 0
+        for rule in default_rules():
+            assert rule.id in output
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        root = self.write_project(tmp_path, "def f(:\n")
+        code, output = self.run("pkg", "--root", str(root))
+        assert code == 1 and "parse-error" in output
+
+
+class TestWallClockPragmaInteraction:
+    def test_pragma_beats_allowlist_miss(self):
+        findings = run_rules([WallClockRule()], {"repro/qls/mod.py": """
+            import time
+            def f():
+                return time.time()  # repro-lint: disable=det-wallclock
+        """})
+        assert not findings

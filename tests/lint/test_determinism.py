@@ -1,0 +1,174 @@
+"""True-positive / true-negative fixtures for the determinism rules."""
+
+import pytest
+
+from repro.lint.rules import (SetIterationRule, UnseededRandomRule,
+                              WallClockRule)
+
+from conftest import run_rules
+
+
+def set_iter(code, rel="pkg/mod.py"):
+    return run_rules([SetIterationRule()], {rel: code})
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self):
+        findings = set_iter("""
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+        assert [f.rule for f in findings] == ["det-set-iter"]
+        assert findings[0].line == 3
+
+    def test_for_over_set_call_fires(self):
+        assert set_iter("""
+            def f(xs):
+                for x in set(xs):
+                    yield x
+        """)
+
+    def test_for_over_local_set_variable_fires(self):
+        assert set_iter("""
+            def f(xs):
+                pool = set(xs)
+                return [x for x in pool]
+        """)
+
+    def test_list_over_set_method_fires(self):
+        assert set_iter("""
+            def f(a, b):
+                return list(a.union(b))
+        """)
+
+    def test_join_over_set_comp_fires(self):
+        assert set_iter("""
+            def f(xs):
+                return ",".join({str(x) for x in xs})
+        """)
+
+    def test_for_over_glob_fires(self):
+        assert set_iter("""
+            def f(root):
+                for path in root.glob("*.json"):
+                    path.unlink()
+        """)
+
+    def test_sorted_set_is_clean(self):
+        assert not set_iter("""
+            def f(xs):
+                pool = set(xs)
+                for x in sorted(pool):
+                    print(x)
+                return [y for y in sorted({1, 2})]
+        """)
+
+    def test_membership_and_len_are_clean(self):
+        assert not set_iter("""
+            def f(xs, x):
+                pool = set(xs)
+                return x in pool, len(pool)
+        """)
+
+    def test_list_over_list_is_clean(self):
+        assert not set_iter("""
+            def f(xs):
+                return list(xs) + list(range(3))
+        """)
+
+    def test_rebinding_to_list_clears_tracking(self):
+        assert not set_iter("""
+            def f(xs):
+                pool = set(xs)
+                pool = sorted(pool)
+                return [x for x in pool]
+        """)
+
+
+def unseeded(code):
+    return run_rules([UnseededRandomRule()], code)
+
+
+class TestUnseededRandom:
+    def test_module_level_random_fires(self):
+        findings = unseeded("""
+            import random
+            def f():
+                return random.random() + random.randint(0, 3)
+        """)
+        assert len(findings) == 2
+        assert all(f.rule == "det-unseeded-random" for f in findings)
+
+    def test_from_import_fires(self):
+        assert unseeded("from random import shuffle, choice\n")
+
+    def test_numpy_global_fires(self):
+        assert unseeded("""
+            import numpy as np
+            def f():
+                return np.random.rand(3)
+        """)
+
+    def test_seeded_instance_is_clean(self):
+        assert not unseeded("""
+            import random
+            def f(seed):
+                rng = random.Random(seed)
+                return rng.random(), rng.shuffle([1, 2])
+        """)
+
+    def test_numpy_default_rng_is_clean(self):
+        assert not unseeded("""
+            import numpy as np
+            def f(seed):
+                return np.random.default_rng(seed).random()
+        """)
+
+
+def wallclock(code, rel="repro/qls/mod.py"):
+    return run_rules([WallClockRule()], {rel: code})
+
+
+class TestWallClock:
+    def test_time_time_in_decision_path_fires(self):
+        findings = wallclock("""
+            import time
+            def f():
+                return time.time()
+        """)
+        assert [f.rule for f in findings] == ["det-wallclock"]
+
+    def test_datetime_now_fires(self):
+        assert wallclock("""
+            import datetime
+            def f():
+                return datetime.datetime.now()
+        """)
+
+    @pytest.mark.parametrize("rel", ["repro/obs/mod.py",
+                                     "repro/service/mod.py",
+                                     "scripts/bench.py"])
+    def test_time_time_allowlisted_paths_clean(self, rel):
+        assert not wallclock("""
+            import time
+            def f():
+                return time.time()
+        """, rel=rel)
+
+    def test_perf_counter_is_clean_everywhere(self):
+        assert not wallclock("""
+            import time
+            def f():
+                return time.perf_counter() - time.monotonic()
+        """)
+
+    @pytest.mark.parametrize("rel", ["repro/qls/mod.py",
+                                     "repro/service/mod.py"])
+    def test_entropy_fires_even_on_allowlisted_paths(self, rel):
+        findings = wallclock("""
+            import uuid, os
+            def f():
+                return uuid.uuid4(), os.urandom(8)
+        """, rel=rel)
+        assert len(findings) == 2

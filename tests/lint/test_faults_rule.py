@@ -1,0 +1,133 @@
+"""Fault-registry fixtures, plus the SITES-entry-deletion sweep over
+the real sources (deleting any declared site must fire)."""
+
+import re
+
+from repro.lint import Engine, SourceFile, discover_files
+from repro.lint.rules import FaultRegistryRule
+
+from conftest import REPO_ROOT, run_rules
+
+REGISTRY = """
+    POOL_TASK = "pool.task"
+    CACHE_READ = "cache.read"
+
+    SITES = (POOL_TASK, CACHE_READ)
+"""
+
+
+def fault_findings(files):
+    return run_rules([FaultRegistryRule()], files)
+
+
+class TestFaultRegistry:
+    def test_consistent_project_is_clean(self):
+        assert not fault_findings({
+            "repro/faults.py": REGISTRY,
+            "repro/pool.py": """
+                from repro import faults
+                def run(plan):
+                    plan.poll(faults.POOL_TASK)
+                    plan.poll("cache.read")
+            """,
+        })
+
+    def test_undeclared_site_fires(self):
+        findings = fault_findings({
+            "repro/faults.py": REGISTRY,
+            "repro/pool.py": """
+                def run(plan):
+                    plan.poll("pool.task")
+                    plan.poll("pool.taks")
+                    plan.poll("cache.read")
+            """,
+        })
+        assert [f.rule for f in findings] == ["fault-registry"]
+        assert "pool.taks" in findings[0].message
+
+    def test_unused_site_fires(self):
+        findings = fault_findings({
+            "repro/faults.py": REGISTRY + '    DEAD = "dead.site"\n',
+            "repro/pool.py": """
+                def run(plan):
+                    plan.poll("pool.task")
+                    plan.poll("cache.read")
+            """,
+        })
+        # "dead.site" is a constant but not in SITES: clean.  Add it:
+        assert not findings
+        findings = fault_findings({
+            "repro/faults.py": REGISTRY.replace(
+                "SITES = (POOL_TASK, CACHE_READ)",
+                'SITES = (POOL_TASK, CACHE_READ, "dead.site")'),
+            "repro/pool.py": """
+                def run(plan):
+                    plan.poll("pool.task")
+                    plan.poll("cache.read")
+            """,
+        })
+        assert [f.rule for f in findings] == ["fault-registry"]
+        assert "dead.site" in findings[0].message
+        assert findings[0].path == "repro/faults.py"
+
+    def test_faultpoint_and_spec_sites_count_as_uses(self):
+        assert not fault_findings({
+            "repro/faults.py": REGISTRY,
+            "repro/chaos.py": """
+                from repro.faults import FaultPoint, from_spec
+                def build():
+                    point = FaultPoint(site="pool.task", error=OSError)
+                    plan = from_spec("cache.read:1@0.5; seed=7")
+                    return point, plan
+            """,
+        })
+
+    def test_spec_typo_fires(self):
+        findings = fault_findings({
+            "repro/faults.py": REGISTRY,
+            "repro/chaos.py": """
+                def build(from_spec):
+                    from_spec("pool.task:1@0.5; cache.raed:2@1.0")
+            """,
+        })
+        assert any("cache.raed" in f.message for f in findings)
+
+    def test_missing_registry_file_skips_silently(self):
+        assert not fault_findings({
+            "repro/pool.py": 'def run(plan):\n    plan.poll("any.site")\n',
+        })
+
+
+class TestSiteDeletion:
+    """Acceptance: deleting any single SITES entry from the real
+    ``repro/faults.py`` makes fault-registry fire."""
+
+    def test_every_real_site_is_load_bearing(self):
+        files = discover_files([REPO_ROOT / "src"])
+        texts = {path: path.read_text() for path in files}
+        registry = next(path for path in files
+                        if str(path).endswith("repro/faults.py"))
+        match = re.search(r"SITES\s*=\s*\(([^)]*)\)", texts[registry],
+                          re.S)
+        assert match is not None
+        elements = [el.strip() for el in match.group(1).split(",")
+                    if el.strip()]
+        assert len(elements) >= 5
+        silent = []
+        for element in elements:
+            block = match.group(0)
+            pruned = re.sub(re.escape(element) + r"\s*,?", "", block,
+                            count=1)
+            mutated = texts[registry].replace(block, pruned)
+            sources = [
+                SourceFile(mutated if path == registry else texts[path],
+                           str(path.relative_to(REPO_ROOT)))
+                for path in files
+            ]
+            engine = Engine(rules=[FaultRegistryRule()], root=REPO_ROOT)
+            result = engine.run_sources(sources)
+            if not any(f.rule == "fault-registry"
+                       for f in result.findings):
+                silent.append(element)
+        assert not silent, (
+            f"deleting these SITES entries went undetected: {silent}")

@@ -1,0 +1,106 @@
+"""Metric/label hygiene fixtures."""
+
+from repro.lint.rules import MetricHygieneRule
+
+from conftest import run_rules
+
+TABLE = """
+    DECLARED_METRICS = {
+        "app_requests_total": ("counter", ("method", "status")),
+        "app_queue_depth": ("gauge", ()),
+        "app_latency_seconds": ("histogram", ("stage",)),
+    }
+"""
+
+
+def metric_findings(files):
+    return run_rules([MetricHygieneRule()], files)
+
+
+def call_site_findings(files):
+    """Findings about call sites only — fixtures that deliberately use a
+    subset of the table would otherwise also trip the unused-declaration
+    direction."""
+    return [f for f in metric_findings(files)
+            if "dead declaration" not in f.message]
+
+
+def project(caller_code):
+    return {"repro/obs/metrics.py": TABLE, "repro/server.py": caller_code}
+
+
+class TestMetricHygiene:
+    def test_consistent_call_sites_are_clean(self):
+        assert not metric_findings(project("""
+            def serve(metrics):
+                requests = metrics.counter("app_requests_total",
+                                           labels=("method", "status"))
+                requests.inc(method="GET", status="200")
+                metrics.gauge("app_queue_depth").set(3)
+                metrics.histogram("app_latency_seconds").observe(
+                    0.2, stage="route")
+        """))
+
+    def test_undeclared_name_fires(self):
+        findings = call_site_findings(project("""
+            def serve(metrics):
+                metrics.counter("app_requets_total").inc()
+        """))
+        assert [f.rule for f in findings] == ["metric-hygiene"]
+        assert "app_requets_total" in findings[0].message
+
+    def test_kind_mismatch_fires(self):
+        findings = call_site_findings(project("""
+            def serve(metrics):
+                metrics.gauge("app_requests_total").set(1)
+        """))
+        assert any("declared as a counter" in f.message for f in findings)
+
+    def test_extra_label_fires(self):
+        findings = call_site_findings(project("""
+            def serve(metrics):
+                requests = metrics.counter("app_requests_total")
+                requests.inc(method="GET", status="200", path="/v1/x")
+        """))
+        assert [f.rule for f in findings] == ["metric-hygiene"]
+        assert "path" in findings[0].message
+
+    def test_missing_label_fires(self):
+        findings = call_site_findings(project("""
+            def serve(metrics):
+                metrics.counter("app_requests_total").inc(method="GET")
+        """))
+        assert [f.rule for f in findings] == ["metric-hygiene"]
+
+    def test_star_star_labels_are_skipped(self):
+        assert not call_site_findings(project("""
+            def serve(metrics, **labels):
+                metrics.counter("app_requests_total").inc(**labels)
+        """))
+
+    def test_unused_declaration_fires(self):
+        findings = metric_findings(project("""
+            def serve(metrics):
+                metrics.counter("app_requests_total").inc(
+                    method="GET", status="200")
+                metrics.gauge("app_queue_depth").set(0)
+        """))
+        assert [f.rule for f in findings] == ["metric-hygiene"]
+        assert "app_latency_seconds" in findings[0].message
+        assert findings[0].path == "repro/obs/metrics.py"
+
+    def test_rebound_variable_is_ambiguous_and_skipped(self):
+        assert not call_site_findings(project("""
+            def serve(metrics, fast):
+                m = metrics.counter("app_requests_total")
+                m = metrics.gauge("app_queue_depth")
+                m.inc(bogus="x")
+        """))
+
+    def test_missing_registry_file_skips_silently(self):
+        assert not metric_findings({
+            "repro/server.py": """
+                def serve(metrics):
+                    metrics.counter("never_declared_total").inc()
+            """,
+        })

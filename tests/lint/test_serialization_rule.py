@@ -1,0 +1,139 @@
+"""Serialization-coverage fixtures."""
+
+from repro.lint.rules import SerializationRule
+
+from conftest import run_rules
+
+VERSIONED_ROOT = """
+    from dataclasses import dataclass
+
+    SCHEMA_VERSION = 2
+
+    @dataclass
+    class Payload:
+        value: int
+
+        def to_dict(self):
+            return {"value": self.value}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(value=data["value"])
+
+    @dataclass
+    class CompileResponse:
+        payload: Payload
+
+        def to_dict(self):
+            return {"schema": SCHEMA_VERSION,
+                    "payload": self.payload.to_dict()}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(payload=Payload.from_dict(data["payload"]))
+"""
+
+
+def serialization_findings(files):
+    return run_rules([SerializationRule()], files)
+
+
+class TestSerialization:
+    def test_versioned_round_tripping_graph_is_clean(self):
+        assert not serialization_findings(VERSIONED_ROOT)
+
+    def test_reachable_dataclass_missing_from_dict_fires(self):
+        findings = serialization_findings(
+            VERSIONED_ROOT.replace("""
+        @classmethod
+        def from_dict(cls, data):
+            return cls(value=data["value"])
+""", ""))
+        assert [f.rule for f in findings] == ["serialization"]
+        assert "Payload" in findings[0].message
+        assert "from_dict" in findings[0].message
+
+    def test_unversioned_root_fires(self):
+        findings = serialization_findings("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class CompileResponse:
+                value: int
+
+                def to_dict(self):
+                    return {"value": self.value}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(value=data["value"])
+        """)
+        assert [f.rule for f in findings] == ["serialization"]
+        assert "version" in findings[0].message
+
+    def test_subclasses_of_reachable_classes_are_reachable(self):
+        # Variant is never named in an annotation, but the type-tag
+        # dispatch means it can appear on the wire — so its own field
+        # graph (Widget) must round-trip too.
+        findings = serialization_findings(VERSIONED_ROOT + """
+    @dataclass
+    class Widget:
+        x: int
+
+    @dataclass
+    class Variant(CompileResponse):
+        widget: Widget
+""")
+        assert [f.rule for f in findings] == ["serialization"]
+        assert "Widget" in findings[0].message
+
+    def test_inherited_methods_resolve_through_project_bases(self):
+        assert not serialization_findings(VERSIONED_ROOT + """
+    @dataclass
+    class Extra(Payload):
+        note: str
+
+        def to_dict(self):
+            return {"note": self.note, **super().to_dict()}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(value=data["value"], note=data["note"])
+""")
+
+    def test_forward_reference_annotations_are_followed(self):
+        findings = serialization_findings("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Inner:
+                value: int
+
+            @dataclass
+            class CompileResponse:
+                inner: "Inner"
+
+                def to_dict(self):
+                    return {"schema": 1}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(inner=Inner(0))
+        """)
+        assert any("Inner" in f.message for f in findings)
+
+    def test_project_without_root_skips_silently(self):
+        assert not serialization_findings("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Unrelated:
+                value: int
+        """)
+
+    def test_real_response_graph_is_clean(self, repo_src):
+        from repro.lint import Engine
+
+        engine = Engine(rules=[SerializationRule()], root=repo_src.parent)
+        result = engine.run_paths([repo_src])
+        assert not result.findings
