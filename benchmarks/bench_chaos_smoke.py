@@ -151,18 +151,22 @@ def _spawn_serve(tmp_path, *extra, env_faults=None):
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=str(tmp_path),
     )
-    url = None
-    banner = []
-    deadline = time.monotonic() + 60
-    while time.monotonic() < deadline:
-        line = proc.stdout.readline()
-        if not line:
-            break
-        banner.append(line.rstrip())
-        if line.startswith("serving on http://"):
-            url = line.split()[2]
-            break
-    assert url, f"serve never came up: {banner!r}"
+    try:
+        url = None
+        banner = []
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            banner.append(line.rstrip())
+            if line.startswith("serving on http://"):
+                url = line.split()[2]
+                break
+        assert url, f"serve never came up: {banner!r}"
+    except BaseException:
+        proc.kill()
+        raise
     return proc, url, banner
 
 

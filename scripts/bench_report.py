@@ -10,10 +10,14 @@ or diffed in one place::
 
     python scripts/bench_report.py            # table on stdout
     python scripts/bench_report.py --json     # machine-readable dump
+    python scripts/bench_report.py --only lint   # one artifact only
 
 Rows are ``name | metric | value`` where *name* is the artifact stem
 (``BENCH_server`` -> ``server``) and *metric* is the dotted path to the
-leaf.  The header records the host core count since most figures are
+leaf — e.g. the linter's per-rule wall clock appears as
+``lint | rule_seconds.seed-flow | ...`` rows, one per rule, so the cost
+of the interprocedural pass is tracked run over run.  The header
+records the host core count since most figures are
 parallelism-sensitive.
 """
 
@@ -73,9 +77,14 @@ def main(argv=None):
     parser.add_argument("--json", action="store_true",
                         help="emit the merged rows as JSON instead of "
                              "a table")
+    parser.add_argument("--only", default=None, metavar="NAME",
+                        help="restrict to one artifact by stem "
+                             "(e.g. 'lint' for BENCH_lint.json)")
     args = parser.parse_args(argv)
 
     rows = collect(Path(args.root))
+    if args.only is not None:
+        rows = [row for row in rows if row[0] == args.only]
     if not rows:
         print("no BENCH_*.json artifacts found", file=sys.stderr)
         return 1

@@ -23,8 +23,10 @@
 # Before any of that, the contract linter (repro.lint) must come back
 # clean against the committed baseline — it is the cheapest gate and
 # catches determinism/lock-discipline/registry regressions statically.
-# The run refreshes BENCH_lint.json so bench_report.py tracks analyzer
-# wall-clock alongside the other benchmarks.
+# --fail-stale makes leftover baseline entries a hard failure (prune
+# with `python -m repro.lint ... --prune-baseline`).  The run refreshes
+# BENCH_lint.json so bench_report.py tracks analyzer wall-clock (and
+# per-rule timings) alongside the other benchmarks.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,7 +34,8 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== contract linter: python -m repro.lint src/ benchmarks/ scripts/"
-python -m repro.lint src/ benchmarks/ scripts/ --bench-json BENCH_lint.json
+python -m repro.lint src/ benchmarks/ scripts/ --fail-stale \
+    --bench-json BENCH_lint.json
 
 echo
 echo "== tier-1: python -m pytest -x -q"

@@ -9,13 +9,19 @@ grammar, and baseline workflow.
 """
 
 from .baseline import DEFAULT_BASELINE, Baseline, BaselineEntry
+from .callgraph import CallGraph, ClassInfo, FunctionInfo, ModuleInfo
+from .cfg import CFG, CFGNode
 from .core import Finding, Project, Rule
+from .dataflow import fixpoint_over_functions, run_backward, run_forward
 from .engine import Engine, LintResult, discover_files
 from .rules import ALL_RULES, default_rules, rules_by_id
 from .source import SourceFile
 
 __all__ = [
-    "ALL_RULES", "Baseline", "BaselineEntry", "DEFAULT_BASELINE",
-    "Engine", "Finding", "LintResult", "Project", "Rule", "SourceFile",
-    "default_rules", "discover_files", "rules_by_id",
+    "ALL_RULES", "Baseline", "BaselineEntry", "CFG", "CFGNode",
+    "CallGraph", "ClassInfo", "DEFAULT_BASELINE", "Engine", "Finding",
+    "FunctionInfo", "LintResult", "ModuleInfo", "Project", "Rule",
+    "SourceFile", "default_rules", "discover_files",
+    "fixpoint_over_functions", "run_backward", "run_forward",
+    "rules_by_id",
 ]

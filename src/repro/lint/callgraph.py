@@ -1,0 +1,647 @@
+"""Project-wide call graph over the :class:`~repro.lint.core.Project`.
+
+The interprocedural rules (seed-flow, lock-order) need to follow a call
+from its site to the function that runs — across files.  This module
+builds that map **statically and conservatively** from the parsed
+sources:
+
+* every module-level function and every method of every class gets a
+  :class:`FunctionInfo`, keyed ``(rel, class name or "", func name)``;
+* imports are resolved within the linted file set (``import a.b as x``,
+  ``from a.b import c``, relative imports), so ``x.f()`` finds
+  ``a/b.py::f``;
+* ``self.method()`` resolves through the class and its bases (same-file
+  or imported), ``ClassName(...)`` resolves to ``ClassName.__init__``;
+* light type inference: ``self.attr = ClassName(...)`` in a constructor
+  types the attribute, and annotated parameters (``cache: ResultCache``)
+  type locals — so ``self.journal.record_submit()`` and
+  ``self.registry._lock`` resolve to the class that owns them.
+
+Known limits (documented in the README): dynamic dispatch through
+``getattr``/dicts of callables, monkey-patching, ``*args``
+re-forwarding, and decorators that replace the function are all
+invisible — an unresolved call simply contributes nothing, which keeps
+every rule built on top of this graph *may*-style conservative about
+resolution (never inventing an edge) rather than complete.
+
+Nested functions and lambdas are deliberately **not** indexed as call
+targets and their bodies are excluded from the enclosing function's
+facts (:func:`walk_body`): a closure runs later, in a context (and under
+locks) the enclosing frame no longer controls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .source import SourceFile, dotted_name, self_attr_path
+
+#: ``threading`` factory names that create a lock-like object.
+LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                            "BoundedSemaphore"})
+
+FuncKey = Tuple[str, str, str]
+ClassKey = Tuple[str, str]
+
+
+def walk_body(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` over ``node`` that does *not* descend into nested
+    ``def``/``lambda`` subtrees (their bodies run later, elsewhere).
+    ``node`` itself is yielded first, even if it is a function."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def module_name_for(rel: str) -> Optional[str]:
+    """Dotted import name for a file path (``src/`` stripped,
+    ``__init__`` collapsed onto the package), or ``None``."""
+    if not rel.endswith(".py"):
+        return None
+    parts = rel[:-3].split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts or not all(part.isidentifier() for part in parts):
+        return None
+    return ".".join(parts)
+
+
+class FunctionInfo:
+    """One statically-known function or method."""
+
+    __slots__ = ("key", "source", "node", "class_name", "name", "params",
+                 "param_defaults")
+
+    def __init__(self, source: SourceFile, node, class_name: str) -> None:
+        self.source = source
+        self.node = node
+        self.class_name = class_name
+        self.name = node.name
+        self.key: FuncKey = (source.rel, class_name, node.name)
+        args = node.args
+        names = [arg.arg for arg in args.posonlyargs + args.args]
+        if class_name and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        kwonly = [arg.arg for arg in args.kwonlyargs]
+        #: Parameter names, ``self`` stripped, keyword-only included.
+        self.params: List[str] = names + kwonly
+        #: ``{param: default expr}`` for parameters that have one.
+        self.param_defaults: Dict[str, ast.AST] = {}
+        pos_defaults = args.defaults
+        for arg_name, default in zip(names[len(names) - len(pos_defaults):],
+                                     pos_defaults):
+            self.param_defaults[arg_name] = default
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self.param_defaults[arg.arg] = default
+
+    @property
+    def qualname(self) -> str:
+        prefix = f"{self.class_name}." if self.class_name else ""
+        return f"{prefix}{self.name}"
+
+    def bind_args(self, call: ast.Call) -> List[Tuple[str, ast.AST]]:
+        """``(param, argument expr)`` pairs for ``call`` — positional by
+        position, keywords by name; ``*args``/``**kwargs`` skipped."""
+        bound: List[Tuple[str, ast.AST]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(self.params):
+                bound.append((self.params[index], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in self.params:
+                bound.append((keyword.arg, keyword.value))
+        return bound
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.source.rel}::{self.qualname})"
+
+
+class ClassInfo:
+    """One statically-known class: methods, bases, typed attributes,
+    lock attributes and Condition aliases."""
+
+    __slots__ = ("key", "source", "node", "name", "base_exprs", "bases",
+                 "methods", "attr_types", "lock_attrs", "lock_aliases",
+                 "class_fields", "is_dataclass", "_mro")
+
+    def __init__(self, source: SourceFile, node: ast.ClassDef) -> None:
+        self.source = source
+        self.node = node
+        self.name = node.name
+        self.key: ClassKey = (source.rel, node.name)
+        self.base_exprs = list(node.bases)
+        self.bases: List["ClassInfo"] = []  # resolved by CallGraph
+        self.methods: Dict[str, FunctionInfo] = {}
+        #: ``self.attr`` -> ClassKey, from ctor assigns / annotations.
+        self.attr_types: Dict[str, ClassKey] = {}
+        #: lock-ish attr -> factory name (``Lock``, ``RLock``, ...).
+        self.lock_attrs: Dict[str, str] = {}
+        #: Condition alias: ``self._wake = Condition(self._lock)``.
+        self.lock_aliases: Dict[str, str] = {}
+        #: class-level field -> value expr (dataclass fields, constants).
+        self.class_fields: Dict[str, Optional[ast.AST]] = {}
+        self.is_dataclass = any(
+            (isinstance(dec, ast.Name) and dec.id == "dataclass")
+            or (isinstance(dec, ast.Attribute) and dec.attr == "dataclass")
+            or (isinstance(dec, ast.Call) and (
+                (isinstance(dec.func, ast.Name)
+                 and dec.func.id == "dataclass")
+                or (isinstance(dec.func, ast.Attribute)
+                    and dec.func.attr == "dataclass")))
+            for dec in node.decorator_list)
+        self._mro: Optional[List["ClassInfo"]] = None
+
+    def mro(self) -> List["ClassInfo"]:
+        """This class followed by its resolved bases, DFS, no repeats."""
+        if self._mro is None:
+            order: List[ClassInfo] = []
+            seen: Set[ClassKey] = set()
+            stack: List[ClassInfo] = [self]
+            while stack:
+                info = stack.pop(0)
+                if info.key in seen:
+                    continue
+                seen.add(info.key)
+                order.append(info)
+                stack.extend(info.bases)
+            self._mro = order
+        return self._mro
+
+    def find_method(self, name: str) -> Optional[FunctionInfo]:
+        for info in self.mro():
+            if name in info.methods:
+                return info.methods[name]
+        return None
+
+    def find_attr_type(self, attr: str) -> Optional[ClassKey]:
+        for info in self.mro():
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+        return None
+
+    def lock_factory(self, attr: str) -> Optional[str]:
+        for info in self.mro():
+            if attr in info.lock_attrs:
+                return info.lock_attrs[attr]
+        return None
+
+    def resolve_lock_alias(self, attr: str) -> str:
+        """Follow Condition-wrapping aliases to the canonical lock attr
+        (``_wake`` -> ``_lock``), bounded against alias cycles."""
+        seen = {attr}
+        for info in self.mro():
+            while attr in info.lock_aliases:
+                target = info.lock_aliases[attr]
+                if target in seen:
+                    break
+                seen.add(target)
+                attr = target
+        return attr
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.source.rel}::{self.name})"
+
+
+class ModuleInfo:
+    """One file's namespace: functions, classes, imports, module locks."""
+
+    __slots__ = ("source", "rel", "dotted", "functions", "classes",
+                 "imports", "module_assigns", "module_locks")
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.rel = source.rel
+        self.dotted = module_name_for(source.rel)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: local name -> ("module", dotted) | ("symbol", dotted, name)
+        self.imports: Dict[str, Tuple[str, ...]] = {}
+        #: module-level ``NAME = expr`` (last assignment wins).
+        self.module_assigns: Dict[str, ast.AST] = {}
+        #: module-level lock name -> factory name.
+        self.module_locks: Dict[str, str] = {}
+
+
+def _call_factory_name(value: ast.AST) -> Optional[str]:
+    """``Lock`` for ``threading.Lock()`` / ``Lock()``, else ``None``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else None
+    return name if name in LOCK_FACTORIES else None
+
+
+def _first_class_call(value: ast.AST) -> Iterator[ast.Call]:
+    """Candidate constructor calls inside ``value`` (handles ternaries:
+    ``A(x) if flag else other`` yields ``A(x)``)."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class CallGraph:
+    """Functions, classes, and call resolution over one project."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_dotted: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+        self.classes: Dict[ClassKey, ClassInfo] = {}
+        for source in sources:
+            if source.tree is None:
+                continue
+            module = self._index_module(source)
+            self.modules[source.rel] = module
+            if module.dotted is not None:
+                self.by_dotted.setdefault(module.dotted, module)
+        for module in self.modules.values():
+            self._resolve_bases(module)
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                self._infer_attr_types(module, cls)
+        self._calls_cache: Dict[FuncKey, List[Tuple[ast.Call,
+                                Optional[FunctionInfo]]]] = {}
+
+    @classmethod
+    def of(cls, project) -> "CallGraph":
+        """The project's call graph, built once and cached on it."""
+        graph = getattr(project, "_callgraph", None)
+        if graph is None:
+            graph = cls(project.parsed())
+            project._callgraph = graph
+        return graph
+
+    # -- indexing --------------------------------------------------------------
+
+    def _index_module(self, source: SourceFile) -> ModuleInfo:
+        module = ModuleInfo(source)
+        for stmt in source.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    dotted = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    module.imports[local] = ("module", dotted)
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._from_base(module, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = ("symbol", base, alias.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(source, stmt, "")
+                module.functions[stmt.name] = info
+                self.functions[info.key] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cls = self._index_class(source, stmt)
+                module.classes[stmt.name] = cls
+                self.classes[cls.key] = cls
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                module.module_assigns[name] = stmt.value
+                factory = _call_factory_name(stmt.value)
+                if factory is not None:
+                    module.module_locks[name] = factory
+        return module
+
+    @staticmethod
+    def _from_base(module: ModuleInfo, stmt: ast.ImportFrom) \
+            -> Optional[str]:
+        """The absolute dotted module a ``from X import ...`` names."""
+        if not stmt.level:
+            return stmt.module
+        if module.dotted is None:
+            return None
+        parts = module.dotted.split(".")
+        # ``from . import x`` in package module a.b -> package a.
+        drop = stmt.level if not module.rel.endswith("__init__.py") \
+            else stmt.level - 1
+        if drop > 0:
+            parts = parts[:-drop] if drop <= len(parts) else []
+        if stmt.module:
+            parts = parts + stmt.module.split(".")
+        return ".".join(parts) if parts else None
+
+    def _index_class(self, source: SourceFile,
+                     node: ast.ClassDef) -> ClassInfo:
+        cls = ClassInfo(source, node)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(source, stmt, node.name)
+                cls.methods[stmt.name] = info
+                self.functions[info.key] = info
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                cls.class_fields[stmt.target.id] = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        cls.class_fields[target.id] = stmt.value
+                        factory = _call_factory_name(stmt.value)
+                        if factory is not None:
+                            cls.lock_attrs[target.id] = factory
+        # Lock attributes / aliases from every method (``__init__`` and
+        # lazy creators alike).
+        for method in cls.methods.values():
+            for inner in walk_body(method.node):
+                if not isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = inner.targets if isinstance(inner, ast.Assign) \
+                    else [inner.target]
+                value = inner.value
+                if value is None:
+                    continue
+                for target in targets:
+                    path = self_attr_path(target)
+                    if path is None or len(path) != 1:
+                        continue
+                    factory = _call_factory_name(value)
+                    if factory is None:
+                        continue
+                    cls.lock_attrs[path[0]] = factory
+                    if factory == "Condition" and isinstance(value, ast.Call) \
+                            and value.args:
+                        wrapped = self_attr_path(value.args[0])
+                        if wrapped is not None and len(wrapped) == 1:
+                            cls.lock_aliases[path[0]] = wrapped[0]
+        return cls
+
+    def _resolve_bases(self, module: ModuleInfo) -> None:
+        for cls in module.classes.values():
+            for base in cls.base_exprs:
+                resolved = self._resolve_class_expr(base, module)
+                if resolved is not None:
+                    cls.bases.append(resolved)
+
+    def _infer_attr_types(self, module: ModuleInfo, cls: ClassInfo) -> None:
+        """``self.attr = ClassName(...)`` (incl. inside ternaries) and
+        annotated ``self.attr: ClassName`` type the attribute."""
+        for method in cls.methods.values():
+            for inner in walk_body(method.node):
+                if isinstance(inner, ast.AnnAssign) and inner.annotation:
+                    path = self_attr_path(inner.target)
+                    if path is not None and len(path) == 1:
+                        typed = self._resolve_annotation(
+                            inner.annotation, module)
+                        if typed is not None:
+                            cls.attr_types.setdefault(path[0], typed.key)
+                    if inner.value is None:
+                        continue
+                    targets: List[ast.AST] = [inner.target]
+                    value = inner.value
+                elif isinstance(inner, ast.Assign):
+                    targets = list(inner.targets)
+                    value = inner.value
+                else:
+                    continue
+                for target in targets:
+                    path = self_attr_path(target)
+                    if path is None or len(path) != 1:
+                        continue
+                    for call in _first_class_call(value):
+                        resolved = self._resolve_class_expr(call.func,
+                                                            module)
+                        if resolved is not None:
+                            cls.attr_types.setdefault(path[0], resolved.key)
+                            break
+
+    # -- resolution ------------------------------------------------------------
+
+    def _module_for(self, dotted: str) -> Optional[ModuleInfo]:
+        return self.by_dotted.get(dotted)
+
+    def _resolve_symbol(self, module: ModuleInfo, name: str):
+        """``("func", info) | ("class", info) | ("module", ModuleInfo)``
+        for a bare name in ``module``'s namespace, or ``None``."""
+        if name in module.functions:
+            return ("func", module.functions[name])
+        if name in module.classes:
+            return ("class", module.classes[name])
+        binding = module.imports.get(name)
+        if binding is None:
+            return None
+        if binding[0] == "module":
+            target = self._module_for(binding[1])
+            return ("module", target) if target is not None else None
+        _, base, symbol = binding
+        submodule = self._module_for(f"{base}.{symbol}")
+        if submodule is not None:
+            return ("module", submodule)
+        target = self._module_for(base)
+        if target is None:
+            return None
+        if symbol in target.functions:
+            return ("func", target.functions[symbol])
+        if symbol in target.classes:
+            return ("class", target.classes[symbol])
+        # One level of re-export (``from .qls import LightSabre`` where
+        # qls/__init__ itself imported it).
+        inner = target.imports.get(symbol)
+        if inner is not None and inner[0] == "symbol":
+            deeper = self._module_for(inner[1])
+            if deeper is not None:
+                if inner[2] in deeper.functions:
+                    return ("func", deeper.functions[inner[2]])
+                if inner[2] in deeper.classes:
+                    return ("class", deeper.classes[inner[2]])
+        return None
+
+    def _resolve_class_expr(self, expr: ast.AST,
+                            module: ModuleInfo) -> Optional[ClassInfo]:
+        """A class named by ``Name``/``mod.Class`` chains, incl. string
+        annotations like ``"MetricsRegistry"``."""
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            name = expr.value.strip()
+            if name.isidentifier():
+                resolved = self._resolve_symbol(module, name)
+                if resolved is not None and resolved[0] == "class":
+                    return resolved[1]
+            return None
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        resolved = self._resolve_symbol(module, parts[0])
+        for part in parts[1:]:
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "module":
+                if part in target.classes:
+                    resolved = ("class", target.classes[part])
+                elif part in target.functions:
+                    resolved = ("func", target.functions[part])
+                else:
+                    sub = self._module_for(
+                        f"{target.dotted}.{part}") if target.dotted else None
+                    resolved = ("module", sub) if sub is not None else None
+            else:
+                return None
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    def _resolve_annotation(self, annotation: ast.AST,
+                            module: ModuleInfo) -> Optional[ClassInfo]:
+        """Resolve a type annotation (incl. ``Optional[X]`` and string
+        forms) to a project class."""
+        if isinstance(annotation, ast.Subscript):
+            # Optional[X] / "Optional[X]"-ish: use the inner expression.
+            inner = annotation.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return self._resolve_annotation(inner, module)
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str):
+            text = annotation.value.strip().strip("\"'")
+            if text.startswith("Optional[") and text.endswith("]"):
+                text = text[len("Optional["):-1]
+            if not text.isidentifier():
+                return None
+            resolved = self._resolve_symbol(module, text)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+            return None
+        return self._resolve_class_expr(annotation, module)
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if not fn.class_name:
+            return None
+        return self.classes.get((fn.source.rel, fn.class_name))
+
+    def local_types(self, fn: FunctionInfo) -> Dict[str, ClassKey]:
+        """Locals (and parameters) of ``fn`` with statically known
+        project-class types, from annotations and ``x = ClassName(...)``."""
+        module = self.modules.get(fn.source.rel)
+        if module is None:
+            return {}
+        types: Dict[str, ClassKey] = {}
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                resolved = self._resolve_annotation(arg.annotation, module)
+                if resolved is not None:
+                    types[arg.arg] = resolved.key
+        for node in walk_body(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                for call in _first_class_call(node.value):
+                    resolved = self._resolve_class_expr(call.func, module)
+                    if resolved is not None:
+                        types.setdefault(node.targets[0].id, resolved.key)
+                        break
+        return types
+
+    def resolve_call(self, call: ast.Call, fn: Optional[FunctionInfo],
+                     source: SourceFile,
+                     local_types: Optional[Dict[str, ClassKey]] = None) \
+            -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` that ``call`` statically targets, or
+        ``None`` when it cannot be resolved (dynamic dispatch, foreign
+        libraries, ...)."""
+        module = self.modules.get(source.rel)
+        if module is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_symbol(module, func.id)
+            if resolved is None:
+                return None
+            if resolved[0] == "func":
+                return resolved[1]
+            if resolved[0] == "class":
+                return resolved[1].find_method("__init__")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        cls = self.class_of(fn) if fn is not None else None
+        path = self_attr_path(func)
+        if path is not None and cls is not None:
+            if len(path) == 1:
+                return cls.find_method(path[0])
+            if len(path) == 2:
+                attr_type = cls.find_attr_type(path[0])
+                if attr_type is not None:
+                    owner = self.classes.get(attr_type)
+                    if owner is not None:
+                        return owner.find_method(path[1])
+            return None
+        # ``name.method()`` with a typed local / parameter.
+        if isinstance(func.value, ast.Name):
+            types = local_types if local_types is not None else (
+                self.local_types(fn) if fn is not None else {})
+            typed = types.get(func.value.id)
+            if typed is not None:
+                owner = self.classes.get(typed)
+                if owner is not None:
+                    return owner.find_method(func.attr)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        resolved = self._resolve_symbol(module, parts[0])
+        for part in parts[1:]:
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "module":
+                if part in target.functions:
+                    resolved = ("func", target.functions[part])
+                elif part in target.classes:
+                    resolved = ("class", target.classes[part])
+                else:
+                    sub = self._module_for(
+                        f"{target.dotted}.{part}") if target.dotted else None
+                    resolved = ("module", sub) if sub is not None else None
+            elif kind == "class":
+                method = target.find_method(part)
+                resolved = ("func", method) if method is not None else None
+            else:
+                return None
+        if resolved is None:
+            return None
+        if resolved[0] == "func":
+            return resolved[1]
+        if resolved[0] == "class":
+            return resolved[1].find_method("__init__")
+        return None
+
+    def calls_in(self, fn: FunctionInfo) \
+            -> List[Tuple[ast.Call, Optional[FunctionInfo]]]:
+        """Every call in ``fn``'s own body (nested defs excluded) with
+        its resolution, cached."""
+        cached = self._calls_cache.get(fn.key)
+        if cached is not None:
+            return cached
+        local_types = self.local_types(fn)
+        calls: List[Tuple[ast.Call, Optional[FunctionInfo]]] = []
+        for node in walk_body(fn.node):
+            if isinstance(node, ast.Call):
+                calls.append((node, self.resolve_call(
+                    node, fn, fn.source, local_types)))
+        calls.sort(key=lambda item: (item[0].lineno, item[0].col_offset))
+        self._calls_cache[fn.key] = calls
+        return calls
+
+    def sorted_functions(self) -> List[FunctionInfo]:
+        return [self.functions[key] for key in sorted(self.functions)]
+
+    def __repr__(self) -> str:
+        return (f"CallGraph({len(self.modules)} modules, "
+                f"{len(self.functions)} functions)")

@@ -1,0 +1,273 @@
+"""Per-function control-flow graphs for path-sensitive lint rules.
+
+One :class:`CFG` per function, at **statement granularity**: every
+statement is a node, plus synthetic ``entry``, ``exit`` (normal
+completion, including ``return``) and ``raise_exit`` (an exception
+escaping the function) nodes.  Edges come in two flavours —
+
+* ``succs``: normal fall-through / branch edges;
+* ``exc_succs``: where control goes if the statement raises — the
+  innermost enclosing handler dispatch, ``finally`` block, or
+  ``raise_exit``.
+
+``try``/``except``/``else``/``finally`` is modelled faithfully enough
+for resource analysis: the body's exception edge goes to the handler
+dispatch (or straight to ``finally``), handler and ``else`` bodies
+propagate *out* of the ``try`` (through the ``finally`` when present),
+and a ``finally`` block is built once with a join node whose outgoing
+edges cover every continuation (fall-through, escaping exception,
+pending ``return``) — a *may*-over-approximation of the path set, which
+is the safe direction for leak detection: a release inside ``finally``
+kills the fact before the paths re-diverge.
+
+Known simplifications (see the README): ``break``/``continue`` jump
+straight to their loop target without visiting intervening ``finally``
+blocks, and a statement's own effects are treated as atomic (its
+exception edge fires *before* its effects — rules apply kills on both
+edge kinds when they need release-before-raise semantics).
+
+Whether a statement can raise at all is approximated by
+:func:`expr_can_raise`: anything containing a call, subscript,
+attribute access, binary operation, ``raise`` or ``assert`` gets an
+exception edge; bare name/constant shuffling does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+#: AST expression nodes that justify an exception edge.
+_RAISING_NODES = (ast.Call, ast.Subscript, ast.Attribute, ast.BinOp,
+                  ast.Raise, ast.Assert, ast.Await, ast.Yield,
+                  ast.YieldFrom)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """A bare ``except:`` or ``except BaseException:`` — every exception
+    matches, so the try has no escaping "unmatched" edge."""
+    return handler.type is None or (
+        isinstance(handler.type, ast.Name)
+        and handler.type.id == "BaseException")
+
+
+def expr_can_raise(*nodes: Optional[ast.AST]) -> bool:
+    for node in nodes:
+        if node is None:
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, _RAISING_NODES):
+                return True
+    return False
+
+
+class CFGNode:
+    """One statement (or synthetic point) in a function's CFG."""
+
+    __slots__ = ("stmt", "kind", "succs", "exc_succs", "index")
+
+    def __init__(self, kind: str, stmt: Optional[ast.stmt] = None) -> None:
+        self.kind = kind
+        self.stmt = stmt
+        self.succs: List["CFGNode"] = []
+        self.exc_succs: List["CFGNode"] = []
+        self.index = -1
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+    def __repr__(self) -> str:
+        what = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"CFGNode({self.kind}{':' if what else ''}{what}@{self.line})"
+
+
+class CFG:
+    """Control-flow graph of one function (or any statement list)."""
+
+    def __init__(self, entry: CFGNode, exit_node: CFGNode,
+                 raise_exit: CFGNode, nodes: List[CFGNode]) -> None:
+        self.entry = entry
+        self.exit = exit_node
+        self.raise_exit = raise_exit
+        self.nodes = nodes
+
+    @classmethod
+    def build(cls, func_node) -> "CFG":
+        """The CFG of ``func_node``'s body (a ``FunctionDef``,
+        ``AsyncFunctionDef``, or any object with a ``body`` list)."""
+        return _Builder().build(func_node.body)
+
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [node for node in self.nodes if node.stmt is not None]
+
+    def __repr__(self) -> str:
+        return f"CFG({len(self.nodes)} nodes)"
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.all_nodes: List[CFGNode] = []
+        self.exit = self._new("exit")
+        self.raise_exit = self._new("raise")
+        self._exc_target = self.raise_exit
+        self._return_target = self.exit
+        self._break_target: Optional[CFGNode] = None
+        self._continue_target: Optional[CFGNode] = None
+
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None) -> CFGNode:
+        node = CFGNode(kind, stmt)
+        self.all_nodes.append(node)
+        return node
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self._new("entry")
+        first = self._stmts(body, self.exit)
+        entry.succs.append(first)
+        # Deterministic reachable ordering (DFS preorder from entry).
+        ordered: List[CFGNode] = []
+        seen = set()
+        stack = [entry]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node.index = len(ordered)
+            ordered.append(node)
+            for succ in reversed(node.succs + node.exc_succs):
+                if id(succ) not in seen:
+                    stack.append(succ)
+        for sink in (self.exit, self.raise_exit):
+            if id(sink) not in seen:
+                sink.index = len(ordered)
+                ordered.append(sink)
+        return CFG(entry, self.exit, self.raise_exit, ordered)
+
+    # -- statement lowering ----------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt], follow: CFGNode) -> CFGNode:
+        nxt = follow
+        for stmt in reversed(list(body)):
+            nxt = self._stmt(stmt, nxt)
+        return nxt
+
+    def _maybe_exc(self, node: CFGNode, *exprs: Optional[ast.AST]) -> None:
+        if expr_can_raise(*exprs):
+            node.exc_succs.append(self._exc_target)
+
+    def _stmt(self, stmt: ast.stmt, follow: CFGNode) -> CFGNode:
+        if isinstance(stmt, ast.If):
+            node = self._new("stmt", stmt)
+            then = self._stmts(stmt.body, follow)
+            other = self._stmts(stmt.orelse, follow) if stmt.orelse \
+                else follow
+            node.succs = [then, other]
+            self._maybe_exc(node, stmt.test)
+            return node
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, follow)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, follow)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._new("stmt", stmt)
+            body = self._stmts(stmt.body, follow)
+            node.succs = [body]
+            node.exc_succs = [self._exc_target]
+            return node
+        if isinstance(stmt, ast.Return):
+            node = self._new("stmt", stmt)
+            node.succs = [self._return_target]
+            self._maybe_exc(node, stmt.value)
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = self._new("stmt", stmt)
+            node.exc_succs = [self._exc_target]
+            return node
+        if isinstance(stmt, ast.Break):
+            node = self._new("stmt", stmt)
+            node.succs = [self._break_target
+                          if self._break_target is not None else follow]
+            return node
+        if isinstance(stmt, ast.Continue):
+            node = self._new("stmt", stmt)
+            node.succs = [self._continue_target
+                          if self._continue_target is not None else follow]
+            return node
+        if isinstance(stmt, ast.Assert):
+            node = self._new("stmt", stmt)
+            node.succs = [follow]
+            node.exc_succs = [self._exc_target]
+            return node
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom,
+                             ast.Global, ast.Nonlocal, ast.Pass)):
+            node = self._new("stmt", stmt)
+            node.succs = [follow]
+            return node
+        if isinstance(stmt, ast.AnnAssign):
+            # Local-variable annotations are never evaluated at runtime
+            # (PEP 526) — only the target and value can raise.
+            node = self._new("stmt", stmt)
+            node.succs = [follow]
+            self._maybe_exc(node, stmt.target, stmt.value)
+            return node
+        node = self._new("stmt", stmt)
+        node.succs = [follow]
+        self._maybe_exc(node, stmt)
+        return node
+
+    def _loop(self, stmt, follow: CFGNode) -> CFGNode:
+        node = self._new("stmt", stmt)
+        saved = (self._break_target, self._continue_target)
+        self._break_target, self._continue_target = follow, node
+        body = self._stmts(stmt.body, node)
+        self._break_target, self._continue_target = saved
+        after = self._stmts(stmt.orelse, follow) if stmt.orelse else follow
+        node.succs = [body, after]
+        if isinstance(stmt, ast.While):
+            self._maybe_exc(node, stmt.test)
+        else:
+            self._maybe_exc(node, stmt.iter, stmt.target)
+        return node
+
+    def _try(self, stmt: ast.Try, follow: CFGNode) -> CFGNode:
+        outer_exc = self._exc_target
+        outer_ret = self._return_target
+        fin_entry: Optional[CFGNode] = None
+        if stmt.finalbody:
+            fin_exit = self._new("join")
+            fin_exit.succs = [follow]
+            if outer_ret is not follow:
+                fin_exit.succs.append(outer_ret)
+            fin_exit.exc_succs = [outer_exc]
+            # The finally body itself runs with the *outer* targets (an
+            # exception inside it propagates past this try).
+            fin_entry = self._stmts(stmt.finalbody, fin_exit)
+        after_normal = fin_entry if fin_entry is not None else follow
+        exc_after = fin_entry if fin_entry is not None else outer_exc
+        ret_inside = fin_entry if fin_entry is not None else outer_ret
+
+        if stmt.handlers:
+            dispatch = self._new("dispatch")
+            self._exc_target, self._return_target = exc_after, ret_inside
+            dispatch.succs = [self._stmts(handler.body, after_normal)
+                              for handler in stmt.handlers]
+            self._exc_target, self._return_target = outer_exc, outer_ret
+            if not any(_is_catch_all(handler) for handler in stmt.handlers):
+                dispatch.exc_succs = [exc_after]  # no handler matched
+            body_exc: CFGNode = dispatch
+        else:
+            body_exc = exc_after
+
+        if stmt.orelse:
+            self._exc_target, self._return_target = exc_after, ret_inside
+            body_follow = self._stmts(stmt.orelse, after_normal)
+            self._exc_target, self._return_target = outer_exc, outer_ret
+        else:
+            body_follow = after_normal
+
+        self._exc_target, self._return_target = body_exc, ret_inside
+        body_entry = self._stmts(stmt.body, body_follow)
+        self._exc_target, self._return_target = outer_exc, outer_ret
+        return body_entry

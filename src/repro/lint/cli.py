@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from .baseline import DEFAULT_BASELINE, Baseline
 from .engine import Engine
@@ -49,7 +50,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bench-json", type=Path, default=None,
                         metavar="PATH",
                         help="write a BENCH-shaped timing record to PATH")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="report only on files changed vs the git "
+                             "base (default HEAD) plus untracked files; "
+                             "the full tree is still parsed so the "
+                             "interprocedural rules stay sound; falls "
+                             "back to the full tree when git is "
+                             "unavailable")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file without entries "
+                             "that no longer match any finding")
+    parser.add_argument("--fail-stale", action="store_true",
+                        help="exit 1 when the baseline has stale "
+                             "entries (CI hygiene gate)")
     return parser
+
+
+def changed_rels(root: Path, base: str) -> Optional[Set[str]]:
+    """Relative posix paths of ``*.py`` files changed vs ``base`` plus
+    untracked ones, or ``None`` when git cannot answer (not a checkout,
+    git missing, unknown base)."""
+    try:
+        diff = subprocess.run(
+            ["git", "-C", str(root), "diff", "--name-only", base, "--"],
+            capture_output=True, text=True, timeout=30)
+        untracked = subprocess.run(
+            ["git", "-C", str(root), "ls-files", "--others",
+             "--exclude-standard"],
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if diff.returncode != 0 or untracked.returncode != 0:
+        return None
+    rels: Set[str] = set()
+    for line in diff.stdout.splitlines() + untracked.stdout.splitlines():
+        line = line.strip()
+        if line.endswith(".py"):
+            rels.add(Path(line).as_posix())
+    return rels
 
 
 def _select_rules(spec: Optional[str]) -> List[object]:
@@ -70,14 +109,17 @@ def _select_rules(spec: Optional[str]) -> List[object]:
     return selected
 
 
-def _render_text(unbaselined, absorbed, stale, result, out) -> None:
+def _render_text(unbaselined, absorbed, stale, result, out,
+                 fail_stale: bool = False) -> None:
     for finding in unbaselined:
         print(finding.render(), file=out)
     for entry in stale:
-        print(f"note: stale baseline entry [{entry.rule}] {entry.file}: "
-              f"{entry.context!r} no longer matches anything — prune it",
-              file=out)
-    verdict = "clean" if not unbaselined else "FAILED"
+        severity = "error" if fail_stale else "note"
+        print(f"{severity}: stale baseline entry [{entry.rule}] "
+              f"{entry.file}: {entry.context!r} no longer matches "
+              f"anything — prune it (--prune-baseline)", file=out)
+    failed = bool(unbaselined) or (fail_stale and bool(stale))
+    verdict = "clean" if not failed else "FAILED"
     print(f"repro.lint: {len(result.project)} files, "
           f"{len(unbaselined)} finding(s), {len(absorbed)} baselined, "
           f"{len(result.suppressed)} pragma-suppressed "
@@ -104,13 +146,30 @@ def main(argv: Optional[Sequence[str]] = None,
             print(f"{rule.id:>22}  {rule.contract}", file=out)
         return 0
 
+    if options.prune_baseline and options.no_baseline:
+        print("error: --prune-baseline conflicts with --no-baseline",
+              file=sys.stderr)
+        return 2
+    if options.prune_baseline and options.changed is not None:
+        # A focused run cannot tell stale from merely-out-of-focus.
+        print("error: --prune-baseline needs a full run, not --changed",
+              file=sys.stderr)
+        return 2
+
     root = (options.root if options.root is not None else Path.cwd())
+    focus = None
+    if options.changed is not None:
+        focus = changed_rels(root, options.changed)
+        if focus is None:
+            print("repro.lint: git unavailable for --changed, "
+                  "linting the full tree", file=sys.stderr)
     engine = Engine(rules=rules, root=root)
     # Relative paths are rooted at --root, so `--root /repo src` works
     # from anywhere (and is a no-op for the default root=cwd case).
     result = engine.run_paths([
         path if path.is_absolute() else root / path
-        for path in (Path(raw) for raw in options.paths)])
+        for path in (Path(raw) for raw in options.paths)],
+        focus=focus)
 
     if options.write_baseline is not None:
         Baseline.from_findings(result.findings).dump(options.write_baseline)
@@ -119,14 +178,30 @@ def main(argv: Optional[Sequence[str]] = None,
               file=out)
         return 0
 
+    baseline_path = options.baseline if options.baseline is not None \
+        else root / DEFAULT_BASELINE
     if options.no_baseline:
         baseline = Baseline()
     else:
-        baseline_path = options.baseline if options.baseline is not None \
-            else root / DEFAULT_BASELINE
         baseline = Baseline.load_or_empty(baseline_path)
     unbaselined, absorbed, stale = baseline.split(result.findings)
+    if focus is not None:
+        # Out-of-focus findings were dropped before baseline matching,
+        # so "stale" is meaningless on a focused run.
+        stale = []
 
+    if options.prune_baseline and stale:
+        keep = {id(entry) for entry in stale}
+        baseline.entries = [entry for entry in baseline.entries
+                            if id(entry) not in keep]
+        baseline.dump(baseline_path)
+        print(f"repro.lint: pruned {len(keep)} stale entr"
+              f"{'y' if len(keep) == 1 else 'ies'} from "
+              f"{baseline_path}", file=out)
+        stale = []
+
+    rule_seconds = {rule_id: round(seconds, 4) for rule_id, seconds
+                    in sorted(result.rule_seconds.items())}
     if options.bench_json is not None:
         options.bench_json.write_text(json.dumps({
             "bench": "lint",
@@ -135,17 +210,21 @@ def main(argv: Optional[Sequence[str]] = None,
             "baselined": len(absorbed),
             "suppressed": len(result.suppressed),
             "elapsed_seconds": round(result.elapsed_seconds, 4),
+            "rule_seconds": rule_seconds,
         }, indent=2) + "\n", encoding="utf-8")
 
+    failed = bool(unbaselined) or (options.fail_stale and bool(stale))
     if options.format == "json":
         print(json.dumps({
             "files": len(result.project),
-            "clean": not unbaselined,
+            "clean": not failed,
             "elapsed_seconds": round(result.elapsed_seconds, 4),
+            "rule_seconds": rule_seconds,
             "findings": [finding.to_dict() for finding in unbaselined],
             "baselined": [finding.to_dict() for finding in absorbed],
             "stale_baseline_entries": [entry.to_dict() for entry in stale],
         }, indent=2), file=out)
     else:
-        _render_text(unbaselined, absorbed, stale, result, out)
-    return 1 if unbaselined else 0
+        _render_text(unbaselined, absorbed, stale, result, out,
+                     fail_stale=options.fail_stale)
+    return 1 if failed else 0

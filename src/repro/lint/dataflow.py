@@ -1,0 +1,126 @@
+"""A small worklist dataflow framework for the interprocedural rules.
+
+Two layers:
+
+* **intra-procedural** — :func:`run_forward` / :func:`run_backward`
+  iterate a transfer function over a :class:`~repro.lint.cfg.CFG` to a
+  fixpoint.  States are ``frozenset`` facts with union join (*may*
+  analyses — the conservative direction for every rule built here:
+  a fact survives if it holds on *some* path).  Forward transfer
+  functions return a **pair** ``(normal_out, exc_out)`` so a rule can
+  model effects that do or do not happen when the statement raises
+  (e.g. a resource acquisition does not take effect on the exception
+  edge, but a release kill does).
+
+* **inter-procedural** — :func:`fixpoint_over_functions` iterates a
+  per-function summary update over the whole call graph until stable
+  (deterministic sorted order, monotone-union summaries, bounded
+  rounds), which is how lock-acquisition sets and seed-parameter sets
+  propagate across call edges, cycles included.
+
+Everything is deterministic: worklists are ordered by the CFG's
+DFS numbering and function keys are processed sorted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from .cfg import CFG, CFGNode
+
+State = FrozenSet
+#: ``transfer(node, in_state) -> (normal_out, exceptional_out)``.
+ForwardTransfer = Callable[[CFGNode, State], Tuple[State, State]]
+#: ``transfer(node, joined_out_state) -> in_state``.
+BackwardTransfer = Callable[[CFGNode, State], State]
+
+EMPTY: State = frozenset()
+
+
+def identity_transfer(node: CFGNode, state: State) -> Tuple[State, State]:
+    return state, state
+
+
+def run_forward(cfg: CFG, transfer: ForwardTransfer,
+                entry_state: State = EMPTY) -> Dict[int, State]:
+    """Forward may-analysis to fixpoint; returns ``{node.index: in-state}``.
+
+    ``transfer`` maps a node's in-state to its ``(normal, exceptional)``
+    out-states; successors join by union.
+    """
+    in_states: Dict[int, State] = {node.index: EMPTY for node in cfg.nodes}
+    in_states[cfg.entry.index] = entry_state
+    worklist = deque(sorted(node.index for node in cfg.nodes))
+    by_index = {node.index: node for node in cfg.nodes}
+    queued = set(worklist)
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        node = by_index[index]
+        state = in_states.get(index, EMPTY)
+        normal_out, exc_out = transfer(node, state)
+        for succ, out in [(succ, normal_out) for succ in node.succs] + \
+                         [(succ, exc_out) for succ in node.exc_succs]:
+            merged = in_states.get(succ.index, EMPTY) | out
+            if merged != in_states.get(succ.index, EMPTY):
+                in_states[succ.index] = merged
+                if succ.index not in queued:
+                    queued.add(succ.index)
+                    worklist.append(succ.index)
+    return in_states
+
+
+def run_backward(cfg: CFG, transfer: BackwardTransfer,
+                 exit_state: State = EMPTY) -> Dict[int, State]:
+    """Backward may-analysis; returns ``{node.index: in-state}`` where a
+    node's in-state is ``transfer(node, union of successor in-states)``.
+    Both edge kinds are joined (a fact needed on *any* outgoing path is
+    needed here)."""
+    preds: Dict[int, list] = {node.index: [] for node in cfg.nodes}
+    for node in cfg.nodes:
+        for succ in node.succs + node.exc_succs:
+            preds[succ.index].append(node)
+    in_states: Dict[int, State] = {node.index: EMPTY for node in cfg.nodes}
+    in_states[cfg.exit.index] = transfer(cfg.exit, exit_state)
+    in_states[cfg.raise_exit.index] = transfer(cfg.raise_exit, exit_state)
+    worklist = deque(sorted(node.index for node in cfg.nodes))
+    by_index = {node.index: node for node in cfg.nodes}
+    queued = set(worklist)
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        node = by_index[index]
+        joined: State = EMPTY
+        for succ in node.succs + node.exc_succs:
+            joined |= in_states.get(succ.index, EMPTY)
+        if node is cfg.exit or node is cfg.raise_exit:
+            joined |= exit_state
+        computed = transfer(node, joined)
+        if computed != in_states.get(node.index, EMPTY):
+            in_states[node.index] = computed
+            for pred in preds[node.index]:
+                if pred.index not in queued:
+                    queued.add(pred.index)
+                    worklist.append(pred.index)
+    return in_states
+
+
+def fixpoint_over_functions(keys, update, max_rounds: int = 50):
+    """Iterate ``update(key, summaries) -> frozenset`` over every key
+    until no summary changes (or ``max_rounds``, a safety bound far
+    above any real call-graph depth).  Summaries must grow
+    monotonically for termination; keys are processed sorted so runs
+    are deterministic.  Returns ``{key: summary}``."""
+    keys = sorted(keys)
+    summaries: Dict[object, FrozenSet] = {key: frozenset() for key in keys}
+    for _ in range(max_rounds):
+        changed = False
+        for key in keys:
+            new = update(key, summaries)
+            if new != summaries[key]:
+                summaries[key] = new
+                changed = True
+        if not changed:
+            break
+    return summaries

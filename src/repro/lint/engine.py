@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .core import Finding, Project, Rule
 from .rules import default_rules
@@ -57,11 +57,15 @@ class LintResult:
 
     def __init__(self, project: Project, findings: List[Finding],
                  suppressed: List[Finding],
-                 elapsed_seconds: float) -> None:
+                 elapsed_seconds: float,
+                 rule_seconds: Optional[Dict[str, float]] = None) -> None:
         self.project = project
         self.findings = findings
         self.suppressed = suppressed
         self.elapsed_seconds = elapsed_seconds
+        #: Wall-clock seconds spent per rule id (check_file +
+        #: check_project), for the benchmark record.
+        self.rule_seconds: Dict[str, float] = rule_seconds or {}
 
     def __repr__(self) -> str:
         return (f"LintResult({len(self.project)} files, "
@@ -77,28 +81,50 @@ class Engine:
 
     # -- running ---------------------------------------------------------------
 
-    def run_paths(self, paths: Sequence[Path]) -> LintResult:
+    def run_paths(self, paths: Sequence[Path],
+                  focus: Optional[Set[str]] = None) -> LintResult:
         files = discover_files(paths)
         sources = [SourceFile.load(path, self.root) for path in files]
-        return self.run_sources(sources)
+        return self.run_sources(sources, focus=focus)
 
-    def run_sources(self, sources: Iterable[SourceFile]) -> LintResult:
+    def run_sources(self, sources: Iterable[SourceFile],
+                    focus: Optional[Set[str]] = None) -> LintResult:
+        """Run every rule over ``sources``.
+
+        ``focus`` (``--changed``) restricts *reporting* to those rels:
+        the whole tree is still parsed and project-wide rules still see
+        every file — the call graph must stay complete for the
+        interprocedural rules to be sound — but file-local rules only
+        run on focus files, and findings outside the focus set are
+        dropped.
+        """
         started = time.perf_counter()
         project = Project(list(sources))
+
+        def in_focus(rel: str) -> bool:
+            return focus is None or rel in focus
+
         raw: List[Finding] = []
         for source in project:
-            if source.parse_error is not None:
+            if source.parse_error is not None and in_focus(source.rel):
                 exc = source.parse_error
                 raw.append(Finding(
                     rule=PARSE_ERROR_RULE, path=source.rel,
                     line=exc.lineno or 1,
                     message=f"file does not parse: {exc.msg}",
                 ))
-                continue
-            for rule in self.rules:
-                raw.extend(rule.check_file(source))
+        rule_seconds: Dict[str, float] = {}
         for rule in self.rules:
-            raw.extend(rule.check_project(project))
+            rule_started = time.perf_counter()
+            collected: List[Finding] = []
+            for source in project:
+                if source.parse_error is None and in_focus(source.rel):
+                    collected.extend(rule.check_file(source))
+            collected.extend(rule.check_project(project))
+            rule_seconds[rule.id] = rule_seconds.get(rule.id, 0.0) + \
+                time.perf_counter() - rule_started
+            raw.extend(finding for finding in collected
+                       if in_focus(finding.path))
         findings: List[Finding] = []
         suppressed: List[Finding] = []
         by_rel = {source.rel: source for source in project}
@@ -110,4 +136,5 @@ class Engine:
             else:
                 findings.append(finding)
         elapsed = time.perf_counter() - started
-        return LintResult(project, findings, suppressed, elapsed)
+        return LintResult(project, findings, suppressed, elapsed,
+                          rule_seconds=rule_seconds)

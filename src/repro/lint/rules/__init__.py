@@ -6,12 +6,16 @@ from typing import Dict, List
 
 from ..core import Rule
 from .determinism import SetIterationRule, UnseededRandomRule, WallClockRule
+from .exceptsafety import ExceptionSafetyRule
 from .faults_registry import FaultRegistryRule
+from .lockorder import LockOrderRule
 from .locks import LockDisciplineRule
 from .metrics_decl import MetricHygieneRule
+from .seedflow import SeedFlowRule
 from .serialization import SerializationRule
 
-#: Rule classes in documentation order (determinism, locks, registries).
+#: Rule classes in documentation order (determinism, locks, registries,
+#: then the interprocedural pass).
 ALL_RULES = (
     SetIterationRule,
     UnseededRandomRule,
@@ -20,6 +24,9 @@ ALL_RULES = (
     FaultRegistryRule,
     MetricHygieneRule,
     SerializationRule,
+    SeedFlowRule,
+    LockOrderRule,
+    ExceptionSafetyRule,
 )
 
 
@@ -36,5 +43,6 @@ __all__ = [
     "ALL_RULES", "default_rules", "rules_by_id",
     "SetIterationRule", "UnseededRandomRule", "WallClockRule",
     "LockDisciplineRule", "FaultRegistryRule", "MetricHygieneRule",
-    "SerializationRule",
+    "SerializationRule", "SeedFlowRule", "LockOrderRule",
+    "ExceptionSafetyRule",
 ]

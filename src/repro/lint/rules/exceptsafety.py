@@ -1,0 +1,232 @@
+"""Exception-safety rule: manually-acquired resources are released on
+every path, including the ones an exception takes.
+
+``with`` statements are self-cleaning; this rule watches the *manual*
+patterns that are not:
+
+* ``<lock>.acquire()`` on a named lock (``self._lock.acquire()``,
+  ``lock.acquire()``) — must be paired with ``.release()`` on **all**
+  CFG paths out of the function, including raise edges; an early
+  ``raise`` or an exception from a call between acquire and release
+  leaves the lock held forever and wedges every other thread;
+* ``open(...)`` / executor constructions (``ThreadPoolExecutor`` etc.)
+  bound to a **local** name — must reach ``.close()`` / ``.shutdown()``
+  on all paths, unless the object escapes the function (returned,
+  yielded, stored on ``self``/a container, or handed to another call),
+  in which case ownership moved and the rule stops tracking it.
+  Assignments straight onto ``self.<attr>`` are long-lived by design
+  (journal/trace handles) and are not tracked.
+
+The analysis is a forward *may-hold* dataflow over the per-function
+:class:`~repro.lint.cfg.CFG`: an acquisition **gens** its resource on
+the normal out-edge only (if the acquiring statement itself raises, the
+resource was never obtained); a release or escape **kills** on both
+edges (covering release-then-raise lines).  A resource still held in
+the state reaching ``raise_exit`` is leaked on an exception path; one
+reaching ``exit`` is leaked on a normal path.  ``try/finally`` release
+is modelled precisely enough that the canonical
+
+    lock.acquire()
+    try:
+        ...
+    finally:
+        lock.release()
+
+is clean, while the same code minus the ``try/finally`` fires.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..callgraph import walk_body
+from ..cfg import CFG
+from ..core import Finding, Rule
+from ..dataflow import run_forward
+from ..source import dotted_name
+
+#: ``.acquire()`` resources are always tracked; these constructors are
+#: tracked when bound to a local name.
+_CTOR_NAMES = frozenset({
+    "open", "ThreadPoolExecutor", "ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "subprocess.Popen", "Popen", "socket.socket",
+})
+
+_RELEASE_ATTRS = frozenset({"release", "close", "shutdown", "terminate",
+                            "kill", "__exit__"})
+
+
+def _header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The statement's own expressions — nested statement bodies (which
+    are separate CFG nodes) excluded."""
+    exprs: List[ast.AST] = []
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+            exprs.extend(item.context_expr for item in value
+                         if isinstance(item, ast.withitem))
+    return exprs
+
+
+def _walk_exprs(exprs: List[ast.AST]):
+    for expr in exprs:
+        yield from walk_body(expr)
+
+
+class _FunctionFacts:
+    """Resources, acquire/release/escape sites of one function."""
+
+    def __init__(self, func_node) -> None:
+        self.func = func_node
+        #: resource id -> first acquisition line.
+        self.acquired_at: Dict[str, int] = {}
+        #: resource id -> "lock" | "resource" (message wording).
+        self.kind: Dict[str, str] = {}
+        self._collect()
+
+    def _collect(self) -> None:
+        local_ctor_names: Set[str] = set()
+        for node in walk_body(self.func):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr == "acquire":
+                    rid = dotted_name(func.value)
+                    if rid is not None:
+                        self.acquired_at.setdefault(rid, node.lineno)
+                        self.kind[rid] = "lock"
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                ctor = self._ctor_call(node.value)
+                if ctor is not None:
+                    name = node.targets[0].id
+                    local_ctor_names.add(name)
+                    self.acquired_at.setdefault(name, node.lineno)
+                    self.kind.setdefault(name, "resource")
+
+    @staticmethod
+    def _ctor_call(value: ast.AST) -> Optional[ast.Call]:
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name in _CTOR_NAMES:
+                    return node
+        return None
+
+    # -- per-statement effects -------------------------------------------------
+
+    def effects(self, stmt: ast.stmt) \
+            -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """``(gen, kill)`` resource sets for one CFG statement node."""
+        gen: Set[str] = set()
+        kill: Set[str] = set()
+        exprs = _header_exprs(stmt)
+        for node in _walk_exprs(exprs):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    rid = dotted_name(func.value)
+                    if rid in self.acquired_at:
+                        if func.attr == "acquire":
+                            gen.add(rid)
+                        elif func.attr in _RELEASE_ATTRS:
+                            kill.add(rid)
+                        else:
+                            continue
+                        continue
+                # A tracked local passed to another call escapes (the
+                # callee now owns cleanup).
+                for arg in list(node.args) + \
+                        [kw.value for kw in node.keywords]:
+                    inner = arg.value if isinstance(arg, ast.Starred) \
+                        else arg
+                    if isinstance(inner, ast.Name) \
+                            and inner.id in self.acquired_at \
+                            and self.kind.get(inner.id) == "resource":
+                        kill.add(inner.id)
+        if isinstance(stmt, ast.Assign):
+            ctor = self._ctor_call(stmt.value)
+            if ctor is not None and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                gen.add(stmt.targets[0].id)
+            # Rebinding / storing a tracked resource moves ownership.
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, (ast.Attribute, ast.Subscript)):
+                        value = stmt.value
+                        if isinstance(value, ast.Name) \
+                                and value.id in self.acquired_at:
+                            kill.add(value.id)
+        if isinstance(stmt, (ast.Return, ast.Expr)):
+            value = stmt.value
+            targets = [value]
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                targets = [value.value]
+            for target in targets:
+                if target is None:
+                    continue
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name) \
+                            and node.id in self.acquired_at \
+                            and self.kind.get(node.id) == "resource":
+                        kill.add(node.id)
+        return frozenset(gen), frozenset(kill)
+
+
+class ExceptionSafetyRule(Rule):
+    id = "exception-safety"
+    contract = ("Locks, files, and executors acquired outside `with` "
+                "are released on all paths, including exception "
+                "(raise) edges.")
+
+    def check_file(self, source) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(source, node, findings)
+        return findings
+
+    def _check_function(self, source, func_node,
+                        findings: List[Finding]) -> None:
+        facts = _FunctionFacts(func_node)
+        if not facts.acquired_at:
+            return
+        cfg = CFG.build(func_node)
+        effect_cache: Dict[int, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+        for node in cfg.stmt_nodes():
+            effect_cache[node.index] = facts.effects(node.stmt)
+
+        def transfer(node, state):
+            cached = effect_cache.get(node.index)
+            if cached is None:
+                return state, state
+            gen, kill = cached
+            survived = state - kill
+            # Gens take effect only if the statement completes normally.
+            return survived | gen, survived
+
+        states = run_forward(cfg, transfer)
+        leaked_exc = states.get(cfg.raise_exit.index, frozenset())
+        leaked_exit = states.get(cfg.exit.index, frozenset())
+        for rid in sorted(leaked_exc):
+            kind = facts.kind.get(rid, "resource")
+            findings.append(self.finding(
+                source, facts.acquired_at[rid],
+                f"{kind} `{rid}` acquired here may never be released "
+                f"when an exception escapes `{func_node.name}`: wrap "
+                f"in try/finally or use a with block",
+            ))
+        for rid in sorted(leaked_exit - leaked_exc):
+            kind = facts.kind.get(rid, "resource")
+            findings.append(self.finding(
+                source, facts.acquired_at[rid],
+                f"{kind} `{rid}` acquired here is not released on "
+                f"every normal path out of `{func_node.name}`",
+            ))

@@ -1,0 +1,461 @@
+"""Lock-order rule: deadlock cycles and blocking calls under locks.
+
+Builds the project's **lock-acquisition graph**: every ``with
+self._lock:`` site (and explicit ``.acquire()``) is an acquisition of a
+*canonical* lock — class-qualified (``ResultCache._lock``), with
+``Condition`` wrappers resolved to the lock they wrap (``JobManager._wake``
+*is* ``JobManager._lock``), attribute and local types chased through the
+call graph's inference, and module-level locks file-qualified.  Held-lock
+sets then propagate two ways:
+
+* **down the call graph** — a function's *entry held set* is the union
+  of what its callers hold at the call sites plus any ``# requires-lock:``
+  annotation on its ``def`` line (PR 9's contract comments double as
+  dataflow seeds);
+* **through summaries** — each function's *may-acquire* set (direct
+  plus transitive) adds ``held -> acquired`` edges at every call site
+  made while holding something.
+
+Findings:
+
+* **cycles** in the acquisition-order graph (lock A held while taking
+  B somewhere, B held while taking A elsewhere) — each edge inside a
+  strongly-connected component is reported at its witness site;
+* **self-cycles** only for non-reentrant ``threading.Lock`` (an
+  ``RLock`` may legitimately re-enter; a lock whose factory is unknown
+  — e.g. one-per-task dataclass locks — is given the benefit of the
+  doubt, since distinct instances share a canonical name here);
+* **blocking calls while holding a lock** — ``os.fsync``,
+  ``time.sleep``, subprocess spawns, HTTP requests, executor
+  ``.submit``/future ``.result()`` — reported once, at the direct
+  blocking site, with the full held set (lexical + inherited from
+  callers).  ``Condition.wait`` is exempt: it releases the lock.
+
+Known limits (shared with the call graph): locks reached through
+``getattr``/containers are invisible, and canonicalisation is
+per-*class*, not per-*instance* — two instances of the same class are
+one node, a may-over-approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..callgraph import (CallGraph, ClassInfo, FuncKey, FunctionInfo,
+                         ModuleInfo)
+from ..core import Finding, Rule
+from ..dataflow import fixpoint_over_functions
+from ..source import dotted_name, self_attr_path
+
+#: Dotted call names that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "os.fsync", "os.fdatasync", "time.sleep",
+    "urllib.request.urlopen", "urlopen",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "requests.get", "requests.post", "requests.request",
+    "socket.create_connection",
+})
+
+#: Attribute methods that block when invoked on executors/futures.
+_BLOCKING_ATTRS = frozenset({"submit", "result", "map", "shutdown"})
+_EXECUTORISH = ("executor", "pool", "future", "fut")
+
+
+def _looks_lockish(attr: str) -> bool:
+    return "lock" in attr.lower() or "mutex" in attr.lower()
+
+
+class _LockNamer:
+    """Canonical lock identities: ``{lock_id: (display, factory)}``."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.display: Dict[str, str] = {}
+        self.factory: Dict[str, Optional[str]] = {}
+
+    def _register(self, lock_id: str, display: str,
+                  factory: Optional[str]) -> str:
+        self.display.setdefault(lock_id, display)
+        if factory is not None:
+            self.factory[lock_id] = factory
+        else:
+            self.factory.setdefault(lock_id, None)
+        return lock_id
+
+    def class_lock(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        attr = cls.resolve_lock_alias(attr)
+        factory = cls.lock_factory(attr)
+        if factory is None and not _looks_lockish(attr):
+            return None
+        if factory == "Condition":
+            # An unaliased Condition owns an implicit RLock.
+            factory = "RLock"
+        # Canonicalise on the class that defines the attribute so a
+        # subclass and its base share one node.
+        owner = cls
+        for info in cls.mro():
+            if attr in info.lock_attrs or attr in info.class_fields:
+                owner = info
+                break
+        lock_id = f"{owner.source.rel}::{owner.name}.{attr}"
+        return self._register(lock_id, f"{owner.name}.{attr}", factory)
+
+    def module_lock(self, module: ModuleInfo, name: str) -> Optional[str]:
+        factory = module.module_locks.get(name)
+        if factory is None and not _looks_lockish(name):
+            return None
+        lock_id = f"{module.rel}::{name}"
+        return self._register(lock_id, name, factory)
+
+    def of_expr(self, expr: ast.AST, fn: Optional[FunctionInfo],
+                module: Optional[ModuleInfo],
+                local_types: Dict) -> Optional[str]:
+        """Canonical lock id for an acquisition expression, or ``None``."""
+        path = self_attr_path(expr)
+        cls = self.graph.class_of(fn) if fn is not None else None
+        if path is not None and cls is not None:
+            if len(path) == 1:
+                return self.class_lock(cls, path[0])
+            if len(path) == 2:
+                attr_type = cls.find_attr_type(path[0])
+                if attr_type is not None:
+                    owner = self.graph.classes.get(attr_type)
+                    if owner is not None:
+                        return self.class_lock(owner, path[1])
+                return None
+        if isinstance(expr, ast.Name) and module is not None:
+            return self.module_lock(module, expr.id)
+        if isinstance(expr, ast.Attribute) \
+                and isinstance(expr.value, ast.Name):
+            typed = local_types.get(expr.value.id)
+            if typed is not None:
+                owner = self.graph.classes.get(typed)
+                if owner is not None:
+                    return self.class_lock(owner, expr.attr)
+        return None
+
+    def short(self, lock_id: str) -> str:
+        return self.display.get(lock_id, lock_id)
+
+
+class _FuncScan:
+    """Lexical lock facts of one function."""
+
+    __slots__ = ("fn", "acquisitions", "calls", "blocking", "requires")
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.fn = fn
+        #: ``(lock_id, lexically-held tuple, line)``.
+        self.acquisitions: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: ``(callee key, lexically-held tuple, line)``.
+        self.calls: List[Tuple[FuncKey, Tuple[str, ...], int]] = []
+        #: ``(display name, lexically-held tuple, line)``.
+        self.blocking: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: Canonicalised ``# requires-lock:`` entry set.
+        self.requires: FrozenSet[str] = frozenset()
+
+
+class LockOrderRule(Rule):
+    id = "lock-order"
+    contract = ("Locks are acquired in one global order (no cycles in "
+                "the acquisition graph) and nothing blocking runs while "
+                "a lock is held.")
+
+    # -- per-function lexical scan ---------------------------------------------
+
+    def _requires_locks(self, fn: FunctionInfo, namer: _LockNamer) \
+            -> FrozenSet[str]:
+        cls = namer.graph.class_of(fn)
+        node = fn.node
+        sig_end = node.body[0].lineno if node.body else node.lineno
+        names: List[str] = []
+        for line in range(node.lineno, sig_end + 1):
+            names.extend(fn.source.requires_lock.get(line, ()))
+        resolved: Set[str] = set()
+        for name in names:
+            attr = name.split(".")[-1]
+            if cls is not None:
+                lock_id = namer.class_lock(cls, attr)
+                if lock_id is not None:
+                    resolved.add(lock_id)
+                    continue
+            module = namer.graph.modules.get(fn.source.rel)
+            if module is not None:
+                lock_id = namer.module_lock(module, attr)
+                if lock_id is not None:
+                    resolved.add(lock_id)
+        return frozenset(resolved)
+
+    def _scan_function(self, fn: FunctionInfo, graph: CallGraph,
+                       namer: _LockNamer) -> _FuncScan:
+        scan = _FuncScan(fn)
+        scan.requires = self._requires_locks(fn, namer)
+        module = graph.modules.get(fn.source.rel)
+        local_types = graph.local_types(fn)
+        resolutions = {id(call): callee
+                       for call, callee in graph.calls_in(fn)}
+
+        def scan_exprs(exprs, held: Tuple[str, ...]) -> None:
+            for expr in exprs:
+                if expr is None or not isinstance(expr, ast.AST):
+                    continue
+                stack: List[ast.AST] = [expr]
+                while stack:
+                    node = stack.pop()
+                    if isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef, ast.Lambda)):
+                        continue
+                    if isinstance(node, ast.Call):
+                        self._scan_call(node, held, scan, namer, fn,
+                                        module, local_types, resolutions)
+                    stack.extend(ast.iter_child_nodes(node))
+
+        def visit(stmts, held: Tuple[str, ...]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = held
+                    for item in stmt.items:
+                        scan_exprs([item.context_expr], inner)
+                        lock_id = namer.of_expr(item.context_expr, fn,
+                                                module, local_types)
+                        if lock_id is not None:
+                            scan.acquisitions.append(
+                                (lock_id, inner, stmt.lineno))
+                            if lock_id not in inner:
+                                inner = inner + (lock_id,)
+                    visit(stmt.body, inner)
+                    continue
+                for _field, value in ast.iter_fields(stmt):
+                    if isinstance(value, list):
+                        nested = [v for v in value if isinstance(v, ast.stmt)]
+                        if nested:
+                            visit(nested, held)
+                        for handler in value:
+                            if isinstance(handler, ast.ExceptHandler):
+                                scan_exprs([handler.type], held)
+                                visit(handler.body, held)
+                        scan_exprs([v for v in value
+                                    if isinstance(v, ast.expr)], held)
+                    elif isinstance(value, ast.expr):
+                        scan_exprs([value], held)
+
+        visit(fn.node.body, ())
+        return scan
+
+    def _scan_call(self, call: ast.Call, held: Tuple[str, ...],
+                   scan: _FuncScan, namer: _LockNamer, fn: FunctionInfo,
+                   module, local_types, resolutions) -> None:
+        func = call.func
+        # Explicit ``<lock>.acquire()`` is an acquisition event.
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            lock_id = namer.of_expr(func.value, fn, module, local_types)
+            if lock_id is not None:
+                scan.acquisitions.append((lock_id, held, call.lineno))
+                return
+        blocking = self._blocking_name(call)
+        if blocking is not None:
+            scan.blocking.append((blocking, held, call.lineno))
+        callee = resolutions.get(id(call))
+        if callee is not None:
+            scan.calls.append((callee.key, held, call.lineno))
+
+    @staticmethod
+    def _blocking_name(call: ast.Call) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted is not None and dotted in BLOCKING_CALLS:
+            return dotted
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            receiver = dotted_name(func.value) or ""
+            lowered = receiver.lower()
+            if any(hint in lowered for hint in _EXECUTORISH):
+                return f"{receiver}.{func.attr}"
+        return None
+
+    # -- interprocedural propagation -------------------------------------------
+
+    @staticmethod
+    def _acquire_summaries(scans: Dict[FuncKey, _FuncScan]):
+        """``{fn: locks it may acquire, transitively}``."""
+
+        def update(key, summaries):
+            scan = scans[key]
+            acquired: Set[str] = set(summaries[key])
+            acquired.update(lock for lock, _held, _line
+                            in scan.acquisitions)
+            for callee, _held, _line in scan.calls:
+                if callee in summaries:
+                    acquired |= summaries[callee]
+            return frozenset(acquired)
+
+        return fixpoint_over_functions(scans, update)
+
+    @staticmethod
+    def _entry_held(scans: Dict[FuncKey, _FuncScan]):
+        """``{fn: locks some caller may hold at entry}`` (plus its own
+        ``# requires-lock:`` annotation)."""
+        callers: Dict[FuncKey, List[Tuple[FuncKey, Tuple[str, ...]]]] = {
+            key: [] for key in scans}
+        for key, scan in scans.items():
+            for callee, held, _line in scan.calls:
+                if callee in callers:
+                    callers[callee].append((key, held))
+
+        def update(key, summaries):
+            held: Set[str] = set(summaries[key]) | set(scans[key].requires)
+            for caller, at_site in callers[key]:
+                held.update(at_site)
+                held |= summaries[caller]
+            return frozenset(held)
+
+        return fixpoint_over_functions(scans, update)
+
+    # -- cycle detection -------------------------------------------------------
+
+    @staticmethod
+    def _sccs(nodes: List[str],
+              edges: Dict[Tuple[str, str], Tuple]) -> List[List[str]]:
+        """Tarjan's strongly-connected components, iterative."""
+        adjacency: Dict[str, List[str]] = {node: [] for node in nodes}
+        for src, dst in sorted(edges):
+            if src != dst:
+                adjacency[src].append(dst)
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        for root in nodes:
+            if root in index:
+                continue
+            work = [(root, 0)]
+            while work:
+                node, child_idx = work.pop()
+                if child_idx == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                children = adjacency[node]
+                for offset in range(child_idx, len(children)):
+                    child = children[offset]
+                    if child not in index:
+                        work.append((node, offset + 1))
+                        work.append((child, 0))
+                        recursed = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if recursed:
+                    continue
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(sorted(component))
+        return sccs
+
+    # -- reporting -------------------------------------------------------------
+
+    def check_project(self, project) -> List[Finding]:
+        graph = CallGraph.of(project)
+        namer = _LockNamer(graph)
+        scans: Dict[FuncKey, _FuncScan] = {}
+        for fn in graph.sorted_functions():
+            scans[fn.key] = self._scan_function(fn, graph, namer)
+
+        acquires = self._acquire_summaries(scans)
+        entry_held = self._entry_held(scans)
+
+        #: ``(held lock, acquired lock) -> (rel, line, qualname)`` witness.
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+        findings: List[Finding] = []
+
+        for key in sorted(scans):
+            scan = scans[key]
+            fn = scan.fn
+            inherited = entry_held[key]
+            for lock, lexical, line in scan.acquisitions:
+                full = frozenset(lexical) | inherited
+                for held in full:
+                    edges.setdefault((held, lock),
+                                     (fn.source.rel, line, fn.qualname))
+            for callee, lexical, line in scan.calls:
+                full = frozenset(lexical) | inherited
+                if not full:
+                    continue
+                for lock in acquires.get(callee, frozenset()):
+                    for held in full:
+                        edges.setdefault(
+                            (held, lock),
+                            (fn.source.rel, line, fn.qualname))
+            for name, lexical, line in scan.blocking:
+                full = sorted(frozenset(lexical) | inherited)
+                if not full:
+                    continue
+                held_names = ", ".join(namer.short(lock) for lock in full)
+                findings.append(self.finding(
+                    fn.source, line,
+                    f"blocking call `{name}` while holding "
+                    f"{held_names}: move it outside the critical "
+                    f"section or justify via baseline",
+                ))
+
+        # Self-cycles: re-acquiring a non-reentrant Lock deadlocks.
+        for (src, dst), (rel, line, qualname) in sorted(edges.items()):
+            if src != dst or namer.factory.get(src) != "Lock":
+                continue
+            source = self._source_for(project, rel)
+            if source is None:
+                continue
+            findings.append(self.finding(
+                source, line,
+                f"non-reentrant lock {namer.short(src)} may be "
+                f"re-acquired while already held (in {qualname}): "
+                f"this self-deadlocks",
+            ))
+
+        # Multi-lock cycles: every edge inside an SCC is a witness.
+        nodes = sorted({node for edge in edges for node in edge})
+        for scc in self._sccs(nodes, edges):
+            if len(scc) < 2:
+                continue
+            member = set(scc)
+            cycle = " -> ".join(namer.short(lock) for lock in scc)
+            for (src, dst), (rel, line, qualname) in sorted(edges.items()):
+                if src == dst or src not in member or dst not in member:
+                    continue
+                source = self._source_for(project, rel)
+                if source is None:
+                    continue
+                findings.append(self.finding(
+                    source, line,
+                    f"lock-order cycle: {namer.short(src)} is held "
+                    f"while acquiring {namer.short(dst)} (in "
+                    f"{qualname}), completing the cycle "
+                    f"[{cycle} -> ...]: acquire these locks in one "
+                    f"global order",
+                ))
+        return findings
+
+    @staticmethod
+    def _source_for(project, rel: str):
+        for source in project.parsed():
+            if source.rel == rel:
+                return source
+        return None

@@ -1,0 +1,452 @@
+"""Seed-provenance taint rule: every RNG is seeded from a *plumbed*
+seed, across function boundaries.
+
+Every golden in this repo is pinned for a fixed seed, and the seed is
+an **input**: it arrives through a request field, a CLI flag, or a test
+and flows through parameters (``seed=``), seeded-RNG objects, and
+trial-seed derivations (``seed + trial_index``) down to every
+``random.Random(...)`` construction.  Two things break that provenance
+chain and are contract violations in library code:
+
+* a **literal** seed baked into a decision path
+  (``random.Random(1234)``, ``make_rng(42)``, ``helper(seed=7)``) —
+  callers can no longer vary it, trials silently share it, and the
+  value is invisible to the request/CLI surface;
+* an **ambient** seed (``os.environ``/``os.getenv``, ``time.time``) —
+  reproducibility now depends on process state nobody recorded.
+
+The rule finds every RNG-constructor site (``random.Random``,
+``numpy``'s ``default_rng``/``RandomState``/``SeedSequence``) and every
+call that binds an argument to a **seed parameter**, then classifies
+the seed expression by walking the dataflow *backwards*: through local
+assignments (including ``for``-targets and ``with ... as``), through
+``self.<attr>`` to the constructor assignment or dataclass field that
+set it, and — interprocedurally — seed parameters are discovered by a
+fixpoint over the call graph (a parameter that flows into an RNG
+constructor or into a callee's seed parameter is itself a seed
+parameter, so ``run() -> make_rng(1234) -> random.Random(seed)`` is
+caught at the ``make_rng(1234)`` call site).
+
+What is **allowed**:
+
+* parameter *defaults* (``def __init__(self, seed: int = 0)``) — a
+  default is a documented, overridable knob, not a buried constant;
+* literal seeds in **entry-point** files (``benchmarks/``,
+  ``scripts/``, ``examples/``, tests, ``cli.py``/``__main__``/
+  ``experiments`` modules) — pinning the seed *is* their job;
+* ``seed=None`` (the conventional "derive it for me" sentinel);
+* anything the analysis cannot classify (unknown names, attribute
+  chains on foreign objects) — resolution is conservative, so the rule
+  never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..callgraph import CallGraph, ClassInfo, FunctionInfo, walk_body
+from ..core import Finding, Rule
+from ..dataflow import fixpoint_over_functions
+from ..source import SourceFile, dotted_name, self_attr_path
+
+#: Path fragments marking files that *originate* seeds (CLI, tests,
+#: benchmark drivers): literals are the point there.
+ENTRY_FRAGMENTS = (
+    "benchmarks/", "scripts/", "examples/", "tests/", "test_",
+    "conftest", "__main__", "/cli.py", "experiments",
+)
+
+#: Dotted call names that construct a seedable RNG; the first positional
+#: argument (or ``seed=``) is the seed.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random", "Random",
+    "np.random.default_rng", "numpy.random.default_rng", "default_rng",
+    "np.random.RandomState", "numpy.random.RandomState", "RandomState",
+    "np.random.SeedSequence", "numpy.random.SeedSequence", "SeedSequence",
+})
+
+#: Calls whose result is ambient process state, not a plumbed seed.
+_AMBIENT_CALLS = frozenset({
+    "os.getenv", "os.environ.get", "getenv",
+    "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+})
+
+#: Parameter names that carry seeds by convention even when the body
+#: forwards them opaquely (``**kwargs``, registry indirection).
+_SEED_PARAM_NAMES = frozenset({"seed", "rng"})
+
+# Classification lattice for a seed expression.
+DERIVED = "derived"      # reaches a parameter / plumbed attribute
+AMBIENT = "ambient"      # environment or wall clock
+LITERAL = "literal"      # constant-foldable, no names involved
+UNKNOWN = "unknown"      # unresolvable -- never reported
+
+
+def is_entry_file(rel: str) -> bool:
+    return any(fragment in rel for fragment in ENTRY_FRAGMENTS)
+
+
+def _is_seed_param_name(name: str) -> bool:
+    return name in _SEED_PARAM_NAMES or name.endswith("_seed")
+
+
+def _rng_seed_args(call: ast.Call) -> Optional[List[ast.AST]]:
+    """The seed argument expressions of an RNG-constructor call, ``[]``
+    for an unseeded construction, or ``None`` if not an RNG ctor."""
+    name = dotted_name(call.func)
+    if name is None or name not in RNG_CONSTRUCTORS:
+        return None
+    args: List[ast.AST] = [arg for arg in call.args
+                           if not isinstance(arg, ast.Starred)]
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            args.append(keyword.value)
+    return args
+
+
+def _is_ambient(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _AMBIENT_CALLS:
+                return True
+        elif isinstance(node, ast.Subscript):
+            if dotted_name(node.value) == "os.environ":
+                return True
+    return False
+
+
+def _is_constant_foldable(expr: ast.AST) -> bool:
+    """True when ``expr`` is built purely from literals (numbers,
+    strings, arithmetic over them) — a baked-in seed."""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Name, ast.Attribute, ast.Call,
+                             ast.Subscript)):
+            return False
+    return True
+
+
+class _Context:
+    """Where a seed expression lives: the enclosing function (or module
+    body) plus everything needed to chase names."""
+
+    def __init__(self, graph: CallGraph, source: SourceFile,
+                 fn: Optional[FunctionInfo]) -> None:
+        self.graph = graph
+        self.source = source
+        self.fn = fn
+        self.params: Set[str] = set(fn.params) if fn is not None else set()
+        scope = fn.node if fn is not None else source.tree
+        #: name -> list of expressions it may be bound from.
+        self.bindings: Dict[str, List[ast.AST]] = {}
+        for node in walk_body(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind_target(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind_target(node.target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                self._bind_target(node.target, node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind_target(node.target, node.iter)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars,
+                                          item.context_expr)
+            elif isinstance(node, ast.NamedExpr):
+                self._bind_target(node.target, node.value)
+
+    def _bind_target(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.bindings.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, value)
+
+
+class SeedFlowRule(Rule):
+    id = "seed-flow"
+    contract = ("Every RNG/seed-consuming site is reachable from a "
+                "request/CLI/test seed parameter — never a literal or "
+                "environment value baked into library code.")
+
+    # -- classification --------------------------------------------------------
+
+    def _classify(self, expr: ast.AST, ctx: _Context,
+                  depth: int = 0,
+                  seen: Optional[Set[str]] = None) -> str:
+        """DERIVED / AMBIENT / LITERAL / UNKNOWN for a seed expression."""
+        if depth > 8:
+            return UNKNOWN
+        if _is_ambient(expr):
+            return AMBIENT
+        seen = seen if seen is not None else set()
+        verdicts: Set[str] = set()
+        names_found = False
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Attribute):
+                path = self_attr_path(node)
+                if path is not None and len(path) == 1:
+                    names_found = True
+                    verdicts.add(self._classify_self_attr(path[0], ctx,
+                                                          depth, seen))
+                    # Classified as a whole: do not descend into the
+                    # ``self`` base name (it would read as a parameter).
+                    continue
+            elif isinstance(node, ast.Name):
+                if not isinstance(getattr(node, "ctx", None), ast.Store):
+                    names_found = True
+                    verdicts.add(self._classify_name(node.id, ctx,
+                                                     depth, seen))
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        if DERIVED in verdicts:
+            return DERIVED
+        if not names_found:
+            return LITERAL if _is_constant_foldable(expr) else UNKNOWN
+        if verdicts and verdicts <= {LITERAL}:
+            return LITERAL
+        if AMBIENT in verdicts:
+            return AMBIENT
+        return UNKNOWN
+
+    def _classify_name(self, name: str, ctx: _Context, depth: int,
+                       seen: Set[str]) -> str:
+        if name in ctx.params:
+            return DERIVED
+        key = f"name:{name}"
+        if key in seen:
+            return UNKNOWN
+        seen.add(key)
+        values = ctx.bindings.get(name)
+        if values is None:
+            # Module-level constant?  ``DEFAULT_SEED = 7`` is still a
+            # baked-in literal; an import or call stays unknown.
+            module = ctx.graph.modules.get(ctx.source.rel)
+            if module is not None and name in module.module_assigns:
+                value = module.module_assigns[name]
+                if _is_constant_foldable(value):
+                    return LITERAL
+            return UNKNOWN
+        verdicts = {self._classify(value, ctx, depth + 1, seen)
+                    for value in values}
+        if DERIVED in verdicts:
+            return DERIVED
+        if verdicts <= {LITERAL}:
+            return LITERAL
+        if AMBIENT in verdicts:
+            return AMBIENT
+        return UNKNOWN
+
+    def _classify_self_attr(self, attr: str, ctx: _Context, depth: int,
+                            seen: Set[str]) -> str:
+        """``self.<attr>`` classifies by how the constructor set it."""
+        if ctx.fn is None:
+            return UNKNOWN
+        cls = ctx.graph.class_of(ctx.fn)
+        if cls is None:
+            return UNKNOWN
+        key = f"attr:{cls.name}.{attr}"
+        if key in seen:
+            return UNKNOWN
+        seen.add(key)
+        verdict = self._attr_verdict(cls, attr, ctx, depth, seen)
+        return verdict
+
+    def _attr_verdict(self, cls: ClassInfo, attr: str, ctx: _Context,
+                      depth: int, seen: Set[str]) -> str:
+        for info in cls.mro():
+            if info.is_dataclass and attr in info.class_fields:
+                # A dataclass field is a constructor parameter; its
+                # default is a documented knob.
+                return DERIVED
+            for ctor_name in ("__init__", "__post_init__"):
+                ctor = info.methods.get(ctor_name)
+                if ctor is None:
+                    continue
+                ctor_ctx = _Context(ctx.graph, ctor.source, ctor)
+                verdicts: Set[str] = set()
+                for node in walk_body(ctor.node):
+                    if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    value = node.value
+                    if value is None:
+                        continue
+                    targets = node.targets if isinstance(node, ast.Assign) \
+                        else [node.target]
+                    for target in targets:
+                        path = self_attr_path(target)
+                        if path is not None and path == (attr,):
+                            verdicts.add(self._classify(value, ctor_ctx,
+                                                        depth + 1, seen))
+                if DERIVED in verdicts:
+                    return DERIVED
+                if verdicts and verdicts <= {LITERAL}:
+                    return LITERAL
+                if AMBIENT in verdicts:
+                    return AMBIENT
+            if attr in info.class_fields:
+                value = info.class_fields[attr]
+                if value is not None and _is_constant_foldable(value):
+                    return LITERAL
+        return UNKNOWN
+
+    # -- seed-parameter discovery ----------------------------------------------
+
+    def _discover_seed_params(self, graph: CallGraph) \
+            -> Dict[Tuple[str, str, str], FrozenSet[str]]:
+        """``{function key: seed parameter names}`` by fixpoint: a param
+        is a seed param if conventionally named, if it flows into an RNG
+        constructor in the body, or into a callee's seed parameter.
+
+        The AST walks happen once up front; the fixpoint rounds then
+        only chase ``(callee, callee param, own param)`` flow triples.
+        """
+        base: Dict[Tuple[str, str, str], FrozenSet[str]] = {}
+        flows: Dict[Tuple[str, str, str],
+                    List[Tuple[Tuple[str, str, str], str, str]]] = {}
+        for fn in graph.sorted_functions():
+            own = set(fn.params)
+            names = {param for param in own if _is_seed_param_name(param)}
+            triples: List[Tuple[Tuple[str, str, str], str, str]] = []
+            if own:
+                for call, callee in graph.calls_in(fn):
+                    for expr in _rng_seed_args(call) or []:
+                        for node in ast.walk(expr):
+                            if isinstance(node, ast.Name) \
+                                    and node.id in own:
+                                names.add(node.id)
+                    if callee is None:
+                        continue
+                    for param, arg in callee.bind_args(call):
+                        for node in ast.walk(arg):
+                            if isinstance(node, ast.Name) \
+                                    and node.id in own:
+                                triples.append((callee.key, param, node.id))
+            base[fn.key] = frozenset(names)
+            flows[fn.key] = triples
+
+        def update(key, summaries):
+            params: Set[str] = set(base[key]) | set(summaries[key])
+            for callee_key, callee_param, own_param in flows[key]:
+                if callee_param in summaries.get(callee_key, frozenset()):
+                    params.add(own_param)
+            return frozenset(params)
+
+        return fixpoint_over_functions(graph.functions, update)
+
+    # -- reporting -------------------------------------------------------------
+
+    def check_project(self, project) -> List[Finding]:
+        graph = CallGraph.of(project)
+        seed_params = self._discover_seed_params(graph)
+        findings: List[Finding] = []
+        for source in project.parsed():
+            if is_entry_file(source.rel):
+                continue
+            self._check_source(graph, source, seed_params, findings)
+        return findings
+
+    def _function_scopes(self, graph: CallGraph, source: SourceFile):
+        """Every (fn or None) scope in ``source`` — module body last."""
+        module = graph.modules.get(source.rel)
+        if module is None:
+            return
+        for name in sorted(module.functions):
+            yield module.functions[name]
+        for cls_name in sorted(module.classes):
+            cls = module.classes[cls_name]
+            for method_name in sorted(cls.methods):
+                yield cls.methods[method_name]
+        yield None
+
+    def _module_level_calls(self, source: SourceFile):
+        """Calls in module-level code (class bodies included, function
+        bodies excluded)."""
+        for stmt in source.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in walk_body(stmt):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    def _check_source(self, graph: CallGraph, source: SourceFile,
+                      seed_params, findings: List[Finding]) -> None:
+        for fn in self._function_scopes(graph, source):
+            ctx = _Context(graph, source, fn)
+            if fn is not None:
+                calls = graph.calls_in(fn)
+            else:
+                local_types: Dict = {}
+                calls = [(call, graph.resolve_call(call, None, source,
+                                                   local_types))
+                         for call in self._module_level_calls(source)]
+            for call, callee in calls:
+                self._check_rng_ctor(call, ctx, findings)
+                self._check_seed_args(call, callee, ctx, seed_params,
+                                      findings)
+
+    def _check_rng_ctor(self, call: ast.Call, ctx: _Context,
+                        findings: List[Finding]) -> None:
+        seed_args = _rng_seed_args(call)
+        if seed_args is None:
+            return
+        name = dotted_name(call.func)
+        if not seed_args:
+            findings.append(self.finding(
+                ctx.source, call.lineno,
+                f"{name}() constructed without a seed: derive one from "
+                f"the request/CLI seed parameter (seed provenance)",
+            ))
+            return
+        for expr in seed_args:
+            self._report_expr(expr, call, f"{name}(...)", ctx, findings)
+
+    def _check_seed_args(self, call: ast.Call,
+                         callee: Optional[FunctionInfo], ctx: _Context,
+                         seed_params, findings: List[Finding]) -> None:
+        checked: List[Tuple[str, ast.AST]] = []
+        if callee is not None and callee.key in seed_params:
+            params = seed_params[callee.key]
+            checked = [(param, arg) for param, arg in callee.bind_args(call)
+                       if param in params]
+        else:
+            # Unresolved target: the ``seed=`` keyword is still a seed
+            # site by naming convention.
+            if _rng_seed_args(call) is not None:
+                return  # already handled as an RNG constructor
+            checked = [(keyword.arg, keyword.value)
+                       for keyword in call.keywords
+                       if keyword.arg is not None
+                       and _is_seed_param_name(keyword.arg)]
+        target = callee.qualname if callee is not None else \
+            (dotted_name(call.func) or "<call>")
+        for param, arg in checked:
+            if isinstance(arg, ast.Constant) and arg.value is None:
+                continue  # "derive it for me" sentinel
+            self._report_expr(arg, call,
+                              f"{target}(..., {param}=...)", ctx, findings)
+
+    def _report_expr(self, expr: ast.AST, call: ast.Call, where: str,
+                     ctx: _Context, findings: List[Finding]) -> None:
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return
+        verdict = self._classify(expr, ctx)
+        if verdict == LITERAL:
+            findings.append(self.finding(
+                ctx.source, call.lineno,
+                f"literal seed flows into {where}: thread it from a "
+                f"request/CLI/test parameter instead of baking it into "
+                f"library code (parameter defaults are fine)",
+            ))
+        elif verdict == AMBIENT:
+            findings.append(self.finding(
+                ctx.source, call.lineno,
+                f"environment/wall-clock value flows into {where}: "
+                f"seeds must be recorded inputs, not ambient process "
+                f"state",
+            ))

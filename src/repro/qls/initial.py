@@ -53,14 +53,16 @@ def vf2_mapping(circuit: QuantumCircuit,
 
 
 def greedy_degree_mapping(circuit: QuantumCircuit, coupling: CouplingGraph,
-                          rng: Optional[random.Random] = None) -> Mapping:
+                          rng: Optional[random.Random] = None,
+                          seed: int = 0) -> Mapping:
     """Expand outward from the device centre, matching degree profiles.
 
     Program qubits are placed in descending interaction-degree order; each
     goes on the free physical qubit adjacent to the most already-placed
     interaction partners (ties: higher degree, closer to centre).
+    ``seed`` feeds the fallback RNG when the caller does not thread one.
     """
-    rng = rng or random.Random(0)
+    rng = rng or random.Random(seed)
     graph = InteractionGraph.from_circuit(circuit)
     for q in range(circuit.num_qubits):
         graph.add_node(q)

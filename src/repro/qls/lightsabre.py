@@ -153,6 +153,39 @@ class LightSabre(QLSTool):
         assert best is not None
         return best, time.perf_counter() - start
 
+    def _collect_chunks(self, circuit: QuantumCircuit,
+                        coupling: CouplingGraph,
+                        initial_mapping: Optional[Mapping],
+                        chunks: Sequence[Sequence[Tuple[int, int]]],
+                        submit) -> Tuple[List[Tuple[int, QLSResult]],
+                                         List[Sequence[Tuple[int, int]]]]:
+        """Submit every chunk via ``submit`` and collect the per-chunk
+        winners; chunks that hit a pool-level failure on submission or
+        collection are re-run serially in this process."""
+        chunk_bests: List[Tuple[int, QLSResult]] = []
+        failed: List[Sequence[Tuple[int, int]]] = []
+        futures = []
+        for chunk in chunks:
+            try:
+                futures.append(submit(_run_trial_chunk, circuit, coupling,
+                                      self.params, initial_mapping, chunk))
+            except POOL_UNAVAILABLE_ERRORS:
+                futures.append(None)
+        for chunk, future in zip(chunks, futures):
+            if future is None:
+                failed.append(chunk)
+                continue
+            try:
+                chunk_bests.append(future.result())
+            except POOL_UNAVAILABLE_ERRORS:
+                failed.append(chunk)
+        # Re-run only the failed chunks, serially, in this process.
+        for chunk in failed:
+            chunk_bests.append(_run_trial_chunk(
+                circuit, coupling, self.params, initial_mapping, chunk
+            ))
+        return chunk_bests, failed
+
     def _run_parallel(self, circuit: QuantumCircuit, coupling: CouplingGraph,
                       initial_mapping: Optional[Mapping],
                       trial_seeds: Sequence[int], workers: int,
@@ -170,7 +203,6 @@ class LightSabre(QLSTool):
         chunks = [indexed[i::workers] for i in range(workers)]
         chunks = [c for c in chunks if c]
         start = time.perf_counter()
-        owned: Optional[ProcessPoolExecutor] = None
         if pool is None:
             try:
                 owned = ProcessPoolExecutor(max_workers=len(chunks))
@@ -181,35 +213,14 @@ class LightSabre(QLSTool):
                     circuit, coupling, initial_mapping, trial_seeds
                 )
                 return best, trial_phase, 1, 0
-            submit = owned.submit
-        else:
-            submit = pool.submit
-        chunk_bests: List[Tuple[int, QLSResult]] = []
-        failed: List[Sequence[Tuple[int, int]]] = []
-        try:
-            futures = []
-            for chunk in chunks:
-                try:
-                    futures.append(submit(_run_trial_chunk, circuit, coupling,
-                                          self.params, initial_mapping, chunk))
-                except POOL_UNAVAILABLE_ERRORS:
-                    futures.append(None)
-            for chunk, future in zip(chunks, futures):
-                if future is None:
-                    failed.append(chunk)
-                    continue
-                try:
-                    chunk_bests.append(future.result())
-                except POOL_UNAVAILABLE_ERRORS:
-                    failed.append(chunk)
-            # Re-run only the failed chunks, serially, in this process.
-            for chunk in failed:
-                chunk_bests.append(_run_trial_chunk(
-                    circuit, coupling, self.params, initial_mapping, chunk
-                ))
-        finally:
-            if owned is not None:
+            try:
+                chunk_bests, failed = self._collect_chunks(
+                    circuit, coupling, initial_mapping, chunks, owned.submit)
+            finally:
                 owned.shutdown()
+        else:
+            chunk_bests, failed = self._collect_chunks(
+                circuit, coupling, initial_mapping, chunks, pool.submit)
         trial_phase = time.perf_counter() - start
         # Serial tie-break: lowest swap count, earliest trial among ties.
         # Trial indices are unique, so the minimum is order-independent and

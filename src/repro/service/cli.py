@@ -231,15 +231,13 @@ def _cmd_make_requests(args: argparse.Namespace) -> int:
             router_only=args.router_only,
         )
         lines.append(canonical_json(request.to_dict()))
-    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
-    try:
-        for line in lines:
-            out.write(line + "\n")
-    finally:
-        if args.out:
-            out.close()
+    payload = "".join(line + "\n" for line in lines)
     if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            out.write(payload)
         print(f"wrote {len(lines)} requests -> {args.out}")
+    else:
+        sys.stdout.write(payload)
     return 0
 
 

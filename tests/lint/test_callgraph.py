@@ -1,0 +1,140 @@
+"""Call-graph construction and resolution over inline projects."""
+
+import ast
+
+from conftest import make_source
+
+from repro.lint.callgraph import CallGraph, module_name_for, walk_body
+
+
+def build(files):
+    return CallGraph([make_source(code, rel) for rel, code in files.items()])
+
+
+def calls_of(graph, key):
+    return {callee.qualname for _call, callee in
+            graph.calls_in(graph.functions[key]) if callee is not None}
+
+
+def test_module_name_for():
+    assert module_name_for("src/repro/qls/initial.py") == "repro.qls.initial"
+    assert module_name_for("pkg/__init__.py") == "pkg"
+    assert module_name_for("pkg/mod.py") == "pkg.mod"
+    assert module_name_for("notes.txt") is None
+
+
+def test_walk_body_skips_nested_defs():
+    tree = ast.parse(
+        "def outer():\n"
+        "    a = 1\n"
+        "    def inner():\n"
+        "        b = 2\n"
+        "    return a\n")
+    names = {node.id for node in walk_body(tree.body[0])
+             if isinstance(node, ast.Name)}
+    assert "a" in names
+    assert "b" not in names
+
+
+def test_same_module_function_resolution():
+    graph = build({"pkg/mod.py": (
+        "def helper():\n    return 1\n\n"
+        "def run():\n    return helper()\n")})
+    assert calls_of(graph, ("pkg/mod.py", "", "run")) == {"helper"}
+
+
+def test_cross_module_from_import_resolution():
+    graph = build({
+        "pkg/__init__.py": "",
+        "pkg/util.py": "def work():\n    return 1\n",
+        "pkg/engine.py": (
+            "from pkg.util import work\n\n"
+            "def run():\n    return work()\n"),
+    })
+    assert calls_of(graph, ("pkg/engine.py", "", "run")) == {"work"}
+
+
+def test_relative_import_resolution():
+    graph = build({
+        "pkg/__init__.py": "",
+        "pkg/util.py": "def work():\n    return 1\n",
+        "pkg/engine.py": (
+            "from .util import work\n\n"
+            "def run():\n    return work()\n"),
+    })
+    assert calls_of(graph, ("pkg/engine.py", "", "run")) == {"work"}
+
+
+def test_self_method_and_inherited_method():
+    graph = build({"pkg/mod.py": (
+        "class Base:\n"
+        "    def shared(self):\n        return 1\n\n"
+        "class Child(Base):\n"
+        "    def run(self):\n"
+        "        return self.shared() + self.local()\n"
+        "    def local(self):\n        return 2\n")})
+    assert calls_of(graph, ("pkg/mod.py", "Child", "run")) == \
+        {"Base.shared", "Child.local"}
+
+
+def test_attr_type_from_ctor_assignment():
+    graph = build({"pkg/mod.py": (
+        "class Journal:\n"
+        "    def record(self):\n        return 1\n\n"
+        "class Manager:\n"
+        "    def __init__(self):\n"
+        "        self.journal = Journal()\n"
+        "    def submit(self):\n"
+        "        self.journal.record()\n")})
+    assert calls_of(graph, ("pkg/mod.py", "Manager", "submit")) == \
+        {"Journal.record"}
+
+
+def test_annotated_parameter_types_local():
+    graph = build({"pkg/mod.py": (
+        "class Cache:\n"
+        "    def get(self):\n        return None\n\n"
+        "def lookup(cache: Cache):\n"
+        "    return cache.get()\n")})
+    assert calls_of(graph, ("pkg/mod.py", "", "lookup")) == {"Cache.get"}
+
+
+def test_class_call_resolves_to_init():
+    graph = build({"pkg/mod.py": (
+        "class Worker:\n"
+        "    def __init__(self, n):\n        self.n = n\n\n"
+        "def spawn():\n    return Worker(3)\n")})
+    assert calls_of(graph, ("pkg/mod.py", "", "spawn")) == \
+        {"Worker.__init__"}
+
+
+def test_condition_alias_resolution():
+    graph = build({"pkg/mod.py": (
+        "import threading\n\n"
+        "class Q:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.RLock()\n"
+        "        self._wake = threading.Condition(self._lock)\n")})
+    cls = graph.classes[("pkg/mod.py", "Q")]
+    assert cls.lock_attrs == {"_lock": "RLock", "_wake": "Condition"}
+    assert cls.resolve_lock_alias("_wake") == "_lock"
+    assert cls.resolve_lock_alias("_lock") == "_lock"
+
+
+def test_bind_args_positional_and_keyword():
+    graph = build({"pkg/mod.py": (
+        "def target(alpha, beta, gamma=3):\n    return alpha\n\n"
+        "def caller():\n    return target(1, gamma=9, beta=2)\n")})
+    fn = graph.functions[("pkg/mod.py", "", "caller")]
+    ((call, callee),) = [(c, r) for c, r in graph.calls_in(fn)
+                         if r is not None]
+    bound = {param: ast.literal_eval(arg)
+             for param, arg in callee.bind_args(call)}
+    assert bound == {"alpha": 1, "beta": 2, "gamma": 9}
+
+
+def test_unresolvable_call_is_none():
+    graph = build({"pkg/mod.py": (
+        "def run(thing):\n    return thing.do()\n")})
+    fn = graph.functions[("pkg/mod.py", "", "run")]
+    assert [callee for _c, callee in graph.calls_in(fn)] == [None]

@@ -1,0 +1,179 @@
+"""CFG construction: edges for branches, loops, try/finally, raises."""
+
+import ast
+
+from repro.lint.cfg import CFG, expr_can_raise
+
+
+def build(code):
+    import textwrap
+    tree = ast.parse(textwrap.dedent(code))
+    return CFG.build(tree.body[0])
+
+
+def reaches(cfg, target):
+    """Is ``target`` reachable from entry over both edge kinds?"""
+    seen = set()
+    stack = [cfg.entry]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node is target:
+            return True
+        stack.extend(node.succs + node.exc_succs)
+    return False
+
+
+def test_linear_function():
+    cfg = build("""
+        def f():
+            a = 1
+            return a
+    """)
+    assert reaches(cfg, cfg.exit)
+    assert len(cfg.stmt_nodes()) == 2
+
+
+def test_branch_rejoins():
+    cfg = build("""
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+    """)
+    if_node = next(n for n in cfg.stmt_nodes()
+                   if isinstance(n.stmt, ast.If))
+    assert len(if_node.succs) == 2
+    assert reaches(cfg, cfg.exit)
+
+
+def test_call_gets_exception_edge():
+    cfg = build("""
+        def f():
+            work()
+    """)
+    call_node = next(n for n in cfg.stmt_nodes()
+                     if isinstance(n.stmt, ast.Expr))
+    assert cfg.raise_exit in call_node.exc_succs
+
+
+def test_raise_goes_only_to_raise_exit():
+    cfg = build("""
+        def f():
+            raise ValueError("boom")
+    """)
+    raise_node = next(n for n in cfg.stmt_nodes()
+                      if isinstance(n.stmt, ast.Raise))
+    assert raise_node.succs == []
+    assert cfg.raise_exit in raise_node.exc_succs
+
+
+def test_try_finally_covers_exception_path():
+    cfg = build("""
+        def f():
+            try:
+                work()
+            finally:
+                cleanup()
+    """)
+    work = next(n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.Expr)
+                and n.stmt.value.func.id == "work")
+    cleanup = next(n for n in cfg.stmt_nodes()
+                   if isinstance(n.stmt, ast.Expr)
+                   and n.stmt.value.func.id == "cleanup")
+    # work's exception edge runs through the finally body, never
+    # straight to raise_exit.
+    assert cleanup in work.exc_succs
+    assert cfg.raise_exit not in work.exc_succs
+    assert reaches(cfg, cfg.raise_exit)  # via cleanup's join
+
+
+def test_handler_catches_body_exception():
+    cfg = build("""
+        def f():
+            try:
+                work()
+            except ValueError:
+                fallback()
+    """)
+    work = next(n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.Expr)
+                and n.stmt.value.func.id == "work")
+    (dispatch,) = work.exc_succs
+    assert dispatch.kind == "dispatch"
+    # A named handler may not match: the unmatched edge escapes.
+    assert dispatch.exc_succs == [cfg.raise_exit]
+
+
+def test_catch_all_handler_has_no_unmatched_edge():
+    cfg = build("""
+        def f():
+            try:
+                work()
+            except BaseException:
+                fallback()
+                raise
+    """)
+    dispatch = next(n for n in cfg.nodes if n.kind == "dispatch")
+    assert dispatch.exc_succs == []
+
+
+def test_loop_break_and_continue_targets():
+    cfg = build("""
+        def f(items):
+            for item in items:
+                if item:
+                    break
+                continue
+            return 1
+    """)
+    loop = next(n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.For))
+    brk = next(n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Break))
+    cont = next(n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.Continue))
+    ret = next(n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Return))
+    assert ret in brk.succs          # break jumps past the loop
+    assert loop in cont.succs        # continue re-tests the loop
+    assert ret in loop.succs         # loop exhaustion falls through
+
+
+def test_return_inside_finally_protected_try():
+    cfg = build("""
+        def f():
+            try:
+                return 1
+            finally:
+                cleanup()
+    """)
+    ret = next(n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Return))
+    cleanup = next(n for n in cfg.stmt_nodes()
+                   if isinstance(n.stmt, ast.Expr))
+    # The pending return routes through the finally body first.
+    assert ret.succs == [cleanup]
+    assert reaches(cfg, cfg.exit)
+
+
+def test_annassign_annotation_never_raises():
+    cfg = build("""
+        def f():
+            items: list = []
+            return items
+    """)
+    ann = next(n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.AnnAssign))
+    assert ann.exc_succs == []
+
+
+def test_expr_can_raise():
+    assert expr_can_raise(ast.parse("f()").body[0])
+    assert expr_can_raise(ast.parse("a.b").body[0])
+    assert not expr_can_raise(ast.parse("x = y").body[0])

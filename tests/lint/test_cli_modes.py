@@ -1,0 +1,133 @@
+"""CLI satellites: --changed, --prune-baseline, --fail-stale, timings."""
+
+import json
+import os
+import subprocess
+import sys
+
+from conftest import REPO_ROOT
+
+LIB_WITH_LITERAL_SEED = (
+    "import random\n\n"
+    "def f():\n"
+    "    return random.Random(7)\n")
+
+LIB_CLEAN = (
+    "import random\n\n"
+    "def f(seed):\n"
+    "    return random.Random(seed)\n")
+
+
+def run_lint(*argv, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=300)
+
+
+def git(tmp_path, *argv):
+    return subprocess.run(
+        ["git", "-C", str(tmp_path), "-c", "user.email=lint@test",
+         "-c", "user.name=lint", *argv],
+        capture_output=True, text=True, timeout=60)
+
+
+def test_changed_falls_back_without_git(tmp_path):
+    (tmp_path / "lib.py").write_text(LIB_WITH_LITERAL_SEED)
+    proc = run_lint("lib.py", "--changed", "--no-baseline",
+                    "--rules", "seed-flow", cwd=tmp_path)
+    assert "linting the full tree" in proc.stderr
+    assert proc.returncode == 1  # fallback still reports the finding
+    assert "seed-flow" in proc.stdout
+
+
+def test_changed_reports_only_changed_files(tmp_path):
+    if git(tmp_path, "init").returncode != 0:
+        import pytest
+        pytest.skip("git unavailable")
+    (tmp_path / "stable.py").write_text(LIB_WITH_LITERAL_SEED)
+    (tmp_path / "touched.py").write_text(LIB_CLEAN)
+    git(tmp_path, "add", ".")
+    assert git(tmp_path, "commit", "-m", "seed").returncode == 0
+    # Introduce a violation in one file only; the committed violation
+    # in stable.py must not be reported on a --changed run.
+    (tmp_path / "touched.py").write_text(LIB_WITH_LITERAL_SEED)
+    proc = run_lint(".", "--changed", "--no-baseline",
+                    "--rules", "seed-flow", "--format", "json",
+                    cwd=tmp_path)
+    payload = json.loads(proc.stdout)
+    assert [f["path"] for f in payload["findings"]] == ["touched.py"]
+
+    full = run_lint(".", "--no-baseline", "--rules", "seed-flow",
+                    "--format", "json", cwd=tmp_path)
+    assert len(json.loads(full.stdout)["findings"]) == 2
+
+
+def test_changed_includes_untracked_files(tmp_path):
+    if git(tmp_path, "init").returncode != 0:
+        import pytest
+        pytest.skip("git unavailable")
+    (tmp_path / "clean.py").write_text(LIB_CLEAN)
+    git(tmp_path, "add", ".")
+    assert git(tmp_path, "commit", "-m", "seed").returncode == 0
+    (tmp_path / "fresh.py").write_text(LIB_WITH_LITERAL_SEED)
+    proc = run_lint(".", "--changed", "--no-baseline",
+                    "--rules", "seed-flow", "--format", "json",
+                    cwd=tmp_path)
+    payload = json.loads(proc.stdout)
+    assert [f["path"] for f in payload["findings"]] == ["fresh.py"]
+
+
+def _stale_baseline(tmp_path):
+    baseline = tmp_path / ".repro-lint-baseline.json"
+    baseline.write_text(json.dumps({"entries": [{
+        "rule": "seed-flow",
+        "file": "gone.py",
+        "context": "random.Random(1)",
+        "justification": "obsolete",
+    }]}))
+    (tmp_path / "lib.py").write_text(LIB_CLEAN)
+    return baseline
+
+
+def test_stale_entries_fail_only_with_fail_stale(tmp_path):
+    _stale_baseline(tmp_path)
+    soft = run_lint("lib.py", cwd=tmp_path)
+    assert soft.returncode == 0
+    assert "stale baseline entry" in soft.stdout
+
+    hard = run_lint("lib.py", "--fail-stale", cwd=tmp_path)
+    assert hard.returncode == 1
+    assert "FAILED" in hard.stdout
+
+
+def test_prune_baseline_rewrites_file(tmp_path):
+    baseline = _stale_baseline(tmp_path)
+    proc = run_lint("lib.py", "--prune-baseline", "--fail-stale",
+                    cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "pruned 1 stale entry" in proc.stdout
+    assert json.loads(baseline.read_text())["entries"] == []
+
+
+def test_prune_baseline_conflicts():
+    proc = run_lint("src", "--prune-baseline", "--no-baseline",
+                    cwd=REPO_ROOT)
+    assert proc.returncode == 2
+    proc = run_lint("src", "--prune-baseline", "--changed",
+                    cwd=REPO_ROOT)
+    assert proc.returncode == 2
+
+
+def test_bench_json_carries_per_rule_timings(tmp_path):
+    (tmp_path / "lib.py").write_text(LIB_CLEAN)
+    bench = tmp_path / "bench.json"
+    proc = run_lint("lib.py", "--no-baseline", "--bench-json", str(bench),
+                    cwd=tmp_path)
+    assert proc.returncode == 0
+    payload = json.loads(bench.read_text())
+    for rule_id in ("seed-flow", "lock-order", "exception-safety",
+                    "det-set-iter"):
+        assert rule_id in payload["rule_seconds"]
+        assert payload["rule_seconds"][rule_id] >= 0

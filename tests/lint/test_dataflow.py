@@ -1,0 +1,120 @@
+"""Worklist dataflow: forward/backward runs and call-graph fixpoints."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import CFG
+from repro.lint.dataflow import (EMPTY, fixpoint_over_functions,
+                                 run_backward, run_forward)
+
+
+def build(code):
+    tree = ast.parse(textwrap.dedent(code))
+    return CFG.build(tree.body[0])
+
+
+def gen_kill_transfer(gens, kills):
+    """Transfer keyed on call names: ``gens``/``kills`` map a call name
+    to the fact it establishes or retires (kills apply on both edges;
+    gens on normal edges only)."""
+
+    def names(stmt):
+        return {node.func.id for node in ast.walk(stmt)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)}
+
+    def transfer(node, state):
+        if node.stmt is None:
+            return state, state
+        seen = names(node.stmt)
+        out = state - frozenset(fact for call, fact in kills.items()
+                                if call in seen)
+        gen = frozenset(fact for call, fact in gens.items()
+                        if call in seen)
+        return out | gen, out
+
+    return transfer
+
+
+def test_forward_fact_reaches_exit_without_release():
+    cfg = build("""
+        def f():
+            acquire()
+            work()
+    """)
+    states = run_forward(cfg, gen_kill_transfer({"acquire": "held"},
+                                                {"release": "held"}))
+    assert "held" in states[cfg.exit.index]
+    assert "held" in states[cfg.raise_exit.index]  # work() may raise
+
+
+def test_forward_finally_release_cleans_both_paths():
+    cfg = build("""
+        def f():
+            acquire()
+            try:
+                work()
+            finally:
+                release()
+    """)
+    states = run_forward(cfg, gen_kill_transfer({"acquire": "held"},
+                                                {"release": "held"}))
+    assert states[cfg.exit.index] == EMPTY
+    assert states[cfg.raise_exit.index] == EMPTY
+
+
+def test_forward_gen_skips_exception_edge():
+    # If acquire() itself raises, the fact was never established.
+    cfg = build("""
+        def f():
+            acquire()
+    """)
+    states = run_forward(cfg, gen_kill_transfer({"acquire": "held"}, {}))
+    assert "held" in states[cfg.exit.index]
+    assert states[cfg.raise_exit.index] == EMPTY
+
+
+def test_backward_joins_both_edge_kinds():
+    cfg = build("""
+        def f(x):
+            if x:
+                return need()
+            return 0
+    """)
+
+    def transfer(node, joined):
+        if node.stmt is not None and "need" in ast.dump(node.stmt):
+            return joined | {"needed"}
+        return joined
+
+    states = run_backward(cfg, transfer)
+    assert "needed" in states[cfg.entry.index]
+
+
+def test_fixpoint_propagates_through_chain():
+    graph = {"a": ["b"], "b": ["c"], "c": []}
+    seeds = {"c": frozenset({"fact"})}
+
+    def update(key, summaries):
+        merged = set(seeds.get(key, frozenset())) | set(summaries[key])
+        for callee in graph[key]:
+            merged |= summaries[callee]
+        return frozenset(merged)
+
+    summaries = fixpoint_over_functions(graph, update)
+    assert summaries["a"] == frozenset({"fact"})
+    assert summaries["b"] == frozenset({"fact"})
+
+
+def test_fixpoint_converges_on_cycles():
+    graph = {"a": ["b"], "b": ["a"]}
+    seeds = {"a": frozenset({"x"}), "b": frozenset({"y"})}
+
+    def update(key, summaries):
+        merged = set(seeds[key]) | set(summaries[key])
+        for callee in graph[key]:
+            merged |= summaries[callee]
+        return frozenset(merged)
+
+    summaries = fixpoint_over_functions(graph, update)
+    assert summaries["a"] == summaries["b"] == frozenset({"x", "y"})

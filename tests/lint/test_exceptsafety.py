@@ -1,0 +1,176 @@
+"""exception-safety: resources released on all paths, raise edges too."""
+
+from conftest import run_rules
+
+from repro.lint.rules import ExceptionSafetyRule
+
+
+def findings_for(files):
+    return [f for f in run_rules([ExceptionSafetyRule()], files)
+            if f.rule == "exception-safety"]
+
+
+LOCK_LEAK_VIA_RAISE = """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def add(self, key, value):
+            self._lock.acquire()
+            if key in self._items:
+                raise KeyError(key)
+            self._items[key] = value
+            self._lock.release()
+"""
+
+LOCK_FINALLY_TWIN = """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def add(self, key, value):
+            self._lock.acquire()
+            try:
+                if key in self._items:
+                    raise KeyError(key)
+                self._items[key] = value
+            finally:
+                self._lock.release()
+"""
+
+
+def test_lock_leaked_via_early_raise_fires():
+    findings = findings_for(LOCK_LEAK_VIA_RAISE)
+    assert len(findings) == 1
+    assert "self._lock" in findings[0].message
+    assert "exception" in findings[0].message
+
+
+def test_try_finally_twin_is_clean():
+    assert findings_for(LOCK_FINALLY_TWIN) == []
+
+
+def test_deletion_sweep_removing_finally_fires():
+    # Stripping the try/finally from the clean twin reintroduces the
+    # leak — the sweep the satellite task asks for.
+    mutated = LOCK_FINALLY_TWIN.replace(
+        "            try:\n"
+        "                if key in self._items:\n"
+        "                    raise KeyError(key)\n"
+        "                self._items[key] = value\n"
+        "            finally:\n"
+        "                self._lock.release()",
+        "            if key in self._items:\n"
+        "                raise KeyError(key)\n"
+        "            self._items[key] = value\n"
+        "            self._lock.release()")
+    assert mutated != LOCK_FINALLY_TWIN
+    assert len(findings_for(mutated)) == 1
+
+
+def test_release_on_one_branch_only_fires():
+    findings = findings_for("""
+        import threading
+
+        _lock = threading.Lock()
+
+        def maybe(flag):
+            _lock.acquire()
+            if flag:
+                _lock.release()
+    """)
+    assert len(findings) == 1
+    assert "normal path" in findings[0].message
+
+
+def test_open_leaked_on_exception_path_fires():
+    findings = findings_for("""
+        def read_config(path):
+            handle = open(path)
+            data = handle.read()
+            handle.close()
+            return data
+    """)
+    assert len(findings) == 1
+    assert "handle" in findings[0].message
+
+
+def test_with_open_is_clean():
+    assert findings_for("""
+        def read_config(path):
+            with open(path) as handle:
+                return handle.read()
+    """) == []
+
+
+def test_returned_resource_escapes_tracking():
+    assert findings_for("""
+        def open_log(path):
+            handle = open(path, "a")
+            return handle
+    """) == []
+
+
+def test_resource_passed_to_callee_escapes_tracking():
+    assert findings_for("""
+        def start(path, registry):
+            handle = open(path)
+            registry.adopt(handle)
+    """) == []
+
+
+def test_resource_stored_on_self_is_not_tracked():
+    # Long-lived handles owned by the object (journal/trace pattern).
+    assert findings_for("""
+        class Journal:
+            def open(self, path):
+                self._handle = open(path, "a")
+    """) == []
+
+
+def test_executor_shutdown_in_finally_is_clean():
+    assert findings_for("""
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(jobs):
+            pool = ProcessPoolExecutor(max_workers=2)
+            try:
+                return [pool.submit(job) for job in jobs]
+            finally:
+                pool.shutdown()
+    """) == []
+
+
+def test_executor_without_shutdown_fires():
+    findings = findings_for("""
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(jobs):
+            pool = ProcessPoolExecutor(max_workers=2)
+            results = [pool.submit(job).result() for job in jobs]
+            pool.shutdown()
+            return results
+    """)
+    assert len(findings) == 1
+    assert "pool" in findings[0].message
+
+
+def test_release_before_raise_is_clean():
+    # The release line kills on both edges: releasing and *then*
+    # raising is fine.
+    assert findings_for("""
+        import threading
+
+        _lock = threading.Lock()
+
+        def bail():
+            _lock.acquire()
+            _lock.release()
+            raise RuntimeError("done")
+    """) == []

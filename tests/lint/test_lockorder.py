@@ -1,0 +1,261 @@
+"""lock-order: deadlock cycles, self-deadlocks, blocking under locks."""
+
+from conftest import run_rules
+
+from repro.lint.rules import LockOrderRule
+
+
+def findings_for(files):
+    return [f for f in run_rules([LockOrderRule()], files)
+            if f.rule == "lock-order"]
+
+
+DEADLOCK_CYCLE = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+"""
+
+CONSISTENT_ORDER_TWIN = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._a:
+                with self._b:
+                    pass
+"""
+
+
+def test_synthetic_deadlock_cycle_fires():
+    findings = findings_for(DEADLOCK_CYCLE)
+    cycles = [f for f in findings if "cycle" in f.message]
+    assert len(cycles) == 2  # one witness per inverted edge
+    assert all("Store._a" in f.message and "Store._b" in f.message
+               for f in cycles)
+
+
+def test_consistent_order_twin_is_clean():
+    assert findings_for(CONSISTENT_ORDER_TWIN) == []
+
+
+def test_deletion_sweep_reordering_one_site_fires():
+    # Swapping the acquisition order at a single site flips the clean
+    # twin back into a cycle.
+    mutated = CONSISTENT_ORDER_TWIN.replace(
+        "def backward(self):\n"
+        "            with self._a:\n"
+        "                with self._b:",
+        "def backward(self):\n"
+        "            with self._b:\n"
+        "                with self._a:")
+    assert mutated != CONSISTENT_ORDER_TWIN
+    assert any("cycle" in f.message for f in findings_for(mutated))
+
+
+def test_cross_function_cycle_through_call_graph():
+    findings = findings_for("""
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    self._grab_b()
+
+            def _grab_b(self):
+                with self._b:
+                    pass
+
+            def two(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """)
+    assert any("cycle" in f.message for f in findings)
+
+
+def test_self_deadlock_on_plain_lock():
+    findings = findings_for("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+    """)
+    assert any("re-acquired" in f.message for f in findings)
+
+
+def test_rlock_reentry_is_allowed():
+    assert findings_for("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+    """) == []
+
+
+def test_condition_alias_is_not_a_cycle():
+    # A Condition wrapping the lock IS the lock: nesting them across
+    # methods must not look like an inversion.
+    assert findings_for("""
+        import threading
+
+        class Q:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._wake = threading.Condition(self._lock)
+
+            def a(self):
+                with self._lock:
+                    self._notify()
+
+            def _notify(self):
+                with self._wake:
+                    pass
+    """) == []
+
+
+def test_blocking_call_under_lock_fires():
+    findings = findings_for("""
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(1)
+    """)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+    assert "S._lock" in findings[0].message
+
+
+def test_blocking_call_outside_lock_is_clean():
+    assert findings_for("""
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    pass
+                time.sleep(1)
+    """) == []
+
+
+def test_requires_lock_annotation_seeds_held_set():
+    findings = findings_for("""
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def helper(self):  # requires-lock: _lock
+                time.sleep(1)
+    """)
+    assert len(findings) == 1
+    assert "S._lock" in findings[0].message
+
+
+def test_held_set_propagates_into_callees():
+    # The blocking site is in a helper that is only ever called with
+    # the lock held — the finding lands at the direct sleep site.
+    findings = findings_for("""
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self.helper()
+
+            def helper(self):
+                time.sleep(1)
+    """)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_module_level_lock_is_tracked():
+    findings = findings_for("""
+        import threading
+        import time
+
+        _LOCK = threading.Lock()
+
+        def slow():
+            with _LOCK:
+                time.sleep(1)
+    """)
+    assert len(findings) == 1
+
+
+def test_executor_submit_under_lock_fires():
+    findings = findings_for("""
+        import threading
+
+        class Pool:
+            def __init__(self, executor):
+                self._lock = threading.Lock()
+                self._executor = executor
+
+            def push(self, fn):
+                with self._lock:
+                    return self._executor.submit(fn)
+    """)
+    assert len(findings) == 1
+    assert "submit" in findings[0].message

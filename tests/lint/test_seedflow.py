@@ -1,0 +1,163 @@
+"""seed-flow: literal/ambient seeds across function boundaries."""
+
+from conftest import run_rules
+
+from repro.lint.rules import SeedFlowRule
+
+
+def findings_for(files):
+    return [f for f in run_rules([SeedFlowRule()], files)
+            if f.rule == "seed-flow"]
+
+
+LIB_LITERAL_CROSS_FUNCTION = """
+    import random
+
+    def make_rng(seed):
+        return random.Random(seed)
+
+    def run_pipeline():
+        rng = make_rng(1234)
+        return rng.random()
+"""
+
+LIB_THREADED_TWIN = """
+    import random
+
+    def make_rng(seed):
+        return random.Random(seed)
+
+    def run_pipeline(seed):
+        rng = make_rng(seed)
+        return rng.random()
+"""
+
+
+def test_cross_function_literal_seed_fires():
+    findings = findings_for(LIB_LITERAL_CROSS_FUNCTION)
+    assert len(findings) == 1
+    assert "literal seed" in findings[0].message
+    assert "make_rng" in findings[0].message
+
+
+def test_threaded_twin_is_clean():
+    assert findings_for(LIB_THREADED_TWIN) == []
+
+
+def test_cross_file_literal_seed_fires():
+    findings = findings_for({
+        "pkg/__init__.py": "",
+        "pkg/rngs.py": (
+            "import random\n\n"
+            "def make_rng(seed):\n"
+            "    return random.Random(seed)\n"),
+        "pkg/engine.py": (
+            "from .rngs import make_rng\n\n"
+            "def run():\n"
+            "    return make_rng(99)\n"),
+    })
+    assert [f.path for f in findings] == ["pkg/engine.py"]
+
+
+def test_direct_literal_rng_fires():
+    findings = findings_for(
+        "import random\n\ndef f():\n    return random.Random(7)\n")
+    assert len(findings) == 1
+
+
+def test_unseeded_rng_fires():
+    findings = findings_for(
+        "import random\n\ndef f():\n    return random.Random()\n")
+    assert len(findings) == 1
+    assert "without a seed" in findings[0].message
+
+
+def test_environment_seed_fires():
+    findings = findings_for(
+        "import os\nimport random\n\n"
+        "def f():\n"
+        "    return random.Random(os.environ.get('SEED'))\n")
+    assert len(findings) == 1
+    assert "environment" in findings[0].message
+
+
+def test_parameter_default_is_allowed():
+    assert findings_for(
+        "import random\n\n"
+        "def f(seed=0):\n"
+        "    return random.Random(seed)\n") == []
+
+
+def test_trial_seed_derivation_is_clean():
+    assert findings_for(
+        "import random\n\n"
+        "def trials(seed, count):\n"
+        "    rngs = []\n"
+        "    for trial in range(count):\n"
+        "        rngs.append(random.Random(seed + 17 * trial))\n"
+        "    return rngs\n") == []
+
+
+def test_attr_assigned_from_ctor_param_is_clean():
+    assert findings_for(
+        "import random\n\n"
+        "class Engine:\n"
+        "    def __init__(self, seed=0):\n"
+        "        self._seed = seed\n"
+        "    def rng(self):\n"
+        "        return random.Random(self._seed)\n") == []
+
+
+def test_attr_assigned_from_literal_fires():
+    findings = findings_for(
+        "import random\n\n"
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self._seed = 42\n"
+        "    def rng(self):\n"
+        "        return random.Random(self._seed)\n")
+    assert len(findings) == 1
+
+
+def test_none_sentinel_is_allowed():
+    assert findings_for(
+        "import random\n\n"
+        "def make_rng(seed):\n"
+        "    return random.Random(seed)\n\n"
+        "def f():\n"
+        "    return make_rng(None)\n") == []
+
+
+def test_seed_kwarg_to_unresolved_callee_fires_by_convention():
+    findings = findings_for(
+        "def f(tool):\n"
+        "    return tool.run(seed=7)\n")
+    assert len(findings) == 1
+
+
+def test_entry_files_may_pin_literal_seeds():
+    assert findings_for({
+        "benchmarks/bench_x.py":
+            "import random\n\ndef f():\n    return random.Random(7)\n",
+        "scripts/gen.py":
+            "import random\n\ndef g():\n    return random.Random(3)\n",
+    }) == []
+
+
+def test_unknown_provenance_is_not_reported():
+    # Conservative: a value the analysis cannot classify stays silent.
+    assert findings_for(
+        "import random\n\n"
+        "def f(config):\n"
+        "    return random.Random(config.seed)\n") == []
+
+
+def test_deletion_sweep_literalizing_the_thread_fires():
+    # The corrected twin is clean; re-baking the literal (the "deleted
+    # plumbing" mutation) must flip it back to a finding.
+    assert findings_for(LIB_THREADED_TWIN) == []
+    mutated = LIB_THREADED_TWIN.replace("run_pipeline(seed)",
+                                        "run_pipeline()") \
+                               .replace("rng = make_rng(seed)",
+                                        "rng = make_rng(31337)")
+    assert len(findings_for(mutated)) == 1

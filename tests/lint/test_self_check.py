@@ -27,6 +27,13 @@ def test_full_tree_is_clean():
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_list_rules_includes_interprocedural_rules():
+    proc = run_lint("--list-rules")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    for rule_id in ("seed-flow", "lock-order", "exception-safety"):
+        assert rule_id in proc.stdout
+
+
 def test_baseline_has_no_placeholder_justifications():
     import json
 
